@@ -1,0 +1,13 @@
+// Figure 10 — System comparison under TPC-C with ten clients and two lock
+// servers (paper Section 6.3): lock throughput, transaction throughput,
+// average latency, and tail latency for DSLR, DrTM, NetChain, and NetLock
+// under low- and high-contention TPC-C.
+#include "tpcc_compare.h"
+
+int main() {
+  netlock::bench::RunFigure("Figure 10", /*client_machines=*/10,
+                            /*lock_servers=*/2,
+                            /*warmup=*/20 * netlock::kMillisecond,
+                            /*measure=*/100 * netlock::kMillisecond);
+  return 0;
+}

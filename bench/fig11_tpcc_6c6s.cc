@@ -1,0 +1,12 @@
+// Figure 11 — System comparison under TPC-C with six clients and six lock
+// servers (paper Section 6.3). Lock servers are less loaded than in
+// Figure 10, but NetLock still wins by an order of magnitude.
+#include "tpcc_compare.h"
+
+int main() {
+  netlock::bench::RunFigure("Figure 11", /*client_machines=*/6,
+                            /*lock_servers=*/6,
+                            /*warmup=*/20 * netlock::kMillisecond,
+                            /*measure=*/100 * netlock::kMillisecond);
+  return 0;
+}

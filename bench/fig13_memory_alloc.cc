@@ -1,0 +1,103 @@
+// Figure 13 — Impact of memory allocation mechanisms (paper Section 6.4).
+//
+// TPC-C (ten warehouses per node) with ten clients and two lock servers,
+// and a deliberately small switch memory, comparing Algorithm 3's knapsack
+// allocation against the random strawman:
+//  (a) lock-request throughput split between switch and servers;
+//  (b) transaction latency CDF.
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "harness/testbed.h"
+
+namespace netlock {
+namespace {
+
+constexpr std::uint32_t kSwitchSlots = 3000;  // Deliberately scarce.
+
+struct AllocResult {
+  RunMetrics metrics;
+  std::uint64_t switch_grants;
+  std::uint64_t server_grants;
+  std::vector<std::pair<SimTime, double>> cdf;
+};
+
+AllocResult RunOne(bool random_strawman) {
+  TestbedConfig config;
+  config.system = SystemKind::kNetLock;
+  // The paper's testbed oversubscribes the two lock servers ~5:1 (ten DPDK
+  // clients at 18 MRPS vs ~36 MRPS of server capacity). Closed-loop
+  // sessions offer far less per client, so we keep the same ratio by
+  // scaling the server cores down with the offered load.
+  config.client_machines = 10;
+  config.sessions_per_machine = 32;
+  config.lock_servers = 2;
+  config.server_config.cores = 2;
+  config.switch_config.queue_capacity = kSwitchSlots;
+  config.txn_config.think_time = 10 * kMicrosecond;
+  // Memory-allocation regime (paper §6.4): the lock working set is the
+  // coordination-critical warehouse/district/customer rows — the item
+  // catalog is read-only and stock is validated optimistically — with
+  // §4.5 coarse-graining on the near-uniform customer tail.
+  TpccConfig tpcc;
+  tpcc.warehouses = TpccWarehouses(10, /*high_contention=*/false);
+  tpcc.lock_items = false;
+  tpcc.lock_stock = false;
+  tpcc.customer_granularity = 16;
+  config.workload_factory = TpccFactory(tpcc);
+  Testbed testbed(config);
+  ProfileAndInstall(testbed, kSwitchSlots, random_strawman,
+                    /*profile_duration=*/50 * kMillisecond,
+                    /*random_seed=*/12345);
+  AllocResult result;
+  result.metrics = testbed.Run(/*warmup=*/20 * kMillisecond,
+                               /*measure=*/100 * kMillisecond);
+  result.switch_grants = result.metrics.switch_grants;
+  result.server_grants = result.metrics.server_grants;
+  result.cdf = result.metrics.txn_latency.Cdf(20);
+  testbed.StopEngines(kSecond);
+  return result;
+}
+
+}  // namespace
+}  // namespace netlock
+
+int main() {
+  using namespace netlock;
+  std::printf(
+      "NetLock reproduction — Figure 13 (memory allocation mechanisms)\n"
+      "TPC-C low contention, 10 clients + 2 lock servers, %u switch slots\n",
+      kSwitchSlots);
+  const AllocResult random = RunOne(/*random_strawman=*/true);
+  const AllocResult knapsack = RunOne(/*random_strawman=*/false);
+
+  Banner("Figure 13(a): throughput breakdown (MRPS)");
+  Table table({"allocation", "switch", "server", "total"});
+  const double dur = 0.1;  // Measured seconds.
+  auto row = [&](const char* name, const AllocResult& r) {
+    table.AddRow({name, Fmt(r.switch_grants / dur / 1e6, 3),
+                  Fmt(r.server_grants / dur / 1e6, 3),
+                  Fmt(r.metrics.LockThroughputMrps(), 3)});
+  };
+  row("random", random);
+  row("knapsack", knapsack);
+  table.Print();
+  std::printf("knapsack/random total throughput: %.2fx\n",
+              knapsack.metrics.LockThroughputMrps() /
+                  std::max(0.001, random.metrics.LockThroughputMrps()));
+
+  Banner("Figure 13(b): transaction latency CDF (us)");
+  Table cdf({"percentile", "knapsack(us)", "random(us)"});
+  for (std::size_t i = 0; i < knapsack.cdf.size(); ++i) {
+    cdf.AddRow({Fmt(knapsack.cdf[i].second * 100, 0),
+                FmtUs(knapsack.cdf[i].first),
+                FmtUs(i < random.cdf.size() ? random.cdf[i].first : 0)});
+  }
+  cdf.Print();
+  std::printf(
+      "\nExpected shape (paper): knapsack pushes most grants to the switch\n"
+      "(~3x total throughput vs random) and its latency CDF sits far left\n"
+      "of random's, which serves most requests from the servers.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 14 — Impact of switch memory size (paper Section 6.4).
+//
+//  (a) Throughput vs switch memory slots for think times 0/5/10/100 us:
+//      the think time sets the slot turnover rate, so longer holds need
+//      more slots for the same throughput.
+//  (b) Throughput vs slots for knapsack vs random allocation: knapsack
+//      reaches peak throughput with a few thousand slots; random wastes
+//      memory on unpopular locks and barely improves.
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "harness/testbed.h"
+
+namespace netlock {
+namespace {
+
+double RunOne(std::uint32_t slots, SimTime think_time, bool random_alloc) {
+  TestbedConfig config;
+  config.system = SystemKind::kNetLock;
+  // Same server-bound regime as Figure 13 (paper-equivalent ~5:1 client
+  // oversubscription of the lock servers).
+  config.client_machines = 10;
+  config.sessions_per_machine = 32;
+  config.lock_servers = 2;
+  config.server_config.cores = 2;
+  config.switch_config.queue_capacity = std::max(slots, 1u);
+  config.txn_config.think_time = think_time;
+  // Same memory-allocation regime as Figure 13 (see fig13_memory_alloc.cc).
+  TpccConfig tpcc;
+  tpcc.warehouses = TpccWarehouses(10, /*high_contention=*/false);
+  tpcc.lock_items = false;
+  tpcc.lock_stock = false;
+  tpcc.customer_granularity = 16;
+  config.workload_factory = TpccFactory(tpcc);
+  Testbed testbed(config);
+  if (slots > 0) {
+    ProfileAndInstall(testbed, slots, random_alloc,
+                      /*profile_duration=*/40 * kMillisecond,
+                      /*random_seed=*/777);
+  } else {
+    testbed.netlock().control_plane().StartLeasePolling();
+  }
+  const RunMetrics m = testbed.Run(/*warmup=*/20 * kMillisecond,
+                                   /*measure=*/80 * kMillisecond);
+  testbed.StopEngines(kSecond);
+  return m.LockThroughputMrps();
+}
+
+}  // namespace
+}  // namespace netlock
+
+int main() {
+  using namespace netlock;
+  std::printf(
+      "NetLock reproduction — Figure 14 (impact of switch memory size)\n"
+      "TPC-C low contention, 10 clients + 2 lock servers.\n");
+
+  Banner("Figure 14(a): throughput (MRPS) vs slots, by think time");
+  {
+    const std::uint32_t slot_points[] = {0, 500, 1000, 2000, 3000, 4000};
+    Table table({"slots", "think=0us", "think=5us", "think=10us",
+                 "think=100us"});
+    for (const std::uint32_t slots : slot_points) {
+      std::fprintf(stderr, "  fig14a slots=%u...\n", slots);
+      table.AddRow({std::to_string(slots),
+                    Fmt(RunOne(slots, 0, false), 2),
+                    Fmt(RunOne(slots, 5 * kMicrosecond, false), 2),
+                    Fmt(RunOne(slots, 10 * kMicrosecond, false), 2),
+                    Fmt(RunOne(slots, 100 * kMicrosecond, false), 2)});
+    }
+    table.Print();
+  }
+
+  Banner("Figure 14(b): throughput (MRPS) vs slots, knapsack vs random");
+  {
+    const std::uint32_t slot_points[] = {0,    1000,  3000,  5000,
+                                         10000, 20000, 40000};
+    Table table({"slots", "knapsack", "random"});
+    for (const std::uint32_t slots : slot_points) {
+      std::fprintf(stderr, "  fig14b slots=%u...\n", slots);
+      table.AddRow({std::to_string(slots),
+                    Fmt(RunOne(slots, 10 * kMicrosecond, false), 2),
+                    Fmt(RunOne(slots, 10 * kMicrosecond, true), 2)});
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nExpected shape (paper): (a) zero think time saturates fastest and\n"
+      "highest; 100 us think time stays low regardless of memory. (b)\n"
+      "knapsack reaches its peak within a few thousand slots; random\n"
+      "improves only marginally with much more memory.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 15 — Failure handling (paper Section 6.5).
+//
+// TPC-C steady state; at t=10s the lock switch stops processing packets
+// (register state lost), and shortly after it is reactivated and the
+// control plane reinstalls the allocation. Clients keep retrying; leases
+// clear stranded grants. Throughput collapses during the outage and
+// returns to the pre-failure level immediately after reactivation.
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "harness/testbed.h"
+
+namespace netlock {
+namespace {
+
+// The paper's x-axis spans 20 s; we compress to 2 s of simulated time with
+// the failure at 0.8 s and reactivation at 1.2 s — the same phases at a
+// tenth of the wall cost.
+constexpr SimTime kFailAt = 800 * kMillisecond;
+constexpr SimTime kRecoverAt = 1200 * kMillisecond;
+constexpr SimTime kEnd = 2 * kSecond;
+constexpr SimTime kBucket = 50 * kMillisecond;
+
+}  // namespace
+}  // namespace netlock
+
+int main() {
+  using namespace netlock;
+  std::printf(
+      "NetLock reproduction — Figure 15 (switch failure handling)\n"
+      "Failure at %.1fs, reactivation at %.1fs.\n",
+      static_cast<double>(kFailAt) / kSecond,
+      static_cast<double>(kRecoverAt) / kSecond);
+
+  TestbedConfig config;
+  config.system = SystemKind::kNetLock;
+  config.client_machines = 10;
+  config.sessions_per_machine = 8;
+  config.lock_servers = 2;
+  config.client_retry_timeout = 2 * kMillisecond;
+  config.lease = 20 * kMillisecond;
+  config.lease_poll_interval = 5 * kMillisecond;
+  config.txn_config.think_time = 10 * kMicrosecond;
+  config.workload_factory = TpccFactory(TpccWarehouses(10, false));
+  Testbed testbed(config);
+  ProfileAndInstall(testbed, config.switch_config.queue_capacity,
+                    /*random_strawman=*/false,
+                    /*profile_duration=*/40 * kMillisecond);
+
+  TimeSeries grants(kBucket);
+  for (int i = 0; i < testbed.num_engines(); ++i) {
+    testbed.engine(i).set_commit_series(&grants);
+  }
+  testbed.StartEngines();
+  testbed.sim().RunUntil(kFailAt);
+  testbed.netlock().lock_switch().Fail();
+  std::fprintf(stderr, "  switch failed at %.2fs\n",
+               static_cast<double>(testbed.sim().now()) / kSecond);
+  testbed.sim().RunUntil(kRecoverAt);
+  testbed.netlock().control_plane().RecoverSwitch();
+  std::fprintf(stderr, "  switch reactivated at %.2fs\n",
+               static_cast<double>(testbed.sim().now()) / kSecond);
+  testbed.sim().RunUntil(kEnd);
+  testbed.StopEngines(kSecond);
+
+  Banner("Transaction throughput over time");
+  Table table({"t(s)", "tput(MTPS)", "phase"});
+  for (std::size_t b = 0; b * kBucket < kEnd; ++b) {
+    const SimTime t = b * kBucket;
+    const char* phase = t < kFailAt ? "normal"
+                        : t < kRecoverAt ? "FAILED"
+                                         : "recovered";
+    table.AddRow({Fmt(grants.BucketTimeSeconds(b), 2),
+                  Fmt(grants.BucketRate(b) / 1e6, 3), phase});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): throughput drops to ~zero the moment the\n"
+      "switch stops, and returns to the pre-failure level essentially\n"
+      "instantly upon reactivation (leases clear stale state).\n");
+  return 0;
+}

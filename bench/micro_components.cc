@@ -1,0 +1,122 @@
+// Component microbenchmarks (google-benchmark): wall-clock speed of the
+// building blocks — header serialization, shared-queue slot access,
+// Algorithm 2 acquire/release in the data-plane model, Algorithm 3
+// allocation, Zipf sampling, and the event queue. These are sanity checks
+// that the simulator itself is fast enough to drive the figure benches,
+// not paper results.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/memory_alloc.h"
+#include "dataplane/switch_dataplane.h"
+#include "net/lock_wire.h"
+#include "sim/simulator.h"
+#include "workload/tpcc.h"
+
+namespace netlock {
+namespace {
+
+void BM_LockHeaderSerialize(benchmark::State& state) {
+  LockHeader hdr;
+  hdr.lock_id = 42;
+  hdr.txn_id = 7;
+  Packet pkt;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hdr.SerializeTo(pkt));
+  }
+}
+BENCHMARK(BM_LockHeaderSerialize);
+
+void BM_LockHeaderParse(benchmark::State& state) {
+  LockHeader hdr;
+  hdr.lock_id = 42;
+  Packet pkt;
+  hdr.SerializeTo(pkt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LockHeader::Parse(pkt));
+  }
+}
+BENCHMARK(BM_LockHeaderParse);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  Simulator sim;
+  std::uint64_t t = 0;
+  for (auto _ : state) {
+    sim.Schedule((t++ % 64), []() {});
+    sim.Step();
+  }
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_SwitchAcquireRelease(benchmark::State& state) {
+  Simulator sim;
+  Network net(sim, 1000);
+  LockSwitchConfig config;
+  config.queue_capacity = 1024;
+  config.array_size = 256;
+  config.max_locks = 64;
+  LockSwitch lock_switch(net, config);
+  const NodeId client = net.AddNode([](const Packet&) {});
+  const NodeId server = net.AddNode([](const Packet&) {});
+  lock_switch.InstallLock(1, server, 16);
+  LockHeader acquire;
+  acquire.op = LockOp::kAcquire;
+  acquire.lock_id = 1;
+  acquire.mode = LockMode::kExclusive;
+  acquire.client_node = client;
+  LockHeader release = acquire;
+  release.op = LockOp::kRelease;
+  const Packet acquire_pkt = MakeLockPacket(client, lock_switch.node(),
+                                            acquire);
+  const Packet release_pkt = MakeLockPacket(client, lock_switch.node(),
+                                            release);
+  for (auto _ : state) {
+    lock_switch.HandlePacket(acquire_pkt);
+    lock_switch.HandlePacket(release_pkt);
+    // Drain the grant deliveries.
+    while (sim.Step()) {
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_SwitchAcquireRelease);
+
+void BM_KnapsackAllocate(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<LockDemand> demands;
+  for (int i = 0; i < state.range(0); ++i) {
+    demands.push_back(LockDemand{
+        static_cast<LockId>(i), static_cast<double>(rng.NextBounded(1000)),
+        static_cast<std::uint32_t>(1 + rng.NextBounded(32))});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KnapsackAllocate(demands, 100'000));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KnapsackAllocate)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler zipf(1'000'000, 0.99);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_TpccNextTxn(benchmark::State& state) {
+  TpccConfig config;
+  config.warehouses = 100;
+  TpccWorkload workload(config);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload.Next(rng));
+  }
+}
+BENCHMARK(BM_TpccNextTxn);
+
+}  // namespace
+}  // namespace netlock
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Chain-replication demo (paper §6.5 closing remark): two NetLock switches
+// chained head -> tail. Compare failover downtime against the
+// lease-recovery path of Figure 15: the promoted tail already holds the
+// complete lock state, so service continues across the failure instant.
+//
+//   $ ./example_chain_replication
+#include <cstdio>
+
+#include "core/chain.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "harness/testbed.h"
+
+using namespace netlock;
+
+namespace {
+
+TimeSeries RunScenario(bool chained) {
+  TestbedConfig config;
+  config.system = SystemKind::kNetLock;
+  config.client_machines = 4;
+  config.sessions_per_machine = 4;
+  config.lock_servers = 2;
+  config.client_retry_timeout = kMillisecond;
+  // Abort fast: a lock stranded by a release lost at the failure instant
+  // should trap only the transactions that touch it, not convoy everyone.
+  config.client_max_retries = 2;
+  config.txn_config.abort_backoff = 200 * kMicrosecond;
+  config.lease = 20 * kMillisecond;
+  config.lease_poll_interval = 5 * kMillisecond;
+  config.txn_config.think_time = 5 * kMicrosecond;
+  MicroConfig micro;
+  micro.num_locks = 512;
+  config.workload_factory = MicroFactory(micro);
+  std::vector<NetLockSession*> sessions;
+  config.session_wrapper = [&](std::unique_ptr<LockSession> inner) {
+    sessions.push_back(static_cast<NetLockSession*>(inner.get()));
+    return inner;
+  };
+  Testbed testbed(config);
+  testbed.netlock().InstallKnapsack(
+      UniformMicroDemands(micro, testbed.num_engines()));
+
+  LockSwitch tail(testbed.net(), config.switch_config);
+  ChainManager chain(testbed.sim(), testbed.netlock().lock_switch(), tail,
+                     testbed.netlock().control_plane());
+  if (chained) {
+    for (NetLockSession* s : sessions) {
+      testbed.net().SetLatency(s->node(), tail.node(), 2500);
+    }
+    for (int i = 0; i < testbed.netlock().num_servers(); ++i) {
+      testbed.net().SetLatency(tail.node(),
+                               testbed.netlock().server(i).node(), 1500);
+    }
+    testbed.net().SetLatency(testbed.netlock().lock_switch().node(),
+                             tail.node(), 1000);
+    chain.Enable();
+    for (NetLockSession* s : sessions) chain.RegisterSession(s);
+  }
+
+  TimeSeries commits(5 * kMillisecond);
+  for (int i = 0; i < testbed.num_engines(); ++i) {
+    testbed.engine(i).set_commit_series(&commits);
+  }
+  testbed.StartEngines();
+  testbed.sim().RunUntil(100 * kMillisecond);
+  if (chained) {
+    chain.FailHead();  // Tail promoted in place: state intact.
+  } else {
+    // Figure 15's path: the lone switch dies, restarts empty 10 ms later,
+    // and leases reclaim stranded grants.
+    testbed.netlock().lock_switch().Fail();
+    testbed.sim().RunUntil(110 * kMillisecond);
+    testbed.netlock().control_plane().RecoverSwitch();
+  }
+  testbed.sim().RunUntil(200 * kMillisecond);
+  testbed.StopEngines(kSecond);
+  return commits;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "NetLock chain replication vs restart+lease recovery\n"
+      "Failure at t=0.100s (restart path reactivates at 0.110s).\n");
+  const TimeSeries restart = RunScenario(false);
+  const TimeSeries chained = RunScenario(true);
+  Banner("Commit throughput (KTPS) around the failure");
+  Table table({"t(s)", "restart+leases", "chained tail"});
+  for (std::size_t b = 16; b < 28; ++b) {
+    table.AddRow({Fmt(restart.BucketTimeSeconds(b), 3),
+                  Fmt(restart.BucketRate(b) / 1e3, 1),
+                  Fmt(chained.BucketRate(b) / 1e3, 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nThe chained tail serves across the failure instant (state already\n"
+      "replicated); the restart path shows the outage plus retransmission\n"
+      "ramp the paper's Figure 15 measures.\n");
+  return 0;
+}

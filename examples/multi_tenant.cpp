@@ -1,0 +1,86 @@
+// Multi-tenant policy demo: service differentiation via per-stage
+// priorities and performance isolation via per-tenant quotas (paper
+// Section 4.4) — the policies a decentralized lock manager cannot enforce.
+//
+//   $ ./example_multi_tenant
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "harness/testbed.h"
+
+using namespace netlock;
+
+namespace {
+
+void PriorityDemo() {
+  Banner("Service differentiation: premium vs batch tenant");
+  TestbedConfig config;
+  config.system = SystemKind::kNetLock;
+  config.client_machines = 2;
+  config.sessions_per_machine = 4;
+  config.lock_servers = 1;
+  config.switch_config.num_priorities = 2;  // One queue per stage per class.
+  config.txn_config.think_time = 10 * kMicrosecond;
+  MicroConfig micro;
+  micro.num_locks = 4;  // Contended lock set.
+  config.workload_factory = MicroFactory(micro);
+  // Engines 0..3 are the premium tenant (priority 0).
+  config.priority_of = [](int i) { return static_cast<Priority>(i >= 4); };
+  Testbed testbed(config);
+  testbed.netlock().InstallKnapsack(
+      UniformMicroDemands(micro, testbed.num_engines()));
+  testbed.Run(10 * kMillisecond, 100 * kMillisecond);
+  std::uint64_t premium = 0, batch = 0;
+  for (int i = 0; i < testbed.num_engines(); ++i) {
+    (i < 4 ? premium : batch) += testbed.engine(i).metrics().txn_commits;
+  }
+  testbed.StopEngines();
+  std::printf("premium tenant: %llu txns, batch tenant: %llu txns "
+              "(premium served first on every release)\n",
+              static_cast<unsigned long long>(premium),
+              static_cast<unsigned long long>(batch));
+}
+
+void QuotaDemo() {
+  Banner("Performance isolation: greedy tenant capped by quota");
+  TestbedConfig config;
+  config.system = SystemKind::kNetLock;
+  config.client_machines = 2;
+  config.sessions_per_machine = 4;
+  config.lock_servers = 1;
+  config.txn_config.think_time = 0;
+  MicroConfig micro;
+  micro.num_locks = 10'000;  // Uncontended: a pure rate race.
+  config.workload_factory = MicroFactory(micro);
+  // Tenant 0 runs six greedy engines; tenant 1 only two.
+  config.tenant_of = [](int i) { return static_cast<TenantId>(i >= 6); };
+  Testbed testbed(config);
+  testbed.netlock().InstallKnapsack(
+      UniformMicroDemands(micro, testbed.num_engines()));
+  // Cap both tenants to the same share, below each tenant's offered load.
+  testbed.netlock().lock_switch().quota().Configure(0, 3e5, 64);
+  testbed.netlock().lock_switch().quota().Configure(1, 3e5, 64);
+  testbed.Run(10 * kMillisecond, 100 * kMillisecond);
+  std::uint64_t greedy = 0, modest = 0;
+  for (int i = 0; i < testbed.num_engines(); ++i) {
+    (i < 6 ? greedy : modest) += testbed.engine(i).metrics().txn_commits;
+  }
+  testbed.StopEngines();
+  std::printf("tenant0 (6 clients): %llu txns, tenant1 (2 clients): %llu "
+              "txns — equal shares despite 3x the clients\n",
+              static_cast<unsigned long long>(greedy),
+              static_cast<unsigned long long>(modest));
+  std::printf("quota rejections issued by the switch: %llu\n",
+              static_cast<unsigned long long>(
+                  testbed.netlock().lock_switch().stats().rejected_quota));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("NetLock policy support demo\n");
+  PriorityDemo();
+  QuotaDemo();
+  return 0;
+}

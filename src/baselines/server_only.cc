@@ -1,0 +1,127 @@
+#include "baselines/server_only.h"
+
+#include "common/check.h"
+
+namespace netlock {
+
+ServerOnlyManager::ServerOnlyManager(Network& net,
+                                     LockServerConfig server_config,
+                                     int num_servers)
+    : net_(net) {
+  NETLOCK_CHECK(num_servers >= 1);
+  for (int i = 0; i < num_servers; ++i) {
+    servers_.push_back(std::make_unique<LockServer>(net_, server_config));
+  }
+}
+
+NodeId ServerOnlyManager::ServerNodeFor(LockId lock) const {
+  std::uint64_t h = lock;
+  h ^= h >> 15;
+  h *= 0x2c1b3c6dull;
+  h ^= h >> 12;
+  return servers_[h % servers_.size()]->node();
+}
+
+std::unique_ptr<LockSession> ServerOnlyManager::CreateSession(
+    ClientMachine& machine, TenantId tenant) {
+  ServerOnlySession::Config config;
+  config.tenant = tenant;
+  return std::make_unique<ServerOnlySession>(machine, *this, config);
+}
+
+void ServerOnlyManager::StartLeasePolling(SimTime lease, SimTime interval) {
+  net_.sim().Schedule(interval, [this, lease, interval]() {
+    for (auto& server : servers_) server->ClearExpired(lease);
+    StartLeasePolling(lease, interval);
+  });
+}
+
+std::uint64_t ServerOnlyManager::Grants() const {
+  std::uint64_t total = 0;
+  for (const auto& server : servers_) total += server->stats().grants;
+  return total;
+}
+
+ServerOnlySession::ServerOnlySession(ClientMachine& machine,
+                                     const ServerOnlyManager& manager,
+                                     Config config)
+    : machine_(machine), manager_(manager), config_(config) {
+  node_ = machine_.net().AddNode(
+      [this](const Packet& pkt) { OnPacket(pkt); });
+}
+
+void ServerOnlySession::Acquire(LockId lock, LockMode mode, TxnId txn,
+                                Priority /*priority*/, AcquireCallback cb) {
+  const auto key = std::make_pair(lock, txn);
+  NETLOCK_CHECK(pending_.find(key) == pending_.end());
+  Pending pending;
+  pending.mode = mode;
+  pending.cb = std::move(cb);
+  pending.epoch = next_epoch_++;
+  SendAcquire(lock, txn, pending);
+  const std::uint64_t epoch = pending.epoch;
+  pending_.emplace(key, std::move(pending));
+  ArmRetry(lock, txn, epoch);
+}
+
+void ServerOnlySession::Release(LockId lock, LockMode mode, TxnId txn) {
+  LockHeader hdr;
+  hdr.op = LockOp::kRelease;
+  hdr.lock_id = lock;
+  hdr.mode = mode;
+  hdr.txn_id = txn;
+  hdr.client_node = node_;
+  machine_.Send(
+      MakeLockPacket(node_, manager_.ServerNodeFor(lock), hdr));
+}
+
+void ServerOnlySession::SendAcquire(LockId lock, TxnId txn,
+                                    const Pending& pending) {
+  LockHeader hdr;
+  hdr.op = LockOp::kAcquire;
+  hdr.flags = kFlagServerOwned;
+  hdr.lock_id = lock;
+  hdr.mode = pending.mode;
+  hdr.tenant = config_.tenant;
+  hdr.txn_id = txn;
+  hdr.client_node = node_;
+  hdr.timestamp = machine_.net().sim().now();
+  machine_.Send(MakeLockPacket(node_, manager_.ServerNodeFor(lock), hdr));
+}
+
+void ServerOnlySession::ArmRetry(LockId lock, TxnId txn,
+                                 std::uint64_t epoch) {
+  machine_.net().sim().Schedule(
+      config_.retry_timeout, [this, lock, txn, epoch]() {
+        const auto it = pending_.find(std::make_pair(lock, txn));
+        if (it == pending_.end() || it->second.epoch != epoch) return;
+        Pending& pending = it->second;
+        if (pending.attempts >= config_.max_retries) {
+          AcquireCallback cb = std::move(pending.cb);
+          pending_.erase(it);
+          cb(AcquireResult::kTimeout);
+          return;
+        }
+        ++pending.attempts;
+        pending.epoch = next_epoch_++;
+        SendAcquire(lock, txn, pending);
+        ArmRetry(lock, txn, pending.epoch);
+      });
+}
+
+void ServerOnlySession::OnPacket(const Packet& pkt) {
+  const std::optional<LockHeader> hdr = LockHeader::Parse(pkt);
+  if (!hdr || hdr->op != LockOp::kGrant) return;
+  const auto it = pending_.find(std::make_pair(hdr->lock_id, hdr->txn_id));
+  if (it == pending_.end()) {
+    // Unsolicited grant (duplicate/late): release so the queue slot is
+    // reclaimed immediately rather than by lease expiry.
+    Release(hdr->lock_id, hdr->mode, hdr->txn_id);
+    return;
+  }
+  AcquireCallback cb = std::move(it->second.cb);
+  pending_.erase(it);
+  cb(AcquireResult::kGranted);
+}
+
+}  // namespace netlock

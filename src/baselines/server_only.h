@@ -1,0 +1,79 @@
+// Traditional centralized server-only lock manager (the "Server-only"
+// design point of paper Figure 1, and the "lock server" side of Figure 9).
+//
+// Clients send lock requests directly to the lock server responsible for
+// the lock (hash partitioning); the server CPU both queues and grants, so
+// throughput is bounded by cores * per-core rate — the bottleneck NetLock
+// exists to remove. Reuses the LockServer substrate in owner-only mode.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "client/client.h"
+#include "server/lock_server.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace netlock {
+
+class ServerOnlyManager {
+ public:
+  ServerOnlyManager(Network& net, LockServerConfig server_config,
+                    int num_servers);
+
+  std::unique_ptr<LockSession> CreateSession(ClientMachine& machine,
+                                             TenantId tenant = 0);
+
+  /// Periodic lease cleanup, as any centralized manager runs.
+  void StartLeasePolling(SimTime lease, SimTime interval);
+
+  LockServer& server(int i) { return *servers_[i]; }
+  int num_servers() const { return static_cast<int>(servers_.size()); }
+  NodeId ServerNodeFor(LockId lock) const;
+
+  std::uint64_t Grants() const;
+
+ private:
+  Network& net_;
+  std::vector<std::unique_ptr<LockServer>> servers_;
+};
+
+/// Session that routes each lock to its home server directly.
+class ServerOnlySession : public LockSession {
+ public:
+  struct Config {
+    TenantId tenant = 0;
+    SimTime retry_timeout = 5 * kMillisecond;
+    int max_retries = 16;
+  };
+
+  ServerOnlySession(ClientMachine& machine, const ServerOnlyManager& manager,
+                    Config config);
+
+  void Acquire(LockId lock, LockMode mode, TxnId txn, Priority priority,
+               AcquireCallback cb) override;
+  void Release(LockId lock, LockMode mode, TxnId txn) override;
+  NodeId node() const override { return node_; }
+
+ private:
+  struct Pending {
+    LockMode mode;
+    AcquireCallback cb;
+    int attempts = 0;
+    std::uint64_t epoch = 0;
+  };
+
+  void OnPacket(const Packet& pkt);
+  void SendAcquire(LockId lock, TxnId txn, const Pending& pending);
+  void ArmRetry(LockId lock, TxnId txn, std::uint64_t epoch);
+
+  ClientMachine& machine_;
+  const ServerOnlyManager& manager_;
+  Config config_;
+  NodeId node_;
+  std::map<std::pair<LockId, TxnId>, Pending> pending_;
+  std::uint64_t next_epoch_ = 1;
+};
+
+}  // namespace netlock

@@ -1,0 +1,146 @@
+#include "client/client.h"
+
+#include "common/check.h"
+
+namespace netlock {
+
+NetLockSession::NetLockSession(ClientMachine& machine, Config config)
+    : machine_(machine), config_(config) {
+  NETLOCK_CHECK(config_.switch_node != kInvalidNode);
+  node_ = machine_.net().AddNode(
+      [this](const Packet& pkt) { OnPacket(pkt); });
+}
+
+void NetLockSession::Acquire(LockId lock, LockMode mode, TxnId txn,
+                             Priority priority, AcquireCallback cb) {
+  const auto key = std::make_pair(lock, txn);
+  NETLOCK_CHECK(pending_.find(key) == pending_.end());
+  Pending pending;
+  pending.mode = mode;
+  pending.priority = priority;
+  pending.cb = std::move(cb);
+  pending.epoch = next_epoch_++;
+  pending.issued_at = machine_.net().sim().now();
+  SendAcquire(lock, txn, pending);
+  const std::uint64_t epoch = pending.epoch;
+  pending_.emplace(key, std::move(pending));
+  ArmRetry(lock, txn, epoch, config_.retry_timeout);
+}
+
+void NetLockSession::Release(LockId lock, LockMode mode, TxnId txn) {
+  LockHeader hdr;
+  hdr.op = LockOp::kRelease;
+  hdr.lock_id = lock;
+  hdr.mode = mode;
+  hdr.txn_id = txn;
+  hdr.client_node = node_;
+  hdr.timestamp = machine_.net().sim().now();
+  // Release to the switch that granted the lock — during backup-switch
+  // failover the grantor may not be the switch new acquires target.
+  NodeId target = config_.switch_node;
+  const auto src = grant_source_.find(std::make_pair(lock, txn));
+  if (src != grant_source_.end()) {
+    target = src->second;
+    grant_source_.erase(src);
+  }
+  machine_.Send(MakeLockPacket(node_, target, hdr));
+}
+
+void NetLockSession::SendAcquire(LockId lock, TxnId txn,
+                                 const Pending& pending) {
+  LockHeader hdr;
+  hdr.op = LockOp::kAcquire;
+  hdr.lock_id = lock;
+  hdr.mode = pending.mode;
+  hdr.priority = pending.priority;
+  hdr.tenant = config_.tenant;
+  hdr.txn_id = txn;
+  hdr.client_node = node_;
+  hdr.timestamp = pending.issued_at;
+  machine_.Send(MakeLockPacket(node_, config_.switch_node, hdr));
+}
+
+void NetLockSession::ArmRetry(LockId lock, TxnId txn, std::uint64_t epoch,
+                              SimTime delay) {
+  machine_.net().sim().Schedule(delay, [this, lock, txn, epoch]() {
+    const auto it = pending_.find(std::make_pair(lock, txn));
+    if (it == pending_.end() || it->second.epoch != epoch) return;
+    Pending& pending = it->second;
+    if (pending.attempts >= config_.max_retries) {
+      AcquireCallback cb = std::move(pending.cb);
+      pending_.erase(it);
+      cb(AcquireResult::kTimeout);
+      return;
+    }
+    ++pending.attempts;
+    ++retransmits_;
+    pending.epoch = next_epoch_++;
+    SendAcquire(lock, txn, pending);
+    ArmRetry(lock, txn, pending.epoch, config_.retry_timeout);
+  });
+}
+
+void NetLockSession::OnPacket(const Packet& pkt) {
+  const std::optional<LockHeader> hdr = LockHeader::Parse(pkt);
+  if (!hdr) return;
+  const auto it = pending_.find(std::make_pair(hdr->lock_id, hdr->txn_id));
+  if (it == pending_.end()) {
+    if (hdr->op == LockOp::kGrant || hdr->op == LockOp::kData) {
+      // Unsolicited grant: a duplicate from a retransmitted acquire, or one
+      // that arrived after this request timed out. Release it immediately
+      // so the queue slot is reclaimed at wire speed; leaving it to lease
+      // expiry would stall the lock for a full lease per stale entry.
+      // Route the release straight back to the sender (the grantor).
+      LockHeader release;
+      release.op = LockOp::kRelease;
+      release.lock_id = hdr->lock_id;
+      release.mode = hdr->mode;
+      release.txn_id = hdr->txn_id;
+      release.client_node = node_;
+      machine_.Send(MakeLockPacket(node_, pkt.src, release));
+    }
+    return;
+  }
+  if (hdr->op == LockOp::kGrant || hdr->op == LockOp::kData) {
+    // kData is the one-RTT combined grant+item reply (§4.1). Remember the
+    // grantor so the release goes back to it (relevant across failover).
+    // One-RTT grants come via the database server, but lock state lives in
+    // whatever switch currently serves us: fall back to switch_node then.
+    if (hdr->op == LockOp::kGrant) {
+      grant_source_[std::make_pair(hdr->lock_id, hdr->txn_id)] = pkt.src;
+    }
+    AcquireCallback cb = std::move(it->second.cb);
+    pending_.erase(it);
+    cb(AcquireResult::kGranted);
+    return;
+  }
+  if (hdr->op == LockOp::kReject) {
+    // Quota throttling: back off and retransmit, preserving the single-
+    // callback contract.
+    Pending& pending = it->second;
+    if (pending.attempts >= config_.max_retries) {
+      AcquireCallback cb = std::move(pending.cb);
+      const LockId lock = hdr->lock_id;
+      const TxnId txn = hdr->txn_id;
+      (void)lock;
+      (void)txn;
+      pending_.erase(it);
+      cb(AcquireResult::kRejected);
+      return;
+    }
+    ++pending.attempts;
+    pending.epoch = next_epoch_++;
+    const std::uint64_t epoch = pending.epoch;
+    const LockId lock = hdr->lock_id;
+    const TxnId txn = hdr->txn_id;
+    machine_.net().sim().Schedule(
+        config_.reject_backoff, [this, lock, txn, epoch]() {
+          const auto it2 = pending_.find(std::make_pair(lock, txn));
+          if (it2 == pending_.end() || it2->second.epoch != epoch) return;
+          SendAcquire(lock, txn, it2->second);
+          ArmRetry(lock, txn, epoch, config_.retry_timeout);
+        });
+  }
+}
+
+}  // namespace netlock

@@ -1,0 +1,142 @@
+// Client-side lock sessions.
+//
+// A LockSession is the narrow interface every lock-manager backend
+// (NetLock, DSLR, DrTM, NetChain, server-only) exposes to the transaction
+// engine: asynchronous acquire with a completion callback, and release.
+// One session models one client thread with at most a handful of
+// outstanding operations; a ClientMachine groups sessions that share a NIC
+// and models the machine's finite request-generation rate (the prototype's
+// DPDK clients generate up to 18 MRPS per machine).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/types.h"
+#include "net/lock_wire.h"
+#include "sim/network.h"
+#include "sim/service_queue.h"
+
+namespace netlock {
+
+using AcquireCallback = std::function<void(AcquireResult)>;
+
+/// Backend-agnostic client session interface.
+class LockSession {
+ public:
+  virtual ~LockSession() = default;
+
+  /// Requests `lock` in `mode` for transaction `txn`. Exactly one callback
+  /// fires per call (possibly after internal retries).
+  virtual void Acquire(LockId lock, LockMode mode, TxnId txn,
+                       Priority priority, AcquireCallback cb) = 0;
+
+  /// Releases a lock previously granted to `txn`.
+  virtual void Release(LockId lock, LockMode mode, TxnId txn) = 0;
+
+  /// Network address grants are delivered to.
+  virtual NodeId node() const = 0;
+
+  /// Canonical conflict unit for a lock id. Backends that coarsen locks
+  /// (NetChain's hash onto switch cells) return the coarse unit, so the
+  /// transaction layer can order and deduplicate acquisitions at the
+  /// granularity that actually conflicts — otherwise hash collisions
+  /// create deadlock cycles no lock ordering can prevent.
+  virtual LockId ConflictUnit(LockId lock) const { return lock; }
+};
+
+/// A client machine: shared NIC with a finite TX rate.
+class ClientMachine {
+ public:
+  /// `tx_service_time` = time the NIC/driver spends per outgoing request;
+  /// 55 ns ~= 18 MRPS, the prototype's per-machine generation limit.
+  ClientMachine(Network& net, SimTime tx_service_time = 55)
+      : net_(net), tx_(net.sim(), tx_service_time) {}
+
+  Network& net() { return net_; }
+
+  /// Sends through the machine NIC: the packet leaves when the NIC gets to
+  /// it, which caps the machine's aggregate request rate.
+  void Send(Packet pkt) {
+    tx_.Submit([this, pkt = std::move(pkt)]() { net_.Send(pkt); });
+  }
+
+  std::uint64_t packets_sent() const { return tx_.items_served(); }
+
+ private:
+  Network& net_;
+  ServiceQueue tx_;
+};
+
+/// NetLock client session: sends acquires/releases to the rack's lock
+/// switch and waits for grants. Losses are recovered by lease-scale
+/// retransmission (Section 4.5: "clients retry when the leases expire").
+class NetLockSession : public LockSession {
+ public:
+  struct Config {
+    NodeId switch_node = kInvalidNode;
+    TenantId tenant = 0;
+    /// Retransmit an unanswered acquire after this long. Must be on the
+    /// order of the lease so duplicates are rare; queued-but-not-granted
+    /// requests legitimately wait, so this also bounds queue wait.
+    SimTime retry_timeout = 5 * kMillisecond;
+    /// Delay before retrying a quota-rejected request.
+    SimTime reject_backoff = 20 * kMicrosecond;
+    /// Give up after this many retransmissions and report kTimeout.
+    int max_retries = 16;
+  };
+
+  NetLockSession(ClientMachine& machine, Config config);
+
+  void Acquire(LockId lock, LockMode mode, TxnId txn, Priority priority,
+               AcquireCallback cb) override;
+  void Release(LockId lock, LockMode mode, TxnId txn) override;
+  NodeId node() const override { return node_; }
+
+  /// Re-points future acquires at a different lock switch (backup-switch
+  /// failover, §4.5). In-flight requests keep retransmitting to the new
+  /// switch; releases go to the switch that granted the lock (see below).
+  void set_switch_node(NodeId node) { config_.switch_node = node; }
+  NodeId switch_node() const { return config_.switch_node; }
+
+  /// Rewrites the recorded grant source of held locks (chain-replication
+  /// failover: the promoted tail holds the dead head's exact state, so
+  /// releases recorded against the head must flow to the tail).
+  void RedirectGrantSource(NodeId from, NodeId to) {
+    for (auto& [key, source] : grant_source_) {
+      if (source == from) source = to;
+    }
+  }
+
+  std::uint64_t retransmits() const { return retransmits_; }
+
+ private:
+  struct Pending {
+    LockMode mode;
+    Priority priority;
+    AcquireCallback cb;
+    int attempts = 0;
+    std::uint64_t epoch = 0;
+    SimTime issued_at = 0;
+  };
+
+  void OnPacket(const Packet& pkt);
+  void SendAcquire(LockId lock, TxnId txn, const Pending& pending);
+  void ArmRetry(LockId lock, TxnId txn, std::uint64_t epoch, SimTime delay);
+
+  ClientMachine& machine_;
+  Config config_;
+  NodeId node_;
+  std::map<std::pair<LockId, TxnId>, Pending> pending_;
+  /// Where each held lock's grant came from: releases are sent back to the
+  /// granting switch, which is what keeps release routing correct while a
+  /// backup switch serves during a primary outage (§4.5: "we only grant
+  /// locks from the backup switch until the queue ... gets empty").
+  std::map<std::pair<LockId, TxnId>, NodeId> grant_source_;
+  std::uint64_t next_epoch_ = 1;
+  std::uint64_t retransmits_ = 0;
+};
+
+}  // namespace netlock

@@ -1,0 +1,118 @@
+#include "client/open_loop.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace netlock {
+
+OpenLoopEngine::OpenLoopEngine(Simulator& sim, LockSession& session,
+                               std::unique_ptr<WorkloadGenerator> workload,
+                               std::uint32_t engine_id, std::uint64_t seed,
+                               OpenLoopConfig config)
+    : sim_(sim),
+      session_(session),
+      workload_(std::move(workload)),
+      engine_id_(engine_id),
+      rng_(seed),
+      config_(config) {
+  NETLOCK_CHECK(workload_ != nullptr);
+  NETLOCK_CHECK(config_.offered_tps > 0.0);
+}
+
+void OpenLoopEngine::Start() { ScheduleNextArrival(); }
+
+void OpenLoopEngine::ScheduleNextArrival() {
+  if (stopped_) return;
+  const double mean_gap_ns =
+      static_cast<double>(kSecond) / config_.offered_tps;
+  const SimTime gap =
+      std::max<SimTime>(1, static_cast<SimTime>(
+                               rng_.NextExponential(mean_gap_ns)));
+  sim_.Schedule(gap, [this]() {
+    if (stopped_) return;
+    BeginTxn();
+    ScheduleNextArrival();
+  });
+}
+
+void OpenLoopEngine::BeginTxn() {
+  if (outstanding_ >= config_.max_outstanding) {
+    ++dropped_;  // Overloaded: shed the arrival.
+    return;
+  }
+  const TxnId txn_id =
+      (static_cast<TxnId>(engine_id_) << 40) | ++txn_counter_;
+  Txn txn;
+  txn.spec = workload_->Next(rng_);
+  // Order by the backend's conflict unit (see TxnEngine for rationale).
+  std::sort(txn.spec.locks.begin(), txn.spec.locks.end(),
+            [this](const LockRequest& a, const LockRequest& b) {
+              return session_.ConflictUnit(a.lock) <
+                     session_.ConflictUnit(b.lock);
+            });
+  txn.started = sim_.now();
+  ++outstanding_;
+  in_flight_.emplace(txn_id, std::move(txn));
+  AcquireNext(txn_id);
+}
+
+void OpenLoopEngine::AcquireNext(TxnId txn_id) {
+  Txn& txn = in_flight_.at(txn_id);
+  const LockRequest& req = txn.spec.locks[txn.next_lock];
+  txn.lock_issued = sim_.now();
+  if (recording_) ++metrics_.lock_requests;
+  session_.Acquire(req.lock, req.mode, txn_id, config_.priority,
+                   [this, txn_id](AcquireResult result) {
+                     OnResult(txn_id, result);
+                   });
+}
+
+void OpenLoopEngine::OnResult(TxnId txn_id, AcquireResult result) {
+  const auto it = in_flight_.find(txn_id);
+  NETLOCK_CHECK(it != in_flight_.end());
+  Txn& txn = it->second;
+  if (result != AcquireResult::kGranted) {
+    // Abort: release what we hold and drop the transaction (open-loop
+    // arrivals keep coming; there is no retry loop to preserve).
+    if (recording_) ++metrics_.retries;
+    for (std::size_t i = 0; i < txn.next_lock; ++i) {
+      session_.Release(txn.spec.locks[i].lock, txn.spec.locks[i].mode,
+                       txn_id);
+    }
+    in_flight_.erase(it);
+    --outstanding_;
+    return;
+  }
+  if (recording_) {
+    ++metrics_.lock_grants;
+    metrics_.lock_latency.Record(sim_.now() - txn.lock_issued);
+  }
+  ++txn.next_lock;
+  if (txn.next_lock < txn.spec.locks.size()) {
+    AcquireNext(txn_id);
+    return;
+  }
+  if (config_.think_time == 0) {
+    Commit(txn_id);
+  } else {
+    sim_.Schedule(config_.think_time, [this, txn_id]() { Commit(txn_id); });
+  }
+}
+
+void OpenLoopEngine::Commit(TxnId txn_id) {
+  const auto it = in_flight_.find(txn_id);
+  NETLOCK_CHECK(it != in_flight_.end());
+  Txn& txn = it->second;
+  for (const LockRequest& req : txn.spec.locks) {
+    session_.Release(req.lock, req.mode, txn_id);
+  }
+  if (recording_) {
+    ++metrics_.txn_commits;
+    metrics_.txn_latency.Record(sim_.now() - txn.started);
+  }
+  in_flight_.erase(it);
+  --outstanding_;
+}
+
+}  // namespace netlock

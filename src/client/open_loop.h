@@ -1,0 +1,87 @@
+// Open-loop load generator: transactions arrive by a Poisson process at a
+// configured offered rate, independent of completions — unlike the
+// closed-loop TxnEngine, queueing delay shows up as latency rather than
+// reduced arrival rate. This is how the paper's DPDK clients stress the
+// systems, and what a latency-vs-offered-load curve needs.
+//
+// Each in-flight transaction runs its own acquire→hold→release state
+// machine, so one engine can have many transactions outstanding
+// (bounded by `max_outstanding` to keep overload runs finite).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "client/client.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "sim/simulator.h"
+#include "workload/workload.h"
+
+namespace netlock {
+
+struct OpenLoopConfig {
+  /// Offered transaction arrival rate (transactions/second).
+  double offered_tps = 100'000.0;
+  /// Hold time once all locks are granted.
+  SimTime think_time = 5 * kMicrosecond;
+  /// Arrivals beyond this many in-flight transactions are dropped and
+  /// counted (the overload signal).
+  std::uint32_t max_outstanding = 256;
+  Priority priority = 0;
+};
+
+class OpenLoopEngine {
+ public:
+  OpenLoopEngine(Simulator& sim, LockSession& session,
+                 std::unique_ptr<WorkloadGenerator> workload,
+                 std::uint32_t engine_id, std::uint64_t seed,
+                 OpenLoopConfig config);
+
+  OpenLoopEngine(const OpenLoopEngine&) = delete;
+  OpenLoopEngine& operator=(const OpenLoopEngine&) = delete;
+
+  /// Starts the arrival process.
+  void Start();
+
+  /// Stops new arrivals; in-flight transactions complete.
+  void Stop() { stopped_ = true; }
+
+  void SetRecording(bool on) { recording_ = on; }
+
+  RunMetrics& metrics() { return metrics_; }
+  std::uint64_t dropped_arrivals() const { return dropped_; }
+  std::uint32_t outstanding() const { return outstanding_; }
+
+ private:
+  struct Txn {
+    TxnSpec spec;
+    std::size_t next_lock = 0;
+    SimTime started = 0;
+    SimTime lock_issued = 0;
+  };
+
+  void ScheduleNextArrival();
+  void BeginTxn();
+  void AcquireNext(TxnId txn_id);
+  void OnResult(TxnId txn_id, AcquireResult result);
+  void Commit(TxnId txn_id);
+
+  Simulator& sim_;
+  LockSession& session_;
+  std::unique_ptr<WorkloadGenerator> workload_;
+  std::uint32_t engine_id_;
+  Rng rng_;
+  OpenLoopConfig config_;
+
+  std::unordered_map<TxnId, Txn> in_flight_;
+  std::uint64_t txn_counter_ = 0;
+  std::uint32_t outstanding_ = 0;
+  std::uint64_t dropped_ = 0;
+  bool stopped_ = false;
+  bool recording_ = false;
+  RunMetrics metrics_;
+};
+
+}  // namespace netlock

@@ -1,0 +1,136 @@
+#include "client/txn.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace netlock {
+
+TxnEngine::TxnEngine(Simulator& sim, LockSession& session,
+                     std::unique_ptr<WorkloadGenerator> workload,
+                     std::uint32_t engine_id, std::uint64_t seed,
+                     TxnEngineConfig config)
+    : sim_(sim),
+      session_(session),
+      workload_(std::move(workload)),
+      engine_id_(engine_id),
+      rng_(seed),
+      config_(config) {
+  NETLOCK_CHECK(workload_ != nullptr);
+}
+
+void TxnEngine::Start() { StartNextTxn(); }
+
+void TxnEngine::Restart() {
+  NETLOCK_CHECK(idle_);
+  stopped_ = false;
+  StartNextTxn();
+}
+
+void TxnEngine::StartNextTxn() {
+  if (stopped_) {
+    idle_ = true;
+    return;
+  }
+  idle_ = false;
+  current_ = workload_->Next(rng_);
+  NETLOCK_CHECK(!current_.locks.empty());
+  // Re-normalize at the backend's conflict granularity: coarsening
+  // backends (NetChain cells) need ordering and deduplication by conflict
+  // unit, or hash collisions produce unpreventable deadlock cycles and
+  // double-acquisition of the same unit.
+  std::sort(current_.locks.begin(), current_.locks.end(),
+            [this](const LockRequest& a, const LockRequest& b) {
+              const LockId ua = session_.ConflictUnit(a.lock);
+              const LockId ub = session_.ConflictUnit(b.lock);
+              if (ua != ub) return ua < ub;
+              if (a.mode != b.mode) return a.mode == LockMode::kExclusive;
+              return a.lock < b.lock;
+            });
+  current_.locks.erase(
+      std::unique(current_.locks.begin(), current_.locks.end(),
+                  [this](const LockRequest& a, const LockRequest& b) {
+                    return session_.ConflictUnit(a.lock) ==
+                           session_.ConflictUnit(b.lock);
+                  }),
+      current_.locks.end());
+  current_txn_ =
+      (static_cast<TxnId>(engine_id_) << 40) | ++txn_counter_;
+  next_lock_ = 0;
+  txn_start_ = sim_.now();
+  AcquireNext();
+}
+
+void TxnEngine::AcquireNext() {
+  NETLOCK_CHECK(next_lock_ < current_.locks.size());
+  const LockRequest& req = current_.locks[next_lock_];
+  lock_issue_ = sim_.now();
+  if (recording_) ++metrics_.lock_requests;
+  const std::size_t index = next_lock_;
+  session_.Acquire(req.lock, req.mode, current_txn_, config_.priority,
+                   [this, index](AcquireResult result) {
+                     OnAcquireResult(index, result);
+                   });
+}
+
+void TxnEngine::OnAcquireResult(std::size_t index, AcquireResult result) {
+  NETLOCK_CHECK(index == next_lock_);
+  if (result != AcquireResult::kGranted) {
+    AbortAndRetry(/*acquired=*/index);
+    return;
+  }
+  if (recording_) {
+    ++metrics_.lock_grants;
+    metrics_.lock_latency.Record(sim_.now() - lock_issue_);
+  }
+  ++next_lock_;
+  if (next_lock_ < current_.locks.size()) {
+    AcquireNext();
+    return;
+  }
+  // All locks held: execute, then commit.
+  if (config_.think_time == 0) {
+    CommitAndRelease();
+  } else {
+    sim_.Schedule(config_.think_time, [this]() { CommitAndRelease(); });
+  }
+}
+
+void TxnEngine::CommitAndRelease() {
+  for (const LockRequest& req : current_.locks) {
+    session_.Release(req.lock, req.mode, current_txn_);
+  }
+  if (recording_) {
+    ++metrics_.txn_commits;
+    metrics_.txn_latency.Record(sim_.now() - txn_start_);
+  }
+  if (commit_series_ != nullptr) commit_series_->Record(sim_.now());
+  if (config_.inter_txn_gap == 0) {
+    StartNextTxn();
+  } else {
+    sim_.Schedule(config_.inter_txn_gap, [this]() { StartNextTxn(); });
+  }
+}
+
+void TxnEngine::AbortAndRetry(std::size_t acquired) {
+  ++aborts_;
+  if (recording_) ++metrics_.retries;
+  // Two-phase locking abort: drop everything acquired so far, back off,
+  // and retry the same transaction under a fresh transaction id.
+  for (std::size_t i = 0; i < acquired; ++i) {
+    session_.Release(current_.locks[i].lock, current_.locks[i].mode,
+                     current_txn_);
+  }
+  sim_.Schedule(config_.abort_backoff, [this]() {
+    if (stopped_) {
+      idle_ = true;
+      return;
+    }
+    current_txn_ = (static_cast<TxnId>(engine_id_) << 40) | ++txn_counter_;
+    next_lock_ = 0;
+    txn_start_ = sim_.now();
+    AcquireNext();
+  });
+}
+
+}  // namespace netlock

@@ -1,0 +1,96 @@
+// Closed-loop transaction engine.
+//
+// Models one client thread of the paper's testbed: it repeatedly draws a
+// transaction from a workload generator, acquires its locks in order
+// (two-phase locking, growing phase), "executes" for a think time with the
+// locks held, releases everything, and moves on. Lock-grant latency and
+// transaction latency/throughput feed the evaluation figures.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "client/client.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+#include "workload/workload.h"
+
+namespace netlock {
+
+struct TxnEngineConfig {
+  /// Time the transaction holds all its locks ("think time" in Section 4.5:
+  /// round trips plus in-memory execution).
+  SimTime think_time = 5 * kMicrosecond;
+  /// Pause between transactions (0 = fully closed loop).
+  SimTime inter_txn_gap = 0;
+  /// Backoff before retrying an aborted transaction.
+  SimTime abort_backoff = 100 * kMicrosecond;
+  Priority priority = 0;
+};
+
+class TxnEngine {
+ public:
+  /// `engine_id` must be unique across all engines in an experiment (it
+  /// namespaces transaction ids).
+  TxnEngine(Simulator& sim, LockSession& session,
+            std::unique_ptr<WorkloadGenerator> workload, std::uint32_t
+            engine_id, std::uint64_t seed, TxnEngineConfig config);
+
+  TxnEngine(const TxnEngine&) = delete;
+  TxnEngine& operator=(const TxnEngine&) = delete;
+
+  /// Begins issuing transactions.
+  void Start();
+
+  /// Stops issuing new transactions; the in-flight one completes.
+  void Stop() { stopped_ = true; }
+
+  /// True once stopped and the in-flight transaction has fully completed.
+  bool idle() const { return idle_; }
+
+  /// Resumes after Stop(). Precondition: idle() — restarting with a
+  /// transaction still in flight would corrupt the acquire sequencing.
+  void Restart();
+
+  /// Toggles measurement (warm-up vs measured window).
+  void SetRecording(bool on) { recording_ = on; }
+
+  /// Optional sink for per-commit time-series plots (Figures 12, 15).
+  void set_commit_series(TimeSeries* series) { commit_series_ = series; }
+
+  RunMetrics& metrics() { return metrics_; }
+  const RunMetrics& metrics() const { return metrics_; }
+  std::uint64_t aborts() const { return aborts_; }
+
+ private:
+  void StartNextTxn();
+  void AcquireNext();
+  void OnAcquireResult(std::size_t index, AcquireResult result);
+  void CommitAndRelease();
+  void AbortAndRetry(std::size_t acquired);
+
+  Simulator& sim_;
+  LockSession& session_;
+  std::unique_ptr<WorkloadGenerator> workload_;
+  std::uint32_t engine_id_;
+  Rng rng_;
+  TxnEngineConfig config_;
+
+  TxnSpec current_;
+  TxnId current_txn_ = kInvalidTxn;
+  std::uint64_t txn_counter_ = 0;
+  std::size_t next_lock_ = 0;
+  SimTime txn_start_ = 0;
+  SimTime lock_issue_ = 0;
+
+  bool stopped_ = false;
+  bool idle_ = true;
+  bool recording_ = false;
+  std::uint64_t aborts_ = 0;
+  RunMetrics metrics_;
+  TimeSeries* commit_series_ = nullptr;
+};
+
+}  // namespace netlock

@@ -1,0 +1,40 @@
+// Lightweight contract-checking macros.
+//
+// Following the C++ Core Guidelines (I.6/I.8: prefer expressing preconditions
+// and postconditions), we provide CHECK-style macros that abort with a
+// diagnostic on violation. NETLOCK_CHECK is always on (cheap, guards
+// correctness-critical invariants such as queue accounting); NETLOCK_DCHECK
+// compiles out in NDEBUG builds and guards hot-path assertions such as the
+// one-register-access-per-pass discipline of the switch pipeline model.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace netlock {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace netlock
+
+#define NETLOCK_CHECK(expr)                                 \
+  do {                                                      \
+    if (!(expr)) {                                          \
+      ::netlock::CheckFailed(__FILE__, __LINE__, #expr);    \
+    }                                                       \
+  } while (0)
+
+// DCHECKs stay on by default — they are cheap and they are what turns a
+// data-plane discipline violation into a test failure. Define
+// NETLOCK_DISABLE_DCHECK for maximum-speed benchmark builds.
+#ifdef NETLOCK_DISABLE_DCHECK
+#define NETLOCK_DCHECK(expr) \
+  do {                       \
+  } while (0)
+#else
+#define NETLOCK_DCHECK(expr) NETLOCK_CHECK(expr)
+#endif

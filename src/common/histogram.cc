@@ -1,0 +1,83 @@
+#include "common/histogram.h"
+
+#include <bit>
+
+#include "common/check.h"
+
+namespace netlock {
+
+std::uint32_t LogHistogram::BucketFor(SimTime value) {
+  // Values below kSubBuckets get exact unit buckets; above, the bucket is
+  // (exponent, top kSubBuckets-worth of mantissa bits).
+  if (value < kSubBuckets) return static_cast<std::uint32_t>(value);
+  const int msb = 63 - std::countl_zero(static_cast<std::uint64_t>(value));
+  const int shift = msb - 6;  // log2(kSubBuckets) == 6.
+  const std::uint32_t sub =
+      static_cast<std::uint32_t>((value >> shift) & (kSubBuckets - 1));
+  std::uint32_t exponent = static_cast<std::uint32_t>(msb);
+  if (exponent > kMaxExponent) exponent = kMaxExponent;  // Clamp outliers.
+  return exponent * kSubBuckets + sub;
+}
+
+SimTime LogHistogram::BucketMidpoint(std::uint32_t bucket) {
+  if (bucket < kSubBuckets) return bucket;
+  const std::uint32_t exponent = bucket / kSubBuckets;
+  const std::uint32_t sub = bucket % kSubBuckets;
+  const int shift = static_cast<int>(exponent) - 6;
+  const SimTime base = (SimTime{1} << exponent) |
+                       (static_cast<SimTime>(sub) << shift);
+  return base + (SimTime{1} << shift) / 2;  // Midpoint of the bucket.
+}
+
+void LogHistogram::Record(SimTime nanos) {
+  const std::uint32_t bucket = BucketFor(nanos);
+  NETLOCK_DCHECK(bucket < kNumBuckets);
+  ++buckets_[bucket];
+  ++count_;
+  sum_ += static_cast<double>(nanos);
+  if (nanos < min_) min_ = nanos;
+  if (nanos > max_) max_ = nanos;
+}
+
+SimTime LogHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  NETLOCK_CHECK(p >= 0.0 && p <= 1.0);
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      p * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t bucket = 0; bucket < kNumBuckets; ++bucket) {
+    seen += buckets_[bucket];
+    if (seen > rank) {
+      const SimTime mid = BucketMidpoint(static_cast<std::uint32_t>(bucket));
+      // Clamp to the observed range so tails never exceed the real max.
+      return std::min(std::max(mid, min_), max_);
+    }
+  }
+  return max_;
+}
+
+double LogHistogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_ > 0) {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+}
+
+void LogHistogram::Clear() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = ~SimTime{0};
+  max_ = 0;
+}
+
+}  // namespace netlock

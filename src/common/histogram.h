@@ -1,0 +1,59 @@
+// Memory-bounded latency histogram with logarithmic buckets.
+//
+// LatencyRecorder stores every sample for exact order statistics, which is
+// right for the paper's figures but grows with run length. LogHistogram
+// gives HDR-style bounded-error quantiles in constant memory (~2 KB):
+// buckets are spaced so that every recorded value is within
+// `1 / kSubBuckets` relative error of its bucket midpoint — ample for
+// latency reporting, where 1% resolution outclasses measurement noise.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace netlock {
+
+class LogHistogram {
+ public:
+  /// Sub-buckets per power of two: relative quantile error <= 1/64 ~ 1.6%.
+  static constexpr std::uint32_t kSubBuckets = 64;
+  /// Covers [0, 2^40) ns ~ 18 minutes, far beyond any simulated latency.
+  static constexpr std::uint32_t kMaxExponent = 40;
+
+  void Record(SimTime nanos);
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Approximate p-quantile (0 <= p <= 1); relative error <= ~1.6%.
+  SimTime Percentile(double p) const;
+
+  SimTime Median() const { return Percentile(0.50); }
+  SimTime P99() const { return Percentile(0.99); }
+
+  /// Exact arithmetic mean (tracked separately from the buckets).
+  double Mean() const;
+
+  SimTime Min() const { return empty() ? 0 : min_; }
+  SimTime Max() const { return empty() ? 0 : max_; }
+
+  void Merge(const LogHistogram& other);
+  void Clear();
+
+ private:
+  static std::uint32_t BucketFor(SimTime value);
+  static SimTime BucketMidpoint(std::uint32_t bucket);
+
+  static constexpr std::size_t kNumBuckets =
+      static_cast<std::size_t>(kMaxExponent) * kSubBuckets + kSubBuckets;
+
+  std::array<std::uint32_t, kNumBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  SimTime min_ = ~SimTime{0};
+  SimTime max_ = 0;
+};
+
+}  // namespace netlock

@@ -1,0 +1,64 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace netlock {
+
+double Rng::NextExponential(double mean) {
+  // Inverse-CDF; guard against log(0).
+  double u = NextDouble();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(1.0 - u);
+}
+
+namespace {
+// Helper used by the rejection-inversion scheme: the integral of x^-alpha.
+double HIntegral(double x, double alpha) {
+  const double log_x = std::log(x);
+  if (std::abs(1.0 - alpha) < 1e-12) return log_x;
+  return std::expm1((1.0 - alpha) * log_x) / (1.0 - alpha);
+}
+
+double HIntegralInverse(double x, double alpha) {
+  if (std::abs(1.0 - alpha) < 1e-12) return std::exp(x);
+  double t = x * (1.0 - alpha);
+  if (t < -1.0) t = -1.0;  // Numerical guard.
+  return std::exp(std::log1p(t) / (1.0 - alpha));
+}
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double alpha) : n_(n), alpha_(alpha) {
+  NETLOCK_CHECK(n >= 1);
+  NETLOCK_CHECK(alpha >= 0.0);
+  h_x1_ = HIntegral(1.5, alpha_) - 1.0;
+  h_n_ = HIntegral(static_cast<double>(n_) + 0.5, alpha_);
+  s_ = 2.0 - HIntegralInverse(HIntegral(2.5, alpha_) - std::pow(2.0, -alpha_),
+                              alpha_);
+}
+
+double ZipfSampler::H(double x) const { return HIntegral(x, alpha_); }
+
+double ZipfSampler::HInverse(double x) const {
+  return HIntegralInverse(x, alpha_);
+}
+
+std::uint64_t ZipfSampler::Sample(Rng& rng) const {
+  if (n_ == 1) return 0;
+  if (alpha_ == 0.0) return rng.NextBounded(n_);
+  // Hörmann & Derflinger rejection-inversion. Returns rank in [1, n], which
+  // we shift to [0, n).
+  for (;;) {
+    const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_ ||
+        u >= H(kd + 0.5) - std::exp(-alpha_ * std::log(kd))) {
+      return k - 1;
+    }
+  }
+}
+
+}  // namespace netlock

@@ -1,0 +1,110 @@
+// Deterministic pseudo-random number generation for simulation workloads.
+//
+// Experiments must be reproducible run-to-run, so every stochastic component
+// takes an explicit seed. We use xoshiro256** (public-domain, Blackman/Vigna)
+// seeded through SplitMix64, which is both faster and of higher quality than
+// std::mt19937_64 for this use, and — unlike the standard distributions —
+// produces identical sequences across standard-library implementations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace netlock {
+
+/// SplitMix64: used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift reduction.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    NETLOCK_DCHECK(bound > 0);
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>((*this)()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t NextInRange(std::uint64_t lo, std::uint64_t hi) {
+    NETLOCK_DCHECK(lo <= hi);
+    return lo + NextBounded(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Exponentially distributed value with the given mean (for Poisson
+  /// inter-arrival times in open-loop load generation).
+  double NextExponential(double mean);
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+/// Zipf-distributed sampler over {0, 1, ..., n-1} with skew parameter alpha.
+/// Uses the rejection-inversion method of Hörmann and Derflinger, which is
+/// O(1) per sample and exact, so popularity-skewed lock workloads (the case
+/// that motivates the knapsack allocation in the paper) can be generated at
+/// simulation speed.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double alpha);
+
+  std::uint64_t Sample(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  std::uint64_t n_;
+  double alpha_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+}  // namespace netlock

@@ -1,0 +1,59 @@
+#include "core/chain.h"
+
+#include "common/check.h"
+#include "server/lock_server.h"
+
+namespace netlock {
+
+ChainManager::ChainManager(Simulator& sim, LockSwitch& head,
+                           LockSwitch& tail, ControlPlane& control)
+    : sim_(sim), head_(head), tail_(tail), control_(control) {}
+
+void ChainManager::Enable() {
+  NETLOCK_CHECK(!enabled_);
+  enabled_ = true;
+  // Mirror the allocation: identical install sequence yields identical
+  // region layout and metadata indices, the precondition for the replicas
+  // evolving in lock-step.
+  tail_.SetDefaultRoute(
+      [this](LockId lock) { return control_.ServerFor(lock); });
+  for (const auto& [lock, slots] : control_.installed().switch_slots) {
+    if (head_.IsInstalled(lock)) {
+      const bool ok =
+          tail_.InstallLock(lock, control_.ServerFor(lock), slots);
+      NETLOCK_CHECK(ok);
+    }
+  }
+  head_.ConfigureChainHead(tail_.node());
+  tail_.ConfigureChainTail(head_.node());
+  control_.SetChain(ControlPlane::ChainMode::kChained, &tail_);
+  // Writes (ops) enter at the head; server pushes are writes.
+  for (LockServer* server : control_.servers()) {
+    server->set_switch_node(head_.node());
+  }
+}
+
+void ChainManager::RegisterSession(NetLockSession* session) {
+  NETLOCK_CHECK(session != nullptr);
+  sessions_.push_back(session);
+}
+
+void ChainManager::FailHead() {
+  NETLOCK_CHECK(enabled_ && !head_failed_);
+  head_failed_ = true;
+  head_.Fail();
+  tail_.PromoteStandalone();
+  control_.SetChain(ControlPlane::ChainMode::kTailPromoted, &tail_);
+  for (LockServer* server : control_.servers()) {
+    server->set_switch_node(tail_.node());
+  }
+  // Routing update: new acquires target the tail, and releases recorded
+  // against the head flow to the tail — which holds the identical state,
+  // so every in-flight hold completes normally. No lease wait.
+  for (NetLockSession* session : sessions_) {
+    session->set_switch_node(tail_.node());
+    session->RedirectGrantSource(head_.node(), tail_.node());
+  }
+}
+
+}  // namespace netlock

@@ -1,0 +1,70 @@
+// Chain replication of NetLock switches (paper §6.5, closing remark of the
+// failure-handling evaluation: "NetChain can be applied to chain several
+// NetLock switches to further reduce the temporary downtime").
+//
+// Two switches run the same deterministic lock state machine over the same
+// FIFO-ordered op stream:
+//
+//   clients/servers ──ops──> HEAD ──replicates──> TAIL ──grants──> clients
+//
+// The head applies every state-changing op and forwards it down the chain
+// with its admission/overflow decisions attached (so the replicas' queues
+// never diverge); the tail applies the same op and is the sole emitter —
+// its grants carry the head's source address, so releases keep entering the
+// chain at the head.
+//
+// On head failure, the tail already holds the complete lock state: failover
+// is a routing update (promote the tail, re-point clients and servers,
+// redirect recorded grant sources), with none of the lease-expiry wait the
+// state-losing recovery paths need. Compare `core/failover.h`, the
+// backup-switch protocol for a *cold* standby.
+//
+// Scope: a chain of two, default (single-priority) path. Ops applied by the
+// head but lost before reaching the tail at the failure instant are
+// recovered by the standard client retransmission / lease machinery.
+#pragma once
+
+#include <vector>
+
+#include "client/client.h"
+#include "core/control_plane.h"
+#include "dataplane/switch_dataplane.h"
+#include "sim/simulator.h"
+
+namespace netlock {
+
+class ChainManager {
+ public:
+  /// `control` is the head's control plane (it owns the installed
+  /// allocation, servers, and lease sweeps).
+  ChainManager(Simulator& sim, LockSwitch& head, LockSwitch& tail,
+               ControlPlane& control);
+
+  /// Replicates the installed allocation onto the tail and wires the
+  /// chain. Call after ControlPlane::InstallAllocation.
+  void Enable();
+
+  /// Sessions registered here are re-pointed and have their grant sources
+  /// redirected on failover.
+  void RegisterSession(NetLockSession* session);
+
+  /// Fails the head and promotes the tail in place: state is already
+  /// there, so service continues immediately.
+  void FailHead();
+
+  bool head_failed() const { return head_failed_; }
+  NodeId active_switch() const {
+    return head_failed_ ? tail_.node() : head_.node();
+  }
+
+ private:
+  Simulator& sim_;
+  LockSwitch& head_;
+  LockSwitch& tail_;
+  ControlPlane& control_;
+  std::vector<NetLockSession*> sessions_;
+  bool enabled_ = false;
+  bool head_failed_ = false;
+};
+
+}  // namespace netlock

@@ -1,0 +1,300 @@
+#include "core/control_plane.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace netlock {
+
+ControlPlane::ControlPlane(Simulator& sim, LockSwitch& lock_switch,
+                           std::vector<LockServer*> servers,
+                           ControlPlaneConfig config)
+    : sim_(sim), switch_(lock_switch), servers_(std::move(servers)),
+      alive_(servers_.size(), true), config_(config) {
+  NETLOCK_CHECK(!servers_.empty());
+  for (LockServer* server : servers_) {
+    NETLOCK_CHECK(server != nullptr);
+    server->set_switch_node(switch_.node());
+  }
+  // The switch routes locks without an exact-match entry by the same hash
+  // partitioning the clients' directory uses, so the table stays small even
+  // for multi-million-row lock spaces.
+  switch_.SetDefaultRoute([this](LockId lock) { return ServerFor(lock); });
+}
+
+NodeId ControlPlane::ServerFor(LockId lock) const {
+  return ServerObjFor(lock).node();
+}
+
+LockServer& ControlPlane::ServerObjFor(LockId lock) const {
+  std::uint64_t h = lock;
+  h ^= h >> 15;
+  h *= 0x2c1b3c6dull;
+  h ^= h >> 12;
+  // Linear probing over the alive set: a failed server's locks spill onto
+  // the survivors deterministically, and return home on recovery.
+  const std::size_t n = servers_.size();
+  for (std::size_t probe = 0; probe < n; ++probe) {
+    const std::size_t index = (h + probe) % n;
+    if (alive_[index]) return *servers_[index];
+  }
+  NETLOCK_CHECK(false);  // All lock servers down: the rack is gone.
+  return *servers_[0];
+}
+
+void ControlPlane::InstallAllocation(const Allocation& allocation) {
+  installed_ = allocation;
+  for (const auto& [lock, slots] : allocation.switch_slots) {
+    const NodeId home = ServerFor(lock);
+    // The switch becomes the owner: the home server must not keep (or act
+    // on) owned-lock state from before — otherwise overflow requests marked
+    // buffer-only would be wrongly granted server-side (split-brain).
+    ServerObjFor(lock).EvictOwnership(lock);
+    if (!switch_.InstallLock(lock, home, slots)) {
+      // Switch table/memory exhausted (fragmentation): serve from the
+      // server instead; routing below still covers it.
+      switch_.SetHomeServer(lock, home);
+    }
+  }
+  // Server-only locks need no per-lock entries: the default hash route
+  // already sends them to their home servers.
+}
+
+void ControlPlane::RegisterServerLock(LockId lock) {
+  switch_.SetHomeServer(lock, ServerFor(lock));
+}
+
+void ControlPlane::StartLeasePolling() {
+  if (lease_polling_) return;
+  lease_polling_ = true;
+  PollLeases();
+}
+
+void ControlPlane::SetChain(ChainMode mode, LockSwitch* tail) {
+  NETLOCK_CHECK(mode == ChainMode::kNone || tail != nullptr);
+  chain_mode_ = mode;
+  chain_tail_ = tail;
+}
+
+void ControlPlane::PollLeases() {
+  sim_.Schedule(config_.lease_poll_interval, [this]() {
+    switch (chain_mode_) {
+      case ChainMode::kNone:
+        switch_.ClearExpired(config_.lease);
+        break;
+      case ChainMode::kChained:
+        // Forced releases replicate through the head; the tail (the
+        // emitting replica) owns the overflow re-arm.
+        switch_.ClearExpired(config_.lease,
+                             LockSwitch::SweepScope::kForcedReleasesOnly);
+        chain_tail_->ClearExpired(config_.lease,
+                                  LockSwitch::SweepScope::kOverflowRearmOnly);
+        break;
+      case ChainMode::kTailPromoted:
+        chain_tail_->ClearExpired(config_.lease);
+        break;
+    }
+    for (LockServer* server : servers_) {
+      server->ClearExpired(config_.lease);
+    }
+    PollLeases();
+  });
+}
+
+void ControlPlane::RecordRequest(LockId lock, std::uint32_t concurrent) {
+  DemandCounters& counters = counters_[lock];
+  ++counters.requests;
+  counters.max_concurrent = std::max(counters.max_concurrent,
+                                     std::max(1u, concurrent));
+}
+
+std::vector<LockDemand> ControlPlane::MeasuredDemands() const {
+  const double window_sec =
+      std::max<double>(static_cast<double>(sim_.now() - window_start_),
+                       1.0) /
+      static_cast<double>(kSecond);
+  std::vector<LockDemand> demands;
+  demands.reserve(counters_.size());
+  for (const auto& [lock, counters] : counters_) {
+    demands.push_back(LockDemand{
+        lock, static_cast<double>(counters.requests) / window_sec,
+        counters.max_concurrent});
+  }
+  std::sort(demands.begin(), demands.end(),
+            [](const LockDemand& a, const LockDemand& b) {
+              return a.lock < b.lock;
+            });
+  return demands;
+}
+
+std::vector<LockDemand> ControlPlane::HarvestDemands() {
+  const double window_sec =
+      std::max<double>(static_cast<double>(sim_.now() - window_start_),
+                       1.0) /
+      static_cast<double>(kSecond);
+  window_start_ = sim_.now();
+  std::vector<LockDemand> demands;
+  switch_.HarvestDemands(window_sec, demands);
+  for (LockServer* server : servers_) {
+    server->HarvestDemands(window_sec, demands);
+  }
+  return demands;
+}
+
+void ControlPlane::MoveLockToServer(LockId lock, std::function<void()> done) {
+  NETLOCK_CHECK(switch_.IsInstalled(lock));
+  // §4.3: pause enqueuing (new requests buffer in q2 at the home server),
+  // wait until the switch queue drains, then hand ownership to the server.
+  switch_.PauseLock(lock, true);
+  auto poll = std::make_shared<std::function<void()>>();
+  *poll = [this, lock, done = std::move(done), poll]() {
+    if (!switch_.QueueEmpty(lock)) {
+      sim_.Schedule(config_.drain_poll_interval, *poll);
+      return;
+    }
+    switch_.RemoveLock(lock);
+    ServerObjFor(lock).TakeOwnership(lock);
+    if (done) done();
+  };
+  sim_.Schedule(config_.drain_poll_interval, *poll);
+}
+
+void ControlPlane::MoveLockToSwitch(LockId lock, std::uint32_t slots,
+                                    std::function<void()> done) {
+  NETLOCK_CHECK(!switch_.IsInstalled(lock));
+  LockServer& server = ServerObjFor(lock);
+  // Pause the server's queue: new requests buffer server-side; existing
+  // holders drain via releases.
+  server.PauseLock(lock, true);
+  auto poll = std::make_shared<std::function<void()>>();
+  *poll = [this, lock, slots, &server, done = std::move(done), poll]() {
+    if (!server.QueueEmpty(lock)) {
+      sim_.Schedule(config_.drain_poll_interval, *poll);
+      return;
+    }
+    if (switch_.InstallLock(lock, server.node(), slots)) {
+      // Buffered requests re-enter through the switch, in order.
+      server.ForwardBufferedToSwitch(lock);
+      server.PauseLock(lock, false);
+      server.DropOwnership(lock);
+    } else {
+      // Could not place (fragmentation): resume serving on the server.
+      server.PauseLock(lock, false);
+      server.TakeOwnership(lock);  // No-op on q2 but re-grants if needed.
+      server.ForwardBufferedToSwitch(lock);
+    }
+    if (done) done();
+  };
+  sim_.Schedule(config_.drain_poll_interval, *poll);
+}
+
+void ControlPlane::Reallocate(std::uint32_t switch_capacity,
+                              std::function<void()> done) {
+  // Primary input: the data-plane counters; the software RecordRequest
+  // counters cover locks observed out-of-band (e.g., by the client library).
+  std::vector<LockDemand> demands = MeasuredDemands();
+  std::unordered_map<LockId, std::size_t> index;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    index[demands[i].lock] = i;
+  }
+  for (const LockDemand& d : HarvestDemands()) {
+    const auto it = index.find(d.lock);
+    if (it == index.end()) {
+      demands.push_back(d);
+    } else {
+      demands[it->second].rate += d.rate;
+      demands[it->second].contention =
+          std::max(demands[it->second].contention, d.contention);
+    }
+  }
+  const Allocation target = KnapsackAllocate(demands, switch_capacity);
+  counters_.clear();
+  window_start_ = sim_.now();
+
+  // Compute the migration sets relative to what is installed.
+  std::vector<LockId> to_remove;
+  for (const LockId lock : switch_.table().InstalledLocks()) {
+    if (!target.InSwitch(lock)) to_remove.push_back(lock);
+  }
+  std::vector<std::pair<LockId, std::uint32_t>> to_add;
+  for (const auto& [lock, slots] : target.switch_slots) {
+    if (!switch_.IsInstalled(lock)) to_add.emplace_back(lock, slots);
+  }
+  installed_ = target;
+
+  auto remaining = std::make_shared<std::size_t>(to_remove.size() +
+                                                 to_add.size());
+  auto on_each = [remaining, done = std::move(done)]() {
+    if (--*remaining == 0 && done) done();
+  };
+  if (*remaining == 0) {
+    // Nothing to migrate.
+    ++*remaining;
+    on_each();
+    return;
+  }
+  // Removals first to make space, then additions.
+  for (const LockId lock : to_remove) MoveLockToServer(lock, on_each);
+  for (const auto& [lock, slots] : to_add) {
+    MoveLockToSwitch(lock, slots, on_each);
+  }
+}
+
+void ControlPlane::RecoverSwitch() {
+  switch_.Restart();
+  InstallAllocation(installed_);
+}
+
+bool ControlPlane::ServerAlive(int index) const {
+  NETLOCK_CHECK(index >= 0 &&
+                index < static_cast<int>(servers_.size()));
+  return alive_[index];
+}
+
+void ControlPlane::ReassignInstalledHomes() {
+  for (const LockId lock : switch_.table().InstalledLocks()) {
+    switch_.table().ReassignHomeServer(lock, ServerFor(lock));
+  }
+}
+
+void ControlPlane::FailServer(int index) {
+  NETLOCK_CHECK(index >= 0 &&
+                index < static_cast<int>(servers_.size()));
+  NETLOCK_CHECK(alive_[index]);
+  servers_[index]->Fail();
+  alive_[index] = false;
+  // Survivors inherit the dead server's locks but must not grant them for
+  // one lease: grants issued by the dead server may still be held.
+  const SimTime grace = sim_.now() + config_.lease;
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    if (alive_[i]) servers_[i]->GracePeriodUntil(grace);
+  }
+  // q2 overflow buffers of switch-resident locks homed on the dead server
+  // move too (their content died with it; the overflow wedge sweep
+  // re-arms the handshake against the new home).
+  ReassignInstalledHomes();
+}
+
+void ControlPlane::RecoverServer(int index) {
+  NETLOCK_CHECK(index >= 0 &&
+                index < static_cast<int>(servers_.size()));
+  NETLOCK_CHECK(!alive_[index]);
+  servers_[index]->Restart();
+  alive_[index] = true;
+  // The recovered server may immediately receive its old locks (the hash
+  // routes them home again), some of whose grants were issued by a
+  // substitute moments ago: grace-gate it for one lease.
+  servers_[index]->GracePeriodUntil(sim_.now() + config_.lease);
+  // Substitutes drop the state they took over for re-homed locks; their
+  // waiting clients re-submit (client retransmission) to the new home.
+  const NodeId recovered = servers_[index]->node();
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    if (static_cast<int>(i) == index || !alive_[i]) continue;
+    for (const LockId lock : servers_[i]->OwnedLocks()) {
+      if (ServerFor(lock) == recovered) servers_[i]->DropState(lock);
+    }
+  }
+  ReassignInstalledHomes();
+}
+
+}  // namespace netlock

@@ -1,0 +1,140 @@
+// The NetLock control plane (paper Sections 4.3, 4.5).
+//
+// Runs on the switch CPU / management plane: installs memory allocations,
+// partitions locks across lock servers, migrates locks between switch and
+// servers as popularity changes (pause -> drain -> move), polls leases to
+// clear expired transactions, and tracks per-lock demand counters (r_i,
+// c_i) for reallocation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/memory_alloc.h"
+#include "dataplane/switch_dataplane.h"
+#include "server/lock_server.h"
+#include "sim/simulator.h"
+
+namespace netlock {
+
+struct ControlPlaneConfig {
+  /// Lease duration for transaction-failure / deadlock recovery.
+  SimTime lease = 50 * kMillisecond;
+  /// How often the control plane polls the data plane for expired leases.
+  SimTime lease_poll_interval = 10 * kMillisecond;
+  /// Drain-poll interval during lock migration.
+  SimTime drain_poll_interval = 100 * kMicrosecond;
+};
+
+class ControlPlane {
+ public:
+  ControlPlane(Simulator& sim, LockSwitch& lock_switch,
+               std::vector<LockServer*> servers,
+               ControlPlaneConfig config = ControlPlaneConfig{});
+
+  /// Home server for a lock: static hash partitioning, as with the
+  /// directory service the paper's clients consult.
+  NodeId ServerFor(LockId lock) const;
+  LockServer& ServerObjFor(LockId lock) const;
+
+  /// Installs an allocation computed by KnapsackAllocate/RandomAllocate:
+  /// switch-resident locks get their regions; every lock (resident or not)
+  /// gets a home-server route. Locks whose region cannot be placed (switch
+  /// full) fall back to server-only.
+  void InstallAllocation(const Allocation& allocation);
+
+  /// Registers a server-only lock (route only).
+  void RegisterServerLock(LockId lock);
+
+  /// Starts periodic lease polling (ClearExpired on switch and servers).
+  void StartLeasePolling();
+
+  /// Chain-replication awareness for the lease sweeps: in kChained mode,
+  /// forced releases run on the head (they replicate down the chain) and
+  /// the overflow re-arm on the tail (the emitting replica); after tail
+  /// promotion the tail gets the full sweep.
+  enum class ChainMode { kNone, kChained, kTailPromoted };
+  void SetChain(ChainMode mode, LockSwitch* tail);
+
+  // --- Dynamic popularity tracking and reallocation (Section 4.3) ---
+
+  /// Feeds one observed request (rate counter) and a concurrent-demand
+  /// sample (contention counter) for a lock.
+  void RecordRequest(LockId lock, std::uint32_t concurrent);
+
+  /// Current measured demands (rates normalized over the window since the
+  /// last Reallocate call).
+  std::vector<LockDemand> MeasuredDemands() const;
+
+  /// Harvests the data-plane demand counters (switch + every server) into
+  /// one demand vector, normalized over the window since the last harvest,
+  /// and resets them. This is the paper's counter-driven input to
+  /// Algorithm 3.
+  std::vector<LockDemand> HarvestDemands();
+
+  /// Recomputes the allocation from measured demands and migrates locks
+  /// accordingly. `done` fires when all migrations complete.
+  void Reallocate(std::uint32_t switch_capacity, std::function<void()> done);
+
+  /// Migrates one lock out of the switch to its home server.
+  void MoveLockToServer(LockId lock, std::function<void()> done);
+
+  /// Migrates one server lock into the switch with `slots` queue slots.
+  void MoveLockToSwitch(LockId lock, std::uint32_t slots,
+                        std::function<void()> done);
+
+  /// Re-runs failure recovery after a switch restart: reinstalls the last
+  /// allocation (Section 4.5 switch-failure handling; queued state is
+  /// recovered via leases and client retries).
+  void RecoverSwitch();
+
+  // --- Lock-server failure (Section 4.5: "the locks allocated to this
+  // server is assigned to another lock server ... the server waits for the
+  // leases to expire before granting the locks") ---
+
+  /// Fails lock server `index`: its locks re-hash onto the surviving
+  /// servers, which take them under a one-lease grace period; installed
+  /// switch locks homed there get their q2 reassigned.
+  void FailServer(int index);
+
+  /// Restarts lock server `index` and re-homes its locks: substitutes drop
+  /// the transferred state (clients re-submit, §4.5) and the recovered
+  /// server serves them after a one-lease grace.
+  void RecoverServer(int index);
+
+  bool ServerAlive(int index) const;
+
+  const ControlPlaneConfig& config() const { return config_; }
+
+  /// The allocation currently installed (for failover replication).
+  const Allocation& installed() const { return installed_; }
+
+  /// The lock servers this control plane manages.
+  const std::vector<LockServer*>& servers() const { return servers_; }
+
+ private:
+  struct DemandCounters {
+    std::uint64_t requests = 0;
+    std::uint32_t max_concurrent = 1;
+  };
+
+  void PollLeases();
+
+  void ReassignInstalledHomes();
+
+  Simulator& sim_;
+  LockSwitch& switch_;
+  std::vector<LockServer*> servers_;
+  std::vector<bool> alive_;
+  ChainMode chain_mode_ = ChainMode::kNone;
+  LockSwitch* chain_tail_ = nullptr;
+  ControlPlaneConfig config_;
+  Allocation installed_;
+  std::unordered_map<LockId, DemandCounters> counters_;
+  SimTime window_start_ = 0;
+  bool lease_polling_ = false;
+};
+
+}  // namespace netlock

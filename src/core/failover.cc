@@ -1,0 +1,125 @@
+#include "core/failover.h"
+
+#include "common/check.h"
+
+namespace netlock {
+
+FailoverManager::FailoverManager(Simulator& sim, LockSwitch& primary,
+                                 LockSwitch& backup, ControlPlane& control,
+                                 FailoverConfig config)
+    : sim_(sim),
+      primary_(primary),
+      backup_(backup),
+      control_(control),
+      config_(config) {}
+
+void FailoverManager::RegisterSession(NetLockSession* session) {
+  NETLOCK_CHECK(session != nullptr);
+  sessions_.push_back(session);
+}
+
+NodeId FailoverManager::active_switch() const {
+  return primary_failed_ ? backup_.node() : primary_.node();
+}
+
+void FailoverManager::RepointSessions(NodeId node) {
+  for (NetLockSession* session : sessions_) {
+    session->set_switch_node(node);
+  }
+}
+
+void FailoverManager::FailPrimary() {
+  NETLOCK_CHECK(!primary_failed_);
+  ++epoch_;
+  primary_failed_ = true;
+  backup_active_ = true;
+  primary_.Fail();
+
+  // Replicate the allocation onto the backup, suspended: requests queue
+  // immediately but no grant can overlap a pre-failure holder.
+  backup_.SetDefaultRoute(
+      [this](LockId lock) { return control_.ServerFor(lock); });
+  for (const auto& [lock, slots] : control_.installed().switch_slots) {
+    const bool ok = backup_.InstallLock(lock, control_.ServerFor(lock),
+                                        slots, /*suspended=*/true);
+    NETLOCK_CHECK(ok);  // The backup is empty; capacity matches.
+  }
+  // Overflow (q2) traffic from the servers must reach the live switch.
+  for (LockServer* server : control_.servers()) {
+    server->set_switch_node(backup_.node());
+  }
+  RepointSessions(backup_.node());
+
+  // Activate after one lease: every grant issued by the dead primary has
+  // expired by then ("the server waits for the leases to expire before
+  // granting the locks" — the same rule, applied to the backup switch).
+  const std::uint64_t epoch = epoch_;
+  sim_.Schedule(control_.config().lease, [this, epoch]() {
+    if (epoch != epoch_) return;
+    ActivateBackupLocks();
+  });
+  SweepBackupLeases();
+}
+
+void FailoverManager::ActivateBackupLocks() {
+  for (const LockId lock : backup_.table().InstalledLocks()) {
+    backup_.Activate(lock);
+  }
+}
+
+void FailoverManager::SweepBackupLeases() {
+  if (!backup_active_) return;
+  sim_.Schedule(control_.config().lease_poll_interval, [this]() {
+    if (!backup_active_) return;
+    backup_.ClearExpired(control_.config().lease);
+    SweepBackupLeases();
+  });
+}
+
+void FailoverManager::RecoverPrimary(std::function<void()> done) {
+  NETLOCK_CHECK(primary_failed_);
+  ++epoch_;
+  primary_failed_ = false;
+
+  // Restart the primary with every lock installed suspended: new requests
+  // queue behind whatever the backup still has to serve.
+  primary_.Restart();
+  for (const auto& [lock, slots] : control_.installed().switch_slots) {
+    if (!primary_.InstallLock(lock, control_.ServerFor(lock), slots,
+                              /*suspended=*/true)) {
+      // Fragmentation cannot occur on a freshly wiped switch.
+      NETLOCK_CHECK(false);
+    }
+  }
+  for (LockServer* server : control_.servers()) {
+    server->set_switch_node(primary_.node());
+  }
+  RepointSessions(primary_.node());
+  PollRecovery(std::move(done));
+}
+
+void FailoverManager::PollRecovery(std::function<void()> done) {
+  sim_.Schedule(config_.poll_interval, [this, done = std::move(done)]() {
+    bool all_drained = true;
+    for (const LockId lock : primary_.table().InstalledLocks()) {
+      if (!primary_.IsSuspended(lock)) continue;
+      // "Only grant from the backup until its queue gets empty": activate
+      // each primary lock the moment the backup's queue for it drains.
+      if (!backup_.IsInstalled(lock) || backup_.QueueEmpty(lock)) {
+        primary_.Activate(lock);
+      } else {
+        all_drained = false;
+      }
+    }
+    if (!all_drained) {
+      PollRecovery(done);
+      return;
+    }
+    // Backup fully drained: wipe it back to cold standby.
+    backup_active_ = false;
+    backup_.Restart();
+    if (done) done();
+  });
+}
+
+}  // namespace netlock

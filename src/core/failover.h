@@ -1,0 +1,90 @@
+// Backup-switch failover (paper Section 4.5, "NetLock failure").
+//
+// "A switch failure is handled ... by assigning the locks to a backup
+//  switch. ... After the original switch restarts, the lock requests are
+//  queued into the original switch. When releasing a lock, we only grant
+//  locks from the backup switch until the queue in the backup switch gets
+//  empty."
+//
+// Orchestration implemented here:
+//
+//  FailPrimary():
+//    1. The primary stops (registers lost).
+//    2. The allocation is installed on the backup in *suspended* mode
+//       (queue-but-don't-grant) and clients are re-pointed to it. Requests
+//       queue up immediately; nothing is granted yet.
+//    3. After one lease, every pre-failure grant has expired, so the
+//       backup's locks are activated one by one — no grant can ever
+//       overlap a pre-failure holder.
+//
+//  RecoverPrimary():
+//    4. The primary restarts with the allocation installed *suspended* and
+//       new requests go to it (clients re-pointed); releases route to the
+//       switch that granted each lock (the backup), which keeps granting
+//       from its queues.
+//    5. As each backup lock queue drains, the corresponding primary lock
+//       is activated — single-queue order is preserved per lock.
+//    6. When the backup is fully drained it is wiped and becomes a cold
+//       standby again.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "client/client.h"
+#include "core/control_plane.h"
+#include "dataplane/switch_dataplane.h"
+#include "sim/simulator.h"
+
+namespace netlock {
+
+struct FailoverConfig {
+  /// Poll interval for drain/activation progress.
+  SimTime poll_interval = kMillisecond;
+};
+
+class FailoverManager {
+ public:
+  /// `control` is the primary's control plane (it owns the installed
+  /// allocation and the lock servers).
+  FailoverManager(Simulator& sim, LockSwitch& primary, LockSwitch& backup,
+                  ControlPlane& control,
+                  FailoverConfig config = FailoverConfig{});
+
+  /// Sessions registered here are re-pointed on failover/recovery (models
+  /// the datacenter routing update that redirects the NetLock service
+  /// address).
+  void RegisterSession(NetLockSession* session);
+
+  /// The switch new acquires currently target.
+  NodeId active_switch() const;
+
+  /// True while the backup is serving (possibly concurrently with a
+  /// recovering primary that is still suspended).
+  bool backup_active() const { return backup_active_; }
+
+  /// Fails the primary over to the backup (steps 1-3 above).
+  void FailPrimary();
+
+  /// Restarts the primary and drains the backup (steps 4-6). `done` fires
+  /// when the backup is empty and wiped.
+  void RecoverPrimary(std::function<void()> done = nullptr);
+
+ private:
+  void ActivateBackupLocks();
+  void PollRecovery(std::function<void()> done);
+  void RepointSessions(NodeId node);
+  void SweepBackupLeases();
+
+  Simulator& sim_;
+  LockSwitch& primary_;
+  LockSwitch& backup_;
+  ControlPlane& control_;
+  FailoverConfig config_;
+  std::vector<NetLockSession*> sessions_;
+  bool backup_active_ = false;
+  bool primary_failed_ = false;
+  std::uint64_t epoch_ = 0;  // Invalidates stale scheduled callbacks.
+};
+
+}  // namespace netlock

@@ -1,0 +1,135 @@
+#include "core/memory_alloc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace netlock {
+
+bool Allocation::InSwitch(LockId lock) const {
+  return std::any_of(switch_slots.begin(), switch_slots.end(),
+                     [lock](const auto& p) { return p.first == lock; });
+}
+
+Allocation KnapsackAllocate(std::vector<LockDemand> demands,
+                            std::uint32_t switch_capacity) {
+  for (const LockDemand& d : demands) NETLOCK_CHECK(d.contention >= 1);
+  // Algorithm 3 line 1: sort by r_i / c_i decreasing (ties broken by lock id
+  // for determinism).
+  std::sort(demands.begin(), demands.end(),
+            [](const LockDemand& a, const LockDemand& b) {
+              const double da = a.rate / a.contention;
+              const double db = b.rate / b.contention;
+              if (da != db) return da > db;
+              return a.lock < b.lock;
+            });
+  Allocation result;
+  std::uint32_t available = switch_capacity;
+  for (const LockDemand& d : demands) {
+    const std::uint32_t s = std::min(available, d.contention);
+    if (s == 0) {
+      result.server_only.push_back(d.lock);
+      continue;
+    }
+    available -= s;
+    result.switch_slots.emplace_back(d.lock, s);
+    result.guaranteed_rate += d.rate * s / d.contention;
+  }
+  return result;
+}
+
+Allocation RandomAllocate(std::vector<LockDemand> demands,
+                          std::uint32_t switch_capacity, std::uint64_t seed) {
+  Rng rng(seed);
+  // Fisher-Yates shuffle: random admission order regardless of popularity.
+  for (std::size_t i = demands.size(); i > 1; --i) {
+    std::swap(demands[i - 1], demands[rng.NextBounded(i)]);
+  }
+  Allocation result;
+  std::uint32_t available = switch_capacity;
+  for (const LockDemand& d : demands) {
+    const std::uint32_t s = std::min(available, d.contention);
+    if (s == 0) {
+      result.server_only.push_back(d.lock);
+      continue;
+    }
+    available -= s;
+    result.switch_slots.emplace_back(d.lock, s);
+    result.guaranteed_rate += d.rate * s / d.contention;
+  }
+  return result;
+}
+
+Allocation StaticAllocate(std::vector<LockDemand> demands,
+                          std::uint32_t switch_capacity,
+                          std::uint32_t fixed_slots) {
+  NETLOCK_CHECK(fixed_slots >= 1);
+  std::sort(demands.begin(), demands.end(),
+            [](const LockDemand& a, const LockDemand& b) {
+              if (a.rate != b.rate) return a.rate > b.rate;
+              return a.lock < b.lock;
+            });
+  Allocation result;
+  std::uint32_t available = switch_capacity;
+  for (const LockDemand& d : demands) {
+    if (available < fixed_slots) {
+      result.server_only.push_back(d.lock);
+      continue;
+    }
+    available -= fixed_slots;
+    // The array is fixed_slots big whether the lock needs it or not; only
+    // min(fixed, c_i) of it is ever useful.
+    result.switch_slots.emplace_back(d.lock, fixed_slots);
+    result.guaranteed_rate +=
+        d.rate * std::min(fixed_slots, d.contention) / d.contention;
+  }
+  return result;
+}
+
+double AllocationObjective(const std::vector<LockDemand>& demands,
+                           const Allocation& allocation) {
+  std::unordered_map<LockId, std::uint32_t> slots;
+  for (const auto& [lock, s] : allocation.switch_slots) slots[lock] = s;
+  double objective = 0.0;
+  for (const LockDemand& d : demands) {
+    const auto it = slots.find(d.lock);
+    if (it == slots.end()) continue;
+    objective += d.rate * std::min(it->second, d.contention) / d.contention;
+  }
+  return objective;
+}
+
+namespace {
+double BruteForceRec(const std::vector<LockDemand>& demands, std::size_t i,
+                     std::uint32_t remaining) {
+  if (i == demands.size() || remaining == 0) return 0.0;
+  double best = 0.0;
+  const LockDemand& d = demands[i];
+  const std::uint32_t max_s = std::min(remaining, d.contention);
+  for (std::uint32_t s = 0; s <= max_s; ++s) {
+    best = std::max(best, d.rate * s / d.contention +
+                              BruteForceRec(demands, i + 1, remaining - s));
+  }
+  return best;
+}
+}  // namespace
+
+double BruteForceObjective(const std::vector<LockDemand>& demands,
+                           std::uint32_t switch_capacity) {
+  return BruteForceRec(demands, 0, switch_capacity);
+}
+
+std::uint32_t ServersNeeded(const std::vector<LockDemand>& demands,
+                            const Allocation& allocation,
+                            double server_rate) {
+  NETLOCK_CHECK(server_rate > 0.0);
+  double total = 0.0;
+  for (const LockDemand& d : demands) total += d.rate;
+  const double residual = total - AllocationObjective(demands, allocation);
+  if (residual <= 0.0) return 0;
+  return static_cast<std::uint32_t>(std::ceil(residual / server_rate));
+}
+
+}  // namespace netlock

@@ -1,0 +1,67 @@
+// Switch-server memory allocation (paper Section 4.3, Algorithm 3).
+//
+// Given per-lock demand — request rate r_i and maximum contention c_i —
+// decide which locks get switch queue slots and how many. The objective is
+// the request rate the switch can guarantee to absorb:
+//
+//     maximize  sum_i r_i * s_i / c_i
+//     s.t.      sum_i s_i <= S,   s_i <= c_i
+//
+// a fractional-knapsack instance: allocating one slot to lock i is worth
+// r_i / c_i, so Algorithm 3 sorts by that density and fills greedily, which
+// is optimal (Theorem 1; property-tested against brute force in
+// tests/memory_alloc_test.cc). The random strawman of Figure 13 is included
+// as the ablation baseline.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace netlock {
+
+/// The allocation decision: slots per switch-resident lock; everything else
+/// is served by lock servers alone.
+struct Allocation {
+  std::vector<std::pair<LockId, std::uint32_t>> switch_slots;
+  std::vector<LockId> server_only;
+  /// Objective value: request rate the switch guarantees to process.
+  double guaranteed_rate = 0.0;
+
+  bool InSwitch(LockId lock) const;
+};
+
+/// Algorithm 3: optimal greedy allocation.
+Allocation KnapsackAllocate(std::vector<LockDemand> demands,
+                            std::uint32_t switch_capacity);
+
+/// Figure 13's strawman: random lock order, c_i slots each until full.
+Allocation RandomAllocate(std::vector<LockDemand> demands,
+                          std::uint32_t switch_capacity, std::uint64_t seed);
+
+/// The design the shared queue replaces (paper §4.2): statically bind one
+/// fixed-size register array of `fixed_slots` to each lock. Locks are
+/// admitted by rate until capacity runs out; a lock with contention above
+/// `fixed_slots` overflows (its excess is served by the servers), and one
+/// with contention below it wastes the difference. Used by the
+/// shared-queue ablation bench.
+Allocation StaticAllocate(std::vector<LockDemand> demands,
+                          std::uint32_t switch_capacity,
+                          std::uint32_t fixed_slots);
+
+/// Exhaustive optimum over integer slot vectors; exponential — tests only.
+double BruteForceObjective(const std::vector<LockDemand>& demands,
+                           std::uint32_t switch_capacity);
+
+/// Objective value of an arbitrary allocation under the given demands.
+double AllocationObjective(const std::vector<LockDemand>& demands,
+                           const Allocation& allocation);
+
+/// Performance guarantee (Section 4.3): lock servers needed to absorb the
+/// request rate the switch cannot guarantee, at `server_rate` each.
+std::uint32_t ServersNeeded(const std::vector<LockDemand>& demands,
+                            const Allocation& allocation, double server_rate);
+
+}  // namespace netlock

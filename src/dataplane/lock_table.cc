@@ -1,0 +1,144 @@
+#include "dataplane/lock_table.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace netlock {
+
+RegionAllocator::RegionAllocator(std::uint32_t capacity)
+    : capacity_(capacity), free_slots_(capacity) {
+  if (capacity > 0) free_.emplace(0, capacity);
+}
+
+std::optional<Extent> RegionAllocator::Allocate(std::uint32_t slots) {
+  if (slots == 0 || slots > free_slots_) return std::nullopt;
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    const std::uint32_t left = it->first;
+    const std::uint32_t right = it->second;
+    if (right - left >= slots) {
+      Extent extent{left, left + slots};
+      free_.erase(it);
+      if (extent.right < right) free_.emplace(extent.right, right);
+      free_slots_ -= slots;
+      return extent;
+    }
+  }
+  return std::nullopt;  // Fragmented.
+}
+
+void RegionAllocator::Free(Extent extent) {
+  NETLOCK_CHECK(extent.right <= capacity_ && extent.left < extent.right);
+  auto [it, inserted] = free_.emplace(extent.left, extent.right);
+  NETLOCK_CHECK(inserted);
+  free_slots_ += extent.size();
+  // Coalesce with successor.
+  auto next = std::next(it);
+  if (next != free_.end() && it->second == next->first) {
+    it->second = next->second;
+    free_.erase(next);
+  }
+  // Coalesce with predecessor.
+  if (it != free_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second == it->first) {
+      prev->second = it->second;
+      free_.erase(it);
+    }
+  }
+}
+
+std::uint32_t RegionAllocator::LargestFreeExtent() const {
+  std::uint32_t best = 0;
+  for (const auto& [left, right] : free_) best = std::max(best, right - left);
+  return best;
+}
+
+SwitchLockTable::SwitchLockTable(std::uint32_t max_locks,
+                                 std::uint32_t queue_capacity)
+    : max_locks_(max_locks), allocator_(queue_capacity) {
+  free_meta_indices_.reserve(max_locks);
+  for (std::uint32_t i = max_locks; i > 0; --i) {
+    free_meta_indices_.push_back(i - 1);
+  }
+}
+
+const SwitchLockEntry* SwitchLockTable::Install(
+    LockId lock, NodeId home_server, const std::vector<std::uint32_t>& slots) {
+  NETLOCK_CHECK(!slots.empty());
+  NETLOCK_CHECK(entries_.find(lock) == entries_.end());
+  if (free_meta_indices_.empty()) return nullptr;
+
+  SwitchLockEntry entry;
+  entry.lock_id = lock;
+  entry.home_server = home_server;
+  std::vector<Extent> acquired;
+  for (const std::uint32_t n : slots) {
+    const std::optional<Extent> extent = allocator_.Allocate(n);
+    if (!extent) {
+      for (const Extent& e : acquired) allocator_.Free(e);
+      return nullptr;
+    }
+    acquired.push_back(*extent);
+    entry.regions.push_back(LockBounds{extent->left, extent->right});
+  }
+  entry.meta_index = free_meta_indices_.back();
+  free_meta_indices_.pop_back();
+  home_server_[lock] = home_server;
+  auto [it, inserted] = entries_.emplace(lock, std::move(entry));
+  NETLOCK_CHECK(inserted);
+  return &it->second;
+}
+
+void SwitchLockTable::Remove(LockId lock) {
+  const auto it = entries_.find(lock);
+  NETLOCK_CHECK(it != entries_.end());
+  for (const LockBounds& region : it->second.regions) {
+    allocator_.Free(Extent{region.left, region.right});
+  }
+  free_meta_indices_.push_back(it->second.meta_index);
+  entries_.erase(it);
+}
+
+const SwitchLockEntry* SwitchLockTable::Find(LockId lock) const {
+  const auto it = entries_.find(lock);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+NodeId SwitchLockTable::HomeServer(LockId lock) const {
+  const auto it = home_server_.find(lock);
+  return it == home_server_.end() ? kInvalidNode : it->second;
+}
+
+void SwitchLockTable::SetHomeServer(LockId lock, NodeId server) {
+  home_server_[lock] = server;
+}
+
+void SwitchLockTable::ReassignHomeServer(LockId lock, NodeId server) {
+  const auto it = entries_.find(lock);
+  NETLOCK_CHECK(it != entries_.end());
+  it->second.home_server = server;
+  home_server_[lock] = server;
+}
+
+std::vector<LockId> SwitchLockTable::InstalledLocks() const {
+  std::vector<LockId> locks;
+  locks.reserve(entries_.size());
+  for (const auto& [lock, entry] : entries_) locks.push_back(lock);
+  std::sort(locks.begin(), locks.end());
+  return locks;
+}
+
+void SwitchLockTable::Clear() {
+  for (const auto& [lock, entry] : entries_) {
+    for (const LockBounds& region : entry.regions) {
+      allocator_.Free(Extent{region.left, region.right});
+    }
+    free_meta_indices_.push_back(entry.meta_index);
+  }
+  entries_.clear();
+  // Home-server routing state survives a data-plane restart: it mirrors the
+  // directory service, which is external to the switch.
+}
+
+}  // namespace netlock

@@ -1,0 +1,50 @@
+#include "dataplane/shared_queue.h"
+
+namespace netlock {
+
+SharedQueue::SharedQueue(Pipeline& pipeline, int first_stage,
+                         std::uint32_t capacity, std::uint32_t array_size)
+    : capacity_(capacity), array_size_(array_size) {
+  NETLOCK_CHECK(capacity > 0);
+  NETLOCK_CHECK(array_size > 0);
+  const std::uint32_t num_arrays = (capacity + array_size - 1) / array_size;
+  arrays_.reserve(num_arrays);
+  for (std::uint32_t i = 0; i < num_arrays; ++i) {
+    const std::uint32_t this_size =
+        std::min(array_size, capacity - i * array_size);
+    // One array per stage; wraps within the stage budget if the pool is
+    // larger than the remaining stages (multiple arrays can share a stage on
+    // hardware as long as a pass touches at most one of them, which region
+    // contiguity guarantees for a single slot access).
+    const int stage = first_stage + static_cast<int>(i) %
+                          std::max(1, pipeline.num_stages() - first_stage);
+    arrays_.push_back(std::make_unique<RegisterArray<QueueSlot>>(
+        pipeline, stage, this_size));
+  }
+}
+
+const QueueSlot& SharedQueue::Read(PacketPass& pass, std::uint32_t index) {
+  NETLOCK_CHECK(index < capacity_);
+  return arrays_[index / array_size_]->Read(pass, index % array_size_);
+}
+
+void SharedQueue::Write(PacketPass& pass, std::uint32_t index,
+                        const QueueSlot& slot) {
+  NETLOCK_CHECK(index < capacity_);
+  arrays_[index / array_size_]->Write(pass, index % array_size_, slot);
+}
+
+QueueSlot& SharedQueue::ControlAt(std::uint32_t index) {
+  NETLOCK_CHECK(index < capacity_);
+  return arrays_[index / array_size_]->ControlRead(index % array_size_);
+}
+
+void SharedQueue::ControlClear() {
+  for (auto& array : arrays_) {
+    for (std::size_t i = 0; i < array->size(); ++i) {
+      array->ControlWrite(i, QueueSlot{});
+    }
+  }
+}
+
+}  // namespace netlock

@@ -1,0 +1,103 @@
+// Register cell types used by the NetLock switch data plane.
+//
+// The hardware prototype stores each field in (paired) 32-bit registers
+// spread across stages; we model the per-lock bookkeeping as one logical
+// cell per array so that the single read-modify-write per pass — the
+// constraint that drives Algorithm 2's resubmit structure — is preserved at
+// the granularity the algorithm actually needs.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace netlock {
+
+/// One slot of the shared request queue (paper Figure 4: "mode, transaction
+/// ID, client IP", ~20 B with metadata). `tenant` and `timestamp` are the
+/// "additional metadata such as timestamp and tenant ID" of Section 4.2.
+struct QueueSlot {
+  LockMode mode = LockMode::kExclusive;
+  TxnId txn_id = kInvalidTxn;
+  NodeId client_node = kInvalidNode;
+  TenantId tenant = 0;
+  SimTime timestamp = 0;
+
+  friend bool operator==(const QueueSlot&, const QueueSlot&) = default;
+};
+
+/// Per-lock circular-queue bookkeeping for the default (single-priority,
+/// Algorithm 2) path. `head`/`tail` are absolute indices into the shared
+/// queue, constrained to the lock's [left, right) region.
+struct LockMeta {
+  std::uint32_t head = 0;
+  std::uint32_t tail = 0;
+  std::uint32_t count = 0;      ///< Queued entries (including granted holders).
+  std::uint32_t xcnt = 0;       ///< Exclusive entries among them.
+  bool overflow = false;        ///< q1 overflowed; new requests go to q2.
+  /// Queue-but-don't-grant mode, used during switch failover (§4.5): a
+  /// fresh backup suspends grants until pre-failure leases expire, and a
+  /// restarted primary suspends each lock until the backup's queue for it
+  /// drains ("we only grant locks from the backup switch until the queue
+  /// in the backup switch gets empty").
+  bool suspended = false;
+  /// Buffer-only requests forwarded to the server since the last
+  /// queue-empty notification. Nonzero means requests are in flight toward
+  /// q2, so a "q2 drained" reply from the server must not end the overflow
+  /// episode yet (see the protocol walkthrough in switch_dataplane.cc).
+  std::uint32_t fwd_since_notify = 0;
+  /// Demand counters for Algorithm 3 (§4.3: "NetLock maintains two counters
+  /// to track r_i and c_i for each lock"). Harvested and reset by the
+  /// control plane.
+  std::uint64_t req_count = 0;   ///< Requests seen this window (r_i).
+  std::uint32_t max_count = 1;   ///< Max queue occupancy this window (c_i).
+  /// When the last queue-empty notification was sent. If a protocol packet
+  /// (notify/push/resume) is lost, the lock would wedge with q1 empty and
+  /// q2 full; the control plane's lease sweep re-arms the handshake once
+  /// this is older than a lease (see LockSwitch::ClearExpired).
+  SimTime last_notify = 0;
+};
+
+/// Runtime-adjustable region boundaries of a lock's queue in the shared
+/// queue (paper Figure 5: left_B / right_B registers).
+struct LockBounds {
+  std::uint32_t left = 0;
+  std::uint32_t right = 0;  ///< Exclusive.
+
+  std::uint32_t size() const { return right - left; }
+};
+
+/// Priority classes supported by the register layout (bounded by pipeline
+/// stages, paper §4.4: "the number of priorities is limited to the number
+/// of stages").
+inline constexpr int kMaxPriorities = 8;
+
+/// Per-(lock, priority) waiting-queue bookkeeping for the priority path
+/// (§4.4). `head`/`tail` are absolute shared-queue indices within the
+/// class's region; `mode_mask` caches each ring position's mode (bit set =
+/// exclusive) so a single RMW can decide "pop only if the head is shared"
+/// without touching the slot array — regions are therefore capped at 64
+/// slots per priority class (one mask register).
+struct PrioMeta {
+  std::uint32_t head = 0;
+  std::uint32_t tail = 0;
+  std::uint32_t count = 0;         ///< Waiting entries (popped at grant).
+  std::uint64_t mode_mask = 0;     ///< Bit (pos - left): 1 = exclusive.
+};
+
+/// Per-lock aggregate register for the priority path: current holders plus
+/// per-class waiting-exclusive counters, everything the stage-1 grant
+/// decision needs in one RMW.
+struct AggState {
+  LockMode held_mode = LockMode::kShared;
+  std::uint32_t holders = 0;
+  std::uint32_t waiting_total = 0;
+  std::uint16_t wait_x[kMaxPriorities] = {};     ///< Waiting exclusives.
+  std::uint16_t wait_count[kMaxPriorities] = {}; ///< All waiting, per class.
+  SimTime held_since = 0;
+  /// Demand counters (§4.3), as in LockMeta.
+  std::uint64_t req_count = 0;
+  std::uint32_t max_concurrent = 1;
+};
+
+}  // namespace netlock

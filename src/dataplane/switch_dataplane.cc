@@ -1,0 +1,953 @@
+#include "dataplane/switch_dataplane.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace netlock {
+
+namespace {
+// Debug tracing for one lock id, enabled via NETLOCK_TRACE_LOCK=<id>.
+LockId TraceLock() {
+  static const LockId traced = []() -> LockId {
+    const char* env = std::getenv("NETLOCK_TRACE_LOCK");
+    return env ? static_cast<LockId>(std::strtoul(env, nullptr, 10))
+               : kInvalidLock;
+  }();
+  return traced;
+}
+#define NETLOCK_TRACE(lock, ...)                      \
+  do {                                                \
+    if ((lock) == TraceLock()) {                      \
+      std::fprintf(stderr, "[%llu] ",                 \
+                   (unsigned long long)net_.sim().now()); \
+      std::fprintf(stderr, __VA_ARGS__);              \
+    }                                                 \
+  } while (0)
+}  // namespace
+
+// Overflow protocol (paper Section 4.3, "Handling overflowed requests"),
+// as implemented here. Links are FIFO, which the protocol exploits:
+//
+//   1. An acquire that finds q1[i] full (or already overflowing) is
+//      forwarded to the home server marked kFlagBufferOnly; the server only
+//      buffers it in q2[i]. The switch counts these in fwd_since_notify.
+//   2. Grants/dequeues happen only from q1[i]. When a release empties
+//      q1[i] while overflowing, the switch sends kQueueEmpty(free=R) and
+//      zeroes fwd_since_notify.
+//   3. The server pushes min(R, |q2|) buffered requests back (kFlagPushed),
+//      then replies kSyncState(aux = remaining |q2|).
+//   4. On kSyncState the switch ends the episode only if remaining == 0 AND
+//      fwd_since_notify == 0 AND q1 is not full. A nonzero fwd_since_notify
+//      means buffer-only requests raced past the server's reply and are
+//      sitting (or about to sit) in q2; ending the episode then would let
+//      new arrivals enqueue directly into q1 ahead of them, breaking the
+//      single-queue FIFO equivalence — and could strand them forever. If
+//      q1 is empty at that point the switch immediately re-notifies
+//      (step 2); otherwise the next emptying release re-notifies.
+//
+// This yields the paper's stated invariant: while both q1 and q2 hold
+// requests, grants pop only from q1 and new requests append only to q2, so
+// the two behave exactly as one queue.
+
+LockSwitch::LockSwitch(Network& net, LockSwitchConfig config)
+    : net_(net),
+      config_(config),
+      pipeline_(config.num_stages, /*max_resubmits=*/0),
+      table_(config.max_locks, config.queue_capacity) {
+  NETLOCK_CHECK(config_.num_priorities >= 1);
+  NETLOCK_CHECK(config_.num_priorities <= config_.num_stages - 4);
+  NETLOCK_CHECK(config_.num_priorities <= kMaxPriorities);
+  node_ = net_.AddNode([this](const Packet& pkt) { HandlePacket(pkt); });
+  quota_ = std::make_unique<TenantQuota>(pipeline_, /*stage=*/0,
+                                         config_.max_tenants,
+                                         config_.quota_mode);
+  if (config_.num_priorities == 1) {
+    bounds_ = std::make_unique<RegisterArray<LockBounds>>(
+        pipeline_, /*stage=*/0, config_.max_locks);
+    meta_ = std::make_unique<RegisterArray<LockMeta>>(pipeline_, /*stage=*/1,
+                                                      config_.max_locks);
+    queue_ = std::make_unique<SharedQueue>(pipeline_, /*first_stage=*/2,
+                                           config_.queue_capacity,
+                                           config_.array_size);
+  } else {
+    // Priority layout: aggregate decision register at stage 1, one queue-
+    // metadata register per class in stages 2..1+P (the paper's "one queue
+    // in each stage for one priority"), slots after them.
+    agg_ = std::make_unique<RegisterArray<AggState>>(pipeline_, /*stage=*/1,
+                                                     config_.max_locks);
+    for (int p = 0; p < config_.num_priorities; ++p) {
+      prio_bounds_.push_back(std::make_unique<RegisterArray<LockBounds>>(
+          pipeline_, /*stage=*/0, config_.max_locks));
+      prio_meta_.push_back(std::make_unique<RegisterArray<PrioMeta>>(
+          pipeline_, /*stage=*/2 + p, config_.max_locks));
+    }
+    queue_ = std::make_unique<SharedQueue>(
+        pipeline_, /*first_stage=*/2 + config_.num_priorities,
+        config_.queue_capacity, config_.array_size);
+  }
+}
+
+bool LockSwitch::InstallLock(LockId lock, NodeId home_server,
+                             std::uint32_t slots, bool suspended) {
+  NETLOCK_CHECK(slots >= 1);
+  NETLOCK_CHECK(!suspended || config_.num_priorities == 1);
+  std::vector<std::uint32_t> split;
+  if (config_.num_priorities == 1) {
+    split.push_back(slots);
+  } else {
+    // Split across priority classes, at least one slot each.
+    const std::uint32_t p = config_.num_priorities;
+    const std::uint32_t base = std::max<std::uint32_t>(1, slots / p);
+    for (std::uint32_t i = 0; i < p; ++i) split.push_back(base);
+  }
+  const SwitchLockEntry* entry = table_.Install(lock, home_server, split);
+  if (entry == nullptr) return false;
+
+  if (config_.num_priorities == 1) {
+    const LockBounds& bounds = entry->regions[0];
+    bounds_->ControlWrite(entry->meta_index, bounds);
+    LockMeta meta;
+    meta.head = bounds.left;
+    meta.tail = bounds.left;
+    meta.suspended = suspended;
+    meta_->ControlWrite(entry->meta_index, meta);
+  } else {
+    agg_->ControlWrite(entry->meta_index, AggState{});
+    for (int p = 0; p < config_.num_priorities; ++p) {
+      const LockBounds& bounds = entry->regions[p];
+      // The PrioMeta mode bitmask covers one 64-bit register.
+      NETLOCK_CHECK(bounds.size() <= 64);
+      prio_bounds_[p]->ControlWrite(entry->meta_index, bounds);
+      PrioMeta meta;
+      meta.head = bounds.left;
+      meta.tail = bounds.left;
+      prio_meta_[p]->ControlWrite(entry->meta_index, meta);
+    }
+  }
+  return true;
+}
+
+void LockSwitch::PauseLock(LockId lock, bool paused) {
+  NETLOCK_CHECK(table_.Find(lock) != nullptr);
+  paused_[lock] = paused;
+}
+
+bool LockSwitch::QueueEmpty(LockId lock) const {
+  const SwitchLockEntry* entry = table_.Find(lock);
+  NETLOCK_CHECK(entry != nullptr);
+  if (config_.num_priorities == 1) {
+    return meta_->ControlRead(entry->meta_index).count == 0;
+  }
+  const AggState& agg = agg_->ControlRead(entry->meta_index);
+  return agg.holders == 0 && agg.waiting_total == 0;
+}
+
+void LockSwitch::RemoveLock(LockId lock) {
+  NETLOCK_CHECK(QueueEmpty(lock));
+  table_.Remove(lock);
+  paused_.erase(lock);
+}
+
+void LockSwitch::Fail() { failed_ = true; }
+
+void LockSwitch::ConfigureChainHead(NodeId tail) {
+  NETLOCK_CHECK(tail != kInvalidNode);
+  NETLOCK_CHECK(config_.num_priorities == 1);  // Chain: default path only.
+  chain_next_ = tail;
+  suppress_emissions_ = true;
+  src_override_ = kInvalidNode;
+}
+
+void LockSwitch::ConfigureChainTail(NodeId head_src) {
+  NETLOCK_CHECK(head_src != kInvalidNode);
+  src_override_ = head_src;
+  chain_next_ = kInvalidNode;
+  suppress_emissions_ = false;
+}
+
+void LockSwitch::PromoteStandalone() {
+  chain_next_ = kInvalidNode;
+  src_override_ = kInvalidNode;
+  suppress_emissions_ = false;
+}
+
+void LockSwitch::ChainForward(LockHeader hdr, std::uint8_t extra_flags) {
+  NETLOCK_CHECK(chain_next_ != kInvalidNode);
+  hdr.flags |= extra_flags;
+  net_.Send(MakeLockPacket(node_, chain_next_, hdr));
+}
+
+void LockSwitch::Restart() {
+  failed_ = false;
+  table_.Clear();
+  queue_->ControlClear();
+  for (std::uint32_t i = 0; i < config_.max_locks; ++i) {
+    if (config_.num_priorities == 1) {
+      meta_->ControlWrite(i, LockMeta{});
+      bounds_->ControlWrite(i, LockBounds{});
+    } else {
+      agg_->ControlWrite(i, AggState{});
+      for (int p = 0; p < config_.num_priorities; ++p) {
+        prio_bounds_[p]->ControlWrite(i, LockBounds{});
+        prio_meta_[p]->ControlWrite(i, PrioMeta{});
+      }
+    }
+  }
+  paused_.clear();
+}
+
+void LockSwitch::HandlePacket(const Packet& pkt) {
+  if (failed_) {
+    ++stats_.dropped_while_failed;
+    return;
+  }
+  const std::optional<LockHeader> hdr = LockHeader::Parse(pkt);
+  if (!hdr) return;  // Non-lock traffic: forwarded by the regular pipeline.
+  // Chain tail: the head's quota already rejected this acquire; nothing
+  // was enqueued anywhere — just emit the rejection.
+  if ((hdr->flags & kFlagQuotaRejected) != 0 &&
+      hdr->op == LockOp::kAcquire) {
+    ++stats_.rejected_quota;
+    LockHeader reject = *hdr;
+    reject.op = LockOp::kReject;
+    reject.aux = static_cast<std::uint32_t>(AcquireResult::kRejected);
+    Emit(MakeLockPacket(node_, hdr->client_node, reject));
+    return;
+  }
+  switch (hdr->op) {
+    case LockOp::kAcquire:
+      if (config_.num_priorities > 1) {
+        HandleAcquirePrio(*hdr);
+      } else {
+        HandleAcquire(*hdr, /*pushed=*/false);
+      }
+      break;
+    case LockOp::kPush:
+      HandleAcquire(*hdr, /*pushed=*/true);
+      if (chain_next_ != kInvalidNode) ChainForward(*hdr, 0);
+      break;
+    case LockOp::kRelease:
+      if (config_.num_priorities > 1) {
+        HandleReleasePrio(*hdr, /*lease_forced=*/false);
+      } else {
+        HandleRelease(*hdr, /*lease_forced=*/false);
+      }
+      if (chain_next_ != kInvalidNode) ChainForward(*hdr, 0);
+      break;
+    case LockOp::kSyncState:
+      HandleResume(*hdr);
+      if (chain_next_ != kInvalidNode) ChainForward(*hdr, 0);
+      break;
+    default:
+      break;  // kGrant/kReject/kQueueEmpty are never addressed to the switch.
+  }
+}
+
+void LockSwitch::HandleAcquire(const LockHeader& hdr, bool pushed) {
+  PacketPass pass = pipeline_.BeginPass();
+
+  // Stage 0: tenant quota (client requests only; pushed requests were
+  // admitted when they first arrived, and chained ops at the head).
+  const bool pre_admitted = pushed || (hdr.flags & kFlagChained) != 0;
+  if (!pre_admitted && !quota_->Admit(pass, hdr.tenant, net_.sim().now())) {
+    ++stats_.rejected_quota;
+    if (chain_next_ != kInvalidNode) {
+      // Chain head: the tail emits the rejection (uniform emission point).
+      ChainForward(hdr, kFlagQuotaRejected);
+      return;
+    }
+    LockHeader reject = hdr;
+    reject.op = LockOp::kReject;
+    reject.aux = static_cast<std::uint32_t>(AcquireResult::kRejected);
+    Emit(MakeLockPacket(node_, hdr.client_node, reject));
+    return;
+  }
+  const SwitchLockEntry* entry = table_.Find(hdr.lock_id);
+  if (entry == nullptr) {
+    // Algorithm 1 line 12: not our lock; the server owns it outright.
+    if (!pushed && chain_next_ != kInvalidNode) {
+      ChainForward(hdr, kFlagChained);
+    }
+    SendToServer(hdr, RouteFor(hdr.lock_id), kFlagServerOwned);
+    ++stats_.forwarded_unowned;
+    return;
+  }
+  const auto paused_it = paused_.find(hdr.lock_id);
+  if (!pushed && paused_it != paused_.end() && paused_it->second) {
+    // Lock being migrated: buffer at the server to preserve order (§4.3).
+    if (chain_next_ != kInvalidNode) ChainForward(hdr, kFlagChained);
+    SendToServer(hdr, entry->home_server, kFlagBufferOnly);
+    ++stats_.forwarded_overflow;
+    return;
+  }
+
+  // Stage 0: region boundaries; stage 1: queue metadata RMW.
+  const LockBounds bounds = bounds_->Read(pass, entry->meta_index);
+  struct Outcome {
+    AcquireDecision::Kind kind;
+    std::uint32_t slot_index = 0;
+  };
+  const Outcome outcome = meta_->ReadModifyWrite(
+      pass, entry->meta_index, [&](LockMeta& m) -> Outcome {
+        if (!pushed) ++m.req_count;  // r_i counter (pushes counted once).
+        // Chain tail: follow the head's overflow decision so the replicas'
+        // queue contents stay identical (the head may lag an overflow
+        // episode behind the tail after a tail-side wedge re-arm).
+        const bool chained = (hdr.flags & kFlagChained) != 0;
+        const bool must_overflow =
+            chained ? (hdr.flags & kFlagOverflowed) != 0
+                    : (m.overflow || m.count == bounds.size());
+        if (!pushed && must_overflow) {
+          m.overflow = true;
+          ++m.fwd_since_notify;
+          return {AcquireDecision::Kind::kForwardOverflow, 0};
+        }
+        NETLOCK_CHECK(m.count < bounds.size());
+        const std::uint32_t slot_index = m.tail;
+        m.tail = SharedQueue::Next(m.tail, bounds);
+        ++m.count;
+        m.max_count = std::max(m.max_count, m.count);  // c_i counter.
+        const bool was_empty = m.count == 1;
+        const bool all_shared = m.xcnt == 0;
+        if (hdr.mode == LockMode::kExclusive) ++m.xcnt;
+        // Algorithm 2 lines 3-5 (suspended locks queue without granting).
+        const bool grant =
+            !m.suspended &&
+            (was_empty || (all_shared && hdr.mode == LockMode::kShared));
+        return {grant ? AcquireDecision::Kind::kEnqueueGrant
+                      : AcquireDecision::Kind::kEnqueueWait,
+                slot_index};
+      });
+
+  NETLOCK_TRACE(hdr.lock_id,
+                "SW acquire lock=%u mode=%d txn=%llu pushed=%d -> %s slot=%u\n",
+                hdr.lock_id, (int)hdr.mode,
+                (unsigned long long)hdr.txn_id, pushed,
+                outcome.kind == AcquireDecision::Kind::kForwardOverflow
+                    ? "overflow"
+                    : (outcome.kind == AcquireDecision::Kind::kEnqueueGrant
+                           ? "grant"
+                           : "wait"),
+                outcome.slot_index);
+  if (outcome.kind == AcquireDecision::Kind::kForwardOverflow) {
+    if (!pushed && chain_next_ != kInvalidNode) {
+      ChainForward(hdr, kFlagChained | kFlagOverflowed);
+    }
+    SendToServer(hdr, entry->home_server, kFlagBufferOnly);
+    ++stats_.forwarded_overflow;
+    return;
+  }
+  if (!pushed && chain_next_ != kInvalidNode) ChainForward(hdr, kFlagChained);
+
+  // Stage 2+: write the request into its shared-queue slot.
+  QueueSlot slot;
+  slot.mode = hdr.mode;
+  slot.txn_id = hdr.txn_id;
+  slot.client_node = hdr.client_node;
+  slot.tenant = hdr.tenant;
+  slot.timestamp = net_.sim().now();
+  queue_->Write(pass, outcome.slot_index, slot);
+
+  if (pushed) ++stats_.pushes_accepted;
+  if (outcome.kind == AcquireDecision::Kind::kEnqueueGrant) {
+    SendGrant(hdr);
+  }
+}
+
+void LockSwitch::HandleRelease(const LockHeader& hdr, bool lease_forced) {
+  const SwitchLockEntry* entry = table_.Find(hdr.lock_id);
+  if (entry == nullptr) {
+    SendToServer(hdr, RouteFor(hdr.lock_id), kFlagServerOwned);
+    return;
+  }
+  PacketPass pass = pipeline_.BeginPass();
+  const LockBounds bounds = bounds_->Read(pass, entry->meta_index);
+
+  struct DequeueResult {
+    bool stale = false;
+    std::uint32_t old_head = 0;
+    std::uint32_t new_head = 0;
+    std::uint32_t remaining = 0;
+    bool notify_server = false;
+  };
+  const DequeueResult deq = meta_->ReadModifyWrite(
+      pass, entry->meta_index, [&](LockMeta& m) -> DequeueResult {
+        // Suspended locks have granted nothing: any release reaching them
+        // is a stale pre-failure message and must not dequeue a waiter.
+        if (m.count == 0 || m.suspended) return {.stale = true};
+        DequeueResult r;
+        r.old_head = m.head;
+        m.head = SharedQueue::Next(m.head, bounds);
+        --m.count;
+        // Releases do not check the transaction ID (Section 4.2): only one
+        // transaction can hold an exclusive lock, and shared releases are
+        // commutative, so the dequeued entry's mode always matches the
+        // released mode.
+        if (hdr.mode == LockMode::kExclusive) {
+          NETLOCK_CHECK(m.xcnt > 0);
+          --m.xcnt;
+        }
+        r.new_head = m.head;
+        r.remaining = m.count;
+        if (m.count == 0 && m.overflow) {
+          r.notify_server = true;
+          m.fwd_since_notify = 0;
+          m.last_notify = net_.sim().now();
+        }
+        return r;
+      });
+
+  NETLOCK_TRACE(hdr.lock_id,
+                "SW release lock=%u mode=%d txn=%llu forced=%d stale=%d "
+                "old_head=%u remaining=%u notify=%d\n",
+                hdr.lock_id, (int)hdr.mode,
+                (unsigned long long)hdr.txn_id, lease_forced, deq.stale,
+                deq.old_head, deq.remaining, deq.notify_server);
+  if (deq.stale) {
+    // A release for an entry the switch no longer has (post-restart or
+    // post-lease-expiry duplicate). Safe to drop: leases already reclaimed
+    // the slot.
+    ++stats_.stale_releases;
+    return;
+  }
+  ++stats_.releases;
+
+  // Algorithm 2 line 8: read the dequeued entry. We use it only to validate
+  // the mode-matching argument above.
+  const QueueSlot& dequeued = queue_->Read(pass, deq.old_head);
+  if (dequeued.mode != hdr.mode) {
+    std::fprintf(stderr,
+                 "MODE MISMATCH lock=%u released(mode=%d txn=%llu forced=%d) "
+                 "dequeued(mode=%d txn=%llu) remaining=%u\n",
+                 hdr.lock_id, static_cast<int>(hdr.mode),
+                 static_cast<unsigned long long>(hdr.txn_id), lease_forced,
+                 static_cast<int>(dequeued.mode),
+                 static_cast<unsigned long long>(dequeued.txn_id),
+                 deq.remaining);
+  }
+  NETLOCK_DCHECK(dequeued.mode == hdr.mode);
+  (void)dequeued;
+  (void)lease_forced;
+
+  if (deq.notify_server) {
+    ++stats_.queue_empty_notifies;
+    SendQueueEmptyNotify(hdr.lock_id, entry->home_server, bounds.size());
+  }
+  if (deq.remaining == 0) return;
+
+  // Resubmit to examine the new head (Algorithm 2 lines 12-27). Grants
+  // re-stamp the slot's timestamp (a read-modify-write, still one access):
+  // the lease measures *holding* time from grant, not queueing time, so a
+  // request that waited long and was just granted is not immediately
+  // reclaimed by the lease sweep.
+  pipeline_.Resubmit(pass);
+  std::uint32_t pointer = deq.new_head;
+  std::uint32_t remaining = deq.remaining;
+  const SimTime now = net_.sim().now();
+  // Head case: granted iff it is exclusive (S->E / E->E) or the released
+  // lock was exclusive (E->S); only then re-stamp.
+  const QueueSlot head =
+      queue_->ReadModifyWrite(pass, pointer, [&](QueueSlot& slot) {
+        QueueSlot copy = slot;
+        if (slot.mode == LockMode::kExclusive ||
+            hdr.mode == LockMode::kExclusive) {
+          slot.timestamp = now;
+        }
+        return copy;
+      });
+
+  const auto grant_slot = [&](const QueueSlot& slot) {
+    LockHeader grant;
+    grant.lock_id = hdr.lock_id;
+    grant.mode = slot.mode;
+    grant.txn_id = slot.txn_id;
+    grant.client_node = slot.client_node;
+    grant.tenant = slot.tenant;
+    grant.timestamp = slot.timestamp;
+    SendGrant(grant);
+  };
+
+  if (head.mode == LockMode::kExclusive) {
+    if (hdr.mode == LockMode::kShared) {
+      // Shared -> Exclusive: the last shared holder left; grant the head.
+      // (If other shared holders remained, the head would still be shared —
+      // granted entries are dequeued before waiting exclusives are reached.)
+      grant_slot(head);
+    } else {
+      // Exclusive -> Exclusive: grant the next exclusive; no more resubmits.
+      grant_slot(head);
+    }
+    return;
+  }
+  // Head is shared.
+  if (hdr.mode == LockMode::kShared) {
+    // Shared -> Shared: the head was already granted when it entered the
+    // queue (or by an earlier cascade); nothing to do.
+    return;
+  }
+  // Exclusive -> Shared: grant consecutive shared requests, one resubmit
+  // per grant, until an exclusive request or the end of the queue.
+  grant_slot(head);
+  pointer = SharedQueue::Next(pointer, bounds);
+  --remaining;
+  while (remaining > 0) {
+    pipeline_.Resubmit(pass);
+    const QueueSlot next =
+        queue_->ReadModifyWrite(pass, pointer, [&](QueueSlot& slot) {
+          QueueSlot copy = slot;
+          if (slot.mode == LockMode::kShared) slot.timestamp = now;
+          return copy;
+        });
+    if (next.mode == LockMode::kExclusive) break;
+    grant_slot(next);
+    pointer = SharedQueue::Next(pointer, bounds);
+    --remaining;
+  }
+}
+
+void LockSwitch::HandleResume(const LockHeader& hdr) {
+  const SwitchLockEntry* entry = table_.Find(hdr.lock_id);
+  if (entry == nullptr) return;  // Lock migrated away meanwhile.
+  PacketPass pass = pipeline_.BeginPass();
+  const LockBounds bounds = bounds_->Read(pass, entry->meta_index);
+  const std::uint32_t remaining_q2 = hdr.aux;
+
+  enum class Action { kNone, kRenotify };
+  const Action action = meta_->ReadModifyWrite(
+      pass, entry->meta_index, [&](LockMeta& m) -> Action {
+        if (!m.overflow) return Action::kNone;
+        if (remaining_q2 == 0 && m.fwd_since_notify == 0 &&
+            m.count < bounds.size()) {
+          m.overflow = false;  // Episode over; normal mode (§4.3).
+          return Action::kNone;
+        }
+        if (m.count == 0) {
+          m.fwd_since_notify = 0;
+          m.last_notify = net_.sim().now();
+          return Action::kRenotify;
+        }
+        return Action::kNone;  // Next emptying release re-notifies.
+      });
+  if (action == Action::kRenotify) {
+    ++stats_.queue_empty_notifies;
+    SendQueueEmptyNotify(hdr.lock_id, entry->home_server, bounds.size());
+  }
+}
+
+void LockSwitch::HandleAcquirePrio(const LockHeader& hdr) {
+  PacketPass pass = pipeline_.BeginPass();
+  // Stage 0: tenant quota.
+  if (!quota_->Admit(pass, hdr.tenant, net_.sim().now())) {
+    ++stats_.rejected_quota;
+    LockHeader reject = hdr;
+    reject.op = LockOp::kReject;
+    reject.aux = static_cast<std::uint32_t>(AcquireResult::kRejected);
+    Emit(MakeLockPacket(node_, hdr.client_node, reject));
+    return;
+  }
+  const SwitchLockEntry* entry = table_.Find(hdr.lock_id);
+  if (entry == nullptr) {
+    SendToServer(hdr, RouteFor(hdr.lock_id), kFlagServerOwned);
+    ++stats_.forwarded_unowned;
+    return;
+  }
+  const Priority p = std::min<Priority>(
+      hdr.priority, static_cast<Priority>(config_.num_priorities - 1));
+  // Stage 0: this class's region boundaries.
+  const LockBounds bounds = prio_bounds_[p]->Read(pass, entry->meta_index);
+
+  // Stage 1: the aggregate register decides grant / queue / overflow in one
+  // RMW. Grant rule (Section 4.4): immediately if nothing is held and
+  // nothing waits; or, for a shared request, if the lock is held shared and
+  // no exclusive request waits at the same or higher priority.
+  enum class Outcome { kGrant, kEnqueue, kOverflow };
+  const SimTime now = net_.sim().now();
+  const Outcome outcome = agg_->ReadModifyWrite(
+      pass, entry->meta_index, [&](AggState& a) {
+        ++a.req_count;
+        a.max_concurrent = std::max(
+            a.max_concurrent, a.holders + a.waiting_total + 1);
+        const bool free_now = a.holders == 0 && a.waiting_total == 0;
+        std::uint32_t x_ahead = 0;
+        for (Priority q = 0; q <= p; ++q) x_ahead += a.wait_x[q];
+        const bool share_now =
+            hdr.mode == LockMode::kShared && a.holders > 0 &&
+            a.held_mode == LockMode::kShared && x_ahead == 0;
+        if (free_now || share_now) {
+          if (a.holders == 0) {
+            a.held_mode = hdr.mode;
+            a.held_since = now;
+          }
+          ++a.holders;
+          return Outcome::kGrant;
+        }
+        if (a.wait_count[p] >= bounds.size()) return Outcome::kOverflow;
+        ++a.wait_count[p];
+        ++a.waiting_total;
+        if (hdr.mode == LockMode::kExclusive) ++a.wait_x[p];
+        return Outcome::kEnqueue;
+      });
+  if (outcome == Outcome::kGrant) {
+    SendGrant(hdr);
+    return;
+  }
+  if (outcome == Outcome::kOverflow) {
+    // Class queue full: fall back to the server path (buffer-only), which
+    // keeps the request alive; priority is preserved server-side FIFO only.
+    SendToServer(hdr, entry->home_server, kFlagBufferOnly);
+    ++stats_.forwarded_overflow;
+    return;
+  }
+
+  // Stage 2+p: ring enqueue into this class's queue, caching the mode bit
+  // so later conditional pops know the head's mode without a slot access.
+  const std::uint32_t slot_index = prio_meta_[p]->ReadModifyWrite(
+      pass, entry->meta_index, [&](PrioMeta& m) {
+        const std::uint32_t index = m.tail;
+        m.tail = SharedQueue::Next(m.tail, bounds);
+        ++m.count;
+        const std::uint32_t bit = index - bounds.left;
+        if (hdr.mode == LockMode::kExclusive) {
+          m.mode_mask |= (1ull << bit);
+        } else {
+          m.mode_mask &= ~(1ull << bit);
+        }
+        return index;
+      });
+
+  QueueSlot slot;
+  slot.mode = hdr.mode;
+  slot.txn_id = hdr.txn_id;
+  slot.client_node = hdr.client_node;
+  slot.tenant = hdr.tenant;
+  slot.timestamp = now;
+  queue_->Write(pass, slot_index, slot);
+}
+
+void LockSwitch::HandleReleasePrio(const LockHeader& hdr,
+                                   bool lease_forced) {
+  (void)lease_forced;
+  const SwitchLockEntry* entry = table_.Find(hdr.lock_id);
+  if (entry == nullptr) {
+    SendToServer(hdr, RouteFor(hdr.lock_id), kFlagServerOwned);
+    return;
+  }
+  PacketPass pass = pipeline_.BeginPass();
+  enum class Action { kStale, kDone, kChain };
+  const Action action = agg_->ReadModifyWrite(
+      pass, entry->meta_index, [&](AggState& a) {
+        if (a.holders == 0) return Action::kStale;
+        --a.holders;
+        if (a.holders > 0) return Action::kDone;
+        return a.waiting_total > 0 ? Action::kChain : Action::kDone;
+      });
+  if (action == Action::kStale) {
+    ++stats_.stale_releases;
+    return;
+  }
+  ++stats_.releases;
+  if (action == Action::kChain) GrantChainPrio(*entry, pass);
+}
+
+void LockSwitch::GrantChainPrio(const SwitchLockEntry& entry,
+                                PacketPass& pass) {
+  // One pop-and-grant per pass; the aggregate accounting for grant k is
+  // applied by pass k+1's stage-1 RMW (carried resubmit metadata), and the
+  // chain ends with a pass that applies the last update and pops nothing.
+  // Strict priority: while batching shared grants, an exclusive head at
+  // the highest non-empty class stops the batch.
+  const SimTime now = net_.sim().now();
+  bool first = true;
+  struct Pending {
+    bool valid = false;
+    Priority prio = 0;
+    LockMode mode = LockMode::kShared;
+  };
+  Pending prev;
+  for (;;) {
+    pipeline_.Resubmit(pass);
+    // Stage 0: every class's boundaries (any class may pop this pass).
+    LockBounds bounds[kMaxPriorities];
+    for (int q = 0; q < config_.num_priorities; ++q) {
+      bounds[q] = prio_bounds_[q]->Read(pass, entry.meta_index);
+    }
+    // Stage 1: apply the previous pass's grant; decide continuation.
+    const bool proceed = agg_->ReadModifyWrite(
+        pass, entry.meta_index, [&](AggState& a) {
+          if (prev.valid) {
+            ++a.holders;
+            a.held_mode = prev.mode;
+            if (a.holders == 1) a.held_since = now;
+            NETLOCK_CHECK(a.wait_count[prev.prio] > 0);
+            --a.wait_count[prev.prio];
+            --a.waiting_total;
+            if (prev.mode == LockMode::kExclusive) {
+              NETLOCK_CHECK(a.wait_x[prev.prio] > 0);
+              --a.wait_x[prev.prio];
+              return false;  // An exclusive grant ends the chain.
+            }
+          }
+          return a.waiting_total > 0;
+        });
+    if (!proceed) return;
+    // Stages 2..1+P: conditional pop from the first non-empty class; in
+    // shared-batch mode an exclusive head there blocks further grants.
+    bool popped = false;
+    bool blocked = false;
+    Priority pop_prio = 0;
+    std::uint32_t pop_index = 0;
+    LockMode pop_mode = LockMode::kShared;
+    for (int q = 0; q < config_.num_priorities && !popped && !blocked;
+         ++q) {
+      prio_meta_[q]->ReadModifyWrite(
+          pass, entry.meta_index, [&](PrioMeta& m) {
+            if (m.count == 0) return 0;
+            const std::uint32_t bit = m.head - bounds[q].left;
+            const bool head_exclusive = (m.mode_mask >> bit) & 1ull;
+            if (!first && head_exclusive) {
+              blocked = true;
+              return 0;
+            }
+            popped = true;
+            pop_prio = static_cast<Priority>(q);
+            pop_index = m.head;
+            pop_mode = head_exclusive ? LockMode::kExclusive
+                                      : LockMode::kShared;
+            m.head = SharedQueue::Next(m.head, bounds[q]);
+            --m.count;
+            return 0;
+          });
+    }
+    if (!popped) return;  // Blocked by an exclusive head (already applied).
+    // Slot read + grant re-stamp (stage >= 2+P).
+    const QueueSlot slot = queue_->ReadModifyWrite(
+        pass, pop_index, [&](QueueSlot& s) {
+          QueueSlot copy = s;
+          s.timestamp = now;
+          return copy;
+        });
+    NETLOCK_DCHECK(slot.mode == pop_mode);
+    LockHeader grant;
+    grant.lock_id = entry.lock_id;
+    grant.mode = slot.mode;
+    grant.txn_id = slot.txn_id;
+    grant.client_node = slot.client_node;
+    grant.tenant = slot.tenant;
+    grant.timestamp = slot.timestamp;
+    SendGrant(grant);
+    prev = Pending{true, pop_prio, pop_mode};
+    first = false;
+  }
+}
+
+void LockSwitch::ClearExpired(SimTime lease, SweepScope scope) {
+  const SimTime now = net_.sim().now();
+  if (now < lease) return;
+  const SimTime cutoff = now - lease;
+  const bool do_releases = scope != SweepScope::kOverflowRearmOnly;
+  const bool do_rearm = scope != SweepScope::kForcedReleasesOnly;
+  if (config_.num_priorities == 1) {
+    for (const LockId lock : table_.InstalledLocks()) {
+      const SwitchLockEntry* entry = table_.Find(lock);
+      while (do_releases) {
+        const LockMeta& meta = meta_->ControlRead(entry->meta_index);
+        if (meta.count == 0) break;
+        const QueueSlot& head = queue_->ControlAt(meta.head);
+        if (head.timestamp > cutoff) break;
+        // Forced release of the expired head: reuses the data-plane release
+        // path (the control plane injects the packet), which also cascades
+        // grants to unblocked requests.
+        LockHeader forced;
+        forced.op = LockOp::kRelease;
+        forced.lock_id = lock;
+        forced.mode = head.mode;
+        forced.txn_id = head.txn_id;
+        forced.client_node = head.client_node;
+        HandleRelease(forced, /*lease_forced=*/true);
+        // Chain head: the forced release must replicate like any other op.
+        if (chain_next_ != kInvalidNode) ChainForward(forced, 0);
+      }
+      if (!do_rearm) continue;
+      // Wedge recovery: if an overflow episode stalled with q1 empty — a
+      // lost notify/push/resume — re-arm the handshake. Waiting a full
+      // lease since the last notify guarantees no pushes are in flight
+      // (they either landed long ago or were lost).
+      LockMeta& meta = meta_->ControlRead(entry->meta_index);
+      if (meta.overflow && meta.count == 0 &&
+          meta.last_notify + lease <= now) {
+        meta.fwd_since_notify = 0;
+        meta.last_notify = now;
+        ++stats_.queue_empty_notifies;
+        SendQueueEmptyNotify(lock, entry->home_server,
+                             bounds_->ControlRead(entry->meta_index).size());
+      }
+    }
+  } else {
+    for (const LockId lock : table_.InstalledLocks()) {
+      const SwitchLockEntry* entry = table_.Find(lock);
+      // Force-release expired holders one by one; the release path's grant
+      // chain re-stamps new holders, terminating the loop. Waiting entries
+      // are not expired here: when eventually granted, clients that moved
+      // on release them immediately (unsolicited-grant release).
+      for (int guard = 0; guard < 1 << 16; ++guard) {
+        const AggState& agg = agg_->ControlRead(entry->meta_index);
+        if (agg.holders == 0 || agg.held_since > cutoff) break;
+        LockHeader forced;
+        forced.op = LockOp::kRelease;
+        forced.lock_id = lock;
+        forced.mode = agg.held_mode;
+        HandleReleasePrio(forced, /*lease_forced=*/true);
+      }
+    }
+  }
+}
+
+void LockSwitch::HarvestDemands(double window_sec,
+                                std::vector<LockDemand>& out) {
+  NETLOCK_CHECK(window_sec > 0.0);
+  for (const LockId lock : table_.InstalledLocks()) {
+    const SwitchLockEntry* entry = table_.Find(lock);
+    if (config_.num_priorities == 1) {
+      LockMeta& meta = meta_->ControlRead(entry->meta_index);
+      out.push_back(LockDemand{
+          lock, static_cast<double>(meta.req_count) / window_sec,
+          std::max(1u, meta.max_count)});
+      meta.req_count = 0;
+      meta.max_count = std::max(1u, meta.count);
+    } else {
+      AggState& agg = agg_->ControlRead(entry->meta_index);
+      out.push_back(LockDemand{
+          lock, static_cast<double>(agg.req_count) / window_sec,
+          std::max(1u, agg.max_concurrent)});
+      agg.req_count = 0;
+      agg.max_concurrent = std::max(1u, agg.holders + agg.waiting_total);
+    }
+  }
+}
+
+bool LockSwitch::IsSuspended(LockId lock) const {
+  const SwitchLockEntry* entry = table_.Find(lock);
+  if (entry == nullptr) return false;
+  return meta_->ControlRead(entry->meta_index).suspended;
+}
+
+void LockSwitch::Activate(LockId lock) {
+  NETLOCK_CHECK(config_.num_priorities == 1);
+  const SwitchLockEntry* entry = table_.Find(lock);
+  NETLOCK_CHECK(entry != nullptr);
+  PacketPass pass = pipeline_.BeginPass();
+  const LockBounds bounds = bounds_->Read(pass, entry->meta_index);
+  struct Wake {
+    bool grant = false;
+    std::uint32_t head = 0;
+    std::uint32_t count = 0;
+  };
+  const Wake wake = meta_->ReadModifyWrite(
+      pass, entry->meta_index, [&](LockMeta& m) -> Wake {
+        if (!m.suspended) return {};
+        m.suspended = false;
+        return {m.count > 0, m.head, m.count};
+      });
+  if (!wake.grant) return;
+  // Grant the head, and if it is shared, the whole leading shared batch —
+  // the same cascade an exclusive release performs.
+  const SimTime now = net_.sim().now();
+  std::uint32_t pointer = wake.head;
+  std::uint32_t remaining = wake.count;
+  bool first = true;
+  while (remaining > 0) {
+    pipeline_.Resubmit(pass);
+    const QueueSlot slot =
+        queue_->ReadModifyWrite(pass, pointer, [&](QueueSlot& s) {
+          QueueSlot copy = s;
+          if (first || s.mode == LockMode::kShared) s.timestamp = now;
+          return copy;
+        });
+    if (!first && slot.mode == LockMode::kExclusive) break;
+    LockHeader grant;
+    grant.lock_id = lock;
+    grant.mode = slot.mode;
+    grant.txn_id = slot.txn_id;
+    grant.client_node = slot.client_node;
+    grant.tenant = slot.tenant;
+    grant.timestamp = slot.timestamp;
+    SendGrant(grant);
+    if (first && slot.mode == LockMode::kExclusive) break;
+    first = false;
+    pointer = SharedQueue::Next(pointer, bounds);
+    --remaining;
+  }
+}
+
+LockSwitch::DebugState LockSwitch::Debug(LockId lock) const {
+  NETLOCK_CHECK(config_.num_priorities == 1);
+  const SwitchLockEntry* entry = table_.Find(lock);
+  NETLOCK_CHECK(entry != nullptr);
+  DebugState state;
+  state.meta = meta_->ControlRead(entry->meta_index);
+  state.bounds = bounds_->ControlRead(entry->meta_index);
+  if (state.meta.count > 0) {
+    state.head = queue_->ControlAt(state.meta.head);
+  }
+  return state;
+}
+
+void LockSwitch::SendGrant(const LockHeader& request) {
+  ++stats_.grants;
+  if (grant_observer_) {
+    grant_observer_(request.lock_id, request.txn_id, request.mode,
+                    request.client_node);
+  }
+  LockHeader grant = request;
+  grant.op = LockOp::kGrant;
+  grant.aux = static_cast<std::uint32_t>(AcquireResult::kGranted);
+  if (db_route_) {
+    // One-RTT mode (§4.1): mirror the grant to the database server, which
+    // replies to the client with the item and the implied grant. Every
+    // such fetch succeeds — the lock is already held.
+    const NodeId db = db_route_(request.lock_id);
+    if (db != kInvalidNode) {
+      Emit(MakeLockPacket(node_, db, grant));
+      return;
+    }
+  }
+  Emit(MakeLockPacket(node_, request.client_node, grant));
+}
+
+void LockSwitch::SendToServer(LockHeader hdr, NodeId server,
+                              std::uint8_t extra_flags) {
+  if (server == kInvalidNode) return;  // Unroutable: drop (client retries).
+  hdr.flags |= extra_flags;
+  Emit(MakeLockPacket(node_, server, hdr));
+}
+
+void LockSwitch::SendQueueEmptyNotify(LockId lock, NodeId server,
+                                      std::uint32_t free_slots) {
+  if (server == kInvalidNode) return;
+  LockHeader notify;
+  notify.op = LockOp::kQueueEmpty;
+  notify.lock_id = lock;
+  notify.aux = free_slots;
+  Emit(MakeLockPacket(node_, server, notify));
+}
+
+void LockSwitch::Emit(Packet pkt) {
+  if (suppress_emissions_) return;  // Chain head: the tail emits.
+  if (src_override_ != kInvalidNode) {
+    // Chain tail: emissions carry the head's address so releases and
+    // retransmissions keep entering the chain at the head (switches
+    // rewrite source addresses as a matter of course).
+    pkt.src = src_override_;
+  }
+  if (config_.pipeline_latency == 0) {
+    net_.Send(std::move(pkt));
+    return;
+  }
+  net_.sim().Schedule(config_.pipeline_latency,
+                      [this, pkt = std::move(pkt)]() { net_.Send(pkt); });
+}
+
+}  // namespace netlock

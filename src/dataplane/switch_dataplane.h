@@ -1,0 +1,278 @@
+// The NetLock switch data-plane module (paper Section 4.2).
+//
+// Implements, against the programmable-switch substrate:
+//   - Algorithm 1's dispatch: process switch-resident locks, forward the
+//     rest to lock servers;
+//   - Algorithm 2's acquire/release logic over circular queues in the
+//     shared queue, including the four release cases (S->S, S->E, E->S,
+//     E->E) realized with resubmit;
+//   - the q1/q2 overflow protocol with lock servers (Section 4.3);
+//   - policy support (Section 4.4): FCFS starvation-freedom (native to the
+//     queues), per-stage priority classes, and per-tenant quotas;
+//   - lease-based cleanup of expired transactions and switch failure
+//     injection (Section 4.5).
+//
+// Fidelity notes. Both paths run under the full register-access
+// discipline: one access per register array per pass, stage ordering, and
+// resubmit for multi-step operations — exactly the constraints Algorithm 2
+// was designed around. The priority path (§4.4's per-stage queues) uses a
+// stage-1 aggregate register for the grant decision, per-stage PrioMeta
+// registers whose cached mode bitmask enables informed conditional pops,
+// and a resubmit chain that grants one waiter per pass.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "dataplane/lock_table.h"
+#include "dataplane/quota.h"
+#include "dataplane/shared_queue.h"
+#include "dataplane/slot.h"
+#include "net/lock_wire.h"
+#include "sim/network.h"
+#include "switchsim/pipeline.h"
+
+namespace netlock {
+
+struct LockSwitchConfig {
+  /// Total shared-queue slots. The prototype provisions 100K (20 B each =
+  /// 2 MB of the tens-of-MB on-chip SRAM).
+  std::uint32_t queue_capacity = 100'000;
+  /// Slots per register array (one array per stage in the pool).
+  std::uint32_t array_size = 16'384;
+  /// Maximum simultaneously installed locks (exact-match table + metadata
+  /// array size). Match-action tables hold hundreds of thousands of
+  /// entries on Tofino-class hardware; the shared queue, not this table,
+  /// is the scarce resource.
+  std::uint32_t max_locks = 131'072;
+  /// Hardware stage budget (Tofino-class: 10-20).
+  int num_stages = 12;
+  /// Priority classes; 1 selects the pure Algorithm 2 path. Bounded by the
+  /// stage budget (paper: "the number of priorities is limited to the
+  /// number of stages").
+  std::uint8_t num_priorities = 1;
+  /// Tenants known to the quota table.
+  std::uint16_t max_tenants = 64;
+  QuotaMode quota_mode = QuotaMode::kMeter;
+  /// Extra one-way delay added to every packet the switch emits, modelling
+  /// ASIC pipeline transit. Default 0: testbed link latencies already
+  /// include it.
+  SimTime pipeline_latency = 0;
+};
+
+/// Observer invoked on every grant the switch issues (used by test oracles
+/// and the experiment harness; never on the critical path in benchmarks
+/// unless installed).
+using GrantObserver =
+    std::function<void(LockId, TxnId, LockMode, NodeId client)>;
+
+class LockSwitch {
+ public:
+  LockSwitch(Network& net, LockSwitchConfig config = LockSwitchConfig{});
+
+  NodeId node() const { return node_; }
+  const LockSwitchConfig& config() const { return config_; }
+
+  // --- Control plane: lock placement (Section 4.3) ---
+
+  /// Installs a lock with `slots` queue slots (split evenly across priority
+  /// classes when num_priorities > 1; each class gets at least one slot).
+  /// Returns false if switch memory or the lock table is exhausted.
+  /// `suspended` installs in queue-but-don't-grant mode (failover, §4.5);
+  /// call Activate() to begin granting.
+  bool InstallLock(LockId lock, NodeId home_server, std::uint32_t slots,
+                   bool suspended = false);
+
+  /// Leaves suspended mode and grants the queue head (plus the leading
+  /// shared batch) exactly as a release cascade would. No-op when already
+  /// active. Default path only.
+  void Activate(LockId lock);
+
+  /// True if the lock is installed and in suspended mode.
+  bool IsSuspended(LockId lock) const;
+
+  /// True if the lock is installed in the switch.
+  bool IsInstalled(LockId lock) const {
+    return table_.Find(lock) != nullptr;
+  }
+
+  /// Pauses enqueuing for a lock being moved: new requests are forwarded to
+  /// the home server marked buffer-only until the queue drains (§4.3).
+  void PauseLock(LockId lock, bool paused);
+
+  /// True when a lock's queues hold no entries (safe to remove).
+  bool QueueEmpty(LockId lock) const;
+
+  /// Removes a drained lock and frees its region.
+  void RemoveLock(LockId lock);
+
+  /// Directory entry for locks the switch does not own: where to forward.
+  void SetHomeServer(LockId lock, NodeId server) {
+    table_.SetHomeServer(lock, server);
+  }
+
+  /// Fallback route for locks with no explicit directory entry — the
+  /// hash-partitioning the clients' directory service uses. Keeps the
+  /// switch's exact-match table small even for huge lock spaces.
+  void SetDefaultRoute(std::function<NodeId(LockId)> route) {
+    default_route_ = std::move(route);
+  }
+
+  /// Enables one-RTT transactions (§4.1): grants are forwarded to the
+  /// lock's database server — which returns the item together with the
+  /// implied grant — instead of being sent back to the client. Pass
+  /// nullptr to disable.
+  void SetOneRttRoute(std::function<NodeId(LockId)> db_route) {
+    db_route_ = std::move(db_route);
+  }
+
+  /// Resolves a lock's home server (explicit entry, then default route).
+  NodeId RouteFor(LockId lock) const {
+    const NodeId node = table_.HomeServer(lock);
+    if (node != kInvalidNode) return node;
+    return default_route_ ? default_route_(lock) : kInvalidNode;
+  }
+
+  SwitchLockTable& table() { return table_; }
+  TenantQuota& quota() { return *quota_; }
+
+  // --- Control plane: lease handling and failure (Section 4.5) ---
+
+  /// What a lease sweep should do — split so chain replication can run the
+  /// forced releases on the head (where they replicate down the chain) and
+  /// the overflow re-arm on the tail (the emitting replica).
+  enum class SweepScope {
+    kAll,
+    kForcedReleasesOnly,
+    kOverflowRearmOnly,
+  };
+
+  /// Clears entries whose lease expired: forced-releases expired queue heads
+  /// and expired holders so blocked requests make progress, and re-arms
+  /// wedged overflow episodes. Called periodically by the control plane.
+  void ClearExpired(SimTime lease, SweepScope scope = SweepScope::kAll);
+
+  // --- Chain replication (paper §6.5's closing remark: chaining NetLock
+  // switches shrinks fail-over downtime to a routing update) ---
+
+  /// Makes this switch the chain head: every applied state-changing op is
+  /// forwarded to `tail`, and all client/server-facing emissions are
+  /// suppressed (the tail is the emitting replica).
+  void ConfigureChainHead(NodeId tail);
+
+  /// Makes this switch the chain tail: ops arrive pre-admitted from the
+  /// head; emissions carry `head_src` as their source address so releases
+  /// and retransmissions keep entering the chain at the head.
+  void ConfigureChainTail(NodeId head_src);
+
+  /// Leaves chain mode (tail promotion after head failure, or teardown).
+  void PromoteStandalone();
+
+  bool chained() const {
+    return chain_next_ != kInvalidNode || src_override_ != kInvalidNode;
+  }
+
+  /// Injects a switch failure: all subsequent packets are dropped.
+  void Fail();
+
+  /// Restarts the switch: register state (queues, metadata, installed
+  /// locks) is lost — "the switch retains none of its former state" — but
+  /// directory routing survives (it mirrors the external directory service).
+  void Restart();
+
+  bool failed() const { return failed_; }
+
+  /// Installs an observer for every switch-issued grant.
+  void set_grant_observer(GrantObserver observer) {
+    grant_observer_ = std::move(observer);
+  }
+
+  // --- Statistics ---
+  struct Stats {
+    std::uint64_t grants = 0;          ///< Locks granted by the switch.
+    std::uint64_t releases = 0;        ///< Releases processed.
+    std::uint64_t forwarded_unowned = 0;   ///< To servers: not our lock.
+    std::uint64_t forwarded_overflow = 0;  ///< To servers: buffer-only.
+    std::uint64_t rejected_quota = 0;
+    std::uint64_t queue_empty_notifies = 0;
+    std::uint64_t pushes_accepted = 0;
+    std::uint64_t dropped_while_failed = 0;
+    std::uint64_t stale_releases = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  std::uint64_t resubmits() const { return pipeline_.total_resubmits(); }
+
+  /// Harvests per-lock demand counters (r_i as a rate over `window_sec`,
+  /// c_i as max occupancy) for installed locks, appending to `out`, and
+  /// resets the counters (§4.3 reallocation input).
+  void HarvestDemands(double window_sec, std::vector<LockDemand>& out);
+
+  /// Direct data-plane entry (bypasses the network); used by unit tests.
+  void HandlePacket(const Packet& pkt);
+
+  /// Control-plane inspection of one installed lock (diagnostics, tests).
+  struct DebugState {
+    LockMeta meta;
+    LockBounds bounds;
+    QueueSlot head;
+  };
+  DebugState Debug(LockId lock) const;
+
+ private:
+  struct AcquireDecision {
+    enum class Kind { kEnqueueGrant, kEnqueueWait, kForwardOverflow } kind;
+    std::uint32_t slot_index = 0;
+  };
+
+  void HandleAcquire(const LockHeader& hdr, bool pushed);
+  void HandleRelease(const LockHeader& hdr, bool lease_forced);
+  void HandleResume(const LockHeader& hdr);
+  void HandleAcquirePrio(const LockHeader& hdr);
+  void HandleReleasePrio(const LockHeader& hdr, bool lease_forced);
+  /// The resubmit-per-grant chain after a priority-path release leaves the
+  /// lock free: pops and grants the highest-priority waiter per pass, and
+  /// keeps going while the grants are shared.
+  void GrantChainPrio(const SwitchLockEntry& entry, PacketPass& pass);
+
+  void SendGrant(const LockHeader& request);
+  void SendToServer(LockHeader hdr, NodeId server, std::uint8_t extra_flags);
+  void SendQueueEmptyNotify(LockId lock, NodeId server,
+                            std::uint32_t free_slots);
+  void Emit(Packet pkt);
+  void ChainForward(LockHeader hdr, std::uint8_t extra_flags);
+
+  Network& net_;
+  LockSwitchConfig config_;
+  NodeId node_;
+  Pipeline pipeline_;
+
+  // Register arrays. Default path stage layout: 0 = quota + boundaries,
+  // 1 = per-lock queue metadata, 2.. = the pooled shared-queue arrays.
+  // Priority path: 0 = quota + per-class boundaries, 1 = aggregate state,
+  // 2..1+P = per-class queue metadata, 2+P.. = shared-queue arrays.
+  std::unique_ptr<TenantQuota> quota_;
+  std::unique_ptr<RegisterArray<LockBounds>> bounds_;
+  std::unique_ptr<RegisterArray<LockMeta>> meta_;
+  std::unique_ptr<RegisterArray<AggState>> agg_;
+  std::vector<std::unique_ptr<RegisterArray<LockBounds>>> prio_bounds_;
+  std::vector<std::unique_ptr<RegisterArray<PrioMeta>>> prio_meta_;
+  std::unique_ptr<SharedQueue> queue_;
+
+  SwitchLockTable table_;
+  std::function<NodeId(LockId)> default_route_;
+  std::function<NodeId(LockId)> db_route_;
+  std::unordered_map<LockId, bool> paused_;
+
+  bool failed_ = false;
+  NodeId chain_next_ = kInvalidNode;    ///< Head: where ops replicate to.
+  NodeId src_override_ = kInvalidNode;  ///< Tail: emission source address.
+  bool suppress_emissions_ = false;     ///< Head: tail emits for the chain.
+  Stats stats_;
+  GrantObserver grant_observer_;
+};
+
+}  // namespace netlock

@@ -1,0 +1,64 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+
+#include "core/memory_alloc.h"
+
+namespace netlock {
+
+std::vector<LockDemand> UniformMicroDemands(const MicroConfig& config,
+                                            int num_engines) {
+  std::vector<LockDemand> demands;
+  demands.reserve(config.num_locks);
+  const std::uint32_t expected_concurrent = static_cast<std::uint32_t>(
+      std::max<std::uint64_t>(1, 4ull * num_engines / config.num_locks));
+  // Floor of 2: transient two-client pile-ups queue in the switch; rarer
+  // deeper pile-ups take the overflow path. A higher floor would exhaust
+  // switch memory on large uncontended lock sets and push half the locks
+  // to the servers, which costs far more than occasional overflow.
+  const std::uint32_t contention = std::min<std::uint32_t>(
+      static_cast<std::uint32_t>(num_engines),
+      std::max(2u, expected_concurrent));
+  for (LockId i = 0; i < config.num_locks; ++i) {
+    demands.push_back(
+        LockDemand{config.first_lock + i, /*rate=*/1.0, contention});
+  }
+  return demands;
+}
+
+std::function<std::unique_ptr<WorkloadGenerator>(int)> TpccFactory(
+    TpccConfig prototype) {
+  return [prototype](int engine) {
+    TpccConfig config = prototype;
+    config.home_warehouse =
+        static_cast<std::uint32_t>(engine) % config.warehouses;
+    return std::make_unique<TpccWorkload>(config);
+  };
+}
+
+std::function<std::unique_ptr<WorkloadGenerator>(int)> TpccFactory(
+    std::uint32_t warehouses) {
+  TpccConfig config;
+  config.warehouses = warehouses;
+  return TpccFactory(config);
+}
+
+std::function<std::unique_ptr<WorkloadGenerator>(int)> MicroFactory(
+    MicroConfig config) {
+  return [config](int) { return std::make_unique<MicroWorkload>(config); };
+}
+
+std::vector<LockDemand> ProfileAndInstall(Testbed& testbed,
+                                          std::uint32_t capacity,
+                                          bool random_strawman,
+                                          SimTime profile_duration,
+                                          std::uint64_t random_seed) {
+  std::vector<LockDemand> demands = testbed.ProfileDemands(profile_duration);
+  const Allocation allocation =
+      random_strawman ? RandomAllocate(demands, capacity, random_seed)
+                      : KnapsackAllocate(demands, capacity);
+  testbed.netlock().InstallAllocation(allocation);
+  return demands;
+}
+
+}  // namespace netlock

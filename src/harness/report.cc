@@ -1,0 +1,72 @@
+#include "harness/report.h"
+
+#include <cstdio>
+
+namespace netlock {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+Table& Table::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::Print() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      std::printf("%-*s  ", static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+  for (std::size_t i = 0; i < total; ++i) std::printf("-");
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string FmtUs(SimTime nanos) {
+  return Fmt(static_cast<double>(nanos) / kMicrosecond, 2);
+}
+
+std::string FmtMs(SimTime nanos) {
+  return Fmt(static_cast<double>(nanos) / kMillisecond, 3);
+}
+
+void Banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+void PrintRunSummary(const std::string& label, const RunMetrics& metrics) {
+  std::printf(
+      "%-12s lock %.3f MRPS | txn %.4f MTPS | lock lat avg %s p50 %s "
+      "p99 %s | txn lat avg %s p99 %s | retries %llu\n",
+      label.c_str(), metrics.LockThroughputMrps(),
+      metrics.TxnThroughputMtps(),
+      FormatNanos(static_cast<SimTime>(metrics.lock_latency.Mean())).c_str(),
+      FormatNanos(metrics.lock_latency.Median()).c_str(),
+      FormatNanos(metrics.lock_latency.P99()).c_str(),
+      FormatNanos(static_cast<SimTime>(metrics.txn_latency.Mean())).c_str(),
+      FormatNanos(metrics.txn_latency.P99()).c_str(),
+      static_cast<unsigned long long>(metrics.retries));
+}
+
+}  // namespace netlock

@@ -1,0 +1,40 @@
+// Paper-style result reporting: aligned text tables and series printers
+// shared by the figure-reproduction benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace netlock {
+
+/// Accumulates rows and prints an aligned table to stdout.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision.
+std::string Fmt(double value, int precision = 2);
+
+/// Formats nanoseconds as microseconds with two decimals.
+std::string FmtUs(SimTime nanos);
+
+/// Formats nanoseconds as milliseconds with three decimals.
+std::string FmtMs(SimTime nanos);
+
+/// Prints a figure banner ("=== Figure 10(a): ... ===").
+void Banner(const std::string& title);
+
+/// Prints the standard metric block the paper reports for a system run.
+void PrintRunSummary(const std::string& label, const RunMetrics& metrics);
+
+}  // namespace netlock

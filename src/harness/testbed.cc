@@ -1,0 +1,260 @@
+#include "harness/testbed.h"
+
+#include "common/check.h"
+
+namespace netlock {
+
+const char* ToString(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kNetLock:
+      return "NetLock";
+    case SystemKind::kServerOnly:
+      return "ServerOnly";
+    case SystemKind::kDslr:
+      return "DSLR";
+    case SystemKind::kDrtm:
+      return "DrTM";
+    case SystemKind::kNetChain:
+      return "NetChain";
+  }
+  return "?";
+}
+
+Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
+  NETLOCK_CHECK(config_.workload_factory != nullptr);
+  NETLOCK_CHECK(config_.client_machines >= 1);
+  NETLOCK_CHECK(config_.sessions_per_machine >= 1);
+
+  // Default latency covers the client<->server path (through the ToR);
+  // client<->switch pairs are set explicitly below.
+  const SimTime client_server =
+      config_.client_switch_latency + config_.switch_server_latency;
+  net_ = std::make_unique<Network>(sim_, client_server);
+
+  LockId lock_space = config_.lock_space;
+  if (lock_space == 0) {
+    lock_space = config_.workload_factory(0)->lock_space();
+  }
+
+  // --- System under test ---
+  std::vector<NodeId> infra_switch_nodes;  // Nodes at switch distance.
+  std::vector<NodeId> infra_server_nodes;  // Nodes at server distance.
+  switch (config_.system) {
+    case SystemKind::kNetLock: {
+      NetLockOptions options;
+      options.switch_config = config_.switch_config;
+      options.server_config = config_.server_config;
+      options.num_servers = config_.lock_servers;
+      options.control_config.lease = config_.lease;
+      options.control_config.lease_poll_interval =
+          config_.lease_poll_interval;
+      options.client_retry_timeout = config_.client_retry_timeout;
+      options.client_max_retries = config_.client_max_retries;
+      netlock_ = std::make_unique<NetLockManager>(*net_, options);
+      infra_switch_nodes.push_back(netlock_->lock_switch().node());
+      for (int i = 0; i < netlock_->num_servers(); ++i) {
+        infra_server_nodes.push_back(netlock_->server(i).node());
+      }
+      break;
+    }
+    case SystemKind::kServerOnly: {
+      server_only_ = std::make_unique<ServerOnlyManager>(
+          *net_, config_.server_config, config_.lock_servers);
+      server_only_->StartLeasePolling(config_.lease,
+                                      config_.lease_poll_interval);
+      for (int i = 0; i < server_only_->num_servers(); ++i) {
+        infra_server_nodes.push_back(server_only_->server(i).node());
+      }
+      break;
+    }
+    case SystemKind::kDslr:
+      dslr_ = std::make_unique<DslrManager>(*net_, config_.lock_servers,
+                                            lock_space, config_.nic_config,
+                                            config_.dslr_config);
+      for (int i = 0; i < dslr_->num_servers(); ++i) {
+        infra_server_nodes.push_back(dslr_->nic(i).node());
+      }
+      break;
+    case SystemKind::kDrtm:
+      drtm_ = std::make_unique<DrtmManager>(*net_, config_.lock_servers,
+                                            lock_space, config_.nic_config,
+                                            config_.drtm_config);
+      for (int i = 0; i < drtm_->num_servers(); ++i) {
+        infra_server_nodes.push_back(drtm_->nic(i).node());
+      }
+      break;
+    case SystemKind::kNetChain:
+      netchain_ = std::make_unique<NetChainSwitch>(*net_,
+                                                   config_.netchain_config);
+      infra_switch_nodes.push_back(netchain_->node());
+      break;
+  }
+
+  // --- Clients ---
+  const int total_engines =
+      config_.client_machines * config_.sessions_per_machine;
+  for (int m = 0; m < config_.client_machines; ++m) {
+    machines_.push_back(
+        std::make_unique<ClientMachine>(*net_, config_.machine_tx_service));
+  }
+  for (int i = 0; i < total_engines; ++i) {
+    ClientMachine& machine = *machines_[i % config_.client_machines];
+    const TenantId tenant = config_.tenant_of ? config_.tenant_of(i) : 0;
+    std::unique_ptr<LockSession> session;
+    switch (config_.system) {
+      case SystemKind::kNetLock:
+        session = netlock_->CreateSession(machine, tenant);
+        break;
+      case SystemKind::kServerOnly:
+        session = server_only_->CreateSession(machine, tenant);
+        break;
+      case SystemKind::kDslr:
+        session = dslr_->CreateSession(machine);
+        break;
+      case SystemKind::kDrtm:
+        session = drtm_->CreateSession(machine);
+        break;
+      case SystemKind::kNetChain:
+        session = std::make_unique<NetChainSession>(
+            machine, *netchain_, config_.seed * 7919 + i);
+        break;
+    }
+    // Session nodes sit one client leg from switches.
+    for (const NodeId sw : infra_switch_nodes) {
+      net_->SetLatency(session->node(), sw, config_.client_switch_latency);
+    }
+    if (config_.session_wrapper) {
+      session = config_.session_wrapper(std::move(session));
+    }
+    TxnEngineConfig txn_config = config_.txn_config;
+    if (config_.priority_of) txn_config.priority = config_.priority_of(i);
+    engines_.push_back(std::make_unique<TxnEngine>(
+        sim_, *session, config_.workload_factory(i),
+        static_cast<std::uint32_t>(i + 1),
+        config_.seed * 1000003ull + i, txn_config));
+    sessions_.push_back(std::move(session));
+  }
+  // Switch <-> server legs.
+  for (const NodeId sw : infra_switch_nodes) {
+    for (const NodeId srv : infra_server_nodes) {
+      net_->SetLatency(sw, srv, config_.switch_server_latency);
+    }
+  }
+}
+
+Testbed::~Testbed() = default;
+
+NetLockManager& Testbed::netlock() {
+  NETLOCK_CHECK(netlock_ != nullptr);
+  return *netlock_;
+}
+ServerOnlyManager& Testbed::server_only() {
+  NETLOCK_CHECK(server_only_ != nullptr);
+  return *server_only_;
+}
+DslrManager& Testbed::dslr() {
+  NETLOCK_CHECK(dslr_ != nullptr);
+  return *dslr_;
+}
+DrtmManager& Testbed::drtm() {
+  NETLOCK_CHECK(drtm_ != nullptr);
+  return *drtm_;
+}
+NetChainSwitch& Testbed::netchain() {
+  NETLOCK_CHECK(netchain_ != nullptr);
+  return *netchain_;
+}
+
+void Testbed::StartEngines() {
+  for (auto& engine : engines_) {
+    if (engine->idle()) engine->Restart();
+  }
+}
+
+void Testbed::StopEngines(SimTime max_wait) {
+  for (auto& engine : engines_) engine->Stop();
+  const SimTime deadline = sim_.now() + max_wait;
+  while (sim_.now() < deadline) {
+    bool all_idle = true;
+    for (auto& engine : engines_) {
+      if (!engine->idle()) {
+        all_idle = false;
+        break;
+      }
+    }
+    if (all_idle) return;
+    sim_.RunUntil(sim_.now() + kMillisecond);
+  }
+  for (auto& engine : engines_) {
+    NETLOCK_CHECK(engine->idle());  // Drain failed: a request is stuck.
+  }
+}
+
+void Testbed::SetRecording(bool on) {
+  for (auto& engine : engines_) engine->SetRecording(on);
+  if (on) {
+    switch_grants_at_record_ = GrantsServedBySwitch();
+    server_grants_at_record_ = GrantsServedByServers();
+  }
+}
+
+std::uint64_t Testbed::GrantsServedBySwitch() const {
+  switch (config_.system) {
+    case SystemKind::kNetLock:
+      return netlock_->SwitchGrants();
+    case SystemKind::kNetChain:
+      return netchain_->stats().grants;
+    default:
+      return 0;
+  }
+}
+
+std::uint64_t Testbed::GrantsServedByServers() const {
+  switch (config_.system) {
+    case SystemKind::kNetLock:
+      return netlock_->ServerGrants();
+    case SystemKind::kServerOnly:
+      return server_only_->Grants();
+    default:
+      return 0;  // Decentralized systems grant client-side.
+  }
+}
+
+RunMetrics Testbed::Run(SimTime warmup, SimTime measure) {
+  StartEngines();
+  sim_.RunUntil(sim_.now() + warmup);
+  SetRecording(true);
+  sim_.RunUntil(sim_.now() + measure);
+  SetRecording(false);
+  return Collect(measure);
+}
+
+RunMetrics Testbed::Collect(SimTime duration) const {
+  RunMetrics total;
+  total.duration = duration;
+  for (const auto& engine : engines_) {
+    const RunMetrics& m = engine->metrics();
+    total.lock_grants += m.lock_grants;
+    total.lock_requests += m.lock_requests;
+    total.retries += m.retries;
+    total.txn_commits += m.txn_commits;
+    total.lock_latency.Merge(m.lock_latency);
+    total.txn_latency.Merge(m.txn_latency);
+  }
+  total.switch_grants = GrantsServedBySwitch() - switch_grants_at_record_;
+  total.server_grants = GrantsServedByServers() - server_grants_at_record_;
+  return total;
+}
+
+std::vector<LockDemand> Testbed::ProfileDemands(SimTime profile_duration) {
+  NETLOCK_CHECK(netlock_ != nullptr);
+  netlock_->control_plane().StartLeasePolling();
+  // Reset the demand window, profile, drain, harvest.
+  (void)netlock_->control_plane().HarvestDemands();
+  StartEngines();
+  sim_.RunUntil(sim_.now() + profile_duration);
+  StopEngines();
+  return netlock_->control_plane().HarvestDemands();
+}
+
+}  // namespace netlock

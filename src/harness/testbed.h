@@ -1,0 +1,144 @@
+// Experiment testbed: wires a complete rack — client machines with
+// transaction engines, the lock-manager system under test, and the network
+// topology — mirroring the paper's setups (e.g., "ten machines as clients
+// and two machines as lock servers").
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "baselines/drtm.h"
+#include "baselines/dslr.h"
+#include "baselines/netchain.h"
+#include "baselines/server_only.h"
+#include "client/client.h"
+#include "client/txn.h"
+#include "common/stats.h"
+#include "core/netlock.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "workload/workload.h"
+
+namespace netlock {
+
+enum class SystemKind {
+  kNetLock = 0,
+  kServerOnly = 1,
+  kDslr = 2,
+  kDrtm = 3,
+  kNetChain = 4,
+};
+
+const char* ToString(SystemKind kind);
+
+struct TestbedConfig {
+  SystemKind system = SystemKind::kNetLock;
+
+  // Topology (paper Section 6.1 defaults: 12-server testbed).
+  int client_machines = 10;
+  int sessions_per_machine = 8;
+  int lock_servers = 2;
+
+  /// One-way latencies. Client legs include client software + NIC overhead
+  /// (the paper attributes most of its 8 us median to those), so a
+  /// switch-served grant takes ~2 * client_switch and a server-served grant
+  /// a full extra switch_server round trip.
+  SimTime client_switch_latency = 2500;
+  SimTime switch_server_latency = 1500;
+  /// Per-request NIC service at a client machine (~18 MRPS at 55 ns).
+  SimTime machine_tx_service = 55;
+
+  LockSwitchConfig switch_config;
+  LockServerConfig server_config;
+  NetChainConfig netchain_config;
+  RdmaNicConfig nic_config;
+  DslrConfig dslr_config;
+  DrtmConfig drtm_config;
+  TxnEngineConfig txn_config;
+
+  SimTime lease = 50 * kMillisecond;
+  SimTime lease_poll_interval = 10 * kMillisecond;
+  SimTime client_retry_timeout = 5 * kMillisecond;
+  int client_max_retries = 16;
+
+  std::uint64_t seed = 42;
+
+  /// Required: builds the workload for engine `i` (0-based global index).
+  std::function<std::unique_ptr<WorkloadGenerator>(int)> workload_factory;
+  /// Optional per-engine tenant / priority (default 0).
+  std::function<TenantId(int)> tenant_of;
+  std::function<Priority(int)> priority_of;
+  /// Lock-id space; 0 = derive from workload_factory(0).
+  LockId lock_space = 0;
+  /// Optional decorator applied to every session (test oracles, tracing).
+  std::function<std::unique_ptr<LockSession>(std::unique_ptr<LockSession>)>
+      session_wrapper;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config);
+  ~Testbed();
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  Simulator& sim() { return sim_; }
+  Network& net() { return *net_; }
+  const TestbedConfig& config() const { return config_; }
+
+  NetLockManager& netlock();
+  ServerOnlyManager& server_only();
+  DslrManager& dslr();
+  DrtmManager& drtm();
+  NetChainSwitch& netchain();
+
+  int num_engines() const { return static_cast<int>(engines_.size()); }
+  TxnEngine& engine(int i) { return *engines_[i]; }
+
+  /// Starts (or resumes) all engines.
+  void StartEngines();
+
+  /// Stops engines and runs until all are idle (bounded by `max_wait`).
+  void StopEngines(SimTime max_wait = 200 * kMillisecond);
+
+  void SetRecording(bool on);
+
+  /// Convenience: start engines, run a warm-up, record for `measure`,
+  /// return the aggregated metrics. Engines keep running afterwards.
+  RunMetrics Run(SimTime warmup, SimTime measure);
+
+  /// Aggregates engine metrics recorded so far; `duration` is the measured
+  /// window length used for rate computation.
+  RunMetrics Collect(SimTime duration) const;
+
+  /// NetLock-only: profile the workload with all locks on servers for
+  /// `profile_duration`, drain, and return the harvested demands (input to
+  /// KnapsackAllocate / RandomAllocate). Engines are left stopped+idle.
+  std::vector<LockDemand> ProfileDemands(SimTime profile_duration);
+
+ private:
+  std::uint64_t GrantsServedBySwitch() const;
+  std::uint64_t GrantsServedByServers() const;
+
+  TestbedConfig config_;
+  Simulator sim_;
+  std::unique_ptr<Network> net_;
+
+  // Exactly one of these is set, per config_.system.
+  std::unique_ptr<NetLockManager> netlock_;
+  std::unique_ptr<ServerOnlyManager> server_only_;
+  std::unique_ptr<DslrManager> dslr_;
+  std::unique_ptr<DrtmManager> drtm_;
+  std::unique_ptr<NetChainSwitch> netchain_;
+
+  std::vector<std::unique_ptr<ClientMachine>> machines_;
+  std::vector<std::unique_ptr<LockSession>> sessions_;
+  std::vector<std::unique_ptr<TxnEngine>> engines_;
+
+  std::uint64_t switch_grants_at_record_ = 0;
+  std::uint64_t server_grants_at_record_ = 0;
+};
+
+}  // namespace netlock

@@ -1,0 +1,59 @@
+#include "net/lock_wire.h"
+
+#include "common/check.h"
+#include "net/wire.h"
+
+namespace netlock {
+
+bool LockHeader::SerializeTo(Packet& pkt) const {
+  BufWriter w(pkt.mutable_payload());
+  w.WriteU16(kMagic);
+  w.WriteU8(static_cast<std::uint8_t>(op));
+  w.WriteU8(static_cast<std::uint8_t>(mode));
+  w.WriteU8(flags);
+  w.WriteU8(priority);
+  w.WriteU16(tenant);
+  w.WriteU32(lock_id);
+  w.WriteU64(txn_id);
+  w.WriteU32(client_node);
+  w.WriteU64(timestamp);
+  w.WriteU32(aux);
+  if (!w.ok()) return false;
+  NETLOCK_DCHECK(w.written() == kWireSize);
+  pkt.set_size(w.written());
+  return true;
+}
+
+std::optional<LockHeader> LockHeader::Parse(const Packet& pkt) {
+  BufReader r(pkt.payload());
+  if (r.ReadU16() != kMagic) return std::nullopt;
+  LockHeader hdr;
+  hdr.op = static_cast<LockOp>(r.ReadU8());
+  hdr.mode = static_cast<LockMode>(r.ReadU8());
+  hdr.flags = r.ReadU8();
+  hdr.priority = r.ReadU8();
+  hdr.tenant = r.ReadU16();
+  hdr.lock_id = r.ReadU32();
+  hdr.txn_id = r.ReadU64();
+  hdr.client_node = r.ReadU32();
+  hdr.timestamp = r.ReadU64();
+  hdr.aux = r.ReadU32();
+  if (!r.ok()) return std::nullopt;
+  if (static_cast<std::uint8_t>(hdr.op) >
+      static_cast<std::uint8_t>(LockOp::kData)) {
+    return std::nullopt;
+  }
+  if (static_cast<std::uint8_t>(hdr.mode) > 1) return std::nullopt;
+  return hdr;
+}
+
+Packet MakeLockPacket(NodeId src, NodeId dst, const LockHeader& hdr) {
+  Packet pkt;
+  pkt.src = src;
+  pkt.dst = dst;
+  const bool ok = hdr.SerializeTo(pkt);
+  NETLOCK_CHECK(ok);
+  return pkt;
+}
+
+}  // namespace netlock

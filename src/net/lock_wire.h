@@ -1,0 +1,90 @@
+// The NetLock message header (paper Section 4.2).
+//
+// A lock request carries: action type (acquire/release), lock ID, lock mode,
+// transaction ID, and client IP; we additionally carry tenant ID, priority,
+// and a timestamp, which the paper notes "can also be stored together". The
+// same header serves grants and the switch-server overflow protocol
+// (Section 4.3), distinguished by op and flags. In the hardware prototype
+// these ride a reserved UDP destination port; here a 16-bit magic plays that
+// role so that non-lock traffic is recognizably foreign.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.h"
+#include "sim/network.h"
+
+namespace netlock {
+
+/// Message type.
+enum class LockOp : std::uint8_t {
+  kAcquire = 0,      ///< Client requests a lock.
+  kRelease = 1,      ///< Client releases a held lock.
+  kGrant = 2,        ///< Lock manager grants the lock to the client.
+  kReject = 3,       ///< Policy rejection (e.g., per-tenant quota exceeded).
+  kQueueEmpty = 4,   ///< Switch -> server: q1[i] drained, push from q2[i].
+  kPush = 5,         ///< Server -> switch: a buffered request being pushed.
+  kSyncState = 6,    ///< Control: switch/server state sync after failure.
+  kFetch = 7,        ///< Client -> database server: read the locked item.
+  kData = 8,         ///< Database server -> client: item data (and, in
+                     ///< one-RTT mode, the implied lock grant — §4.1).
+};
+
+/// Flag bits in LockHeader::flags.
+enum LockFlags : std::uint8_t {
+  /// The switch saw the request but its queue region was full: the server
+  /// must only buffer it in q2[i], not process it (Section 4.3).
+  kFlagBufferOnly = 1 << 0,
+  /// The request was pushed from a server's q2[i] back into q1[i].
+  kFlagPushed = 1 << 1,
+  /// The switch is not responsible for this lock; the server both queues and
+  /// grants it.
+  kFlagServerOwned = 1 << 2,
+  /// Chain replication: the op was already admitted and applied by the
+  /// chain head; the tail applies it without re-running admission.
+  kFlagChained = 1 << 3,
+  /// Chain replication: the head's quota rejected this acquire; the tail
+  /// only emits the rejection (nothing was enqueued anywhere).
+  kFlagQuotaRejected = 1 << 4,
+  /// Chain replication: the head decided this acquire overflows to the
+  /// server; the tail follows that decision (and emits the forward) so the
+  /// replicas' queue contents never diverge.
+  kFlagOverflowed = 1 << 5,
+};
+
+/// Wire header for every NetLock message. 36 bytes on the wire.
+struct LockHeader {
+  static constexpr std::uint16_t kMagic = 0x4c4b;  // "LK"
+  static constexpr std::size_t kWireSize = 36;
+
+  LockOp op = LockOp::kAcquire;
+  LockMode mode = LockMode::kExclusive;
+  std::uint8_t flags = 0;
+  Priority priority = 0;
+  TenantId tenant = 0;
+  LockId lock_id = kInvalidLock;
+  TxnId txn_id = kInvalidTxn;
+  /// Address of the client the grant must be sent to (stands in for the
+  /// client IP field of the paper's header).
+  NodeId client_node = kInvalidNode;
+  /// Request issue time; used for lease accounting and latency measurement.
+  SimTime timestamp = 0;
+  /// Number of free slots (kQueueEmpty) or AcquireResult (kGrant/kReject).
+  std::uint32_t aux = 0;
+
+  /// Serializes into pkt's payload and sets its size. Returns false if the
+  /// payload buffer is too small (cannot happen with Packet::kMaxPayload).
+  bool SerializeTo(Packet& pkt) const;
+
+  /// Parses from a packet payload. Returns nullopt on truncation or magic
+  /// mismatch — the switch treats such packets as regular (non-lock) traffic.
+  static std::optional<LockHeader> Parse(const Packet& pkt);
+
+  friend bool operator==(const LockHeader&, const LockHeader&) = default;
+};
+
+/// Builds a ready-to-send packet around a header.
+Packet MakeLockPacket(NodeId src, NodeId dst, const LockHeader& hdr);
+
+}  // namespace netlock

@@ -1,0 +1,3 @@
+#include "net/wire.h"
+
+// Header-only implementation; translation unit anchors the module.

@@ -1,0 +1,112 @@
+// Byte-order-safe wire serialization primitives.
+//
+// All NetLock messages are serialized big-endian (network byte order) into
+// packet payloads, exactly as the P4 prototype lays out its custom header
+// after the reserved UDP port. Readers never trust input: every accessor is
+// bounds-checked and parsing reports failure instead of reading past the
+// buffer.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace netlock {
+
+/// Serializes integral fields big-endian into a caller-provided buffer.
+class BufWriter {
+ public:
+  explicit BufWriter(std::span<std::uint8_t> buf) : buf_(buf) {}
+
+  bool ok() const { return ok_; }
+  std::size_t written() const { return pos_; }
+
+  void WriteU8(std::uint8_t v) { WriteBytes(&v, 1); }
+
+  void WriteU16(std::uint16_t v) {
+    std::uint8_t b[2] = {static_cast<std::uint8_t>(v >> 8),
+                         static_cast<std::uint8_t>(v)};
+    WriteBytes(b, 2);
+  }
+
+  void WriteU32(std::uint32_t v) {
+    std::uint8_t b[4];
+    for (int i = 0; i < 4; ++i)
+      b[i] = static_cast<std::uint8_t>(v >> (24 - 8 * i));
+    WriteBytes(b, 4);
+  }
+
+  void WriteU64(std::uint64_t v) {
+    std::uint8_t b[8];
+    for (int i = 0; i < 8; ++i)
+      b[i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
+    WriteBytes(b, 8);
+  }
+
+ private:
+  void WriteBytes(const std::uint8_t* p, std::size_t n) {
+    if (!ok_ || pos_ + n > buf_.size()) {
+      ok_ = false;
+      return;
+    }
+    std::memcpy(buf_.data() + pos_, p, n);
+    pos_ += n;
+  }
+
+  std::span<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Parses big-endian integral fields from a read-only buffer.
+class BufReader {
+ public:
+  explicit BufReader(std::span<const std::uint8_t> buf) : buf_(buf) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return ok_ ? buf_.size() - pos_ : 0; }
+
+  std::uint8_t ReadU8() {
+    std::uint8_t v = 0;
+    ReadBytes(&v, 1);
+    return v;
+  }
+
+  std::uint16_t ReadU16() {
+    std::uint8_t b[2] = {};
+    ReadBytes(b, 2);
+    return static_cast<std::uint16_t>((b[0] << 8) | b[1]);
+  }
+
+  std::uint32_t ReadU32() {
+    std::uint8_t b[4] = {};
+    ReadBytes(b, 4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | b[i];
+    return v;
+  }
+
+  std::uint64_t ReadU64() {
+    std::uint8_t b[8] = {};
+    ReadBytes(b, 8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | b[i];
+    return v;
+  }
+
+ private:
+  void ReadBytes(std::uint8_t* p, std::size_t n) {
+    if (!ok_ || pos_ + n > buf_.size()) {
+      ok_ = false;
+      return;
+    }
+    std::memcpy(p, buf_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  std::span<const std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace netlock

@@ -1,0 +1,40 @@
+#include "server/db_server.h"
+
+#include "common/check.h"
+
+namespace netlock {
+
+DbServer::DbServer(Network& net, DbServerConfig config)
+    : net_(net), config_(config) {
+  NETLOCK_CHECK(config_.cores >= 1);
+  node_ = net_.AddNode([this](const Packet& pkt) { OnPacket(pkt); });
+  for (int i = 0; i < config_.cores; ++i) {
+    cores_.push_back(std::make_unique<ServiceQueue>(
+        net_.sim(), config_.per_request_service));
+  }
+}
+
+void DbServer::OnPacket(const Packet& pkt) {
+  const std::optional<LockHeader> hdr = LockHeader::Parse(pkt);
+  if (!hdr) return;
+  const bool one_rtt = hdr->op == LockOp::kGrant;
+  if (hdr->op != LockOp::kFetch && !one_rtt) return;
+  std::uint64_t h = hdr->lock_id;
+  h ^= h >> 13;
+  h *= 0x9e3779b9ull;
+  const int core = static_cast<int>(h % cores_.size());
+  const LockHeader request = *hdr;
+  cores_[core]->Submit([this, request, one_rtt]() {
+    if (one_rtt) {
+      ++stats_.one_rtt_serves;
+    } else {
+      ++stats_.fetches;
+    }
+    LockHeader reply = request;
+    reply.op = LockOp::kData;
+    reply.aux = static_cast<std::uint32_t>(AcquireResult::kGranted);
+    net_.Send(MakeLockPacket(node_, request.client_node, reply));
+  });
+}
+
+}  // namespace netlock

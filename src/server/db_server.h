@@ -1,0 +1,55 @@
+// Database server model for one-RTT transactions (paper Section 4.1).
+//
+// In the basic mode a client first obtains a grant from NetLock and then
+// issues a separate fetch to the database server — 1.5-2 RTTs per item. In
+// one-RTT mode the switch, "instead of replying to the client, forwards the
+// request to the corresponding database server to fetch the item", so lock
+// acquisition and data fetching complete in a single round trip. Unlike
+// DrTM/FARM/FaSST-style combined requests, every forwarded request succeeds
+// — the lock was already granted by the switch — so there is no
+// fail-and-retry at the database server.
+//
+// This model serves the items: a kFetch (basic mode) or a forwarded kGrant
+// (one-RTT mode) is answered with kData to the client after a per-request
+// CPU service time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "net/lock_wire.h"
+#include "sim/network.h"
+#include "sim/service_queue.h"
+
+namespace netlock {
+
+struct DbServerConfig {
+  int cores = 8;
+  SimTime per_request_service = 500;  ///< In-memory row fetch.
+};
+
+class DbServer {
+ public:
+  DbServer(Network& net, DbServerConfig config = DbServerConfig{});
+
+  NodeId node() const { return node_; }
+
+  struct Stats {
+    std::uint64_t fetches = 0;        ///< Basic-mode kFetch requests.
+    std::uint64_t one_rtt_serves = 0; ///< Forwarded grants served.
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void OnPacket(const Packet& pkt);
+
+  Network& net_;
+  DbServerConfig config_;
+  NodeId node_;
+  std::vector<std::unique_ptr<ServiceQueue>> cores_;
+  Stats stats_;
+};
+
+}  // namespace netlock

@@ -1,0 +1,344 @@
+#include "server/lock_server.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace netlock {
+
+LockServer::LockServer(Network& net, LockServerConfig config)
+    : net_(net), config_(config) {
+  NETLOCK_CHECK(config_.cores >= 1);
+  node_ = net_.AddNode([this](const Packet& pkt) { OnPacket(pkt); });
+  cores_.reserve(config_.cores);
+  for (int i = 0; i < config_.cores; ++i) {
+    cores_.push_back(std::make_unique<ServiceQueue>(
+        net_.sim(), config_.per_request_service));
+  }
+}
+
+int LockServer::CoreFor(LockId lock) const {
+  // RSS: the NIC hashes the lock id in the header onto a receive queue, so
+  // all requests for one lock land on one core (no cross-core locking).
+  std::uint64_t h = lock;
+  h ^= h >> 16;
+  h *= 0x45d9f3b;
+  h ^= h >> 16;
+  return static_cast<int>(h % static_cast<std::uint64_t>(config_.cores));
+}
+
+SimTime LockServer::CoreBusyUntil(int core) const {
+  NETLOCK_CHECK(core >= 0 && core < config_.cores);
+  return cores_[core]->busy_until();
+}
+
+void LockServer::OnPacket(const Packet& pkt) {
+  if (failed_) return;  // Crashed: everything is dropped.
+  const std::optional<LockHeader> hdr = LockHeader::Parse(pkt);
+  if (!hdr) return;
+  // Dispatch to the RSS core; processing happens after the CPU service time.
+  const int core = CoreFor(hdr->lock_id);
+  cores_[core]->Submit([this, hdr = *hdr]() { Process(hdr); });
+}
+
+void LockServer::Process(const LockHeader& hdr) {
+  ++stats_.requests_processed;
+  switch (hdr.op) {
+    case LockOp::kAcquire:
+      if ((hdr.flags & kFlagBufferOnly) != 0 &&
+          owned_.find(hdr.lock_id) == owned_.end()) {
+        ProcessBufferOnly(hdr);
+      } else {
+        ProcessOwnedAcquire(hdr);
+      }
+      break;
+    case LockOp::kRelease:
+      ProcessOwnedRelease(hdr, /*lease_forced=*/false);
+      break;
+    case LockOp::kQueueEmpty:
+      ProcessQueueEmpty(hdr);
+      break;
+    default:
+      break;
+  }
+}
+
+void LockServer::ProcessOwnedAcquire(const LockHeader& hdr) {
+  const bool is_new = owned_.find(hdr.lock_id) == owned_.end();
+  OwnedLock& lock = owned_[hdr.lock_id];
+  if (is_new && net_.sim().now() < grace_until_) {
+    // Fresh ownership inherited from a failed peer: queue without granting
+    // until the dead server's leases have expired (§4.5).
+    lock.paused = true;
+    graced_locks_.push_back(hdr.lock_id);
+  }
+  ++lock.req_count;
+
+  QueueSlot slot;
+  slot.mode = hdr.mode;
+  slot.txn_id = hdr.txn_id;
+  slot.client_node = hdr.client_node;
+  slot.tenant = hdr.tenant;
+  slot.timestamp = net_.sim().now();
+
+  if (lock.paused) {
+    lock.paused_buffer.push_back(slot);
+    return;
+  }
+  const bool was_empty = lock.queue.empty();
+  const bool all_shared = lock.xcnt == 0;
+  lock.queue.push_back(slot);
+  lock.max_depth = std::max(lock.max_depth,
+                            static_cast<std::uint32_t>(lock.queue.size()));
+  if (hdr.mode == LockMode::kExclusive) ++lock.xcnt;
+  if (was_empty || (all_shared && hdr.mode == LockMode::kShared)) {
+    Grant(hdr.lock_id, slot);
+  }
+}
+
+void LockServer::ProcessOwnedRelease(const LockHeader& hdr,
+                                     bool lease_forced) {
+  const auto it = owned_.find(hdr.lock_id);
+  if (it == owned_.end() || it->second.queue.empty()) {
+    ++stats_.stale_releases;
+    return;
+  }
+  OwnedLock& lock = it->second;
+  ++stats_.releases;
+  const QueueSlot released = lock.queue.front();
+  NETLOCK_DCHECK(lease_forced || released.mode == hdr.mode);
+  (void)lease_forced;
+  lock.queue.pop_front();
+  if (released.mode == LockMode::kExclusive) {
+    NETLOCK_CHECK(lock.xcnt > 0);
+    --lock.xcnt;
+  }
+  if (lock.queue.empty()) return;
+  // Same four-case cascade as the switch (Algorithm 2). Grants re-stamp
+  // the entry so the lease measures holding time, not queueing time.
+  QueueSlot& head = lock.queue.front();
+  if (head.mode == LockMode::kExclusive) {
+    head.timestamp = net_.sim().now();
+    Grant(hdr.lock_id, head);  // S->E and E->E.
+    return;
+  }
+  if (released.mode == LockMode::kShared) return;  // S->S: already granted.
+  // E->S: grant consecutive shared requests.
+  for (QueueSlot& slot : lock.queue) {
+    if (slot.mode == LockMode::kExclusive) break;
+    slot.timestamp = net_.sim().now();
+    Grant(hdr.lock_id, slot);
+  }
+}
+
+void LockServer::ProcessBufferOnly(const LockHeader& hdr) {
+  QueueSlot slot;
+  slot.mode = hdr.mode;
+  slot.txn_id = hdr.txn_id;
+  slot.client_node = hdr.client_node;
+  slot.tenant = hdr.tenant;
+  slot.timestamp = hdr.timestamp;  // Preserve the client's issue time.
+  q2_[hdr.lock_id].push_back(slot);
+  ++stats_.buffered;
+}
+
+void LockServer::ProcessQueueEmpty(const LockHeader& hdr) {
+  NETLOCK_CHECK(switch_node_ != kInvalidNode);
+  std::deque<QueueSlot>& q2 = q2_[hdr.lock_id];
+  const std::uint32_t free_slots = hdr.aux;
+  const std::size_t to_push =
+      std::min<std::size_t>(free_slots, q2.size());
+  for (std::size_t i = 0; i < to_push; ++i) {
+    const QueueSlot& slot = q2.front();
+    LockHeader push;
+    push.op = LockOp::kPush;
+    push.flags = kFlagPushed;
+    push.lock_id = hdr.lock_id;
+    push.mode = slot.mode;
+    push.txn_id = slot.txn_id;
+    push.client_node = slot.client_node;
+    push.tenant = slot.tenant;
+    push.timestamp = slot.timestamp;
+    net_.Send(MakeLockPacket(node_, switch_node_, push));
+    q2.pop_front();
+    ++stats_.pushes_sent;
+  }
+  // Report remaining q2 depth; the switch decides whether the overflow
+  // episode can end (see switch_dataplane.cc protocol walkthrough).
+  LockHeader sync;
+  sync.op = LockOp::kSyncState;
+  sync.lock_id = hdr.lock_id;
+  sync.aux = static_cast<std::uint32_t>(q2.size());
+  net_.Send(MakeLockPacket(node_, switch_node_, sync));
+  if (q2.empty()) q2_.erase(hdr.lock_id);
+}
+
+void LockServer::Grant(LockId lock, const QueueSlot& slot) {
+  ++stats_.grants;
+  if (grant_observer_) {
+    grant_observer_(lock, slot.txn_id, slot.mode, slot.client_node);
+  }
+  LockHeader grant;
+  grant.op = LockOp::kGrant;
+  grant.lock_id = lock;
+  grant.mode = slot.mode;
+  grant.txn_id = slot.txn_id;
+  grant.client_node = slot.client_node;
+  grant.tenant = slot.tenant;
+  grant.timestamp = slot.timestamp;
+  grant.aux = static_cast<std::uint32_t>(AcquireResult::kGranted);
+  net_.Send(MakeLockPacket(node_, slot.client_node, grant));
+}
+
+void LockServer::TakeOwnership(LockId lock) {
+  OwnedLock& owned = owned_[lock];
+  NETLOCK_CHECK(owned.queue.empty());
+  const auto it = q2_.find(lock);
+  if (it == q2_.end()) return;
+  // q2 becomes the active queue, in order; grant the new front per the
+  // usual rules (first entry, plus following shareds if it is shared).
+  owned.queue = std::move(it->second);
+  q2_.erase(it);
+  for (const QueueSlot& slot : owned.queue) {
+    if (slot.mode == LockMode::kExclusive) ++owned.xcnt;
+  }
+  if (owned.queue.empty()) return;
+  if (owned.queue.front().mode == LockMode::kExclusive) {
+    owned.queue.front().timestamp = net_.sim().now();
+    Grant(lock, owned.queue.front());
+    return;
+  }
+  for (QueueSlot& slot : owned.queue) {
+    if (slot.mode == LockMode::kExclusive) break;
+    slot.timestamp = net_.sim().now();
+    Grant(lock, slot);
+  }
+}
+
+void LockServer::DropOwnership(LockId lock) {
+  const auto it = owned_.find(lock);
+  if (it == owned_.end()) return;
+  NETLOCK_CHECK(it->second.queue.empty());
+  NETLOCK_CHECK(it->second.paused_buffer.empty());
+  owned_.erase(it);
+}
+
+void LockServer::EvictOwnership(LockId lock) { owned_.erase(lock); }
+
+void LockServer::Fail() {
+  failed_ = true;
+  owned_.clear();
+  q2_.clear();
+  graced_locks_.clear();
+  for (auto& core : cores_) core->Reset();
+}
+
+void LockServer::Restart() { failed_ = false; }
+
+void LockServer::GracePeriodUntil(SimTime until) {
+  NETLOCK_CHECK(until >= net_.sim().now());
+  grace_until_ = until;
+  net_.sim().ScheduleAt(until, [this]() { ActivateGraced(); });
+}
+
+void LockServer::ActivateGraced() {
+  if (net_.sim().now() < grace_until_) return;  // Superseded by a new grace.
+  std::vector<LockId> locks;
+  locks.swap(graced_locks_);
+  for (const LockId lock : locks) {
+    auto it = owned_.find(lock);
+    if (it == owned_.end() || !it->second.paused) continue;
+    it->second.paused = false;
+    // Move the buffered requests through the normal owned path, in order.
+    std::deque<QueueSlot> buffered;
+    buffered.swap(it->second.paused_buffer);
+    for (const QueueSlot& slot : buffered) {
+      LockHeader hdr;
+      hdr.op = LockOp::kAcquire;
+      hdr.flags = kFlagServerOwned;
+      hdr.lock_id = lock;
+      hdr.mode = slot.mode;
+      hdr.txn_id = slot.txn_id;
+      hdr.client_node = slot.client_node;
+      hdr.tenant = slot.tenant;
+      ProcessOwnedAcquire(hdr);
+    }
+  }
+}
+
+void LockServer::PauseLock(LockId lock, bool paused) {
+  owned_[lock].paused = paused;
+}
+
+bool LockServer::QueueEmpty(LockId lock) const {
+  const auto it = owned_.find(lock);
+  return it == owned_.end() || it->second.queue.empty();
+}
+
+void LockServer::ForwardBufferedToSwitch(LockId lock) {
+  NETLOCK_CHECK(switch_node_ != kInvalidNode);
+  const auto it = owned_.find(lock);
+  if (it == owned_.end()) return;
+  while (!it->second.paused_buffer.empty()) {
+    const QueueSlot& slot = it->second.paused_buffer.front();
+    LockHeader req;
+    req.op = LockOp::kAcquire;
+    req.lock_id = lock;
+    req.mode = slot.mode;
+    req.txn_id = slot.txn_id;
+    req.client_node = slot.client_node;
+    req.tenant = slot.tenant;
+    req.timestamp = slot.timestamp;
+    net_.Send(MakeLockPacket(node_, switch_node_, req));
+    it->second.paused_buffer.pop_front();
+  }
+}
+
+void LockServer::ClearExpired(SimTime lease) {
+  const SimTime now = net_.sim().now();
+  if (now < lease) return;
+  const SimTime cutoff = now - lease;
+  for (auto& [lock, owned] : owned_) {
+    while (!owned.queue.empty() &&
+           owned.queue.front().timestamp <= cutoff) {
+      LockHeader forced;
+      forced.op = LockOp::kRelease;
+      forced.lock_id = lock;
+      forced.mode = owned.queue.front().mode;
+      ProcessOwnedRelease(forced, /*lease_forced=*/true);
+    }
+  }
+}
+
+std::size_t LockServer::OverflowDepth(LockId lock) const {
+  const auto it = q2_.find(lock);
+  return it == q2_.end() ? 0 : it->second.size();
+}
+
+std::vector<LockId> LockServer::OwnedLocks() const {
+  std::vector<LockId> locks;
+  locks.reserve(owned_.size());
+  for (const auto& [lock, state] : owned_) locks.push_back(lock);
+  return locks;
+}
+
+void LockServer::DropState(LockId lock) {
+  owned_.erase(lock);
+  q2_.erase(lock);
+}
+
+void LockServer::HarvestDemands(double window_sec,
+                                std::vector<LockDemand>& out) {
+  NETLOCK_CHECK(window_sec > 0.0);
+  for (auto& [lock, owned] : owned_) {
+    if (owned.req_count == 0) continue;
+    out.push_back(LockDemand{
+        lock, static_cast<double>(owned.req_count) / window_sec,
+        std::max(1u, owned.max_depth)});
+    owned.req_count = 0;
+    owned.max_depth =
+        std::max(1u, static_cast<std::uint32_t>(owned.queue.size()));
+  }
+}
+
+}  // namespace netlock

@@ -1,0 +1,173 @@
+// The NetLock lock server (paper Sections 3.2, 4.3, 5).
+//
+// Plays two roles:
+//   1. Owner of unpopular locks: requests the switch is not responsible for
+//      are forwarded here and both queued and granted by the server, with
+//      the same queue semantics as the switch path (entries live in the
+//      queue until released; grants follow Algorithm 2's rules).
+//   2. Overflow buffer for switch-resident locks: buffer-only requests are
+//      appended to q2[i] and never granted here; on a queue-empty
+//      notification the server pushes up to the free-slot count back to the
+//      switch and reports the remaining q2 depth.
+//
+// The CPU model mirrors the prototype's DPDK server: RSS hashes each lock
+// onto one of `cores` receive queues, and each core processes requests FIFO
+// at a fixed per-request service time (defaults give 18 MRPS at 8 cores,
+// the rate reported in Section 5). This is what makes servers — never the
+// switch — the bottleneck, reproducing Figures 9-11.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "dataplane/slot.h"
+#include "net/lock_wire.h"
+#include "sim/network.h"
+#include "sim/service_queue.h"
+
+namespace netlock {
+
+struct LockServerConfig {
+  int cores = 8;
+  /// Per-request CPU service time; 444 ns ~= 2.25 MRPS per core.
+  SimTime per_request_service = 444;
+};
+
+class LockServer {
+ public:
+  LockServer(Network& net, LockServerConfig config = LockServerConfig{});
+
+  NodeId node() const { return node_; }
+  const LockServerConfig& config() const { return config_; }
+
+  /// Switch node used for pushes/acks in the overflow protocol. Must be set
+  /// before any buffer-only traffic arrives.
+  void set_switch_node(NodeId node) { switch_node_ = node; }
+
+  // --- Control plane (invoked directly by the NetLock control plane; in a
+  // deployment these are RPCs on the server daemon) ---
+
+  /// Converts a lock's q2 buffer into an owned, active queue and processes
+  /// it (used when a lock is migrated from the switch to this server).
+  void TakeOwnership(LockId lock);
+
+  /// Marks that the switch now owns this lock. Precondition: drained here.
+  void DropOwnership(LockId lock);
+
+  /// Unconditionally discards owned state for a lock the switch is taking
+  /// over after quiescence (e.g., when an allocation is installed following
+  /// a profiling phase). Any entries still queued are ghosts — grants whose
+  /// clients already moved on (duplicate retransmissions) — and their
+  /// eventual releases will be absorbed as stale by the new owner.
+  void EvictOwnership(LockId lock);
+
+  /// Pauses an owned lock for migration to the switch: new requests are
+  /// buffered, grants stop, existing holders drain via releases.
+  void PauseLock(LockId lock, bool paused);
+
+  /// True when an owned lock has no queued entries (drained).
+  bool QueueEmpty(LockId lock) const;
+
+  /// Re-sends requests buffered while paused to the switch as fresh
+  /// acquires (order-preserving); used to complete server->switch moves.
+  void ForwardBufferedToSwitch(LockId lock);
+
+  /// Forced-releases expired queue heads (lease handling, Section 4.5).
+  void ClearExpired(SimTime lease);
+
+  // --- Failure handling (Section 4.5) ---
+
+  /// Crashes the server: all packets are dropped and all lock state is
+  /// lost. A failed server's locks are reassigned by the control plane.
+  void Fail();
+
+  /// Restarts the server empty.
+  void Restart();
+
+  bool failed() const { return failed_; }
+
+  /// Grace period after taking over a failed peer's locks: owned locks
+  /// *created* before `until` queue requests without granting, and are
+  /// activated together at `until` — "the server waits for the leases to
+  /// expire before granting the locks" (Section 4.5), so no grant can
+  /// overlap one issued by the dead server.
+  void GracePeriodUntil(SimTime until);
+
+  /// Number of requests currently buffered in q2 for a lock.
+  std::size_t OverflowDepth(LockId lock) const;
+
+  /// Harvests per-lock demand counters for owned locks (rates normalized by
+  /// `window_sec`), appending to `out`, and resets them (§4.3).
+  void HarvestDemands(double window_sec, std::vector<LockDemand>& out);
+
+  /// Locks this server currently owns state for (failover bookkeeping).
+  std::vector<LockId> OwnedLocks() const;
+
+  /// Drops all state (owned queue + q2 buffer) for one lock. Used when a
+  /// recovered peer takes its locks back: waiters here recover via client
+  /// retransmission, and in-flight releases become stale at the new owner.
+  void DropState(LockId lock);
+
+  void set_grant_observer(
+      std::function<void(LockId, TxnId, LockMode, NodeId)> observer) {
+    grant_observer_ = std::move(observer);
+  }
+
+  // --- Statistics ---
+  struct Stats {
+    std::uint64_t grants = 0;
+    std::uint64_t releases = 0;
+    std::uint64_t buffered = 0;       ///< Requests appended to q2.
+    std::uint64_t pushes_sent = 0;    ///< q2 entries pushed to the switch.
+    std::uint64_t requests_processed = 0;
+    std::uint64_t stale_releases = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Aggregate busy time fraction would require integration; expose the
+  /// per-core completion horizon instead for saturation diagnostics.
+  SimTime CoreBusyUntil(int core) const;
+
+ private:
+  /// Software lock queue with switch-equivalent semantics.
+  struct OwnedLock {
+    std::deque<QueueSlot> queue;  ///< Entries remain until released.
+    std::uint32_t xcnt = 0;
+    bool paused = false;
+    std::deque<QueueSlot> paused_buffer;
+    std::uint64_t req_count = 0;   ///< r_i demand counter (§4.3).
+    std::uint32_t max_depth = 1;   ///< c_i demand counter.
+  };
+
+  void OnPacket(const Packet& pkt);
+  void Process(const LockHeader& hdr);
+  void ProcessOwnedAcquire(const LockHeader& hdr);
+  void ProcessOwnedRelease(const LockHeader& hdr, bool lease_forced);
+  void ProcessBufferOnly(const LockHeader& hdr);
+  void ProcessQueueEmpty(const LockHeader& hdr);
+  void Grant(LockId lock, const QueueSlot& slot);
+
+  int CoreFor(LockId lock) const;
+
+  void ActivateGraced();
+
+  Network& net_;
+  LockServerConfig config_;
+  NodeId node_;
+  NodeId switch_node_ = kInvalidNode;
+  std::vector<std::unique_ptr<ServiceQueue>> cores_;
+  std::unordered_map<LockId, OwnedLock> owned_;
+  std::unordered_map<LockId, std::deque<QueueSlot>> q2_;
+  bool failed_ = false;
+  SimTime grace_until_ = 0;
+  std::vector<LockId> graced_locks_;
+  Stats stats_;
+  std::function<void(LockId, TxnId, LockMode, NodeId)> grant_observer_;
+};
+
+}  // namespace netlock

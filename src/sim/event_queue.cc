@@ -1,0 +1,39 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace netlock {
+
+std::uint64_t EventQueue::Push(SimTime when, EventFn fn) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    fns_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(fns_.size());
+    fns_.push_back(std::move(fn));
+  }
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{when, seq, slot});
+  return seq;
+}
+
+SimTime EventQueue::NextTime() const {
+  NETLOCK_CHECK(!heap_.empty());
+  return heap_.top().when;
+}
+
+EventQueue::Event EventQueue::Pop() {
+  NETLOCK_CHECK(!heap_.empty());
+  const Entry top = heap_.top();
+  heap_.pop();
+  Event ev{top.when, top.seq, std::move(fns_[top.slot])};
+  fns_[top.slot] = nullptr;
+  free_slots_.push_back(top.slot);
+  return ev;
+}
+
+}  // namespace netlock

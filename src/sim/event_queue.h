@@ -1,0 +1,62 @@
+// Event queue for the discrete-event simulator.
+//
+// Events at the same timestamp must fire in the order they were scheduled
+// (stable FIFO tie-breaking); otherwise packet ordering — and therefore lock
+// grant ordering, which the FCFS policy depends on — would be
+// nondeterministic. A sequence number provides the total order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace netlock {
+
+/// An event: a callback scheduled to fire at a simulated time.
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedules fn to run at absolute time `when`. Returns the event's unique
+  /// sequence id (usable for debugging; cancellation is intentionally not
+  /// supported — components use epoch counters instead, which is cheaper and
+  /// avoids dangling handles).
+  std::uint64_t Push(SimTime when, EventFn fn);
+
+  bool Empty() const { return heap_.empty(); }
+  std::size_t Size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event. Precondition: !Empty().
+  SimTime NextTime() const;
+
+  /// Removes and returns the earliest event. Precondition: !Empty().
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  Event Pop();
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    std::uint32_t slot;  // Index into fns_ storage.
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<EventFn> fns_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace netlock

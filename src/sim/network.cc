@@ -1,0 +1,51 @@
+#include "sim/network.h"
+
+#include "common/random.h"
+
+namespace netlock {
+
+NodeId Network::AddNode(PacketHandler handler) {
+  handlers_.push_back(std::move(handler));
+  return static_cast<NodeId>(handlers_.size() - 1);
+}
+
+void Network::SetHandler(NodeId node, PacketHandler handler) {
+  NETLOCK_CHECK(node < handlers_.size());
+  handlers_[node] = std::move(handler);
+}
+
+void Network::SetLatency(NodeId a, NodeId b, SimTime one_way) {
+  link_latency_[PairKey(a, b)] = one_way;
+}
+
+SimTime Network::LatencyBetween(NodeId a, NodeId b) const {
+  const auto it = link_latency_.find(PairKey(a, b));
+  return it == link_latency_.end() ? default_latency_ : it->second;
+}
+
+void Network::SetLossProbability(double p, std::uint64_t seed) {
+  NETLOCK_CHECK(p >= 0.0 && p <= 1.0);
+  loss_probability_ = p;
+  loss_state_ = seed | 1;
+}
+
+void Network::Send(Packet pkt) {
+  NETLOCK_CHECK(pkt.dst < handlers_.size());
+  ++packets_sent_;
+  if (loss_probability_ > 0.0) {
+    const double u = static_cast<double>(SplitMix64(loss_state_) >> 11) *
+                     0x1.0p-53;
+    if (u < loss_probability_) {
+      ++packets_dropped_;
+      return;
+    }
+  }
+  const SimTime latency = LatencyBetween(pkt.src, pkt.dst);
+  sim_.Schedule(latency, [this, pkt = std::move(pkt)]() {
+    auto& handler = handlers_[pkt.dst];
+    NETLOCK_CHECK(handler != nullptr);
+    handler(pkt);
+  });
+}
+
+}  // namespace netlock

@@ -1,0 +1,110 @@
+// Simulated rack network: nodes connected through configurable-latency links.
+//
+// This substitutes for the paper's testbed fabric (clients and servers under
+// one ToR). Latency is per node pair with a configurable default; bandwidth
+// serialization is folded into per-component service models (ServiceQueue),
+// matching how the paper reasons about performance: propagation RTT plus
+// endpoint processing capacity.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace netlock {
+
+/// A network packet. Payload is an inline byte buffer: lock messages are
+/// small (tens of bytes) and experiments move tens of millions of packets,
+/// so avoiding per-packet heap allocation matters.
+class Packet {
+ public:
+  static constexpr std::size_t kMaxPayload = 64;
+
+  Packet() = default;
+
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+
+  std::span<const std::uint8_t> payload() const {
+    return {payload_.data(), size_};
+  }
+
+  /// Writable buffer for serialization; call set_size() afterwards.
+  std::span<std::uint8_t> mutable_payload() {
+    return {payload_.data(), payload_.size()};
+  }
+
+  void set_size(std::size_t n) {
+    NETLOCK_CHECK(n <= kMaxPayload);
+    size_ = n;
+  }
+  std::size_t size() const { return size_; }
+
+ private:
+  std::array<std::uint8_t, kMaxPayload> payload_{};
+  std::size_t size_ = 0;
+};
+
+/// Receives packets addressed to a node.
+using PacketHandler = std::function<void(const Packet&)>;
+
+class Network {
+ public:
+  /// `default_one_way_latency` applies to any pair without an explicit link.
+  Network(Simulator& sim, SimTime default_one_way_latency)
+      : sim_(sim), default_latency_(default_one_way_latency) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers a node; the returned id is this node's address.
+  NodeId AddNode(PacketHandler handler);
+
+  /// Replaces the handler for an existing node (used when a component is
+  /// constructed after its address must be known).
+  void SetHandler(NodeId node, PacketHandler handler);
+
+  /// Sets the one-way latency between a and b (both directions).
+  void SetLatency(NodeId a, NodeId b, SimTime one_way);
+
+  SimTime LatencyBetween(NodeId a, NodeId b) const;
+
+  /// Delivers pkt to pkt.dst after the link latency. Packets between a pair
+  /// of nodes are delivered in FIFO order (the event queue is stable and
+  /// latency per pair is constant). If a loss probability is configured the
+  /// packet may be silently dropped, which exercises client retry paths.
+  void Send(Packet pkt);
+
+  /// Sets an independent per-packet loss probability (default 0).
+  void SetLossProbability(double p, std::uint64_t seed = 1);
+
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t packets_dropped() const { return packets_dropped_; }
+  std::size_t num_nodes() const { return handlers_.size(); }
+  Simulator& sim() { return sim_; }
+
+ private:
+  static std::uint64_t PairKey(NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  Simulator& sim_;
+  SimTime default_latency_;
+  std::vector<PacketHandler> handlers_;
+  std::unordered_map<std::uint64_t, SimTime> link_latency_;
+  double loss_probability_ = 0.0;
+  std::uint64_t loss_state_ = 1;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t packets_dropped_ = 0;
+};
+
+}  // namespace netlock

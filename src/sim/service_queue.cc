@@ -1,0 +1,4 @@
+#include "sim/service_queue.h"
+
+// Header-only implementation; this translation unit exists so the target has
+// a stable object for the module and a place for future out-of-line growth.

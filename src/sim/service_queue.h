@@ -1,0 +1,62 @@
+// Rate-limited FIFO service model.
+//
+// Models a processing resource with a fixed per-item service time: a lock
+// server CPU core (the paper's 2.25 MRPS/core DPDK server), an RDMA NIC's
+// verb engine, or a switch pipe. Work submitted while the resource is busy
+// queues behind it, which is exactly what produces the server saturation
+// knees in Figures 9-11.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace netlock {
+
+class ServiceQueue {
+ public:
+  /// `service_time` is the time one item occupies the resource.
+  ServiceQueue(Simulator& sim, SimTime service_time)
+      : sim_(sim), service_time_(service_time) {}
+
+  /// Enqueues work; `on_complete` fires when the item finishes service
+  /// (start-of-service is max(now, previous completion)).
+  void Submit(EventFn on_complete) {
+    SubmitWithTime(service_time_, std::move(on_complete));
+  }
+
+  /// Enqueues work with a per-item service time (e.g., an RDMA NIC where
+  /// atomic verbs are slower than reads but share one engine).
+  void SubmitWithTime(SimTime item_service_time, EventFn on_complete) {
+    const SimTime start = busy_until_ > sim_.now() ? busy_until_ : sim_.now();
+    busy_until_ = start + item_service_time;
+    ++items_served_;
+    sim_.ScheduleAt(busy_until_, std::move(on_complete));
+  }
+
+  /// Time at which the resource frees up (<= now() means idle).
+  SimTime busy_until() const { return busy_until_; }
+
+  /// Current queueing delay a new item would see before starting service.
+  SimTime QueueingDelay() const {
+    return busy_until_ > sim_.now() ? busy_until_ - sim_.now() : 0;
+  }
+
+  SimTime service_time() const { return service_time_; }
+  void set_service_time(SimTime t) { service_time_ = t; }
+  std::uint64_t items_served() const { return items_served_; }
+
+  /// Drops all memory of prior work (used for fault injection: a restarted
+  /// component begins idle).
+  void Reset() { busy_until_ = 0; }
+
+ private:
+  Simulator& sim_;
+  SimTime service_time_;
+  SimTime busy_until_ = 0;
+  std::uint64_t items_served_ = 0;
+};
+
+}  // namespace netlock

@@ -1,0 +1,34 @@
+#include "sim/simulator.h"
+
+#include "common/check.h"
+
+namespace netlock {
+
+void Simulator::ScheduleAt(SimTime when, EventFn fn) {
+  NETLOCK_CHECK(when >= now_);
+  queue_.Push(when, std::move(fn));
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  while (!queue_.Empty() && queue_.NextTime() <= deadline) {
+    Step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+bool Simulator::Step() {
+  if (queue_.Empty()) return false;
+  EventQueue::Event ev = queue_.Pop();
+  NETLOCK_CHECK(ev.when >= now_);
+  now_ = ev.when;
+  ++events_processed_;
+  ev.fn();
+  return true;
+}
+
+}  // namespace netlock

@@ -1,0 +1,50 @@
+// The discrete-event simulator driving every experiment.
+//
+// This replaces the paper's physical testbed clock: all components (clients,
+// the programmable switch model, lock servers, RDMA NICs) schedule work here
+// and observe `now()`. Runs are fully deterministic given the workload seeds.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "sim/event_queue.h"
+
+namespace netlock {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedules fn to run `delay` nanoseconds from now.
+  void Schedule(SimTime delay, EventFn fn) {
+    queue_.Push(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules fn at an absolute time (must be >= now()).
+  void ScheduleAt(SimTime when, EventFn fn);
+
+  /// Runs events until the queue empties.
+  void Run();
+
+  /// Runs events with timestamp <= deadline; afterwards now() == deadline.
+  void RunUntil(SimTime deadline);
+
+  /// Runs a single event if one is pending; returns false when idle.
+  bool Step();
+
+  std::uint64_t events_processed() const { return events_processed_; }
+  std::size_t pending_events() const { return queue_.Size(); }
+
+ private:
+  SimTime now_ = 0;
+  EventQueue queue_;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace netlock

@@ -1,0 +1,25 @@
+#include "switchsim/pipeline.h"
+
+namespace netlock {
+
+PacketPass Pipeline::BeginPass() {
+  PacketPass pass;
+  pass.token_ = next_token_++;
+  pass.pass_index_ = 0;
+  pass.last_stage_ = -1;
+  pass.pipeline_ = this;
+  return pass;
+}
+
+void Pipeline::Resubmit(PacketPass& pass) {
+  NETLOCK_CHECK(pass.pipeline_ == this);
+  ++total_resubmits_;
+  ++pass.pass_index_;
+  if (max_resubmits_ != 0) {
+    NETLOCK_CHECK(pass.pass_index_ <= max_resubmits_);
+  }
+  pass.token_ = next_token_++;
+  pass.last_stage_ = -1;
+}
+
+}  // namespace netlock

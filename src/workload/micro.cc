@@ -1,0 +1,32 @@
+#include "workload/micro.h"
+
+#include "common/check.h"
+
+namespace netlock {
+
+MicroWorkload::MicroWorkload(MicroConfig config)
+    : config_(config), zipf_(config.num_locks, config.zipf_alpha) {
+  NETLOCK_CHECK(config_.num_locks >= 1);
+  NETLOCK_CHECK(config_.locks_per_txn >= 1);
+  NETLOCK_CHECK(config_.shared_fraction >= 0.0 &&
+                config_.shared_fraction <= 1.0);
+}
+
+TxnSpec MicroWorkload::Next(Rng& rng) {
+  TxnSpec txn;
+  txn.locks.reserve(config_.locks_per_txn);
+  for (std::uint32_t i = 0; i < config_.locks_per_txn; ++i) {
+    LockRequest req;
+    req.lock = config_.first_lock +
+               static_cast<LockId>(config_.zipf_alpha == 0.0
+                                       ? rng.NextBounded(config_.num_locks)
+                                       : zipf_.Sample(rng));
+    req.mode = rng.NextBool(config_.shared_fraction) ? LockMode::kShared
+                                                     : LockMode::kExclusive;
+    txn.locks.push_back(req);
+  }
+  NormalizeTxn(txn);
+  return txn;
+}
+
+}  // namespace netlock

@@ -1,0 +1,47 @@
+// Workload generator interface: produces transactions as lock-request sets.
+//
+// The lock manager under test never sees SQL — only the stream of lock
+// requests each transaction issues. Generators therefore emit TxnSpecs: an
+// ordered list of (lock, mode) pairs the transaction engine acquires with
+// two-phase locking.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace netlock {
+
+struct LockRequest {
+  LockId lock = kInvalidLock;
+  LockMode mode = LockMode::kExclusive;
+
+  friend bool operator==(const LockRequest&, const LockRequest&) = default;
+};
+
+struct TxnSpec {
+  std::vector<LockRequest> locks;
+};
+
+class WorkloadGenerator {
+ public:
+  virtual ~WorkloadGenerator() = default;
+
+  /// Produces the next transaction's lock set. Lock ids within a
+  /// transaction are sorted and deduplicated (deadlock avoidance by global
+  /// ordering — the standard discipline; the paper additionally relies on
+  /// leases to break deadlocks from undisciplined clients).
+  virtual TxnSpec Next(Rng& rng) = 0;
+
+  /// Number of distinct lock ids this workload can touch (used by control
+  /// planes to size directories).
+  virtual LockId lock_space() const = 0;
+};
+
+/// Sorts by lock id and merges duplicates (an exclusive request subsumes a
+/// shared one for the same lock).
+void NormalizeTxn(TxnSpec& txn);
+
+}  // namespace netlock

@@ -1,0 +1,226 @@
+// Tests for the client library: session grant matching, retransmission on
+// loss, rejection backoff, machine TX rate limiting, and the transaction
+// engine's closed-loop behaviour.
+#include <gtest/gtest.h>
+
+#include "client/client.h"
+#include "client/txn.h"
+#include "dataplane/switch_dataplane.h"
+#include "test_util.h"
+#include "workload/micro.h"
+
+namespace netlock {
+namespace {
+
+class ClientTest : public ::testing::Test {
+ protected:
+  ClientTest() : net_(sim_, /*latency=*/1000) {
+    LockSwitchConfig config;
+    config.queue_capacity = 128;
+    config.array_size = 64;
+    config.max_locks = 16;
+    switch_ = std::make_unique<LockSwitch>(net_, config);
+    server_ = std::make_unique<testing::PacketCatcher>(net_);
+    machine_ = std::make_unique<ClientMachine>(net_, /*tx_service=*/55);
+  }
+
+  std::unique_ptr<NetLockSession> MakeSession(
+      SimTime retry_timeout = 2 * kMillisecond) {
+    NetLockSession::Config config;
+    config.switch_node = switch_->node();
+    config.retry_timeout = retry_timeout;
+    return std::make_unique<NetLockSession>(*machine_, config);
+  }
+
+  Simulator sim_;
+  Network net_;
+  std::unique_ptr<LockSwitch> switch_;
+  std::unique_ptr<testing::PacketCatcher> server_;
+  std::unique_ptr<ClientMachine> machine_;
+};
+
+TEST_F(ClientTest, AcquireGrantRoundTrip) {
+  ASSERT_TRUE(switch_->InstallLock(1, server_->node(), 8));
+  auto session = MakeSession();
+  AcquireResult result = AcquireResult::kTimeout;
+  session->Acquire(1, LockMode::kExclusive, 42, 0,
+                   [&](AcquireResult r) { result = r; });
+  sim_.RunUntil(kMillisecond);
+  EXPECT_EQ(result, AcquireResult::kGranted);
+}
+
+TEST_F(ClientTest, GrantLatencyIsClientSwitchRtt) {
+  ASSERT_TRUE(switch_->InstallLock(1, server_->node(), 8));
+  auto session = MakeSession();
+  SimTime granted_at = 0;
+  session->Acquire(1, LockMode::kExclusive, 42, 0,
+                   [&](AcquireResult) { granted_at = sim_.now(); });
+  sim_.RunUntil(kMillisecond);
+  // TX service (55) + 1000 out + 1000 back.
+  EXPECT_EQ(granted_at, 55u + 1000u + 1000u);
+}
+
+TEST_F(ClientTest, RetransmitsAfterLoss) {
+  ASSERT_TRUE(switch_->InstallLock(1, server_->node(), 8));
+  net_.SetLossProbability(1.0);  // Drop everything...
+  auto session = MakeSession(/*retry_timeout=*/kMillisecond);
+  AcquireResult result = AcquireResult::kRejected;
+  bool done = false;
+  session->Acquire(1, LockMode::kExclusive, 42, 0, [&](AcquireResult r) {
+    result = r;
+    done = true;
+  });
+  sim_.RunUntil(2 * kMillisecond);
+  net_.SetLossProbability(0.0);  // ...then heal the network.
+  sim_.RunUntil(10 * kMillisecond);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(result, AcquireResult::kGranted);
+  EXPECT_GE(session->retransmits(), 1u);
+}
+
+TEST_F(ClientTest, TimesOutAfterMaxRetries) {
+  // No route for the lock: requests vanish at the switch.
+  auto session = MakeSession(/*retry_timeout=*/100 * kMicrosecond);
+  AcquireResult result = AcquireResult::kGranted;
+  session->Acquire(5, LockMode::kExclusive, 1, 0,
+                   [&](AcquireResult r) { result = r; });
+  sim_.RunUntil(kSecond);
+  EXPECT_EQ(result, AcquireResult::kTimeout);
+}
+
+TEST_F(ClientTest, RejectBacksOffAndRetries) {
+  ASSERT_TRUE(switch_->InstallLock(1, server_->node(), 8));
+  ASSERT_TRUE(switch_->InstallLock(2, server_->node(), 8));
+  // One token per 100 us, burst 1: back-to-back requests exceed the quota.
+  switch_->quota().Configure(/*tenant=*/0, /*rate=*/1e4, /*burst=*/1);
+  auto session = MakeSession();
+  int granted = 0;
+  session->Acquire(1, LockMode::kExclusive, 1, 0,
+                   [&](AcquireResult r) { granted += r == AcquireResult::kGranted; });
+  // Second acquire in the same burst window: rejected, backs off, then the
+  // bucket refills and the retransmit succeeds.
+  session->Acquire(2, LockMode::kExclusive, 2, 0,
+                   [&](AcquireResult r) { granted += r == AcquireResult::kGranted; });
+  sim_.RunUntil(10 * kMillisecond);
+  EXPECT_EQ(granted, 2);
+  EXPECT_GE(switch_->stats().rejected_quota, 1u);
+}
+
+TEST_F(ClientTest, MachineTxRateCapsThroughput) {
+  ClientMachine slow(net_, /*tx_service=*/1000);  // 1 Mpps NIC.
+  for (int i = 0; i < 100; ++i) {
+    Packet pkt;
+    pkt.src = 0;
+    pkt.dst = server_->node();
+    LockHeader hdr;
+    hdr.SerializeTo(pkt);
+    slow.Send(pkt);
+  }
+  sim_.RunUntil(50 * kMicrosecond);
+  // Only ~50 packets could leave the NIC in 50 us.
+  EXPECT_LE(server_->received().size(), 51u);
+  EXPECT_GE(server_->received().size(), 48u);
+}
+
+class TxnEngineTest : public ClientTest {};
+
+TEST_F(TxnEngineTest, ClosedLoopCommitsTransactions) {
+  for (LockId lock = 0; lock < 4; ++lock) {
+    ASSERT_TRUE(switch_->InstallLock(lock, server_->node(), 16));
+  }
+  auto session = MakeSession();
+  MicroConfig wconfig;
+  wconfig.num_locks = 4;
+  wconfig.locks_per_txn = 2;
+  TxnEngineConfig config;
+  config.think_time = 5 * kMicrosecond;
+  TxnEngine engine(sim_, *session,
+                   std::make_unique<MicroWorkload>(wconfig), 1, 99, config);
+  engine.SetRecording(true);
+  engine.Start();
+  sim_.RunUntil(10 * kMillisecond);
+  engine.Stop();
+  sim_.RunUntil(sim_.now() + kMillisecond);
+  EXPECT_TRUE(engine.idle());
+  const RunMetrics& m = engine.metrics();
+  EXPECT_GT(m.txn_commits, 100u);
+  EXPECT_EQ(m.lock_grants, m.lock_requests);
+  // Each txn: ~2 lock acquires, each ~2 us RTT, plus 5 us think.
+  EXPECT_GT(m.txn_latency.Median(), 5 * kMicrosecond);
+}
+
+TEST_F(TxnEngineTest, ThinkTimeBoundsThroughput) {
+  ASSERT_TRUE(switch_->InstallLock(0, server_->node(), 16));
+  auto session = MakeSession();
+  MicroConfig wconfig;
+  wconfig.num_locks = 1;
+  TxnEngineConfig config;
+  config.think_time = 100 * kMicrosecond;
+  TxnEngine engine(sim_, *session,
+                   std::make_unique<MicroWorkload>(wconfig), 1, 7, config);
+  engine.SetRecording(true);
+  engine.Start();
+  sim_.RunUntil(100 * kMillisecond);
+  // <= 1000 txns in 100 ms at >= 100 us each.
+  EXPECT_LE(engine.metrics().txn_commits, 1000u);
+  EXPECT_GE(engine.metrics().txn_commits, 800u);
+}
+
+TEST_F(TxnEngineTest, RecordingWindowExcludesWarmup) {
+  ASSERT_TRUE(switch_->InstallLock(0, server_->node(), 16));
+  auto session = MakeSession();
+  MicroConfig wconfig;
+  wconfig.num_locks = 1;
+  TxnEngine engine(sim_, *session,
+                   std::make_unique<MicroWorkload>(wconfig), 1, 8,
+                   TxnEngineConfig{});
+  engine.Start();
+  sim_.RunUntil(kMillisecond);
+  EXPECT_EQ(engine.metrics().txn_commits, 0u);  // Not recording yet.
+  engine.SetRecording(true);
+  sim_.RunUntil(2 * kMillisecond);
+  EXPECT_GT(engine.metrics().txn_commits, 0u);
+}
+
+TEST_F(TxnEngineTest, StopAndRestart) {
+  ASSERT_TRUE(switch_->InstallLock(0, server_->node(), 16));
+  auto session = MakeSession();
+  MicroConfig wconfig;
+  wconfig.num_locks = 1;
+  TxnEngine engine(sim_, *session,
+                   std::make_unique<MicroWorkload>(wconfig), 1, 9,
+                   TxnEngineConfig{});
+  engine.Start();
+  sim_.RunUntil(kMillisecond);
+  engine.Stop();
+  sim_.RunUntil(sim_.now() + kMillisecond);
+  ASSERT_TRUE(engine.idle());
+  engine.SetRecording(true);
+  engine.Restart();
+  sim_.RunUntil(sim_.now() + kMillisecond);
+  EXPECT_GT(engine.metrics().txn_commits, 0u);
+}
+
+TEST_F(TxnEngineTest, AbortReleasesAndRetries) {
+  // Lock 0 routed nowhere: acquire times out, engine aborts and retries.
+  ASSERT_TRUE(switch_->InstallLock(1, server_->node(), 16));
+  auto session = MakeSession(/*retry_timeout=*/50 * kMicrosecond);
+  MicroConfig wconfig;
+  wconfig.num_locks = 2;  // Locks 0 (dead) and 1 (alive).
+  wconfig.locks_per_txn = 2;
+  TxnEngineConfig config;
+  config.abort_backoff = 10 * kMicrosecond;
+  TxnEngine engine(sim_, *session,
+                   std::make_unique<MicroWorkload>(wconfig), 1, 10, config);
+  engine.SetRecording(true);
+  engine.Start();
+  sim_.RunUntil(50 * kMillisecond);
+  EXPECT_GT(engine.aborts(), 0u);
+  // Lock 1 must never be left stuck: its switch queue drains on aborts.
+  engine.Stop();
+  sim_.RunUntil(sim_.now() + 20 * kMillisecond);
+  EXPECT_TRUE(switch_->QueueEmpty(1));
+}
+
+}  // namespace
+}  // namespace netlock

@@ -1,0 +1,199 @@
+// Tests for the common substrate: PRNG determinism and distributions,
+// Zipf sampling, latency statistics, and time series.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stats.h"
+
+namespace netlock {
+namespace {
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedIsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextBounded(10)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 100);  // Within 10% of expectation.
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.NextInRange(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= v == 5;
+    saw_hi |= v == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(9);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(50.0);
+  EXPECT_NEAR(sum / n, 50.0, 1.0);
+}
+
+TEST(ZipfTest, UniformWhenAlphaZero) {
+  ZipfSampler zipf(100, 0.0);
+  Rng rng(1);
+  std::vector<int> counts(100, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  for (const int c : counts) EXPECT_NEAR(c, n / 100, n / 200);
+}
+
+TEST(ZipfTest, SkewConcentratesOnHead) {
+  ZipfSampler zipf(1000, 1.2);
+  Rng rng(2);
+  int head = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Sample(rng) < 10) ++head;
+  }
+  // With alpha=1.2 the top-10 of 1000 get well over a third of the mass.
+  EXPECT_GT(head, n / 3);
+}
+
+TEST(ZipfTest, RankFrequencyRatioMatchesAlpha) {
+  const double alpha = 1.0;
+  ZipfSampler zipf(10000, alpha);
+  Rng rng(3);
+  std::vector<int> counts(10000, 0);
+  const int n = 2000000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  // P(rank 1) / P(rank 8) should be ~= 8^alpha.
+  const double ratio =
+      static_cast<double>(counts[0]) / std::max(1, counts[7]);
+  EXPECT_NEAR(ratio, std::pow(8.0, alpha), 2.0);
+}
+
+TEST(ZipfTest, SingleElementAlwaysZero) {
+  ZipfSampler zipf(1, 1.5);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+TEST(LatencyRecorderTest, ExactPercentiles) {
+  LatencyRecorder rec;
+  for (SimTime v = 1; v <= 100; ++v) rec.Record(v);
+  EXPECT_EQ(rec.Median(), 50u);
+  EXPECT_EQ(rec.P99(), 99u);
+  EXPECT_EQ(rec.Percentile(1.0), 100u);
+  EXPECT_EQ(rec.Min(), 1u);
+  EXPECT_EQ(rec.Max(), 100u);
+  EXPECT_DOUBLE_EQ(rec.Mean(), 50.5);
+}
+
+TEST(LatencyRecorderTest, EmptyIsZero) {
+  LatencyRecorder rec;
+  EXPECT_EQ(rec.Median(), 0u);
+  EXPECT_EQ(rec.Mean(), 0.0);
+  EXPECT_TRUE(rec.Cdf().empty());
+}
+
+TEST(LatencyRecorderTest, RecordAfterQueryResorts) {
+  LatencyRecorder rec;
+  rec.Record(10);
+  EXPECT_EQ(rec.Median(), 10u);
+  rec.Record(5);
+  rec.Record(1);
+  EXPECT_EQ(rec.Median(), 5u);
+}
+
+TEST(LatencyRecorderTest, MergeCombinesSamples) {
+  LatencyRecorder a, b;
+  a.Record(1);
+  b.Record(3);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.Max(), 3u);
+}
+
+TEST(LatencyRecorderTest, CdfIsMonotone) {
+  LatencyRecorder rec;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) rec.Record(rng.NextBounded(10000));
+  const auto cdf = rec.Cdf(50);
+  ASSERT_EQ(cdf.size(), 50u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GT(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(TimeSeriesTest, BucketsByTime) {
+  TimeSeries ts(100 * kMillisecond);
+  ts.Record(50 * kMillisecond);
+  ts.Record(150 * kMillisecond);
+  ts.Record(199 * kMillisecond);
+  EXPECT_EQ(ts.BucketCount(0), 1u);
+  EXPECT_EQ(ts.BucketCount(1), 2u);
+  EXPECT_EQ(ts.BucketCount(2), 0u);
+}
+
+TEST(TimeSeriesTest, RateAndMidpoint) {
+  TimeSeries ts(100 * kMillisecond);
+  ts.Record(10 * kMillisecond, 5000);
+  EXPECT_DOUBLE_EQ(ts.BucketRate(0), 50000.0);  // 5000 / 0.1 s.
+  EXPECT_DOUBLE_EQ(ts.BucketTimeSeconds(0), 0.05);
+}
+
+TEST(RunMetricsTest, ThroughputComputation) {
+  RunMetrics m;
+  m.lock_grants = 1'000'000;
+  m.txn_commits = 100'000;
+  m.duration = kSecond;
+  EXPECT_DOUBLE_EQ(m.LockThroughputMrps(), 1.0);
+  EXPECT_DOUBLE_EQ(m.TxnThroughputMtps(), 0.1);
+}
+
+TEST(FormatNanosTest, Units) {
+  EXPECT_EQ(FormatNanos(500), "500ns");
+  EXPECT_EQ(FormatNanos(1500), "1.5us");
+  EXPECT_EQ(FormatNanos(2 * kMillisecond), "2.00ms");
+  EXPECT_EQ(FormatNanos(3 * kSecond), "3.00s");
+}
+
+}  // namespace
+}  // namespace netlock

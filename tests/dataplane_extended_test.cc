@@ -1,0 +1,185 @@
+// Extended data-plane tests: demand-counter harvesting on both paths,
+// suspended-mode interaction with overflow, quota on the priority path,
+// priority-class overflow, and region accounting across install cycles.
+#include <gtest/gtest.h>
+
+#include "dataplane/switch_dataplane.h"
+#include "server/lock_server.h"
+#include "test_util.h"
+
+namespace netlock {
+namespace {
+
+using testing::MakeAcquire;
+using testing::MakeRelease;
+using testing::PacketCatcher;
+
+class ExtendedFixture : public ::testing::Test {
+ protected:
+  explicit ExtendedFixture(std::uint8_t priorities = 1)
+      : net_(sim_, 1000) {
+    LockSwitchConfig config;
+    config.queue_capacity = 512;
+    config.array_size = 128;
+    config.max_locks = 32;
+    config.num_priorities = priorities;
+    switch_ = std::make_unique<LockSwitch>(net_, config);
+    client_ = std::make_unique<PacketCatcher>(net_);
+    server_ = std::make_unique<LockServer>(net_, LockServerConfig{});
+    server_->set_switch_node(switch_->node());
+  }
+
+  void Send(const LockHeader& hdr) {
+    net_.Send(MakeLockPacket(client_->node(), switch_->node(), hdr));
+    sim_.Run();
+  }
+
+  Simulator sim_;
+  Network net_;
+  std::unique_ptr<LockSwitch> switch_;
+  std::unique_ptr<PacketCatcher> client_;
+  std::unique_ptr<LockServer> server_;
+};
+
+class DefaultPathExtendedTest : public ExtendedFixture {};
+
+TEST_F(DefaultPathExtendedTest, SwitchHarvestCountsRatesAndContention) {
+  ASSERT_TRUE(switch_->InstallLock(1, server_->node(), 16));
+  // 5 concurrent exclusive requests: r = 5, c = 5.
+  for (TxnId txn = 0; txn < 5; ++txn) {
+    Send(MakeAcquire(1, LockMode::kExclusive, txn, client_->node()));
+  }
+  std::vector<LockDemand> demands;
+  switch_->HarvestDemands(/*window_sec=*/1.0, demands);
+  ASSERT_EQ(demands.size(), 1u);
+  EXPECT_DOUBLE_EQ(demands[0].rate, 5.0);
+  EXPECT_EQ(demands[0].contention, 5u);
+  // Harvest resets the rate counter but contention floor follows the
+  // current occupancy.
+  demands.clear();
+  switch_->HarvestDemands(1.0, demands);
+  EXPECT_DOUBLE_EQ(demands[0].rate, 0.0);
+  EXPECT_EQ(demands[0].contention, 5u);
+}
+
+TEST_F(DefaultPathExtendedTest, SuspendedLockStillOverflowsWhenFull) {
+  ASSERT_TRUE(switch_->InstallLock(1, server_->node(), 2,
+                                   /*suspended=*/true));
+  for (TxnId txn = 0; txn < 4; ++txn) {
+    Send(MakeAcquire(1, LockMode::kExclusive, txn, client_->node()));
+  }
+  // Two queued (no grants), two in q2.
+  EXPECT_TRUE(client_->Grants().empty());
+  EXPECT_EQ(server_->OverflowDepth(1), 2u);
+  // Activation grants the head; the drain then pulls q2 through normally.
+  switch_->Activate(1);
+  sim_.Run();
+  EXPECT_TRUE(client_->HasGrantFor(0));
+  std::vector<TxnId> order;
+  for (int round = 0; round < 16 && order.size() < 4; ++round) {
+    for (const auto& g : client_->Grants()) {
+      if (std::find(order.begin(), order.end(), g.txn_id) == order.end()) {
+        order.push_back(g.txn_id);
+        Send(MakeRelease(1, LockMode::kExclusive, g.txn_id,
+                         client_->node()));
+      }
+    }
+  }
+  EXPECT_EQ(order, (std::vector<TxnId>{0, 1, 2, 3}));
+}
+
+class PriorityExtendedTest : public ExtendedFixture {
+ protected:
+  PriorityExtendedTest() : ExtendedFixture(/*priorities=*/2) {}
+};
+
+TEST_F(PriorityExtendedTest, HarvestWorksOnPriorityPath) {
+  ASSERT_TRUE(switch_->InstallLock(1, server_->node(), 8));
+  for (TxnId txn = 0; txn < 3; ++txn) {
+    LockHeader hdr = MakeAcquire(1, LockMode::kExclusive, txn,
+                                 client_->node());
+    hdr.priority = static_cast<Priority>(txn % 2);
+    Send(hdr);
+  }
+  std::vector<LockDemand> demands;
+  switch_->HarvestDemands(1.0, demands);
+  ASSERT_EQ(demands.size(), 1u);
+  EXPECT_DOUBLE_EQ(demands[0].rate, 3.0);
+  EXPECT_GE(demands[0].contention, 3u);
+}
+
+TEST_F(PriorityExtendedTest, QuotaAppliesOnPriorityPath) {
+  ASSERT_TRUE(switch_->InstallLock(1, server_->node(), 8));
+  switch_->quota().Configure(/*tenant=*/3, /*rate=*/10.0, /*burst=*/1);
+  LockHeader first = MakeAcquire(1, LockMode::kExclusive, 1,
+                                 client_->node());
+  first.tenant = 3;
+  Send(first);
+  LockHeader second = MakeAcquire(2, LockMode::kExclusive, 2,
+                                  client_->node());
+  second.tenant = 3;
+  Send(second);
+  EXPECT_TRUE(client_->HasGrantFor(1));
+  EXPECT_EQ(switch_->stats().rejected_quota, 1u);
+  bool saw_reject = false;
+  for (const auto& msg : client_->received()) {
+    saw_reject |= msg.op == LockOp::kReject && msg.txn_id == 2;
+  }
+  EXPECT_TRUE(saw_reject);
+}
+
+TEST_F(PriorityExtendedTest, FullPriorityClassOverflowsToServer) {
+  // 8 slots split across 2 classes -> 4 per class.
+  ASSERT_TRUE(switch_->InstallLock(1, server_->node(), 8));
+  // Fill class 1 beyond its region: 1 holder + 4 waiting + overflow.
+  for (TxnId txn = 0; txn < 6; ++txn) {
+    LockHeader hdr = MakeAcquire(1, LockMode::kExclusive, txn,
+                                 client_->node());
+    hdr.priority = 1;
+    Send(hdr);
+  }
+  EXPECT_GE(switch_->stats().forwarded_overflow, 1u);
+  EXPECT_GE(server_->OverflowDepth(1), 1u);
+}
+
+TEST_F(PriorityExtendedTest, QueueEmptyReflectsHoldersAndWaiters) {
+  ASSERT_TRUE(switch_->InstallLock(1, server_->node(), 8));
+  EXPECT_TRUE(switch_->QueueEmpty(1));
+  Send(MakeAcquire(1, LockMode::kExclusive, 1, client_->node()));
+  EXPECT_FALSE(switch_->QueueEmpty(1));  // Holder.
+  Send(MakeAcquire(1, LockMode::kExclusive, 2, client_->node()));
+  Send(MakeRelease(1, LockMode::kExclusive, 1, client_->node()));
+  EXPECT_FALSE(switch_->QueueEmpty(1));  // txn 2 now holds.
+  Send(MakeRelease(1, LockMode::kExclusive, 2, client_->node()));
+  EXPECT_TRUE(switch_->QueueEmpty(1));
+}
+
+TEST_F(PriorityExtendedTest, LeaseClearsExpiredHolderOnPriorityPath) {
+  ASSERT_TRUE(switch_->InstallLock(1, server_->node(), 8));
+  Send(MakeAcquire(1, LockMode::kExclusive, 1, client_->node()));
+  LockHeader low = MakeAcquire(1, LockMode::kExclusive, 2, client_->node());
+  low.priority = 1;
+  Send(low);
+  EXPECT_FALSE(client_->HasGrantFor(2));
+  sim_.RunUntil(sim_.now() + 20 * kMillisecond);
+  switch_->ClearExpired(/*lease=*/5 * kMillisecond);
+  sim_.Run();
+  EXPECT_TRUE(client_->HasGrantFor(2));
+}
+
+TEST_F(DefaultPathExtendedTest, RegionsRecycleAcrossInstallCycles) {
+  // Install/remove cycles must not leak shared-queue slots or meta cells.
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    for (LockId lock = 0; lock < 16; ++lock) {
+      ASSERT_TRUE(switch_->InstallLock(100 + lock, server_->node(), 32))
+          << "cycle " << cycle << " lock " << lock;
+    }
+    for (LockId lock = 0; lock < 16; ++lock) {
+      switch_->RemoveLock(100 + lock);
+    }
+  }
+  EXPECT_EQ(switch_->table().free_slots(), 512u);
+}
+
+}  // namespace
+}  // namespace netlock

@@ -1,0 +1,405 @@
+// Tests for the NetLock switch data plane: Algorithm 2's grant/queue rules,
+// the four release cases, circular-region wrap-around, shared-queue
+// mapping, and lease-based cleanup.
+#include <gtest/gtest.h>
+
+#include "dataplane/shared_queue.h"
+#include "dataplane/switch_dataplane.h"
+#include "test_util.h"
+
+namespace netlock {
+namespace {
+
+using testing::MakeAcquire;
+using testing::MakeRelease;
+using testing::PacketCatcher;
+
+class DataplaneTest : public ::testing::Test {
+ protected:
+  DataplaneTest() : net_(sim_, /*latency=*/1000) {
+    LockSwitchConfig config;
+    config.queue_capacity = 256;
+    config.array_size = 64;  // Force multi-array pooling.
+    config.max_locks = 32;
+    switch_ = std::make_unique<LockSwitch>(net_, config);
+    client_ = std::make_unique<PacketCatcher>(net_);
+    server_ = std::make_unique<PacketCatcher>(net_);
+  }
+
+  void Install(LockId lock, std::uint32_t slots) {
+    ASSERT_TRUE(switch_->InstallLock(lock, server_->node(), slots));
+  }
+
+  void Send(const LockHeader& hdr) {
+    switch_->HandlePacket(MakeLockPacket(hdr.client_node, switch_->node(),
+                                         hdr));
+    sim_.Run();  // Deliver grants.
+  }
+
+  Simulator sim_;
+  Network net_;
+  std::unique_ptr<LockSwitch> switch_;
+  std::unique_ptr<PacketCatcher> client_;
+  std::unique_ptr<PacketCatcher> server_;
+};
+
+TEST_F(DataplaneTest, GrantsExclusiveOnEmptyQueue) {
+  Install(1, 8);
+  Send(MakeAcquire(1, LockMode::kExclusive, 100, client_->node()));
+  ASSERT_TRUE(client_->HasGrantFor(100));
+  EXPECT_EQ(switch_->stats().grants, 1u);
+}
+
+TEST_F(DataplaneTest, QueuesSecondExclusive) {
+  Install(1, 8);
+  Send(MakeAcquire(1, LockMode::kExclusive, 100, client_->node()));
+  Send(MakeAcquire(1, LockMode::kExclusive, 101, client_->node()));
+  EXPECT_TRUE(client_->HasGrantFor(100));
+  EXPECT_FALSE(client_->HasGrantFor(101));
+}
+
+TEST_F(DataplaneTest, GrantsAllSharedImmediately) {
+  Install(1, 8);
+  for (TxnId txn = 0; txn < 5; ++txn) {
+    Send(MakeAcquire(1, LockMode::kShared, txn, client_->node()));
+  }
+  EXPECT_EQ(client_->Grants().size(), 5u);
+}
+
+TEST_F(DataplaneTest, SharedBehindExclusiveWaits) {
+  Install(1, 8);
+  Send(MakeAcquire(1, LockMode::kExclusive, 1, client_->node()));
+  Send(MakeAcquire(1, LockMode::kShared, 2, client_->node()));
+  EXPECT_FALSE(client_->HasGrantFor(2));
+}
+
+// Release case Shared -> Shared: remaining shared holder already granted,
+// no new grant is generated.
+TEST_F(DataplaneTest, ReleaseSharedThenSharedNoNewGrant) {
+  Install(1, 8);
+  Send(MakeAcquire(1, LockMode::kShared, 1, client_->node()));
+  Send(MakeAcquire(1, LockMode::kShared, 2, client_->node()));
+  client_->Clear();
+  Send(MakeRelease(1, LockMode::kShared, 1, client_->node()));
+  EXPECT_TRUE(client_->Grants().empty());
+  EXPECT_EQ(switch_->stats().releases, 1u);
+}
+
+// Release case Shared -> Exclusive: the last shared holder leaves and the
+// waiting exclusive is granted.
+TEST_F(DataplaneTest, ReleaseSharedGrantsWaitingExclusive) {
+  Install(1, 8);
+  Send(MakeAcquire(1, LockMode::kShared, 1, client_->node()));
+  Send(MakeAcquire(1, LockMode::kExclusive, 2, client_->node()));
+  EXPECT_FALSE(client_->HasGrantFor(2));
+  Send(MakeRelease(1, LockMode::kShared, 1, client_->node()));
+  EXPECT_TRUE(client_->HasGrantFor(2));
+}
+
+// Two shared holders + waiting exclusive: the exclusive is granted only
+// after BOTH release (heads dequeue in order regardless of releaser).
+TEST_F(DataplaneTest, ExclusiveWaitsForAllSharedHolders) {
+  Install(1, 8);
+  Send(MakeAcquire(1, LockMode::kShared, 1, client_->node()));
+  Send(MakeAcquire(1, LockMode::kShared, 2, client_->node()));
+  Send(MakeAcquire(1, LockMode::kExclusive, 3, client_->node()));
+  // Out-of-order shared release (txn 2 first): commutative, no grant yet.
+  Send(MakeRelease(1, LockMode::kShared, 2, client_->node()));
+  EXPECT_FALSE(client_->HasGrantFor(3));
+  Send(MakeRelease(1, LockMode::kShared, 1, client_->node()));
+  EXPECT_TRUE(client_->HasGrantFor(3));
+}
+
+// Release case Exclusive -> Exclusive: next exclusive granted, exactly one.
+TEST_F(DataplaneTest, ReleaseExclusiveGrantsNextExclusive) {
+  Install(1, 8);
+  Send(MakeAcquire(1, LockMode::kExclusive, 1, client_->node()));
+  Send(MakeAcquire(1, LockMode::kExclusive, 2, client_->node()));
+  Send(MakeAcquire(1, LockMode::kExclusive, 3, client_->node()));
+  client_->Clear();
+  Send(MakeRelease(1, LockMode::kExclusive, 1, client_->node()));
+  const auto grants = client_->Grants();
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].txn_id, 2u);
+}
+
+// Release case Exclusive -> Shared: the resubmit chain grants every leading
+// shared request and stops at the next exclusive.
+TEST_F(DataplaneTest, ReleaseExclusiveGrantsSharedBatch) {
+  Install(1, 16);
+  Send(MakeAcquire(1, LockMode::kExclusive, 1, client_->node()));
+  for (TxnId txn = 2; txn <= 4; ++txn) {
+    Send(MakeAcquire(1, LockMode::kShared, txn, client_->node()));
+  }
+  Send(MakeAcquire(1, LockMode::kExclusive, 5, client_->node()));
+  Send(MakeAcquire(1, LockMode::kShared, 6, client_->node()));
+  client_->Clear();
+  const std::uint64_t resubmits_before = switch_->resubmits();
+  Send(MakeRelease(1, LockMode::kExclusive, 1, client_->node()));
+  const auto grants = client_->Grants();
+  ASSERT_EQ(grants.size(), 3u);
+  EXPECT_EQ(grants[0].txn_id, 2u);
+  EXPECT_EQ(grants[1].txn_id, 3u);
+  EXPECT_EQ(grants[2].txn_id, 4u);
+  EXPECT_FALSE(client_->HasGrantFor(5));
+  EXPECT_FALSE(client_->HasGrantFor(6));
+  // One resubmit to inspect the head plus one per extra shared grant.
+  EXPECT_GE(switch_->resubmits() - resubmits_before, 3u);
+}
+
+// FCFS: grants follow enqueue order across a long mixed sequence.
+TEST_F(DataplaneTest, FcfsGrantOrder) {
+  Install(1, 32);
+  // E0, then S1..S3, then E4, then S5.
+  Send(MakeAcquire(1, LockMode::kExclusive, 0, client_->node()));
+  for (TxnId txn = 1; txn <= 3; ++txn) {
+    Send(MakeAcquire(1, LockMode::kShared, txn, client_->node()));
+  }
+  Send(MakeAcquire(1, LockMode::kExclusive, 4, client_->node()));
+  Send(MakeAcquire(1, LockMode::kShared, 5, client_->node()));
+
+  std::vector<TxnId> grant_order{0};
+  client_->Clear();
+  Send(MakeRelease(1, LockMode::kExclusive, 0, client_->node()));  // S1-3.
+  for (const auto& g : client_->Grants()) grant_order.push_back(g.txn_id);
+  client_->Clear();
+  for (TxnId txn = 1; txn <= 3; ++txn) {
+    Send(MakeRelease(1, LockMode::kShared, txn, client_->node()));
+  }
+  for (const auto& g : client_->Grants()) grant_order.push_back(g.txn_id);
+  client_->Clear();
+  Send(MakeRelease(1, LockMode::kExclusive, 4, client_->node()));
+  for (const auto& g : client_->Grants()) grant_order.push_back(g.txn_id);
+
+  EXPECT_EQ(grant_order, (std::vector<TxnId>{0, 1, 2, 3, 4, 5}));
+}
+
+// The circular region wraps: run more traffic than the region size.
+TEST_F(DataplaneTest, CircularRegionWrapAround) {
+  Install(1, 4);
+  for (TxnId txn = 0; txn < 100; ++txn) {
+    Send(MakeAcquire(1, LockMode::kExclusive, txn, client_->node()));
+    ASSERT_TRUE(client_->HasGrantFor(txn)) << txn;
+    Send(MakeRelease(1, LockMode::kExclusive, txn, client_->node()));
+  }
+  EXPECT_EQ(switch_->stats().grants, 100u);
+}
+
+// Wrap with queued waiters crossing the boundary.
+TEST_F(DataplaneTest, WrapWithWaiters) {
+  Install(1, 3);
+  // Fill: grant 0, queue 1, 2.
+  for (TxnId txn = 0; txn < 3; ++txn) {
+    Send(MakeAcquire(1, LockMode::kExclusive, txn, client_->node()));
+  }
+  for (TxnId txn = 0; txn < 3; ++txn) {
+    ASSERT_TRUE(client_->HasGrantFor(txn));
+    Send(MakeRelease(1, LockMode::kExclusive, txn, client_->node()));
+    // Freed slot is immediately reusable by the next acquire.
+    Send(MakeAcquire(1, LockMode::kExclusive, 10 + txn, client_->node()));
+  }
+  for (TxnId txn = 10; txn < 13; ++txn) {
+    Send(MakeRelease(1, LockMode::kExclusive, txn, client_->node()));
+  }
+  EXPECT_EQ(switch_->stats().grants, 6u);
+}
+
+// Requests for locks the switch does not own are forwarded to the server.
+TEST_F(DataplaneTest, ForwardsUnownedLocks) {
+  switch_->SetHomeServer(7, server_->node());
+  Send(MakeAcquire(7, LockMode::kExclusive, 1, client_->node()));
+  ASSERT_EQ(server_->received().size(), 1u);
+  EXPECT_EQ(server_->received()[0].op, LockOp::kAcquire);
+  EXPECT_TRUE(server_->received()[0].flags & kFlagServerOwned);
+  EXPECT_EQ(switch_->stats().forwarded_unowned, 1u);
+}
+
+TEST_F(DataplaneTest, DefaultRouteUsedWithoutEntry) {
+  switch_->SetDefaultRoute([this](LockId) { return server_->node(); });
+  Send(MakeAcquire(99, LockMode::kShared, 1, client_->node()));
+  ASSERT_EQ(server_->received().size(), 1u);
+}
+
+TEST_F(DataplaneTest, StaleReleaseIsDropped) {
+  Install(1, 8);
+  Send(MakeRelease(1, LockMode::kExclusive, 42, client_->node()));
+  EXPECT_EQ(switch_->stats().stale_releases, 1u);
+  EXPECT_EQ(switch_->stats().releases, 0u);
+}
+
+TEST_F(DataplaneTest, FailedSwitchDropsPackets) {
+  Install(1, 8);
+  switch_->Fail();
+  Send(MakeAcquire(1, LockMode::kExclusive, 1, client_->node()));
+  EXPECT_FALSE(client_->HasGrantFor(1));
+  EXPECT_EQ(switch_->stats().dropped_while_failed, 1u);
+}
+
+TEST_F(DataplaneTest, RestartLosesStateButServesAgain) {
+  Install(1, 8);
+  Send(MakeAcquire(1, LockMode::kExclusive, 1, client_->node()));
+  switch_->Fail();
+  switch_->Restart();
+  EXPECT_FALSE(switch_->IsInstalled(1));
+  // Reinstall (control-plane recovery) and serve.
+  Install(1, 8);
+  Send(MakeAcquire(1, LockMode::kExclusive, 2, client_->node()));
+  EXPECT_TRUE(client_->HasGrantFor(2));
+}
+
+TEST_F(DataplaneTest, LeaseExpiryForcesReleaseAndUnblocks) {
+  Install(1, 8);
+  Send(MakeAcquire(1, LockMode::kExclusive, 1, client_->node()));
+  Send(MakeAcquire(1, LockMode::kExclusive, 2, client_->node()));
+  EXPECT_FALSE(client_->HasGrantFor(2));
+  // Advance past the lease; the control plane clears the expired holder.
+  sim_.RunUntil(sim_.now() + 10 * kMillisecond);
+  switch_->ClearExpired(/*lease=*/5 * kMillisecond);
+  sim_.Run();
+  EXPECT_TRUE(client_->HasGrantFor(2));
+}
+
+TEST_F(DataplaneTest, LeaseKeepsFreshEntries) {
+  Install(1, 8);
+  Send(MakeAcquire(1, LockMode::kExclusive, 1, client_->node()));
+  switch_->ClearExpired(/*lease=*/5 * kMillisecond);
+  sim_.Run();
+  // Holder is fresh: a second request must still wait.
+  Send(MakeAcquire(1, LockMode::kExclusive, 2, client_->node()));
+  EXPECT_FALSE(client_->HasGrantFor(2));
+}
+
+TEST_F(DataplaneTest, PausedLockForwardsBufferOnly) {
+  Install(1, 8);
+  switch_->PauseLock(1, true);
+  Send(MakeAcquire(1, LockMode::kExclusive, 1, client_->node()));
+  ASSERT_EQ(server_->received().size(), 1u);
+  EXPECT_TRUE(server_->received()[0].flags & kFlagBufferOnly);
+  EXPECT_TRUE(switch_->QueueEmpty(1));
+}
+
+TEST_F(DataplaneTest, RemoveLockRequiresDrain) {
+  Install(1, 8);
+  Send(MakeAcquire(1, LockMode::kExclusive, 1, client_->node()));
+  EXPECT_FALSE(switch_->QueueEmpty(1));
+  Send(MakeRelease(1, LockMode::kExclusive, 1, client_->node()));
+  EXPECT_TRUE(switch_->QueueEmpty(1));
+  switch_->RemoveLock(1);
+  EXPECT_FALSE(switch_->IsInstalled(1));
+}
+
+// Grant observer fires for every grant with correct attribution.
+TEST_F(DataplaneTest, GrantObserverSeesEveryGrant) {
+  Install(1, 8);
+  std::vector<std::pair<TxnId, LockMode>> observed;
+  switch_->set_grant_observer(
+      [&](LockId lock, TxnId txn, LockMode mode, NodeId) {
+        EXPECT_EQ(lock, 1u);
+        observed.emplace_back(txn, mode);
+      });
+  Send(MakeAcquire(1, LockMode::kExclusive, 1, client_->node()));
+  Send(MakeAcquire(1, LockMode::kShared, 2, client_->node()));
+  Send(MakeRelease(1, LockMode::kExclusive, 1, client_->node()));
+  ASSERT_EQ(observed.size(), 2u);
+  EXPECT_EQ(observed[0].first, 1u);
+  EXPECT_EQ(observed[1].first, 2u);
+  EXPECT_EQ(observed[1].second, LockMode::kShared);
+}
+
+// Multiple independent locks do not interfere.
+TEST_F(DataplaneTest, IndependentLocksIsolated) {
+  Install(1, 4);
+  Install(2, 4);
+  Send(MakeAcquire(1, LockMode::kExclusive, 1, client_->node()));
+  Send(MakeAcquire(2, LockMode::kExclusive, 2, client_->node()));
+  EXPECT_TRUE(client_->HasGrantFor(1));
+  EXPECT_TRUE(client_->HasGrantFor(2));
+  Send(MakeAcquire(2, LockMode::kExclusive, 3, client_->node()));
+  EXPECT_FALSE(client_->HasGrantFor(3));
+  Send(MakeRelease(1, LockMode::kExclusive, 1, client_->node()));
+  EXPECT_FALSE(client_->HasGrantFor(3));  // Lock 1's release can't grant 2's.
+}
+
+// Parameterized sweep: every interleaving of 2 shared + 1 exclusive arrival
+// orders preserves mutual exclusion and grants everyone exactly once.
+class DataplaneOrderTest : public DataplaneTest,
+                           public ::testing::WithParamInterface<int> {};
+
+TEST_P(DataplaneOrderTest, AllArrivalOrdersDrainFully) {
+  Install(1, 8);
+  // The three orderings of {S,S,E} by parameter.
+  const int p = GetParam();
+  std::vector<std::pair<TxnId, LockMode>> arrivals;
+  switch (p) {
+    case 0:
+      arrivals = {{1, LockMode::kShared}, {2, LockMode::kShared},
+                  {3, LockMode::kExclusive}};
+      break;
+    case 1:
+      arrivals = {{1, LockMode::kShared}, {3, LockMode::kExclusive},
+                  {2, LockMode::kShared}};
+      break;
+    default:
+      arrivals = {{3, LockMode::kExclusive}, {1, LockMode::kShared},
+                  {2, LockMode::kShared}};
+      break;
+  }
+  for (const auto& [txn, mode] : arrivals) {
+    Send(MakeAcquire(1, mode, txn, client_->node()));
+  }
+  // Release in grant order until everyone has been granted and released.
+  std::vector<TxnId> released;
+  for (int rounds = 0; rounds < 10 && released.size() < 3; ++rounds) {
+    for (const auto& g : client_->Grants()) {
+      if (std::find(released.begin(), released.end(), g.txn_id) !=
+          released.end()) {
+        continue;
+      }
+      released.push_back(g.txn_id);
+      Send(MakeRelease(1, g.mode, g.txn_id, client_->node()));
+    }
+  }
+  EXPECT_EQ(released.size(), 3u);
+  EXPECT_TRUE(switch_->QueueEmpty(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(ArrivalOrders, DataplaneOrderTest,
+                         ::testing::Values(0, 1, 2));
+
+// SharedQueue mapping: indices land in the right arrays and wrap helper is
+// exact at region edges.
+TEST(SharedQueueTest, IndexMappingAcrossArrays) {
+  Pipeline pipeline(12);
+  SharedQueue queue(pipeline, /*first_stage=*/2, /*capacity=*/100,
+                    /*array_size=*/32);
+  EXPECT_EQ(queue.num_arrays(), 4u);  // 32+32+32+4.
+  for (std::uint32_t i : {0u, 31u, 32u, 63u, 64u, 99u}) {
+    QueueSlot slot;
+    slot.txn_id = i;
+    queue.ControlAt(i) = slot;
+  }
+  for (std::uint32_t i : {0u, 31u, 32u, 63u, 64u, 99u}) {
+    EXPECT_EQ(queue.ControlAt(i).txn_id, i);
+  }
+}
+
+TEST(SharedQueueTest, NextWrapsAtRegionBoundary) {
+  const LockBounds bounds{10, 14};
+  EXPECT_EQ(SharedQueue::Next(10, bounds), 11u);
+  EXPECT_EQ(SharedQueue::Next(13, bounds), 10u);
+}
+
+TEST(SharedQueueTest, DataPlaneAccessCountsAgainstOwningArrayOnly) {
+  Pipeline pipeline(12);
+  SharedQueue queue(pipeline, 2, 64, 16);
+  PacketPass pass = pipeline.BeginPass();
+  QueueSlot slot;
+  slot.txn_id = 7;
+  queue.Write(pass, 0, slot);    // Array 0.
+  queue.Read(pass, 20);          // Array 1: distinct array, same pass: OK.
+  pipeline.Resubmit(pass);
+  EXPECT_EQ(queue.Read(pass, 0).txn_id, 7u);  // Array 0 again after resubmit.
+}
+
+}  // namespace
+}  // namespace netlock

@@ -1,0 +1,208 @@
+// Tests for backup-switch failover (paper Section 4.5): suspended-mode
+// queueing, lease-gated backup activation, release routing to the grantor,
+// per-lock primary activation as the backup drains, and end-to-end
+// continuity of service with the safety oracle attached.
+#include <gtest/gtest.h>
+
+#include "core/failover.h"
+#include "core/netlock.h"
+#include "harness/experiment.h"
+#include "harness/testbed.h"
+#include "lock_oracle.h"
+#include "test_util.h"
+
+namespace netlock {
+namespace {
+
+using testing::MakeAcquire;
+using testing::MakeRelease;
+using testing::PacketCatcher;
+
+TEST(SuspendedModeTest, QueuesWithoutGranting) {
+  Simulator sim;
+  Network net(sim, 1000);
+  LockSwitchConfig config;
+  config.queue_capacity = 64;
+  config.array_size = 32;
+  config.max_locks = 8;
+  LockSwitch lock_switch(net, config);
+  PacketCatcher client(net);
+  PacketCatcher server(net);
+  ASSERT_TRUE(lock_switch.InstallLock(1, server.node(), 8,
+                                      /*suspended=*/true));
+  EXPECT_TRUE(lock_switch.IsSuspended(1));
+  lock_switch.HandlePacket(MakeLockPacket(
+      client.node(), lock_switch.node(),
+      MakeAcquire(1, LockMode::kExclusive, 1, client.node())));
+  sim.Run();
+  EXPECT_FALSE(client.HasGrantFor(1));
+  EXPECT_FALSE(lock_switch.QueueEmpty(1));
+  // A stale release must not dequeue the suspended waiter.
+  lock_switch.HandlePacket(MakeLockPacket(
+      client.node(), lock_switch.node(),
+      MakeRelease(1, LockMode::kExclusive, 99, client.node())));
+  sim.Run();
+  EXPECT_EQ(lock_switch.stats().stale_releases, 1u);
+  EXPECT_FALSE(lock_switch.QueueEmpty(1));
+  // Activation grants the head.
+  lock_switch.Activate(1);
+  sim.Run();
+  EXPECT_TRUE(client.HasGrantFor(1));
+  EXPECT_FALSE(lock_switch.IsSuspended(1));
+}
+
+TEST(SuspendedModeTest, ActivationGrantsSharedBatch) {
+  Simulator sim;
+  Network net(sim, 1000);
+  LockSwitchConfig config;
+  config.queue_capacity = 64;
+  config.array_size = 32;
+  config.max_locks = 8;
+  LockSwitch lock_switch(net, config);
+  PacketCatcher client(net);
+  PacketCatcher server(net);
+  ASSERT_TRUE(lock_switch.InstallLock(1, server.node(), 16, true));
+  for (TxnId txn = 1; txn <= 3; ++txn) {
+    lock_switch.HandlePacket(MakeLockPacket(
+        client.node(), lock_switch.node(),
+        MakeAcquire(1, LockMode::kShared, txn, client.node())));
+  }
+  lock_switch.HandlePacket(MakeLockPacket(
+      client.node(), lock_switch.node(),
+      MakeAcquire(1, LockMode::kExclusive, 4, client.node())));
+  sim.Run();
+  EXPECT_TRUE(client.Grants().empty());
+  lock_switch.Activate(1);
+  sim.Run();
+  EXPECT_TRUE(client.HasGrantFor(1));
+  EXPECT_TRUE(client.HasGrantFor(2));
+  EXPECT_TRUE(client.HasGrantFor(3));
+  EXPECT_FALSE(client.HasGrantFor(4));  // Exclusive waits for the batch.
+  // And the normal release machinery takes over.
+  for (TxnId txn = 1; txn <= 3; ++txn) {
+    lock_switch.HandlePacket(MakeLockPacket(
+        client.node(), lock_switch.node(),
+        MakeRelease(1, LockMode::kShared, txn, client.node())));
+    sim.Run();
+  }
+  EXPECT_TRUE(client.HasGrantFor(4));
+}
+
+class FailoverEndToEndTest : public ::testing::Test {
+ protected:
+  FailoverEndToEndTest() {
+    config_.system = SystemKind::kNetLock;
+    config_.client_machines = 2;
+    config_.sessions_per_machine = 4;
+    config_.lock_servers = 2;
+    config_.client_retry_timeout = kMillisecond;
+    config_.lease = 5 * kMillisecond;
+    config_.lease_poll_interval = kMillisecond;
+    config_.txn_config.think_time = 5 * kMicrosecond;
+    MicroConfig micro;
+    micro.num_locks = 64;
+    config_.workload_factory = MicroFactory(micro);
+    oracle_ = std::make_shared<testing::LockOracle>();
+    config_.session_wrapper =
+        [this](std::unique_ptr<LockSession> inner) {
+          raw_sessions_.push_back(
+              static_cast<NetLockSession*>(inner.get()));
+          return std::make_unique<testing::OracleSession>(std::move(inner),
+                                                          *oracle_);
+        };
+  }
+
+  TestbedConfig config_;
+  std::shared_ptr<testing::LockOracle> oracle_;
+  std::vector<NetLockSession*> raw_sessions_;
+};
+
+TEST_F(FailoverEndToEndTest, ServiceContinuesThroughFailover) {
+  Testbed testbed(config_);
+  MicroConfig micro;
+  micro.num_locks = 64;
+  testbed.netlock().InstallKnapsack(
+      UniformMicroDemands(micro, testbed.num_engines()));
+
+  // Stand up the backup switch at the same rack position.
+  LockSwitch backup(testbed.net(), config_.switch_config);
+  for (NetLockSession* s : raw_sessions_) {
+    testbed.net().SetLatency(s->node(), backup.node(), 2500);
+  }
+  for (int i = 0; i < testbed.netlock().num_servers(); ++i) {
+    testbed.net().SetLatency(backup.node(),
+                             testbed.netlock().server(i).node(), 1500);
+  }
+  FailoverManager failover(testbed.sim(), testbed.netlock().lock_switch(),
+                           backup, testbed.netlock().control_plane());
+  for (NetLockSession* s : raw_sessions_) failover.RegisterSession(s);
+
+  testbed.StartEngines();
+  testbed.sim().RunUntil(30 * kMillisecond);
+  const std::uint64_t commits_before = [&] {
+    std::uint64_t total = 0;
+    for (int i = 0; i < testbed.num_engines(); ++i) {
+      testbed.engine(i).SetRecording(true);
+      total += testbed.engine(i).metrics().txn_commits;
+    }
+    return total;
+  }();
+  (void)commits_before;
+
+  // Fail over to the backup.
+  failover.FailPrimary();
+  EXPECT_EQ(failover.active_switch(), backup.node());
+  testbed.sim().RunUntil(80 * kMillisecond);
+  std::uint64_t commits_backup = 0;
+  for (int i = 0; i < testbed.num_engines(); ++i) {
+    commits_backup += testbed.engine(i).metrics().txn_commits;
+  }
+  EXPECT_GT(commits_backup, 1000u);  // Backup is serving.
+  EXPECT_GT(backup.stats().grants, 0u);
+
+  // Recover the primary; the backup drains then goes cold.
+  bool recovered = false;
+  failover.RecoverPrimary([&]() { recovered = true; });
+  testbed.sim().RunUntil(150 * kMillisecond);
+  EXPECT_TRUE(recovered);
+  EXPECT_FALSE(failover.backup_active());
+  EXPECT_EQ(failover.active_switch(),
+            testbed.netlock().lock_switch().node());
+
+  std::uint64_t commits_final = 0;
+  for (int i = 0; i < testbed.num_engines(); ++i) {
+    commits_final += testbed.engine(i).metrics().txn_commits;
+  }
+  EXPECT_GT(commits_final, commits_backup + 1000u);  // Primary serving.
+  EXPECT_EQ(oracle_->violations(), 0u);  // Safety held throughout.
+  testbed.StopEngines(kSecond);
+}
+
+TEST_F(FailoverEndToEndTest, BackupActivationWaitsForLease) {
+  Testbed testbed(config_);
+  MicroConfig micro;
+  micro.num_locks = 64;
+  testbed.netlock().InstallKnapsack(
+      UniformMicroDemands(micro, testbed.num_engines()));
+  LockSwitch backup(testbed.net(), config_.switch_config);
+  for (NetLockSession* s : raw_sessions_) {
+    testbed.net().SetLatency(s->node(), backup.node(), 2500);
+  }
+  FailoverManager failover(testbed.sim(), testbed.netlock().lock_switch(),
+                           backup, testbed.netlock().control_plane());
+  for (NetLockSession* s : raw_sessions_) failover.RegisterSession(s);
+  testbed.StartEngines();
+  testbed.sim().RunUntil(10 * kMillisecond);
+  failover.FailPrimary();
+  // Within the lease window the backup must not have granted anything.
+  testbed.sim().RunUntil(testbed.sim().now() + 3 * kMillisecond);
+  EXPECT_EQ(backup.stats().grants, 0u);
+  // After the lease the backup serves.
+  testbed.sim().RunUntil(testbed.sim().now() + 20 * kMillisecond);
+  EXPECT_GT(backup.stats().grants, 0u);
+  EXPECT_EQ(oracle_->violations(), 0u);
+  testbed.StopEngines(kSecond);
+}
+
+}  // namespace
+}  // namespace netlock

@@ -1,0 +1,101 @@
+// Tests for the memory-bounded log-bucket histogram: bounded relative
+// error against the exact recorder, range tracking, merge, and edge cases.
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/stats.h"
+
+namespace netlock {
+namespace {
+
+TEST(LogHistogramTest, EmptyIsZero) {
+  LogHistogram hist;
+  EXPECT_TRUE(hist.empty());
+  EXPECT_EQ(hist.Percentile(0.5), 0u);
+  EXPECT_EQ(hist.Mean(), 0.0);
+  EXPECT_EQ(hist.Min(), 0u);
+  EXPECT_EQ(hist.Max(), 0u);
+}
+
+TEST(LogHistogramTest, SmallValuesExact) {
+  LogHistogram hist;
+  for (SimTime v = 0; v < 64; ++v) hist.Record(v);
+  // Values below kSubBuckets land in unit buckets: exact quantiles.
+  EXPECT_EQ(hist.Percentile(0.0), 0u);
+  EXPECT_EQ(hist.Median(), 31u);
+  EXPECT_EQ(hist.Percentile(1.0), 63u);
+}
+
+TEST(LogHistogramTest, MeanIsExact) {
+  LogHistogram hist;
+  hist.Record(1000);
+  hist.Record(3000);
+  EXPECT_DOUBLE_EQ(hist.Mean(), 2000.0);
+}
+
+TEST(LogHistogramTest, MinMaxTracked) {
+  LogHistogram hist;
+  hist.Record(123);
+  hist.Record(4'567'890);
+  EXPECT_EQ(hist.Min(), 123u);
+  EXPECT_EQ(hist.Max(), 4'567'890u);
+}
+
+TEST(LogHistogramTest, QuantilesWithinRelativeErrorOfExact) {
+  LogHistogram hist;
+  LatencyRecorder exact;
+  Rng rng(99);
+  // Latency-shaped distribution: exponential around 8 us plus a heavy tail.
+  for (int i = 0; i < 200'000; ++i) {
+    SimTime v = static_cast<SimTime>(rng.NextExponential(8000.0));
+    if (rng.NextBool(0.01)) v += rng.NextBounded(2'000'000);
+    hist.Record(v);
+    exact.Record(v);
+  }
+  for (const double p : {0.10, 0.50, 0.90, 0.99, 0.999}) {
+    const double approx = static_cast<double>(hist.Percentile(p));
+    const double truth = static_cast<double>(exact.Percentile(p));
+    EXPECT_NEAR(approx, truth, truth * 0.03 + 2.0) << "p=" << p;
+  }
+  EXPECT_NEAR(hist.Mean(), exact.Mean(), exact.Mean() * 0.001);
+}
+
+TEST(LogHistogramTest, MergeEquivalentToCombinedRecording) {
+  LogHistogram a, b, combined;
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const SimTime v = rng.NextBounded(1'000'000);
+    (i % 2 == 0 ? a : b).Record(v);
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  for (const double p : {0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_EQ(a.Percentile(p), combined.Percentile(p)) << p;
+  }
+  EXPECT_EQ(a.Min(), combined.Min());
+  EXPECT_EQ(a.Max(), combined.Max());
+}
+
+TEST(LogHistogramTest, ClearResets) {
+  LogHistogram hist;
+  hist.Record(42);
+  hist.Clear();
+  EXPECT_TRUE(hist.empty());
+  hist.Record(7);
+  EXPECT_EQ(hist.Median(), 7u);
+}
+
+TEST(LogHistogramTest, HugeOutliersClampNotCrash) {
+  LogHistogram hist;
+  hist.Record(~SimTime{0});  // Beyond the covered range.
+  hist.Record(100);
+  EXPECT_EQ(hist.count(), 2u);
+  EXPECT_EQ(hist.Max(), ~SimTime{0});
+  // The quantile is clamped to the observed range.
+  EXPECT_LE(hist.Percentile(1.0), ~SimTime{0});
+}
+
+}  // namespace
+}  // namespace netlock

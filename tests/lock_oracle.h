@@ -1,0 +1,101 @@
+// LockOracle: a runtime safety checker for lock-manager integration tests.
+//
+// Observes grant/release events as the *client* sees them (grant at the
+// callback, release at the send). This ordering is conservative in the safe
+// direction — a grant is observed no earlier than it was issued and a
+// release no later than it takes effect — so any overlap the oracle reports
+// is a real mutual-exclusion violation.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "client/client.h"
+#include "common/check.h"
+#include "common/types.h"
+
+namespace netlock::testing {
+
+class LockOracle {
+ public:
+  void OnGrant(LockId lock, LockMode mode, TxnId txn) {
+    Holders& holders = held_[lock];
+    if (mode == LockMode::kExclusive) {
+      if (!holders.shared.empty() || holders.exclusive != kInvalidTxn) {
+        ++violations_;
+        return;
+      }
+      holders.exclusive = txn;
+    } else {
+      if (holders.exclusive != kInvalidTxn) {
+        ++violations_;
+        return;
+      }
+      holders.shared.insert(txn);
+    }
+    ++grants_;
+  }
+
+  void OnRelease(LockId lock, LockMode mode, TxnId txn) {
+    const auto it = held_.find(lock);
+    if (it == held_.end()) return;
+    if (mode == LockMode::kExclusive) {
+      if (it->second.exclusive == txn) it->second.exclusive = kInvalidTxn;
+    } else {
+      it->second.shared.erase(txn);
+    }
+  }
+
+  std::uint64_t violations() const { return violations_; }
+  std::uint64_t grants() const { return grants_; }
+
+  std::size_t CurrentHolders(LockId lock) const {
+    const auto it = held_.find(lock);
+    if (it == held_.end()) return 0;
+    return it->second.shared.size() +
+           (it->second.exclusive != kInvalidTxn ? 1 : 0);
+  }
+
+ private:
+  struct Holders {
+    TxnId exclusive = kInvalidTxn;
+    std::set<TxnId> shared;
+  };
+
+  std::map<LockId, Holders> held_;
+  std::uint64_t violations_ = 0;
+  std::uint64_t grants_ = 0;
+};
+
+/// Session decorator feeding the oracle.
+class OracleSession : public LockSession {
+ public:
+  OracleSession(std::unique_ptr<LockSession> inner, LockOracle& oracle)
+      : inner_(std::move(inner)), oracle_(oracle) {}
+
+  void Acquire(LockId lock, LockMode mode, TxnId txn, Priority priority,
+               AcquireCallback cb) override {
+    inner_->Acquire(lock, mode, txn, priority,
+                    [this, lock, mode, txn, cb = std::move(cb)](
+                        AcquireResult result) {
+                      if (result == AcquireResult::kGranted) {
+                        oracle_.OnGrant(lock, mode, txn);
+                      }
+                      cb(result);
+                    });
+  }
+
+  void Release(LockId lock, LockMode mode, TxnId txn) override {
+    oracle_.OnRelease(lock, mode, txn);
+    inner_->Release(lock, mode, txn);
+  }
+
+  NodeId node() const override { return inner_->node(); }
+
+ private:
+  std::unique_ptr<LockSession> inner_;
+  LockOracle& oracle_;
+};
+
+}  // namespace netlock::testing

@@ -1,0 +1,189 @@
+// Tests for the region allocator and switch lock table: first-fit
+// allocation, coalescing, fragmentation visibility, and install/remove.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dataplane/lock_table.h"
+
+namespace netlock {
+namespace {
+
+TEST(RegionAllocatorTest, AllocatesSequentially) {
+  RegionAllocator alloc(100);
+  const auto a = alloc.Allocate(30);
+  const auto b = alloc.Allocate(30);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->left, 0u);
+  EXPECT_EQ(a->right, 30u);
+  EXPECT_EQ(b->left, 30u);
+  EXPECT_EQ(alloc.free_slots(), 40u);
+}
+
+TEST(RegionAllocatorTest, RejectsWhenFull) {
+  RegionAllocator alloc(10);
+  EXPECT_TRUE(alloc.Allocate(10).has_value());
+  EXPECT_FALSE(alloc.Allocate(1).has_value());
+}
+
+TEST(RegionAllocatorTest, ZeroSlotsRejected) {
+  RegionAllocator alloc(10);
+  EXPECT_FALSE(alloc.Allocate(0).has_value());
+}
+
+TEST(RegionAllocatorTest, FreeCoalescesNeighbors) {
+  RegionAllocator alloc(100);
+  const auto a = alloc.Allocate(30);
+  const auto b = alloc.Allocate(30);
+  const auto c = alloc.Allocate(40);
+  ASSERT_TRUE(a && b && c);
+  alloc.Free(*a);
+  alloc.Free(*c);
+  EXPECT_EQ(alloc.NumFreeExtents(), 2u);
+  alloc.Free(*b);  // Bridges both neighbors.
+  EXPECT_EQ(alloc.NumFreeExtents(), 1u);
+  EXPECT_EQ(alloc.LargestFreeExtent(), 100u);
+}
+
+TEST(RegionAllocatorTest, FragmentationBlocksLargeAllocation) {
+  RegionAllocator alloc(100);
+  std::vector<Extent> extents;
+  for (int i = 0; i < 10; ++i) {
+    extents.push_back(*alloc.Allocate(10));
+  }
+  // Free every other region: 50 slots free but largest extent is 10.
+  for (int i = 0; i < 10; i += 2) alloc.Free(extents[i]);
+  EXPECT_EQ(alloc.free_slots(), 50u);
+  EXPECT_EQ(alloc.LargestFreeExtent(), 10u);
+  EXPECT_FALSE(alloc.Allocate(11).has_value());
+  EXPECT_TRUE(alloc.Allocate(10).has_value());
+}
+
+TEST(RegionAllocatorTest, FirstFitReusesFreedHole) {
+  RegionAllocator alloc(100);
+  const auto a = alloc.Allocate(20);
+  (void)alloc.Allocate(20);
+  alloc.Free(*a);
+  const auto c = alloc.Allocate(15);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->left, 0u);  // Reuses the hole at the front.
+}
+
+// Property fuzz: random allocate/free sequences preserve the allocator's
+// invariants — extents never overlap, accounting is exact, and freeing
+// everything restores one maximal extent.
+class RegionAllocatorFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegionAllocatorFuzzTest, RandomSequencesKeepInvariants) {
+  Rng rng(GetParam() * 1337 + 5);
+  const std::uint32_t capacity =
+      64 + static_cast<std::uint32_t>(rng.NextBounded(512));
+  RegionAllocator alloc(capacity);
+  std::vector<Extent> held;
+  std::uint32_t held_slots = 0;
+  for (int op = 0; op < 2000; ++op) {
+    const bool do_alloc = held.empty() || rng.NextBool(0.55);
+    if (do_alloc) {
+      const std::uint32_t want =
+          1 + static_cast<std::uint32_t>(rng.NextBounded(24));
+      const auto extent = alloc.Allocate(want);
+      if (!extent) {
+        // Only legal when short on (contiguous) space.
+        EXPECT_TRUE(want > alloc.free_slots() ||
+                    want > alloc.LargestFreeExtent());
+        continue;
+      }
+      EXPECT_EQ(extent->size(), want);
+      EXPECT_LE(extent->right, capacity);
+      // No overlap with anything held.
+      for (const Extent& other : held) {
+        EXPECT_TRUE(extent->right <= other.left ||
+                    other.right <= extent->left)
+            << "overlap at op " << op;
+      }
+      held.push_back(*extent);
+      held_slots += want;
+    } else {
+      const std::size_t pick = rng.NextBounded(held.size());
+      alloc.Free(held[pick]);
+      held_slots -= held[pick].size();
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    EXPECT_EQ(alloc.free_slots(), capacity - held_slots);
+  }
+  for (const Extent& extent : held) alloc.Free(extent);
+  EXPECT_EQ(alloc.free_slots(), capacity);
+  EXPECT_EQ(alloc.LargestFreeExtent(), capacity);
+  EXPECT_EQ(alloc.NumFreeExtents(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegionAllocatorFuzzTest,
+                         ::testing::Range(0, 10));
+
+TEST(SwitchLockTableTest, InstallAssignsRegionAndMeta) {
+  SwitchLockTable table(/*max_locks=*/4, /*queue_capacity=*/64);
+  const SwitchLockEntry* entry = table.Install(7, /*home_server=*/2, {16});
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->lock_id, 7u);
+  EXPECT_EQ(entry->home_server, 2u);
+  ASSERT_EQ(entry->regions.size(), 1u);
+  EXPECT_EQ(entry->regions[0].size(), 16u);
+  EXPECT_EQ(table.free_slots(), 48u);
+  EXPECT_EQ(table.HomeServer(7), 2u);
+}
+
+TEST(SwitchLockTableTest, InstallFailsWhenMetaTableFull) {
+  SwitchLockTable table(2, 64);
+  EXPECT_NE(table.Install(1, 0, {4}), nullptr);
+  EXPECT_NE(table.Install(2, 0, {4}), nullptr);
+  EXPECT_EQ(table.Install(3, 0, {4}), nullptr);
+}
+
+TEST(SwitchLockTableTest, InstallFailsWhenMemoryExhausted) {
+  SwitchLockTable table(8, 10);
+  EXPECT_NE(table.Install(1, 0, {8}), nullptr);
+  EXPECT_EQ(table.Install(2, 0, {4}), nullptr);
+  // Partial multi-region installs roll back cleanly.
+  EXPECT_EQ(table.free_slots(), 2u);
+}
+
+TEST(SwitchLockTableTest, MultiRegionInstallForPriorities) {
+  SwitchLockTable table(4, 64);
+  const SwitchLockEntry* entry = table.Install(1, 0, {8, 8, 8});
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->regions.size(), 3u);
+  table.Remove(1);
+  EXPECT_EQ(table.free_slots(), 64u);
+}
+
+TEST(SwitchLockTableTest, RemoveFreesEverything) {
+  SwitchLockTable table(4, 64);
+  table.Install(1, 0, {16});
+  table.Install(2, 0, {16});
+  table.Remove(1);
+  EXPECT_EQ(table.Find(1), nullptr);
+  EXPECT_NE(table.Find(2), nullptr);
+  // The freed meta index and region are reusable.
+  EXPECT_NE(table.Install(3, 0, {16}), nullptr);
+}
+
+TEST(SwitchLockTableTest, ClearKeepsRouting) {
+  SwitchLockTable table(4, 64);
+  table.Install(1, 5, {16});
+  table.SetHomeServer(9, 6);
+  table.Clear();
+  EXPECT_EQ(table.num_installed(), 0u);
+  EXPECT_EQ(table.free_slots(), 64u);
+  EXPECT_EQ(table.HomeServer(1), 5u);  // Directory mirror survives restart.
+  EXPECT_EQ(table.HomeServer(9), 6u);
+}
+
+TEST(SwitchLockTableTest, InstalledLocksSorted) {
+  SwitchLockTable table(8, 64);
+  table.Install(5, 0, {4});
+  table.Install(1, 0, {4});
+  table.Install(3, 0, {4});
+  EXPECT_EQ(table.InstalledLocks(), (std::vector<LockId>{1, 3, 5}));
+}
+
+}  // namespace
+}  // namespace netlock

@@ -1,0 +1,195 @@
+// Tests for Algorithm 3 (knapsack memory allocation): optimality against
+// brute force (Theorem 1, property-tested), edge cases, the random strawman,
+// and the server-count guarantee.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/memory_alloc.h"
+
+namespace netlock {
+namespace {
+
+TEST(KnapsackTest, PrefersHighDensityLocks) {
+  // Figure 7's example: lock 1 has two clients at 100 req/s each (r=200,
+  // c=2), lock 2 has one client at 10 req/s (r=10, c=1). With 2 slots the
+  // optimal allocation gives both slots to lock 1.
+  std::vector<LockDemand> demands{{1, 200.0, 2}, {2, 10.0, 1}};
+  const Allocation alloc = KnapsackAllocate(demands, 2);
+  ASSERT_EQ(alloc.switch_slots.size(), 1u);
+  EXPECT_EQ(alloc.switch_slots[0].first, 1u);
+  EXPECT_EQ(alloc.switch_slots[0].second, 2u);
+  EXPECT_EQ(alloc.server_only, (std::vector<LockId>{2}));
+  EXPECT_DOUBLE_EQ(alloc.guaranteed_rate, 200.0);
+}
+
+TEST(KnapsackTest, NeverAllocatesMoreThanContention) {
+  std::vector<LockDemand> demands{{1, 100.0, 3}};
+  const Allocation alloc = KnapsackAllocate(demands, 100);
+  ASSERT_EQ(alloc.switch_slots.size(), 1u);
+  EXPECT_EQ(alloc.switch_slots[0].second, 3u);  // s_i <= c_i.
+}
+
+TEST(KnapsackTest, PartialAllocationForLastLock) {
+  std::vector<LockDemand> demands{{1, 100.0, 4}, {2, 10.0, 4}};
+  const Allocation alloc = KnapsackAllocate(demands, 6);
+  ASSERT_EQ(alloc.switch_slots.size(), 2u);
+  EXPECT_EQ(alloc.switch_slots[0].second, 4u);
+  EXPECT_EQ(alloc.switch_slots[1].second, 2u);  // Fractional tail.
+  EXPECT_DOUBLE_EQ(alloc.guaranteed_rate, 100.0 + 10.0 * 2 / 4);
+}
+
+TEST(KnapsackTest, EmptyAndZeroCapacity) {
+  EXPECT_TRUE(KnapsackAllocate({}, 100).switch_slots.empty());
+  const Allocation alloc = KnapsackAllocate({{1, 5.0, 2}}, 0);
+  EXPECT_TRUE(alloc.switch_slots.empty());
+  EXPECT_EQ(alloc.server_only.size(), 1u);
+}
+
+TEST(KnapsackTest, DeterministicTieBreak) {
+  std::vector<LockDemand> demands{{2, 10.0, 2}, {1, 10.0, 2}};
+  const Allocation a = KnapsackAllocate(demands, 2);
+  ASSERT_EQ(a.switch_slots.size(), 1u);
+  EXPECT_EQ(a.switch_slots[0].first, 1u);  // Lower id wins ties.
+}
+
+// Theorem 1: the greedy objective matches the brute-force optimum.
+TEST(KnapsackTest, PropertyOptimalVsBruteForce) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = 1 + rng.NextBounded(5);
+    std::vector<LockDemand> demands;
+    for (int i = 0; i < n; ++i) {
+      demands.push_back(LockDemand{
+          static_cast<LockId>(i),
+          static_cast<double>(1 + rng.NextBounded(100)),
+          static_cast<std::uint32_t>(1 + rng.NextBounded(6))});
+    }
+    const std::uint32_t capacity =
+        static_cast<std::uint32_t>(rng.NextBounded(16));
+    const Allocation greedy = KnapsackAllocate(demands, capacity);
+    const double optimal = BruteForceObjective(demands, capacity);
+    EXPECT_NEAR(greedy.guaranteed_rate, optimal, 1e-9)
+        << "trial=" << trial << " capacity=" << capacity;
+    EXPECT_NEAR(AllocationObjective(demands, greedy),
+                greedy.guaranteed_rate, 1e-9);
+  }
+}
+
+TEST(KnapsackTest, CapacityConstraintRespected) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<LockDemand> demands;
+    for (int i = 0; i < 20; ++i) {
+      demands.push_back(LockDemand{
+          static_cast<LockId>(i),
+          static_cast<double>(1 + rng.NextBounded(1000)),
+          static_cast<std::uint32_t>(1 + rng.NextBounded(10))});
+    }
+    const std::uint32_t capacity =
+        static_cast<std::uint32_t>(rng.NextBounded(60));
+    const Allocation alloc = KnapsackAllocate(demands, capacity);
+    std::uint32_t used = 0;
+    for (const auto& [lock, s] : alloc.switch_slots) used += s;
+    EXPECT_LE(used, capacity);
+  }
+}
+
+TEST(RandomAllocateTest, RespectsCapacityAndContention) {
+  std::vector<LockDemand> demands;
+  for (int i = 0; i < 50; ++i) {
+    demands.push_back(
+        LockDemand{static_cast<LockId>(i), 10.0 * (i + 1), 4});
+  }
+  const Allocation alloc = RandomAllocate(demands, 40, /*seed=*/3);
+  std::uint32_t used = 0;
+  for (const auto& [lock, s] : alloc.switch_slots) {
+    EXPECT_LE(s, 4u);
+    used += s;
+  }
+  EXPECT_LE(used, 40u);
+}
+
+TEST(RandomAllocateTest, TypicallyWorseThanKnapsackOnSkew) {
+  // Strongly skewed demand: knapsack should beat random almost always —
+  // this is the Figure 13 effect.
+  Rng rng(5);
+  std::vector<LockDemand> demands;
+  for (int i = 0; i < 100; ++i) {
+    const double rate = i < 5 ? 10000.0 : 1.0;
+    demands.push_back(LockDemand{static_cast<LockId>(i), rate, 4});
+  }
+  const Allocation knap = KnapsackAllocate(demands, 20);
+  int random_wins = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Allocation rand = RandomAllocate(demands, 20, seed);
+    if (rand.guaranteed_rate >= knap.guaranteed_rate) ++random_wins;
+  }
+  EXPECT_LE(random_wins, 1);
+}
+
+TEST(RandomAllocateTest, SeedDeterminism) {
+  std::vector<LockDemand> demands;
+  for (int i = 0; i < 30; ++i) {
+    demands.push_back(LockDemand{static_cast<LockId>(i), 1.0 * i, 2});
+  }
+  const Allocation a = RandomAllocate(demands, 10, 9);
+  const Allocation b = RandomAllocate(demands, 10, 9);
+  EXPECT_EQ(a.switch_slots, b.switch_slots);
+}
+
+TEST(StaticAllocateTest, FixedArraysPerLock) {
+  std::vector<LockDemand> demands{{1, 100.0, 8}, {2, 50.0, 2}, {3, 10.0, 4}};
+  const Allocation alloc = StaticAllocate(demands, /*capacity=*/8,
+                                          /*fixed_slots=*/4);
+  // Two arrays of 4 fit: the two highest-rate locks get them.
+  ASSERT_EQ(alloc.switch_slots.size(), 2u);
+  EXPECT_EQ(alloc.switch_slots[0].first, 1u);
+  EXPECT_EQ(alloc.switch_slots[0].second, 4u);
+  EXPECT_EQ(alloc.switch_slots[1].first, 2u);
+  // Lock 1 only half-covered (4 of c=8); lock 2 over-provisioned (c=2).
+  EXPECT_DOUBLE_EQ(alloc.guaranteed_rate, 100.0 * 4 / 8 + 50.0);
+  EXPECT_EQ(alloc.server_only, (std::vector<LockId>{3}));
+}
+
+TEST(StaticAllocateTest, NeverBeatsKnapsack) {
+  // The shared queue dominates static binding at any skew (it can always
+  // emulate the static layout and usually does better).
+  Rng rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<LockDemand> demands;
+    for (int i = 0; i < 64; ++i) {
+      demands.push_back(LockDemand{
+          static_cast<LockId>(i),
+          static_cast<double>(1 + rng.NextBounded(10000)),
+          static_cast<std::uint32_t>(1 + rng.NextBounded(16))});
+    }
+    const std::uint32_t capacity = 64;
+    const double knap = KnapsackAllocate(demands, capacity).guaranteed_rate;
+    for (const std::uint32_t fixed : {1u, 2u, 4u, 8u}) {
+      EXPECT_GE(knap + 1e-9,
+                StaticAllocate(demands, capacity, fixed).guaranteed_rate)
+          << "trial=" << trial << " fixed=" << fixed;
+    }
+  }
+}
+
+TEST(ServersNeededTest, GuaranteeComputation) {
+  // Section 4.3: servers = ceil((sum r_i - sum r_i s_i / c_i) / r_e).
+  std::vector<LockDemand> demands{{1, 100.0, 2}, {2, 60.0, 2}};
+  Allocation alloc;
+  alloc.switch_slots = {{1, 2}};  // Lock 1 fully in switch.
+  EXPECT_EQ(ServersNeeded(demands, alloc, /*server_rate=*/25.0), 3u);
+  alloc.switch_slots = {{1, 2}, {2, 2}};
+  EXPECT_EQ(ServersNeeded(demands, alloc, 25.0), 0u);
+}
+
+TEST(AllocationTest, InSwitchLookup) {
+  Allocation alloc;
+  alloc.switch_slots = {{3, 2}, {7, 1}};
+  EXPECT_TRUE(alloc.InSwitch(3));
+  EXPECT_TRUE(alloc.InSwitch(7));
+  EXPECT_FALSE(alloc.InSwitch(4));
+}
+
+}  // namespace
+}  // namespace netlock

@@ -1,0 +1,311 @@
+// Model-based checking: the switch data plane (with and without the
+// q1/q2 overflow path) must produce exactly the grant sequence of a
+// reference single-FIFO-queue lock manager for arbitrary operation
+// sequences. This is the strongest statement of the paper's correctness
+// claims: Algorithm 2 == FIFO queue semantics, and overflow preserves
+// single-queue equivalence (Section 4.3).
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+#include "dataplane/switch_dataplane.h"
+#include "server/lock_server.h"
+#include "test_util.h"
+
+namespace netlock {
+namespace {
+
+using testing::MakeAcquire;
+using testing::MakeRelease;
+
+/// Reference model: one unbounded FIFO queue per lock; entries stay until
+/// released; grant rules exactly as Algorithm 2 specifies.
+class ReferenceLockManager {
+ public:
+  struct Grant {
+    LockId lock;
+    TxnId txn;
+    LockMode mode;
+    friend bool operator==(const Grant&, const Grant&) = default;
+  };
+
+  void Acquire(LockId lock, LockMode mode, TxnId txn) {
+    State& s = locks_[lock];
+    const bool was_empty = s.queue.empty();
+    const bool all_shared = s.xcnt == 0;
+    s.queue.push_back({mode, txn});
+    if (mode == LockMode::kExclusive) ++s.xcnt;
+    if (was_empty || (all_shared && mode == LockMode::kShared)) {
+      grants_.push_back({lock, txn, mode});
+    }
+  }
+
+  void Release(LockId lock, LockMode mode) {
+    State& s = locks_[lock];
+    ASSERT_FALSE(s.queue.empty());
+    const Entry released = s.queue.front();
+    ASSERT_EQ(released.mode, mode);
+    s.queue.pop_front();
+    if (released.mode == LockMode::kExclusive) --s.xcnt;
+    if (s.queue.empty()) return;
+    const Entry& head = s.queue.front();
+    if (head.mode == LockMode::kExclusive) {
+      grants_.push_back({lock, head.txn, head.mode});
+      return;
+    }
+    if (released.mode == LockMode::kShared) return;
+    for (const Entry& e : s.queue) {
+      if (e.mode == LockMode::kExclusive) break;
+      grants_.push_back({lock, e.txn, e.mode});
+    }
+  }
+
+  const std::vector<Grant>& grants() const { return grants_; }
+
+  /// Multiset of currently granted (lock, txn) pairs, per the model.
+  std::vector<Grant> GrantedNow() const {
+    std::vector<Grant> held;
+    std::map<LockId, std::size_t> released_count;  // Not tracked: compute
+    // from grants minus releases is complex; instead recompute: the
+    // granted set is the maximal prefix of each queue that has been
+    // granted. For shared runs that is every leading shared entry; for
+    // exclusive, the head.
+    for (const auto& [lock, s] : locks_) {
+      if (s.queue.empty()) continue;
+      if (s.queue.front().mode == LockMode::kExclusive) {
+        held.push_back({lock, s.queue.front().txn, LockMode::kExclusive});
+        continue;
+      }
+      for (const Entry& e : s.queue) {
+        if (e.mode == LockMode::kExclusive) break;
+        held.push_back({lock, e.txn, LockMode::kShared});
+      }
+    }
+    return held;
+  }
+
+ private:
+  struct Entry {
+    LockMode mode;
+    TxnId txn;
+  };
+  struct State {
+    std::deque<Entry> queue;
+    std::uint32_t xcnt = 0;
+  };
+  std::map<LockId, State> locks_;
+  std::vector<Grant> grants_;
+};
+
+struct ModelCheckParams {
+  std::uint64_t seed;
+  std::uint32_t region_slots;  // Small => overflow path exercised.
+  int num_locks;
+  double shared_fraction;
+};
+
+class ModelCheckTest : public ::testing::TestWithParam<ModelCheckParams> {};
+
+// With regions large enough that overflow never happens, the switch must
+// produce *exactly* the reference model's grant sequence: grant timing and
+// order are fully specified by Algorithm 2.
+TEST_P(ModelCheckTest, SwitchMatchesReferenceGrantSequence) {
+  const ModelCheckParams params = GetParam();
+  if (params.region_slots < 64) {
+    GTEST_SKIP() << "sequence equality applies to the no-overflow regime";
+  }
+  Simulator sim;
+  Network net(sim, /*latency=*/1000);
+  LockSwitchConfig config;
+  config.queue_capacity = 4096;
+  config.array_size = 512;
+  config.max_locks = 64;
+  LockSwitch lock_switch(net, config);
+  LockServer server(net, LockServerConfig{});
+  server.set_switch_node(lock_switch.node());
+  const NodeId client = net.AddNode([](const Packet&) {});
+  for (int l = 0; l < params.num_locks; ++l) {
+    ASSERT_TRUE(lock_switch.InstallLock(l, server.node(),
+                                        params.region_slots));
+  }
+
+  std::vector<ReferenceLockManager::Grant> switch_grants;
+  lock_switch.set_grant_observer(
+      [&](LockId lock, TxnId txn, LockMode mode, NodeId) {
+        switch_grants.push_back({lock, txn, mode});
+      });
+
+  ReferenceLockManager reference;
+  Rng rng(params.seed);
+  TxnId next_txn = 1;
+
+  // Granted-but-unreleased entries per the reference, as release targets.
+  // Released in FIFO-per-lock order (the commutativity the paper relies on
+  // lets any holder release; dequeues are blind head pops either way).
+  const int kOps = 400;
+  for (int op = 0; op < kOps; ++op) {
+    const auto held = reference.GrantedNow();
+    const bool do_release = !held.empty() && rng.NextBool(0.5);
+    if (do_release) {
+      const auto& target = held[rng.NextBounded(held.size())];
+      reference.Release(target.lock, target.mode);
+      net.Send(MakeLockPacket(client, lock_switch.node(),
+                              MakeRelease(target.lock, target.mode,
+                                          target.txn, client)));
+    } else {
+      const LockId lock =
+          static_cast<LockId>(rng.NextBounded(params.num_locks));
+      const LockMode mode = rng.NextBool(params.shared_fraction)
+                                ? LockMode::kShared
+                                : LockMode::kExclusive;
+      const TxnId txn = next_txn++;
+      reference.Acquire(lock, mode, txn);
+      net.Send(MakeLockPacket(client, lock_switch.node(),
+                              MakeAcquire(lock, mode, txn, client)));
+    }
+    // Quiesce so overflow pushes and grant cascades settle between ops.
+    sim.Run();
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+
+  // Exact grant-sequence equality, including order.
+  ASSERT_EQ(switch_grants.size(), reference.grants().size())
+      << "seed=" << params.seed << " region=" << params.region_slots;
+  for (std::size_t i = 0; i < switch_grants.size(); ++i) {
+    EXPECT_EQ(switch_grants[i], reference.grants()[i]) << "at " << i;
+  }
+}
+
+// Under overflow (tiny regions), grant *timing* may lag the reference (a
+// shared request parked in q2 is granted only after q1 drains), so the
+// specification is weaker: every request granted exactly once, exclusive
+// grants in per-lock FIFO arrival order, and mutual exclusion throughout.
+// This test drives releases from the switch's own grants (as real clients
+// do) and checks those invariants.
+TEST_P(ModelCheckTest, OverflowPreservesSafetyAndFifo) {
+  const ModelCheckParams params = GetParam();
+  Simulator sim;
+  Network net(sim, /*latency=*/1000);
+  LockSwitchConfig config;
+  config.queue_capacity = 4096;
+  config.array_size = 512;
+  config.max_locks = 64;
+  LockSwitch lock_switch(net, config);
+  LockServer server(net, LockServerConfig{});
+  server.set_switch_node(lock_switch.node());
+  const NodeId client = net.AddNode([](const Packet&) {});
+  for (int l = 0; l < params.num_locks; ++l) {
+    ASSERT_TRUE(lock_switch.InstallLock(l, server.node(),
+                                        params.region_slots));
+  }
+
+  struct GrantEv {
+    LockId lock;
+    TxnId txn;
+    LockMode mode;
+  };
+  std::deque<GrantEv> held;  // Switch-granted, not yet released.
+  std::map<LockId, TxnId> last_exclusive_txn;
+  std::map<LockId, std::pair<int, int>> holders;  // lock -> (shared, excl).
+  std::map<LockId, std::deque<TxnId>> expected_x_order;
+  std::uint64_t grants_seen = 0;
+  lock_switch.set_grant_observer(
+      [&](LockId lock, TxnId txn, LockMode mode, NodeId) {
+        ++grants_seen;
+        auto& h = holders[lock];
+        if (mode == LockMode::kExclusive) {
+          EXPECT_EQ(h.first, 0) << "X granted while shared held";
+          EXPECT_EQ(h.second, 0) << "X granted while X held";
+          ++h.second;
+          // FIFO: exclusive grants in arrival order per lock.
+          ASSERT_FALSE(expected_x_order[lock].empty());
+          EXPECT_EQ(expected_x_order[lock].front(), txn)
+              << "exclusive FIFO violated on lock " << lock;
+          expected_x_order[lock].pop_front();
+        } else {
+          EXPECT_EQ(h.second, 0) << "S granted while X held";
+          ++h.first;
+        }
+        held.push_back({lock, txn, mode});
+      });
+
+  Rng rng(params.seed * 977 + 3);
+  TxnId next_txn = 1;
+  std::uint64_t acquires = 0;
+  const int kOps = 400;
+  for (int op = 0; op < kOps; ++op) {
+    const bool do_release = !held.empty() && rng.NextBool(0.55);
+    if (do_release) {
+      const std::size_t pick = rng.NextBounded(held.size());
+      const GrantEv target = held[pick];
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(pick));
+      auto& h = holders[target.lock];
+      if (target.mode == LockMode::kExclusive) {
+        --h.second;
+      } else {
+        --h.first;
+      }
+      net.Send(MakeLockPacket(client, lock_switch.node(),
+                              MakeRelease(target.lock, target.mode,
+                                          target.txn, client)));
+    } else {
+      const LockId lock =
+          static_cast<LockId>(rng.NextBounded(params.num_locks));
+      const LockMode mode = rng.NextBool(params.shared_fraction)
+                                ? LockMode::kShared
+                                : LockMode::kExclusive;
+      const TxnId txn = next_txn++;
+      ++acquires;
+      if (mode == LockMode::kExclusive) {
+        expected_x_order[lock].push_back(txn);
+      }
+      net.Send(MakeLockPacket(client, lock_switch.node(),
+                              MakeAcquire(lock, mode, txn, client)));
+    }
+    sim.Run();
+  }
+  // Drain: release everything as it gets granted until all done.
+  for (int round = 0; round < 4000 && grants_seen < acquires; ++round) {
+    while (!held.empty()) {
+      const GrantEv target = held.front();
+      held.pop_front();
+      auto& h = holders[target.lock];
+      if (target.mode == LockMode::kExclusive) {
+        --h.second;
+      } else {
+        --h.first;
+      }
+      net.Send(MakeLockPacket(client, lock_switch.node(),
+                              MakeRelease(target.lock, target.mode,
+                                          target.txn, client)));
+      sim.Run();
+    }
+    sim.Run();
+  }
+  EXPECT_EQ(grants_seen, acquires)
+      << "every request granted exactly once; seed=" << params.seed;
+  for (const auto& [lock, order] : expected_x_order) {
+    EXPECT_TRUE(order.empty()) << "undrained exclusives on lock " << lock;
+  }
+}
+
+std::vector<ModelCheckParams> MakeParams() {
+  std::vector<ModelCheckParams> params;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    // Large regions: pure Algorithm 2. Tiny regions: overflow protocol.
+    params.push_back({seed, 64, 3, 0.5});
+    params.push_back({seed + 100, 2, 3, 0.5});
+    params.push_back({seed + 200, 1, 2, 0.3});
+    params.push_back({seed + 300, 3, 1, 0.7});
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sequences, ModelCheckTest,
+                         ::testing::ValuesIn(MakeParams()));
+
+}  // namespace
+}  // namespace netlock

@@ -1,0 +1,191 @@
+// Tests for the switch-server overflow protocol (paper Section 4.3):
+// buffer-only forwarding, queue-empty notification, pushes, episode
+// termination, and the single-queue FIFO equivalence property.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "dataplane/switch_dataplane.h"
+#include "server/lock_server.h"
+#include "test_util.h"
+
+namespace netlock {
+namespace {
+
+using testing::MakeAcquire;
+using testing::MakeRelease;
+using testing::PacketCatcher;
+
+class OverflowTest : public ::testing::Test {
+ protected:
+  OverflowTest() : net_(sim_, /*latency=*/1000) {
+    LockSwitchConfig sw_config;
+    sw_config.queue_capacity = 64;
+    sw_config.array_size = 16;
+    sw_config.max_locks = 8;
+    switch_ = std::make_unique<LockSwitch>(net_, sw_config);
+    LockServerConfig srv_config;
+    srv_config.cores = 2;
+    srv_config.per_request_service = 100;
+    server_ = std::make_unique<LockServer>(net_, srv_config);
+    server_->set_switch_node(switch_->node());
+    client_ = std::make_unique<PacketCatcher>(net_);
+  }
+
+  void Install(LockId lock, std::uint32_t slots) {
+    ASSERT_TRUE(switch_->InstallLock(lock, server_->node(), slots));
+  }
+
+  void Acquire(LockId lock, LockMode mode, TxnId txn) {
+    net_.Send(MakeLockPacket(client_->node(), switch_->node(),
+                             MakeAcquire(lock, mode, txn, client_->node())));
+    sim_.Run();
+  }
+
+  void Release(LockId lock, LockMode mode, TxnId txn) {
+    net_.Send(MakeLockPacket(client_->node(), switch_->node(),
+                             MakeRelease(lock, mode, txn, client_->node())));
+    sim_.Run();
+  }
+
+  Simulator sim_;
+  Network net_;
+  std::unique_ptr<LockSwitch> switch_;
+  std::unique_ptr<LockServer> server_;
+  std::unique_ptr<PacketCatcher> client_;
+};
+
+TEST_F(OverflowTest, FullQueueForwardsBufferOnly) {
+  Install(1, 2);
+  Acquire(1, LockMode::kExclusive, 1);  // Granted, occupies slot.
+  Acquire(1, LockMode::kExclusive, 2);  // Queued, occupies slot.
+  Acquire(1, LockMode::kExclusive, 3);  // Overflow -> q2 at server.
+  EXPECT_EQ(switch_->stats().forwarded_overflow, 1u);
+  EXPECT_EQ(server_->OverflowDepth(1), 1u);
+  EXPECT_FALSE(client_->HasGrantFor(3));
+}
+
+TEST_F(OverflowTest, OverflowStaysActiveUntilEpisodeEnds) {
+  Install(1, 2);
+  Acquire(1, LockMode::kExclusive, 1);
+  Acquire(1, LockMode::kExclusive, 2);
+  Acquire(1, LockMode::kExclusive, 3);  // Overflow begins.
+  // A release frees a slot, but while overflowing, new requests still go to
+  // q2 (otherwise they would jump ahead of txn 3).
+  Release(1, LockMode::kExclusive, 1);
+  Acquire(1, LockMode::kExclusive, 4);
+  EXPECT_EQ(server_->OverflowDepth(1), 2u);
+  EXPECT_FALSE(client_->HasGrantFor(4));
+}
+
+TEST_F(OverflowTest, EmptyQueueTriggersPushAndGrant) {
+  Install(1, 2);
+  Acquire(1, LockMode::kExclusive, 1);
+  Acquire(1, LockMode::kExclusive, 2);
+  Acquire(1, LockMode::kExclusive, 3);  // q2.
+  Release(1, LockMode::kExclusive, 1);  // Grants 2.
+  EXPECT_TRUE(client_->HasGrantFor(2));
+  Release(1, LockMode::kExclusive, 2);  // q1 empty -> notify -> push 3.
+  EXPECT_TRUE(client_->HasGrantFor(3));
+  EXPECT_EQ(switch_->stats().queue_empty_notifies, 1u);
+  EXPECT_EQ(server_->stats().pushes_sent, 1u);
+  EXPECT_EQ(server_->OverflowDepth(1), 0u);
+}
+
+TEST_F(OverflowTest, EpisodeEndsAndNormalModeResumes) {
+  Install(1, 2);
+  Acquire(1, LockMode::kExclusive, 1);
+  Acquire(1, LockMode::kExclusive, 2);
+  Acquire(1, LockMode::kExclusive, 3);
+  Release(1, LockMode::kExclusive, 1);
+  Release(1, LockMode::kExclusive, 2);  // Push + resume handshake.
+  Release(1, LockMode::kExclusive, 3);
+  // Back to normal: a new acquire is handled directly by the switch.
+  Acquire(1, LockMode::kExclusive, 4);
+  EXPECT_TRUE(client_->HasGrantFor(4));
+  EXPECT_EQ(switch_->stats().forwarded_overflow, 1u);  // Only txn 3.
+}
+
+TEST_F(OverflowTest, GrantOrderEqualsSingleQueueUnderOverflow) {
+  Install(1, 2);
+  // 8 exclusive requests against a 2-slot region: 6 overflow into q2.
+  for (TxnId txn = 1; txn <= 8; ++txn) {
+    Acquire(1, LockMode::kExclusive, txn);
+  }
+  // Release each grant as it arrives; collect the global grant order.
+  std::vector<TxnId> order;
+  for (int round = 0; round < 64 && order.size() < 8; ++round) {
+    for (const auto& g : client_->Grants()) {
+      if (std::find(order.begin(), order.end(), g.txn_id) == order.end()) {
+        order.push_back(g.txn_id);
+        Release(1, LockMode::kExclusive, g.txn_id);
+      }
+    }
+  }
+  EXPECT_EQ(order, (std::vector<TxnId>{1, 2, 3, 4, 5, 6, 7, 8}));
+  EXPECT_TRUE(switch_->QueueEmpty(1));
+  EXPECT_EQ(server_->OverflowDepth(1), 0u);
+}
+
+// Property sweep: random mixes of shared/exclusive against tiny regions
+// still grant every transaction exactly once and preserve FIFO order for
+// exclusive chains.
+class OverflowPropertyTest : public OverflowTest,
+                             public ::testing::WithParamInterface<int> {};
+
+TEST_P(OverflowPropertyTest, RandomMixDrainsCompletely) {
+  const int seed = GetParam();
+  Rng rng(seed);
+  const std::uint32_t region = 1 + seed % 3;  // 1..3 slots.
+  Install(1, region);
+  const int n = 30;
+  std::vector<LockMode> modes;
+  for (TxnId txn = 0; txn < n; ++txn) {
+    const LockMode mode =
+        rng.NextBool(0.5) ? LockMode::kShared : LockMode::kExclusive;
+    modes.push_back(mode);
+    Acquire(1, mode, txn);
+  }
+  std::vector<TxnId> granted;
+  for (int round = 0; round < 10 * n && granted.size() < modes.size();
+       ++round) {
+    for (const auto& g : client_->Grants()) {
+      if (std::find(granted.begin(), granted.end(), g.txn_id) ==
+          granted.end()) {
+        granted.push_back(g.txn_id);
+        Release(1, g.mode, g.txn_id);
+      }
+    }
+  }
+  EXPECT_EQ(granted.size(), modes.size()) << "seed=" << seed;
+  EXPECT_TRUE(switch_->QueueEmpty(1));
+  EXPECT_EQ(server_->OverflowDepth(1), 0u);
+  // Exclusive grants must appear in FIFO order.
+  std::vector<TxnId> exclusive_order;
+  for (const TxnId txn : granted) {
+    if (modes[txn] == LockMode::kExclusive) exclusive_order.push_back(txn);
+  }
+  EXPECT_TRUE(std::is_sorted(exclusive_order.begin(), exclusive_order.end()))
+      << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OverflowPropertyTest,
+                         ::testing::Range(1, 13));
+
+TEST_F(OverflowTest, SharedBatchAcrossQ1Q2) {
+  Install(1, 2);
+  Acquire(1, LockMode::kExclusive, 1);
+  Acquire(1, LockMode::kShared, 2);   // Queued in q1.
+  Acquire(1, LockMode::kShared, 3);   // Overflow -> q2.
+  Acquire(1, LockMode::kShared, 4);   // q2.
+  Release(1, LockMode::kExclusive, 1);  // Grants 2 (E->S in q1).
+  EXPECT_TRUE(client_->HasGrantFor(2));
+  EXPECT_FALSE(client_->HasGrantFor(3));  // Still buffered.
+  Release(1, LockMode::kShared, 2);  // q1 empty -> push 3,4 -> both granted.
+  EXPECT_TRUE(client_->HasGrantFor(3));
+  EXPECT_TRUE(client_->HasGrantFor(4));
+}
+
+}  // namespace
+}  // namespace netlock

@@ -1,0 +1,216 @@
+// Tests for policy support (paper Section 4.4): FCFS starvation freedom,
+// service differentiation with per-stage priorities, and performance
+// isolation with per-tenant quotas — the behaviours behind Figure 12.
+#include <gtest/gtest.h>
+
+#include "dataplane/switch_dataplane.h"
+#include "harness/experiment.h"
+#include "harness/testbed.h"
+#include "test_util.h"
+
+namespace netlock {
+namespace {
+
+using testing::MakeAcquire;
+using testing::MakeRelease;
+using testing::PacketCatcher;
+
+class PriorityTest : public ::testing::Test {
+ protected:
+  PriorityTest() : net_(sim_, 1000) {
+    LockSwitchConfig config;
+    config.queue_capacity = 256;
+    config.array_size = 64;
+    config.max_locks = 16;
+    config.num_priorities = 3;
+    switch_ = std::make_unique<LockSwitch>(net_, config);
+    client_ = std::make_unique<PacketCatcher>(net_);
+    server_ = std::make_unique<PacketCatcher>(net_);
+    EXPECT_TRUE(switch_->InstallLock(1, server_->node(), 30));
+  }
+
+  void Send(const LockHeader& hdr) {
+    switch_->HandlePacket(
+        MakeLockPacket(hdr.client_node, switch_->node(), hdr));
+    sim_.Run();
+  }
+
+  Simulator sim_;
+  Network net_;
+  std::unique_ptr<LockSwitch> switch_;
+  std::unique_ptr<PacketCatcher> client_;
+  std::unique_ptr<PacketCatcher> server_;
+};
+
+TEST_F(PriorityTest, GrantsWhenFree) {
+  Send(MakeAcquire(1, LockMode::kExclusive, 1, client_->node(), 2));
+  EXPECT_TRUE(client_->HasGrantFor(1));
+}
+
+TEST_F(PriorityTest, HighPriorityGrantedFirstOnRelease) {
+  Send(MakeAcquire(1, LockMode::kExclusive, 1, client_->node(), 0));
+  // Low priority arrives first, then high priority.
+  Send(MakeAcquire(1, LockMode::kExclusive, 2, client_->node(), 2));
+  Send(MakeAcquire(1, LockMode::kExclusive, 3, client_->node(), 0));
+  client_->Clear();
+  Send(MakeRelease(1, LockMode::kExclusive, 1, client_->node(), 0));
+  // Despite arriving later, the priority-0 request (3) beats priority-2 (2).
+  const auto grants = client_->Grants();
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].txn_id, 3u);
+}
+
+TEST_F(PriorityTest, FcfsWithinSamePriority) {
+  Send(MakeAcquire(1, LockMode::kExclusive, 1, client_->node(), 1));
+  Send(MakeAcquire(1, LockMode::kExclusive, 2, client_->node(), 1));
+  Send(MakeAcquire(1, LockMode::kExclusive, 3, client_->node(), 1));
+  std::vector<TxnId> order;
+  for (TxnId expected = 1; expected <= 3; ++expected) {
+    for (const auto& g : client_->Grants()) {
+      if (std::find(order.begin(), order.end(), g.txn_id) == order.end()) {
+        order.push_back(g.txn_id);
+        Send(MakeRelease(1, LockMode::kExclusive, g.txn_id,
+                         client_->node(), 1));
+      }
+    }
+  }
+  EXPECT_EQ(order, (std::vector<TxnId>{1, 2, 3}));
+}
+
+TEST_F(PriorityTest, SharedGrantRequiresNoExclusiveAtSameOrHigher) {
+  Send(MakeAcquire(1, LockMode::kShared, 1, client_->node(), 1));
+  EXPECT_TRUE(client_->HasGrantFor(1));
+  // An exclusive waits at priority 0 (higher).
+  Send(MakeAcquire(1, LockMode::kExclusive, 2, client_->node(), 0));
+  EXPECT_FALSE(client_->HasGrantFor(2));
+  // A new shared at priority 1 must NOT jump the higher-priority exclusive.
+  Send(MakeAcquire(1, LockMode::kShared, 3, client_->node(), 1));
+  EXPECT_FALSE(client_->HasGrantFor(3));
+  // But a shared at priority 0 with no exclusive at <=0 waiting... the
+  // exclusive IS at 0, so it must also wait.
+  Send(MakeAcquire(1, LockMode::kShared, 4, client_->node(), 0));
+  EXPECT_FALSE(client_->HasGrantFor(4));
+}
+
+TEST_F(PriorityTest, SharedJumpsLowerPriorityExclusive) {
+  Send(MakeAcquire(1, LockMode::kShared, 1, client_->node(), 0));
+  // Exclusive waiting at LOWER priority (2).
+  Send(MakeAcquire(1, LockMode::kExclusive, 2, client_->node(), 2));
+  // Shared at priority 0 may share: no exclusive at same-or-higher.
+  Send(MakeAcquire(1, LockMode::kShared, 3, client_->node(), 0));
+  EXPECT_TRUE(client_->HasGrantFor(3));
+  EXPECT_FALSE(client_->HasGrantFor(2));
+}
+
+TEST_F(PriorityTest, SharedBatchAcrossPriorities) {
+  Send(MakeAcquire(1, LockMode::kExclusive, 1, client_->node(), 0));
+  Send(MakeAcquire(1, LockMode::kShared, 2, client_->node(), 0));
+  Send(MakeAcquire(1, LockMode::kShared, 3, client_->node(), 1));
+  Send(MakeAcquire(1, LockMode::kExclusive, 4, client_->node(), 1));
+  client_->Clear();
+  Send(MakeRelease(1, LockMode::kExclusive, 1, client_->node(), 0));
+  // Both leading shareds (across classes) granted; the exclusive waits.
+  EXPECT_TRUE(client_->HasGrantFor(2));
+  EXPECT_TRUE(client_->HasGrantFor(3));
+  EXPECT_FALSE(client_->HasGrantFor(4));
+}
+
+TEST_F(PriorityTest, PriorityBeyondRangeClamped) {
+  Send(MakeAcquire(1, LockMode::kExclusive, 1, client_->node(), 250));
+  EXPECT_TRUE(client_->HasGrantFor(1));
+}
+
+TEST_F(PriorityTest, PriorityCountBoundedByStages) {
+  LockSwitchConfig config;
+  config.num_stages = 8;
+  config.num_priorities = 5;  // > 8 - 4.
+  EXPECT_DEATH(LockSwitch(net_, config), "CHECK");
+}
+
+// End-to-end service differentiation: with priorities on, the
+// high-priority tenant's throughput dominates (Figure 12(a) behaviour).
+TEST(ServiceDifferentiationTest, HighPriorityTenantWins) {
+  auto run = [&](bool differentiate) {
+    TestbedConfig config;
+    config.system = SystemKind::kNetLock;
+    config.client_machines = 2;
+    config.sessions_per_machine = 5;
+    config.lock_servers = 1;
+    config.switch_config.num_priorities = differentiate ? 2 : 1;
+    config.txn_config.think_time = 10 * kMicrosecond;
+    MicroConfig micro;
+    micro.num_locks = 4;  // Contended.
+    config.workload_factory = MicroFactory(micro);
+    // Engines 0-4 tenant A (high priority), 5-9 tenant B (low priority).
+    config.priority_of = [](int i) {
+      return static_cast<Priority>(i < 5 ? 0 : 1);
+    };
+    Testbed testbed(config);
+    testbed.netlock().InstallKnapsack(
+        UniformMicroDemands(micro, testbed.num_engines()));
+    testbed.Run(10 * kMillisecond, 100 * kMillisecond);
+    std::uint64_t high = 0, low = 0;
+    for (int i = 0; i < testbed.num_engines(); ++i) {
+      if (i < 5) {
+        high += testbed.engine(i).metrics().txn_commits;
+      } else {
+        low += testbed.engine(i).metrics().txn_commits;
+      }
+    }
+    testbed.StopEngines();
+    return std::make_pair(high, low);
+  };
+  const auto [high_off, low_off] = run(false);
+  const auto [high_on, low_on] = run(true);
+  // Without differentiation the tenants are comparable.
+  EXPECT_LT(static_cast<double>(high_off),
+            1.5 * static_cast<double>(low_off));
+  // With differentiation the high-priority tenant clearly dominates.
+  EXPECT_GT(static_cast<double>(high_on), 1.5 * static_cast<double>(low_on));
+}
+
+// End-to-end performance isolation: the 7-client tenant cannot starve the
+// 3-client tenant once quotas are on (Figure 12(b) behaviour).
+TEST(PerformanceIsolationTest, QuotaEqualizesTenants) {
+  auto run = [&](bool isolate) {
+    TestbedConfig config;
+    config.system = SystemKind::kNetLock;
+    config.client_machines = 2;
+    config.sessions_per_machine = 5;
+    config.lock_servers = 1;
+    config.txn_config.think_time = 0;
+    MicroConfig micro;
+    micro.num_locks = 20'000;  // Uncontended: pure rate competition.
+    config.workload_factory = MicroFactory(micro);
+    config.tenant_of = [](int i) { return static_cast<TenantId>(i < 7); };
+    Testbed testbed(config);
+    testbed.netlock().InstallKnapsack(
+        UniformMicroDemands(micro, testbed.num_engines()));
+    if (isolate) {
+      // Equal shares, set below both tenants' offered load so the quota
+      // binds for each (10 closed-loop engines offer ~2 MRPS total).
+      testbed.netlock().lock_switch().quota().Configure(0, 4e5, 64);
+      testbed.netlock().lock_switch().quota().Configure(1, 4e5, 64);
+    }
+    testbed.Run(10 * kMillisecond, 100 * kMillisecond);
+    std::uint64_t t1 = 0, t2 = 0;
+    for (int i = 0; i < testbed.num_engines(); ++i) {
+      if (i < 7) {
+        t1 += testbed.engine(i).metrics().txn_commits;
+      } else {
+        t2 += testbed.engine(i).metrics().txn_commits;
+      }
+    }
+    testbed.StopEngines();
+    return std::make_pair(t1, t2);
+  };
+  const auto [t1_off, t2_off] = run(false);
+  EXPECT_GT(static_cast<double>(t1_off), 1.6 * static_cast<double>(t2_off));
+  const auto [t1_on, t2_on] = run(true);
+  const double ratio =
+      static_cast<double>(t1_on) / std::max<std::uint64_t>(1, t2_on);
+  EXPECT_LT(ratio, 1.5);  // Near-equal shares under isolation.
+}
+
+}  // namespace
+}  // namespace netlock

@@ -1,0 +1,73 @@
+// Shared helpers for NetLock tests.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/lock_wire.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace netlock::testing {
+
+/// A network node that records every lock message delivered to it.
+class PacketCatcher {
+ public:
+  explicit PacketCatcher(Network& net) {
+    node_ = net.AddNode([this](const Packet& pkt) {
+      if (auto hdr = LockHeader::Parse(pkt)) received_.push_back(*hdr);
+    });
+  }
+
+  NodeId node() const { return node_; }
+  const std::vector<LockHeader>& received() const { return received_; }
+  void Clear() { received_.clear(); }
+
+  /// Grants received, in order.
+  std::vector<LockHeader> Grants() const {
+    std::vector<LockHeader> grants;
+    for (const LockHeader& hdr : received_) {
+      if (hdr.op == LockOp::kGrant) grants.push_back(hdr);
+    }
+    return grants;
+  }
+
+  bool HasGrantFor(TxnId txn) const {
+    for (const LockHeader& hdr : received_) {
+      if (hdr.op == LockOp::kGrant && hdr.txn_id == txn) return true;
+    }
+    return false;
+  }
+
+ private:
+  NodeId node_ = kInvalidNode;
+  std::vector<LockHeader> received_;
+};
+
+inline LockHeader MakeAcquire(LockId lock, LockMode mode, TxnId txn,
+                              NodeId client, Priority priority = 0,
+                              TenantId tenant = 0) {
+  LockHeader hdr;
+  hdr.op = LockOp::kAcquire;
+  hdr.lock_id = lock;
+  hdr.mode = mode;
+  hdr.txn_id = txn;
+  hdr.client_node = client;
+  hdr.priority = priority;
+  hdr.tenant = tenant;
+  return hdr;
+}
+
+inline LockHeader MakeRelease(LockId lock, LockMode mode, TxnId txn,
+                              NodeId client, Priority priority = 0) {
+  LockHeader hdr;
+  hdr.op = LockOp::kRelease;
+  hdr.lock_id = lock;
+  hdr.mode = mode;
+  hdr.txn_id = txn;
+  hdr.client_node = client;
+  hdr.priority = priority;
+  return hdr;
+}
+
+}  // namespace netlock::testing

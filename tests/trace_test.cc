@@ -1,0 +1,121 @@
+// Tests for the trace-driven workload: format round-trip, parse errors,
+// replay semantics, and record-from-generator.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "workload/micro.h"
+#include "workload/trace.h"
+
+namespace netlock {
+namespace {
+
+TEST(TraceParseTest, BasicFormat) {
+  std::istringstream in(
+      "# header comment\n"
+      "17:S 42:X\n"
+      "\n"
+      "108\n"
+      "5:s 5:x   # dup merges, exclusive wins\n");
+  const auto txns = TraceWorkload::Parse(in);
+  ASSERT_EQ(txns.size(), 3u);
+  ASSERT_EQ(txns[0].locks.size(), 2u);
+  EXPECT_EQ(txns[0].locks[0].lock, 17u);
+  EXPECT_EQ(txns[0].locks[0].mode, LockMode::kShared);
+  EXPECT_EQ(txns[0].locks[1].lock, 42u);
+  EXPECT_EQ(txns[0].locks[1].mode, LockMode::kExclusive);
+  ASSERT_EQ(txns[1].locks.size(), 1u);
+  EXPECT_EQ(txns[1].locks[0].mode, LockMode::kExclusive);  // Default X.
+  ASSERT_EQ(txns[2].locks.size(), 1u);
+  EXPECT_EQ(txns[2].locks[0].mode, LockMode::kExclusive);
+}
+
+TEST(TraceParseTest, RejectsBadMode) {
+  std::istringstream in("1:Z\n");
+  EXPECT_THROW(TraceWorkload::Parse(in), std::runtime_error);
+}
+
+TEST(TraceParseTest, RejectsBadLockId) {
+  std::istringstream bad_chars("abc\n");
+  EXPECT_THROW(TraceWorkload::Parse(bad_chars), std::runtime_error);
+  std::istringstream too_big("99999999999\n");
+  EXPECT_THROW(TraceWorkload::Parse(too_big), std::runtime_error);
+}
+
+TEST(TraceParseTest, ErrorMessagesCarryLineNumbers) {
+  std::istringstream in("1\n2\nbogus\n");
+  try {
+    TraceWorkload::Parse(in);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(TraceRoundTripTest, WriteThenParseIdentical) {
+  MicroConfig config;
+  config.num_locks = 50;
+  config.locks_per_txn = 3;
+  config.shared_fraction = 0.4;
+  MicroWorkload source(config);
+  Rng rng(7);
+  const auto original = TraceWorkload::Record(source, rng, 200);
+  std::stringstream buffer;
+  TraceWorkload::Write(original, buffer);
+  const auto parsed = TraceWorkload::Parse(buffer);
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].locks, original[i].locks) << "txn " << i;
+  }
+}
+
+TEST(TraceReplayTest, LoopsInOrder) {
+  std::vector<TxnSpec> txns(3);
+  txns[0].locks = {{10, LockMode::kExclusive}};
+  txns[1].locks = {{20, LockMode::kShared}};
+  txns[2].locks = {{30, LockMode::kExclusive}};
+  TraceWorkload trace(txns);
+  Rng rng(1);
+  EXPECT_EQ(trace.Next(rng).locks[0].lock, 10u);
+  EXPECT_EQ(trace.Next(rng).locks[0].lock, 20u);
+  EXPECT_EQ(trace.Next(rng).locks[0].lock, 30u);
+  EXPECT_EQ(trace.Next(rng).locks[0].lock, 10u);  // Wrapped.
+  EXPECT_EQ(trace.lock_space(), 31u);
+  EXPECT_EQ(trace.size(), 3u);
+}
+
+TEST(TraceReplayTest, OffsetStaggersReplayers) {
+  std::vector<TxnSpec> txns(4);
+  for (int i = 0; i < 4; ++i) {
+    txns[i].locks = {{static_cast<LockId>(i), LockMode::kExclusive}};
+  }
+  TraceWorkload a(txns, /*start_offset=*/0);
+  TraceWorkload b(txns, /*start_offset=*/2);
+  Rng rng(1);
+  EXPECT_EQ(a.Next(rng).locks[0].lock, 0u);
+  EXPECT_EQ(b.Next(rng).locks[0].lock, 2u);
+}
+
+TEST(TraceFileTest, LoadMissingFileThrows) {
+  EXPECT_THROW(TraceWorkload::LoadFile("/nonexistent/trace.txt"),
+               std::runtime_error);
+}
+
+TEST(TraceFileTest, SaveAndLoadFile) {
+  std::vector<TxnSpec> txns(2);
+  txns[0].locks = {{1, LockMode::kShared}, {2, LockMode::kExclusive}};
+  txns[1].locks = {{3, LockMode::kExclusive}};
+  const std::string path = ::testing::TempDir() + "/netlock_trace_test.txt";
+  {
+    std::ofstream out(path);
+    TraceWorkload::Write(txns, out);
+  }
+  const auto loaded = TraceWorkload::LoadFile(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].locks, txns[0].locks);
+  EXPECT_EQ(loaded[1].locks, txns[1].locks);
+}
+
+}  // namespace
+}  // namespace netlock
