@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_one_rtt.dir/ablation_one_rtt.cc.o"
+  "CMakeFiles/ablation_one_rtt.dir/ablation_one_rtt.cc.o.d"
+  "ablation_one_rtt"
+  "ablation_one_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_one_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_shared_queue.dir/ablation_shared_queue.cc.o"
+  "CMakeFiles/ablation_shared_queue.dir/ablation_shared_queue.cc.o.d"
+  "ablation_shared_queue"
+  "ablation_shared_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shared_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_micro.dir/fig08_micro.cc.o"
+  "CMakeFiles/fig08_micro.dir/fig08_micro.cc.o.d"
+  "fig08_micro"
+  "fig08_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_switch_vs_server.dir/fig09_switch_vs_server.cc.o"
+  "CMakeFiles/fig09_switch_vs_server.dir/fig09_switch_vs_server.cc.o.d"
+  "fig09_switch_vs_server"
+  "fig09_switch_vs_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_switch_vs_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

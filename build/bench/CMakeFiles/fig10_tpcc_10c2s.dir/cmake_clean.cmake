@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_tpcc_10c2s.dir/fig10_tpcc_10c2s.cc.o"
+  "CMakeFiles/fig10_tpcc_10c2s.dir/fig10_tpcc_10c2s.cc.o.d"
+  "fig10_tpcc_10c2s"
+  "fig10_tpcc_10c2s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tpcc_10c2s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_tpcc_6c6s.dir/fig11_tpcc_6c6s.cc.o"
+  "CMakeFiles/fig11_tpcc_6c6s.dir/fig11_tpcc_6c6s.cc.o.d"
+  "fig11_tpcc_6c6s"
+  "fig11_tpcc_6c6s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_tpcc_6c6s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_tpcc_6c6s.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_policy.dir/fig12_policy.cc.o"
+  "CMakeFiles/fig12_policy.dir/fig12_policy.cc.o.d"
+  "fig12_policy"
+  "fig12_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

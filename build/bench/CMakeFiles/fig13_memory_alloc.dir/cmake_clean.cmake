@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_memory_alloc.dir/fig13_memory_alloc.cc.o"
+  "CMakeFiles/fig13_memory_alloc.dir/fig13_memory_alloc.cc.o.d"
+  "fig13_memory_alloc"
+  "fig13_memory_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_memory_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_failure.dir/fig15_failure.cc.o"
+  "CMakeFiles/fig15_failure.dir/fig15_failure.cc.o.d"
+  "fig15_failure"
+  "fig15_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

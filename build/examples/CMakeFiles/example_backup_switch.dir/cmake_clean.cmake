@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_backup_switch.dir/backup_switch.cpp.o"
+  "CMakeFiles/example_backup_switch.dir/backup_switch.cpp.o.d"
+  "example_backup_switch"
+  "example_backup_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_backup_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_chain_replication.dir/chain_replication.cpp.o"
+  "CMakeFiles/example_chain_replication.dir/chain_replication.cpp.o.d"
+  "example_chain_replication"
+  "example_chain_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_chain_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multi_rack.dir/multi_rack.cpp.o"
+  "CMakeFiles/example_multi_rack.dir/multi_rack.cpp.o.d"
+  "example_multi_rack"
+  "example_multi_rack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multi_rack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

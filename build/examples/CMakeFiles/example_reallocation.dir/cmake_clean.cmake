@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_reallocation.dir/reallocation.cpp.o"
+  "CMakeFiles/example_reallocation.dir/reallocation.cpp.o.d"
+  "example_reallocation"
+  "example_reallocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_reallocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tpcc_demo.dir/tpcc_demo.cpp.o"
+  "CMakeFiles/example_tpcc_demo.dir/tpcc_demo.cpp.o.d"
+  "example_tpcc_demo"
+  "example_tpcc_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tpcc_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

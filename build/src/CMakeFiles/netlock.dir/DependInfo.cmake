@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/drtm.cc" "src/CMakeFiles/netlock.dir/baselines/drtm.cc.o" "gcc" "src/CMakeFiles/netlock.dir/baselines/drtm.cc.o.d"
+  "/root/repo/src/baselines/dslr.cc" "src/CMakeFiles/netlock.dir/baselines/dslr.cc.o" "gcc" "src/CMakeFiles/netlock.dir/baselines/dslr.cc.o.d"
+  "/root/repo/src/baselines/netchain.cc" "src/CMakeFiles/netlock.dir/baselines/netchain.cc.o" "gcc" "src/CMakeFiles/netlock.dir/baselines/netchain.cc.o.d"
+  "/root/repo/src/baselines/server_only.cc" "src/CMakeFiles/netlock.dir/baselines/server_only.cc.o" "gcc" "src/CMakeFiles/netlock.dir/baselines/server_only.cc.o.d"
+  "/root/repo/src/client/client.cc" "src/CMakeFiles/netlock.dir/client/client.cc.o" "gcc" "src/CMakeFiles/netlock.dir/client/client.cc.o.d"
+  "/root/repo/src/client/open_loop.cc" "src/CMakeFiles/netlock.dir/client/open_loop.cc.o" "gcc" "src/CMakeFiles/netlock.dir/client/open_loop.cc.o.d"
+  "/root/repo/src/client/txn.cc" "src/CMakeFiles/netlock.dir/client/txn.cc.o" "gcc" "src/CMakeFiles/netlock.dir/client/txn.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/netlock.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/netlock.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/netlock.dir/common/random.cc.o" "gcc" "src/CMakeFiles/netlock.dir/common/random.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/netlock.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/netlock.dir/common/stats.cc.o.d"
+  "/root/repo/src/core/chain.cc" "src/CMakeFiles/netlock.dir/core/chain.cc.o" "gcc" "src/CMakeFiles/netlock.dir/core/chain.cc.o.d"
+  "/root/repo/src/core/control_plane.cc" "src/CMakeFiles/netlock.dir/core/control_plane.cc.o" "gcc" "src/CMakeFiles/netlock.dir/core/control_plane.cc.o.d"
+  "/root/repo/src/core/failover.cc" "src/CMakeFiles/netlock.dir/core/failover.cc.o" "gcc" "src/CMakeFiles/netlock.dir/core/failover.cc.o.d"
+  "/root/repo/src/core/memory_alloc.cc" "src/CMakeFiles/netlock.dir/core/memory_alloc.cc.o" "gcc" "src/CMakeFiles/netlock.dir/core/memory_alloc.cc.o.d"
+  "/root/repo/src/core/netlock.cc" "src/CMakeFiles/netlock.dir/core/netlock.cc.o" "gcc" "src/CMakeFiles/netlock.dir/core/netlock.cc.o.d"
+  "/root/repo/src/dataplane/lock_table.cc" "src/CMakeFiles/netlock.dir/dataplane/lock_table.cc.o" "gcc" "src/CMakeFiles/netlock.dir/dataplane/lock_table.cc.o.d"
+  "/root/repo/src/dataplane/quota.cc" "src/CMakeFiles/netlock.dir/dataplane/quota.cc.o" "gcc" "src/CMakeFiles/netlock.dir/dataplane/quota.cc.o.d"
+  "/root/repo/src/dataplane/shared_queue.cc" "src/CMakeFiles/netlock.dir/dataplane/shared_queue.cc.o" "gcc" "src/CMakeFiles/netlock.dir/dataplane/shared_queue.cc.o.d"
+  "/root/repo/src/dataplane/switch_dataplane.cc" "src/CMakeFiles/netlock.dir/dataplane/switch_dataplane.cc.o" "gcc" "src/CMakeFiles/netlock.dir/dataplane/switch_dataplane.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/netlock.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/netlock.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/report.cc" "src/CMakeFiles/netlock.dir/harness/report.cc.o" "gcc" "src/CMakeFiles/netlock.dir/harness/report.cc.o.d"
+  "/root/repo/src/harness/testbed.cc" "src/CMakeFiles/netlock.dir/harness/testbed.cc.o" "gcc" "src/CMakeFiles/netlock.dir/harness/testbed.cc.o.d"
+  "/root/repo/src/net/lock_wire.cc" "src/CMakeFiles/netlock.dir/net/lock_wire.cc.o" "gcc" "src/CMakeFiles/netlock.dir/net/lock_wire.cc.o.d"
+  "/root/repo/src/net/wire.cc" "src/CMakeFiles/netlock.dir/net/wire.cc.o" "gcc" "src/CMakeFiles/netlock.dir/net/wire.cc.o.d"
+  "/root/repo/src/rdma/rdma.cc" "src/CMakeFiles/netlock.dir/rdma/rdma.cc.o" "gcc" "src/CMakeFiles/netlock.dir/rdma/rdma.cc.o.d"
+  "/root/repo/src/server/db_server.cc" "src/CMakeFiles/netlock.dir/server/db_server.cc.o" "gcc" "src/CMakeFiles/netlock.dir/server/db_server.cc.o.d"
+  "/root/repo/src/server/lock_server.cc" "src/CMakeFiles/netlock.dir/server/lock_server.cc.o" "gcc" "src/CMakeFiles/netlock.dir/server/lock_server.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/netlock.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/netlock.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/CMakeFiles/netlock.dir/sim/network.cc.o" "gcc" "src/CMakeFiles/netlock.dir/sim/network.cc.o.d"
+  "/root/repo/src/sim/service_queue.cc" "src/CMakeFiles/netlock.dir/sim/service_queue.cc.o" "gcc" "src/CMakeFiles/netlock.dir/sim/service_queue.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/netlock.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/netlock.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/switchsim/pipeline.cc" "src/CMakeFiles/netlock.dir/switchsim/pipeline.cc.o" "gcc" "src/CMakeFiles/netlock.dir/switchsim/pipeline.cc.o.d"
+  "/root/repo/src/workload/micro.cc" "src/CMakeFiles/netlock.dir/workload/micro.cc.o" "gcc" "src/CMakeFiles/netlock.dir/workload/micro.cc.o.d"
+  "/root/repo/src/workload/tpcc.cc" "src/CMakeFiles/netlock.dir/workload/tpcc.cc.o" "gcc" "src/CMakeFiles/netlock.dir/workload/tpcc.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/CMakeFiles/netlock.dir/workload/trace.cc.o" "gcc" "src/CMakeFiles/netlock.dir/workload/trace.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/netlock.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/netlock.dir/workload/workload.cc.o.d"
+  "/root/repo/src/workload/ycsb.cc" "src/CMakeFiles/netlock.dir/workload/ycsb.cc.o" "gcc" "src/CMakeFiles/netlock.dir/workload/ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

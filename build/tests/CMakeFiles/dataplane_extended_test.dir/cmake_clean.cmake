@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataplane_extended_test.dir/dataplane_extended_test.cc.o"
+  "CMakeFiles/dataplane_extended_test.dir/dataplane_extended_test.cc.o.d"
+  "dataplane_extended_test"
+  "dataplane_extended_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataplane_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

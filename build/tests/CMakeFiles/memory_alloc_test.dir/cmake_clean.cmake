@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_alloc_test.dir/memory_alloc_test.cc.o"
+  "CMakeFiles/memory_alloc_test.dir/memory_alloc_test.cc.o.d"
+  "memory_alloc_test"
+  "memory_alloc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_alloc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_check_test.dir/model_check_test.cc.o"
+  "CMakeFiles/model_check_test.dir/model_check_test.cc.o.d"
+  "model_check_test"
+  "model_check_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

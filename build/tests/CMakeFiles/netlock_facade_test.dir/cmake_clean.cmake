@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlock_facade_test.dir/netlock_facade_test.cc.o"
+  "CMakeFiles/netlock_facade_test.dir/netlock_facade_test.cc.o.d"
+  "netlock_facade_test"
+  "netlock_facade_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlock_facade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/one_rtt_test.dir/one_rtt_test.cc.o"
+  "CMakeFiles/one_rtt_test.dir/one_rtt_test.cc.o.d"
+  "one_rtt_test"
+  "one_rtt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/one_rtt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

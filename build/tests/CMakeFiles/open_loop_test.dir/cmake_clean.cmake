@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/open_loop_test.dir/open_loop_test.cc.o"
+  "CMakeFiles/open_loop_test.dir/open_loop_test.cc.o.d"
+  "open_loop_test"
+  "open_loop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/open_loop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overflow_test.dir/overflow_test.cc.o"
+  "CMakeFiles/overflow_test.dir/overflow_test.cc.o.d"
+  "overflow_test"
+  "overflow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

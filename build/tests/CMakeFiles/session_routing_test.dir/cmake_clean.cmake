@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_routing_test.dir/session_routing_test.cc.o"
+  "CMakeFiles/session_routing_test.dir/session_routing_test.cc.o.d"
+  "session_routing_test"
+  "session_routing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

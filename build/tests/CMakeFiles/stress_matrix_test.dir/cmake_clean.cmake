@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stress_matrix_test.dir/stress_matrix_test.cc.o"
+  "CMakeFiles/stress_matrix_test.dir/stress_matrix_test.cc.o.d"
+  "stress_matrix_test"
+  "stress_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stress_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
