@@ -37,7 +37,7 @@ std::vector<LockDemand> SkewedDemands(std::size_t n, double alpha,
   return demands;
 }
 
-void AnalyticTable() {
+void AnalyticTable(BenchReport& report) {
   Banner("Guaranteed request rate (fraction of total demand), 4096 slots");
   Table table({"skew(zipf a)", "static A=2", "static A=8", "static A=32",
                "shared+knapsack"});
@@ -49,16 +49,21 @@ void AnalyticTable() {
     auto frac = [&](const Allocation& a) {
       return AllocationObjective(demands, a) / total;
     };
+    const double static8 = frac(StaticAllocate(demands, capacity, 8));
+    const double knapsack = frac(KnapsackAllocate(demands, capacity));
     table.AddRow({Fmt(alpha, 1),
                   Fmt(frac(StaticAllocate(demands, capacity, 2)), 3),
-                  Fmt(frac(StaticAllocate(demands, capacity, 8)), 3),
+                  Fmt(static8, 3),
                   Fmt(frac(StaticAllocate(demands, capacity, 32)), 3),
-                  Fmt(frac(KnapsackAllocate(demands, capacity)), 3)});
+                  Fmt(knapsack, 3)});
+    BenchRun& run = report.AddRun("analytic/alpha=" + Fmt(alpha, 1));
+    run.extra.emplace_back("static8_frac", static8);
+    run.extra.emplace_back("knapsack_frac", knapsack);
   }
   table.Print();
 }
 
-double RunTpcc(bool use_static, std::uint32_t fixed_slots) {
+double RunTpcc(bool use_static, std::uint32_t fixed_slots, bool quick) {
   TestbedConfig config;
   config.system = SystemKind::kNetLock;
   config.client_machines = 10;
@@ -74,12 +79,14 @@ double RunTpcc(bool use_static, std::uint32_t fixed_slots) {
   tpcc.customer_granularity = 16;
   config.workload_factory = TpccFactory(tpcc);
   Testbed testbed(config);
-  const auto demands = testbed.ProfileDemands(50 * kMillisecond);
+  const auto demands =
+      testbed.ProfileDemands(quick ? 25 * kMillisecond : 50 * kMillisecond);
   const Allocation alloc =
       use_static ? StaticAllocate(demands, 3000, fixed_slots)
                  : KnapsackAllocate(demands, 3000);
   testbed.netlock().InstallAllocation(alloc);
-  const RunMetrics m = testbed.Run(20 * kMillisecond, 80 * kMillisecond);
+  const RunMetrics m = testbed.Run(
+      20 * kMillisecond, quick ? 25 * kMillisecond : 80 * kMillisecond);
   testbed.StopEngines(kSecond);
   return m.LockThroughputMrps();
 }
@@ -87,20 +94,28 @@ double RunTpcc(bool use_static, std::uint32_t fixed_slots) {
 }  // namespace
 }  // namespace netlock
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netlock;
+  BenchReport report("ablation_shared_queue", ParseBenchOptions(argc, argv));
   std::printf(
       "NetLock reproduction — ablation: shared queue vs static arrays\n");
-  AnalyticTable();
+  AnalyticTable(report);
   Banner("End-to-end TPC-C lock throughput (MRPS), 3000 slots");
   Table table({"allocation", "tput(MRPS)"});
-  table.AddRow({"static arrays A=8", Fmt(RunTpcc(true, 8), 2)});
-  table.AddRow({"static arrays A=32", Fmt(RunTpcc(true, 32), 2)});
-  table.AddRow({"shared queue (knapsack)", Fmt(RunTpcc(false, 0), 2)});
+  const bool quick = report.quick();
+  auto add = [&](const char* table_name, const char* run_label,
+                 bool use_static, std::uint32_t fixed_slots) {
+    const double mrps = RunTpcc(use_static, fixed_slots, quick);
+    table.AddRow({table_name, Fmt(mrps, 2)});
+    report.AddRun(run_label).throughput_mrps = mrps;
+  };
+  add("static arrays A=8", "tpcc/static8", true, 8);
+  add("static arrays A=32", "tpcc/static32", true, 32);
+  add("shared queue (knapsack)", "tpcc/shared-knapsack", false, 0);
   table.Print();
   std::printf(
       "\nExpected shape: small static arrays overflow hot locks, large ones\n"
       "waste memory on cold locks; the shared queue sizes each region to\n"
       "its contention and wins at every skew.\n");
-  return 0;
+  return report.Write() ? 0 : 1;
 }

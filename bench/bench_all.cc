@@ -1,0 +1,77 @@
+// Runs every figure/ablation bench binary in sequence, forwarding the
+// shared bench flags, and fails if any bench fails. CI invokes this with
+// --quick --json-dir=<dir> to produce the full set of BENCH_*.json reports
+// in one step; locally it reproduces every paper figure in one command.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace {
+
+// Sibling binaries, in figure order. micro_components (google-benchmark)
+// rides along last since it measures the simulator, not the paper.
+const char* const kBenches[] = {
+    "fig08_micro",
+    "fig09_switch_vs_server",
+    "fig10_tpcc_10c2s",
+    "fig11_tpcc_6c6s",
+    "fig12_policy",
+    "fig13_memory_alloc",
+    "fig14_memory_size",
+    "fig15_failure",
+    "ablation_one_rtt",
+    "ablation_shared_queue",
+    "micro_components",
+};
+
+std::string DirOf(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".")
+                                    : path.substr(0, slash);
+}
+
+std::string ShellQuote(const std::string& s) {
+  std::string out = "'";
+  for (const char c : s) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += "'";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Forward the shared flags verbatim; anything else is passed through too,
+  // so e.g. --benchmark_filter reaches micro_components.
+  std::string forwarded;
+  for (int i = 1; i < argc; ++i) {
+    forwarded += " ";
+    forwarded += ShellQuote(argv[i]);
+  }
+  const std::string bin_dir = DirOf(argv[0]);
+  int failures = 0;
+  for (const char* bench : kBenches) {
+    const std::string cmd = ShellQuote(bin_dir + "/" + bench) + forwarded;
+    std::printf("\n===== bench_all: %s =====\n", bench);
+    std::fflush(stdout);
+    const int rc = std::system(cmd.c_str());
+    if (rc != 0) {
+      std::fprintf(stderr, "bench_all: %s FAILED (exit status %d)\n", bench,
+                   rc);
+      ++failures;
+    }
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "\nbench_all: %d bench(es) failed\n", failures);
+    return 1;
+  }
+  std::printf("\nbench_all: all %zu benches passed\n",
+              sizeof(kBenches) / sizeof(kBenches[0]));
+  return 0;
+}

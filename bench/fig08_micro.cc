@@ -20,7 +20,11 @@ namespace netlock {
 namespace {
 
 constexpr SimTime kWarmup = 5 * kMillisecond;
-constexpr SimTime kMeasure = 20 * kMillisecond;
+
+// --quick trims the sweeps and measurement windows to CI scale.
+SimTime Measure(const BenchReport& report) {
+  return report.quick() ? 5 * kMillisecond : 20 * kMillisecond;
+}
 
 TestbedConfig BaseConfig(int sessions_per_machine) {
   TestbedConfig config;
@@ -32,11 +36,14 @@ TestbedConfig BaseConfig(int sessions_per_machine) {
   return config;
 }
 
-void LatencyVsThroughput(const char* title, double shared_fraction) {
+void LatencyVsThroughput(const char* title, double shared_fraction,
+                         const char* tag, BenchReport& report) {
   Banner(title);
   Table table({"offered(sessions)", "tput(MRPS)", "avg(us)", "p50(us)",
                "p99(us)", "p99.9(us)"});
-  for (const int sessions : {2, 8, 24, 48, 64}) {
+  const std::vector<int> sweep =
+      report.quick() ? std::vector<int>{8, 48} : std::vector<int>{2, 8, 24, 48, 64};
+  for (const int sessions : sweep) {
     TestbedConfig config = BaseConfig(sessions);
     MicroConfig micro;
     micro.num_locks = 100'000;  // No contention.
@@ -48,12 +55,15 @@ void LatencyVsThroughput(const char* title, double shared_fraction) {
     Testbed testbed(config);
     testbed.netlock().InstallKnapsack(
         UniformMicroDemands(micro, testbed.num_engines()));
-    const RunMetrics m = testbed.Run(kWarmup, kMeasure);
+    const RunMetrics m = testbed.Run(kWarmup, Measure(report));
     table.AddRow({std::to_string(12 * sessions),
                   Fmt(m.LockThroughputMrps()),
                   FmtUs(static_cast<SimTime>(m.lock_latency.Mean())),
                   FmtUs(m.lock_latency.Median()), FmtUs(m.lock_latency.P99()),
                   FmtUs(m.lock_latency.Percentile(0.999))});
+    report.AddRun(std::string(tag) + "/sessions=" +
+                      std::to_string(12 * sessions),
+                  m);
     testbed.StopEngines();
   }
   table.Print();
@@ -62,11 +72,16 @@ void LatencyVsThroughput(const char* title, double shared_fraction) {
 // Open-loop variant: Poisson arrivals at a swept offered rate, the way the
 // paper's DPDK clients load the switch — latency stays flat until the
 // clients' own capacity, independent of completions.
-void OpenLoopSweep(const char* title, double shared_fraction) {
+void OpenLoopSweep(const char* title, double shared_fraction,
+                   BenchReport& report) {
   Banner(title);
   Table table({"offered(MRPS)", "achieved(MRPS)", "avg(us)", "p50(us)",
                "p99(us)", "shed"});
-  for (const double offered_mrps : {10.0, 40.0, 80.0, 120.0, 160.0}) {
+  const std::vector<double> sweep =
+      report.quick() ? std::vector<double>{40.0, 120.0}
+                     : std::vector<double>{10.0, 40.0, 80.0, 120.0, 160.0};
+  const SimTime window = report.quick() ? 3 * kMillisecond : 10 * kMillisecond;
+  for (const double offered_mrps : sweep) {
     Simulator sim;
     Network net(sim, 2500);
     LockSwitchConfig sw_config;
@@ -105,7 +120,7 @@ void OpenLoopSweep(const char* title, double shared_fraction) {
     }
     sim.RunUntil(2 * kMillisecond);  // Warm up.
     for (auto& engine : engines) engine->SetRecording(true);
-    sim.RunUntil(2 * kMillisecond + 10 * kMillisecond);
+    sim.RunUntil(2 * kMillisecond + window);
     RunMetrics total;
     std::uint64_t shed = 0;
     for (auto& engine : engines) {
@@ -114,20 +129,27 @@ void OpenLoopSweep(const char* title, double shared_fraction) {
       total.lock_latency.Merge(engine->metrics().lock_latency);
       shed += engine->dropped_arrivals();
     }
-    total.duration = 10 * kMillisecond;
+    total.duration = window;
     table.AddRow({Fmt(offered_mrps, 0), Fmt(total.LockThroughputMrps()),
                   FmtUs(static_cast<SimTime>(total.lock_latency.Mean())),
                   FmtUs(total.lock_latency.Median()),
                   FmtUs(total.lock_latency.P99()), std::to_string(shed)});
+    BenchRun& run = report.AddRun(
+        "openloop/offered=" + Fmt(offered_mrps, 0), total);
+    run.extra.emplace_back("shed", static_cast<double>(shed));
   }
   table.Print();
 }
 
-void ContentionSweep() {
+void ContentionSweep(BenchReport& report) {
   Banner("Figure 8(c)+(d): exclusive locks WITH contention — sweep #locks");
   Table table({"locks", "tput(MRPS)", "avg(us)", "p50(us)", "p99(us)",
                "p99.9(us)"});
-  for (const LockId locks : {500u, 2000u, 4000u, 6000u, 8000u, 10000u}) {
+  const std::vector<LockId> sweep =
+      report.quick() ? std::vector<LockId>{2000u, 10000u}
+                     : std::vector<LockId>{500u, 2000u, 4000u, 6000u, 8000u,
+                                           10000u};
+  for (const LockId locks : sweep) {
     TestbedConfig config = BaseConfig(/*sessions_per_machine=*/64);
     MicroConfig micro;
     micro.num_locks = locks;
@@ -136,11 +158,12 @@ void ContentionSweep() {
     Testbed testbed(config);
     testbed.netlock().InstallKnapsack(
         UniformMicroDemands(micro, testbed.num_engines()));
-    const RunMetrics m = testbed.Run(kWarmup, kMeasure);
+    const RunMetrics m = testbed.Run(kWarmup, Measure(report));
     table.AddRow({std::to_string(locks), Fmt(m.LockThroughputMrps()),
                   FmtUs(static_cast<SimTime>(m.lock_latency.Mean())),
                   FmtUs(m.lock_latency.Median()), FmtUs(m.lock_latency.P99()),
                   FmtUs(m.lock_latency.Percentile(0.999))});
+    report.AddRun("contention/locks=" + std::to_string(locks), m);
     testbed.StopEngines();
   }
   table.Print();
@@ -153,17 +176,19 @@ void ContentionSweep() {
 }  // namespace
 }  // namespace netlock
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netlock;
+  BenchReport report("fig08_micro", ParseBenchOptions(argc, argv));
   std::printf("NetLock reproduction — Figure 8 (switch microbenchmark)\n");
   LatencyVsThroughput(
-      "Figure 8(a): shared locks — latency vs throughput", 1.0);
+      "Figure 8(a): shared locks — latency vs throughput", 1.0, "shared",
+      report);
   LatencyVsThroughput(
       "Figure 8(b): exclusive locks w/o contention — latency vs throughput",
-      0.0);
+      0.0, "excl", report);
   OpenLoopSweep(
       "Figure 8(a/b) open-loop variant: exclusive, Poisson offered load",
-      0.0);
-  ContentionSweep();
-  return 0;
+      0.0, report);
+  ContentionSweep(report);
+  return report.Write() ? 0 : 1;
 }

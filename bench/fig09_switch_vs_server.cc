@@ -16,7 +16,6 @@ namespace netlock {
 namespace {
 
 constexpr SimTime kWarmup = 5 * kMillisecond;
-constexpr SimTime kMeasure = 20 * kMillisecond;
 
 struct Workload {
   const char* name;
@@ -30,7 +29,8 @@ const Workload kWorkloads[] = {
     {"excl-contention(5000)", 0.0, 5'000},
 };
 
-double RunOne(SystemKind system, const Workload& workload, int cores) {
+RunMetrics RunOne(SystemKind system, const Workload& workload, int cores,
+                  SimTime measure) {
   TestbedConfig config;
   config.system = system;
   config.client_machines = 10;
@@ -49,16 +49,23 @@ double RunOne(SystemKind system, const Workload& workload, int cores) {
     testbed.netlock().InstallKnapsack(
         UniformMicroDemands(micro, testbed.num_engines()));
   }
-  const RunMetrics m = testbed.Run(kWarmup, kMeasure);
+  RunMetrics m = testbed.Run(kWarmup, measure);
   testbed.StopEngines();
-  return m.LockThroughputMrps();
+  return m;
 }
 
 }  // namespace
 }  // namespace netlock
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netlock;
+  BenchReport report("fig09_switch_vs_server", ParseBenchOptions(argc, argv));
+  const SimTime measure =
+      report.quick() ? 5 * kMillisecond : 20 * kMillisecond;
+  // --quick samples the core sweep instead of running all eight points.
+  const std::vector<int> core_sweep =
+      report.quick() ? std::vector<int>{1, 4, 8}
+                     : std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8};
   std::printf(
       "NetLock reproduction — Figure 9 (lock switch vs lock server)\n"
       "Ten client machines; server cores swept 1..8; switch unsaturated.\n");
@@ -67,7 +74,9 @@ int main() {
   {
     Table table({"workload", "tput(MRPS)"});
     for (const Workload& w : kWorkloads) {
-      table.AddRow({w.name, Fmt(RunOne(SystemKind::kNetLock, w, 8))});
+      const RunMetrics m = RunOne(SystemKind::kNetLock, w, 8, measure);
+      table.AddRow({w.name, Fmt(m.LockThroughputMrps())});
+      report.AddRun(std::string("switch/") + w.name, m);
     }
     table.Print();
   }
@@ -78,10 +87,14 @@ int main() {
     double best_server = 0.0;
     for (const Workload& w : kWorkloads) {
       std::vector<std::string> row{w.name};
-      for (int cores = 1; cores <= 8; ++cores) {
-        const double mrps = RunOne(SystemKind::kServerOnly, w, cores);
-        best_server = std::max(best_server, mrps);
-        row.push_back(Fmt(mrps));
+      for (const int cores : core_sweep) {
+        const RunMetrics m =
+            RunOne(SystemKind::kServerOnly, w, cores, measure);
+        best_server = std::max(best_server, m.LockThroughputMrps());
+        row.push_back(Fmt(m.LockThroughputMrps()));
+        report.AddRun(std::string("server/") + w.name +
+                          "/cores=" + std::to_string(cores),
+                      m);
       }
       table.AddRow(std::move(row));
     }
@@ -91,5 +104,5 @@ int main() {
         "8 cores and saturates; the switch outperforms it by >= 7x under\n"
         "the same client load and is itself never the bottleneck.\n");
   }
-  return 0;
+  return report.Write() ? 0 : 1;
 }

@@ -4,10 +4,11 @@
 // under low- and high-contention TPC-C.
 #include "tpcc_compare.h"
 
-int main() {
-  netlock::bench::RunFigure("Figure 10", /*client_machines=*/10,
-                            /*lock_servers=*/2,
-                            /*warmup=*/20 * netlock::kMillisecond,
-                            /*measure=*/100 * netlock::kMillisecond);
-  return 0;
+int main(int argc, char** argv) {
+  return netlock::bench::RunFigure("Figure 10", "fig10_tpcc_10c2s",
+                                   /*client_machines=*/10,
+                                   /*lock_servers=*/2,
+                                   /*warmup=*/20 * netlock::kMillisecond,
+                                   /*measure=*/100 * netlock::kMillisecond,
+                                   argc, argv);
 }

@@ -3,10 +3,11 @@
 // Figure 10, but NetLock still wins by an order of magnitude.
 #include "tpcc_compare.h"
 
-int main() {
-  netlock::bench::RunFigure("Figure 11", /*client_machines=*/6,
-                            /*lock_servers=*/6,
-                            /*warmup=*/20 * netlock::kMillisecond,
-                            /*measure=*/100 * netlock::kMillisecond);
-  return 0;
+int main(int argc, char** argv) {
+  return netlock::bench::RunFigure("Figure 11", "fig11_tpcc_6c6s",
+                                   /*client_machines=*/6,
+                                   /*lock_servers=*/6,
+                                   /*warmup=*/20 * netlock::kMillisecond,
+                                   /*measure=*/100 * netlock::kMillisecond,
+                                   argc, argv);
 }

@@ -17,9 +17,14 @@
 namespace netlock {
 namespace {
 
-void ServiceDifferentiation(bool differentiate) {
+void ServiceDifferentiation(bool differentiate, BenchReport& report) {
   Banner(std::string("Figure 12(a) service differentiation — ") +
          (differentiate ? "WITH priorities" : "WITHOUT priorities"));
+  // --quick compresses the timeline (same phases, half the wall cost).
+  const SimTime join_at =
+      report.quick() ? 50 * kMillisecond : 100 * kMillisecond;
+  const SimTime end_at =
+      report.quick() ? 150 * kMillisecond : 300 * kMillisecond;
   TestbedConfig config;
   config.system = SystemKind::kNetLock;
   config.client_machines = 2;
@@ -42,25 +47,44 @@ void ServiceDifferentiation(bool differentiate) {
   for (int i = 0; i < testbed.num_engines(); ++i) {
     testbed.engine(i).set_commit_series(i < 5 ? &high : &low);
   }
-  // Low-priority tenant runs alone first; high-priority joins at t=100ms.
+  // Low-priority tenant runs alone first; high-priority joins mid-run.
   for (int i = 5; i < 10; ++i) testbed.engine(i).Restart();
-  testbed.sim().RunUntil(100 * kMillisecond);
+  testbed.sim().RunUntil(join_at);
   for (int i = 0; i < 5; ++i) testbed.engine(i).Restart();
-  testbed.sim().RunUntil(300 * kMillisecond);
+  testbed.sim().RunUntil(end_at);
   testbed.StopEngines(kSecond);
 
   Table table({"t(s)", "high-prio (KTPS)", "low-prio (KTPS)"});
-  for (std::size_t b = 0; b < 15; ++b) {
+  const std::size_t buckets = end_at / high.bucket_width();
+  for (std::size_t b = 0; b < buckets; ++b) {
     table.AddRow({Fmt(high.BucketTimeSeconds(b), 2),
                   Fmt(high.BucketRate(b) / 1e3, 1),
                   Fmt(low.BucketRate(b) / 1e3, 1)});
   }
   table.Print();
+
+  // The machine-readable run reports each tenant's rate over the contended
+  // phase (after the high-priority tenant joins).
+  const std::string tag =
+      differentiate ? "diff/with-prio/" : "diff/without-prio/";
+  const double contended_sec =
+      static_cast<double>(end_at - join_at) / kSecond;
+  auto rate_after_join = [&](const TimeSeries& series) {
+    std::uint64_t commits = 0;
+    for (std::size_t b = join_at / series.bucket_width(); b < buckets; ++b) {
+      commits += series.BucketCount(b);
+    }
+    return commits / contended_sec / 1e6;
+  };
+  report.AddRun(tag + "high").txn_mtps = rate_after_join(high);
+  report.AddRun(tag + "low").txn_mtps = rate_after_join(low);
 }
 
-void PerformanceIsolation(bool isolate) {
+void PerformanceIsolation(bool isolate, BenchReport& report) {
   Banner(std::string("Figure 12(b) performance isolation — ") +
          (isolate ? "WITH per-tenant quota" : "WITHOUT isolation"));
+  const SimTime measure =
+      report.quick() ? 50 * kMillisecond : 200 * kMillisecond;
   TestbedConfig config;
   config.system = SystemKind::kNetLock;
   config.client_machines = 2;
@@ -81,33 +105,40 @@ void PerformanceIsolation(bool isolate) {
     testbed.netlock().lock_switch().quota().Configure(0, 4e5, 64);
     testbed.netlock().lock_switch().quota().Configure(1, 4e5, 64);
   }
-  testbed.Run(/*warmup=*/20 * kMillisecond, /*measure=*/200 * kMillisecond);
+  const RunMetrics m = testbed.Run(/*warmup=*/20 * kMillisecond, measure);
   std::uint64_t t1 = 0, t2 = 0;
   for (int i = 0; i < testbed.num_engines(); ++i) {
     (i < 7 ? t1 : t2) += testbed.engine(i).metrics().txn_commits;
   }
   testbed.StopEngines();
+  const double sec = static_cast<double>(measure) / kSecond;
   Table table({"tenant", "clients", "tput(MTPS)"});
-  table.AddRow({"tenant1", "7", Fmt(t1 / 0.2 / 1e6, 3)});
-  table.AddRow({"tenant2", "3", Fmt(t2 / 0.2 / 1e6, 3)});
+  table.AddRow({"tenant1", "7", Fmt(t1 / sec / 1e6, 3)});
+  table.AddRow({"tenant2", "3", Fmt(t2 / sec / 1e6, 3)});
   table.Print();
+  const std::string tag =
+      isolate ? "isolation/with-quota/" : "isolation/without-quota/";
+  report.AddRun(tag + "all", m);  // Aggregate, with latency percentiles.
+  report.AddRun(tag + "tenant1").txn_mtps = t1 / sec / 1e6;
+  report.AddRun(tag + "tenant2").txn_mtps = t2 / sec / 1e6;
 }
 
 }  // namespace
 }  // namespace netlock
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netlock;
+  BenchReport report("fig12_policy", ParseBenchOptions(argc, argv));
   std::printf("NetLock reproduction — Figure 12 (policy support)\n");
-  ServiceDifferentiation(false);
-  ServiceDifferentiation(true);
-  PerformanceIsolation(false);
-  PerformanceIsolation(true);
+  ServiceDifferentiation(false, report);
+  ServiceDifferentiation(true, report);
+  PerformanceIsolation(false, report);
+  PerformanceIsolation(true, report);
   std::printf(
       "\nExpected shape (paper): (a) without differentiation the tenants\n"
       "converge once both are active; with it the high-priority tenant\n"
       "keeps nearly its full rate. (b) without isolation tenant1 (7\n"
       "clients) outruns tenant2 (3 clients); with quotas both are capped\n"
       "at similar throughput.\n");
-  return 0;
+  return report.Write() ? 0 : 1;
 }

@@ -23,7 +23,7 @@ struct AllocResult {
   std::vector<std::pair<SimTime, double>> cdf;
 };
 
-AllocResult RunOne(bool random_strawman) {
+AllocResult RunOne(bool random_strawman, bool quick) {
   TestbedConfig config;
   config.system = SystemKind::kNetLock;
   // The paper's testbed oversubscribes the two lock servers ~5:1 (ten DPDK
@@ -48,11 +48,14 @@ AllocResult RunOne(bool random_strawman) {
   config.workload_factory = TpccFactory(tpcc);
   Testbed testbed(config);
   ProfileAndInstall(testbed, kSwitchSlots, random_strawman,
-                    /*profile_duration=*/50 * kMillisecond,
+                    /*profile_duration=*/quick ? 25 * kMillisecond
+                                               : 50 * kMillisecond,
                     /*random_seed=*/12345);
   AllocResult result;
-  result.metrics = testbed.Run(/*warmup=*/20 * kMillisecond,
-                               /*measure=*/100 * kMillisecond);
+  result.metrics =
+      testbed.Run(/*warmup=*/20 * kMillisecond,
+                  /*measure=*/quick ? 30 * kMillisecond
+                                    : 100 * kMillisecond);
   result.switch_grants = result.metrics.switch_grants;
   result.server_grants = result.metrics.server_grants;
   result.cdf = result.metrics.txn_latency.Cdf(20);
@@ -63,22 +66,28 @@ AllocResult RunOne(bool random_strawman) {
 }  // namespace
 }  // namespace netlock
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netlock;
+  BenchReport report("fig13_memory_alloc", ParseBenchOptions(argc, argv));
   std::printf(
       "NetLock reproduction — Figure 13 (memory allocation mechanisms)\n"
       "TPC-C low contention, 10 clients + 2 lock servers, %u switch slots\n",
       kSwitchSlots);
-  const AllocResult random = RunOne(/*random_strawman=*/true);
-  const AllocResult knapsack = RunOne(/*random_strawman=*/false);
+  const AllocResult random = RunOne(/*random_strawman=*/true, report.quick());
+  const AllocResult knapsack =
+      RunOne(/*random_strawman=*/false, report.quick());
 
   Banner("Figure 13(a): throughput breakdown (MRPS)");
   Table table({"allocation", "switch", "server", "total"});
-  const double dur = 0.1;  // Measured seconds.
   auto row = [&](const char* name, const AllocResult& r) {
+    const double dur =
+        static_cast<double>(r.metrics.duration) / kSecond;  // Seconds.
     table.AddRow({name, Fmt(r.switch_grants / dur / 1e6, 3),
                   Fmt(r.server_grants / dur / 1e6, 3),
                   Fmt(r.metrics.LockThroughputMrps(), 3)});
+    BenchRun& run = report.AddRun(name, r.metrics);
+    run.extra.emplace_back("switch_mrps", r.switch_grants / dur / 1e6);
+    run.extra.emplace_back("server_mrps", r.server_grants / dur / 1e6);
   };
   row("random", random);
   row("knapsack", knapsack);
@@ -99,5 +108,5 @@ int main() {
       "\nExpected shape (paper): knapsack pushes most grants to the switch\n"
       "(~3x total throughput vs random) and its latency CDF sits far left\n"
       "of random's, which serves most requests from the servers.\n");
-  return 0;
+  return report.Write() ? 0 : 1;
 }

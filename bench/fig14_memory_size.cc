@@ -15,7 +15,8 @@
 namespace netlock {
 namespace {
 
-double RunOne(std::uint32_t slots, SimTime think_time, bool random_alloc) {
+RunMetrics RunOne(std::uint32_t slots, SimTime think_time, bool random_alloc,
+                  bool quick) {
   TestbedConfig config;
   config.system = SystemKind::kNetLock;
   // Same server-bound regime as Figure 13 (paper-equivalent ~5:1 client
@@ -36,52 +37,73 @@ double RunOne(std::uint32_t slots, SimTime think_time, bool random_alloc) {
   Testbed testbed(config);
   if (slots > 0) {
     ProfileAndInstall(testbed, slots, random_alloc,
-                      /*profile_duration=*/40 * kMillisecond,
+                      /*profile_duration=*/quick ? 20 * kMillisecond
+                                                 : 40 * kMillisecond,
                       /*random_seed=*/777);
   } else {
     testbed.netlock().control_plane().StartLeasePolling();
   }
-  const RunMetrics m = testbed.Run(/*warmup=*/20 * kMillisecond,
-                                   /*measure=*/80 * kMillisecond);
+  RunMetrics m =
+      testbed.Run(/*warmup=*/20 * kMillisecond,
+                  /*measure=*/quick ? 25 * kMillisecond : 80 * kMillisecond);
   testbed.StopEngines(kSecond);
-  return m.LockThroughputMrps();
+  return m;
 }
 
 }  // namespace
 }  // namespace netlock
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netlock;
+  BenchReport report("fig14_memory_size", ParseBenchOptions(argc, argv));
+  const bool quick = report.quick();
   std::printf(
       "NetLock reproduction — Figure 14 (impact of switch memory size)\n"
       "TPC-C low contention, 10 clients + 2 lock servers.\n");
 
   Banner("Figure 14(a): throughput (MRPS) vs slots, by think time");
   {
-    const std::uint32_t slot_points[] = {0, 500, 1000, 2000, 3000, 4000};
+    const std::vector<std::uint32_t> slot_points =
+        quick ? std::vector<std::uint32_t>{0, 1000, 4000}
+              : std::vector<std::uint32_t>{0, 500, 1000, 2000, 3000, 4000};
+    const std::vector<std::pair<const char*, SimTime>> thinks = {
+        {"think=0us", 0},
+        {"think=5us", 5 * kMicrosecond},
+        {"think=10us", 10 * kMicrosecond},
+        {"think=100us", 100 * kMicrosecond}};
     Table table({"slots", "think=0us", "think=5us", "think=10us",
                  "think=100us"});
     for (const std::uint32_t slots : slot_points) {
       std::fprintf(stderr, "  fig14a slots=%u...\n", slots);
-      table.AddRow({std::to_string(slots),
-                    Fmt(RunOne(slots, 0, false), 2),
-                    Fmt(RunOne(slots, 5 * kMicrosecond, false), 2),
-                    Fmt(RunOne(slots, 10 * kMicrosecond, false), 2),
-                    Fmt(RunOne(slots, 100 * kMicrosecond, false), 2)});
+      std::vector<std::string> row{std::to_string(slots)};
+      for (const auto& [name, think] : thinks) {
+        const RunMetrics m = RunOne(slots, think, false, quick);
+        row.push_back(Fmt(m.LockThroughputMrps(), 2));
+        report.AddRun("a/slots=" + std::to_string(slots) + "/" + name, m);
+      }
+      table.AddRow(std::move(row));
     }
     table.Print();
   }
 
   Banner("Figure 14(b): throughput (MRPS) vs slots, knapsack vs random");
   {
-    const std::uint32_t slot_points[] = {0,    1000,  3000,  5000,
-                                         10000, 20000, 40000};
+    const std::vector<std::uint32_t> slot_points =
+        quick ? std::vector<std::uint32_t>{0, 3000, 20000}
+              : std::vector<std::uint32_t>{0,     1000,  3000, 5000,
+                                           10000, 20000, 40000};
     Table table({"slots", "knapsack", "random"});
     for (const std::uint32_t slots : slot_points) {
       std::fprintf(stderr, "  fig14b slots=%u...\n", slots);
+      const RunMetrics knapsack =
+          RunOne(slots, 10 * kMicrosecond, false, quick);
+      const RunMetrics random = RunOne(slots, 10 * kMicrosecond, true, quick);
       table.AddRow({std::to_string(slots),
-                    Fmt(RunOne(slots, 10 * kMicrosecond, false), 2),
-                    Fmt(RunOne(slots, 10 * kMicrosecond, true), 2)});
+                    Fmt(knapsack.LockThroughputMrps(), 2),
+                    Fmt(random.LockThroughputMrps(), 2)});
+      report.AddRun("b/slots=" + std::to_string(slots) + "/knapsack",
+                    knapsack);
+      report.AddRun("b/slots=" + std::to_string(slots) + "/random", random);
     }
     table.Print();
   }
@@ -90,5 +112,5 @@ int main() {
       "highest; 100 us think time stays low regardless of memory. (b)\n"
       "knapsack reaches its peak within a few thousand slots; random\n"
       "improves only marginally with much more memory.\n");
-  return 0;
+  return report.Write() ? 0 : 1;
 }

@@ -6,9 +6,14 @@
 // not paper results.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "common/random.h"
 #include "core/memory_alloc.h"
 #include "dataplane/switch_dataplane.h"
+#include "harness/report.h"
 #include "net/lock_wire.h"
 #include "sim/simulator.h"
 #include "workload/tpcc.h"
@@ -119,4 +124,32 @@ BENCHMARK(BM_TpccNextTxn);
 }  // namespace
 }  // namespace netlock
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN: the shared bench flags (--quick,
+// --json-dir) must be stripped before google-benchmark parses the command
+// line, and the registry dump is written like every other bench.
+int main(int argc, char** argv) {
+  using namespace netlock;
+  BenchReport report("micro_components", ParseBenchOptions(argc, argv));
+  std::vector<char*> bench_argv;
+  bench_argv.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) continue;
+    if (std::strncmp(argv[i], "--json-dir=", 11) == 0) continue;
+    if (std::strcmp(argv[i], "--json-dir") == 0 && i + 1 < argc) {
+      ++i;
+      continue;
+    }
+    bench_argv.push_back(argv[i]);
+  }
+  std::string min_time = "--benchmark_min_time=0.01";  // 1.7.x: plain double.
+  if (report.quick()) bench_argv.push_back(min_time.data());
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             bench_argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return report.Write() ? 0 : 1;
+}

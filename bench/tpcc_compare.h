@@ -85,8 +85,15 @@ inline void PrintComparison(const char* figure, int client_machines,
       "gaps (and far better tails) under high contention.\n");
 }
 
-inline void RunFigure(const char* figure, int client_machines,
-                      int lock_servers, SimTime warmup, SimTime measure) {
+inline int RunFigure(const char* figure, const char* bench_name,
+                     int client_machines, int lock_servers, SimTime warmup,
+                     SimTime measure, int argc, char** argv) {
+  BenchReport report(bench_name, ParseBenchOptions(argc, argv));
+  if (report.quick()) {
+    // CI scale: a quarter of the measurement window, same systems.
+    warmup = warmup / 2;
+    measure = measure / 4;
+  }
   std::vector<TpccResult> results;
   for (const bool high : {false, true}) {
     for (const SystemKind system :
@@ -98,9 +105,14 @@ inline void RunFigure(const char* figure, int client_machines,
           system, high,
           RunTpcc(system, client_machines, lock_servers, high, warmup,
                   measure)});
+      const TpccResult& r = results.back();
+      report.AddRun(std::string(high ? "high/" : "low/") +
+                        ToString(r.system),
+                    r.metrics);
     }
   }
   PrintComparison(figure, client_machines, lock_servers, results);
+  return report.Write() ? 0 : 1;
 }
 
 }  // namespace netlock::bench

@@ -1,0 +1,51 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace netlock {
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricCounter& MetricsRegistry::Counter(const std::string& name) {
+  NETLOCK_CHECK(gauges_.find(name) == gauges_.end());
+  return counters_[name];
+}
+
+MetricGauge& MetricsRegistry::Gauge(const std::string& name) {
+  NETLOCK_CHECK(counters_.find(name) == counters_.end());
+  return gauges_[name];
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSample> samples;
+  samples.reserve(counters_.size() + 2 * gauges_.size());
+  for (const auto& [name, counter] : counters_) {
+    samples.push_back(MetricSample{name, counter.value()});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    samples.push_back(MetricSample{name, gauge.value()});
+    samples.push_back(MetricSample{name + ".hwm", gauge.high_water()});
+  }
+  // Each map iterates sorted, but counters and gauges interleave in the
+  // global name order only after an explicit merge.
+  std::sort(samples.begin(), samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return samples;
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& [name, counter] : counters_) counter.value_ = 0;
+  for (auto& [name, gauge] : gauges_) {
+    gauge.value_ = 0;
+    gauge.high_water_ = 0;
+  }
+}
+
+}  // namespace netlock

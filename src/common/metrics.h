@@ -1,0 +1,98 @@
+// Lightweight metrics registry: monotonic counters and gauges with
+// hierarchical dotted names ("dataplane.grants", "sim.events_processed").
+//
+// Design goals, in order:
+//   1. Near-zero cost on hot paths. Components resolve their instruments
+//      once (at construction) and afterwards an update is a single integer
+//      add on a stable address — no map lookup, no allocation, no branches
+//      beyond the add itself.
+//   2. Aggregation across instances. Two lock servers (or twelve client
+//      machines) resolving the same name share one instrument, so a
+//      registry snapshot reports rack-wide totals, which is what the bench
+//      reports track PR over PR.
+//   3. Machine readability. Snapshot() yields stable, sorted name/value
+//      pairs that the JSON bench reports dump verbatim.
+//
+// The registry is intentionally not thread-safe: the simulator is
+// single-threaded by construction (see sim/simulator.h).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace netlock {
+
+/// A monotonically increasing event count.
+class MetricCounter {
+ public:
+  void Inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  std::uint64_t value_ = 0;
+};
+
+/// A point-in-time level (queue depth, buffered entries). Tracks the
+/// current value and the high-water mark; snapshots report both.
+class MetricGauge {
+ public:
+  void Set(std::uint64_t v) {
+    value_ = v;
+    if (v > high_water_) high_water_ = v;
+  }
+  void Add(std::int64_t delta) {
+    Set(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(value_) + delta));
+  }
+  std::uint64_t value() const { return value_; }
+  std::uint64_t high_water() const { return high_water_; }
+
+ private:
+  friend class MetricsRegistry;
+  std::uint64_t value_ = 0;
+  std::uint64_t high_water_ = 0;
+};
+
+/// One snapshot entry. Gauges contribute two samples: "<name>" (current)
+/// and "<name>.hwm" (high-water mark).
+struct MetricSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry the simulator components report into.
+  static MetricsRegistry& Global();
+
+  /// Resolves (creating on first use) the counter/gauge with this name.
+  /// The returned reference is stable for the registry's lifetime; resolve
+  /// once and keep the pointer. A name registers as either a counter or a
+  /// gauge, never both.
+  MetricCounter& Counter(const std::string& name);
+  MetricGauge& Gauge(const std::string& name);
+
+  /// All instruments (gauges as two samples), sorted by name.
+  std::vector<MetricSample> Snapshot() const;
+
+  /// Zeroes every value (names and addresses survive). Benches call this
+  /// between runs to attribute counts to one configuration.
+  void Reset();
+
+  std::size_t num_instruments() const {
+    return counters_.size() + gauges_.size();
+  }
+
+ private:
+  std::map<std::string, MetricCounter> counters_;
+  std::map<std::string, MetricGauge> gauges_;
+};
+
+}  // namespace netlock

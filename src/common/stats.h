@@ -17,7 +17,13 @@ namespace netlock {
 /// figures need exact 99% / 99.9% tails.
 class LatencyRecorder {
  public:
-  void Record(SimTime nanos) { samples_.push_back(nanos); }
+  // Resetting sorted_ here is load-bearing: the time-sliced policy and
+  // failure benches interleave Record and Percentile, and a stale flag
+  // would make Percentile read a mis-sorted tail.
+  void Record(SimTime nanos) {
+    samples_.push_back(nanos);
+    sorted_ = false;
+  }
 
   std::size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }

@@ -60,6 +60,17 @@ LockSwitch::LockSwitch(Network& net, LockSwitchConfig config)
   NETLOCK_CHECK(config_.num_priorities >= 1);
   NETLOCK_CHECK(config_.num_priorities <= config_.num_stages - 4);
   NETLOCK_CHECK(config_.num_priorities <= kMaxPriorities);
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  metrics_.granted = &reg.Counter("dataplane.acquires_granted");
+  metrics_.queued = &reg.Counter("dataplane.acquires_queued");
+  metrics_.rejected = &reg.Counter("dataplane.acquires_rejected");
+  metrics_.releases = &reg.Counter("dataplane.releases");
+  metrics_.stale_releases = &reg.Counter("dataplane.stale_releases");
+  metrics_.overflow_episodes = &reg.Counter("dataplane.overflow_episodes");
+  metrics_.q1_to_q2_forwards = &reg.Counter("dataplane.q1_to_q2_forwards");
+  metrics_.sync_state_rtts = &reg.Counter("dataplane.sync_state_rtts");
+  metrics_.forwarded_unowned = &reg.Counter("dataplane.forwarded_unowned");
+  metrics_.pushes_accepted = &reg.Counter("dataplane.pushes_accepted");
   node_ = net_.AddNode([this](const Packet& pkt) { HandlePacket(pkt); });
   quota_ = std::make_unique<TenantQuota>(pipeline_, /*stage=*/0,
                                          config_.max_tenants,
@@ -98,10 +109,21 @@ bool LockSwitch::InstallLock(LockId lock, NodeId home_server,
   if (config_.num_priorities == 1) {
     split.push_back(slots);
   } else {
-    // Split across priority classes, at least one slot each.
+    // Split across priority classes, at least one slot each. The remainder
+    // is spread over the first (highest-priority) classes so the split sums
+    // to exactly the slots installed — slots/p per class both dropped the
+    // remainder (10 slots over 4 classes allocated only 8) and
+    // over-allocated when slots < p.
     const std::uint32_t p = config_.num_priorities;
-    const std::uint32_t base = std::max<std::uint32_t>(1, slots / p);
-    for (std::uint32_t i = 0; i < p; ++i) split.push_back(base);
+    const std::uint32_t total = std::max(slots, p);
+    const std::uint32_t base = total / p;
+    const std::uint32_t remainder = total % p;
+    std::uint32_t allocated = 0;
+    for (std::uint32_t i = 0; i < p; ++i) {
+      split.push_back(base + (i < remainder ? 1 : 0));
+      allocated += split.back();
+    }
+    NETLOCK_CHECK(allocated == total);
   }
   const SwitchLockEntry* entry = table_.Install(lock, home_server, split);
   if (entry == nullptr) return false;
@@ -211,6 +233,7 @@ void LockSwitch::HandlePacket(const Packet& pkt) {
   if ((hdr->flags & kFlagQuotaRejected) != 0 &&
       hdr->op == LockOp::kAcquire) {
     ++stats_.rejected_quota;
+    metrics_.rejected->Inc();
     LockHeader reject = *hdr;
     reject.op = LockOp::kReject;
     reject.aux = static_cast<std::uint32_t>(AcquireResult::kRejected);
@@ -254,6 +277,7 @@ void LockSwitch::HandleAcquire(const LockHeader& hdr, bool pushed) {
   const bool pre_admitted = pushed || (hdr.flags & kFlagChained) != 0;
   if (!pre_admitted && !quota_->Admit(pass, hdr.tenant, net_.sim().now())) {
     ++stats_.rejected_quota;
+    metrics_.rejected->Inc();
     if (chain_next_ != kInvalidNode) {
       // Chain head: the tail emits the rejection (uniform emission point).
       ChainForward(hdr, kFlagQuotaRejected);
@@ -273,6 +297,7 @@ void LockSwitch::HandleAcquire(const LockHeader& hdr, bool pushed) {
     }
     SendToServer(hdr, RouteFor(hdr.lock_id), kFlagServerOwned);
     ++stats_.forwarded_unowned;
+    metrics_.forwarded_unowned->Inc();
     return;
   }
   const auto paused_it = paused_.find(hdr.lock_id);
@@ -281,6 +306,7 @@ void LockSwitch::HandleAcquire(const LockHeader& hdr, bool pushed) {
     if (chain_next_ != kInvalidNode) ChainForward(hdr, kFlagChained);
     SendToServer(hdr, entry->home_server, kFlagBufferOnly);
     ++stats_.forwarded_overflow;
+    metrics_.q1_to_q2_forwards->Inc();
     return;
   }
 
@@ -290,6 +316,7 @@ void LockSwitch::HandleAcquire(const LockHeader& hdr, bool pushed) {
     AcquireDecision::Kind kind;
     std::uint32_t slot_index = 0;
   };
+  bool episode_start = false;  // q1 full for the first time this episode.
   const Outcome outcome = meta_->ReadModifyWrite(
       pass, entry->meta_index, [&](LockMeta& m) -> Outcome {
         if (!pushed) ++m.req_count;  // r_i counter (pushes counted once).
@@ -301,6 +328,7 @@ void LockSwitch::HandleAcquire(const LockHeader& hdr, bool pushed) {
             chained ? (hdr.flags & kFlagOverflowed) != 0
                     : (m.overflow || m.count == bounds.size());
         if (!pushed && must_overflow) {
+          episode_start = !m.overflow;
           m.overflow = true;
           ++m.fwd_since_notify;
           return {AcquireDecision::Kind::kForwardOverflow, 0};
@@ -333,11 +361,13 @@ void LockSwitch::HandleAcquire(const LockHeader& hdr, bool pushed) {
                            : "wait"),
                 outcome.slot_index);
   if (outcome.kind == AcquireDecision::Kind::kForwardOverflow) {
+    if (episode_start) metrics_.overflow_episodes->Inc();
     if (!pushed && chain_next_ != kInvalidNode) {
       ChainForward(hdr, kFlagChained | kFlagOverflowed);
     }
     SendToServer(hdr, entry->home_server, kFlagBufferOnly);
     ++stats_.forwarded_overflow;
+    metrics_.q1_to_q2_forwards->Inc();
     return;
   }
   if (!pushed && chain_next_ != kInvalidNode) ChainForward(hdr, kFlagChained);
@@ -351,9 +381,14 @@ void LockSwitch::HandleAcquire(const LockHeader& hdr, bool pushed) {
   slot.timestamp = net_.sim().now();
   queue_->Write(pass, outcome.slot_index, slot);
 
-  if (pushed) ++stats_.pushes_accepted;
+  if (pushed) {
+    ++stats_.pushes_accepted;
+    metrics_.pushes_accepted->Inc();
+  }
   if (outcome.kind == AcquireDecision::Kind::kEnqueueGrant) {
     SendGrant(hdr);
+  } else {
+    metrics_.queued->Inc();
   }
 }
 
@@ -411,9 +446,11 @@ void LockSwitch::HandleRelease(const LockHeader& hdr, bool lease_forced) {
     // post-lease-expiry duplicate). Safe to drop: leases already reclaimed
     // the slot.
     ++stats_.stale_releases;
+    metrics_.stale_releases->Inc();
     return;
   }
   ++stats_.releases;
+  metrics_.releases->Inc();
 
   // Algorithm 2 line 8: read the dequeued entry. We use it only to validate
   // the mode-matching argument above.
@@ -509,6 +546,7 @@ void LockSwitch::HandleRelease(const LockHeader& hdr, bool lease_forced) {
 }
 
 void LockSwitch::HandleResume(const LockHeader& hdr) {
+  metrics_.sync_state_rtts->Inc();
   const SwitchLockEntry* entry = table_.Find(hdr.lock_id);
   if (entry == nullptr) return;  // Lock migrated away meanwhile.
   PacketPass pass = pipeline_.BeginPass();
@@ -542,6 +580,7 @@ void LockSwitch::HandleAcquirePrio(const LockHeader& hdr) {
   // Stage 0: tenant quota.
   if (!quota_->Admit(pass, hdr.tenant, net_.sim().now())) {
     ++stats_.rejected_quota;
+    metrics_.rejected->Inc();
     LockHeader reject = hdr;
     reject.op = LockOp::kReject;
     reject.aux = static_cast<std::uint32_t>(AcquireResult::kRejected);
@@ -552,6 +591,7 @@ void LockSwitch::HandleAcquirePrio(const LockHeader& hdr) {
   if (entry == nullptr) {
     SendToServer(hdr, RouteFor(hdr.lock_id), kFlagServerOwned);
     ++stats_.forwarded_unowned;
+    metrics_.forwarded_unowned->Inc();
     return;
   }
   const Priority p = std::min<Priority>(
@@ -599,8 +639,10 @@ void LockSwitch::HandleAcquirePrio(const LockHeader& hdr) {
     // keeps the request alive; priority is preserved server-side FIFO only.
     SendToServer(hdr, entry->home_server, kFlagBufferOnly);
     ++stats_.forwarded_overflow;
+    metrics_.q1_to_q2_forwards->Inc();
     return;
   }
+  metrics_.queued->Inc();
 
   // Stage 2+p: ring enqueue into this class's queue, caching the mode bit
   // so later conditional pops know the head's mode without a slot access.
@@ -646,9 +688,11 @@ void LockSwitch::HandleReleasePrio(const LockHeader& hdr,
       });
   if (action == Action::kStale) {
     ++stats_.stale_releases;
+    metrics_.stale_releases->Inc();
     return;
   }
   ++stats_.releases;
+  metrics_.releases->Inc();
   if (action == Action::kChain) GrantChainPrio(*entry, pass);
 }
 
@@ -897,6 +941,7 @@ LockSwitch::DebugState LockSwitch::Debug(LockId lock) const {
 
 void LockSwitch::SendGrant(const LockHeader& request) {
   ++stats_.grants;
+  metrics_.granted->Inc();
   if (grant_observer_) {
     grant_observer_(request.lock_id, request.txn_id, request.mode,
                     request.client_node);

@@ -79,8 +79,10 @@ class LockSwitch {
 
   // --- Control plane: lock placement (Section 4.3) ---
 
-  /// Installs a lock with `slots` queue slots (split evenly across priority
-  /// classes when num_priorities > 1; each class gets at least one slot).
+  /// Installs a lock with `slots` queue slots. When num_priorities > 1 the
+  /// slots are split across the classes as evenly as possible (remainder to
+  /// the highest-priority classes), each class getting at least one slot,
+  /// so at least max(slots, num_priorities) are allocated in total.
   /// Returns false if switch memory or the lock table is exhausted.
   /// `suspended` installs in queue-but-don't-grant mode (failover, §4.5);
   /// call Activate() to begin granting.
@@ -272,6 +274,22 @@ class LockSwitch {
   NodeId src_override_ = kInvalidNode;  ///< Tail: emission source address.
   bool suppress_emissions_ = false;     ///< Head: tail emits for the chain.
   Stats stats_;
+
+  /// Registry instruments mirroring stats_ (resolved once; see metrics.h).
+  struct Metrics {
+    MetricCounter* granted;
+    MetricCounter* queued;
+    MetricCounter* rejected;
+    MetricCounter* releases;
+    MetricCounter* stale_releases;
+    MetricCounter* overflow_episodes;   ///< q1-full episode starts.
+    MetricCounter* q1_to_q2_forwards;   ///< Buffer-only forwards to q2.
+    MetricCounter* sync_state_rtts;     ///< kSyncState round-trips seen.
+    MetricCounter* forwarded_unowned;
+    MetricCounter* pushes_accepted;
+  };
+  Metrics metrics_;
+
   GrantObserver grant_observer_;
 };
 

@@ -1,6 +1,10 @@
 #include "harness/report.h"
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 
 namespace netlock {
 
@@ -67,6 +71,159 @@ void PrintRunSummary(const std::string& label, const RunMetrics& metrics) {
       FormatNanos(static_cast<SimTime>(metrics.txn_latency.Mean())).c_str(),
       FormatNanos(metrics.txn_latency.P99()).c_str(),
       static_cast<unsigned long long>(metrics.retries));
+}
+
+// --- Machine-readable bench output -------------------------------------
+
+BenchOptions ParseBenchOptions(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--quick") == 0) {
+      opts.quick = true;
+    } else if (std::strncmp(arg, "--json-dir=", 11) == 0) {
+      opts.json_dir = arg + 11;
+    } else if (std::strcmp(arg, "--json-dir") == 0 && i + 1 < argc) {
+      opts.json_dir = argv[++i];
+    }
+    // Unknown flags are ignored: wrappers (ctest, benchmark harnesses)
+    // append their own and benches must not die on them.
+  }
+  if (opts.json_dir.empty()) opts.json_dir = ".";
+  return opts;
+}
+
+namespace {
+
+/// JSON string escaping for the small character set our labels use.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Doubles print with enough digits to round-trip; NaN/Inf (never expected,
+/// but a division by a zero duration would produce them) degrade to 0 so
+/// the file stays valid JSON.
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+void FillLatency(BenchRun& run, const LatencyRecorder& latency) {
+  run.mean_ns = latency.Mean();
+  run.p50_ns = latency.Median();
+  run.p99_ns = latency.P99();
+  run.p999_ns = latency.P999();
+  run.samples = latency.count();
+}
+
+BenchReport::BenchReport(std::string bench_name, BenchOptions options)
+    : bench_name_(std::move(bench_name)), options_(std::move(options)) {}
+
+BenchRun& BenchReport::AddRun(std::string label) {
+  runs_.emplace_back();
+  runs_.back().label = std::move(label);
+  return runs_.back();
+}
+
+BenchRun& BenchReport::AddRun(std::string label, const RunMetrics& metrics) {
+  BenchRun& run = AddRun(std::move(label));
+  run.throughput_mrps = metrics.LockThroughputMrps();
+  run.txn_mtps = metrics.TxnThroughputMtps();
+  FillLatency(run, metrics.lock_latency);
+  if (metrics.retries > 0) {
+    run.extra.emplace_back("retries", static_cast<double>(metrics.retries));
+  }
+  if (!metrics.txn_latency.empty()) {
+    run.extra.emplace_back("txn_p99_ns",
+                           static_cast<double>(metrics.txn_latency.P99()));
+  }
+  return run;
+}
+
+BenchRun& BenchReport::AddRun(std::string label, double throughput_mrps,
+                              const LatencyRecorder& latency) {
+  BenchRun& run = AddRun(std::move(label));
+  run.throughput_mrps = throughput_mrps;
+  FillLatency(run, latency);
+  return run;
+}
+
+std::string BenchReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"bench\": \"" << JsonEscape(bench_name_) << "\",\n";
+  out << "  \"schema_version\": 1,\n";
+  out << "  \"quick\": " << (options_.quick ? "true" : "false") << ",\n";
+  out << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    const BenchRun& run = runs_[i];
+    out << "    {\"label\": \"" << JsonEscape(run.label) << "\", "
+        << "\"throughput_mrps\": " << JsonNumber(run.throughput_mrps) << ", "
+        << "\"txn_mtps\": " << JsonNumber(run.txn_mtps) << ", "
+        << "\"latency_ns\": {"
+        << "\"mean\": " << JsonNumber(run.mean_ns) << ", "
+        << "\"p50\": " << run.p50_ns << ", "
+        << "\"p99\": " << run.p99_ns << ", "
+        << "\"p999\": " << run.p999_ns << "}, "
+        << "\"samples\": " << run.samples;
+    for (const auto& [key, value] : run.extra) {
+      out << ", \"" << JsonEscape(key) << "\": " << JsonNumber(value);
+    }
+    out << "}" << (i + 1 < runs_.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"metrics\": {\n";
+  const std::vector<MetricSample> samples =
+      MetricsRegistry::Global().Snapshot();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    out << "    \"" << JsonEscape(samples[i].name)
+        << "\": " << samples[i].value
+        << (i + 1 < samples.size() ? "," : "") << "\n";
+  }
+  out << "  }\n";
+  out << "}\n";
+  return out.str();
+}
+
+bool BenchReport::Write() const {
+  const std::string path =
+      options_.json_dir + "/BENCH_" + bench_name_ + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "report: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  out << ToJson();
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "report: write to %s failed\n", path.c_str());
+    return false;
+  }
+  std::printf("[report] wrote %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace netlock

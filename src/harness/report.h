@@ -1,10 +1,14 @@
 // Paper-style result reporting: aligned text tables and series printers
-// shared by the figure-reproduction benches.
+// shared by the figure-reproduction benches, plus the machine-readable
+// side: every bench also writes BENCH_<name>.json (run label, throughput,
+// latency order statistics, and a dump of the global metrics registry) so
+// the perf trajectory is trackable PR over PR without parsing text tables.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/stats.h"
 
 namespace netlock {
@@ -36,5 +40,70 @@ void Banner(const std::string& title);
 
 /// Prints the standard metric block the paper reports for a system run.
 void PrintRunSummary(const std::string& label, const RunMetrics& metrics);
+
+// --- Machine-readable bench output -------------------------------------
+
+/// Common CLI options every bench binary accepts.
+struct BenchOptions {
+  bool quick = false;       ///< Reduced sweeps/durations for CI.
+  std::string json_dir = ".";  ///< Where BENCH_<name>.json is written.
+};
+
+/// Parses `--quick`, `--json-dir=DIR` (or `--json-dir DIR`) and ignores
+/// anything else, so benches keep working under wrappers that add flags.
+BenchOptions ParseBenchOptions(int argc, char** argv);
+
+/// One measured configuration within a bench (a table row / curve point).
+struct BenchRun {
+  std::string label;
+  double throughput_mrps = 0.0;  ///< Lock throughput (0 when n/a).
+  double txn_mtps = 0.0;         ///< Transaction throughput (0 when n/a).
+  double mean_ns = 0.0;
+  SimTime p50_ns = 0;
+  SimTime p99_ns = 0;
+  SimTime p999_ns = 0;
+  std::uint64_t samples = 0;
+  /// Bench-specific scalars ("shed", "switch_mrps", "retries", ...).
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+/// Accumulates runs and serializes the JSON report. Schema (version 1):
+///   { "bench": "<name>", "schema_version": 1, "quick": <bool>,
+///     "runs": [ {"label": ..., "throughput_mrps": ..., "txn_mtps": ...,
+///                "latency_ns": {"mean","p50","p99","p999"},
+///                "samples": ..., <extra scalars inline> } ... ],
+///     "metrics": { "<registry name>": <value>, ... } }
+class BenchReport {
+ public:
+  BenchReport(std::string bench_name, BenchOptions options);
+
+  const BenchOptions& options() const { return options_; }
+  bool quick() const { return options_.quick; }
+
+  /// Adds an empty run and returns it for the caller to fill.
+  BenchRun& AddRun(std::string label);
+
+  /// Convenience: record a testbed RunMetrics under `label`.
+  BenchRun& AddRun(std::string label, const RunMetrics& metrics);
+
+  /// Convenience: throughput plus a latency distribution.
+  BenchRun& AddRun(std::string label, double throughput_mrps,
+                   const LatencyRecorder& latency);
+
+  std::string ToJson() const;
+
+  /// Writes BENCH_<name>.json into options().json_dir (the registry dump
+  /// is taken at write time). Returns false (with a message on stderr) on
+  /// I/O failure; benches treat that as fatal in main().
+  bool Write() const;
+
+ private:
+  std::string bench_name_;
+  BenchOptions options_;
+  std::vector<BenchRun> runs_;
+};
+
+/// Fills the latency fields of `run` from a recorder.
+void FillLatency(BenchRun& run, const LatencyRecorder& latency);
 
 }  // namespace netlock

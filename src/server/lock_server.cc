@@ -9,6 +9,13 @@ namespace netlock {
 LockServer::LockServer(Network& net, LockServerConfig config)
     : net_(net), config_(config) {
   NETLOCK_CHECK(config_.cores >= 1);
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  metrics_.grants = &reg.Counter("server.grants");
+  metrics_.releases = &reg.Counter("server.releases");
+  metrics_.buffered = &reg.Counter("server.q2_buffered");
+  metrics_.pushes = &reg.Counter("server.q2_pushes");
+  metrics_.requests = &reg.Counter("server.requests_processed");
+  metrics_.q2_depth = &reg.Gauge("server.q2_depth");
   node_ = net_.AddNode([this](const Packet& pkt) { OnPacket(pkt); });
   cores_.reserve(config_.cores);
   for (int i = 0; i < config_.cores; ++i) {
@@ -41,8 +48,13 @@ void LockServer::OnPacket(const Packet& pkt) {
   cores_[core]->Submit([this, hdr = *hdr]() { Process(hdr); });
 }
 
+void LockServer::AdjustQ2Depth(std::int64_t delta) {
+  metrics_.q2_depth->Add(delta);
+}
+
 void LockServer::Process(const LockHeader& hdr) {
   ++stats_.requests_processed;
+  metrics_.requests->Inc();
   switch (hdr.op) {
     case LockOp::kAcquire:
       if ((hdr.flags & kFlagBufferOnly) != 0 &&
@@ -105,6 +117,7 @@ void LockServer::ProcessOwnedRelease(const LockHeader& hdr,
   }
   OwnedLock& lock = it->second;
   ++stats_.releases;
+  metrics_.releases->Inc();
   const QueueSlot released = lock.queue.front();
   NETLOCK_DCHECK(lease_forced || released.mode == hdr.mode);
   (void)lease_forced;
@@ -140,6 +153,8 @@ void LockServer::ProcessBufferOnly(const LockHeader& hdr) {
   slot.timestamp = hdr.timestamp;  // Preserve the client's issue time.
   q2_[hdr.lock_id].push_back(slot);
   ++stats_.buffered;
+  metrics_.buffered->Inc();
+  AdjustQ2Depth(+1);
 }
 
 void LockServer::ProcessQueueEmpty(const LockHeader& hdr) {
@@ -162,6 +177,8 @@ void LockServer::ProcessQueueEmpty(const LockHeader& hdr) {
     net_.Send(MakeLockPacket(node_, switch_node_, push));
     q2.pop_front();
     ++stats_.pushes_sent;
+    metrics_.pushes->Inc();
+    AdjustQ2Depth(-1);
   }
   // Report remaining q2 depth; the switch decides whether the overflow
   // episode can end (see switch_dataplane.cc protocol walkthrough).
@@ -175,6 +192,7 @@ void LockServer::ProcessQueueEmpty(const LockHeader& hdr) {
 
 void LockServer::Grant(LockId lock, const QueueSlot& slot) {
   ++stats_.grants;
+  metrics_.grants->Inc();
   if (grant_observer_) {
     grant_observer_(lock, slot.txn_id, slot.mode, slot.client_node);
   }
@@ -197,6 +215,7 @@ void LockServer::TakeOwnership(LockId lock) {
   if (it == q2_.end()) return;
   // q2 becomes the active queue, in order; grant the new front per the
   // usual rules (first entry, plus following shareds if it is shared).
+  AdjustQ2Depth(-static_cast<std::int64_t>(it->second.size()));
   owned.queue = std::move(it->second);
   q2_.erase(it);
   for (const QueueSlot& slot : owned.queue) {
@@ -228,6 +247,9 @@ void LockServer::EvictOwnership(LockId lock) { owned_.erase(lock); }
 void LockServer::Fail() {
   failed_ = true;
   owned_.clear();
+  for (const auto& [lock, q2] : q2_) {
+    AdjustQ2Depth(-static_cast<std::int64_t>(q2.size()));
+  }
   q2_.clear();
   graced_locks_.clear();
   for (auto& core : cores_) core->Reset();
@@ -324,7 +346,11 @@ std::vector<LockId> LockServer::OwnedLocks() const {
 
 void LockServer::DropState(LockId lock) {
   owned_.erase(lock);
-  q2_.erase(lock);
+  const auto it = q2_.find(lock);
+  if (it != q2_.end()) {
+    AdjustQ2Depth(-static_cast<std::int64_t>(it->second.size()));
+    q2_.erase(it);
+  }
 }
 
 void LockServer::HarvestDemands(double window_sec,

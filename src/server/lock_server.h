@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/types.h"
 #include "dataplane/slot.h"
 #include "net/lock_wire.h"
@@ -167,6 +168,20 @@ class LockServer {
   SimTime grace_until_ = 0;
   std::vector<LockId> graced_locks_;
   Stats stats_;
+
+  /// Registry instruments (resolved once; shared across server instances).
+  struct Metrics {
+    MetricCounter* grants;
+    MetricCounter* releases;
+    MetricCounter* buffered;
+    MetricCounter* pushes;
+    MetricCounter* requests;
+    MetricGauge* q2_depth;  ///< Total q2 entries buffered (hwm tracked).
+  };
+  Metrics metrics_;
+  /// Keeps metrics_.q2_depth consistent across every q2 mutation path.
+  void AdjustQ2Depth(std::int64_t delta);
+
   std::function<void(LockId, TxnId, LockMode, NodeId)> grant_observer_;
 };
 

@@ -32,11 +32,14 @@ void Network::SetLossProbability(double p, std::uint64_t seed) {
 void Network::Send(Packet pkt) {
   NETLOCK_CHECK(pkt.dst < handlers_.size());
   ++packets_sent_;
+  packets_metric_->Inc();
+  bytes_metric_->Inc(pkt.size());
   if (loss_probability_ > 0.0) {
     const double u = static_cast<double>(SplitMix64(loss_state_) >> 11) *
                      0x1.0p-53;
     if (u < loss_probability_) {
       ++packets_dropped_;
+      dropped_metric_->Inc();
       return;
     }
   }

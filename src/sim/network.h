@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/types.h"
 #include "sim/simulator.h"
 
@@ -60,7 +61,11 @@ class Network {
  public:
   /// `default_one_way_latency` applies to any pair without an explicit link.
   Network(Simulator& sim, SimTime default_one_way_latency)
-      : sim_(sim), default_latency_(default_one_way_latency) {}
+      : sim_(sim),
+        default_latency_(default_one_way_latency),
+        packets_metric_(&MetricsRegistry::Global().Counter("net.packets")),
+        bytes_metric_(&MetricsRegistry::Global().Counter("net.bytes")),
+        dropped_metric_(&MetricsRegistry::Global().Counter("net.dropped")) {}
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -105,6 +110,9 @@ class Network {
   std::uint64_t loss_state_ = 1;
   std::uint64_t packets_sent_ = 0;
   std::uint64_t packets_dropped_ = 0;
+  MetricCounter* packets_metric_;
+  MetricCounter* bytes_metric_;
+  MetricCounter* dropped_metric_;
 };
 
 }  // namespace netlock

@@ -7,6 +7,7 @@ namespace netlock {
 void Simulator::ScheduleAt(SimTime when, EventFn fn) {
   NETLOCK_CHECK(when >= now_);
   queue_.Push(when, std::move(fn));
+  depth_metric_.Set(queue_.Size());
 }
 
 void Simulator::Run() {
@@ -27,6 +28,7 @@ bool Simulator::Step() {
   NETLOCK_CHECK(ev.when >= now_);
   now_ = ev.when;
   ++events_processed_;
+  events_metric_.Inc();
   ev.fn();
   return true;
 }

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "common/metrics.h"
 #include "common/types.h"
 #include "sim/event_queue.h"
 
@@ -14,7 +15,11 @@ namespace netlock {
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator()
+      : events_metric_(
+            MetricsRegistry::Global().Counter("sim.events_processed")),
+        depth_metric_(
+            MetricsRegistry::Global().Gauge("sim.pending_events")) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -24,6 +29,7 @@ class Simulator {
   /// Schedules fn to run `delay` nanoseconds from now.
   void Schedule(SimTime delay, EventFn fn) {
     queue_.Push(now_ + delay, std::move(fn));
+    depth_metric_.Set(queue_.Size());
   }
 
   /// Schedules fn at an absolute time (must be >= now()).
@@ -45,6 +51,8 @@ class Simulator {
   SimTime now_ = 0;
   EventQueue queue_;
   std::uint64_t events_processed_ = 0;
+  MetricCounter& events_metric_;
+  MetricGauge& depth_metric_;  ///< Pending-event depth (hwm = high water).
 };
 
 }  // namespace netlock

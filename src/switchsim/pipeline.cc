@@ -8,12 +8,15 @@ PacketPass Pipeline::BeginPass() {
   pass.pass_index_ = 0;
   pass.last_stage_ = -1;
   pass.pipeline_ = this;
+  passes_metric_->Inc();
   return pass;
 }
 
 void Pipeline::Resubmit(PacketPass& pass) {
   NETLOCK_CHECK(pass.pipeline_ == this);
   ++total_resubmits_;
+  passes_metric_->Inc();
+  resubmits_metric_->Inc();
   ++pass.pass_index_;
   if (max_resubmits_ != 0) {
     NETLOCK_CHECK(pass.pass_index_ <= max_resubmits_);

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace netlock {
 
@@ -58,7 +59,14 @@ class Pipeline {
   /// this must be at least the largest shared-grant batch; 0 disables the
   /// check (logically unbounded, as recirculation is in practice).
   explicit Pipeline(int num_stages = 12, std::uint32_t max_resubmits = 0)
-      : num_stages_(num_stages), max_resubmits_(max_resubmits) {}
+      : num_stages_(num_stages),
+        max_resubmits_(max_resubmits),
+        passes_metric_(
+            &MetricsRegistry::Global().Counter("switchsim.passes")),
+        resubmits_metric_(
+            &MetricsRegistry::Global().Counter("switchsim.resubmits")),
+        accesses_metric_(&MetricsRegistry::Global().Counter(
+            "switchsim.register_accesses")) {}
 
   int num_stages() const { return num_stages_; }
 
@@ -80,11 +88,17 @@ class Pipeline {
     return next_array_id_++;
   }
 
+  void CountRegisterAccess() { accesses_metric_->Inc(); }
+
   int num_stages_;
   std::uint32_t max_resubmits_;
   int next_array_id_ = 0;
   std::uint64_t next_token_ = 1;
   std::uint64_t total_resubmits_ = 0;
+  // "passes" counts every pipeline traversal (BeginPass and Resubmit both).
+  MetricCounter* passes_metric_;
+  MetricCounter* resubmits_metric_;
+  MetricCounter* accesses_metric_;
 };
 
 /// A stateful register array bound to one pipeline stage. Mirrors the P4
@@ -145,6 +159,7 @@ class RegisterArray {
     NETLOCK_DCHECK(stage_ >= pass.last_stage_);
     last_access_token_ = pass.token_;
     pass.last_stage_ = stage_;
+    pipeline_.CountRegisterAccess();
   }
 
   Pipeline& pipeline_;

@@ -3,6 +3,9 @@
 // mapping, and lease-based cleanup.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "dataplane/shared_queue.h"
 #include "dataplane/switch_dataplane.h"
 #include "test_util.h"
@@ -399,6 +402,82 @@ TEST(SharedQueueTest, DataPlaneAccessCountsAgainstOwningArrayOnly) {
   queue.Read(pass, 20);          // Array 1: distinct array, same pass: OK.
   pipeline.Resubmit(pass);
   EXPECT_EQ(queue.Read(pass, 0).txn_id, 7u);  // Array 0 again after resubmit.
+}
+
+// Regression tests for the InstallLock priority split. The old split used
+// base = max(1, slots / p) for every class, which dropped the remainder
+// (10 slots over 4 classes installed only 8) and silently inflated the
+// total when slots < p. The split must sum to max(slots, p) with class
+// sizes differing by at most one, remainder to the highest priorities.
+class PrioritySplitTest : public ::testing::Test {
+ protected:
+  PrioritySplitTest() : net_(sim_, /*latency=*/1000) {}
+
+  std::vector<std::uint32_t> InstallAndSplit(std::uint8_t priorities,
+                                             std::uint32_t slots) {
+    LockSwitchConfig config;
+    config.queue_capacity = 256;
+    config.array_size = 64;
+    config.max_locks = 8;
+    config.num_priorities = priorities;
+    LockSwitch sw(net_, config);
+    PacketCatcher server(net_);
+    EXPECT_TRUE(sw.InstallLock(/*lock=*/1, server.node(), slots));
+    const SwitchLockEntry* entry = sw.table().Find(1);
+    EXPECT_NE(entry, nullptr);
+    std::vector<std::uint32_t> sizes;
+    for (const LockBounds& region : entry->regions) {
+      sizes.push_back(region.size());
+    }
+    return sizes;
+  }
+
+  Simulator sim_;
+  Network net_;
+};
+
+TEST_F(PrioritySplitTest, RemainderGoesToHighestPriorities) {
+  // 10 over 4: 3+3+2+2, not the old 2+2+2+2.
+  EXPECT_EQ(InstallAndSplit(4, 10),
+            (std::vector<std::uint32_t>{3, 3, 2, 2}));
+}
+
+TEST_F(PrioritySplitTest, EvenSplitUnchanged) {
+  EXPECT_EQ(InstallAndSplit(3, 30),
+            (std::vector<std::uint32_t>{10, 10, 10}));
+}
+
+TEST_F(PrioritySplitTest, SumsToRequestedSlots) {
+  for (const std::uint32_t slots : {5u, 7u, 11u, 13u, 64u}) {
+    for (const std::uint8_t p : {2, 3, 4}) {
+      const auto sizes = InstallAndSplit(p, slots);
+      ASSERT_EQ(sizes.size(), p);
+      std::uint32_t sum = 0;
+      std::uint32_t lo = sizes[0], hi = sizes[0];
+      for (const std::uint32_t s : sizes) {
+        sum += s;
+        lo = std::min(lo, s);
+        hi = std::max(hi, s);
+      }
+      EXPECT_EQ(sum, std::max<std::uint32_t>(slots, p))
+          << "slots=" << slots << " p=" << static_cast<int>(p);
+      EXPECT_LE(hi - lo, 1u) << "slots=" << slots
+                             << " p=" << static_cast<int>(p);
+      // Sizes are non-increasing: remainder lands on high priorities.
+      for (std::size_t i = 1; i < sizes.size(); ++i) {
+        EXPECT_LE(sizes[i], sizes[i - 1]);
+      }
+    }
+  }
+}
+
+TEST_F(PrioritySplitTest, FewerSlotsThanClassesGetsOneEach) {
+  EXPECT_EQ(InstallAndSplit(4, 2),
+            (std::vector<std::uint32_t>{1, 1, 1, 1}));
+}
+
+TEST_F(PrioritySplitTest, DefaultPathSingleRegionExact) {
+  EXPECT_EQ(InstallAndSplit(1, 10), (std::vector<std::uint32_t>{10}));
 }
 
 }  // namespace

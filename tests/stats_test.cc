@@ -1,0 +1,100 @@
+// Regression tests for LatencyRecorder's sort-flag discipline. The flag
+// bug class: EnsureSorted caches sorted_=true, and any mutation that fails
+// to clear it makes later Percentile calls read a mis-sorted vector. The
+// pre-existing RecordAfterQueryResorts test in common_test.cc happened to
+// pass with a stale flag (the probed value landed at the median position
+// of the unsorted vector), so these tests place samples where a stale sort
+// yields visibly wrong order statistics.
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace netlock {
+namespace {
+
+TEST(StatsRegressionTest, InterleavedRecordPercentileStaysSorted) {
+  LatencyRecorder rec;
+  // Sort the vector via a query, then append strictly smaller values: with
+  // a stale flag, the tail of the "sorted" vector holds the new minima and
+  // every upper percentile reads garbage.
+  for (SimTime v = 100; v <= 200; ++v) rec.Record(v);
+  EXPECT_EQ(rec.P99(), 199u);
+  for (SimTime v = 1; v <= 50; ++v) rec.Record(v);
+  // 151 samples in [1,50] + [100,200]. p99: rank ceil(0.99*151)=150 ->
+  // index 149 -> value 199. A stale sort would report a value from [1,50].
+  EXPECT_EQ(rec.P99(), 199u);
+  EXPECT_EQ(rec.Max(), 200u);
+  EXPECT_EQ(rec.Min(), 1u);
+  // Median of the combined set: rank ceil(0.5*151)=76 -> index 75. The
+  // sorted prefix [1..50] occupies indices 0..49, so index 75 is
+  // 100+(75-50)=125.
+  EXPECT_EQ(rec.Median(), 125u);
+}
+
+TEST(StatsRegressionTest, RepeatedInterleavingEveryQuery) {
+  // The time-sliced benches interleave Record and Percentile on every
+  // bucket; emulate that pattern with descending data so any stale flag
+  // surfaces immediately.
+  LatencyRecorder rec;
+  for (SimTime v = 100; v >= 1; --v) {
+    rec.Record(v);
+    // Minimum so far is always the just-recorded v.
+    ASSERT_EQ(rec.Min(), v);
+    ASSERT_EQ(rec.Max(), 100u);
+  }
+  EXPECT_EQ(rec.count(), 100u);
+  EXPECT_EQ(rec.Median(), 50u);
+}
+
+TEST(StatsRegressionTest, MergeAfterQueryResorts) {
+  LatencyRecorder a, b;
+  for (SimTime v = 100; v <= 110; ++v) a.Record(v);
+  EXPECT_EQ(a.Max(), 110u);  // Sorts a.
+  for (SimTime v = 1; v <= 5; ++v) b.Record(v);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 16u);
+  EXPECT_EQ(a.Min(), 1u);
+  EXPECT_EQ(a.Max(), 110u);
+  EXPECT_EQ(a.Percentile(1.0), 110u);
+}
+
+TEST(StatsRegressionTest, SelfMergeDoublesSamples) {
+  LatencyRecorder rec;
+  rec.Record(10);
+  rec.Record(20);
+  EXPECT_EQ(rec.Max(), 20u);  // Sorts; self-merge must clear the flag too.
+  rec.Merge(rec);
+  EXPECT_EQ(rec.count(), 4u);
+  EXPECT_EQ(rec.Min(), 10u);
+  EXPECT_EQ(rec.Max(), 20u);
+  EXPECT_EQ(rec.Median(), 10u);  // Sorted: [10,10,20,20]; rank 2 -> 10.
+}
+
+TEST(StatsRegressionTest, CdfAfterLateRecordsIsMonotone) {
+  LatencyRecorder rec;
+  for (SimTime v = 1000; v <= 1100; ++v) rec.Record(v);
+  (void)rec.Cdf(10);  // Sorts.
+  for (SimTime v = 1; v <= 100; ++v) rec.Record(v);
+  const auto cdf = rec.Cdf(20);
+  ASSERT_EQ(cdf.size(), 20u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+  }
+  EXPECT_EQ(cdf.front().first >= 1u, true);
+  EXPECT_EQ(cdf.back().first, 1100u);
+}
+
+TEST(StatsRegressionTest, ClearResetsFlagAndSamples) {
+  LatencyRecorder rec;
+  rec.Record(5);
+  EXPECT_EQ(rec.Max(), 5u);
+  rec.Clear();
+  EXPECT_TRUE(rec.empty());
+  rec.Record(9);
+  rec.Record(3);
+  EXPECT_EQ(rec.Min(), 3u);
+  EXPECT_EQ(rec.Max(), 9u);
+}
+
+}  // namespace
+}  // namespace netlock
