@@ -7,8 +7,10 @@
 // returns to the pre-failure level immediately after reactivation.
 #include <cstdio>
 
+#include "common/tracelog.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/sampler.h"
 #include "harness/testbed.h"
 
 namespace netlock {
@@ -50,11 +52,22 @@ int main(int argc, char** argv) {
   ProfileAndInstall(testbed, config.switch_config.queue_capacity,
                     /*random_strawman=*/false,
                     /*profile_duration=*/40 * kMillisecond);
+  // Trace the measured run, not the profiling phase: at full sampling the
+  // profiling warm-up alone would eat most of the trace capacity.
+  TraceLog::Global().Clear();
 
-  TimeSeries grants(kBucket);
-  for (int i = 0; i < testbed.num_engines(); ++i) {
-    testbed.engine(i).set_commit_series(&grants);
-  }
+  // The throughput-over-time curve comes from the registry sampler: every
+  // engine bumps "client.txn_commits" unconditionally, and the sampler
+  // buckets the deltas at kBucket resolution. Profiling already consumed
+  // some simulated time, so first advance to the next multiple of kBucket:
+  // the failure/recovery instants are multiples of kBucket, and aligning
+  // the window keeps each bucket entirely inside one phase.
+  TimeSeriesSampler sampler(testbed.sim(), kBucket);
+  sampler.Watch("client.txn_commits");
+  const SimTime t0 =
+      (testbed.sim().now() + kBucket - 1) / kBucket * kBucket;
+  testbed.sim().RunUntil(t0);
+  sampler.Start(kEnd - t0);
   testbed.StartEngines();
   // Record across all three phases so the report carries the end-to-end
   // latency distribution (retries during the outage land in the tail).
@@ -76,19 +89,22 @@ int main(int argc, char** argv) {
   Table table({"t(s)", "tput(MTPS)", "phase"});
   // Per-phase aggregate rates for the machine-readable report.
   std::uint64_t phase_commits[3] = {0, 0, 0};
-  for (std::size_t b = 0; b * kBucket < kEnd; ++b) {
-    const SimTime t = b * kBucket;
+  for (std::size_t b = 0; b < sampler.num_buckets(); ++b) {
+    const SimTime t = t0 + b * kBucket;
     const int phase_idx = t < kFailAt ? 0 : t < kRecoverAt ? 1 : 2;
     const char* phase = phase_idx == 0   ? "normal"
                         : phase_idx == 1 ? "FAILED"
                                          : "recovered";
-    phase_commits[phase_idx] += grants.BucketCount(b);
-    table.AddRow({Fmt(grants.BucketTimeSeconds(b), 2),
-                  Fmt(grants.BucketRate(b) / 1e6, 3), phase});
+    phase_commits[phase_idx] += sampler.Delta(0, b);
+    table.AddRow({Fmt(sampler.BucketTimeSeconds(b), 2),
+                  Fmt(sampler.Value(0, b) / 1e6, 3), phase});
   }
   table.Print();
+  report.AttachTimeSeries(sampler);
+  // The "normal" phase is measured from the sampler's (aligned) start, not
+  // from t=0: buckets before t0 don't exist.
   const double phase_sec[3] = {
-      static_cast<double>(kFailAt) / kSecond,
+      static_cast<double>(kFailAt - t0) / kSecond,
       static_cast<double>(kRecoverAt - kFailAt) / kSecond,
       static_cast<double>(kEnd - kRecoverAt) / kSecond};
   const char* phase_names[3] = {"normal", "failed", "recovered"};

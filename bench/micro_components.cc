@@ -4,6 +4,10 @@
 // allocation, Zipf sampling, and the event queue. These are sanity checks
 // that the simulator itself is fast enough to drive the figure benches,
 // not paper results.
+//
+// The binary also runs a short traced NetLock rack and prints the
+// per-stage acquire-latency breakdown (wire / pipeline / queue wait /
+// server service) computed from the recorded spans.
 #include <benchmark/benchmark.h>
 
 #include <cstring>
@@ -11,9 +15,13 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/tracelog.h"
 #include "core/memory_alloc.h"
 #include "dataplane/switch_dataplane.h"
+#include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/testbed.h"
+#include "harness/trace_analysis.h"
 #include "net/lock_wire.h"
 #include "sim/simulator.h"
 #include "workload/tpcc.h"
@@ -121,15 +129,63 @@ void BM_TpccNextTxn(benchmark::State& state) {
 }
 BENCHMARK(BM_TpccNextTxn);
 
+/// Runs a short contended NetLock rack with tracing on and decomposes the
+/// client RTT into per-stage spans. Traces the measured window only (the
+/// profiling phase is cleared), so means reflect steady state.
+void RunLatencyBreakdown(BenchReport& report) {
+  TraceLog& log = TraceLog::Global();
+  const bool keep_trace = !report.options().trace_dir.empty();
+
+  TestbedConfig config;
+  config.system = SystemKind::kNetLock;
+  config.client_machines = 4;
+  config.sessions_per_machine = 4;
+  config.lock_servers = 1;
+  MicroConfig micro;
+  micro.num_locks = 100;
+  micro.zipf_alpha = 0.9;  // Contention: a visible queue-wait share.
+  config.workload_factory = MicroFactory(micro);
+  Testbed testbed(config);
+  ProfileAndInstall(testbed, config.switch_config.queue_capacity,
+                    /*random_strawman=*/false,
+                    /*profile_duration=*/10 * kMillisecond);
+
+  log.Enable(keep_trace ? report.options().trace_sample : 1);
+  log.Clear();
+  testbed.StartEngines();
+  testbed.sim().RunUntil(testbed.sim().now() + 50 * kMillisecond);
+  testbed.StopEngines();
+  log.Disable();
+
+  const TraceBreakdown bd = ComputeBreakdown(log);
+  PrintBreakdown("NetLock micro, 16 sessions, zipf 0.9", bd);
+  BenchRun& run = report.AddRun("latency_breakdown");
+  run.mean_ns = bd.rtt.MeanNs();
+  run.samples = bd.rtt.count;
+  run.extra.emplace_back("rtt_ns_mean", bd.rtt.MeanNs());
+  run.extra.emplace_back("wire_ns_mean", bd.wire.MeanNs());
+  run.extra.emplace_back("queue_wait_ns_mean", bd.queue_wait.MeanNs());
+  run.extra.emplace_back("server_service_ns_mean",
+                         bd.server_service.MeanNs());
+  run.extra.emplace_back("pipeline_passes_mean", bd.pipeline_passes_mean);
+  // Without --trace-dir nothing will consume the events; drop them.
+  if (!keep_trace) log.Clear();
+}
+
 }  // namespace
 }  // namespace netlock
 
 // Custom main instead of BENCHMARK_MAIN: the shared bench flags (--quick,
-// --json-dir) must be stripped before google-benchmark parses the command
-// line, and the registry dump is written like every other bench.
+// --json-dir, --trace-dir, --trace-sample) must be stripped before
+// google-benchmark parses the command line, and the registry dump is
+// written like every other bench.
 int main(int argc, char** argv) {
   using namespace netlock;
   BenchReport report("micro_components", ParseBenchOptions(argc, argv));
+  // The google-benchmark loops below hammer components millions of times;
+  // tracing them would flood the log with junk timestamps. Only the
+  // breakdown scenario afterwards records.
+  TraceLog::Global().Disable();
   std::vector<char*> bench_argv;
   bench_argv.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -139,6 +195,12 @@ int main(int argc, char** argv) {
       ++i;
       continue;
     }
+    if (std::strncmp(argv[i], "--trace-dir=", 12) == 0) continue;
+    if (std::strcmp(argv[i], "--trace-dir") == 0 && i + 1 < argc) {
+      ++i;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--trace-sample=", 15) == 0) continue;
     bench_argv.push_back(argv[i]);
   }
   std::string min_time = "--benchmark_min_time=0.01";  // 1.7.x: plain double.
@@ -151,5 +213,6 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  RunLatencyBreakdown(report);
   return report.Write() ? 0 : 1;
 }

@@ -5,7 +5,7 @@
 namespace netlock {
 
 NetLockSession::NetLockSession(ClientMachine& machine, Config config)
-    : machine_(machine), config_(config) {
+    : machine_(machine), config_(config), trace_(&TraceLog::Global()) {
   NETLOCK_CHECK(config_.switch_node != kInvalidNode);
   node_ = machine_.net().AddNode(
       [this](const Packet& pkt) { OnPacket(pkt); });
@@ -21,6 +21,13 @@ void NetLockSession::Acquire(LockId lock, LockMode mode, TxnId txn,
   pending.cb = std::move(cb);
   pending.epoch = next_epoch_++;
   pending.issued_at = machine_.net().sim().now();
+  // The request's end-to-end lifetime is an async span: it opens here and
+  // closes when the session resolves the request (grant, final reject, or
+  // timeout), which may be several retransmissions later.
+  if (trace_->Sampled(lock, txn)) {
+    trace_->AsyncBegin(TraceTrack::kClient, "lock_request",
+                       pending.issued_at, TraceLog::RequestId(lock, txn));
+  }
   SendAcquire(lock, txn, pending);
   const std::uint64_t epoch = pending.epoch;
   pending_.emplace(key, std::move(pending));
@@ -69,11 +76,24 @@ void NetLockSession::ArmRetry(LockId lock, TxnId txn, std::uint64_t epoch,
     if (pending.attempts >= config_.max_retries) {
       AcquireCallback cb = std::move(pending.cb);
       pending_.erase(it);
+      if (trace_->Sampled(lock, txn)) {
+        const SimTime now = machine_.net().sim().now();
+        const std::uint64_t id = TraceLog::RequestId(lock, txn);
+        trace_->Instant(TraceTrack::kClient, "client.timeout", now, id);
+        trace_->AsyncEnd(TraceTrack::kClient, "lock_request", now, id);
+      }
       cb(AcquireResult::kTimeout);
       return;
     }
     ++pending.attempts;
     ++retransmits_;
+    if (trace_->Sampled(lock, txn)) {
+      trace_->Instant(TraceTrack::kClient, "client.retransmit",
+                      machine_.net().sim().now(),
+                      TraceLog::RequestId(lock, txn),
+                      {"attempt",
+                       static_cast<std::uint64_t>(pending.attempts)});
+    }
     pending.epoch = next_epoch_++;
     SendAcquire(lock, txn, pending);
     ArmRetry(lock, txn, pending.epoch, config_.retry_timeout);
@@ -109,6 +129,16 @@ void NetLockSession::OnPacket(const Packet& pkt) {
     if (hdr->op == LockOp::kGrant) {
       grant_source_[std::make_pair(hdr->lock_id, hdr->txn_id)] = pkt.src;
     }
+    if (trace_->Sampled(hdr->lock_id, hdr->txn_id)) {
+      const SimTime now = machine_.net().sim().now();
+      const std::uint64_t id =
+          TraceLog::RequestId(hdr->lock_id, hdr->txn_id);
+      trace_->Complete(TraceTrack::kClient, "client.acquire_rtt",
+                       it->second.issued_at, now, id,
+                       {"attempts",
+                        static_cast<std::uint64_t>(it->second.attempts)});
+      trace_->AsyncEnd(TraceTrack::kClient, "lock_request", now, id);
+    }
     AcquireCallback cb = std::move(it->second.cb);
     pending_.erase(it);
     cb(AcquireResult::kGranted);
@@ -122,8 +152,12 @@ void NetLockSession::OnPacket(const Packet& pkt) {
       AcquireCallback cb = std::move(pending.cb);
       const LockId lock = hdr->lock_id;
       const TxnId txn = hdr->txn_id;
-      (void)lock;
-      (void)txn;
+      if (trace_->Sampled(lock, txn)) {
+        const SimTime now = machine_.net().sim().now();
+        const std::uint64_t id = TraceLog::RequestId(lock, txn);
+        trace_->Instant(TraceTrack::kClient, "client.rejected", now, id);
+        trace_->AsyncEnd(TraceTrack::kClient, "lock_request", now, id);
+      }
       pending_.erase(it);
       cb(AcquireResult::kRejected);
       return;

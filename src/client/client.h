@@ -129,6 +129,7 @@ class NetLockSession : public LockSession {
   ClientMachine& machine_;
   Config config_;
   NodeId node_;
+  TraceLog* trace_;  ///< Request-lifecycle tracing (resolved once).
   std::map<std::pair<LockId, TxnId>, Pending> pending_;
   /// Where each held lock's grant came from: releases are sent back to the
   /// granting switch, which is what keeps release routing correct while a

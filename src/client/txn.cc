@@ -15,7 +15,11 @@ TxnEngine::TxnEngine(Simulator& sim, LockSession& session,
       workload_(std::move(workload)),
       engine_id_(engine_id),
       rng_(seed),
-      config_(config) {
+      config_(config),
+      commits_metric_(
+          &MetricsRegistry::Global().Counter("client.txn_commits")),
+      grants_metric_(
+          &MetricsRegistry::Global().Counter("client.lock_grants")) {
   NETLOCK_CHECK(workload_ != nullptr);
 }
 
@@ -79,6 +83,7 @@ void TxnEngine::OnAcquireResult(std::size_t index, AcquireResult result) {
     AbortAndRetry(/*acquired=*/index);
     return;
   }
+  grants_metric_->Inc();
   if (recording_) {
     ++metrics_.lock_grants;
     metrics_.lock_latency.Record(sim_.now() - lock_issue_);
@@ -100,6 +105,7 @@ void TxnEngine::CommitAndRelease() {
   for (const LockRequest& req : current_.locks) {
     session_.Release(req.lock, req.mode, current_txn_);
   }
+  commits_metric_->Inc();
   if (recording_) {
     ++metrics_.txn_commits;
     metrics_.txn_latency.Record(sim_.now() - txn_start_);

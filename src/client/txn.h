@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "client/client.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/stats.h"
 #include "common/types.h"
@@ -91,6 +92,11 @@ class TxnEngine {
   std::uint64_t aborts_ = 0;
   RunMetrics metrics_;
   TimeSeries* commit_series_ = nullptr;
+  /// Registry counters updated unconditionally (not gated on recording):
+  /// the TimeSeriesSampler derives throughput-over-time from their deltas,
+  /// which must keep counting through warm-up, failure windows, etc.
+  MetricCounter* commits_metric_;
+  MetricCounter* grants_metric_;
 };
 
 }  // namespace netlock

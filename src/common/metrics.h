@@ -43,9 +43,16 @@ class MetricGauge {
     value_ = v;
     if (v > high_water_) high_water_ = v;
   }
+  /// Clamps at zero: a negative delta larger than the current value would
+  /// otherwise wrap to a huge uint64 and poison the high-water mark.
   void Add(std::int64_t delta) {
-    Set(static_cast<std::uint64_t>(
-        static_cast<std::int64_t>(value_) + delta));
+    if (delta >= 0) {
+      Set(value_ + static_cast<std::uint64_t>(delta));
+      return;
+    }
+    // |delta| without overflow when delta == INT64_MIN.
+    const std::uint64_t dec = ~static_cast<std::uint64_t>(delta) + 1;
+    value_ = value_ > dec ? value_ - dec : 0;
   }
   std::uint64_t value() const { return value_; }
   std::uint64_t high_water() const { return high_water_; }

@@ -1,0 +1,193 @@
+#include "common/tracelog.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace netlock {
+
+const char* ToString(TraceTrack track) {
+  switch (track) {
+    case TraceTrack::kClient: return "client";
+    case TraceTrack::kNetwork: return "network";
+    case TraceTrack::kPipeline: return "pipeline";
+    case TraceTrack::kQueue: return "shared-queue";
+    case TraceTrack::kServer: return "server";
+  }
+  return "unknown";
+}
+
+TraceLog& TraceLog::Global() {
+  static TraceLog log;
+  return log;
+}
+
+void TraceLog::Enable(std::uint32_t sample_every) {
+  enabled_ = true;
+  sample_every_ = sample_every == 0 ? 1 : sample_every;
+}
+
+void TraceLog::Disable() { enabled_ = false; }
+
+void TraceLog::Clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+void TraceLog::Push(TraceEvent event) {
+  if (!enabled_) return;
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(event);
+}
+
+void TraceLog::Instant(TraceTrack track, const char* name, SimTime ts,
+                       std::uint64_t id, TraceArg a0, TraceArg a1) {
+  TraceEvent event;
+  event.name = name;
+  event.phase = 'i';
+  event.track = track;
+  event.ts = ts;
+  event.id = id;
+  event.arg0 = a0;
+  event.arg1 = a1;
+  Push(event);
+}
+
+void TraceLog::Complete(TraceTrack track, const char* name, SimTime start,
+                        SimTime end, std::uint64_t id, TraceArg a0,
+                        TraceArg a1) {
+  TraceEvent event;
+  event.name = name;
+  event.phase = 'X';
+  event.track = track;
+  event.ts = start;
+  event.dur = end >= start ? end - start : 0;
+  event.id = id;
+  event.arg0 = a0;
+  event.arg1 = a1;
+  Push(event);
+}
+
+void TraceLog::AsyncBegin(TraceTrack track, const char* name, SimTime ts,
+                          std::uint64_t id) {
+  TraceEvent event;
+  event.name = name;
+  event.phase = 'b';
+  event.track = track;
+  event.ts = ts;
+  event.id = id;
+  Push(event);
+}
+
+void TraceLog::AsyncEnd(TraceTrack track, const char* name, SimTime ts,
+                        std::uint64_t id) {
+  TraceEvent event;
+  event.name = name;
+  event.phase = 'e';
+  event.track = track;
+  event.ts = ts;
+  event.id = id;
+  Push(event);
+}
+
+namespace {
+
+/// Nanoseconds -> the trace-event microsecond unit, with full precision
+/// and no floating-point formatting variance ("12.345" for 12345 ns).
+void AppendMicros(std::ostringstream& out, SimTime nanos) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03" PRIu64, nanos / 1000,
+                nanos % 1000);
+  out << buf;
+}
+
+void AppendArgs(std::ostringstream& out, const TraceEvent& event) {
+  if (event.id == 0 && event.arg0.key == nullptr) return;
+  out << ",\"args\":{";
+  bool first = true;
+  if (event.id != 0) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, event.id);
+    out << "\"req\":\"" << buf << "\"";
+    first = false;
+  }
+  for (const TraceArg* arg : {&event.arg0, &event.arg1}) {
+    if (arg->key == nullptr) continue;
+    if (!first) out << ",";
+    out << "\"" << arg->key << "\":" << arg->value;
+    first = false;
+  }
+  out << "}";
+}
+
+}  // namespace
+
+std::string TraceLog::ToJson() const {
+  // Stable sort by timestamp: retrospective spans are recorded when they
+  // end but must appear at their start time, and determinism requires a
+  // reproducible order for equal timestamps (insertion order, which the
+  // single-threaded simulator fixes).
+  std::vector<const TraceEvent*> sorted;
+  sorted.reserve(events_.size());
+  for (const TraceEvent& event : events_) sorted.push_back(&event);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     return a->ts < b->ts;
+                   });
+
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  out << "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"netlock-sim\",\"dropped_events\":"
+      << dropped_ << "}}";
+  for (const TraceTrack track :
+       {TraceTrack::kClient, TraceTrack::kNetwork, TraceTrack::kPipeline,
+        TraceTrack::kQueue, TraceTrack::kServer}) {
+    out << ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":"
+        << static_cast<int>(track)
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+        << ToString(track) << "\"}}";
+  }
+  for (const TraceEvent* event : sorted) {
+    out << ",\n{\"ph\":\"" << event->phase << "\",\"pid\":0,\"tid\":"
+        << static_cast<int>(event->track) << ",\"name\":\"" << event->name
+        << "\",\"cat\":\"" << ToString(event->track) << "\",\"ts\":";
+    AppendMicros(out, event->ts);
+    if (event->phase == 'X') {
+      out << ",\"dur\":";
+      AppendMicros(out, event->dur);
+    }
+    if (event->phase == 'b' || event->phase == 'e') {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, event->id);
+      out << ",\"id\":\"" << buf << "\"";
+    }
+    AppendArgs(out, *event);
+    out << "}";
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+bool TraceLog::WriteTo(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "tracelog: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  out << ToJson();
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "tracelog: write to %s failed\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace netlock

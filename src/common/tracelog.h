@@ -1,0 +1,155 @@
+// Request-lifecycle tracing over the deterministic simulator.
+//
+// Every lock request is identified by its (lock id, transaction id) pair —
+// already carried in every wire message — so spans recorded independently
+// by the client, the network, the switch pipeline, the shared queue, and
+// the lock server correlate into one request timeline without widening the
+// wire header. The exporter writes Chrome trace-event JSON that loads
+// directly in chrome://tracing and Perfetto, with one track (tid) per
+// pipeline stage.
+//
+// Design goals, in order:
+//   1. Zero cost when disabled. `enabled()` is a single branch on a plain
+//      bool; components cache the Global() pointer once (like metrics.h
+//      instruments) and guard every span computation behind it.
+//   2. Determinism. Timestamps come from Simulator::now(), sampling is a
+//      pure hash of the request id, and the exporter stable-sorts by
+//      timestamp — two identical runs produce byte-identical traces.
+//   3. Bounded memory. Recording stops at a capacity cap (events beyond it
+//      are counted, not stored), so tracing a long bench cannot OOM.
+//
+// Like the metrics registry, the log is not thread-safe: the simulator is
+// single-threaded by construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace netlock {
+
+/// One track per request-path stage; exported as the event's tid with a
+/// thread_name metadata record, so Perfetto groups spans by stage.
+enum class TraceTrack : std::uint8_t {
+  kClient = 1,    ///< Session issue/RTT/retransmit events.
+  kNetwork = 2,   ///< Per-packet wire spans (send -> deliver).
+  kPipeline = 3,  ///< Switch pipeline passes/resubmits.
+  kQueue = 4,     ///< Shared-queue enqueue and wait-for-grant spans.
+  kServer = 5,    ///< Lock-server service, overflow (q2) and grants.
+};
+
+const char* ToString(TraceTrack track);
+
+/// Optional numeric argument attached to an event ({"args": {key: value}}).
+struct TraceArg {
+  const char* key = nullptr;  ///< Static string; nullptr = absent.
+  std::uint64_t value = 0;
+};
+
+/// One recorded event. `name`/category strings must be static (string
+/// literals): events store the pointer, never a copy.
+struct TraceEvent {
+  const char* name = nullptr;
+  char phase = 'i';  ///< 'X' complete, 'i' instant, 'b'/'e' async pair.
+  TraceTrack track = TraceTrack::kClient;
+  SimTime ts = 0;   ///< Start time (ns of simulated time).
+  SimTime dur = 0;  ///< Duration, 'X' events only.
+  std::uint64_t id = 0;  ///< Request correlation id (0 = none).
+  TraceArg arg0;
+  TraceArg arg1;
+};
+
+class TraceLog {
+ public:
+  TraceLog() = default;
+  TraceLog(const TraceLog&) = delete;
+  TraceLog& operator=(const TraceLog&) = delete;
+
+  /// The process-wide log the simulator components record into.
+  static TraceLog& Global();
+
+  /// Starts recording. `sample_every` = N records roughly 1/N of requests
+  /// (selected by request-id hash, so every component keeps or drops the
+  /// same request); 1 records everything.
+  void Enable(std::uint32_t sample_every = 1);
+  void Disable();
+  bool enabled() const { return enabled_; }
+  std::uint32_t sample_every() const { return sample_every_; }
+
+  /// Stable correlation id for one lock request. Retransmissions share it:
+  /// they are the same logical request.
+  static std::uint64_t RequestId(LockId lock, TxnId txn) {
+    std::uint64_t h = (txn + 0x9e3779b97f4a7c15ull) ^
+                      (static_cast<std::uint64_t>(lock) * 0xff51afd7ed558ccdull);
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ull;
+    h ^= h >> 29;
+    return h | 1;  // Never 0: 0 means "no id".
+  }
+
+  /// True when this request's events should be recorded (enabled and the
+  /// request falls in the sample). The deciding hash is shared by every
+  /// component, so a sampled request is traced end to end.
+  bool Sampled(LockId lock, TxnId txn) const {
+    if (!enabled_) return false;
+    // The low bit of the id is forced to 1 (see RequestId), so the
+    // sampling decision uses the bits above it.
+    return sample_every_ <= 1 ||
+           (RequestId(lock, txn) >> 1) % sample_every_ == 0;
+  }
+
+  /// Caps stored events; further records are counted in dropped().
+  void SetCapacity(std::size_t capacity) { capacity_ = capacity; }
+  std::size_t capacity() const { return capacity_; }
+
+  // --- Recording (no-ops when disabled) ---
+
+  void Instant(TraceTrack track, const char* name, SimTime ts,
+               std::uint64_t id = 0, TraceArg a0 = {}, TraceArg a1 = {});
+
+  /// A span with both endpoints known at record time ('X' complete event).
+  /// Most spans here are retrospective: the component emits them when the
+  /// span ends (e.g., queue wait is emitted at grant, stamped with the
+  /// enqueue time).
+  void Complete(TraceTrack track, const char* name, SimTime start,
+                SimTime end, std::uint64_t id = 0, TraceArg a0 = {},
+                TraceArg a1 = {});
+
+  /// Async begin/end pair correlated by (name, id): spans whose end is not
+  /// known at begin time, e.g. the whole client-observed request lifetime.
+  void AsyncBegin(TraceTrack track, const char* name, SimTime ts,
+                  std::uint64_t id);
+  void AsyncEnd(TraceTrack track, const char* name, SimTime ts,
+                std::uint64_t id);
+
+  // --- Inspection / export ---
+
+  std::size_t size() const { return events_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Drops all recorded events (enable state is unchanged).
+  void Clear();
+
+  /// Chrome trace-event JSON (object form with "traceEvents"), events
+  /// stable-sorted by timestamp. Timestamps are exported in microseconds
+  /// (the trace-event unit) with nanosecond precision.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`. Returns false (with a message on stderr)
+  /// on I/O failure.
+  bool WriteTo(const std::string& path) const;
+
+ private:
+  void Push(TraceEvent event);
+
+  bool enabled_ = false;
+  std::uint32_t sample_every_ = 1;
+  std::size_t capacity_ = 2'000'000;
+  std::uint64_t dropped_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace netlock

@@ -56,6 +56,7 @@ LockSwitch::LockSwitch(Network& net, LockSwitchConfig config)
     : net_(net),
       config_(config),
       pipeline_(config.num_stages, /*max_resubmits=*/0),
+      trace_(&TraceLog::Global()),
       table_(config.max_locks, config.queue_capacity) {
   NETLOCK_CHECK(config_.num_priorities >= 1);
   NETLOCK_CHECK(config_.num_priorities <= config_.num_stages - 4);
@@ -298,6 +299,11 @@ void LockSwitch::HandleAcquire(const LockHeader& hdr, bool pushed) {
     SendToServer(hdr, RouteFor(hdr.lock_id), kFlagServerOwned);
     ++stats_.forwarded_unowned;
     metrics_.forwarded_unowned->Inc();
+    if (trace_->Sampled(hdr.lock_id, hdr.txn_id)) {
+      trace_->Instant(TraceTrack::kPipeline, "pipeline.forward_unowned",
+                      net_.sim().now(),
+                      TraceLog::RequestId(hdr.lock_id, hdr.txn_id));
+    }
     return;
   }
   const auto paused_it = paused_.find(hdr.lock_id);
@@ -368,6 +374,11 @@ void LockSwitch::HandleAcquire(const LockHeader& hdr, bool pushed) {
     SendToServer(hdr, entry->home_server, kFlagBufferOnly);
     ++stats_.forwarded_overflow;
     metrics_.q1_to_q2_forwards->Inc();
+    if (trace_->Sampled(hdr.lock_id, hdr.txn_id)) {
+      trace_->Instant(TraceTrack::kQueue, "queue.overflow_forward",
+                      net_.sim().now(),
+                      TraceLog::RequestId(hdr.lock_id, hdr.txn_id));
+    }
     return;
   }
   if (!pushed && chain_next_ != kInvalidNode) ChainForward(hdr, kFlagChained);
@@ -384,6 +395,17 @@ void LockSwitch::HandleAcquire(const LockHeader& hdr, bool pushed) {
   if (pushed) {
     ++stats_.pushes_accepted;
     metrics_.pushes_accepted->Inc();
+  }
+  if (trace_->Sampled(hdr.lock_id, hdr.txn_id)) {
+    const std::uint64_t id = TraceLog::RequestId(hdr.lock_id, hdr.txn_id);
+    const SimTime now = net_.sim().now();
+    const bool granted =
+        outcome.kind == AcquireDecision::Kind::kEnqueueGrant;
+    trace_->Complete(TraceTrack::kPipeline, "pipeline.acquire", now, now,
+                     id, {"passes", pass.pass_index() + 1},
+                     {"granted", granted ? 1u : 0u});
+    trace_->Instant(TraceTrack::kQueue, "queue.enqueue", now, id,
+                    {"slot", outcome.slot_index});
   }
   if (outcome.kind == AcquireDecision::Kind::kEnqueueGrant) {
     SendGrant(hdr);
@@ -447,10 +469,32 @@ void LockSwitch::HandleRelease(const LockHeader& hdr, bool lease_forced) {
     // the slot.
     ++stats_.stale_releases;
     metrics_.stale_releases->Inc();
+    if (trace_->Sampled(hdr.lock_id, hdr.txn_id)) {
+      trace_->Instant(TraceTrack::kPipeline, "pipeline.stale_release",
+                      net_.sim().now(),
+                      TraceLog::RequestId(hdr.lock_id, hdr.txn_id));
+    }
     return;
   }
   ++stats_.releases;
   metrics_.releases->Inc();
+
+  // Emitted at every exit below, once the grant cascade has finished, so
+  // the span's pass count covers the resubmit chain (local classes share
+  // the enclosing member function's access).
+  struct TraceOnExit {
+    LockSwitch* sw;
+    const LockHeader& hdr;
+    PacketPass& pass;
+    ~TraceOnExit() {
+      if (!sw->trace_->Sampled(hdr.lock_id, hdr.txn_id)) return;
+      const SimTime now = sw->net_.sim().now();
+      sw->trace_->Complete(TraceTrack::kPipeline, "pipeline.release", now,
+                           now,
+                           TraceLog::RequestId(hdr.lock_id, hdr.txn_id),
+                           {"passes", pass.pass_index() + 1});
+    }
+  } trace_on_exit{this, hdr, pass};
 
   // Algorithm 2 line 8: read the dequeued entry. We use it only to validate
   // the mode-matching argument above.
@@ -497,6 +541,13 @@ void LockSwitch::HandleRelease(const LockHeader& hdr, bool lease_forced) {
       });
 
   const auto grant_slot = [&](const QueueSlot& slot) {
+    // `slot` is the pre-restamp copy: its timestamp is the enqueue time,
+    // so the span is this waiter's full time in the shared queue.
+    if (trace_->Sampled(hdr.lock_id, slot.txn_id)) {
+      trace_->Complete(TraceTrack::kQueue, "queue.wait", slot.timestamp,
+                       net_.sim().now(),
+                       TraceLog::RequestId(hdr.lock_id, slot.txn_id));
+    }
     LockHeader grant;
     grant.lock_id = hdr.lock_id;
     grant.mode = slot.mode;
@@ -631,6 +682,11 @@ void LockSwitch::HandleAcquirePrio(const LockHeader& hdr) {
         return Outcome::kEnqueue;
       });
   if (outcome == Outcome::kGrant) {
+    if (trace_->Sampled(hdr.lock_id, hdr.txn_id)) {
+      trace_->Complete(TraceTrack::kPipeline, "pipeline.acquire", now, now,
+                       TraceLog::RequestId(hdr.lock_id, hdr.txn_id),
+                       {"passes", pass.pass_index() + 1}, {"granted", 1});
+    }
     SendGrant(hdr);
     return;
   }
@@ -640,6 +696,10 @@ void LockSwitch::HandleAcquirePrio(const LockHeader& hdr) {
     SendToServer(hdr, entry->home_server, kFlagBufferOnly);
     ++stats_.forwarded_overflow;
     metrics_.q1_to_q2_forwards->Inc();
+    if (trace_->Sampled(hdr.lock_id, hdr.txn_id)) {
+      trace_->Instant(TraceTrack::kQueue, "queue.overflow_forward", now,
+                      TraceLog::RequestId(hdr.lock_id, hdr.txn_id));
+    }
     return;
   }
   metrics_.queued->Inc();
@@ -667,6 +727,14 @@ void LockSwitch::HandleAcquirePrio(const LockHeader& hdr) {
   slot.tenant = hdr.tenant;
   slot.timestamp = now;
   queue_->Write(pass, slot_index, slot);
+  if (trace_->Sampled(hdr.lock_id, hdr.txn_id)) {
+    const std::uint64_t id = TraceLog::RequestId(hdr.lock_id, hdr.txn_id);
+    trace_->Complete(TraceTrack::kPipeline, "pipeline.acquire", now, now,
+                     id, {"passes", pass.pass_index() + 1},
+                     {"granted", 0});
+    trace_->Instant(TraceTrack::kQueue, "queue.enqueue", now, id,
+                    {"slot", slot_index}, {"priority", p});
+  }
 }
 
 void LockSwitch::HandleReleasePrio(const LockHeader& hdr,
@@ -774,6 +842,12 @@ void LockSwitch::GrantChainPrio(const SwitchLockEntry& entry,
           return copy;
         });
     NETLOCK_DCHECK(slot.mode == pop_mode);
+    // `slot` is the pre-restamp copy: timestamp = enqueue time.
+    if (trace_->Sampled(entry.lock_id, slot.txn_id)) {
+      trace_->Complete(TraceTrack::kQueue, "queue.wait", slot.timestamp,
+                       now, TraceLog::RequestId(entry.lock_id, slot.txn_id),
+                       {"priority", pop_prio});
+    }
     LockHeader grant;
     grant.lock_id = entry.lock_id;
     grant.mode = slot.mode;

@@ -251,6 +251,7 @@ class LockSwitch {
   LockSwitchConfig config_;
   NodeId node_;
   Pipeline pipeline_;
+  TraceLog* trace_;  ///< Request-lifecycle tracing (resolved once).
 
   // Register arrays. Default path stage layout: 0 = quota + boundaries,
   // 1 = per-lock queue metadata, 2.. = the pooled shared-queue arrays.

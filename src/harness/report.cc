@@ -2,9 +2,12 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+
+#include "common/tracelog.h"
 
 namespace netlock {
 
@@ -75,6 +78,18 @@ void PrintRunSummary(const std::string& label, const RunMetrics& metrics) {
 
 // --- Machine-readable bench output -------------------------------------
 
+namespace {
+
+/// Accepts "1/N" (the documented spelling: sample one request in N) or a
+/// bare "N". Anything unparseable falls back to 1 (trace everything).
+std::uint32_t ParseSampleSpec(const char* spec) {
+  if (std::strncmp(spec, "1/", 2) == 0) spec += 2;
+  const long n = std::strtol(spec, nullptr, 10);
+  return n > 1 ? static_cast<std::uint32_t>(n) : 1;
+}
+
+}  // namespace
+
 BenchOptions ParseBenchOptions(int argc, char** argv) {
   BenchOptions opts;
   for (int i = 1; i < argc; ++i) {
@@ -85,6 +100,12 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
       opts.json_dir = arg + 11;
     } else if (std::strcmp(arg, "--json-dir") == 0 && i + 1 < argc) {
       opts.json_dir = argv[++i];
+    } else if (std::strncmp(arg, "--trace-dir=", 12) == 0) {
+      opts.trace_dir = arg + 12;
+    } else if (std::strcmp(arg, "--trace-dir") == 0 && i + 1 < argc) {
+      opts.trace_dir = argv[++i];
+    } else if (std::strncmp(arg, "--trace-sample=", 15) == 0) {
+      opts.trace_sample = ParseSampleSpec(arg + 15);
     }
     // Unknown flags are ignored: wrappers (ctest, benchmark harnesses)
     // append their own and benches must not die on them.
@@ -139,7 +160,11 @@ void FillLatency(BenchRun& run, const LatencyRecorder& latency) {
 }
 
 BenchReport::BenchReport(std::string bench_name, BenchOptions options)
-    : bench_name_(std::move(bench_name)), options_(std::move(options)) {}
+    : bench_name_(std::move(bench_name)), options_(std::move(options)) {
+  if (!options_.trace_dir.empty()) {
+    TraceLog::Global().Enable(options_.trace_sample);
+  }
+}
 
 BenchRun& BenchReport::AddRun(std::string label) {
   runs_.emplace_back();
@@ -170,6 +195,22 @@ BenchRun& BenchReport::AddRun(std::string label, double throughput_mrps,
   return run;
 }
 
+void BenchReport::AttachTimeSeries(const TimeSeriesSampler& sampler) {
+  for (std::size_t s = 0; s < sampler.num_series(); ++s) {
+    SeriesDump dump;
+    dump.name = sampler.series_name(s);
+    dump.is_rate = sampler.series_is_rate(s);
+    dump.interval_ns = sampler.interval();
+    dump.t_s.reserve(sampler.num_buckets());
+    dump.values.reserve(sampler.num_buckets());
+    for (std::size_t b = 0; b < sampler.num_buckets(); ++b) {
+      dump.t_s.push_back(sampler.BucketTimeSeconds(b));
+      dump.values.push_back(sampler.Value(s, b));
+    }
+    time_series_.push_back(std::move(dump));
+  }
+}
+
 std::string BenchReport::ToJson() const {
   std::ostringstream out;
   out << "{\n";
@@ -194,6 +235,26 @@ std::string BenchReport::ToJson() const {
     out << "}" << (i + 1 < runs_.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
+  if (!time_series_.empty()) {
+    out << "  \"time_series\": [\n";
+    for (std::size_t s = 0; s < time_series_.size(); ++s) {
+      const SeriesDump& dump = time_series_[s];
+      out << "    {\"name\": \"" << JsonEscape(dump.name) << "\", "
+          << "\"kind\": \"" << (dump.is_rate ? "rate_per_sec" : "level")
+          << "\", "
+          << "\"interval_ns\": " << dump.interval_ns << ",\n"
+          << "     \"t_s\": [";
+      for (std::size_t b = 0; b < dump.t_s.size(); ++b) {
+        out << (b > 0 ? ", " : "") << JsonNumber(dump.t_s[b]);
+      }
+      out << "],\n     \"values\": [";
+      for (std::size_t b = 0; b < dump.values.size(); ++b) {
+        out << (b > 0 ? ", " : "") << JsonNumber(dump.values[b]);
+      }
+      out << "]}" << (s + 1 < time_series_.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+  }
   out << "  \"metrics\": {\n";
   const std::vector<MetricSample> samples =
       MetricsRegistry::Global().Snapshot();
@@ -223,6 +284,14 @@ bool BenchReport::Write() const {
     return false;
   }
   std::printf("[report] wrote %s\n", path.c_str());
+  if (!options_.trace_dir.empty()) {
+    const std::string trace_path =
+        options_.trace_dir + "/TRACE_" + bench_name_ + ".json";
+    if (!TraceLog::Global().WriteTo(trace_path)) return false;
+    std::printf("[report] wrote %s (%zu events, %llu dropped)\n",
+                trace_path.c_str(), TraceLog::Global().size(),
+                static_cast<unsigned long long>(TraceLog::Global().dropped()));
+  }
   return true;
 }
 

@@ -10,6 +10,7 @@
 
 #include "common/metrics.h"
 #include "common/stats.h"
+#include "harness/sampler.h"
 
 namespace netlock {
 
@@ -47,10 +48,18 @@ void PrintRunSummary(const std::string& label, const RunMetrics& metrics);
 struct BenchOptions {
   bool quick = false;       ///< Reduced sweeps/durations for CI.
   std::string json_dir = ".";  ///< Where BENCH_<name>.json is written.
+  /// Request-lifecycle tracing: empty = disabled (the default; tracing off
+  /// must not perturb bench numbers). Non-empty = record and write
+  /// TRACE_<name>.json into this directory.
+  std::string trace_dir;
+  /// Record ~1/N of requests (`--trace-sample=1/N`); 1 = every request.
+  std::uint32_t trace_sample = 1;
 };
 
-/// Parses `--quick`, `--json-dir=DIR` (or `--json-dir DIR`) and ignores
-/// anything else, so benches keep working under wrappers that add flags.
+/// Parses `--quick`, `--json-dir=DIR` (or `--json-dir DIR`),
+/// `--trace-dir=DIR` (or `--trace-dir DIR`) and `--trace-sample=1/N` (or
+/// `=N`), and ignores anything else, so benches keep working under
+/// wrappers that add flags.
 BenchOptions ParseBenchOptions(int argc, char** argv);
 
 /// One measured configuration within a bench (a table row / curve point).
@@ -72,7 +81,14 @@ struct BenchRun {
 ///     "runs": [ {"label": ..., "throughput_mrps": ..., "txn_mtps": ...,
 ///                "latency_ns": {"mean","p50","p99","p999"},
 ///                "samples": ..., <extra scalars inline> } ... ],
+///     "time_series": [ {"name": ..., "kind": "rate_per_sec"|"level",
+///                       "interval_ns": ..., "t_s": [...],
+///                       "values": [...]} ... ],   // when attached
 ///     "metrics": { "<registry name>": <value>, ... } }
+///
+/// Constructing a report with options().trace_dir set enables the global
+/// TraceLog at the requested sampling rate; Write() then also dumps
+/// TRACE_<name>.json next to the bench JSON.
 class BenchReport {
  public:
   BenchReport(std::string bench_name, BenchOptions options);
@@ -90,6 +106,10 @@ class BenchReport {
   BenchRun& AddRun(std::string label, double throughput_mrps,
                    const LatencyRecorder& latency);
 
+  /// Copies the sampler's buckets into the report's "time_series" section.
+  /// Call after the run completes (the sampler is not referenced later).
+  void AttachTimeSeries(const TimeSeriesSampler& sampler);
+
   std::string ToJson() const;
 
   /// Writes BENCH_<name>.json into options().json_dir (the registry dump
@@ -98,9 +118,18 @@ class BenchReport {
   bool Write() const;
 
  private:
+  struct SeriesDump {
+    std::string name;
+    bool is_rate = false;
+    SimTime interval_ns = 0;
+    std::vector<double> t_s;
+    std::vector<double> values;
+  };
+
   std::string bench_name_;
   BenchOptions options_;
   std::vector<BenchRun> runs_;
+  std::vector<SeriesDump> time_series_;
 };
 
 /// Fills the latency fields of `run` from a recorder.

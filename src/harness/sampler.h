@@ -1,0 +1,95 @@
+// Time-series sampling of registry instruments.
+//
+// The bench reports historically captured only end-of-run totals, which
+// hides everything Figure 15 is about: throughput collapsing at the
+// failure instant and recovering after failover. A TimeSeriesSampler
+// closes that gap by snapshotting selected MetricsRegistry counters and
+// gauges every `interval` simulated nanoseconds, turning the registry's
+// monotonic totals into per-bucket rates (events/second) and gauge levels
+// over time. Benches embed the result as a "time_series" section of
+// BENCH_<name>.json via BenchReport::AttachTimeSeries.
+//
+// The sampler is itself a simulation actor: Start(horizon) takes the
+// baseline snapshot at now() and schedules one tick per interval up to and
+// including the horizon, so a run with Simulator::Run() still drains (the
+// sampler never self-reschedules past the horizon).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace netlock {
+
+class TimeSeriesSampler {
+ public:
+  TimeSeriesSampler(Simulator& sim, SimTime interval);
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+  /// Tracks a counter: each bucket reports the delta over the bucket
+  /// (Delta) and the corresponding rate in events/second (Value).
+  void Watch(const std::string& counter_name);
+
+  /// Tracks a gauge: each bucket reports the level at the bucket's end.
+  void WatchGauge(const std::string& gauge_name);
+
+  /// Takes the baseline snapshot at now() and schedules ticks at
+  /// now()+interval, now()+2*interval, ... while tick time <= now()+horizon.
+  /// Call after all Watch()es and before Simulator::Run().
+  void Start(SimTime horizon);
+
+  /// Stops sampling early: ticks already scheduled become no-ops.
+  void Stop() { stopped_ = true; }
+
+  SimTime interval() const { return interval_; }
+  std::size_t num_series() const { return series_.size(); }
+  std::size_t num_buckets() const {
+    return series_.empty() ? 0 : series_.front().deltas.size();
+  }
+
+  const std::string& series_name(std::size_t s) const {
+    return series_[s].name;
+  }
+  bool series_is_rate(std::size_t s) const { return series_[s].is_rate; }
+
+  /// Midpoint of bucket `b` in seconds since Start() — the natural x
+  /// coordinate when plotting rate buckets.
+  double BucketTimeSeconds(std::size_t b) const;
+
+  /// Rate series: events/second over the bucket. Gauge series: the level
+  /// sampled at the end of the bucket.
+  double Value(std::size_t s, std::size_t b) const;
+
+  /// Raw per-bucket count delta (rate series) or end-of-bucket level
+  /// (gauge series).
+  std::uint64_t Delta(std::size_t s, std::size_t b) const {
+    return series_[s].deltas[b];
+  }
+
+ private:
+  struct Series {
+    std::string name;
+    bool is_rate = false;            ///< Counter (rate) vs gauge (level).
+    const MetricCounter* counter = nullptr;
+    const MetricGauge* gauge = nullptr;
+    std::uint64_t last = 0;          ///< Counter value at last tick.
+    std::vector<std::uint64_t> deltas;
+  };
+
+  void Tick();
+
+  Simulator& sim_;
+  SimTime interval_;
+  SimTime start_time_ = 0;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::vector<Series> series_;
+};
+
+}  // namespace netlock

@@ -1,0 +1,77 @@
+#include "harness/trace_analysis.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "harness/report.h"
+
+namespace netlock {
+
+namespace {
+
+void Accumulate(StageStats& stats, SimTime dur) {
+  ++stats.count;
+  stats.total_ns += dur;
+  if (dur > stats.max_ns) stats.max_ns = dur;
+}
+
+bool NameIs(const TraceEvent& ev, const char* name) {
+  return ev.name != nullptr && std::strcmp(ev.name, name) == 0;
+}
+
+}  // namespace
+
+TraceBreakdown ComputeBreakdown(const TraceLog& log) {
+  TraceBreakdown bd;
+  std::uint64_t passes_total = 0;
+  for (const TraceEvent& ev : log.events()) {
+    if (ev.phase == 'X' && ev.track == TraceTrack::kNetwork) {
+      // All wire.* spans regardless of op: the wire share of the RTT is
+      // the sum over every hop the request's packets take.
+      Accumulate(bd.wire, ev.dur);
+      continue;
+    }
+    if (ev.phase != 'X') {
+      continue;
+    }
+    if (NameIs(ev, "client.acquire_rtt")) {
+      Accumulate(bd.rtt, ev.dur);
+    } else if (NameIs(ev, "queue.wait") || NameIs(ev, "server.queue_wait")) {
+      Accumulate(bd.queue_wait, ev.dur);
+    } else if (NameIs(ev, "server.service")) {
+      Accumulate(bd.server_service, ev.dur);
+    } else if (NameIs(ev, "pipeline.acquire")) {
+      ++bd.acquires;
+      // arg0 is {"passes", n} (see switch_dataplane.cc).
+      if (ev.arg0.key != nullptr &&
+          std::strcmp(ev.arg0.key, "passes") == 0) {
+        passes_total += ev.arg0.value;
+      }
+    }
+  }
+  if (bd.acquires > 0) {
+    bd.pipeline_passes_mean = static_cast<double>(passes_total) /
+                              static_cast<double>(bd.acquires);
+  }
+  return bd;
+}
+
+void PrintBreakdown(const std::string& label, const TraceBreakdown& bd) {
+  std::printf("\n-- Acquire latency breakdown: %s --\n", label.c_str());
+  Table table({"stage", "spans", "mean", "max"});
+  auto row = [&table](const char* stage, const StageStats& s) {
+    table.AddRow({stage, std::to_string(s.count),
+                  FormatNanos(static_cast<SimTime>(s.MeanNs())),
+                  FormatNanos(s.max_ns)});
+  };
+  row("client RTT", bd.rtt);
+  row("wire (per hop)", bd.wire);
+  row("queue wait", bd.queue_wait);
+  row("server service", bd.server_service);
+  table.Print();
+  std::printf("pipeline passes/acquire: %.3f over %llu acquires\n",
+              bd.pipeline_passes_mean,
+              static_cast<unsigned long long>(bd.acquires));
+}
+
+}  // namespace netlock

@@ -1,0 +1,49 @@
+// Per-stage latency breakdown computed from a recorded trace.
+//
+// The client-observed acquire RTT decomposes into time on the wire, switch
+// pipeline passes, waiting in the shared queue (on-switch slots or the
+// lock server's overflow queue), and lock-server service. This module
+// aggregates a TraceLog's spans per stage so bench/micro_components can
+// print the decomposition and dump it into BENCH_micro_components.json —
+// the simulated counterpart of the paper's Table "where does the time go".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/tracelog.h"
+
+namespace netlock {
+
+/// Aggregate over all spans of one stage.
+struct StageStats {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  SimTime max_ns = 0;
+
+  double MeanNs() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(total_ns) /
+                            static_cast<double>(count);
+  }
+};
+
+/// The per-stage decomposition of the request path.
+struct TraceBreakdown {
+  StageStats rtt;             ///< client.acquire_rtt (end-to-end).
+  StageStats wire;            ///< network wire.* spans (all hops).
+  StageStats queue_wait;      ///< queue.wait + server.queue_wait.
+  StageStats server_service;  ///< server.service.
+  /// Mean switch pipeline passes per acquire (1 = no resubmit).
+  double pipeline_passes_mean = 0.0;
+  std::uint64_t acquires = 0;  ///< pipeline.acquire events seen.
+};
+
+/// Scans the log's events and aggregates per stage. Cheap relative to the
+/// run itself (single linear pass).
+TraceBreakdown ComputeBreakdown(const TraceLog& log);
+
+/// Prints the decomposition as an aligned table with a `label` banner row.
+void PrintBreakdown(const std::string& label, const TraceBreakdown& bd);
+
+}  // namespace netlock

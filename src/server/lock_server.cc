@@ -7,7 +7,7 @@
 namespace netlock {
 
 LockServer::LockServer(Network& net, LockServerConfig config)
-    : net_(net), config_(config) {
+    : net_(net), config_(config), trace_(&TraceLog::Global()) {
   NETLOCK_CHECK(config_.cores >= 1);
   MetricsRegistry& reg = MetricsRegistry::Global();
   metrics_.grants = &reg.Counter("server.grants");
@@ -45,6 +45,18 @@ void LockServer::OnPacket(const Packet& pkt) {
   if (!hdr) return;
   // Dispatch to the RSS core; processing happens after the CPU service time.
   const int core = CoreFor(hdr->lock_id);
+  if (trace_->Sampled(hdr->lock_id, hdr->txn_id)) {
+    // The service span is fully determined at submit time: the core works
+    // FIFO at a fixed per-request service time (see ServiceQueue).
+    const SimTime now = net_.sim().now();
+    const SimTime busy = cores_[core]->busy_until();
+    const SimTime start = busy > now ? busy : now;
+    trace_->Complete(TraceTrack::kServer, "server.service", start,
+                     start + config_.per_request_service,
+                     TraceLog::RequestId(hdr->lock_id, hdr->txn_id),
+                     {"core", static_cast<std::uint64_t>(core)},
+                     {"core_wait", start - now});
+  }
   cores_[core]->Submit([this, hdr = *hdr]() { Process(hdr); });
 }
 
@@ -128,9 +140,17 @@ void LockServer::ProcessOwnedRelease(const LockHeader& hdr,
   }
   if (lock.queue.empty()) return;
   // Same four-case cascade as the switch (Algorithm 2). Grants re-stamp
-  // the entry so the lease measures holding time, not queueing time.
+  // the entry so the lease measures holding time, not queueing time; the
+  // wait span is emitted before the re-stamp erases the enqueue time.
+  const auto trace_wait = [this](LockId id, const QueueSlot& slot) {
+    if (!trace_->Sampled(id, slot.txn_id)) return;
+    trace_->Complete(TraceTrack::kServer, "server.queue_wait",
+                     slot.timestamp, net_.sim().now(),
+                     TraceLog::RequestId(id, slot.txn_id));
+  };
   QueueSlot& head = lock.queue.front();
   if (head.mode == LockMode::kExclusive) {
+    trace_wait(hdr.lock_id, head);
     head.timestamp = net_.sim().now();
     Grant(hdr.lock_id, head);  // S->E and E->E.
     return;
@@ -139,6 +159,7 @@ void LockServer::ProcessOwnedRelease(const LockHeader& hdr,
   // E->S: grant consecutive shared requests.
   for (QueueSlot& slot : lock.queue) {
     if (slot.mode == LockMode::kExclusive) break;
+    trace_wait(hdr.lock_id, slot);
     slot.timestamp = net_.sim().now();
     Grant(hdr.lock_id, slot);
   }
@@ -155,6 +176,12 @@ void LockServer::ProcessBufferOnly(const LockHeader& hdr) {
   ++stats_.buffered;
   metrics_.buffered->Inc();
   AdjustQ2Depth(+1);
+  if (trace_->Sampled(hdr.lock_id, hdr.txn_id)) {
+    trace_->Instant(TraceTrack::kServer, "server.q2_buffer",
+                    net_.sim().now(),
+                    TraceLog::RequestId(hdr.lock_id, hdr.txn_id),
+                    {"depth", q2_[hdr.lock_id].size()});
+  }
 }
 
 void LockServer::ProcessQueueEmpty(const LockHeader& hdr) {
@@ -174,6 +201,11 @@ void LockServer::ProcessQueueEmpty(const LockHeader& hdr) {
     push.client_node = slot.client_node;
     push.tenant = slot.tenant;
     push.timestamp = slot.timestamp;
+    if (trace_->Sampled(hdr.lock_id, slot.txn_id)) {
+      trace_->Instant(TraceTrack::kServer, "server.q2_push",
+                      net_.sim().now(),
+                      TraceLog::RequestId(hdr.lock_id, slot.txn_id));
+    }
     net_.Send(MakeLockPacket(node_, switch_node_, push));
     q2.pop_front();
     ++stats_.pushes_sent;

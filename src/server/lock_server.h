@@ -160,6 +160,7 @@ class LockServer {
   Network& net_;
   LockServerConfig config_;
   NodeId node_;
+  TraceLog* trace_;  ///< Request-lifecycle tracing (resolved once).
   NodeId switch_node_ = kInvalidNode;
   std::vector<std::unique_ptr<ServiceQueue>> cores_;
   std::unordered_map<LockId, OwnedLock> owned_;

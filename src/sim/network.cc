@@ -1,8 +1,46 @@
 #include "sim/network.h"
 
 #include "common/random.h"
+// A .cc-only dependency on the lock wire format: wire spans carry the
+// request id (lock, txn) that correlates them with the other stages'
+// events. Non-lock packets simply get no span.
+#include "net/lock_wire.h"
 
 namespace netlock {
+
+namespace {
+
+const char* WireSpanName(LockOp op) {
+  switch (op) {
+    case LockOp::kAcquire: return "wire.acquire";
+    case LockOp::kRelease: return "wire.release";
+    case LockOp::kGrant: return "wire.grant";
+    case LockOp::kReject: return "wire.reject";
+    case LockOp::kQueueEmpty: return "wire.queue_empty";
+    case LockOp::kPush: return "wire.push";
+    case LockOp::kSyncState: return "wire.sync_state";
+    case LockOp::kFetch: return "wire.fetch";
+    case LockOp::kData: return "wire.data";
+  }
+  return "wire.unknown";
+}
+
+}  // namespace
+
+void Network::TracePacket(const Packet& pkt, SimTime latency,
+                          bool dropped) const {
+  const std::optional<LockHeader> hdr = LockHeader::Parse(pkt);
+  if (!hdr || !trace_->Sampled(hdr->lock_id, hdr->txn_id)) return;
+  const std::uint64_t id = TraceLog::RequestId(hdr->lock_id, hdr->txn_id);
+  const SimTime now = sim_.now();
+  if (dropped) {
+    trace_->Instant(TraceTrack::kNetwork, "wire.drop", now, id,
+                    {"dst", pkt.dst});
+    return;
+  }
+  trace_->Complete(TraceTrack::kNetwork, WireSpanName(hdr->op), now,
+                   now + latency, id, {"src", pkt.src}, {"dst", pkt.dst});
+}
 
 NodeId Network::AddNode(PacketHandler handler) {
   handlers_.push_back(std::move(handler));
@@ -40,10 +78,12 @@ void Network::Send(Packet pkt) {
     if (u < loss_probability_) {
       ++packets_dropped_;
       dropped_metric_->Inc();
+      if (trace_->enabled()) TracePacket(pkt, 0, /*dropped=*/true);
       return;
     }
   }
   const SimTime latency = LatencyBetween(pkt.src, pkt.dst);
+  if (trace_->enabled()) TracePacket(pkt, latency, /*dropped=*/false);
   sim_.Schedule(latency, [this, pkt = std::move(pkt)]() {
     auto& handler = handlers_[pkt.dst];
     NETLOCK_CHECK(handler != nullptr);

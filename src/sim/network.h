@@ -17,6 +17,7 @@
 
 #include "common/check.h"
 #include "common/metrics.h"
+#include "common/tracelog.h"
 #include "common/types.h"
 #include "sim/simulator.h"
 
@@ -65,7 +66,8 @@ class Network {
         default_latency_(default_one_way_latency),
         packets_metric_(&MetricsRegistry::Global().Counter("net.packets")),
         bytes_metric_(&MetricsRegistry::Global().Counter("net.bytes")),
-        dropped_metric_(&MetricsRegistry::Global().Counter("net.dropped")) {}
+        dropped_metric_(&MetricsRegistry::Global().Counter("net.dropped")),
+        trace_(&TraceLog::Global()) {}
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -102,6 +104,9 @@ class Network {
     return (static_cast<std::uint64_t>(a) << 32) | b;
   }
 
+  /// Records a wire span (or drop) for a lock packet when tracing is on.
+  void TracePacket(const Packet& pkt, SimTime latency, bool dropped) const;
+
   Simulator& sim_;
   SimTime default_latency_;
   std::vector<PacketHandler> handlers_;
@@ -113,6 +118,7 @@ class Network {
   MetricCounter* packets_metric_;
   MetricCounter* bytes_metric_;
   MetricCounter* dropped_metric_;
+  TraceLog* trace_;
 };
 
 }  // namespace netlock

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 
 #include "common/metrics.h"
 
@@ -99,6 +100,47 @@ TEST(MetricsRegistryTest, ResetZeroesValuesKeepsInstruments) {
   // reporting into the registry.
   c.Inc();
   EXPECT_EQ(registry.Counter("x.count").value(), 1u);
+}
+
+TEST(MetricsRegistryTest, GaugeAddClampsAtZero) {
+  // Regression: a negative delta larger than the current value used to
+  // wrap to a huge uint64 and poison the high-water mark; it must clamp
+  // at zero instead.
+  MetricsRegistry registry;
+  MetricGauge& g = registry.Gauge("q.underflow");
+  g.Set(3);
+  g.Add(-10);
+  EXPECT_EQ(g.value(), 0u);
+  EXPECT_EQ(g.high_water(), 3u);
+  // Subsequent sets still track the high-water mark correctly.
+  g.Set(5);
+  EXPECT_EQ(g.high_water(), 5u);
+  // The INT64_MIN edge (negation would overflow a signed 64-bit).
+  g.Add(std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(g.value(), 0u);
+  EXPECT_EQ(g.high_water(), 5u);
+}
+
+TEST(MetricsRegistryTest, ResetClearsHighWaterAndKeepsReferences) {
+  MetricsRegistry registry;
+  MetricCounter& c = registry.Counter("r.count");
+  MetricGauge& g = registry.Gauge("r.depth");
+  c.Inc(100);
+  g.Set(50);
+  g.Set(2);
+  ASSERT_EQ(g.high_water(), 50u);
+  registry.Reset();
+  EXPECT_EQ(g.value(), 0u);
+  EXPECT_EQ(g.high_water(), 0u);
+  // Instruments resolved before Reset stay valid and keep reporting into
+  // the same registry entries (components cache the address once).
+  c.Inc(3);
+  g.Set(7);
+  EXPECT_EQ(&c, &registry.Counter("r.count"));
+  EXPECT_EQ(&g, &registry.Gauge("r.depth"));
+  EXPECT_EQ(registry.Counter("r.count").value(), 3u);
+  EXPECT_EQ(registry.Gauge("r.depth").value(), 7u);
+  EXPECT_EQ(registry.Gauge("r.depth").high_water(), 7u);
 }
 
 TEST(MetricsRegistryTest, GlobalIsSingleton) {
