@@ -6,6 +6,11 @@
 //  (b) Throughput vs slots for knapsack vs random allocation: knapsack
 //      reaches peak throughput with a few thousand slots; random wastes
 //      memory on unpopular locks and barely improves.
+//
+// Each (slots, think, allocator) point is an independent simulation, so the
+// sweep runs on ParallelSweep: with --jobs=N the points execute on N worker
+// threads, each in its own SimContext, and metrics merge back in task order
+// — the report is byte-identical to a serial run (wall-clock fields aside).
 #include <cstdio>
 
 #include "harness/experiment.h"
@@ -16,8 +21,9 @@ namespace netlock {
 namespace {
 
 RunMetrics RunOne(std::uint32_t slots, SimTime think_time, bool random_alloc,
-                  bool quick) {
+                  bool quick, SimContext& context) {
   TestbedConfig config;
+  config.context = &context;
   config.system = SystemKind::kNetLock;
   // Same server-bound regime as Figure 13 (paper-equivalent ~5:1 client
   // oversubscription of the lock servers).
@@ -50,6 +56,29 @@ RunMetrics RunOne(std::uint32_t slots, SimTime think_time, bool random_alloc,
   return m;
 }
 
+struct SweepPoint {
+  std::string run_name;   // Report key, e.g. "a/slots=1000/think=5us".
+  std::uint32_t slots;
+  SimTime think;
+  bool random_alloc;
+  RunMetrics metrics;     // Filled by the sweep.
+};
+
+/// Runs every point (possibly on report.options().jobs threads) and then
+/// records them into the report in declaration order, keeping the JSON
+/// deterministic regardless of scheduling.
+void RunSweep(std::vector<SweepPoint>& points, BenchReport& report,
+              bool quick) {
+  ParallelSweep(static_cast<int>(points.size()), report.options().jobs,
+                [&](int i, SimContext& context) {
+                  SweepPoint& p = points[static_cast<std::size_t>(i)];
+                  std::fprintf(stderr, "  fig14 %s...\n", p.run_name.c_str());
+                  p.metrics =
+                      RunOne(p.slots, p.think, p.random_alloc, quick, context);
+                });
+  for (const SweepPoint& p : points) report.AddRun(p.run_name, p.metrics);
+}
+
 }  // namespace
 }  // namespace netlock
 
@@ -71,15 +100,22 @@ int main(int argc, char** argv) {
         {"think=5us", 5 * kMicrosecond},
         {"think=10us", 10 * kMicrosecond},
         {"think=100us", 100 * kMicrosecond}};
+    std::vector<SweepPoint> points;
+    for (const std::uint32_t slots : slot_points) {
+      for (const auto& [name, think] : thinks) {
+        points.push_back(SweepPoint{
+            "a/slots=" + std::to_string(slots) + "/" + name, slots, think,
+            /*random_alloc=*/false, RunMetrics{}});
+      }
+    }
+    RunSweep(points, report, quick);
     Table table({"slots", "think=0us", "think=5us", "think=10us",
                  "think=100us"});
+    std::size_t next = 0;
     for (const std::uint32_t slots : slot_points) {
-      std::fprintf(stderr, "  fig14a slots=%u...\n", slots);
       std::vector<std::string> row{std::to_string(slots)};
-      for (const auto& [name, think] : thinks) {
-        const RunMetrics m = RunOne(slots, think, false, quick);
-        row.push_back(Fmt(m.LockThroughputMrps(), 2));
-        report.AddRun("a/slots=" + std::to_string(slots) + "/" + name, m);
+      for (std::size_t t = 0; t < thinks.size(); ++t) {
+        row.push_back(Fmt(points[next++].metrics.LockThroughputMrps(), 2));
       }
       table.AddRow(std::move(row));
     }
@@ -92,18 +128,23 @@ int main(int argc, char** argv) {
         quick ? std::vector<std::uint32_t>{0, 3000, 20000}
               : std::vector<std::uint32_t>{0,     1000,  3000, 5000,
                                            10000, 20000, 40000};
-    Table table({"slots", "knapsack", "random"});
+    std::vector<SweepPoint> points;
     for (const std::uint32_t slots : slot_points) {
-      std::fprintf(stderr, "  fig14b slots=%u...\n", slots);
-      const RunMetrics knapsack =
-          RunOne(slots, 10 * kMicrosecond, false, quick);
-      const RunMetrics random = RunOne(slots, 10 * kMicrosecond, true, quick);
-      table.AddRow({std::to_string(slots),
-                    Fmt(knapsack.LockThroughputMrps(), 2),
-                    Fmt(random.LockThroughputMrps(), 2)});
-      report.AddRun("b/slots=" + std::to_string(slots) + "/knapsack",
-                    knapsack);
-      report.AddRun("b/slots=" + std::to_string(slots) + "/random", random);
+      points.push_back(SweepPoint{"b/slots=" + std::to_string(slots) +
+                                      "/knapsack",
+                                  slots, 10 * kMicrosecond,
+                                  /*random_alloc=*/false, RunMetrics{}});
+      points.push_back(SweepPoint{"b/slots=" + std::to_string(slots) +
+                                      "/random",
+                                  slots, 10 * kMicrosecond,
+                                  /*random_alloc=*/true, RunMetrics{}});
+    }
+    RunSweep(points, report, quick);
+    Table table({"slots", "knapsack", "random"});
+    for (std::size_t i = 0; i < points.size(); i += 2) {
+      table.AddRow({std::to_string(points[i].slots),
+                    Fmt(points[i].metrics.LockThroughputMrps(), 2),
+                    Fmt(points[i + 1].metrics.LockThroughputMrps(), 2)});
     }
     table.Print();
   }

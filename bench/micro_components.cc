@@ -10,6 +10,7 @@
 // server service) computed from the recorded spans.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -51,8 +52,14 @@ void BM_LockHeaderParse(benchmark::State& state) {
 }
 BENCHMARK(BM_LockHeaderParse);
 
+// The google-benchmark loops run a wall-clock-adaptive number of
+// iterations, so each gets an isolated SimContext: their telemetry must
+// not leak into the report's registry dump, which stays byte-identical
+// across runs (only fixed-iteration scenarios report globally).
+
 void BM_EventQueuePushPop(benchmark::State& state) {
-  Simulator sim;
+  SimContext context;
+  Simulator sim(&context);
   std::uint64_t t = 0;
   for (auto _ : state) {
     sim.Schedule((t++ % 64), []() {});
@@ -61,8 +68,62 @@ void BM_EventQueuePushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueuePushPop);
 
+/// A callable padded to N bytes; models event closures of varying capture
+/// size (tiny timer lambdas up to full packet-delivery closures).
+template <std::size_t N>
+struct SizedEvent {
+  std::uint64_t* sink;
+  unsigned char pad[N - sizeof(std::uint64_t*)] = {};
+  void operator()() const { ++*sink; }
+};
+
+/// Push/pop with a round-robin mix of event sizes — the arena must stay
+/// allocation-free across all of them (every size fits kInlineCapacity).
+void BM_EventQueueMixedSizes(benchmark::State& state) {
+  SimContext context;
+  Simulator sim(&context);
+  std::uint64_t sink = 0;
+  std::uint64_t t = 0;
+  for (auto _ : state) {
+    switch (t & 3) {
+      case 0: sim.Schedule(t % 64, SizedEvent<16>{&sink}); break;
+      case 1: sim.Schedule(t % 64, SizedEvent<48>{&sink}); break;
+      case 2: sim.Schedule(t % 64, SizedEvent<88>{&sink}); break;
+      default: sim.Schedule(t % 64, SizedEvent<104>{&sink}); break;
+    }
+    sim.Step();
+    ++t;
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueMixedSizes);
+
+/// The simulator's hottest real path: Network::Send scheduling a packet
+/// delivery (80-byte Packet + pointer, stored inline in the event arena)
+/// and the event loop delivering it.
+void BM_EventQueuePacketDelivery(benchmark::State& state) {
+  SimContext context;
+  Simulator sim(&context);
+  Network net(sim, /*default_one_way_latency=*/1000);
+  std::uint64_t delivered = 0;
+  const NodeId receiver = net.AddNode([&](const Packet&) { ++delivered; });
+  const NodeId sender = net.AddNode([](const Packet&) {});
+  Packet pkt;
+  pkt.src = sender;
+  pkt.dst = receiver;
+  pkt.set_size(32);
+  for (auto _ : state) {
+    net.Send(pkt);
+    sim.Step();
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueuePacketDelivery);
+
 void BM_SwitchAcquireRelease(benchmark::State& state) {
-  Simulator sim;
+  SimContext context;
+  Simulator sim(&context);
   Network net(sim, 1000);
   LockSwitchConfig config;
   config.queue_capacity = 1024;
@@ -172,6 +233,46 @@ void RunLatencyBreakdown(BenchReport& report) {
   if (!keep_trace) log.Clear();
 }
 
+/// Measures steady-state packet-delivery throughput of the event loop with
+/// a fixed iteration count and records events/sec plus the heap-fallback
+/// delta in the JSON report. This is the number the acceptance gate and the
+/// simulator-performance section of EXPERIMENTS.md track: the loop must be
+/// allocation-free (fallback delta 0) and fast.
+void RecordEventThroughput(BenchReport& report, bool quick) {
+  Simulator sim;
+  Network net(sim, /*default_one_way_latency=*/1000);
+  std::uint64_t delivered = 0;
+  const NodeId receiver = net.AddNode([&](const Packet&) { ++delivered; });
+  const NodeId sender = net.AddNode([](const Packet&) {});
+  Packet pkt;
+  pkt.src = sender;
+  pkt.dst = receiver;
+  pkt.set_size(32);
+  const std::uint64_t fallbacks_before = InlineEvent::heap_fallbacks();
+  const std::uint64_t iters = quick ? 2'000'000 : 8'000'000;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    net.Send(pkt);
+    sim.Step();
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const double events_per_sec =
+      secs > 0.0 ? static_cast<double>(iters) / secs : 0.0;
+  const double fallback_delta = static_cast<double>(
+      InlineEvent::heap_fallbacks() - fallbacks_before);
+  std::printf(
+      "\nevent-loop packet throughput: %.0f events/sec "
+      "(%llu hops, heap fallbacks %+.0f)\n",
+      events_per_sec, static_cast<unsigned long long>(delivered),
+      fallback_delta);
+  BenchRun& run = report.AddRun("event_queue_packet_throughput");
+  run.samples = iters;
+  run.extra.emplace_back("events_per_sec", events_per_sec);
+  run.extra.emplace_back("heap_fallbacks_delta", fallback_delta);
+}
+
 }  // namespace
 }  // namespace netlock
 
@@ -201,6 +302,13 @@ int main(int argc, char** argv) {
       continue;
     }
     if (std::strncmp(argv[i], "--trace-sample=", 15) == 0) continue;
+    // --jobs is a sweep-parallelism flag; this bench has no sweeps and
+    // google-benchmark would reject the unknown flag.
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) continue;
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      ++i;
+      continue;
+    }
     bench_argv.push_back(argv[i]);
   }
   std::string min_time = "--benchmark_min_time=0.01";  // 1.7.x: plain double.
@@ -213,6 +321,7 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  RecordEventThroughput(report, report.quick());
   RunLatencyBreakdown(report);
   return report.Write() ? 0 : 1;
 }

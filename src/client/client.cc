@@ -5,7 +5,9 @@
 namespace netlock {
 
 NetLockSession::NetLockSession(ClientMachine& machine, Config config)
-    : machine_(machine), config_(config), trace_(&TraceLog::Global()) {
+    : machine_(machine),
+      config_(config),
+      trace_(&machine.net().sim().context().trace()) {
   NETLOCK_CHECK(config_.switch_node != kInvalidNode);
   node_ = machine_.net().AddNode(
       [this](const Packet& pkt) { OnPacket(pkt); });

@@ -17,9 +17,9 @@ TxnEngine::TxnEngine(Simulator& sim, LockSession& session,
       rng_(seed),
       config_(config),
       commits_metric_(
-          &MetricsRegistry::Global().Counter("client.txn_commits")),
+          &sim.context().metrics().Counter("client.txn_commits")),
       grants_metric_(
-          &MetricsRegistry::Global().Counter("client.lock_grants")) {
+          &sim.context().metrics().Counter("client.lock_grants")) {
   NETLOCK_CHECK(workload_ != nullptr);
 }
 

@@ -40,6 +40,17 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
   return samples;
 }
 
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const auto& [name, counter] : other.counters_) {
+    Counter(name).Inc(counter.value());
+  }
+  for (const auto& [name, gauge] : other.gauges_) {
+    MetricGauge& mine = Gauge(name);
+    mine.value_ = gauge.value_;
+    mine.ObserveHighWater(gauge.high_water_);
+  }
+}
+
 void MetricsRegistry::Reset() {
   for (auto& [name, counter] : counters_) counter.value_ = 0;
   for (auto& [name, gauge] : gauges_) {

@@ -54,6 +54,12 @@ class MetricGauge {
     const std::uint64_t dec = ~static_cast<std::uint64_t>(delta) + 1;
     value_ = value_ > dec ? value_ - dec : 0;
   }
+  /// Raises the high-water mark without touching the current value. Used
+  /// by sampled gauges (e.g. the simulator's pending-event depth) to
+  /// reconcile an exactly-tracked maximum at the end of a run.
+  void ObserveHighWater(std::uint64_t v) {
+    if (v > high_water_) high_water_ = v;
+  }
   std::uint64_t value() const { return value_; }
   std::uint64_t high_water() const { return high_water_; }
 
@@ -92,6 +98,15 @@ class MetricsRegistry {
   /// Zeroes every value (names and addresses survive). Benches call this
   /// between runs to attribute counts to one configuration.
   void Reset();
+
+  /// Folds another registry into this one: counters add their totals,
+  /// gauges take the other's current value and the max of both high-water
+  /// marks. Merging per-simulation registries into the default one in task
+  /// order reproduces, byte for byte, the snapshot a serial run over the
+  /// shared registry would have produced — which is what keeps parallel
+  /// sweeps' bench reports identical to serial ones. Instruments missing
+  /// here are created.
+  void MergeFrom(const MetricsRegistry& other);
 
   std::size_t num_instruments() const {
     return counters_.size() + gauges_.size();

@@ -1,0 +1,21 @@
+#include "common/sim_context.h"
+
+namespace netlock {
+
+SimContext::SimContext()
+    : owned_metrics_(std::make_unique<MetricsRegistry>()),
+      owned_trace_(std::make_unique<TraceLog>()),
+      metrics_(owned_metrics_.get()),
+      trace_(owned_trace_.get()) {}
+
+SimContext::SimContext(DefaultTag)
+    : metrics_(&MetricsRegistry::Global()), trace_(&TraceLog::Global()) {}
+
+SimContext::~SimContext() = default;
+
+SimContext& SimContext::Default() {
+  static SimContext context{DefaultTag{}};
+  return context;
+}
+
+}  // namespace netlock

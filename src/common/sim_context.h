@@ -1,0 +1,56 @@
+// Per-simulation telemetry context.
+//
+// Historically every component reported into MetricsRegistry::Global() and
+// TraceLog::Global(), which made two simulations in one process share
+// mutable state — and therefore made parallel parameter sweeps impossible.
+// A SimContext bundles one simulation's registry and trace log; the
+// Simulator owns a pointer to its context and every component reached
+// through it (Network, Pipeline, LockSwitch, LockServer, sessions, the
+// harness) resolves instruments there instead of in the globals.
+//
+// Default() wraps the process-wide globals, and every constructor that
+// takes a context defaults to it, so single-simulation code (and every
+// pre-existing call signature) keeps working unchanged: the globals simply
+// became "the default context".
+#pragma once
+
+#include <memory>
+
+#include "common/metrics.h"
+#include "common/tracelog.h"
+
+namespace netlock {
+
+class SimContext {
+ public:
+  /// An isolated context owning a fresh registry and trace log. Two
+  /// simulations built on distinct contexts share no mutable state and can
+  /// run on different threads concurrently.
+  SimContext();
+  ~SimContext();
+
+  SimContext(const SimContext&) = delete;
+  SimContext& operator=(const SimContext&) = delete;
+
+  /// The process-wide default: metrics() is MetricsRegistry::Global() and
+  /// trace() is TraceLog::Global(). Not thread-safe — serial use only.
+  static SimContext& Default();
+
+  MetricsRegistry& metrics() { return *metrics_; }
+  const MetricsRegistry& metrics() const { return *metrics_; }
+  TraceLog& trace() { return *trace_; }
+  const TraceLog& trace() const { return *trace_; }
+
+  bool is_default() const { return owned_metrics_ == nullptr; }
+
+ private:
+  struct DefaultTag {};
+  explicit SimContext(DefaultTag);  // Non-owning view of the globals.
+
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  std::unique_ptr<TraceLog> owned_trace_;
+  MetricsRegistry* metrics_;
+  TraceLog* trace_;
+};
+
+}  // namespace netlock

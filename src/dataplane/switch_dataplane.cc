@@ -55,13 +55,14 @@ LockId TraceLock() {
 LockSwitch::LockSwitch(Network& net, LockSwitchConfig config)
     : net_(net),
       config_(config),
-      pipeline_(config.num_stages, /*max_resubmits=*/0),
-      trace_(&TraceLog::Global()),
+      pipeline_(config.num_stages, /*max_resubmits=*/0,
+                &net.sim().context()),
+      trace_(&net.sim().context().trace()),
       table_(config.max_locks, config.queue_capacity) {
   NETLOCK_CHECK(config_.num_priorities >= 1);
   NETLOCK_CHECK(config_.num_priorities <= config_.num_stages - 4);
   NETLOCK_CHECK(config_.num_priorities <= kMaxPriorities);
-  MetricsRegistry& reg = MetricsRegistry::Global();
+  MetricsRegistry& reg = net_.sim().context().metrics();
   metrics_.granted = &reg.Counter("dataplane.acquires_granted");
   metrics_.queued = &reg.Counter("dataplane.acquires_queued");
   metrics_.rejected = &reg.Counter("dataplane.acquires_rejected");

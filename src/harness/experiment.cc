@@ -1,10 +1,50 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
 
+#include "common/check.h"
 #include "core/memory_alloc.h"
 
 namespace netlock {
+
+void ParallelSweep(int num_tasks, int threads,
+                   const std::function<void(int, SimContext&)>& task,
+                   SimContext* merge_into) {
+  NETLOCK_CHECK(num_tasks >= 0);
+  NETLOCK_CHECK(task != nullptr);
+  std::vector<std::unique_ptr<SimContext>> contexts;
+  contexts.reserve(num_tasks);
+  for (int i = 0; i < num_tasks; ++i) {
+    contexts.push_back(std::make_unique<SimContext>());
+  }
+  if (threads <= 1) {
+    for (int i = 0; i < num_tasks; ++i) task(i, *contexts[i]);
+  } else {
+    // Work-stealing by atomic index: tasks vary wildly in cost (slot
+    // sweeps), so static partitioning would leave workers idle.
+    std::atomic<int> next{0};
+    auto worker = [&]() {
+      for (int i = next.fetch_add(1, std::memory_order_relaxed);
+           i < num_tasks;
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        task(i, *contexts[i]);
+      }
+    };
+    std::vector<std::thread> pool;
+    const int n = std::min(threads, num_tasks);
+    pool.reserve(n);
+    for (int t = 0; t < n; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  MetricsRegistry& target =
+      (merge_into != nullptr ? *merge_into : SimContext::Default()).metrics();
+  for (int i = 0; i < num_tasks; ++i) {
+    target.MergeFrom(contexts[i]->metrics());
+  }
+}
 
 std::vector<LockDemand> UniformMicroDemands(const MicroConfig& config,
                                             int num_engines) {

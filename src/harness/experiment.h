@@ -48,4 +48,21 @@ std::vector<LockDemand> ProfileAndInstall(Testbed& testbed,
                                               100 * kMillisecond,
                                           std::uint64_t random_seed = 1);
 
+/// Runs `num_tasks` independent simulations on up to `threads` worker
+/// threads. Each task gets its own SimContext — build the task's Testbed
+/// with `config.context = &context` so the run shares no state with its
+/// siblings. After every task finishes, each context's metrics are folded
+/// into `merge_into` (Default() when null) **in task order**, so the final
+/// registry snapshot — and therefore the bench report — is byte-identical
+/// to a serial run over the shared registry.
+///
+/// threads <= 1 executes inline on the calling thread (no pool), which is
+/// the serial path benches take without --jobs. Tracing is per-context;
+/// traces recorded inside tasks are not merged, so benches that write
+/// TRACE files should run their traced scenario outside the sweep.
+void ParallelSweep(int num_tasks, int threads,
+                   const std::function<void(int task, SimContext& context)>&
+                       task,
+                   SimContext* merge_into = nullptr);
+
 }  // namespace netlock

@@ -1,5 +1,6 @@
 #include "harness/report.h"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -106,6 +107,12 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
       opts.trace_dir = argv[++i];
     } else if (std::strncmp(arg, "--trace-sample=", 15) == 0) {
       opts.trace_sample = ParseSampleSpec(arg + 15);
+    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      const long n = std::strtol(arg + 7, nullptr, 10);
+      opts.jobs = n > 1 ? static_cast<int>(n) : 1;
+    } else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+      const long n = std::strtol(argv[++i], nullptr, 10);
+      opts.jobs = n > 1 ? static_cast<int>(n) : 1;
     }
     // Unknown flags are ignored: wrappers (ctest, benchmark harnesses)
     // append their own and benches must not die on them.
@@ -159,10 +166,14 @@ void FillLatency(BenchRun& run, const LatencyRecorder& latency) {
   run.samples = latency.count();
 }
 
-BenchReport::BenchReport(std::string bench_name, BenchOptions options)
-    : bench_name_(std::move(bench_name)), options_(std::move(options)) {
+BenchReport::BenchReport(std::string bench_name, BenchOptions options,
+                         SimContext* context)
+    : bench_name_(std::move(bench_name)),
+      options_(std::move(options)),
+      context_(context != nullptr ? *context : SimContext::Default()),
+      wall_start_(std::chrono::steady_clock::now()) {
   if (!options_.trace_dir.empty()) {
-    TraceLog::Global().Enable(options_.trace_sample);
+    context_.trace().Enable(options_.trace_sample);
   }
 }
 
@@ -212,11 +223,25 @@ void BenchReport::AttachTimeSeries(const TimeSeriesSampler& sampler) {
 }
 
 std::string BenchReport::ToJson() const {
+  // Simulator throughput: total events processed in this context over the
+  // report's wall-clock lifetime. These two lines are the only
+  // wall-dependent content in the file, each kept on its own line so
+  // StripWallClockFields (and sed in CI) can normalize them.
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start_)
+          .count();
+  const double events = static_cast<double>(
+      context_.metrics().Counter("sim.events_processed").value());
+  const double events_per_sec = wall_ms > 0.0 ? events / (wall_ms / 1e3) : 0.0;
+
   std::ostringstream out;
   out << "{\n";
   out << "  \"bench\": \"" << JsonEscape(bench_name_) << "\",\n";
-  out << "  \"schema_version\": 1,\n";
+  out << "  \"schema_version\": 2,\n";
   out << "  \"quick\": " << (options_.quick ? "true" : "false") << ",\n";
+  out << "  \"sim_wall_ms\": " << JsonNumber(wall_ms) << ",\n";
+  out << "  \"sim_events_per_sec\": " << JsonNumber(events_per_sec) << ",\n";
   out << "  \"runs\": [\n";
   for (std::size_t i = 0; i < runs_.size(); ++i) {
     const BenchRun& run = runs_[i];
@@ -256,8 +281,7 @@ std::string BenchReport::ToJson() const {
     out << "  ],\n";
   }
   out << "  \"metrics\": {\n";
-  const std::vector<MetricSample> samples =
-      MetricsRegistry::Global().Snapshot();
+  const std::vector<MetricSample> samples = context_.metrics().Snapshot();
   for (std::size_t i = 0; i < samples.size(); ++i) {
     out << "    \"" << JsonEscape(samples[i].name)
         << "\": " << samples[i].value
@@ -287,12 +311,40 @@ bool BenchReport::Write() const {
   if (!options_.trace_dir.empty()) {
     const std::string trace_path =
         options_.trace_dir + "/TRACE_" + bench_name_ + ".json";
-    if (!TraceLog::Global().WriteTo(trace_path)) return false;
+    const TraceLog& trace = context_.trace();
+    if (!trace.WriteTo(trace_path)) return false;
     std::printf("[report] wrote %s (%zu events, %llu dropped)\n",
-                trace_path.c_str(), TraceLog::Global().size(),
-                static_cast<unsigned long long>(TraceLog::Global().dropped()));
+                trace_path.c_str(), trace.size(),
+                static_cast<unsigned long long>(trace.dropped()));
   }
   return true;
+}
+
+std::string StripWallClockFields(const std::string& json) {
+  // Zeroes the numeric value of any key ending in wall_ms / events_per_sec
+  // ("sim_wall_ms", "sim_events_per_sec", per-run "events_per_sec"
+  // extras). Hand-rolled rather than std::regex: this runs over multi-MB
+  // reports in tests.
+  static const char* const kKeys[] = {"wall_ms\": ", "events_per_sec\": "};
+  std::string out = json;
+  for (const char* key : kKeys) {
+    const std::size_t key_len = std::strlen(key);
+    std::size_t pos = 0;
+    while ((pos = out.find(key, pos)) != std::string::npos) {
+      const std::size_t value_start = pos + key_len;
+      std::size_t value_end = value_start;
+      while (value_end < out.size() &&
+             (std::isdigit(static_cast<unsigned char>(out[value_end])) ||
+              out[value_end] == '.' || out[value_end] == '-' ||
+              out[value_end] == '+' || out[value_end] == 'e' ||
+              out[value_end] == 'E')) {
+        ++value_end;
+      }
+      out.replace(value_start, value_end - value_start, "0");
+      pos = value_start + 1;
+    }
+  }
+  return out;
 }
 
 }  // namespace netlock

@@ -5,10 +5,12 @@
 // the perf trajectory is trackable PR over PR without parsing text tables.
 #pragma once
 
+#include <chrono>
 #include <string>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/sim_context.h"
 #include "common/stats.h"
 #include "harness/sampler.h"
 
@@ -54,12 +56,17 @@ struct BenchOptions {
   std::string trace_dir;
   /// Record ~1/N of requests (`--trace-sample=1/N`); 1 = every request.
   std::uint32_t trace_sample = 1;
+  /// Parallelism (`--jobs=N`). bench_all runs N figure binaries as
+  /// concurrent processes; benches with independent sweep points run them
+  /// on N threads via ParallelSweep. 1 = serial (the default); output is
+  /// byte-identical either way outside wall-clock fields.
+  int jobs = 1;
 };
 
 /// Parses `--quick`, `--json-dir=DIR` (or `--json-dir DIR`),
-/// `--trace-dir=DIR` (or `--trace-dir DIR`) and `--trace-sample=1/N` (or
-/// `=N`), and ignores anything else, so benches keep working under
-/// wrappers that add flags.
+/// `--trace-dir=DIR` (or `--trace-dir DIR`), `--trace-sample=1/N` (or
+/// `=N`) and `--jobs=N` (or `--jobs N`), and ignores anything else, so
+/// benches keep working under wrappers that add flags.
 BenchOptions ParseBenchOptions(int argc, char** argv);
 
 /// One measured configuration within a bench (a table row / curve point).
@@ -76,8 +83,10 @@ struct BenchRun {
   std::vector<std::pair<std::string, double>> extra;
 };
 
-/// Accumulates runs and serializes the JSON report. Schema (version 1):
-///   { "bench": "<name>", "schema_version": 1, "quick": <bool>,
+/// Accumulates runs and serializes the JSON report. Schema (version 2):
+///   { "bench": "<name>", "schema_version": 2, "quick": <bool>,
+///     "sim_wall_ms": <wall-clock ms since report construction>,
+///     "sim_events_per_sec": <simulator events / wall second>,
 ///     "runs": [ {"label": ..., "throughput_mrps": ..., "txn_mtps": ...,
 ///                "latency_ns": {"mean","p50","p99","p999"},
 ///                "samples": ..., <extra scalars inline> } ... ],
@@ -86,15 +95,23 @@ struct BenchRun {
 ///                       "values": [...]} ... ],   // when attached
 ///     "metrics": { "<registry name>": <value>, ... } }
 ///
-/// Constructing a report with options().trace_dir set enables the global
-/// TraceLog at the requested sampling rate; Write() then also dumps
-/// TRACE_<name>.json next to the bench JSON.
+/// sim_wall_ms / sim_events_per_sec track simulator throughput PR over PR;
+/// they are the only wall-clock-dependent fields in the file (see
+/// StripWallClockFields for deterministic comparison).
+///
+/// Constructing a report with options().trace_dir set enables the
+/// context's TraceLog at the requested sampling rate; Write() then also
+/// dumps TRACE_<name>.json next to the bench JSON.
 class BenchReport {
  public:
-  BenchReport(std::string bench_name, BenchOptions options);
+  /// `context` = nullptr uses SimContext::Default(): the registry dumped
+  /// into "metrics" and the TraceLog driven by --trace-dir.
+  BenchReport(std::string bench_name, BenchOptions options,
+              SimContext* context = nullptr);
 
   const BenchOptions& options() const { return options_; }
   bool quick() const { return options_.quick; }
+  SimContext& context() const { return context_; }
 
   /// Adds an empty run and returns it for the caller to fill.
   BenchRun& AddRun(std::string label);
@@ -128,11 +145,20 @@ class BenchReport {
 
   std::string bench_name_;
   BenchOptions options_;
+  SimContext& context_;
+  std::chrono::steady_clock::time_point wall_start_;
   std::vector<BenchRun> runs_;
   std::vector<SeriesDump> time_series_;
 };
 
 /// Fills the latency fields of `run` from a recorder.
 void FillLatency(BenchRun& run, const LatencyRecorder& latency);
+
+/// Normalizes a bench report for byte comparison across runs: zeroes every
+/// wall-clock-dependent field ("sim_wall_ms", "sim_events_per_sec", and
+/// any per-run "*wall_ms"/"*events_per_sec" extras). Two runs of the same
+/// build and seeds must produce identical output after this — serial or
+/// parallel, --jobs=1 or --jobs=4.
+std::string StripWallClockFields(const std::string& json);
 
 }  // namespace netlock

@@ -14,7 +14,7 @@ void TimeSeriesSampler::Watch(const std::string& counter_name) {
   Series s;
   s.name = counter_name;
   s.is_rate = true;
-  s.counter = &MetricsRegistry::Global().Counter(counter_name);
+  s.counter = &sim_.context().metrics().Counter(counter_name);
   series_.push_back(std::move(s));
 }
 
@@ -23,7 +23,7 @@ void TimeSeriesSampler::WatchGauge(const std::string& gauge_name) {
   Series s;
   s.name = gauge_name;
   s.is_rate = false;
-  s.gauge = &MetricsRegistry::Global().Gauge(gauge_name);
+  s.gauge = &sim_.context().metrics().Gauge(gauge_name);
   series_.push_back(std::move(s));
 }
 
@@ -44,6 +44,9 @@ void TimeSeriesSampler::Start(SimTime horizon) {
 
 void TimeSeriesSampler::Tick() {
   if (stopped_) return;
+  // The pending-events gauge is sampled, not exact, between reconciles;
+  // flush it so gauge series read the true depth at the bucket boundary.
+  sim_.ReconcileDepthMetric();
   for (Series& s : series_) {
     if (s.is_rate) {
       const std::uint64_t v = s.counter->value();

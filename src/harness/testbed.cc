@@ -20,7 +20,8 @@ const char* ToString(SystemKind kind) {
   return "?";
 }
 
-Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
+Testbed::Testbed(TestbedConfig config)
+    : config_(std::move(config)), sim_(config_.context) {
   NETLOCK_CHECK(config_.workload_factory != nullptr);
   NETLOCK_CHECK(config_.client_machines >= 1);
   NETLOCK_CHECK(config_.sessions_per_machine >= 1);

@@ -35,6 +35,11 @@ const char* ToString(SystemKind kind);
 struct TestbedConfig {
   SystemKind system = SystemKind::kNetLock;
 
+  /// Telemetry context for this testbed's simulation. nullptr = the
+  /// process-wide default (serial use). Give each testbed of a sweep its
+  /// own SimContext to run them concurrently (see ParallelSweep).
+  SimContext* context = nullptr;
+
   // Topology (paper Section 6.1 defaults: 12-server testbed).
   int client_machines = 10;
   int sessions_per_machine = 8;

@@ -7,9 +7,9 @@
 namespace netlock {
 
 LockServer::LockServer(Network& net, LockServerConfig config)
-    : net_(net), config_(config), trace_(&TraceLog::Global()) {
+    : net_(net), config_(config), trace_(&net.sim().context().trace()) {
   NETLOCK_CHECK(config_.cores >= 1);
-  MetricsRegistry& reg = MetricsRegistry::Global();
+  MetricsRegistry& reg = net_.sim().context().metrics();
   metrics_.grants = &reg.Counter("server.grants");
   metrics_.releases = &reg.Counter("server.releases");
   metrics_.buffered = &reg.Counter("server.q2_buffered");

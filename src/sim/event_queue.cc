@@ -1,24 +1,24 @@
 #include "sim/event_queue.h"
 
+#include <atomic>
 #include <utility>
 
 #include "common/check.h"
 
 namespace netlock {
 
-std::uint64_t EventQueue::Push(SimTime when, EventFn fn) {
-  std::uint32_t slot;
-  if (!free_slots_.empty()) {
-    slot = free_slots_.back();
-    free_slots_.pop_back();
-    fns_[slot] = std::move(fn);
-  } else {
-    slot = static_cast<std::uint32_t>(fns_.size());
-    fns_.push_back(std::move(fn));
-  }
-  const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{when, seq, slot});
-  return seq;
+namespace {
+// Heap fallbacks are cold by design; the counter is atomic only because
+// parallel sweeps run independent simulators on different threads.
+std::atomic<std::uint64_t> g_heap_fallbacks{0};
+}  // namespace
+
+void InlineEvent::CountHeapFallback() {
+  g_heap_fallbacks.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t InlineEvent::heap_fallbacks() {
+  return g_heap_fallbacks.load(std::memory_order_relaxed);
 }
 
 SimTime EventQueue::NextTime() const {
@@ -26,14 +26,20 @@ SimTime EventQueue::NextTime() const {
   return heap_.top().when;
 }
 
-EventQueue::Event EventQueue::Pop() {
+EventQueue::Popped EventQueue::PopEntry() {
   NETLOCK_CHECK(!heap_.empty());
   const Entry top = heap_.top();
   heap_.pop();
-  Event ev{top.when, top.seq, std::move(fns_[top.slot])};
-  fns_[top.slot] = nullptr;
-  free_slots_.push_back(top.slot);
-  return ev;
+  return Popped{top.when, top.seq, top.slot};
+}
+
+void EventQueue::InvokeAndRecycle(std::uint32_t slot) {
+  // Invoke in place — no relocation of the (packet-sized) callable. The
+  // slot is recycled only after the call returns; re-entrant pushes grow
+  // the deque without moving this storage.
+  slots_[slot]();
+  slots_[slot].Reset();
+  free_slots_.push_back(slot);
 }
 
 }  // namespace netlock

@@ -60,14 +60,16 @@ using PacketHandler = std::function<void(const Packet&)>;
 
 class Network {
  public:
-  /// `default_one_way_latency` applies to any pair without an explicit link.
+  /// `default_one_way_latency` applies to any pair without an explicit
+  /// link. Telemetry resolves in the simulator's context, so a network on
+  /// an isolated SimContext shares no state with other simulations.
   Network(Simulator& sim, SimTime default_one_way_latency)
       : sim_(sim),
         default_latency_(default_one_way_latency),
-        packets_metric_(&MetricsRegistry::Global().Counter("net.packets")),
-        bytes_metric_(&MetricsRegistry::Global().Counter("net.bytes")),
-        dropped_metric_(&MetricsRegistry::Global().Counter("net.dropped")),
-        trace_(&TraceLog::Global()) {}
+        packets_metric_(&sim.context().metrics().Counter("net.packets")),
+        bytes_metric_(&sim.context().metrics().Counter("net.bytes")),
+        dropped_metric_(&sim.context().metrics().Counter("net.dropped")),
+        trace_(&sim.context().trace()) {}
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -82,7 +84,12 @@ class Network {
   /// Sets the one-way latency between a and b (both directions).
   void SetLatency(NodeId a, NodeId b, SimTime one_way);
 
-  SimTime LatencyBetween(NodeId a, NodeId b) const;
+  SimTime LatencyBetween(NodeId a, NodeId b) const {
+    // Short-circuit for topologies with no explicit links (micro setups,
+    // unit tests): skips the hash lookup on every packet.
+    if (link_latency_.empty()) return default_latency_;
+    return LatencyLookup(a, b);
+  }
 
   /// Delivers pkt to pkt.dst after the link latency. Packets between a pair
   /// of nodes are delivered in FIFO order (the event queue is stable and
@@ -103,6 +110,21 @@ class Network {
     if (a > b) std::swap(a, b);
     return (static_cast<std::uint64_t>(a) << 32) | b;
   }
+
+  SimTime LatencyLookup(NodeId a, NodeId b) const;
+
+  /// The simulator's hottest event: delivery of one packet. A named struct
+  /// (rather than a lambda) so the packet is stored directly in the event
+  /// slot — it fits InlineEvent's buffer, making a hop allocation-free.
+  struct PacketDelivery {
+    Network* net;
+    Packet pkt;
+    void operator()() const { net->Deliver(pkt); }
+  };
+  static_assert(sizeof(PacketDelivery) <= InlineEvent::kInlineCapacity,
+                "packet delivery must fit the inline event buffer");
+
+  void Deliver(const Packet& pkt);
 
   /// Records a wire span (or drop) for a lock packet when tracing is on.
   void TracePacket(const Packet& pkt, SimTime latency, bool dropped) const;

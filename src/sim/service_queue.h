@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 
 #include "common/types.h"
 #include "sim/simulator.h"
@@ -22,18 +23,21 @@ class ServiceQueue {
       : sim_(sim), service_time_(service_time) {}
 
   /// Enqueues work; `on_complete` fires when the item finishes service
-  /// (start-of-service is max(now, previous completion)).
-  void Submit(EventFn on_complete) {
-    SubmitWithTime(service_time_, std::move(on_complete));
+  /// (start-of-service is max(now, previous completion)). Forwarded so the
+  /// completion callable lands in its event-queue slot in one move.
+  template <typename F>
+  void Submit(F&& on_complete) {
+    SubmitWithTime(service_time_, std::forward<F>(on_complete));
   }
 
   /// Enqueues work with a per-item service time (e.g., an RDMA NIC where
   /// atomic verbs are slower than reads but share one engine).
-  void SubmitWithTime(SimTime item_service_time, EventFn on_complete) {
+  template <typename F>
+  void SubmitWithTime(SimTime item_service_time, F&& on_complete) {
     const SimTime start = busy_until_ > sim_.now() ? busy_until_ : sim_.now();
     busy_until_ = start + item_service_time;
     ++items_served_;
-    sim_.ScheduleAt(busy_until_, std::move(on_complete));
+    sim_.ScheduleAt(busy_until_, std::forward<F>(on_complete));
   }
 
   /// Time at which the resource frees up (<= now() means idle).

@@ -4,15 +4,10 @@
 
 namespace netlock {
 
-void Simulator::ScheduleAt(SimTime when, EventFn fn) {
-  NETLOCK_CHECK(when >= now_);
-  queue_.Push(when, std::move(fn));
-  depth_metric_.Set(queue_.Size());
-}
-
 void Simulator::Run() {
   while (Step()) {
   }
+  ReconcileDepthMetric();
 }
 
 void Simulator::RunUntil(SimTime deadline) {
@@ -20,16 +15,18 @@ void Simulator::RunUntil(SimTime deadline) {
     Step();
   }
   if (now_ < deadline) now_ = deadline;
+  ReconcileDepthMetric();
 }
 
 bool Simulator::Step() {
   if (queue_.Empty()) return false;
-  EventQueue::Event ev = queue_.Pop();
+  const EventQueue::Popped ev = queue_.PopEntry();
   NETLOCK_CHECK(ev.when >= now_);
   now_ = ev.when;
   ++events_processed_;
   events_metric_.Inc();
-  ev.fn();
+  // The callable runs in place in its arena slot — no per-event relocation.
+  queue_.InvokeAndRecycle(ev.slot);
   return true;
 }
 

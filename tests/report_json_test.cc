@@ -90,14 +90,50 @@ TEST(BenchReportTest, JsonHasSchemaKeysAndRuns) {
   const std::string json = report.ToJson();
   EXPECT_TRUE(BalancedJson(json));
   for (const char* key :
-       {"\"bench\": \"unit_test\"", "\"schema_version\": 1",
-        "\"quick\": true", "\"runs\":", "\"label\": \"cfg=1\"",
+       {"\"bench\": \"unit_test\"", "\"schema_version\": 2",
+        "\"quick\": true", "\"sim_wall_ms\":", "\"sim_events_per_sec\":",
+        "\"runs\":", "\"label\": \"cfg=1\"",
         "\"throughput_mrps\": 12.5", "\"latency_ns\":", "\"mean\":",
         "\"p50\":", "\"p99\":", "\"p999\":", "\"samples\": 101",
         "\"shed\": 3", "\"label\": \"cfg=2\"", "\"txn_mtps\": 0.25",
         "\"metrics\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   }
+}
+
+TEST(BenchReportTest, WallClockFieldsEachOnOwnLineAndStrippable) {
+  BenchReport report("unit_test", BenchOptions{});
+  BenchRun& run = report.AddRun("hot_loop");
+  run.extra.emplace_back("events_per_sec", 12345678.9);
+  const std::string json = report.ToJson();
+
+  // Each wall-dependent top-level field sits on its own line so text
+  // diffs (and CI's sed) can normalize them without a JSON parser.
+  std::istringstream lines(json);
+  std::string line;
+  int wall_lines = 0;
+  while (std::getline(lines, line)) {
+    const bool has_wall = line.find("\"sim_wall_ms\":") != std::string::npos;
+    const bool has_eps =
+        line.find("\"sim_events_per_sec\":") != std::string::npos;
+    if (has_wall || has_eps) {
+      ++wall_lines;
+      EXPECT_FALSE(has_wall && has_eps) << line;
+    }
+  }
+  EXPECT_EQ(wall_lines, 2);
+
+  const std::string stripped = StripWallClockFields(json);
+  EXPECT_TRUE(BalancedJson(stripped));
+  EXPECT_NE(stripped.find("\"sim_wall_ms\": 0"), std::string::npos);
+  EXPECT_NE(stripped.find("\"sim_events_per_sec\": 0"), std::string::npos);
+  // Per-run events_per_sec extras are wall-dependent too and must be
+  // zeroed; the non-wall fields survive untouched.
+  EXPECT_NE(stripped.find("\"events_per_sec\": 0"), std::string::npos);
+  EXPECT_EQ(stripped.find("12345678.9"), std::string::npos);
+  EXPECT_NE(stripped.find("\"label\": \"hot_loop\""), std::string::npos);
+  // Idempotent: stripping twice changes nothing.
+  EXPECT_EQ(StripWallClockFields(stripped), stripped);
 }
 
 TEST(BenchReportTest, EscapesLabels) {

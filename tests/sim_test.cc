@@ -2,8 +2,12 @@
 // network latency and loss, and the rate-limited service queue.
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "common/sim_context.h"
 #include "net/lock_wire.h"
 #include "sim/network.h"
 #include "sim/service_queue.h"
@@ -68,6 +72,118 @@ TEST(SimulatorTest, EventCountTracked) {
   for (int i = 0; i < 7; ++i) sim.Schedule(i, []() {});
   sim.Run();
   EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+TEST(InlineEventTest, InvokesAndMovesInlineCallable) {
+  int calls = 0;
+  InlineEvent ev([&calls]() { ++calls; });
+  ASSERT_TRUE(static_cast<bool>(ev));
+  EXPECT_FALSE(ev.uses_heap());
+  ev();
+  EXPECT_EQ(calls, 1);
+  InlineEvent moved(std::move(ev));
+  EXPECT_FALSE(static_cast<bool>(ev));  // NOLINT: testing moved-from state.
+  moved();
+  EXPECT_EQ(calls, 2);
+  InlineEvent assigned;
+  assigned = std::move(moved);
+  assigned();
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(InlineEventTest, DestroysCapturedStateExactlyOnce) {
+  auto counter = std::make_shared<int>(0);
+  {
+    InlineEvent ev([counter]() { ++*counter; });
+    EXPECT_EQ(counter.use_count(), 2);
+    InlineEvent moved(std::move(ev));
+    EXPECT_EQ(counter.use_count(), 2);  // Relocate, not copy.
+    moved();
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+  EXPECT_EQ(*counter, 1);
+}
+
+TEST(InlineEventTest, PacketSizedCallableStaysInline) {
+  const std::uint64_t fallbacks_before = InlineEvent::heap_fallbacks();
+  struct PacketLike {
+    void* net;
+    Packet pkt;
+    void operator()() const {}
+  };
+  static_assert(sizeof(PacketLike) <= InlineEvent::kInlineCapacity);
+  InlineEvent ev(PacketLike{nullptr, Packet{}});
+  EXPECT_FALSE(ev.uses_heap());
+  EXPECT_EQ(InlineEvent::heap_fallbacks(), fallbacks_before);
+}
+
+TEST(InlineEventTest, OversizedCallableFallsBackToHeapAndCounts) {
+  const std::uint64_t fallbacks_before = InlineEvent::heap_fallbacks();
+  struct Huge {
+    unsigned char blob[InlineEvent::kInlineCapacity + 64] = {};
+    int* hits;
+    void operator()() const { ++*hits; }
+  };
+  int hits = 0;
+  Huge huge;
+  huge.hits = &hits;
+  InlineEvent ev(huge);
+  EXPECT_TRUE(ev.uses_heap());
+  EXPECT_EQ(InlineEvent::heap_fallbacks(), fallbacks_before + 1);
+  InlineEvent moved(std::move(ev));  // Heap relocate = pointer steal.
+  moved();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(SimulatorTest, ReentrantSlotReuseIsSafe) {
+  // A firing event schedules more work; arena slots recycle beneath it.
+  Simulator sim;
+  int fired = 0;
+  std::function<void(int)> chain = [&](int depth) {
+    ++fired;
+    if (depth > 0) {
+      sim.Schedule(1, [&chain, depth]() { chain(depth - 1); });
+      sim.Schedule(2, [&fired]() { ++fired; });
+    }
+  };
+  sim.Schedule(1, [&chain]() { chain(50); });
+  sim.Run();
+  EXPECT_EQ(fired, 51 + 50);
+}
+
+TEST(SimulatorTest, DepthGaugeSampledButHighWaterExact) {
+  SimContext context;
+  Simulator sim(&context);
+  MetricGauge& gauge = context.metrics().Gauge("sim.pending_events");
+  // Far fewer pushes than the sampling interval: the gauge would read a
+  // stale value without reconciliation, but the high-water mark must be
+  // exact after Run().
+  for (int i = 0; i < 37; ++i) sim.Schedule(i, []() {});
+  EXPECT_EQ(sim.max_pending_events(), 37u);
+  sim.Run();
+  EXPECT_EQ(gauge.value(), 0);
+  EXPECT_EQ(gauge.high_water(), 37);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, PacketDeliveryEventsNeverTouchHeap) {
+  SimContext context;
+  Simulator sim(&context);
+  Network net(sim, 1000);
+  std::uint64_t delivered = 0;
+  const NodeId a = net.AddNode([&](const Packet&) { ++delivered; });
+  const NodeId b = net.AddNode(nullptr);
+  Packet pkt;
+  pkt.src = b;
+  pkt.dst = a;
+  pkt.set_size(48);
+  const std::uint64_t fallbacks_before = InlineEvent::heap_fallbacks();
+  for (int i = 0; i < 10000; ++i) {
+    net.Send(pkt);
+    sim.Step();
+  }
+  EXPECT_EQ(delivered, 10000u);
+  EXPECT_EQ(InlineEvent::heap_fallbacks(), fallbacks_before);
 }
 
 TEST(NetworkTest, DeliversAfterLatency) {
