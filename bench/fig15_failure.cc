@@ -12,9 +12,41 @@
 #include "harness/report.h"
 #include "harness/sampler.h"
 #include "harness/testbed.h"
+#include "testing/fault_plan.h"
 
 namespace netlock {
 namespace {
+
+// The failure timeline is expressed as a declarative FaultPlan — the same
+// vocabulary the schedule fuzzer runs and shrinks — so the bench scenario
+// can be replayed through `netlock_fuzz --plan=...` verbatim.
+testing::FaultPlan Fig15Plan(SimTime fail_at, SimTime recover_at) {
+  testing::FaultPlan plan;
+  plan.actions.push_back(
+      {testing::FaultKind::kSwitchCrash, fail_at, 0, 0, 0});
+  plan.actions.push_back(
+      {testing::FaultKind::kSwitchRestart, recover_at, 0, 0, 0});
+  return plan;
+}
+
+// Executes one plan action against the bench testbed. The bench drives the
+// plan itself (rather than through the fuzzer harness) because it owns the
+// sampler, recording windows, and report plumbing.
+void FireAction(Testbed& testbed, const testing::FaultAction& action) {
+  switch (action.kind) {
+    case testing::FaultKind::kSwitchCrash:
+      testbed.netlock().lock_switch().Fail();
+      break;
+    case testing::FaultKind::kSwitchRestart:
+      testbed.netlock().control_plane().RecoverSwitch();
+      break;
+    default:
+      break;
+  }
+  std::fprintf(stderr, "  fault '%s' fired at %.2fs\n",
+               testing::ToString(action.kind),
+               static_cast<double>(testbed.sim().now()) / kSecond);
+}
 
 }  // namespace
 }  // namespace netlock
@@ -72,14 +104,12 @@ int main(int argc, char** argv) {
   // Record across all three phases so the report carries the end-to-end
   // latency distribution (retries during the outage land in the tail).
   testbed.SetRecording(true);
-  testbed.sim().RunUntil(kFailAt);
-  testbed.netlock().lock_switch().Fail();
-  std::fprintf(stderr, "  switch failed at %.2fs\n",
-               static_cast<double>(testbed.sim().now()) / kSecond);
-  testbed.sim().RunUntil(kRecoverAt);
-  testbed.netlock().control_plane().RecoverSwitch();
-  std::fprintf(stderr, "  switch reactivated at %.2fs\n",
-               static_cast<double>(testbed.sim().now()) / kSecond);
+  const testing::FaultPlan plan = Fig15Plan(kFailAt, kRecoverAt);
+  std::printf("fault plan: %s\n", plan.Serialize().c_str());
+  for (const testing::FaultAction& action : plan.actions) {
+    testbed.sim().RunUntil(action.at);
+    FireAction(testbed, action);
+  }
   testbed.sim().RunUntil(kEnd);
   const RunMetrics overall = testbed.Collect(kEnd);
   testbed.StopEngines(kSecond);

@@ -46,6 +46,7 @@ ServerOnlySession::ServerOnlySession(ClientMachine& machine,
                                      const ServerOnlyManager& manager,
                                      Config config)
     : machine_(machine), manager_(manager), config_(config) {
+  grant_filter_.assign(config_.grant_filter_slots, 0);
   node_ = machine_.net().AddNode(
       [this](const Packet& pkt) { OnPacket(pkt); });
 }
@@ -71,6 +72,7 @@ void ServerOnlySession::Release(LockId lock, LockMode mode, TxnId txn) {
   hdr.mode = mode;
   hdr.txn_id = txn;
   hdr.client_node = node_;
+  hdr.aux = release_nonce_++;  // Per-instance nonce (dedup filter key).
   machine_.Send(
       MakeLockPacket(node_, manager_.ServerNodeFor(lock), hdr));
 }
@@ -112,6 +114,15 @@ void ServerOnlySession::ArmRetry(LockId lock, TxnId txn,
 void ServerOnlySession::OnPacket(const Packet& pkt) {
   const std::optional<LockHeader> hdr = LockHeader::Parse(pkt);
   if (!hdr || hdr->op != LockOp::kGrant) return;
+  if (!grant_filter_.empty()) {
+    // Drop network-duplicated grant copies so the ghost release below
+    // fires once per queue entry (see NetLockSession::OnPacket).
+    const std::uint64_t fp = GrantFingerprint(*hdr, pkt.src);
+    std::uint64_t& reg = grant_filter_[static_cast<std::size_t>(
+        fp % grant_filter_.size())];
+    if (reg == fp) return;
+    reg = fp;  // Collisions just evict: the filter is best-effort.
+  }
   const auto it = pending_.find(std::make_pair(hdr->lock_id, hdr->txn_id));
   if (it == pending_.end()) {
     // Unsolicited grant (duplicate/late): release so the queue slot is

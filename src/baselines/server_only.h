@@ -46,6 +46,8 @@ class ServerOnlySession : public LockSession {
     TenantId tenant = 0;
     SimTime retry_timeout = 5 * kMillisecond;
     int max_retries = 16;
+    /// Duplicate-grant filter slots (see NetLockSession::Config).
+    std::uint32_t grant_filter_slots = 1024;
   };
 
   ServerOnlySession(ClientMachine& machine, const ServerOnlyManager& manager,
@@ -74,6 +76,12 @@ class ServerOnlySession : public LockSession {
   NodeId node_;
   std::map<std::pair<LockId, TxnId>, Pending> pending_;
   std::uint64_t next_epoch_ = 1;
+  /// Per-instance release nonce (see NetLockSession::release_nonce_): keys
+  /// the server's retransmission-dedup filter.
+  std::uint32_t release_nonce_ = 1;
+  /// Grant-dedup fingerprints (see NetLockSession::grant_filter_): drops
+  /// duplicated grant copies before they re-fire the ghost release.
+  std::vector<std::uint64_t> grant_filter_;
 };
 
 }  // namespace netlock

@@ -9,6 +9,7 @@ NetLockSession::NetLockSession(ClientMachine& machine, Config config)
       config_(config),
       trace_(&machine.net().sim().context().trace()) {
   NETLOCK_CHECK(config_.switch_node != kInvalidNode);
+  grant_filter_.assign(config_.grant_filter_slots, 0);
   node_ = machine_.net().AddNode(
       [this](const Packet& pkt) { OnPacket(pkt); });
 }
@@ -37,21 +38,41 @@ void NetLockSession::Acquire(LockId lock, LockMode mode, TxnId txn,
 }
 
 void NetLockSession::Release(LockId lock, LockMode mode, TxnId txn) {
+  const SimTime now = machine_.net().sim().now();
+  // Release to the switch that granted the lock — during backup-switch
+  // failover the grantor may not be the switch new acquires target.
+  NodeId target = config_.switch_node;
+  SimTime granted_at = 0;
+  bool have_grant_time = false;
+  const auto src = grant_source_.find(std::make_pair(lock, txn));
+  if (src != grant_source_.end()) {
+    if (src->second.source != kInvalidNode) target = src->second.source;
+    granted_at = src->second.granted_at;
+    have_grant_time = true;
+    grant_source_.erase(src);
+  }
+  // Lease discipline: past `lease - margin` after the grant arrived, the
+  // manager's lease sweep may have force-released our entry already — our
+  // release would then blind-pop a different waiter's slot (Algorithm 2
+  // releases "do not check transaction IDs", §4.2). Drop it and let the
+  // sweep reclaim the entry; the hold was effectively revoked anyway.
+  if (config_.lease > 0 && have_grant_time &&
+      now + config_.lease_release_margin >= granted_at + config_.lease) {
+    ++releases_suppressed_;
+    if (trace_->Sampled(lock, txn)) {
+      trace_->Instant(TraceTrack::kClient, "client.release_suppressed", now,
+                      TraceLog::RequestId(lock, txn));
+    }
+    return;
+  }
   LockHeader hdr;
   hdr.op = LockOp::kRelease;
   hdr.lock_id = lock;
   hdr.mode = mode;
   hdr.txn_id = txn;
   hdr.client_node = node_;
-  hdr.timestamp = machine_.net().sim().now();
-  // Release to the switch that granted the lock — during backup-switch
-  // failover the grantor may not be the switch new acquires target.
-  NodeId target = config_.switch_node;
-  const auto src = grant_source_.find(std::make_pair(lock, txn));
-  if (src != grant_source_.end()) {
-    target = src->second;
-    grant_source_.erase(src);
-  }
+  hdr.timestamp = now;
+  hdr.aux = release_nonce_++;  // Per-instance nonce (dedup filter key).
   machine_.Send(MakeLockPacket(node_, target, hdr));
 }
 
@@ -105,6 +126,19 @@ void NetLockSession::ArmRetry(LockId lock, TxnId txn, std::uint64_t epoch,
 void NetLockSession::OnPacket(const Packet& pkt) {
   const std::optional<LockHeader> hdr = LockHeader::Parse(pkt);
   if (!hdr) return;
+  if ((hdr->op == LockOp::kGrant || hdr->op == LockOp::kData) &&
+      !grant_filter_.empty()) {
+    // Drop network-duplicated grant copies first. The second copy of an
+    // already-consumed grant would otherwise take the unsolicited-grant
+    // path below and ghost-release a queue entry that was never double-
+    // created — blind-popping some other waiter and handing the lock to
+    // two holders at once.
+    const std::uint64_t fp = GrantFingerprint(*hdr, pkt.src);
+    std::uint64_t& reg = grant_filter_[static_cast<std::size_t>(
+        fp % grant_filter_.size())];
+    if (reg == fp) return;
+    reg = fp;  // Collisions just evict: the filter is best-effort.
+  }
   const auto it = pending_.find(std::make_pair(hdr->lock_id, hdr->txn_id));
   if (it == pending_.end()) {
     if (hdr->op == LockOp::kGrant || hdr->op == LockOp::kData) {
@@ -119,6 +153,9 @@ void NetLockSession::OnPacket(const Packet& pkt) {
       release.mode = hdr->mode;
       release.txn_id = hdr->txn_id;
       release.client_node = node_;
+      // Fresh nonce: this ghost release must NOT be deduplicated against
+      // the transaction's real release — it pops a distinct queue entry.
+      release.aux = release_nonce_++;
       machine_.Send(MakeLockPacket(node_, pkt.src, release));
     }
     return;
@@ -127,10 +164,13 @@ void NetLockSession::OnPacket(const Packet& pkt) {
     // kData is the one-RTT combined grant+item reply (§4.1). Remember the
     // grantor so the release goes back to it (relevant across failover).
     // One-RTT grants come via the database server, but lock state lives in
-    // whatever switch currently serves us: fall back to switch_node then.
-    if (hdr->op == LockOp::kGrant) {
-      grant_source_[std::make_pair(hdr->lock_id, hdr->txn_id)] = pkt.src;
-    }
+    // whatever switch currently serves us: source stays kInvalidNode then
+    // and the release falls back to switch_node. The arrival time is
+    // recorded for both — it anchors the lease discipline in Release().
+    GrantInfo info;
+    if (hdr->op == LockOp::kGrant) info.source = pkt.src;
+    info.granted_at = machine_.net().sim().now();
+    grant_source_[std::make_pair(hdr->lock_id, hdr->txn_id)] = info;
     if (trace_->Sampled(hdr->lock_id, hdr->txn_id)) {
       const SimTime now = machine_.net().sim().now();
       const std::uint64_t id =

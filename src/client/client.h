@@ -86,6 +86,21 @@ class NetLockSession : public LockSession {
     SimTime reject_backoff = 20 * kMicrosecond;
     /// Give up after this many retransmissions and report kTimeout.
     int max_retries = 16;
+    /// Slots in the duplicate-grant filter (hash-indexed grant
+    /// fingerprints). Drops network-duplicated copies of a grant before
+    /// they can re-trigger the unsolicited-grant ghost release, which
+    /// would blind-pop another waiter's queue entry. 0 disables.
+    std::uint32_t grant_filter_slots = 1024;
+    /// Lease duration the lock manager enforces (0 = no lease discipline).
+    /// Once a grant is older than `lease - lease_release_margin`, the
+    /// manager's lease sweep may already have force-released the entry, so
+    /// sending our release would pop a *different* waiter's queue slot.
+    /// The session then drops the release and lets the sweep reclaim it.
+    SimTime lease = 0;
+    /// Safety margin: must cover the release's one-way flight time plus
+    /// the grant's (the holder timestamps from grant *arrival*, which lags
+    /// the manager's grant clock by one delivery).
+    SimTime lease_release_margin = 0;
   };
 
   NetLockSession(ClientMachine& machine, Config config);
@@ -105,12 +120,16 @@ class NetLockSession : public LockSession {
   /// failover: the promoted tail holds the dead head's exact state, so
   /// releases recorded against the head must flow to the tail).
   void RedirectGrantSource(NodeId from, NodeId to) {
-    for (auto& [key, source] : grant_source_) {
-      if (source == from) source = to;
+    for (auto& [key, info] : grant_source_) {
+      if (info.source == from) info.source = to;
     }
   }
 
   std::uint64_t retransmits() const { return retransmits_; }
+
+  /// Releases dropped by the lease discipline (grant too old to release
+  /// safely; the manager's lease sweep reclaims the entry instead).
+  std::uint64_t releases_suppressed() const { return releases_suppressed_; }
 
  private:
   struct Pending {
@@ -131,13 +150,33 @@ class NetLockSession : public LockSession {
   NodeId node_;
   TraceLog* trace_;  ///< Request-lifecycle tracing (resolved once).
   std::map<std::pair<LockId, TxnId>, Pending> pending_;
-  /// Where each held lock's grant came from: releases are sent back to the
-  /// granting switch, which is what keeps release routing correct while a
-  /// backup switch serves during a primary outage (§4.5: "we only grant
-  /// locks from the backup switch until the queue ... gets empty").
-  std::map<std::pair<LockId, TxnId>, NodeId> grant_source_;
+  struct GrantInfo {
+    /// Grantor node; kInvalidNode for one-RTT kData grants (the reply
+    /// comes via the database server — release to switch_node instead).
+    NodeId source = kInvalidNode;
+    /// Local arrival time of the grant, anchoring the lease discipline.
+    SimTime granted_at = 0;
+  };
+
+  /// Where and when each held lock's grant arrived: releases are sent back
+  /// to the granting switch, which is what keeps release routing correct
+  /// while a backup switch serves during a primary outage (§4.5: "we only
+  /// grant locks from the backup switch until the queue ... gets empty").
+  std::map<std::pair<LockId, TxnId>, GrantInfo> grant_source_;
   std::uint64_t next_epoch_ = 1;
   std::uint64_t retransmits_ = 0;
+  std::uint64_t releases_suppressed_ = 0;
+  /// Stamped into LockHeader::aux of every release this session sends. Each
+  /// logical release gets a fresh nonce, so the manager-side dedup filters
+  /// drop network-retransmitted copies (same nonce) without swallowing a
+  /// second legitimate release of the same (lock, txn) — e.g. the ghost
+  /// release of a duplicate grant (fresh nonce).
+  std::uint32_t release_nonce_ = 1;
+  /// Grant-dedup fingerprints (empty when the filter is disabled). Keyed by
+  /// GrantFingerprint(lock, txn, grantor, grant nonce): a duplicated copy of
+  /// a grant matches its original and is dropped; the grant of a distinct
+  /// queue entry carries a fresh nonce and passes.
+  std::vector<std::uint64_t> grant_filter_;
 };
 
 }  // namespace netlock

@@ -31,19 +31,29 @@ void FailoverManager::RepointSessions(NodeId node) {
 void FailoverManager::FailPrimary() {
   NETLOCK_CHECK(!primary_failed_);
   ++epoch_;
+  ++fail_epoch_;
   primary_failed_ = true;
   backup_active_ = true;
   primary_.Fail();
 
   // Replicate the allocation onto the backup, suspended: requests queue
-  // immediately but no grant can overlap a pre-failure holder.
+  // immediately but no grant can overlap a pre-failure holder. On a second
+  // failure during a drain the backup still holds the locks: skip the
+  // install, and re-suspend exactly those whose grant stream had moved
+  // back to the primary (fresh primary grants must expire before the
+  // backup may grant them again). Locks still draining keep granting.
   backup_.SetDefaultRoute(
       [this](LockId lock) { return control_.ServerFor(lock); });
   for (const auto& [lock, slots] : control_.installed().switch_slots) {
+    if (backup_.IsInstalled(lock)) {
+      if (returned_to_primary_.count(lock) != 0) backup_.Suspend(lock);
+      continue;
+    }
     const bool ok = backup_.InstallLock(lock, control_.ServerFor(lock),
                                         slots, /*suspended=*/true);
     NETLOCK_CHECK(ok);  // The backup is empty; capacity matches.
   }
+  returned_to_primary_.clear();
   // Overflow (q2) traffic from the servers must reach the live switch.
   for (LockServer* server : control_.servers()) {
     server->set_switch_node(backup_.node());
@@ -53,9 +63,12 @@ void FailoverManager::FailPrimary() {
   // Activate after one lease: every grant issued by the dead primary has
   // expired by then ("the server waits for the leases to expire before
   // granting the locks" — the same rule, applied to the backup switch).
-  const std::uint64_t epoch = epoch_;
-  sim_.Schedule(control_.config().lease, [this, epoch]() {
-    if (epoch != epoch_) return;
+  // Guarded by fail_epoch_, NOT epoch_: an early RecoverPrimary bumps
+  // epoch_ but must not cancel this activation, or the backup's suspended
+  // queues would never grant (and so never drain) — a livelock.
+  const std::uint64_t fail_epoch = fail_epoch_;
+  sim_.Schedule(control_.config().lease, [this, fail_epoch]() {
+    if (fail_epoch != fail_epoch_) return;
     ActivateBackupLocks();
   });
   SweepBackupLeases();
@@ -69,8 +82,12 @@ void FailoverManager::ActivateBackupLocks() {
 
 void FailoverManager::SweepBackupLeases() {
   if (!backup_active_) return;
-  sim_.Schedule(control_.config().lease_poll_interval, [this]() {
-    if (!backup_active_) return;
+  // fail_epoch_ guard: a second FailPrimary starts a fresh chain; the old
+  // one must die here or two chains would sweep concurrently forever.
+  const std::uint64_t fail_epoch = fail_epoch_;
+  sim_.Schedule(control_.config().lease_poll_interval,
+                [this, fail_epoch]() {
+    if (!backup_active_ || fail_epoch != fail_epoch_) return;
     backup_.ClearExpired(control_.config().lease);
     SweepBackupLeases();
   });
@@ -95,11 +112,17 @@ void FailoverManager::RecoverPrimary(std::function<void()> done) {
     server->set_switch_node(primary_.node());
   }
   RepointSessions(primary_.node());
-  PollRecovery(std::move(done));
+  PollRecovery(epoch_, std::move(done));
 }
 
-void FailoverManager::PollRecovery(std::function<void()> done) {
-  sim_.Schedule(config_.poll_interval, [this, done = std::move(done)]() {
+void FailoverManager::PollRecovery(std::uint64_t epoch,
+                                   std::function<void()> done) {
+  sim_.Schedule(config_.poll_interval,
+                [this, epoch, done = std::move(done)]() {
+    // A second FailPrimary supersedes this recovery: without this guard
+    // the stale poll would keep activating primary locks on a switch that
+    // has failed again (and fight the new failover's bookkeeping).
+    if (epoch != epoch_) return;
     bool all_drained = true;
     for (const LockId lock : primary_.table().InstalledLocks()) {
       if (!primary_.IsSuspended(lock)) continue;
@@ -107,17 +130,19 @@ void FailoverManager::PollRecovery(std::function<void()> done) {
       // each primary lock the moment the backup's queue for it drains.
       if (!backup_.IsInstalled(lock) || backup_.QueueEmpty(lock)) {
         primary_.Activate(lock);
+        returned_to_primary_.insert(lock);
       } else {
         all_drained = false;
       }
     }
     if (!all_drained) {
-      PollRecovery(done);
+      PollRecovery(epoch, done);
       return;
     }
     // Backup fully drained: wipe it back to cold standby.
     backup_active_ = false;
     backup_.Restart();
+    returned_to_primary_.clear();
     if (done) done();
   });
 }

@@ -29,6 +29,7 @@
 #pragma once
 
 #include <functional>
+#include <unordered_set>
 #include <vector>
 
 #include "client/client.h"
@@ -63,16 +64,28 @@ class FailoverManager {
   /// recovering primary that is still suspended).
   bool backup_active() const { return backup_active_; }
 
-  /// Fails the primary over to the backup (steps 1-3 above).
+  /// Drain progress: locks whose grant stream has moved back to the
+  /// recovered primary. Non-zero only mid-drain (cleared when the drain
+  /// completes or a second failure re-suspends them).
+  std::size_t locks_returned() const { return returned_to_primary_.size(); }
+
+  /// Fails the primary over to the backup (steps 1-3 above). May be called
+  /// again after RecoverPrimary, including while the backup is still
+  /// draining from the previous failover: locks already returned to the
+  /// primary are re-suspended on the backup for one lease (the primary's
+  /// fresh grants must expire first); locks still draining keep granting —
+  /// their grant stream never moved back, so per-lock order holds.
   void FailPrimary();
 
   /// Restarts the primary and drains the backup (steps 4-6). `done` fires
-  /// when the backup is empty and wiped.
+  /// when the backup is empty and wiped; it never fires if the primary
+  /// fails again before the drain completes (the new failover supersedes
+  /// this recovery).
   void RecoverPrimary(std::function<void()> done = nullptr);
 
  private:
   void ActivateBackupLocks();
-  void PollRecovery(std::function<void()> done);
+  void PollRecovery(std::uint64_t epoch, std::function<void()> done);
   void RepointSessions(NodeId node);
   void SweepBackupLeases();
 
@@ -84,7 +97,18 @@ class FailoverManager {
   std::vector<NetLockSession*> sessions_;
   bool backup_active_ = false;
   bool primary_failed_ = false;
-  std::uint64_t epoch_ = 0;  // Invalidates stale scheduled callbacks.
+  /// Invalidates stale recovery polls: bumped by both FailPrimary and
+  /// RecoverPrimary, so a second failure kills the previous recovery.
+  std::uint64_t epoch_ = 0;
+  /// Bumped only by FailPrimary. Guards the backup activation timer and
+  /// the lease-sweep chain: an early RecoverPrimary (before one lease has
+  /// passed) must NOT cancel the pending activation — the backup's queued
+  /// requests still have to be granted for its queues to ever drain.
+  std::uint64_t fail_epoch_ = 0;
+  /// Locks whose grant stream has moved back to the recovered primary
+  /// (backup queue drained). On a second failure these — and only these —
+  /// are re-suspended on the backup.
+  std::unordered_set<LockId> returned_to_primary_;
 };
 
 }  // namespace netlock

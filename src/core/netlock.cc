@@ -36,6 +36,8 @@ std::unique_ptr<LockSession> NetLockManager::CreateSession(
   config.tenant = tenant;
   config.retry_timeout = options_.client_retry_timeout;
   config.max_retries = options_.client_max_retries;
+  config.lease = options_.client_lease;
+  config.lease_release_margin = options_.client_lease_release_margin;
   return std::make_unique<NetLockSession>(machine, config);
 }
 

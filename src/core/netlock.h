@@ -33,6 +33,12 @@ struct NetLockOptions {
   /// Client session defaults (switch_node is filled in by CreateSession).
   SimTime client_retry_timeout = 5 * kMillisecond;
   int client_max_retries = 16;
+  /// Lease discipline (see NetLockSession::Config): sessions stop sending
+  /// releases for grants older than `lease - margin`, since the lease
+  /// sweep may already have force-released the entry. Defaults mirror the
+  /// control plane's lease with a margin that covers two one-way trips.
+  SimTime client_lease = 50 * kMillisecond;
+  SimTime client_lease_release_margin = 100 * kMicrosecond;
 };
 
 class NetLockManager {

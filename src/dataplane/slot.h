@@ -90,6 +90,10 @@ struct PrioMeta {
 /// decision needs in one RMW.
 struct AggState {
   LockMode held_mode = LockMode::kShared;
+  /// Holder's transaction when held exclusively (holders == 1). Lets the
+  /// release path reject a stale exclusive release from a transaction that
+  /// no longer holds the lock. Meaningless while held shared.
+  TxnId held_txn = kInvalidTxn;
   std::uint32_t holders = 0;
   std::uint32_t waiting_total = 0;
   std::uint16_t wait_x[kMaxPriorities] = {};     ///< Waiting exclusives.

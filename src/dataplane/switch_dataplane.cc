@@ -73,10 +73,19 @@ LockSwitch::LockSwitch(Network& net, LockSwitchConfig config)
   metrics_.sync_state_rtts = &reg.Counter("dataplane.sync_state_rtts");
   metrics_.forwarded_unowned = &reg.Counter("dataplane.forwarded_unowned");
   metrics_.pushes_accepted = &reg.Counter("dataplane.pushes_accepted");
+  metrics_.duplicate_releases = &reg.Counter("dataplane.duplicate_releases");
+  metrics_.mismatched_releases =
+      &reg.Counter("dataplane.mismatched_releases");
   node_ = net_.AddNode([this](const Packet& pkt) { HandlePacket(pkt); });
   quota_ = std::make_unique<TenantQuota>(pipeline_, /*stage=*/0,
                                          config_.max_tenants,
                                          config_.quota_mode);
+  if (config_.release_filter_slots > 0) {
+    // Stage 0, before the boundary registers: a release pass consults the
+    // filter first, so a retransmitted copy never reaches the queue RMW.
+    release_filter_ = std::make_unique<RegisterArray<std::uint64_t>>(
+        pipeline_, /*stage=*/0, config_.release_filter_slots);
+  }
   if (config_.num_priorities == 1) {
     bounds_ = std::make_unique<RegisterArray<LockBounds>>(
         pipeline_, /*stage=*/0, config_.max_locks);
@@ -208,6 +217,11 @@ void LockSwitch::Restart() {
   failed_ = false;
   table_.Clear();
   queue_->ControlClear();
+  if (release_filter_ != nullptr) {
+    for (std::uint32_t i = 0; i < config_.release_filter_slots; ++i) {
+      release_filter_->ControlWrite(i, 0);
+    }
+  }
   for (std::uint32_t i = 0; i < config_.max_locks; ++i) {
     if (config_.num_priorities == 1) {
       meta_->ControlWrite(i, LockMeta{});
@@ -254,14 +268,17 @@ void LockSwitch::HandlePacket(const Packet& pkt) {
       HandleAcquire(*hdr, /*pushed=*/true);
       if (chain_next_ != kInvalidNode) ChainForward(*hdr, 0);
       break;
-    case LockOp::kRelease:
-      if (config_.num_priorities > 1) {
-        HandleReleasePrio(*hdr, /*lease_forced=*/false);
-      } else {
-        HandleRelease(*hdr, /*lease_forced=*/false);
-      }
-      if (chain_next_ != kInvalidNode) ChainForward(*hdr, 0);
+    case LockOp::kRelease: {
+      // A dedup-filter hit means this packet is a network-retransmitted
+      // copy: it was never applied, so it must not replicate down the chain
+      // either (the tail's filter state would diverge from the head's).
+      const bool applied =
+          config_.num_priorities > 1
+              ? HandleReleasePrio(*hdr, /*lease_forced=*/false)
+              : HandleRelease(*hdr, /*lease_forced=*/false);
+      if (applied && chain_next_ != kInvalidNode) ChainForward(*hdr, 0);
       break;
+    }
     case LockOp::kSyncState:
       HandleResume(*hdr);
       if (chain_next_ != kInvalidNode) ChainForward(*hdr, 0);
@@ -310,6 +327,10 @@ void LockSwitch::HandleAcquire(const LockHeader& hdr, bool pushed) {
   const auto paused_it = paused_.find(hdr.lock_id);
   if (!pushed && paused_it != paused_.end() && paused_it->second) {
     // Lock being migrated: buffer at the server to preserve order (§4.3).
+    if (queue_observer_) {
+      queue_observer_(hdr.lock_id, hdr.txn_id, hdr.mode,
+                      /*overflowed=*/true);
+    }
     if (chain_next_ != kInvalidNode) ChainForward(hdr, kFlagChained);
     SendToServer(hdr, entry->home_server, kFlagBufferOnly);
     ++stats_.forwarded_overflow;
@@ -335,6 +356,17 @@ void LockSwitch::HandleAcquire(const LockHeader& hdr, bool pushed) {
             chained ? (hdr.flags & kFlagOverflowed) != 0
                     : (m.overflow || m.count == bounds.size());
         if (!pushed && must_overflow) {
+          episode_start = !m.overflow;
+          m.overflow = true;
+          ++m.fwd_since_notify;
+          return {AcquireDecision::Kind::kForwardOverflow, 0};
+        }
+        if (pushed && m.count == bounds.size()) {
+          // A push arriving at a full q1: under an adversarial network a
+          // duplicated kQueueEmpty notify can make the server push more
+          // entries than there are free slots, or direct acquires can race
+          // in ahead of the pushes. Bounce it back to q2 instead of
+          // corrupting the ring (order may bend; correctness holds).
           episode_start = !m.overflow;
           m.overflow = true;
           ++m.fwd_since_notify;
@@ -367,12 +399,23 @@ void LockSwitch::HandleAcquire(const LockHeader& hdr, bool pushed) {
                            ? "grant"
                            : "wait"),
                 outcome.slot_index);
+  if (!pushed && queue_observer_) {
+    queue_observer_(
+        hdr.lock_id, hdr.txn_id, hdr.mode,
+        outcome.kind == AcquireDecision::Kind::kForwardOverflow);
+  }
   if (outcome.kind == AcquireDecision::Kind::kForwardOverflow) {
     if (episode_start) metrics_.overflow_episodes->Inc();
     if (!pushed && chain_next_ != kInvalidNode) {
       ChainForward(hdr, kFlagChained | kFlagOverflowed);
     }
-    SendToServer(hdr, entry->home_server, kFlagBufferOnly);
+    LockHeader fwd = hdr;
+    if (pushed) {
+      // A bounced push re-enters q2 as a fresh buffer-only request.
+      fwd.op = LockOp::kAcquire;
+      fwd.flags &= static_cast<std::uint8_t>(~kFlagPushed);
+    }
+    SendToServer(fwd, entry->home_server, kFlagBufferOnly);
     ++stats_.forwarded_overflow;
     metrics_.q1_to_q2_forwards->Inc();
     if (trace_->Sampled(hdr.lock_id, hdr.txn_id)) {
@@ -415,17 +458,86 @@ void LockSwitch::HandleAcquire(const LockHeader& hdr, bool pushed) {
   }
 }
 
-void LockSwitch::HandleRelease(const LockHeader& hdr, bool lease_forced) {
+bool LockSwitch::HandleRelease(const LockHeader& hdr, bool lease_forced) {
   const SwitchLockEntry* entry = table_.Find(hdr.lock_id);
   if (entry == nullptr) {
     SendToServer(hdr, RouteFor(hdr.lock_id), kFlagServerOwned);
-    return;
+    return true;
   }
   PacketPass pass = pipeline_.BeginPass();
+  // Stage 0 first access: drop retransmitted copies before they can
+  // blind-pop a queue entry. Lease-forced releases are control-plane
+  // internal and never duplicated; they skip the filter so that repeated
+  // forced releases of re-granted entries are not misdropped.
+  if (!lease_forced && DuplicateRelease(hdr, pass)) return false;
   const LockBounds bounds = bounds_->Read(pass, entry->meta_index);
 
+  // Validation pass (Algorithm 2 line 8, hoisted): peek at the head entry
+  // BEFORE popping. Releases carry no queue position, so the pop is a blind
+  // head-pop; under an adversarial network a release can outlive its entry
+  // (the lease sweep force-released it, or a retransmission-created
+  // duplicate entry was already reclaimed) and the blind pop would then
+  // dequeue some other waiter's entry — double-granting the next requester
+  // while the popped waiter still believes it is queued. The head slot
+  // lives in a later stage than the queue metadata, so the pop happens on
+  // a resubmit — the same dequeue-then-inspect recirculation the paper
+  // needs for consecutive shared grants.
+  const LockMeta peek = meta_->Read(pass, entry->meta_index);
+  // Suspended locks have granted nothing: a *client* release reaching
+  // them is a stale pre-failure message and must not dequeue a waiter. A
+  // lease-forced release, however, targets the (expired) queue head itself
+  // and must still dequeue it, or the sweep could never reclaim entries on
+  // a suspended lock.
+  if (peek.count == 0 || (peek.suspended && !lease_forced)) {
+    // A release for an entry the switch no longer has (post-restart or
+    // post-lease-expiry duplicate). Safe to drop: leases already reclaimed
+    // the slot.
+    ++stats_.stale_releases;
+    metrics_.stale_releases->Inc();
+    NETLOCK_TRACE(hdr.lock_id,
+                  "SW release lock=%u mode=%d txn=%llu forced=%d stale=1\n",
+                  hdr.lock_id, (int)hdr.mode,
+                  (unsigned long long)hdr.txn_id, lease_forced);
+    if (trace_->Sampled(hdr.lock_id, hdr.txn_id)) {
+      trace_->Instant(TraceTrack::kPipeline, "pipeline.stale_release",
+                      net_.sim().now(),
+                      TraceLog::RequestId(hdr.lock_id, hdr.txn_id));
+    }
+    return true;
+  }
+  const QueueSlot head_peek = queue_->Read(pass, peek.head);
+  // An exclusive head is popped only by its own holder's release; a shared
+  // head is popped by any shared release (shared releases are commutative —
+  // holders release in arbitrary order but each pop retires one granted
+  // shared entry). A mode or transaction mismatch means the releaser's own
+  // entry is already gone: drop it instead of corrupting the ring.
+  // Lease-forced releases are built from the head itself and always match.
+  if (!lease_forced &&
+      (head_peek.mode != hdr.mode ||
+       (hdr.mode == LockMode::kExclusive &&
+        head_peek.txn_id != hdr.txn_id))) {
+    ++stats_.mismatched_releases;
+    metrics_.mismatched_releases->Inc();
+    NETLOCK_TRACE(hdr.lock_id,
+                  "SW release lock=%u mode=%d txn=%llu MISMATCH head "
+                  "mode=%d txn=%llu -> dropped\n",
+                  hdr.lock_id, (int)hdr.mode,
+                  (unsigned long long)hdr.txn_id, (int)head_peek.mode,
+                  (unsigned long long)head_peek.txn_id);
+    if (trace_->Sampled(hdr.lock_id, hdr.txn_id)) {
+      trace_->Instant(TraceTrack::kPipeline, "pipeline.mismatched_release",
+                      net_.sim().now(),
+                      TraceLog::RequestId(hdr.lock_id, hdr.txn_id));
+    }
+    return true;
+  }
+
+  // Pop pass. Within one simulated packet the resubmit is atomic (as is
+  // the paper's grant-chain recirculation), so the validated head is still
+  // the head here.
+  pipeline_.Resubmit(pass);
   struct DequeueResult {
-    bool stale = false;
+    bool suspended = false;
     std::uint32_t old_head = 0;
     std::uint32_t new_head = 0;
     std::uint32_t remaining = 0;
@@ -433,17 +545,11 @@ void LockSwitch::HandleRelease(const LockHeader& hdr, bool lease_forced) {
   };
   const DequeueResult deq = meta_->ReadModifyWrite(
       pass, entry->meta_index, [&](LockMeta& m) -> DequeueResult {
-        // Suspended locks have granted nothing: any release reaching them
-        // is a stale pre-failure message and must not dequeue a waiter.
-        if (m.count == 0 || m.suspended) return {.stale = true};
         DequeueResult r;
+        r.suspended = m.suspended;
         r.old_head = m.head;
         m.head = SharedQueue::Next(m.head, bounds);
         --m.count;
-        // Releases do not check the transaction ID (Section 4.2): only one
-        // transaction can hold an exclusive lock, and shared releases are
-        // commutative, so the dequeued entry's mode always matches the
-        // released mode.
         if (hdr.mode == LockMode::kExclusive) {
           NETLOCK_CHECK(m.xcnt > 0);
           --m.xcnt;
@@ -459,24 +565,11 @@ void LockSwitch::HandleRelease(const LockHeader& hdr, bool lease_forced) {
       });
 
   NETLOCK_TRACE(hdr.lock_id,
-                "SW release lock=%u mode=%d txn=%llu forced=%d stale=%d "
+                "SW release lock=%u mode=%d txn=%llu forced=%d stale=0 "
                 "old_head=%u remaining=%u notify=%d\n",
                 hdr.lock_id, (int)hdr.mode,
-                (unsigned long long)hdr.txn_id, lease_forced, deq.stale,
+                (unsigned long long)hdr.txn_id, lease_forced,
                 deq.old_head, deq.remaining, deq.notify_server);
-  if (deq.stale) {
-    // A release for an entry the switch no longer has (post-restart or
-    // post-lease-expiry duplicate). Safe to drop: leases already reclaimed
-    // the slot.
-    ++stats_.stale_releases;
-    metrics_.stale_releases->Inc();
-    if (trace_->Sampled(hdr.lock_id, hdr.txn_id)) {
-      trace_->Instant(TraceTrack::kPipeline, "pipeline.stale_release",
-                      net_.sim().now(),
-                      TraceLog::RequestId(hdr.lock_id, hdr.txn_id));
-    }
-    return;
-  }
   ++stats_.releases;
   metrics_.releases->Inc();
 
@@ -497,28 +590,13 @@ void LockSwitch::HandleRelease(const LockHeader& hdr, bool lease_forced) {
     }
   } trace_on_exit{this, hdr, pass};
 
-  // Algorithm 2 line 8: read the dequeued entry. We use it only to validate
-  // the mode-matching argument above.
-  const QueueSlot& dequeued = queue_->Read(pass, deq.old_head);
-  if (dequeued.mode != hdr.mode) {
-    std::fprintf(stderr,
-                 "MODE MISMATCH lock=%u released(mode=%d txn=%llu forced=%d) "
-                 "dequeued(mode=%d txn=%llu) remaining=%u\n",
-                 hdr.lock_id, static_cast<int>(hdr.mode),
-                 static_cast<unsigned long long>(hdr.txn_id), lease_forced,
-                 static_cast<int>(dequeued.mode),
-                 static_cast<unsigned long long>(dequeued.txn_id),
-                 deq.remaining);
-  }
-  NETLOCK_DCHECK(dequeued.mode == hdr.mode);
-  (void)dequeued;
-  (void)lease_forced;
-
   if (deq.notify_server) {
     ++stats_.queue_empty_notifies;
     SendQueueEmptyNotify(hdr.lock_id, entry->home_server, bounds.size());
   }
-  if (deq.remaining == 0) return;
+  // A suspended lock dequeues (lease sweep) but never grants: the cascade
+  // runs when Activate() lifts the suspension.
+  if (deq.remaining == 0 || deq.suspended) return true;
 
   // Resubmit to examine the new head (Algorithm 2 lines 12-27). Grants
   // re-stamp the slot's timestamp (a read-modify-write, still one access):
@@ -569,13 +647,13 @@ void LockSwitch::HandleRelease(const LockHeader& hdr, bool lease_forced) {
       // Exclusive -> Exclusive: grant the next exclusive; no more resubmits.
       grant_slot(head);
     }
-    return;
+    return true;
   }
   // Head is shared.
   if (hdr.mode == LockMode::kShared) {
     // Shared -> Shared: the head was already granted when it entered the
     // queue (or by an earlier cascade); nothing to do.
-    return;
+    return true;
   }
   // Exclusive -> Shared: grant consecutive shared requests, one resubmit
   // per grant, until an exclusive request or the end of the queue.
@@ -595,6 +673,30 @@ void LockSwitch::HandleRelease(const LockHeader& hdr, bool lease_forced) {
     pointer = SharedQueue::Next(pointer, bounds);
     --remaining;
   }
+  return true;
+}
+
+bool LockSwitch::DuplicateRelease(const LockHeader& hdr, PacketPass& pass) {
+  if (release_filter_ == nullptr) return false;
+  const std::uint64_t fp = ReleaseFingerprint(hdr);
+  const std::size_t idx =
+      static_cast<std::size_t>(fp % release_filter_->size());
+  const bool dup = release_filter_->ReadModifyWrite(
+      pass, idx, [&](std::uint64_t& reg) {
+        if (reg == fp) return true;
+        reg = fp;  // Collisions just evict: the filter is best-effort.
+        return false;
+      });
+  if (dup) {
+    ++stats_.duplicate_releases;
+    metrics_.duplicate_releases->Inc();
+    if (trace_->Sampled(hdr.lock_id, hdr.txn_id)) {
+      trace_->Instant(TraceTrack::kPipeline, "pipeline.duplicate_release",
+                      net_.sim().now(),
+                      TraceLog::RequestId(hdr.lock_id, hdr.txn_id));
+    }
+  }
+  return dup;
 }
 
 void LockSwitch::HandleResume(const LockHeader& hdr) {
@@ -671,6 +773,7 @@ void LockSwitch::HandleAcquirePrio(const LockHeader& hdr) {
         if (free_now || share_now) {
           if (a.holders == 0) {
             a.held_mode = hdr.mode;
+            a.held_txn = hdr.txn_id;
             a.held_since = now;
           }
           ++a.holders;
@@ -738,31 +841,48 @@ void LockSwitch::HandleAcquirePrio(const LockHeader& hdr) {
   }
 }
 
-void LockSwitch::HandleReleasePrio(const LockHeader& hdr,
+bool LockSwitch::HandleReleasePrio(const LockHeader& hdr,
                                    bool lease_forced) {
-  (void)lease_forced;
   const SwitchLockEntry* entry = table_.Find(hdr.lock_id);
   if (entry == nullptr) {
     SendToServer(hdr, RouteFor(hdr.lock_id), kFlagServerOwned);
-    return;
+    return true;
   }
   PacketPass pass = pipeline_.BeginPass();
-  enum class Action { kStale, kDone, kChain };
+  // Stage 0: retransmission dedup (see HandleRelease).
+  if (!lease_forced && DuplicateRelease(hdr, pass)) return false;
+  enum class Action { kStale, kMismatch, kDone, kChain };
   const Action action = agg_->ReadModifyWrite(
       pass, entry->meta_index, [&](AggState& a) {
         if (a.holders == 0) return Action::kStale;
+        // Stale-release validation (see HandleRelease): a release whose
+        // mode — or, for an exclusive hold, transaction — does not match
+        // the current holder is from an entry already reclaimed (lease
+        // sweep) and must not decrement someone else's hold.
+        if (!lease_forced &&
+            (hdr.mode != a.held_mode ||
+             (a.held_mode == LockMode::kExclusive &&
+              hdr.txn_id != a.held_txn))) {
+          return Action::kMismatch;
+        }
         --a.holders;
         if (a.holders > 0) return Action::kDone;
         return a.waiting_total > 0 ? Action::kChain : Action::kDone;
       });
-  if (action == Action::kStale) {
-    ++stats_.stale_releases;
-    metrics_.stale_releases->Inc();
-    return;
+  if (action == Action::kStale || action == Action::kMismatch) {
+    if (action == Action::kMismatch) {
+      ++stats_.mismatched_releases;
+      metrics_.mismatched_releases->Inc();
+    } else {
+      ++stats_.stale_releases;
+      metrics_.stale_releases->Inc();
+    }
+    return true;
   }
   ++stats_.releases;
   metrics_.releases->Inc();
   if (action == Action::kChain) GrantChainPrio(*entry, pass);
+  return true;
 }
 
 void LockSwitch::GrantChainPrio(const SwitchLockEntry& entry,
@@ -778,6 +898,7 @@ void LockSwitch::GrantChainPrio(const SwitchLockEntry& entry,
     bool valid = false;
     Priority prio = 0;
     LockMode mode = LockMode::kShared;
+    TxnId txn = kInvalidTxn;
   };
   Pending prev;
   for (;;) {
@@ -793,6 +914,7 @@ void LockSwitch::GrantChainPrio(const SwitchLockEntry& entry,
           if (prev.valid) {
             ++a.holders;
             a.held_mode = prev.mode;
+            a.held_txn = prev.txn;
             if (a.holders == 1) a.held_since = now;
             NETLOCK_CHECK(a.wait_count[prev.prio] > 0);
             --a.wait_count[prev.prio];
@@ -857,12 +979,16 @@ void LockSwitch::GrantChainPrio(const SwitchLockEntry& entry,
     grant.tenant = slot.tenant;
     grant.timestamp = slot.timestamp;
     SendGrant(grant);
-    prev = Pending{true, pop_prio, pop_mode};
+    prev = Pending{true, pop_prio, pop_mode, slot.txn_id};
     first = false;
   }
 }
 
 void LockSwitch::ClearExpired(SimTime lease, SweepScope scope) {
+  // A failed switch processes nothing — the control plane's lease polling
+  // keeps running, but sweeping the dead registers would cascade-grant
+  // from a stale queue while the backup serves the same locks.
+  if (failed_) return;
   const SimTime now = net_.sim().now();
   if (now < lease) return;
   const SimTime cutoff = now - lease;
@@ -885,6 +1011,7 @@ void LockSwitch::ClearExpired(SimTime lease, SweepScope scope) {
         forced.mode = head.mode;
         forced.txn_id = head.txn_id;
         forced.client_node = head.client_node;
+        forced.aux = forced_release_nonce_++;
         HandleRelease(forced, /*lease_forced=*/true);
         // Chain head: the forced release must replicate like any other op.
         if (chain_next_ != kInvalidNode) ChainForward(forced, 0);
@@ -918,6 +1045,8 @@ void LockSwitch::ClearExpired(SimTime lease, SweepScope scope) {
         forced.op = LockOp::kRelease;
         forced.lock_id = lock;
         forced.mode = agg.held_mode;
+        forced.txn_id = agg.held_txn;
+        forced.aux = forced_release_nonce_++;
         HandleReleasePrio(forced, /*lease_forced=*/true);
       }
     }
@@ -951,6 +1080,17 @@ bool LockSwitch::IsSuspended(LockId lock) const {
   const SwitchLockEntry* entry = table_.Find(lock);
   if (entry == nullptr) return false;
   return meta_->ControlRead(entry->meta_index).suspended;
+}
+
+void LockSwitch::Suspend(LockId lock) {
+  NETLOCK_CHECK(config_.num_priorities == 1);
+  const SwitchLockEntry* entry = table_.Find(lock);
+  NETLOCK_CHECK(entry != nullptr);
+  PacketPass pass = pipeline_.BeginPass();
+  meta_->ReadModifyWrite(pass, entry->meta_index, [](LockMeta& m) {
+    m.suspended = true;
+    return 0;
+  });
 }
 
 void LockSwitch::Activate(LockId lock) {
@@ -1023,7 +1163,7 @@ void LockSwitch::SendGrant(const LockHeader& request) {
   }
   LockHeader grant = request;
   grant.op = LockOp::kGrant;
-  grant.aux = static_cast<std::uint32_t>(AcquireResult::kGranted);
+  grant.aux = grant_nonce_++;  // Per-instance nonce (dedup filter key).
   if (db_route_) {
     // One-RTT mode (§4.1): mirror the grant to the database server, which
     // replies to the client with the item and the implied grant. Every
@@ -1051,6 +1191,9 @@ void LockSwitch::SendQueueEmptyNotify(LockId lock, NodeId server,
   notify.op = LockOp::kQueueEmpty;
   notify.lock_id = lock;
   notify.aux = free_slots;
+  // Stamped so the server can discard stale or duplicated notifies: pushing
+  // twice for one notify would overrun q1 (and bend FIFO order).
+  notify.timestamp = net_.sim().now();
   Emit(MakeLockPacket(node_, server, notify));
 }
 

@@ -58,6 +58,12 @@ struct LockSwitchConfig {
   /// Tenants known to the quota table.
   std::uint16_t max_tenants = 64;
   QuotaMode quota_mode = QuotaMode::kMeter;
+  /// Slots in the release-dedup filter: a stage-0 register array of release
+  /// fingerprints (hash-indexed) that drops retransmitted copies of a
+  /// RELEASE before they can blind-pop someone else's queue entry (releases
+  /// do not check transaction IDs, §4.2). Power of two recommended. 0
+  /// disables deduplication (pre-adversary behaviour).
+  std::uint32_t release_filter_slots = 4096;
   /// Extra one-way delay added to every packet the switch emits, modelling
   /// ASIC pipeline transit. Default 0: testbed link latencies already
   /// include it.
@@ -69,6 +75,12 @@ struct LockSwitchConfig {
 /// unless installed).
 using GrantObserver =
     std::function<void(LockId, TxnId, LockMode, NodeId client)>;
+
+/// Observer invoked when the switch accepts an acquire into its queue (or
+/// decides to overflow it to the server). Fires at the admission decision,
+/// i.e. in queue order — the FIFO oracle pairs it with the grant observer.
+using QueueObserver =
+    std::function<void(LockId, TxnId, LockMode, bool overflowed)>;
 
 class LockSwitch {
  public:
@@ -96,6 +108,12 @@ class LockSwitch {
 
   /// True if the lock is installed and in suspended mode.
   bool IsSuspended(LockId lock) const;
+
+  /// Re-enters suspended mode for an installed lock: requests keep queuing
+  /// but nothing is granted until Activate(). Used by failover when the
+  /// primary fails again while this (backup) switch still holds queues.
+  /// Default path only (like Activate).
+  void Suspend(LockId lock);
 
   /// True if the lock is installed in the switch.
   bool IsInstalled(LockId lock) const {
@@ -193,6 +211,11 @@ class LockSwitch {
     grant_observer_ = std::move(observer);
   }
 
+  /// Installs an observer for every acquire admission decision.
+  void set_queue_observer(QueueObserver observer) {
+    queue_observer_ = std::move(observer);
+  }
+
   // --- Statistics ---
   struct Stats {
     std::uint64_t grants = 0;          ///< Locks granted by the switch.
@@ -204,6 +227,11 @@ class LockSwitch {
     std::uint64_t pushes_accepted = 0;
     std::uint64_t dropped_while_failed = 0;
     std::uint64_t stale_releases = 0;
+    std::uint64_t duplicate_releases = 0;  ///< Dropped by the dedup filter.
+    /// Releases whose mode/txn did not match the queue head (the releaser's
+    /// entry was already reclaimed): dropped by the validation pass instead
+    /// of blind-popping another waiter's entry.
+    std::uint64_t mismatched_releases = 0;
   };
   const Stats& stats() const { return stats_; }
   std::uint64_t resubmits() const { return pipeline_.total_resubmits(); }
@@ -231,10 +259,15 @@ class LockSwitch {
   };
 
   void HandleAcquire(const LockHeader& hdr, bool pushed);
-  void HandleRelease(const LockHeader& hdr, bool lease_forced);
+  /// Returns false when the release was dropped as a retransmitted
+  /// duplicate (dedup filter hit) — the caller must not chain-forward it.
+  bool HandleRelease(const LockHeader& hdr, bool lease_forced);
   void HandleResume(const LockHeader& hdr);
   void HandleAcquirePrio(const LockHeader& hdr);
-  void HandleReleasePrio(const LockHeader& hdr, bool lease_forced);
+  bool HandleReleasePrio(const LockHeader& hdr, bool lease_forced);
+  /// Dedup-filter RMW (stage 0, before any other register access on the
+  /// release pass). True when hdr is a retransmitted copy already seen.
+  bool DuplicateRelease(const LockHeader& hdr, PacketPass& pass);
   /// The resubmit-per-grant chain after a priority-path release leaves the
   /// lock free: pops and grants the highest-priority waiter per pass, and
   /// keeps going while the grants are shared.
@@ -258,6 +291,9 @@ class LockSwitch {
   // Priority path: 0 = quota + per-class boundaries, 1 = aggregate state,
   // 2..1+P = per-class queue metadata, 2+P.. = shared-queue arrays.
   std::unique_ptr<TenantQuota> quota_;
+  /// Release-dedup fingerprints, hash-indexed (stage 0; nullptr when
+  /// config_.release_filter_slots == 0).
+  std::unique_ptr<RegisterArray<std::uint64_t>> release_filter_;
   std::unique_ptr<RegisterArray<LockBounds>> bounds_;
   std::unique_ptr<RegisterArray<LockMeta>> meta_;
   std::unique_ptr<RegisterArray<AggState>> agg_;
@@ -271,6 +307,18 @@ class LockSwitch {
   std::unordered_map<LockId, bool> paused_;
 
   bool failed_ = false;
+  /// Stamped into lease-forced releases' aux so each forced instance has a
+  /// distinct fingerprint: a chained replica runs them through its normal
+  /// (deduplicating) release path, and two forced releases of the same
+  /// ghost entry must both apply there.
+  std::uint32_t forced_release_nonce_ = 1;
+  /// Stamped into each grant's aux: a per-instance nonce letting clients
+  /// distinguish a network-duplicated copy of a grant (same nonce — drop)
+  /// from the grant of a second queue entry created by a retransmitted
+  /// acquire (fresh nonce — ghost-release it). Deliberately not reset by
+  /// Restart(): post-restart grants must never collide with pre-crash
+  /// fingerprints still cached in client-side filters.
+  std::uint32_t grant_nonce_ = 1;
   NodeId chain_next_ = kInvalidNode;    ///< Head: where ops replicate to.
   NodeId src_override_ = kInvalidNode;  ///< Tail: emission source address.
   bool suppress_emissions_ = false;     ///< Head: tail emits for the chain.
@@ -288,10 +336,13 @@ class LockSwitch {
     MetricCounter* sync_state_rtts;     ///< kSyncState round-trips seen.
     MetricCounter* forwarded_unowned;
     MetricCounter* pushes_accepted;
+    MetricCounter* duplicate_releases;  ///< Dedup-filter hits.
+    MetricCounter* mismatched_releases; ///< Validation-pass drops.
   };
   Metrics metrics_;
 
   GrantObserver grant_observer_;
+  QueueObserver queue_observer_;
 };
 
 }  // namespace netlock

@@ -1,5 +1,7 @@
 #include "harness/testbed.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace netlock {
@@ -31,6 +33,10 @@ Testbed::Testbed(TestbedConfig config)
   const SimTime client_server =
       config_.client_switch_latency + config_.switch_server_latency;
   net_ = std::make_unique<Network>(sim_, client_server);
+  // Fault streams (loss, duplication, reorder, jitter) follow the run seed,
+  // so seeded sweeps vary their fault patterns; explicit per-test seeds via
+  // SetLossProbability(p, seed) still override.
+  net_->SetFaultSeed(config_.seed);
 
   LockId lock_space = config_.lock_space;
   if (lock_space == 0) {
@@ -51,6 +57,18 @@ Testbed::Testbed(TestbedConfig config)
           config_.lease_poll_interval;
       options.client_retry_timeout = config_.client_retry_timeout;
       options.client_max_retries = config_.client_max_retries;
+      // Lease discipline: suppress client releases within `margin` of the
+      // grant's lease expiring, so a release can never race the lease
+      // sweep's forced release and blind-pop another waiter's entry. The
+      // margin must cover the release's flight plus the grant's (both one
+      // client<->switch leg, plus slack for jitter/NIC queueing), but stay
+      // well under the lease so normal releases are never suppressed.
+      options.client_lease = config_.lease;
+      options.client_lease_release_margin = std::min<SimTime>(
+          config_.lease / 4,
+          std::max<SimTime>(100 * kMicrosecond,
+                            8 * (config_.client_switch_latency +
+                                 config_.switch_server_latency)));
       netlock_ = std::make_unique<NetLockManager>(*net_, options);
       infra_switch_nodes.push_back(netlock_->lock_switch().node());
       for (int i = 0; i < netlock_->num_servers(); ++i) {

@@ -70,7 +70,15 @@ struct LockHeader {
   NodeId client_node = kInvalidNode;
   /// Request issue time; used for lease accounting and latency measurement.
   SimTime timestamp = 0;
-  /// Number of free slots (kQueueEmpty) or AcquireResult (kGrant/kReject).
+  /// Number of free slots (kQueueEmpty), AcquireResult (kReject), the
+  /// client's release nonce (kRelease), or the grantor's grant nonce
+  /// (kGrant/kData): a per-instance counter that distinguishes a
+  /// *retransmitted copy* of a packet (same nonce — must be dropped, or a
+  /// release would blind-pop another waiter's entry and a grant would fire
+  /// a spurious ghost release) from a second logical instance for the same
+  /// (lock, txn) (fresh nonce — e.g. the immediate release of a duplicate
+  /// grant, which must pop its ghost entry, or the grant of a second queue
+  /// entry created by a retransmitted acquire).
   std::uint32_t aux = 0;
 
   /// Serializes into pkt's payload and sets its size. Returns false if the
@@ -86,5 +94,50 @@ struct LockHeader {
 
 /// Builds a ready-to-send packet around a header.
 Packet MakeLockPacket(NodeId src, NodeId dst, const LockHeader& hdr);
+
+/// Fingerprint identifying one release *instance* — (lock, txn, mode,
+/// client, nonce) mixed into a nonzero 64-bit value. Two packets carry the
+/// same fingerprint iff one is a network-duplicated copy of the other, which
+/// is what the switch/server release-dedup filters key on. Releases do not
+/// check transaction IDs on the dequeue path (Section 4.2), so this filter
+/// is the only thing standing between a duplicated RELEASE and a blind
+/// head-pop of some other waiter's entry.
+inline std::uint64_t ReleaseFingerprint(const LockHeader& hdr) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+  };
+  mix(hdr.lock_id);
+  mix(hdr.txn_id);
+  mix(static_cast<std::uint64_t>(hdr.mode));
+  mix(hdr.client_node);
+  mix(hdr.aux);
+  return h | 1;  // Never zero: zero marks an empty filter slot.
+}
+
+/// Fingerprint identifying one grant *instance* — (lock, txn, grantor,
+/// nonce). Grantors stamp a per-instance nonce into kGrant/kData aux, so a
+/// network-duplicated copy of a grant (same nonce) is distinguishable from
+/// the grant of a *second* queue entry created by a retransmitted acquire
+/// (fresh nonce). The client-side grant filters key on this: the
+/// unsolicited-grant ghost release must fire exactly once per queue entry —
+/// re-firing on a duplicated copy would blind-pop some other waiter's entry
+/// out of the switch queue and hand the lock to two holders at once.
+inline std::uint64_t GrantFingerprint(const LockHeader& hdr,
+                                      NodeId grantor) {
+  std::uint64_t h = 0xc2b2ae3d27d4eb4full;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+  };
+  mix(hdr.lock_id);
+  mix(hdr.txn_id);
+  mix(grantor);
+  mix(hdr.aux);
+  return h | 1;  // Never zero: zero marks an empty filter slot.
+}
 
 }  // namespace netlock

@@ -32,7 +32,9 @@ void DbServer::OnPacket(const Packet& pkt) {
     }
     LockHeader reply = request;
     reply.op = LockOp::kData;
-    reply.aux = static_cast<std::uint32_t>(AcquireResult::kGranted);
+    // aux is kept from the request: in one-RTT mode it carries the
+    // grantor's per-instance grant nonce, which the client's duplicate-
+    // grant filter keys on.
     net_.Send(MakeLockPacket(node_, request.client_node, reply));
   });
 }

@@ -17,6 +17,7 @@ LockServer::LockServer(Network& net, LockServerConfig config)
   metrics_.requests = &reg.Counter("server.requests_processed");
   metrics_.q2_depth = &reg.Gauge("server.q2_depth");
   node_ = net_.AddNode([this](const Packet& pkt) { OnPacket(pkt); });
+  release_filter_.assign(config_.release_filter_slots, 0);
   cores_.reserve(config_.cores);
   for (int i = 0; i < config_.cores; ++i) {
     cores_.push_back(std::make_unique<ServiceQueue>(
@@ -122,17 +123,40 @@ void LockServer::ProcessOwnedAcquire(const LockHeader& hdr) {
 
 void LockServer::ProcessOwnedRelease(const LockHeader& hdr,
                                      bool lease_forced) {
+  // Retransmission dedup (lease-forced releases are internal and exempt):
+  // the queue pop below does not check transaction IDs, so a duplicated
+  // RELEASE would dequeue some other waiter's entry.
+  if (!lease_forced && !release_filter_.empty()) {
+    const std::uint64_t fp = ReleaseFingerprint(hdr);
+    std::uint64_t& reg =
+        release_filter_[static_cast<std::size_t>(fp %
+                                                 release_filter_.size())];
+    if (reg == fp) {
+      ++stats_.duplicate_releases;
+      return;
+    }
+    reg = fp;  // Collisions just evict: the filter is best-effort.
+  }
   const auto it = owned_.find(hdr.lock_id);
   if (it == owned_.end() || it->second.queue.empty()) {
     ++stats_.stale_releases;
     return;
   }
   OwnedLock& lock = it->second;
+  const QueueSlot released = lock.queue.front();
+  // Validated dequeue (mirrors the switch): a release whose mode — or, for
+  // an exclusive hold, transaction — does not match the head is from an
+  // entry the lease sweep already force-released. Popping blindly would
+  // dequeue another waiter's entry.
+  if (!lease_forced &&
+      (released.mode != hdr.mode ||
+       (hdr.mode == LockMode::kExclusive &&
+        released.txn_id != hdr.txn_id))) {
+    ++stats_.mismatched_releases;
+    return;
+  }
   ++stats_.releases;
   metrics_.releases->Inc();
-  const QueueSlot released = lock.queue.front();
-  NETLOCK_DCHECK(lease_forced || released.mode == hdr.mode);
-  (void)lease_forced;
   lock.queue.pop_front();
   if (released.mode == LockMode::kExclusive) {
     NETLOCK_CHECK(lock.xcnt > 0);
@@ -186,6 +210,19 @@ void LockServer::ProcessBufferOnly(const LockHeader& hdr) {
 
 void LockServer::ProcessQueueEmpty(const LockHeader& hdr) {
   NETLOCK_CHECK(switch_node_ != kInvalidNode);
+  // A duplicated (or reordered, older) notify must not push again: the
+  // switch sized the first batch to its free slots, and a second batch
+  // would overrun q1. The switch re-arms with a fresh timestamp if the
+  // handshake wedges, so dropping here never strands q2.
+  const auto [notify_it, first_notify] =
+      last_push_notify_.try_emplace(hdr.lock_id, hdr.timestamp);
+  if (!first_notify) {
+    if (hdr.timestamp <= notify_it->second) {
+      ++stats_.duplicate_notifies;
+      return;
+    }
+    notify_it->second = hdr.timestamp;
+  }
   std::deque<QueueSlot>& q2 = q2_[hdr.lock_id];
   const std::uint32_t free_slots = hdr.aux;
   const std::size_t to_push =
@@ -236,7 +273,7 @@ void LockServer::Grant(LockId lock, const QueueSlot& slot) {
   grant.client_node = slot.client_node;
   grant.tenant = slot.tenant;
   grant.timestamp = slot.timestamp;
-  grant.aux = static_cast<std::uint32_t>(AcquireResult::kGranted);
+  grant.aux = grant_nonce_++;  // Per-instance nonce (dedup filter key).
   net_.Send(MakeLockPacket(node_, slot.client_node, grant));
 }
 
@@ -284,6 +321,8 @@ void LockServer::Fail() {
   }
   q2_.clear();
   graced_locks_.clear();
+  release_filter_.assign(release_filter_.size(), 0);
+  last_push_notify_.clear();
   for (auto& core : cores_) core->Reset();
 }
 

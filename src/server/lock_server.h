@@ -37,6 +37,10 @@ struct LockServerConfig {
   int cores = 8;
   /// Per-request CPU service time; 444 ns ~= 2.25 MRPS per core.
   SimTime per_request_service = 444;
+  /// Slots in the release-dedup filter (hash-indexed fingerprints of the
+  /// releases already applied). Drops network-retransmitted RELEASE copies
+  /// before they blind-pop another waiter's entry. 0 disables.
+  std::uint32_t release_filter_slots = 4096;
 };
 
 class LockServer {
@@ -127,6 +131,12 @@ class LockServer {
     std::uint64_t pushes_sent = 0;    ///< q2 entries pushed to the switch.
     std::uint64_t requests_processed = 0;
     std::uint64_t stale_releases = 0;
+    std::uint64_t duplicate_releases = 0;  ///< Dropped by the dedup filter.
+    /// Releases whose mode (or, for exclusive, transaction) did not match
+    /// the queue head — from an entry the lease sweep already reclaimed.
+    /// Dropped instead of popping another waiter's entry.
+    std::uint64_t mismatched_releases = 0;
+    std::uint64_t duplicate_notifies = 0;  ///< Stale/dup kQueueEmpty dropped.
   };
   const Stats& stats() const { return stats_; }
 
@@ -165,6 +175,18 @@ class LockServer {
   std::vector<std::unique_ptr<ServiceQueue>> cores_;
   std::unordered_map<LockId, OwnedLock> owned_;
   std::unordered_map<LockId, std::deque<QueueSlot>> q2_;
+  /// Release-dedup fingerprints (empty when the filter is disabled).
+  std::vector<std::uint64_t> release_filter_;
+  /// Per-instance nonce stamped into each grant's aux (see the switch's
+  /// grant_nonce_): lets clients drop network-duplicated grant copies
+  /// without swallowing the grant of a second, retransmission-created queue
+  /// entry. Not reset across failures for the same collision-avoidance
+  /// reason.
+  std::uint32_t grant_nonce_ = 1;
+  /// Timestamp of the newest kQueueEmpty notify seen per lock: a duplicated
+  /// (or reordered, older) notify must not trigger a second push batch —
+  /// the switch sized the first batch to its free slots.
+  std::unordered_map<LockId, SimTime> last_push_notify_;
   bool failed_ = false;
   SimTime grace_until_ = 0;
   std::vector<LockId> graced_locks_;

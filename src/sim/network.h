@@ -13,6 +13,7 @@
 #include <functional>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/check.h"
@@ -58,6 +59,30 @@ class Packet {
 /// Receives packets addressed to a node.
 using PacketHandler = std::function<void(const Packet&)>;
 
+/// The fault model of one link (or of the whole fabric, as the default):
+/// independent per-packet loss and duplication, uniform latency jitter, and
+/// probabilistic reordering (an extra delay in [1, reorder_window] lets a
+/// later packet overtake). All draws come from seed-derived SplitMix64
+/// streams (see Network::SetFaultSeed), so runs replay byte-identically.
+struct LinkFaults {
+  /// P(packet silently dropped).
+  double loss = 0.0;
+  /// P(a second copy of the packet is delivered a little later).
+  double duplicate = 0.0;
+  /// P(the packet is held back by an extra delay in [1, reorder_window]),
+  /// which breaks per-pair FIFO delivery.
+  double reorder = 0.0;
+  /// Maximum extra delay for a reordered packet (and the bound on how late
+  /// a duplicate trails the original).
+  SimTime reorder_window = 2000;
+  /// Uniform extra latency in [0, jitter] added to every packet.
+  SimTime jitter = 0;
+
+  bool any() const {
+    return loss > 0.0 || duplicate > 0.0 || reorder > 0.0 || jitter > 0;
+  }
+};
+
 class Network {
  public:
   /// `default_one_way_latency` applies to any pair without an explicit
@@ -69,7 +94,9 @@ class Network {
         packets_metric_(&sim.context().metrics().Counter("net.packets")),
         bytes_metric_(&sim.context().metrics().Counter("net.bytes")),
         dropped_metric_(&sim.context().metrics().Counter("net.dropped")),
-        trace_(&sim.context().trace()) {}
+        trace_(&sim.context().trace()) {
+    SetFaultSeed(fault_seed_);  // Distinct default streams per fault type.
+  }
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -93,15 +120,47 @@ class Network {
 
   /// Delivers pkt to pkt.dst after the link latency. Packets between a pair
   /// of nodes are delivered in FIFO order (the event queue is stable and
-  /// latency per pair is constant). If a loss probability is configured the
-  /// packet may be silently dropped, which exercises client retry paths.
+  /// latency per pair is constant) — unless the fault model reorders or
+  /// drops them, which exercises retry and lease-recovery paths.
   void Send(Packet pkt);
 
-  /// Sets an independent per-packet loss probability (default 0).
-  void SetLossProbability(double p, std::uint64_t seed = 1);
+  // --- Deterministic adversary (fault injection) ---
+
+  /// Seeds every fault stream (loss, duplication, reorder, jitter) from one
+  /// master seed. The testbed passes its run seed here, so loss patterns
+  /// vary across seeded sweeps while identical seeds replay byte-for-byte.
+  void SetFaultSeed(std::uint64_t seed);
+
+  /// Sets an independent per-packet loss probability (default 0). The
+  /// one-argument form draws from the SetFaultSeed-derived stream; pass an
+  /// explicit seed to pin the drop pattern regardless of the fault seed.
+  void SetLossProbability(double p);
+  void SetLossProbability(double p, std::uint64_t seed);
+
+  /// Fault model applied to every link without an explicit override.
+  void SetDefaultFaults(const LinkFaults& faults);
+
+  /// Per-link override (both directions of the a<->b pair).
+  void SetLinkFaults(NodeId a, NodeId b, const LinkFaults& faults);
+
+  /// Removes every fault knob and partition: the network is pristine again
+  /// (fault streams keep their positions; reseed with SetFaultSeed for a
+  /// fresh replay).
+  void ClearFaults();
+
+  /// Timed partitions: a blocked pair (or node) black-holes every packet in
+  /// both directions until unblocked. Drops count as packet losses.
+  void BlockPair(NodeId a, NodeId b);
+  void UnblockPair(NodeId a, NodeId b);
+  void BlockNode(NodeId node);
+  void UnblockNode(NodeId node);
+
+  const LinkFaults& default_faults() const { return default_faults_; }
 
   std::uint64_t packets_sent() const { return packets_sent_; }
   std::uint64_t packets_dropped() const { return packets_dropped_; }
+  std::uint64_t packets_duplicated() const { return packets_duplicated_; }
+  std::uint64_t packets_reordered() const { return packets_reordered_; }
   std::size_t num_nodes() const { return handlers_.size(); }
   Simulator& sim() { return sim_; }
 
@@ -112,6 +171,15 @@ class Network {
   }
 
   SimTime LatencyLookup(NodeId a, NodeId b) const;
+
+  /// Slow path taken only while any fault or partition is configured; the
+  /// clean-fabric hot path stays a single branch.
+  void SendThroughFaults(Packet pkt);
+  void DropPacket(const Packet& pkt);
+  const LinkFaults& FaultsFor(NodeId a, NodeId b) const;
+  bool Blocked(NodeId a, NodeId b) const;
+  void RecomputeFaultsActive();
+  std::uint64_t StreamState(std::uint64_t tag) const;
 
   /// The simulator's hottest event: delivery of one packet. A named struct
   /// (rather than a lambda) so the packet is stored directly in the event
@@ -133,10 +201,25 @@ class Network {
   SimTime default_latency_;
   std::vector<PacketHandler> handlers_;
   std::unordered_map<std::uint64_t, SimTime> link_latency_;
-  double loss_probability_ = 0.0;
+
+  // Fault model. `faults_active_` caches whether any knob or partition is
+  // set so the hot path pays one branch when the fabric is clean.
+  LinkFaults default_faults_;
+  std::unordered_map<std::uint64_t, LinkFaults> link_faults_;
+  std::unordered_set<std::uint64_t> blocked_pairs_;
+  std::vector<char> blocked_nodes_;
+  std::size_t num_blocked_nodes_ = 0;
+  bool faults_active_ = false;
+  std::uint64_t fault_seed_ = 1;
   std::uint64_t loss_state_ = 1;
+  std::uint64_t dup_state_ = 1;
+  std::uint64_t reorder_state_ = 1;
+  std::uint64_t jitter_state_ = 1;
+
   std::uint64_t packets_sent_ = 0;
   std::uint64_t packets_dropped_ = 0;
+  std::uint64_t packets_duplicated_ = 0;
+  std::uint64_t packets_reordered_ = 0;
   MetricCounter* packets_metric_;
   MetricCounter* bytes_metric_;
   MetricCounter* dropped_metric_;

@@ -1,0 +1,617 @@
+#include "testing/fuzzer.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "common/random.h"
+#include "common/sim_context.h"
+#include "core/failover.h"
+#include "harness/experiment.h"
+#include "harness/testbed.h"
+#include "testing/lock_oracle.h"
+#include "workload/micro.h"
+
+namespace netlock::testing {
+namespace {
+
+/// Fuzz runs use a short lease so expiry/recovery paths fire within a few
+/// tens of simulated milliseconds.
+constexpr SimTime kFuzzLease = 5 * kMillisecond;
+
+std::uint64_t Fold(std::uint64_t digest, std::uint64_t v) {
+  return (digest ^ v) * 0x100000001b3ull;  // FNV-1a step.
+}
+
+bool ParseU64(std::string_view s, std::uint64_t* out) {
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+/// Executes fault actions against a live testbed. Every action is guarded
+/// by current runtime state, so arbitrary subsequences of a plan (the
+/// shrinker's probes) are always executable.
+struct FaultDriver {
+  Testbed& testbed;
+  std::vector<NetLockSession*>& sessions;
+  std::vector<NodeId> switch_nodes;
+  ControlPlane& control;
+  FailoverManager* failover;
+  int num_servers;
+  int machines;
+  LinkFaults current;
+  bool primary_failed = false;
+  bool switch_crashed = false;
+
+  void ApplyKnobs() {
+    // Faults live on the client<->switch legs only: the in-rack
+    // switch<->server channel stays reliable and ordered, matching the
+    // overflow protocol's coordination assumption (Section 4.3).
+    for (NetLockSession* session : sessions) {
+      for (const NodeId sw : switch_nodes) {
+        testbed.net().SetLinkFaults(session->node(), sw, current);
+      }
+    }
+  }
+
+  void SetKnob(FaultKind kind, std::uint32_t value) {
+    const double p = static_cast<double>(value) / 1000.0;
+    switch (kind) {
+      case FaultKind::kLoss: current.loss = p; break;
+      case FaultKind::kDuplicate: current.duplicate = p; break;
+      case FaultKind::kReorder: current.reorder = p; break;
+      case FaultKind::kJitter: current.jitter = value; break;
+      default: return;
+    }
+    ApplyKnobs();
+  }
+
+  void BlockMachine(std::uint32_t target, bool block) {
+    // Session i lives on machine i % machines (testbed round-robin).
+    const int m = static_cast<int>(target % static_cast<std::uint32_t>(
+                                                machines));
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+      if (static_cast<int>(i) % machines != m) continue;
+      if (block) {
+        testbed.net().BlockNode(sessions[i]->node());
+      } else {
+        testbed.net().UnblockNode(sessions[i]->node());
+      }
+    }
+  }
+
+  int AliveServers() const {
+    int alive = 0;
+    for (int i = 0; i < num_servers; ++i) {
+      alive += control.ServerAlive(i) ? 1 : 0;
+    }
+    return alive;
+  }
+
+  void Fire(const FaultAction& action, bool start) {
+    switch (action.kind) {
+      case FaultKind::kLoss:
+      case FaultKind::kDuplicate:
+      case FaultKind::kReorder:
+      case FaultKind::kJitter:
+        SetKnob(action.kind, start ? action.value : 0);
+        break;
+      case FaultKind::kClearFaults:
+        current = LinkFaults{};
+        ApplyKnobs();
+        break;
+      case FaultKind::kClientPartition:
+      case FaultKind::kLeaseExpiryBurst:
+        BlockMachine(action.target, start);
+        break;
+      case FaultKind::kFailPrimary:
+        if (failover != nullptr && !primary_failed && !switch_crashed) {
+          failover->FailPrimary();
+          primary_failed = true;
+        }
+        break;
+      case FaultKind::kRecoverPrimary:
+        if (failover != nullptr && primary_failed) {
+          failover->RecoverPrimary();
+          primary_failed = false;
+        }
+        break;
+      case FaultKind::kServerFail: {
+        const int idx =
+            static_cast<int>(action.target) % std::max(1, num_servers);
+        if (control.ServerAlive(idx) && AliveServers() > 1) {
+          control.FailServer(idx);
+        }
+        break;
+      }
+      case FaultKind::kServerRecover: {
+        const int idx =
+            static_cast<int>(action.target) % std::max(1, num_servers);
+        if (!control.ServerAlive(idx)) control.RecoverServer(idx);
+        break;
+      }
+      // In-place crash + restart (Figure 15): only when no failover is in
+      // flight — the FailoverManager owns the primary's lifecycle then.
+      case FaultKind::kSwitchCrash:
+        if (!primary_failed && !switch_crashed) {
+          testbed.netlock().lock_switch().Fail();
+          switch_crashed = true;
+        }
+        break;
+      case FaultKind::kSwitchRestart:
+        if (switch_crashed) {
+          control.RecoverSwitch();
+          switch_crashed = false;
+        }
+        break;
+    }
+  }
+};
+
+bool TimedFault(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLoss:
+    case FaultKind::kDuplicate:
+    case FaultKind::kReorder:
+    case FaultKind::kJitter:
+    case FaultKind::kClientPartition:
+    case FaultKind::kLeaseExpiryBurst:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string Schedule::SerializeParams() const {
+  std::string out;
+  out += "m=" + std::to_string(workload.machines);
+  out += ";spm=" + std::to_string(workload.sessions_per_machine);
+  out += ";locks=" + std::to_string(workload.num_locks);
+  out += ";cap=" + std::to_string(workload.queue_capacity);
+  out += ";shared=" + std::to_string(workload.shared_permille);
+  out += ";lpt=" + std::to_string(workload.locks_per_txn);
+  out += ";run=" + std::to_string(workload.run_time);
+  out += ";plan=" + plan.Serialize();
+  return out;
+}
+
+std::string Schedule::Serialize() const {
+  return "seed=" + std::to_string(seed) + ";" + SerializeParams();
+}
+
+bool Schedule::Parse(std::string_view text, Schedule* out) {
+  const std::uint64_t caller_seed = out->seed;  // Kept if `text` has none.
+  *out = Schedule{};
+  out->seed = caller_seed;
+  while (!text.empty()) {
+    const std::size_t semi = text.find(';');
+    std::string_view field = text.substr(0, semi);
+    if (semi == std::string_view::npos) {
+      text = {};
+    } else {
+      text.remove_prefix(semi + 1);
+    }
+    const std::size_t eq = field.find('=');
+    if (eq == std::string_view::npos) return false;
+    const std::string_view key = field.substr(0, eq);
+    const std::string_view value = field.substr(eq + 1);
+    if (key == "plan") {
+      if (!FaultPlan::Parse(value, &out->plan)) return false;
+      continue;
+    }
+    std::uint64_t num = 0;
+    if (!ParseU64(value, &num)) return false;
+    if (key == "seed") {
+      out->seed = num;
+    } else if (key == "m") {
+      out->workload.machines = static_cast<int>(num);
+    } else if (key == "spm") {
+      out->workload.sessions_per_machine = static_cast<int>(num);
+    } else if (key == "locks") {
+      out->workload.num_locks = static_cast<int>(num);
+    } else if (key == "cap") {
+      out->workload.queue_capacity = static_cast<std::uint32_t>(num);
+    } else if (key == "shared") {
+      out->workload.shared_permille = static_cast<int>(num);
+    } else if (key == "lpt") {
+      out->workload.locks_per_txn = static_cast<int>(num);
+    } else if (key == "run") {
+      out->workload.run_time = static_cast<SimTime>(num);
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string RunReport::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "grants=%llu violations=%llu fifo=%llu digest=%016llx %s",
+                static_cast<unsigned long long>(grants),
+                static_cast<unsigned long long>(violations),
+                static_cast<unsigned long long>(fifo_violations),
+                static_cast<unsigned long long>(digest),
+                ok ? "ok" : "FAIL");
+  std::string out = buf;
+  for (const std::string& problem : problems) {
+    out += "\n  ";
+    out += problem;
+  }
+  return out;
+}
+
+Schedule ScheduleFuzzer::Generate(std::uint64_t index) const {
+  std::uint64_t state = (master_seed_ + 0x632be59bd9b4e019ull) ^
+                        (index * 0x9e3779b97f4a7c15ull);
+  const auto next = [&state]() { return SplitMix64(state); };
+  const auto pick = [&next](std::uint64_t n) { return next() % n; };
+
+  Schedule sched;
+  sched.seed = next() | 1;
+  WorkloadParams& w = sched.workload;
+  w.machines = static_cast<int>(1 + pick(3));
+  w.sessions_per_machine = static_cast<int>(1 + pick(3));
+  w.num_locks = static_cast<int>(1 + pick(6));
+  constexpr std::uint32_t kCaps[] = {4, 8, 16, 64, 256};
+  w.queue_capacity = kCaps[pick(5)];
+  constexpr int kShared[] = {0, 0, 300, 700};
+  w.shared_permille = kShared[pick(4)];
+  w.locks_per_txn = static_cast<int>(1 + pick(2));
+  w.run_time = static_cast<SimTime>(20 + pick(31)) * kMillisecond;
+
+  const SimTime run = w.run_time;
+  const auto at_in = [&](SimTime lo, SimTime hi) {
+    return lo + static_cast<SimTime>(
+                    pick(static_cast<std::uint64_t>(hi - lo)));
+  };
+  std::vector<FaultAction>& plan = sched.plan.actions;
+
+  const auto add_net_chaos = [&] {
+    const auto knob = [&](FaultKind kind, std::uint32_t lo,
+                          std::uint32_t span) {
+      const SimTime duration =
+          pick(2) ? at_in(2 * kMillisecond, run / 2) : 0;
+      plan.push_back({kind, at_in(0, run / 2), duration, 0,
+                      lo + static_cast<std::uint32_t>(pick(span))});
+    };
+    if (pick(2) != 0) knob(FaultKind::kLoss, 10, 140);
+    if (pick(2) != 0) knob(FaultKind::kDuplicate, 20, 230);
+    if (pick(2) != 0) knob(FaultKind::kReorder, 50, 350);
+    if (pick(2) != 0) knob(FaultKind::kJitter, 200, 2800);
+    if (plan.empty()) knob(FaultKind::kLoss, 10, 140);
+  };
+  const auto add_partitions = [&] {
+    const int count = static_cast<int>(1 + pick(2));
+    for (int i = 0; i < count; ++i) {
+      if (pick(3) == 0) {
+        plan.push_back({FaultKind::kLeaseExpiryBurst,
+                        at_in(kMillisecond, run / 2), 0,
+                        static_cast<std::uint32_t>(pick(8)), 0});
+      } else {
+        plan.push_back({FaultKind::kClientPartition,
+                        at_in(kMillisecond, (run * 3) / 4),
+                        kMillisecond + at_in(0, 2 * kFuzzLease),
+                        static_cast<std::uint32_t>(pick(8)), 0});
+      }
+    }
+  };
+  const auto add_failover = [&] {
+    const SimTime fail_at = at_in(2 * kMillisecond, run / 2);
+    plan.push_back({FaultKind::kFailPrimary, fail_at, 0, 0, 0});
+    const SimTime recover_at =
+        fail_at + 2 * kMillisecond + at_in(0, 2 * kFuzzLease);
+    plan.push_back({FaultKind::kRecoverPrimary, recover_at, 0, 0, 0});
+    if (pick(3) == 0) {
+      // A second failure while the backup may still be draining — the
+      // §4.5 corner the failover epoch machinery exists for.
+      const SimTime again =
+          recover_at + kMillisecond + at_in(0, 3 * kMillisecond);
+      plan.push_back({FaultKind::kFailPrimary, again, 0, 0, 0});
+      plan.push_back(
+          {FaultKind::kRecoverPrimary, again + 2 * kFuzzLease, 0, 0, 0});
+    }
+  };
+  const auto add_server_crash = [&] {
+    const SimTime fail_at = at_in(2 * kMillisecond, run / 2);
+    const auto target = static_cast<std::uint32_t>(pick(2));
+    plan.push_back({FaultKind::kServerFail, fail_at, 0, target, 0});
+    plan.push_back({FaultKind::kServerRecover,
+                    fail_at + 3 * kMillisecond + at_in(0, 2 * kFuzzLease),
+                    0, target, 0});
+  };
+
+  switch (pick(6)) {
+    case 0: break;  // Clean run: FIFO + liveness still checked.
+    case 1: add_net_chaos(); break;
+    case 2: add_partitions(); break;
+    case 3: add_failover(); break;
+    case 4: add_server_crash(); break;
+    default:
+      add_net_chaos();
+      add_partitions();
+      add_failover();
+      break;
+  }
+  std::stable_sort(plan.begin(), plan.end(),
+                   [](const FaultAction& a, const FaultAction& b) {
+                     return a.at < b.at;
+                   });
+  return sched;
+}
+
+RunReport ScheduleFuzzer::RunSchedule(const Schedule& schedule,
+                                      const FuzzOptions& options) {
+  const WorkloadParams& w = schedule.workload;
+  SimContext context;
+  LockOracle oracle;
+  std::vector<NetLockSession*> raw_sessions;
+
+  TestbedConfig config;
+  config.system = SystemKind::kNetLock;
+  config.context = &context;
+  config.client_machines = std::max(1, w.machines);
+  config.sessions_per_machine = std::max(1, w.sessions_per_machine);
+  config.lock_servers = 2;
+  config.lease = kFuzzLease;
+  config.lease_poll_interval = kMillisecond;
+  config.client_retry_timeout = kMillisecond;
+  config.client_max_retries = 16;
+  config.txn_config.think_time = 5 * kMicrosecond;
+  config.seed = schedule.seed;
+  config.switch_config.queue_capacity =
+      std::max<std::uint32_t>(2, w.queue_capacity);
+  config.switch_config.array_size = 512;
+  config.switch_config.max_locks = 64;
+
+  MicroConfig micro;
+  micro.num_locks = std::max(1, w.num_locks);
+  micro.shared_fraction =
+      static_cast<double>(std::clamp(w.shared_permille, 0, 1000)) / 1000.0;
+  micro.locks_per_txn = static_cast<std::uint32_t>(
+      std::max(1, w.locks_per_txn));
+  config.workload_factory = MicroFactory(micro);
+
+  const std::uint64_t bug_mod = options.bug_txn_mod;
+  config.session_wrapper =
+      [&](std::unique_ptr<LockSession> inner) -> std::unique_ptr<LockSession> {
+    raw_sessions.push_back(static_cast<NetLockSession*>(inner.get()));
+    auto wrapped = std::make_unique<OracleSession>(std::move(inner), oracle);
+    if (bug_mod != 0) {
+      wrapped->set_suppress_release(
+          [bug_mod](LockId, TxnId txn) { return txn % bug_mod == 3; });
+    }
+    return wrapped;
+  };
+
+  Testbed testbed(config);
+  testbed.netlock().InstallKnapsack(
+      UniformMicroDemands(micro, testbed.num_engines()));
+  ControlPlane& control = testbed.netlock().control_plane();
+  // Lease-aware exclusion: a partitioned holder's lease legitimately
+  // expires and the switch regrants (Section 4.5) — not an overlap. The
+  // slack absorbs grant-delivery skew between switch and client clocks.
+  oracle.SetLease(kFuzzLease - 200 * kMicrosecond,
+                  [&sim = testbed.sim()] { return sim.now(); });
+
+  std::unique_ptr<LockSwitch> backup;
+  std::unique_ptr<FailoverManager> failover;
+  std::vector<NodeId> switch_nodes = {testbed.netlock().lock_switch().node()};
+  if (schedule.plan.NeedsBackup()) {
+    backup = std::make_unique<LockSwitch>(testbed.net(),
+                                          config.switch_config);
+    for (NetLockSession* session : raw_sessions) {
+      testbed.net().SetLatency(session->node(), backup->node(),
+                               config.client_switch_latency);
+    }
+    for (int i = 0; i < testbed.netlock().num_servers(); ++i) {
+      testbed.net().SetLatency(backup->node(),
+                               testbed.netlock().server(i).node(),
+                               config.switch_server_latency);
+    }
+    failover = std::make_unique<FailoverManager>(
+        testbed.sim(), testbed.netlock().lock_switch(), *backup, control);
+    for (NetLockSession* session : raw_sessions) {
+      failover->RegisterSession(session);
+    }
+    switch_nodes.push_back(backup->node());
+  }
+
+  // Observe every switch grant: the digest makes replays comparable
+  // byte-for-byte; benign plans additionally feed the FIFO oracle.
+  const bool fifo = options.check_fifo && schedule.plan.Benign();
+  std::uint64_t digest = 0xcbf29ce484222325ull;
+  const auto observe = [&](LockSwitch& sw, std::uint64_t tag) {
+    sw.set_grant_observer([&oracle, &digest, fifo, tag](
+                              LockId lock, TxnId txn, LockMode mode,
+                              NodeId) {
+      digest = Fold(digest, tag);
+      digest = Fold(digest, lock);
+      digest = Fold(digest, txn);
+      digest = Fold(digest, static_cast<std::uint64_t>(mode));
+      if (fifo) oracle.OnSwitchGrant(lock, txn, mode);
+    });
+    if (fifo) {
+      sw.set_queue_observer(
+          [&oracle](LockId lock, TxnId txn, LockMode mode, bool overflow) {
+            oracle.OnSwitchAccept(lock, txn, mode, overflow);
+          });
+    }
+  };
+  observe(testbed.netlock().lock_switch(), 1);
+  if (backup) observe(*backup, 2);
+
+  FaultDriver driver{testbed,
+                     raw_sessions,
+                     switch_nodes,
+                     control,
+                     failover.get(),
+                     testbed.netlock().num_servers(),
+                     config.client_machines,
+                     LinkFaults{},
+                     false};
+  const SimTime horizon = std::max<SimTime>(w.run_time, 5 * kMillisecond);
+  for (const FaultAction& action : schedule.plan.actions) {
+    if (action.at >= horizon) continue;  // Sanitization covers the rest.
+    SimTime duration = action.duration;
+    if (action.kind == FaultKind::kLeaseExpiryBurst) {
+      duration = std::max<SimTime>(duration, (5 * kFuzzLease) / 2);
+    }
+    testbed.sim().Schedule(action.at,
+                           [&driver, action] { driver.Fire(action, true); });
+    if (TimedFault(action.kind) && duration > 0 &&
+        action.at + duration < horizon) {
+      testbed.sim().Schedule(action.at + duration, [&driver, action] {
+        driver.Fire(action, false);
+      });
+    }
+  }
+
+  testbed.StartEngines();
+  testbed.sim().RunUntil(horizon);
+  for (int i = 0; i < testbed.num_engines(); ++i) {
+    testbed.engine(i).Stop();
+  }
+
+  // Sanitize: pristine fabric, everything recovered — whatever liveness
+  // debt the faults created must now clear within the settle budget.
+  testbed.net().ClearFaults();
+  driver.current = LinkFaults{};
+  if (failover && driver.primary_failed) {
+    failover->RecoverPrimary();
+    driver.primary_failed = false;
+  }
+  if (driver.switch_crashed) {
+    control.RecoverSwitch();
+    driver.switch_crashed = false;
+  }
+  for (int i = 0; i < driver.num_servers; ++i) {
+    if (!control.ServerAlive(i)) control.RecoverServer(i);
+  }
+
+  const auto settled = [&] {
+    for (int i = 0; i < testbed.num_engines(); ++i) {
+      if (!testbed.engine(i).idle()) return false;
+    }
+    return !(failover && failover->backup_active());
+  };
+  const SimTime settle_deadline = testbed.sim().now() + options.settle_budget;
+  while (!settled() && testbed.sim().now() < settle_deadline) {
+    testbed.sim().RunUntil(testbed.sim().now() + 2 * kMillisecond);
+  }
+
+  RunReport report;
+  report.grants = oracle.grants();
+  report.violations = oracle.violations();
+  report.fifo_violations = oracle.fifo_violations();
+  for (int i = 0; i < testbed.num_engines(); ++i) {
+    if (!testbed.engine(i).idle()) {
+      report.engines_idle = false;
+      report.problems.push_back("liveness: engine " + std::to_string(i) +
+                                " never went idle");
+    }
+  }
+  if (failover && failover->backup_active()) {
+    report.problems.push_back("liveness: backup switch never drained");
+  }
+  const std::vector<std::string>& log = oracle.violation_log();
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    if (i == 8) {
+      report.problems.push_back(
+          "... (" + std::to_string(log.size() - 8) + " more)");
+      break;
+    }
+    report.problems.push_back("oracle: " + log[i]);
+  }
+  if (report.violations == 0 && oracle.TotalHolders() != 0) {
+    report.problems.push_back(
+        "leak: " + std::to_string(oracle.TotalHolders()) +
+        " grants never released");
+  }
+  if (report.grants == 0) {
+    report.problems.push_back("no grants issued");
+  }
+  digest = Fold(digest, testbed.net().packets_sent());
+  digest = Fold(digest, testbed.net().packets_dropped());
+  digest = Fold(digest, testbed.net().packets_duplicated());
+  digest = Fold(digest, testbed.net().packets_reordered());
+  digest = Fold(digest, report.grants);
+  report.digest = digest;
+  report.ok = report.problems.empty();
+  return report;
+}
+
+Schedule ScheduleFuzzer::Shrink(Schedule failing, const FuzzOptions& options,
+                                int max_runs) {
+  int budget = max_runs;
+  const auto still_fails = [&](const Schedule& candidate) {
+    if (budget <= 0) return false;
+    --budget;
+    return !RunSchedule(candidate, options).ok;
+  };
+
+  // ddmin over the fault timeline: repeatedly try dropping chunks of
+  // actions, halving the chunk size when nothing can be dropped.
+  std::size_t granularity = 2;
+  while (!failing.plan.actions.empty() && budget > 0) {
+    const std::size_t n = failing.plan.actions.size();
+    const std::size_t chunk =
+        std::max<std::size_t>(1, (n + granularity - 1) / granularity);
+    bool reduced = false;
+    for (std::size_t start = 0; start < n && budget > 0; start += chunk) {
+      Schedule candidate = failing;
+      const auto begin =
+          candidate.plan.actions.begin() + static_cast<std::ptrdiff_t>(start);
+      const auto end = candidate.plan.actions.begin() +
+                       static_cast<std::ptrdiff_t>(std::min(start + chunk, n));
+      candidate.plan.actions.erase(begin, end);
+      if (still_fails(candidate)) {
+        failing = std::move(candidate);
+        reduced = true;
+        break;
+      }
+    }
+    if (reduced) {
+      granularity = 2;
+      continue;
+    }
+    if (chunk <= 1) break;
+    granularity = std::min(granularity * 2, n);
+  }
+
+  // Greedy workload reduction to a fixpoint.
+  bool progress = true;
+  while (progress && budget > 0) {
+    progress = false;
+    const auto attempt = [&](auto mutate) {
+      Schedule candidate = failing;
+      mutate(candidate.workload);
+      if (candidate.workload == failing.workload) return;
+      if (still_fails(candidate)) {
+        failing = std::move(candidate);
+        progress = true;
+      }
+    };
+    attempt([](WorkloadParams& wp) { wp.machines = 1; });
+    attempt([](WorkloadParams& wp) { wp.sessions_per_machine = 1; });
+    attempt([](WorkloadParams& wp) { wp.num_locks = 1; });
+    attempt([](WorkloadParams& wp) { wp.locks_per_txn = 1; });
+    attempt([](WorkloadParams& wp) { wp.shared_permille = 0; });
+    attempt([](WorkloadParams& wp) {
+      if (wp.run_time > 10 * kMillisecond) wp.run_time /= 2;
+    });
+  }
+  return failing;
+}
+
+std::string ScheduleFuzzer::ReplayLine(const Schedule& schedule) {
+  return "netlock_fuzz --seed=" + std::to_string(schedule.seed) +
+         " --plan='" + schedule.SerializeParams() + "'";
+}
+
+}  // namespace netlock::testing

@@ -1,0 +1,118 @@
+// ScheduleFuzzer: deterministic fault-injection fuzzing for the whole
+// NetLock stack.
+//
+// A Schedule is (seed, workload shape, FaultPlan). RunSchedule stands up a
+// small rack on its own SimContext, runs seeded closed-loop clients while
+// the fault plan fires — network adversary knobs, partitions, lease-expiry
+// bursts, switch failover, lock-server crashes — then sanitizes the fabric
+// and checks:
+//
+//   * mutual exclusion (client-side LockOracle),
+//   * per-lock FIFO order of exclusive grants (switch-side, benign plans
+//     only),
+//   * liveness: every engine goes idle and a drained backup goes cold once
+//     faults stop,
+//   * leak freedom: every observed grant is eventually released.
+//
+// Identical schedules replay byte-identically (RunReport::digest folds the
+// full grant stream and network counters). A failing schedule shrinks via
+// delta debugging to a minimal plan + workload, and ReplayLine() prints
+// the one-liner that reproduces it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "testing/fault_plan.h"
+
+namespace netlock::testing {
+
+struct WorkloadParams {
+  int machines = 2;
+  int sessions_per_machine = 2;
+  int num_locks = 4;
+  std::uint32_t queue_capacity = 64;
+  int shared_permille = 0;
+  int locks_per_txn = 1;
+  SimTime run_time = 30 * kMillisecond;
+
+  friend bool operator==(const WorkloadParams&,
+                         const WorkloadParams&) = default;
+};
+
+struct Schedule {
+  std::uint64_t seed = 1;
+  WorkloadParams workload;
+  FaultPlan plan;
+
+  /// Workload + plan, without the seed ("m=2;spm=2;...;plan=...").
+  std::string SerializeParams() const;
+  /// Full round-trippable form ("seed=7;" + SerializeParams()).
+  std::string Serialize() const;
+  /// Accepts either form; a missing seed keeps the caller's default.
+  static bool Parse(std::string_view text, Schedule* out);
+
+  friend bool operator==(const Schedule&, const Schedule&) = default;
+};
+
+struct RunReport {
+  bool ok = true;
+  std::uint64_t grants = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t fifo_violations = 0;
+  /// Replay fingerprint: folds every switch grant event in order plus the
+  /// final network counters. Identical schedules yield identical digests.
+  std::uint64_t digest = 0;
+  bool engines_idle = true;
+  /// Deterministic descriptions of everything that went wrong (empty = ok).
+  std::vector<std::string> problems;
+
+  std::string Summary() const;
+};
+
+struct FuzzOptions {
+  /// Check switch-side FIFO grant order (only applied when the plan is
+  /// benign: faults legitimately reorder grants).
+  bool check_fifo = true;
+  /// Test-only seeded bug: suppress the oracle's view of releases for
+  /// txns with txn % bug_txn_mod == 3, so the next grant on the same lock
+  /// reports an overlap. Proves the fuzzer catches and shrinks real
+  /// violations. 0 = off.
+  std::uint64_t bug_txn_mod = 0;
+  /// How long after the workload stops the run may take to quiesce before
+  /// liveness violations are reported.
+  SimTime settle_budget = 400 * kMillisecond;
+};
+
+class ScheduleFuzzer {
+ public:
+  explicit ScheduleFuzzer(std::uint64_t master_seed)
+      : master_seed_(master_seed) {}
+
+  /// Deterministically derives schedule `index` from the master seed:
+  /// workload shape and a fault-plan flavor (clean, network chaos,
+  /// partitions, failover, server crashes, or everything at once).
+  Schedule Generate(std::uint64_t index) const;
+
+  /// Runs one schedule to completion and reports.
+  static RunReport RunSchedule(const Schedule& schedule,
+                               const FuzzOptions& options = FuzzOptions{});
+
+  /// Delta-debugs a failing schedule: ddmin over the fault actions, then
+  /// greedy workload reduction. Each probe costs one RunSchedule; at most
+  /// `max_runs` probes. Returns the smallest still-failing schedule found.
+  static Schedule Shrink(Schedule failing,
+                         const FuzzOptions& options = FuzzOptions{},
+                         int max_runs = 128);
+
+  /// "netlock_fuzz --seed=7 --plan='...'" — reproduces the schedule.
+  static std::string ReplayLine(const Schedule& schedule);
+
+ private:
+  std::uint64_t master_seed_;
+};
+
+}  // namespace netlock::testing

@@ -1,0 +1,249 @@
+// LockOracle: a runtime safety checker for lock-manager integration tests
+// and the schedule fuzzer.
+//
+// Two independent invariants are checked:
+//
+//  1. Mutual exclusion, observed as the *client* sees it (grant at the
+//     callback, release at the send). This ordering is conservative in the
+//     safe direction — a grant is observed no earlier than it was issued
+//     and a release no later than it takes effect — so any overlap the
+//     oracle reports is a real mutual-exclusion violation.
+//
+//  2. Per-lock FIFO order of exclusive grants, observed at the *switch*
+//     (wire the data plane's queue/grant observers to OnSwitchAccept /
+//     OnSwitchGrant). Exclusive grants must come back in admission order —
+//     the property Algorithm 2 and the overflow protocol (Section 4.3)
+//     both promise. Only meaningful on fault-free runs: packet loss and
+//     lease expiry legitimately reorder grants, so the fuzzer enables this
+//     check only for benign fault plans.
+#pragma once
+
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "common/check.h"
+#include "common/types.h"
+
+namespace netlock::testing {
+
+class LockOracle {
+ public:
+  /// Lease-aware mode (used by the fuzzer): a hold older than `lease` is
+  /// no longer protected — the manager may legitimately force-release it
+  /// and grant the lock to someone else (Section 4.5), so it must not be
+  /// reported as an overlap. Expiry is lazy (applied only when a
+  /// conflicting grant arrives), which keeps TotalHolders() strict for the
+  /// leak check. Callers should subtract a small slack from the real lease
+  /// to absorb the delivery-delay skew between the switch's clock on the
+  /// grant and the client's observation of it.
+  void SetLease(SimTime lease, std::function<SimTime()> now) {
+    lease_ = lease;
+    now_ = std::move(now);
+  }
+
+  void OnGrant(LockId lock, LockMode mode, TxnId txn) {
+    Holders& holders = held_[lock];
+    if (mode == LockMode::kExclusive) {
+      if (!holders.shared.empty() || holders.exclusive != kInvalidTxn) {
+        ExpireStale(&holders);
+      }
+      if (!holders.shared.empty() || holders.exclusive != kInvalidTxn) {
+        Violation("overlap", lock, txn,
+                  holders.exclusive != kInvalidTxn
+                      ? holders.exclusive
+                      : holders.shared.begin()->first);
+        return;
+      }
+      holders.exclusive = txn;
+      holders.exclusive_since = now_ ? now_() : 0;
+    } else {
+      if (holders.exclusive != kInvalidTxn) ExpireStale(&holders);
+      if (holders.exclusive != kInvalidTxn) {
+        Violation("shared-over-exclusive", lock, txn, holders.exclusive);
+        return;
+      }
+      holders.shared.insert_or_assign(txn, now_ ? now_() : 0);
+    }
+    ++grants_;
+  }
+
+  void OnRelease(LockId lock, LockMode mode, TxnId txn) {
+    const auto it = held_.find(lock);
+    if (it == held_.end()) return;
+    if (mode == LockMode::kExclusive) {
+      if (it->second.exclusive == txn) it->second.exclusive = kInvalidTxn;
+    } else {
+      it->second.shared.erase(txn);
+    }
+  }
+
+  // --- Switch-side FIFO order (exclusive grants only) ---
+
+  /// Feed from LockSwitch::set_queue_observer. Retransmitted acquires
+  /// (same txn accepted again) are collapsed onto the first admission.
+  void OnSwitchAccept(LockId lock, TxnId txn, LockMode mode,
+                      bool /*overflowed*/) {
+    if (mode != LockMode::kExclusive) return;
+    std::deque<TxnId>& order = x_order_[lock];
+    for (const TxnId t : order) {
+      if (t == txn) return;  // Client retransmission: keep first position.
+    }
+    order.push_back(txn);
+  }
+
+  /// Feed from LockSwitch::set_grant_observer. A grant for a txn the
+  /// oracle never saw admitted (a ghost grant for a retransmitted entry)
+  /// is ignored; a grant that overtakes an earlier admission is a FIFO
+  /// violation.
+  void OnSwitchGrant(LockId lock, TxnId txn, LockMode mode) {
+    if (mode != LockMode::kExclusive) return;
+    const auto it = x_order_.find(lock);
+    if (it == x_order_.end() || it->second.empty()) return;
+    std::deque<TxnId>& order = it->second;
+    if (order.front() == txn) {
+      order.pop_front();
+      return;
+    }
+    for (auto pos = order.begin(); pos != order.end(); ++pos) {
+      if (*pos != txn) continue;
+      ++fifo_violations_;
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "fifo lock=%llu txn=%llu granted before txn=%llu",
+                    static_cast<unsigned long long>(lock),
+                    static_cast<unsigned long long>(txn),
+                    static_cast<unsigned long long>(order.front()));
+      log_.push_back(buf);
+      order.erase(pos);
+      return;
+    }
+    // Not admitted through the observer (e.g. ghost grant): ignore.
+  }
+
+  std::uint64_t violations() const { return violations_; }
+  std::uint64_t fifo_violations() const { return fifo_violations_; }
+  std::uint64_t grants() const { return grants_; }
+  /// Holds the oracle wrote off as lease-expired when a conflicting grant
+  /// arrived (lease-aware mode only). Informational, not a violation.
+  std::uint64_t lease_takeovers() const { return lease_takeovers_; }
+
+  /// Deterministic one-line descriptions of every violation, in order.
+  const std::vector<std::string>& violation_log() const { return log_; }
+
+  std::size_t CurrentHolders(LockId lock) const {
+    const auto it = held_.find(lock);
+    if (it == held_.end()) return 0;
+    return it->second.shared.size() +
+           (it->second.exclusive != kInvalidTxn ? 1 : 0);
+  }
+
+  /// Grants the oracle still considers held, across all locks. Zero once a
+  /// run has fully drained (every granted lock was released).
+  std::size_t TotalHolders() const {
+    std::size_t total = 0;
+    for (const auto& [lock, holders] : held_) {
+      total += holders.shared.size() +
+               (holders.exclusive != kInvalidTxn ? 1 : 0);
+    }
+    return total;
+  }
+
+ private:
+  struct Holders {
+    TxnId exclusive = kInvalidTxn;
+    SimTime exclusive_since = 0;
+    std::map<TxnId, SimTime> shared;  // txn -> grant observation time
+  };
+
+  /// Drops holders whose lease has lapsed (lease-aware mode only).
+  void ExpireStale(Holders* holders) {
+    if (!now_) return;
+    const SimTime t = now_();
+    if (holders->exclusive != kInvalidTxn &&
+        t - holders->exclusive_since >= lease_) {
+      holders->exclusive = kInvalidTxn;
+      ++lease_takeovers_;
+    }
+    for (auto it = holders->shared.begin(); it != holders->shared.end();) {
+      if (t - it->second >= lease_) {
+        it = holders->shared.erase(it);
+        ++lease_takeovers_;
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void Violation(const char* kind, LockId lock, TxnId txn, TxnId holder) {
+    ++violations_;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s lock=%llu txn=%llu holder=%llu t=%llu", kind,
+                  static_cast<unsigned long long>(lock),
+                  static_cast<unsigned long long>(txn),
+                  static_cast<unsigned long long>(holder),
+                  static_cast<unsigned long long>(now_ ? now_() : 0));
+    log_.push_back(buf);
+  }
+
+  std::map<LockId, Holders> held_;
+  std::map<LockId, std::deque<TxnId>> x_order_;
+  std::uint64_t violations_ = 0;
+  std::uint64_t fifo_violations_ = 0;
+  std::uint64_t grants_ = 0;
+  std::uint64_t lease_takeovers_ = 0;
+  /// Lease-aware mode: unset (no expiry) until SetLease is called.
+  SimTime lease_ = 0;
+  std::function<SimTime()> now_;
+  std::vector<std::string> log_;
+};
+
+/// Session decorator feeding the oracle.
+class OracleSession : public LockSession {
+ public:
+  OracleSession(std::unique_ptr<LockSession> inner, LockOracle& oracle)
+      : inner_(std::move(inner)), oracle_(oracle) {}
+
+  void Acquire(LockId lock, LockMode mode, TxnId txn, Priority priority,
+               AcquireCallback cb) override {
+    inner_->Acquire(lock, mode, txn, priority,
+                    [this, lock, mode, txn, cb = std::move(cb)](
+                        AcquireResult result) {
+                      if (result == AcquireResult::kGranted) {
+                        oracle_.OnGrant(lock, mode, txn);
+                      }
+                      cb(result);
+                    });
+  }
+
+  void Release(LockId lock, LockMode mode, TxnId txn) override {
+    if (!suppress_release_ || !suppress_release_(lock, txn)) {
+      oracle_.OnRelease(lock, mode, txn);
+    }
+    inner_->Release(lock, mode, txn);
+  }
+
+  NodeId node() const override { return inner_->node(); }
+
+  /// Test-only fault injection: when the predicate returns true the oracle
+  /// is NOT told about the release (the lock manager still is). The oracle
+  /// then believes the txn holds the lock forever, so the next grant is
+  /// reported as an overlap — a deliberately seeded "bug" used to prove
+  /// the fuzzer catches and shrinks real violations.
+  void set_suppress_release(std::function<bool(LockId, TxnId)> pred) {
+    suppress_release_ = std::move(pred);
+  }
+
+ private:
+  std::unique_ptr<LockSession> inner_;
+  LockOracle& oracle_;
+  std::function<bool(LockId, TxnId)> suppress_release_;
+};
+
+}  // namespace netlock::testing

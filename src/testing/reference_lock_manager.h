@@ -1,0 +1,97 @@
+// Reference model: one unbounded FIFO queue per lock; entries stay until
+// released; grant rules exactly as Algorithm 2 specifies. Model-check and
+// fuzz tests compare the switch data plane's grant stream against this.
+//
+// gtest-free so it can be linked into the fuzzer CLI; Release() reports
+// protocol misuse by returning false instead of asserting.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace netlock::testing {
+
+class ReferenceLockManager {
+ public:
+  struct Grant {
+    LockId lock;
+    TxnId txn;
+    LockMode mode;
+    friend bool operator==(const Grant&, const Grant&) = default;
+  };
+
+  void Acquire(LockId lock, LockMode mode, TxnId txn) {
+    State& s = locks_[lock];
+    const bool was_empty = s.queue.empty();
+    const bool all_shared = s.xcnt == 0;
+    s.queue.push_back({mode, txn});
+    if (mode == LockMode::kExclusive) ++s.xcnt;
+    if (was_empty || (all_shared && mode == LockMode::kShared)) {
+      grants_.push_back({lock, txn, mode});
+    }
+  }
+
+  /// Dequeues the head (dequeues are blind head pops, as on the switch)
+  /// and grants whatever becomes runnable. Returns false if the queue was
+  /// empty or the head's mode does not match `mode` — a stale or
+  /// out-of-protocol release.
+  [[nodiscard]] bool Release(LockId lock, LockMode mode) {
+    State& s = locks_[lock];
+    if (s.queue.empty()) return false;
+    const Entry released = s.queue.front();
+    if (released.mode != mode) return false;
+    s.queue.pop_front();
+    if (released.mode == LockMode::kExclusive) --s.xcnt;
+    if (s.queue.empty()) return true;
+    const Entry& head = s.queue.front();
+    if (head.mode == LockMode::kExclusive) {
+      grants_.push_back({lock, head.txn, head.mode});
+      return true;
+    }
+    if (released.mode == LockMode::kShared) return true;
+    for (const Entry& e : s.queue) {
+      if (e.mode == LockMode::kExclusive) break;
+      grants_.push_back({lock, e.txn, e.mode});
+    }
+    return true;
+  }
+
+  const std::vector<Grant>& grants() const { return grants_; }
+
+  /// Multiset of currently granted (lock, txn) pairs, per the model: the
+  /// granted set is the maximal runnable prefix of each queue — every
+  /// leading shared entry, or the exclusive head.
+  std::vector<Grant> GrantedNow() const {
+    std::vector<Grant> held;
+    for (const auto& [lock, s] : locks_) {
+      if (s.queue.empty()) continue;
+      if (s.queue.front().mode == LockMode::kExclusive) {
+        held.push_back({lock, s.queue.front().txn, LockMode::kExclusive});
+        continue;
+      }
+      for (const Entry& e : s.queue) {
+        if (e.mode == LockMode::kExclusive) break;
+        held.push_back({lock, e.txn, LockMode::kShared});
+      }
+    }
+    return held;
+  }
+
+ private:
+  struct Entry {
+    LockMode mode;
+    TxnId txn;
+  };
+  struct State {
+    std::deque<Entry> queue;
+    std::uint32_t xcnt = 0;
+  };
+  std::map<LockId, State> locks_;
+  std::vector<Grant> grants_;
+};
+
+}  // namespace netlock::testing

@@ -7,7 +7,7 @@
 #include "core/chain.h"
 #include "harness/experiment.h"
 #include "harness/testbed.h"
-#include "lock_oracle.h"
+#include "testing/lock_oracle.h"
 #include "test_util.h"
 
 namespace netlock {

@@ -78,6 +78,83 @@ TEST_F(ClientTest, RetransmitsAfterLoss) {
   EXPECT_GE(session->retransmits(), 1u);
 }
 
+// Regression test for a fuzzer-found bug: a network-duplicated copy of an
+// already-consumed grant used to take the unsolicited-grant path and
+// ghost-release the holder's queue entry, granting the lock to the next
+// waiter while the holder still held it. The duplicate-grant filter must
+// drop the copy (same grant nonce) while still ghost-releasing genuine
+// second entries created by retransmitted acquires (fresh nonce).
+TEST_F(ClientTest, DuplicatedGrantDoesNotGhostReleaseHeldLock) {
+  ASSERT_TRUE(switch_->InstallLock(1, server_->node(), 8));
+  auto a = MakeSession();
+  auto b = MakeSession();
+  LinkFaults faults;
+  faults.duplicate = 1.0;  // Every packet is delivered twice.
+  net_.SetDefaultFaults(faults);
+  int a_granted = 0;
+  int b_granted = 0;
+  a->Acquire(1, LockMode::kExclusive, 1, 0, [&](AcquireResult r) {
+    a_granted += r == AcquireResult::kGranted;
+  });
+  sim_.RunUntil(kMillisecond);
+  ASSERT_EQ(a_granted, 1);
+  b->Acquire(1, LockMode::kExclusive, 2, 0, [&](AcquireResult r) {
+    b_granted += r == AcquireResult::kGranted;
+  });
+  sim_.RunUntil(2 * kMillisecond);
+  // Mutual exclusion: B waits while A holds, duplicates notwithstanding.
+  EXPECT_EQ(b_granted, 0);
+  a->Release(1, LockMode::kExclusive, 1);
+  sim_.RunUntil(4 * kMillisecond);
+  // The ghost entries from duplicated acquires are reclaimed at wire speed
+  // and B is granted exactly once.
+  EXPECT_EQ(b_granted, 1);
+}
+
+// Lease discipline: once a grant is within the safety margin of its lease
+// expiring, the manager's lease sweep may already have force-released the
+// entry — sending the release would blind-pop a different waiter's slot.
+// The session must drop it and let the sweep reclaim the entry.
+TEST_F(ClientTest, ReleaseSuppressedNearLeaseExpiry) {
+  ASSERT_TRUE(switch_->InstallLock(1, server_->node(), 8));
+  NetLockSession::Config config;
+  config.switch_node = switch_->node();
+  config.lease = 5 * kMillisecond;
+  config.lease_release_margin = 500 * kMicrosecond;
+  auto session = std::make_unique<NetLockSession>(*machine_, config);
+  bool granted = false;
+  session->Acquire(1, LockMode::kExclusive, 1, 0,
+                   [&](AcquireResult r) { granted = r == AcquireResult::kGranted; });
+  sim_.RunUntil(kMillisecond);
+  ASSERT_TRUE(granted);
+  // Hold past lease - margin; the release must be suppressed.
+  sim_.RunUntil(sim_.now() + 5 * kMillisecond);
+  const std::uint64_t releases_before = switch_->stats().releases;
+  session->Release(1, LockMode::kExclusive, 1);
+  sim_.RunUntil(sim_.now() + kMillisecond);
+  EXPECT_EQ(session->releases_suppressed(), 1u);
+  EXPECT_EQ(switch_->stats().releases, releases_before);
+}
+
+// A prompt release (well inside the lease) is sent normally.
+TEST_F(ClientTest, PromptReleaseNotSuppressed) {
+  ASSERT_TRUE(switch_->InstallLock(1, server_->node(), 8));
+  NetLockSession::Config config;
+  config.switch_node = switch_->node();
+  config.lease = 5 * kMillisecond;
+  config.lease_release_margin = 500 * kMicrosecond;
+  auto session = std::make_unique<NetLockSession>(*machine_, config);
+  bool granted = false;
+  session->Acquire(1, LockMode::kExclusive, 1, 0,
+                   [&](AcquireResult r) { granted = r == AcquireResult::kGranted; });
+  sim_.RunUntil(kMillisecond);
+  ASSERT_TRUE(granted);
+  session->Release(1, LockMode::kExclusive, 1);
+  sim_.RunUntil(sim_.now() + kMillisecond);
+  EXPECT_EQ(session->releases_suppressed(), 0u);
+  EXPECT_EQ(switch_->stats().releases, 1u);
+}
+
 TEST_F(ClientTest, TimesOutAfterMaxRetries) {
   // No route for the lock: requests vanish at the switch.
   auto session = MakeSession(/*retry_timeout=*/100 * kMicrosecond);

@@ -93,6 +93,21 @@ class PriorityExtendedTest : public ExtendedFixture {
   PriorityExtendedTest() : ExtendedFixture(/*priorities=*/2) {}
 };
 
+// Priority path's validated release: a release from a transaction that is
+// not the current exclusive holder (its hold was lease-force-released and
+// the lock re-granted) must not decrement the new holder.
+TEST_F(PriorityExtendedTest, MismatchedExclusiveReleaseIsDropped) {
+  ASSERT_TRUE(switch_->InstallLock(1, server_->node(), 8));
+  Send(MakeAcquire(1, LockMode::kExclusive, 1, client_->node()));
+  Send(MakeAcquire(1, LockMode::kExclusive, 2, client_->node()));
+  EXPECT_FALSE(client_->HasGrantFor(2));
+  Send(MakeRelease(1, LockMode::kExclusive, 99, client_->node()));
+  EXPECT_FALSE(client_->HasGrantFor(2));
+  EXPECT_EQ(switch_->stats().mismatched_releases, 1u);
+  Send(MakeRelease(1, LockMode::kExclusive, 1, client_->node()));
+  EXPECT_TRUE(client_->HasGrantFor(2));
+}
+
 TEST_F(PriorityExtendedTest, HarvestWorksOnPriorityPath) {
   ASSERT_TRUE(switch_->InstallLock(1, server_->node(), 8));
   for (TxnId txn = 0; txn < 3; ++txn) {

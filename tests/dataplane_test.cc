@@ -230,6 +230,94 @@ TEST_F(DataplaneTest, StaleReleaseIsDropped) {
   EXPECT_EQ(switch_->stats().releases, 0u);
 }
 
+// A network-duplicated RELEASE copy (identical header, same nonce) must be
+// dropped by the dedup filter: the dequeue is a blind head pop, so a second
+// application would evict the next waiter's entry.
+TEST_F(DataplaneTest, DuplicatedReleaseCopyIsDropped) {
+  Install(1, 8);
+  Send(MakeAcquire(1, LockMode::kExclusive, 1, client_->node()));
+  Send(MakeAcquire(1, LockMode::kExclusive, 2, client_->node()));
+  Send(MakeAcquire(1, LockMode::kExclusive, 3, client_->node()));
+  const LockHeader release =
+      MakeRelease(1, LockMode::kExclusive, 1, client_->node());
+  Send(release);
+  EXPECT_TRUE(client_->HasGrantFor(2));
+  // The retransmitted copy must NOT blind-pop txn 2's entry.
+  Send(release);
+  EXPECT_FALSE(client_->HasGrantFor(3));
+  EXPECT_EQ(switch_->stats().duplicate_releases, 1u);
+  // A second *logical* release (fresh nonce) does pop.
+  Send(MakeRelease(1, LockMode::kExclusive, 2, client_->node()));
+  EXPECT_TRUE(client_->HasGrantFor(3));
+}
+
+// A release from a transaction that no longer holds the lock (its entry was
+// lease-force-released and the head re-granted to someone else) must not
+// blind-pop the current holder's entry. The validated dequeue compares the
+// head's mode — and, for exclusive, transaction — against the release.
+TEST_F(DataplaneTest, MismatchedExclusiveReleaseIsDropped) {
+  Install(1, 8);
+  Send(MakeAcquire(1, LockMode::kExclusive, 1, client_->node()));
+  Send(MakeAcquire(1, LockMode::kExclusive, 2, client_->node()));
+  // Txn 99 never held the lock: its release (fresh nonce, so the dedup
+  // filter passes it) must not pop txn 1's entry and grant txn 2.
+  Send(MakeRelease(1, LockMode::kExclusive, 99, client_->node()));
+  EXPECT_FALSE(client_->HasGrantFor(2));
+  EXPECT_EQ(switch_->stats().mismatched_releases, 1u);
+  EXPECT_EQ(switch_->stats().releases, 0u);
+  Send(MakeRelease(1, LockMode::kExclusive, 1, client_->node()));
+  EXPECT_TRUE(client_->HasGrantFor(2));
+}
+
+// Mode mismatch: an exclusive release while the head is a shared holder is
+// from a reclaimed entry, not the current hold.
+TEST_F(DataplaneTest, WrongModeReleaseIsDropped) {
+  Install(1, 8);
+  Send(MakeAcquire(1, LockMode::kShared, 1, client_->node()));
+  Send(MakeAcquire(1, LockMode::kExclusive, 2, client_->node()));
+  Send(MakeRelease(1, LockMode::kExclusive, 1, client_->node()));
+  EXPECT_FALSE(client_->HasGrantFor(2));
+  EXPECT_EQ(switch_->stats().mismatched_releases, 1u);
+  Send(MakeRelease(1, LockMode::kShared, 1, client_->node()));
+  EXPECT_TRUE(client_->HasGrantFor(2));
+}
+
+// A failed switch performs no processing at all: the control plane's lease
+// polling keeps ticking during an outage, and a sweep of the dead registers
+// would cascade-grant from the stale queue while a backup serves the same
+// locks — double-granting the lock.
+TEST_F(DataplaneTest, FailedSwitchLeaseSweepIsNoOp) {
+  Install(1, 8);
+  Send(MakeAcquire(1, LockMode::kExclusive, 1, client_->node()));
+  Send(MakeAcquire(1, LockMode::kExclusive, 2, client_->node()));
+  switch_->Fail();
+  sim_.RunUntil(sim_.now() + 10 * kMillisecond);
+  client_->Clear();
+  switch_->ClearExpired(/*lease=*/5 * kMillisecond);
+  sim_.Run();
+  EXPECT_TRUE(client_->Grants().empty());
+  EXPECT_EQ(switch_->stats().releases, 0u);
+}
+
+// Every grant carries a fresh per-instance nonce in aux, so a client can
+// tell a duplicated copy of one grant (same nonce — drop) from the grant of
+// a second queue entry created by a retransmitted acquire (fresh nonce —
+// ghost-release it).
+TEST_F(DataplaneTest, GrantsCarryDistinctInstanceNonces) {
+  Install(1, 8);
+  Send(MakeAcquire(1, LockMode::kExclusive, 1, client_->node()));
+  // Retransmitted acquire: a second queue entry for the same txn.
+  Send(MakeAcquire(1, LockMode::kExclusive, 1, client_->node()));
+  Send(MakeRelease(1, LockMode::kExclusive, 1, client_->node()));
+  const auto grants = client_->Grants();
+  ASSERT_EQ(grants.size(), 2u);
+  EXPECT_EQ(grants[0].txn_id, 1u);
+  EXPECT_EQ(grants[1].txn_id, 1u);
+  EXPECT_NE(grants[0].aux, grants[1].aux);
+  EXPECT_NE(GrantFingerprint(grants[0], switch_->node()),
+            GrantFingerprint(grants[1], switch_->node()));
+}
+
 TEST_F(DataplaneTest, FailedSwitchDropsPackets) {
   Install(1, 8);
   switch_->Fail();

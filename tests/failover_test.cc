@@ -8,7 +8,7 @@
 #include "core/netlock.h"
 #include "harness/experiment.h"
 #include "harness/testbed.h"
-#include "lock_oracle.h"
+#include "testing/lock_oracle.h"
 #include "test_util.h"
 
 namespace netlock {
@@ -175,6 +175,101 @@ TEST_F(FailoverEndToEndTest, ServiceContinuesThroughFailover) {
   }
   EXPECT_GT(commits_final, commits_backup + 1000u);  // Primary serving.
   EXPECT_EQ(oracle_->violations(), 0u);  // Safety held throughout.
+  testbed.StopEngines(kSecond);
+}
+
+// Edge case: the primary recovers while the backup still holds non-empty
+// queues. The backup must keep granting its queued work (releases route to
+// the grantor), hand each lock back only once its queue drains, and report
+// drained exactly once — all without a safety violation.
+TEST_F(FailoverEndToEndTest, RecoveryWithNonEmptyBackupQueuesDrainsInOrder) {
+  MicroConfig micro;
+  micro.num_locks = 4;  // Heavy contention: backup queues stay populated.
+  config_.workload_factory = MicroFactory(micro);
+  Testbed testbed(config_);
+  testbed.netlock().InstallKnapsack(
+      UniformMicroDemands(micro, testbed.num_engines()));
+  LockSwitch backup(testbed.net(), config_.switch_config);
+  for (NetLockSession* s : raw_sessions_) {
+    testbed.net().SetLatency(s->node(), backup.node(), 2500);
+  }
+  for (int i = 0; i < testbed.netlock().num_servers(); ++i) {
+    testbed.net().SetLatency(backup.node(),
+                             testbed.netlock().server(i).node(), 1500);
+  }
+  FailoverManager failover(testbed.sim(), testbed.netlock().lock_switch(),
+                           backup, testbed.netlock().control_plane());
+  for (NetLockSession* s : raw_sessions_) failover.RegisterSession(s);
+  testbed.StartEngines();
+  testbed.sim().RunUntil(10 * kMillisecond);
+  failover.FailPrimary();
+  testbed.sim().RunUntil(25 * kMillisecond);  // Past the lease: serving.
+  const std::uint64_t grants_at_recovery = backup.stats().grants;
+  EXPECT_GT(grants_at_recovery, 0u);
+  bool drained = false;
+  failover.RecoverPrimary([&]() { drained = true; });
+  // New acquires go to the primary immediately, but the backup stays
+  // active until its queues empty.
+  EXPECT_EQ(failover.active_switch(),
+            testbed.netlock().lock_switch().node());
+  EXPECT_TRUE(failover.backup_active());
+  testbed.sim().RunUntil(150 * kMillisecond);
+  EXPECT_TRUE(drained);
+  EXPECT_FALSE(failover.backup_active());
+  // The backup granted queued work during the drain window.
+  EXPECT_GT(backup.stats().grants, grants_at_recovery);
+  EXPECT_EQ(oracle_->violations(), 0u);
+  testbed.StopEngines(kSecond);
+}
+
+// Edge case: the primary fails AGAIN while the backup is still draining
+// from the previous failover. The superseded recovery's callback must
+// never fire, the backup keeps serving, and a later recovery completes
+// normally — still with zero oracle violations.
+TEST_F(FailoverEndToEndTest, SecondFailureDuringDrainSupersedesRecovery) {
+  MicroConfig micro;
+  micro.num_locks = 4;
+  config_.workload_factory = MicroFactory(micro);
+  Testbed testbed(config_);
+  testbed.netlock().InstallKnapsack(
+      UniformMicroDemands(micro, testbed.num_engines()));
+  LockSwitch backup(testbed.net(), config_.switch_config);
+  for (NetLockSession* s : raw_sessions_) {
+    testbed.net().SetLatency(s->node(), backup.node(), 2500);
+  }
+  for (int i = 0; i < testbed.netlock().num_servers(); ++i) {
+    testbed.net().SetLatency(backup.node(),
+                             testbed.netlock().server(i).node(), 1500);
+  }
+  FailoverManager failover(testbed.sim(), testbed.netlock().lock_switch(),
+                           backup, testbed.netlock().control_plane());
+  for (NetLockSession* s : raw_sessions_) failover.RegisterSession(s);
+  testbed.StartEngines();
+  testbed.sim().RunUntil(10 * kMillisecond);
+  failover.FailPrimary();
+  testbed.sim().RunUntil(25 * kMillisecond);
+  bool first_recovery_done = false;
+  failover.RecoverPrimary([&]() { first_recovery_done = true; });
+  // Let part of the drain happen: the backup serves queued work while new
+  // acquires already target the restarted primary. Stay inside the first
+  // drain poll (1 ms) so the recovery is still pending.
+  testbed.sim().RunUntil(testbed.sim().now() + 200 * kMicrosecond);
+  ASSERT_TRUE(failover.backup_active());  // Mid-drain, not after it.
+  // ...then the primary dies again mid-drain.
+  failover.FailPrimary();
+  EXPECT_EQ(failover.active_switch(), backup.node());
+  testbed.sim().RunUntil(60 * kMillisecond);
+  EXPECT_FALSE(first_recovery_done);  // Superseded: must never fire.
+  EXPECT_TRUE(failover.backup_active());
+  // The second recovery completes normally.
+  bool second_recovery_done = false;
+  failover.RecoverPrimary([&]() { second_recovery_done = true; });
+  testbed.sim().RunUntil(200 * kMillisecond);
+  EXPECT_TRUE(second_recovery_done);
+  EXPECT_FALSE(failover.backup_active());
+  EXPECT_EQ(failover.active_switch(),
+            testbed.netlock().lock_switch().node());
+  EXPECT_EQ(oracle_->violations(), 0u);
   testbed.StopEngines(kSecond);
 }
 

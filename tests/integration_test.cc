@@ -5,7 +5,7 @@
 
 #include "harness/experiment.h"
 #include "harness/testbed.h"
-#include "lock_oracle.h"
+#include "testing/lock_oracle.h"
 
 namespace netlock {
 namespace {
@@ -42,10 +42,21 @@ TEST_P(AllSystemsTest, ContendedMicroWorkloadSafeAndLive) {
   if (GetParam() == SystemKind::kNetLock) {
     testbed.netlock().InstallKnapsack(
         UniformMicroDemands(micro, testbed.num_engines()));
+    // Fault-free run: exclusive grants must come back in per-lock
+    // admission order (Algorithm 2's FIFO promise).
+    testbed.netlock().lock_switch().set_queue_observer(
+        [oracle](LockId lock, TxnId txn, LockMode mode, bool overflowed) {
+          oracle->OnSwitchAccept(lock, txn, mode, overflowed);
+        });
+    testbed.netlock().lock_switch().set_grant_observer(
+        [oracle](LockId lock, TxnId txn, LockMode mode, NodeId) {
+          oracle->OnSwitchGrant(lock, txn, mode);
+        });
   }
   const RunMetrics metrics =
       testbed.Run(/*warmup=*/10 * kMillisecond, /*measure=*/50 * kMillisecond);
   EXPECT_EQ(oracle->violations(), 0u) << ToString(GetParam());
+  EXPECT_EQ(oracle->fifo_violations(), 0u) << ToString(GetParam());
   EXPECT_GT(metrics.txn_commits, 100u) << ToString(GetParam());
   EXPECT_GT(oracle->grants(), 0u);
   testbed.StopEngines();

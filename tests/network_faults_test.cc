@@ -1,0 +1,221 @@
+// Tests for the deterministic network adversary: duplication, reordering,
+// jitter, timed partitions, per-link overrides, and seed-derived replay
+// (identical seeds must reproduce identical fault patterns byte-for-byte).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace netlock {
+namespace {
+
+Packet MakePacket(NodeId src, NodeId dst, std::uint8_t tag) {
+  Packet pkt;
+  pkt.src = src;
+  pkt.dst = dst;
+  pkt.mutable_payload()[0] = tag;
+  pkt.set_size(1);
+  return pkt;
+}
+
+struct Sink {
+  std::vector<std::uint8_t> tags;
+  PacketHandler Handler() {
+    return [this](const Packet& pkt) { tags.push_back(pkt.payload()[0]); };
+  }
+};
+
+TEST(NetworkFaultsTest, DuplicationDeliversASecondCopy) {
+  Simulator sim;
+  Network net(sim, 1000);
+  Sink sink;
+  const NodeId a = net.AddNode([](const Packet&) {});
+  const NodeId b = net.AddNode(sink.Handler());
+  LinkFaults faults;
+  faults.duplicate = 1.0;
+  net.SetLinkFaults(a, b, faults);
+  net.Send(MakePacket(a, b, 7));
+  sim.Run();
+  ASSERT_EQ(sink.tags.size(), 2u);
+  EXPECT_EQ(sink.tags[0], 7);
+  EXPECT_EQ(sink.tags[1], 7);
+  EXPECT_EQ(net.packets_duplicated(), 1u);
+  // The duplicate trails the original: it is a retransmission artifact,
+  // not a time-travel one.
+  EXPECT_EQ(net.packets_sent(), 1u);
+}
+
+TEST(NetworkFaultsTest, ReorderLetsLaterPacketsOvertake) {
+  Simulator sim;
+  Network net(sim, 1000);
+  Sink sink;
+  const NodeId a = net.AddNode([](const Packet&) {});
+  const NodeId b = net.AddNode(sink.Handler());
+  LinkFaults faults;
+  faults.reorder = 1.0;       // Every packet held back...
+  faults.reorder_window = 5000;
+  net.SetFaultSeed(42);
+  net.SetLinkFaults(a, b, faults);
+  for (std::uint8_t i = 0; i < 20; ++i) net.Send(MakePacket(a, b, i));
+  sim.Run();
+  ASSERT_EQ(sink.tags.size(), 20u);
+  EXPECT_GT(net.packets_reordered(), 0u);
+  // With every packet delayed by an independent draw, some inversion must
+  // occur (deterministic for this seed).
+  bool inverted = false;
+  for (std::size_t i = 1; i < sink.tags.size(); ++i) {
+    if (sink.tags[i] < sink.tags[i - 1]) inverted = true;
+  }
+  EXPECT_TRUE(inverted);
+}
+
+TEST(NetworkFaultsTest, JitterDelaysButPreservesDelivery) {
+  Simulator sim;
+  Network net(sim, 1000);
+  Sink sink;
+  SimTime delivered_at = 0;
+  const NodeId a = net.AddNode([](const Packet&) {});
+  const NodeId b = net.AddNode([&](const Packet&) {
+    delivered_at = sim.now();
+  });
+  LinkFaults faults;
+  faults.jitter = 500;
+  net.SetDefaultFaults(faults);
+  net.Send(MakePacket(a, b, 1));
+  sim.Run();
+  EXPECT_GE(delivered_at, 1000);
+  EXPECT_LE(delivered_at, 1500);
+}
+
+TEST(NetworkFaultsTest, PartitionBlackholesBothDirectionsUntilUnblocked) {
+  Simulator sim;
+  Network net(sim, 1000);
+  Sink at_a, at_b;
+  const NodeId a = net.AddNode(at_a.Handler());
+  const NodeId b = net.AddNode(at_b.Handler());
+  net.BlockPair(a, b);
+  net.Send(MakePacket(a, b, 1));
+  net.Send(MakePacket(b, a, 2));
+  sim.Run();
+  EXPECT_TRUE(at_b.tags.empty());
+  EXPECT_TRUE(at_a.tags.empty());
+  EXPECT_EQ(net.packets_dropped(), 2u);
+  net.UnblockPair(a, b);
+  net.Send(MakePacket(a, b, 3));
+  sim.Run();
+  ASSERT_EQ(at_b.tags.size(), 1u);
+  EXPECT_EQ(at_b.tags[0], 3);
+}
+
+TEST(NetworkFaultsTest, BlockNodeIsolatesEveryLink) {
+  Simulator sim;
+  Network net(sim, 1000);
+  Sink at_b, at_c;
+  const NodeId a = net.AddNode([](const Packet&) {});
+  const NodeId b = net.AddNode(at_b.Handler());
+  const NodeId c = net.AddNode(at_c.Handler());
+  net.BlockNode(b);
+  net.Send(MakePacket(a, b, 1));  // Into the blocked node: dropped.
+  net.Send(MakePacket(b, c, 2));  // Out of the blocked node: dropped.
+  net.Send(MakePacket(a, c, 3));  // Unrelated pair: delivered.
+  sim.Run();
+  EXPECT_TRUE(at_b.tags.empty());
+  ASSERT_EQ(at_c.tags.size(), 1u);
+  EXPECT_EQ(at_c.tags[0], 3);
+  net.UnblockNode(b);
+  net.Send(MakePacket(a, b, 4));
+  sim.Run();
+  EXPECT_EQ(at_b.tags.size(), 1u);
+}
+
+TEST(NetworkFaultsTest, PerLinkOverrideLeavesOtherLinksClean) {
+  Simulator sim;
+  Network net(sim, 1000);
+  Sink at_b, at_c;
+  const NodeId a = net.AddNode([](const Packet&) {});
+  const NodeId b = net.AddNode(at_b.Handler());
+  const NodeId c = net.AddNode(at_c.Handler());
+  LinkFaults lossy;
+  lossy.loss = 1.0;
+  net.SetLinkFaults(a, b, lossy);
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    net.Send(MakePacket(a, b, i));
+    net.Send(MakePacket(a, c, i));
+  }
+  sim.Run();
+  EXPECT_TRUE(at_b.tags.empty());
+  EXPECT_EQ(at_c.tags.size(), 5u);
+  net.ClearFaults();
+  net.Send(MakePacket(a, b, 9));
+  sim.Run();
+  EXPECT_EQ(at_b.tags.size(), 1u);
+}
+
+// Replays the same loss+duplicate+reorder pattern for the same fault seed,
+// and a different pattern for a different seed.
+std::vector<std::uint8_t> RunAdversary(std::uint64_t fault_seed) {
+  Simulator sim;
+  Network net(sim, 1000);
+  Sink sink;
+  const NodeId a = net.AddNode([](const Packet&) {});
+  const NodeId b = net.AddNode(sink.Handler());
+  net.SetFaultSeed(fault_seed);
+  LinkFaults faults;
+  faults.loss = 0.2;
+  faults.duplicate = 0.2;
+  faults.reorder = 0.4;
+  faults.jitter = 300;
+  net.SetDefaultFaults(faults);
+  for (std::uint8_t i = 0; i < 100; ++i) net.Send(MakePacket(a, b, i));
+  sim.Run();
+  return sink.tags;
+}
+
+TEST(NetworkFaultsTest, IdenticalFaultSeedsReplayByteIdentically) {
+  const auto run1 = RunAdversary(7);
+  const auto run2 = RunAdversary(7);
+  EXPECT_EQ(run1, run2);
+  const auto run3 = RunAdversary(8);
+  EXPECT_NE(run1, run3);
+}
+
+TEST(NetworkFaultsTest, OneArgLossDerivesFromFaultSeed) {
+  // The one-argument SetLossProbability draws from the SetFaultSeed
+  // stream: different fault seeds give different drop patterns.
+  const auto run_with = [](std::uint64_t fault_seed) {
+    Simulator sim;
+    Network net(sim, 1000);
+    Sink sink;
+    const NodeId a = net.AddNode([](const Packet&) {});
+    const NodeId b = net.AddNode(sink.Handler());
+    net.SetFaultSeed(fault_seed);
+    net.SetLossProbability(0.5);
+    for (std::uint8_t i = 0; i < 64; ++i) net.Send(MakePacket(a, b, i));
+    sim.Run();
+    return sink.tags;
+  };
+  EXPECT_EQ(run_with(3), run_with(3));
+  EXPECT_NE(run_with(3), run_with(4));
+}
+
+TEST(NetworkFaultsTest, TwoArgLossPinsThePatternAcrossFaultSeeds) {
+  const auto run_with = [](std::uint64_t fault_seed) {
+    Simulator sim;
+    Network net(sim, 1000);
+    Sink sink;
+    const NodeId a = net.AddNode([](const Packet&) {});
+    const NodeId b = net.AddNode(sink.Handler());
+    net.SetFaultSeed(fault_seed);
+    net.SetLossProbability(0.5, /*seed=*/1234);
+    for (std::uint8_t i = 0; i < 64; ++i) net.Send(MakePacket(a, b, i));
+    sim.Run();
+    return sink.tags;
+  };
+  // The explicit seed wins regardless of the fault seed.
+  EXPECT_EQ(run_with(3), run_with(4));
+}
+
+}  // namespace
+}  // namespace netlock

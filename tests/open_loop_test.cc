@@ -5,7 +5,7 @@
 
 #include "client/open_loop.h"
 #include "dataplane/switch_dataplane.h"
-#include "lock_oracle.h"
+#include "testing/lock_oracle.h"
 #include "test_util.h"
 #include "workload/micro.h"
 

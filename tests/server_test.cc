@@ -220,6 +220,48 @@ TEST_F(ServerTest, StaleReleaseCounted) {
   EXPECT_EQ(server_->stats().stale_releases, 1u);
 }
 
+// Mirror of the data plane's dedup test: a retransmitted RELEASE copy is
+// dropped before its blind head pop can evict the next waiter.
+TEST_F(ServerTest, DuplicatedReleaseCopyIsDropped) {
+  Send(MakeAcquire(1, LockMode::kExclusive, 1, client_->node()));
+  Send(MakeAcquire(1, LockMode::kExclusive, 2, client_->node()));
+  Send(MakeAcquire(1, LockMode::kExclusive, 3, client_->node()));
+  const LockHeader release =
+      MakeRelease(1, LockMode::kExclusive, 1, client_->node());
+  Send(release);
+  EXPECT_TRUE(client_->HasGrantFor(2));
+  Send(release);
+  EXPECT_FALSE(client_->HasGrantFor(3));
+  EXPECT_EQ(server_->stats().duplicate_releases, 1u);
+  Send(MakeRelease(1, LockMode::kExclusive, 2, client_->node()));
+  EXPECT_TRUE(client_->HasGrantFor(3));
+}
+
+// Mirror of the data plane's validated dequeue: a release from a txn that
+// no longer heads the queue (its entry was lease-force-released) must not
+// pop the current holder's entry.
+TEST_F(ServerTest, MismatchedExclusiveReleaseIsDropped) {
+  Send(MakeAcquire(1, LockMode::kExclusive, 1, client_->node()));
+  Send(MakeAcquire(1, LockMode::kExclusive, 2, client_->node()));
+  Send(MakeRelease(1, LockMode::kExclusive, 99, client_->node()));
+  EXPECT_FALSE(client_->HasGrantFor(2));
+  EXPECT_EQ(server_->stats().mismatched_releases, 1u);
+  Send(MakeRelease(1, LockMode::kExclusive, 1, client_->node()));
+  EXPECT_TRUE(client_->HasGrantFor(2));
+}
+
+// Server grants stamp per-instance nonces exactly like the switch, so the
+// client-side duplicate-grant filter works for server-granted locks too.
+TEST_F(ServerTest, GrantsCarryDistinctInstanceNonces) {
+  Send(MakeAcquire(1, LockMode::kExclusive, 1, client_->node()));
+  // Retransmission: a second queue entry for the same txn.
+  Send(MakeAcquire(1, LockMode::kExclusive, 1, client_->node()));
+  Send(MakeRelease(1, LockMode::kExclusive, 1, client_->node()));
+  const auto grants = client_->Grants();
+  ASSERT_EQ(grants.size(), 2u);
+  EXPECT_NE(grants[0].aux, grants[1].aux);
+}
+
 TEST_F(ServerTest, HarvestDemandsReportsRatesAndContention) {
   for (TxnId txn = 0; txn < 10; ++txn) {
     Send(MakeAcquire(1, LockMode::kExclusive, txn, client_->node()));

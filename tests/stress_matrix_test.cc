@@ -9,7 +9,7 @@
 
 #include "harness/experiment.h"
 #include "harness/testbed.h"
-#include "lock_oracle.h"
+#include "testing/lock_oracle.h"
 
 namespace netlock {
 namespace {
@@ -53,10 +53,23 @@ TEST_P(StressMatrixTest, SafeAndLive) {
   if (params.system == SystemKind::kNetLock) {
     testbed.netlock().InstallKnapsack(
         UniformMicroDemands(micro, testbed.num_engines()));
+    // Fault-free runs also promise per-lock FIFO order of exclusive
+    // grants at the switch (Algorithm 2 + overflow, Section 4.3).
+    testbed.netlock().lock_switch().set_queue_observer(
+        [oracle](LockId lock, TxnId txn, LockMode mode, bool overflowed) {
+          oracle->OnSwitchAccept(lock, txn, mode, overflowed);
+        });
+    testbed.netlock().lock_switch().set_grant_observer(
+        [oracle](LockId lock, TxnId txn, LockMode mode, NodeId) {
+          oracle->OnSwitchGrant(lock, txn, mode);
+        });
   }
   const RunMetrics metrics =
       testbed.Run(/*warmup=*/5 * kMillisecond, /*measure=*/30 * kMillisecond);
   EXPECT_EQ(oracle->violations(), 0u);
+  if (params.system == SystemKind::kNetLock) {
+    EXPECT_EQ(oracle->fifo_violations(), 0u);
+  }
   EXPECT_GT(metrics.txn_commits, 50u);
   testbed.StopEngines(kSecond);
 }

@@ -58,8 +58,13 @@ inline LockHeader MakeAcquire(LockId lock, LockMode mode, TxnId txn,
   return hdr;
 }
 
+/// Builds a release carrying a fresh nonce in aux, exactly as real client
+/// sessions do: each logical release instance must be distinguishable so
+/// the manager-side dedup filters only drop *retransmitted copies*. To
+/// model a network-duplicated copy, resend the same header unchanged.
 inline LockHeader MakeRelease(LockId lock, LockMode mode, TxnId txn,
                               NodeId client, Priority priority = 0) {
+  static std::uint32_t nonce = 1;
   LockHeader hdr;
   hdr.op = LockOp::kRelease;
   hdr.lock_id = lock;
@@ -67,6 +72,7 @@ inline LockHeader MakeRelease(LockId lock, LockMode mode, TxnId txn,
   hdr.txn_id = txn;
   hdr.client_node = client;
   hdr.priority = priority;
+  hdr.aux = nonce++;
   return hdr;
 }
 

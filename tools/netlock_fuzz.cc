@@ -1,0 +1,167 @@
+// netlock_fuzz: command-line driver for the deterministic fault-injection
+// fuzzer (src/testing/fuzzer.h).
+//
+// Sweep mode (default): generate `--count` schedules from `--seed` and run
+// each one. On the first oracle/liveness violation the failing schedule is
+// delta-debugged down to a minimal repro, written to `--out`, and the
+// one-line replay command is printed; the process exits 1.
+//
+//   netlock_fuzz --seed=1 --count=64 --quick
+//
+// Replay mode: run one serialized schedule (the token printed by a failed
+// sweep or embedded in a bug report) and report what happens.
+//
+//   netlock_fuzz --seed=7 --plan='m=2;spm=2;...;plan=failsw:2000:0:0:0'
+//
+// Flags:
+//   --seed=N     master seed (sweep) or schedule seed (replay). Default 1.
+//   --count=N    number of generated schedules to sweep. Default 64.
+//   --quick      cap each schedule's workload at 10 ms of sim time.
+//   --plan=TOK   replay one serialized schedule instead of sweeping.
+//   --shrink     in replay mode, shrink a failing schedule too.
+//   --no-shrink  in sweep mode, skip shrinking (report the raw failure).
+//   --out=PATH   repro file for failing schedules. Default fuzz_repro.txt.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <string_view>
+
+#include "testing/fuzzer.h"
+
+namespace {
+
+using netlock::testing::FuzzOptions;
+using netlock::testing::RunReport;
+using netlock::testing::Schedule;
+using netlock::testing::ScheduleFuzzer;
+
+struct CliOptions {
+  std::uint64_t seed = 1;
+  int count = 64;
+  bool quick = false;
+  bool shrink_replay = false;
+  bool shrink_sweep = true;
+  std::string plan;
+  std::string out = "fuzz_repro.txt";
+};
+
+bool ParseFlag(std::string_view arg, std::string_view name,
+               std::string_view* value) {
+  if (arg.substr(0, name.size()) != name) return false;
+  arg.remove_prefix(name.size());
+  if (arg.empty() || arg[0] != '=') return false;
+  *value = arg.substr(1);
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string_view value;
+    if (arg == "--quick") {
+      out->quick = true;
+    } else if (arg == "--shrink") {
+      out->shrink_replay = true;
+    } else if (arg == "--no-shrink") {
+      out->shrink_sweep = false;
+    } else if (ParseFlag(arg, "--seed", &value)) {
+      out->seed = std::strtoull(std::string(value).c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "--count", &value)) {
+      out->count = std::atoi(std::string(value).c_str());
+    } else if (ParseFlag(arg, "--plan", &value)) {
+      out->plan = std::string(value);
+    } else if (ParseFlag(arg, "--out", &value)) {
+      out->out = std::string(value);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", std::string(arg).c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void ApplyQuick(Schedule* schedule) {
+  constexpr netlock::SimTime kQuickRunTime = 10 * netlock::kMillisecond;
+  if (schedule->workload.run_time > kQuickRunTime) {
+    schedule->workload.run_time = kQuickRunTime;
+  }
+}
+
+// Writes the minimal repro to disk so CI can upload it as an artifact.
+void WriteRepro(const std::string& path, const Schedule& schedule,
+                const RunReport& report) {
+  std::ofstream file(path);
+  file << "# netlock_fuzz minimal repro\n";
+  file << "schedule: " << schedule.Serialize() << "\n";
+  file << "replay:   " << ScheduleFuzzer::ReplayLine(schedule) << "\n";
+  file << "result:   " << report.Summary() << "\n";
+  for (const std::string& problem : report.problems) {
+    file << "problem:  " << problem << "\n";
+  }
+}
+
+int FailWith(const CliOptions& cli, Schedule schedule, bool shrink) {
+  const FuzzOptions options;
+  if (shrink) {
+    std::printf("shrinking...\n");
+    schedule = ScheduleFuzzer::Shrink(schedule, options);
+  }
+  const RunReport report = ScheduleFuzzer::RunSchedule(schedule, options);
+  WriteRepro(cli.out, schedule, report);
+  std::printf("FAIL %s\n", report.Summary().c_str());
+  for (const std::string& problem : report.problems) {
+    std::printf("  %s\n", problem.c_str());
+  }
+  std::printf("repro written to %s\n", cli.out.c_str());
+  std::printf("replay: %s\n", ScheduleFuzzer::ReplayLine(schedule).c_str());
+  return 1;
+}
+
+int RunReplay(const CliOptions& cli) {
+  Schedule schedule;
+  schedule.seed = cli.seed;
+  if (!Schedule::Parse(cli.plan, &schedule)) {
+    std::fprintf(stderr, "unparseable --plan token\n");
+    return 2;
+  }
+  if (cli.quick) ApplyQuick(&schedule);
+  const RunReport report = ScheduleFuzzer::RunSchedule(schedule);
+  std::printf("%s\n", report.Summary().c_str());
+  for (const std::string& problem : report.problems) {
+    std::printf("  %s\n", problem.c_str());
+  }
+  if (report.ok) return 0;
+  return FailWith(cli, schedule, cli.shrink_replay);
+}
+
+int RunSweep(const CliOptions& cli) {
+  const ScheduleFuzzer fuzzer(cli.seed);
+  std::uint64_t total_grants = 0;
+  for (int i = 0; i < cli.count; ++i) {
+    Schedule schedule = fuzzer.Generate(static_cast<std::uint64_t>(i));
+    if (cli.quick) ApplyQuick(&schedule);
+    const RunReport report = ScheduleFuzzer::RunSchedule(schedule);
+    total_grants += report.grants;
+    if (!report.ok) {
+      std::printf("[%d/%d] %s\n", i + 1, cli.count,
+                  report.Summary().c_str());
+      return FailWith(cli, schedule, cli.shrink_sweep);
+    }
+    if ((i + 1) % 8 == 0 || i + 1 == cli.count) {
+      std::printf("[%d/%d] ok, %llu grants so far\n", i + 1, cli.count,
+                  static_cast<unsigned long long>(total_grants));
+    }
+  }
+  std::printf("PASS %d schedules, %llu grants, 0 violations\n", cli.count,
+              static_cast<unsigned long long>(total_grants));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!ParseArgs(argc, argv, &cli)) return 2;
+  return cli.plan.empty() ? RunSweep(cli) : RunReplay(cli);
+}
