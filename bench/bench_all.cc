@@ -35,6 +35,7 @@ const char* const kBenches[] = {
     "fig15_failure",
     "ablation_one_rtt",
     "ablation_shared_queue",
+    "scaleout_racks",
     "micro_components",
 };
 constexpr std::size_t kNumBenches = sizeof(kBenches) / sizeof(kBenches[0]);

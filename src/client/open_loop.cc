@@ -22,6 +22,12 @@ OpenLoopEngine::OpenLoopEngine(Simulator& sim, LockSession& session,
 
 void OpenLoopEngine::Start() { ScheduleNextArrival(); }
 
+TxnId OpenLoopEngine::MakeTxnId(std::uint32_t engine_id,
+                                std::uint64_t counter) {
+  NETLOCK_CHECK(counter < (std::uint64_t{1} << kCounterBits));
+  return (static_cast<TxnId>(engine_id) << kCounterBits) | counter;
+}
+
 void OpenLoopEngine::ScheduleNextArrival() {
   if (stopped_) return;
   const double mean_gap_ns =
@@ -41,8 +47,7 @@ void OpenLoopEngine::BeginTxn() {
     ++dropped_;  // Overloaded: shed the arrival.
     return;
   }
-  const TxnId txn_id =
-      (static_cast<TxnId>(engine_id_) << 40) | ++txn_counter_;
+  const TxnId txn_id = MakeTxnId(engine_id_, ++txn_counter_);
   Txn txn;
   txn.spec = workload_->Next(rng_);
   // Order by the backend's conflict unit (see TxnEngine for rationale).
@@ -53,7 +58,17 @@ void OpenLoopEngine::BeginTxn() {
             });
   txn.started = sim_.now();
   ++outstanding_;
+  const bool empty = txn.spec.locks.empty();
   in_flight_.emplace(txn_id, std::move(txn));
+  if (empty) {
+    // No locks to take: the transaction is pure think time, then commits.
+    if (config_.think_time == 0) {
+      Commit(txn_id);
+    } else {
+      sim_.Schedule(config_.think_time, [this, txn_id]() { Commit(txn_id); });
+    }
+    return;
+  }
   AcquireNext(txn_id);
 }
 

@@ -54,6 +54,15 @@ class OpenLoopEngine {
   std::uint64_t dropped_arrivals() const { return dropped_; }
   std::uint32_t outstanding() const { return outstanding_; }
 
+  /// Bits of the txn id reserved for the per-engine counter; the engine id
+  /// occupies the bits above them.
+  static constexpr int kCounterBits = 40;
+
+  /// Builds the txn id `(engine_id << kCounterBits) | counter`, checking
+  /// that the counter has not overflowed into the engine-id bits (which
+  /// would alias txn ids across engines). Exposed for tests.
+  static TxnId MakeTxnId(std::uint32_t engine_id, std::uint64_t counter);
+
  private:
   struct Txn {
     TxnSpec spec;

@@ -11,12 +11,16 @@ std::uint32_t LogHistogram::BucketFor(SimTime value) {
   // (exponent, top kSubBuckets-worth of mantissa bits).
   if (value < kSubBuckets) return static_cast<std::uint32_t>(value);
   const int msb = 63 - std::countl_zero(static_cast<std::uint64_t>(value));
+  if (msb > static_cast<int>(kMaxExponent)) {
+    // Outlier beyond the covered range: saturate to the top bucket. Keeping
+    // mantissa bits from the unclamped shift would make the index
+    // non-monotone here (a larger value could land in a smaller bucket).
+    return kMaxExponent * kSubBuckets + (kSubBuckets - 1);
+  }
   const int shift = msb - 6;  // log2(kSubBuckets) == 6.
   const std::uint32_t sub =
       static_cast<std::uint32_t>((value >> shift) & (kSubBuckets - 1));
-  std::uint32_t exponent = static_cast<std::uint32_t>(msb);
-  if (exponent > kMaxExponent) exponent = kMaxExponent;  // Clamp outliers.
-  return exponent * kSubBuckets + sub;
+  return static_cast<std::uint32_t>(msb) * kSubBuckets + sub;
 }
 
 SimTime LogHistogram::BucketMidpoint(std::uint32_t bucket) {

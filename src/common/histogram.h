@@ -42,10 +42,12 @@ class LogHistogram {
   void Merge(const LogHistogram& other);
   void Clear();
 
- private:
+  // Exposed for tests: the bucketing must be monotone in `value`, and every
+  // bucket's midpoint must lie within that bucket's bounds.
   static std::uint32_t BucketFor(SimTime value);
   static SimTime BucketMidpoint(std::uint32_t bucket);
 
+ private:
   static constexpr std::size_t kNumBuckets =
       static_cast<std::size_t>(kMaxExponent) * kSubBuckets + kSubBuckets;
 

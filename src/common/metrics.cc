@@ -12,13 +12,15 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 MetricCounter& MetricsRegistry::Counter(const std::string& name) {
-  NETLOCK_CHECK(gauges_.find(name) == gauges_.end());
-  return counters_[name];
+  const std::string full = prefix_.empty() ? name : prefix_ + name;
+  NETLOCK_CHECK(gauges_.find(full) == gauges_.end());
+  return counters_[full];
 }
 
 MetricGauge& MetricsRegistry::Gauge(const std::string& name) {
-  NETLOCK_CHECK(counters_.find(name) == counters_.end());
-  return gauges_[name];
+  const std::string full = prefix_.empty() ? name : prefix_ + name;
+  NETLOCK_CHECK(counters_.find(full) == counters_.end());
+  return gauges_[full];
 }
 
 std::vector<MetricSample> MetricsRegistry::Snapshot() const {
@@ -41,11 +43,14 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  // Names in `other` are already fully resolved: bypass the prefix.
   for (const auto& [name, counter] : other.counters_) {
-    Counter(name).Inc(counter.value());
+    NETLOCK_CHECK(gauges_.find(name) == gauges_.end());
+    counters_[name].Inc(counter.value());
   }
   for (const auto& [name, gauge] : other.gauges_) {
-    MetricGauge& mine = Gauge(name);
+    NETLOCK_CHECK(counters_.find(name) == counters_.end());
+    MetricGauge& mine = gauges_[name];
     mine.value_ = gauge.value_;
     mine.ObserveHighWater(gauge.high_water_);
   }

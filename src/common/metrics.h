@@ -88,9 +88,18 @@ class MetricsRegistry {
   /// Resolves (creating on first use) the counter/gauge with this name.
   /// The returned reference is stable for the registry's lifetime; resolve
   /// once and keep the pointer. A name registers as either a counter or a
-  /// gauge, never both.
+  /// gauge, never both. The current prefix (see SetPrefix) is prepended at
+  /// resolution time.
   MetricCounter& Counter(const std::string& name);
   MetricGauge& Gauge(const std::string& name);
+
+  /// Prefix prepended to every name resolved by Counter()/Gauge() — used
+  /// to label instruments by the component group under construction (e.g.
+  /// "rack1." while building rack 1's switch and servers, so dashboards
+  /// split by rack). Construction-time only: components resolve their
+  /// instruments once, so changing the prefix later does not re-label them.
+  void SetPrefix(std::string prefix) { prefix_ = std::move(prefix); }
+  const std::string& prefix() const { return prefix_; }
 
   /// All instruments (gauges as two samples), sorted by name.
   std::vector<MetricSample> Snapshot() const;
@@ -113,8 +122,26 @@ class MetricsRegistry {
   }
 
  private:
+  std::string prefix_;
   std::map<std::string, MetricCounter> counters_;
   std::map<std::string, MetricGauge> gauges_;
+};
+
+/// RAII prefix for a construction scope: restores the previous prefix on
+/// destruction, so nested groups compose ("rack2." inside "" -> "rack2.").
+class ScopedMetricPrefix {
+ public:
+  ScopedMetricPrefix(MetricsRegistry& registry, const std::string& prefix)
+      : registry_(registry), saved_(registry.prefix()) {
+    registry_.SetPrefix(saved_ + prefix);
+  }
+  ~ScopedMetricPrefix() { registry_.SetPrefix(saved_); }
+  ScopedMetricPrefix(const ScopedMetricPrefix&) = delete;
+  ScopedMetricPrefix& operator=(const ScopedMetricPrefix&) = delete;
+
+ private:
+  MetricsRegistry& registry_;
+  std::string saved_;
 };
 
 }  // namespace netlock

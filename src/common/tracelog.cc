@@ -42,7 +42,20 @@ void TraceLog::Push(TraceEvent event) {
     ++dropped_;
     return;
   }
+  event.pid = current_pid_;
   events_.push_back(event);
+}
+
+void TraceLog::SetPidName(std::uint32_t pid, const char* name) {
+  for (auto& [p, n] : pid_names_) {
+    if (p == pid) {
+      n = name;
+      return;
+    }
+  }
+  pid_names_.emplace_back(pid, name);
+  std::sort(pid_names_.begin(), pid_names_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
 }
 
 void TraceLog::Instant(TraceTrack track, const char* name, SimTime ts,
@@ -145,16 +158,31 @@ std::string TraceLog::ToJson() const {
   out << "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\","
          "\"args\":{\"name\":\"netlock-sim\",\"dropped_events\":"
       << dropped_ << "}}";
-  for (const TraceTrack track :
-       {TraceTrack::kClient, TraceTrack::kNetwork, TraceTrack::kPipeline,
-        TraceTrack::kQueue, TraceTrack::kServer}) {
-    out << ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":"
-        << static_cast<int>(track)
-        << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
-        << ToString(track) << "\"}}";
+  // Named pids (multi-rack runs) get their own process groups; pid 0 keeps
+  // the default name above.
+  for (const auto& [pid, name] : pid_names_) {
+    if (pid == 0) continue;
+    out << ",\n{\"ph\":\"M\",\"pid\":" << pid
+        << ",\"name\":\"process_name\",\"args\":{\"name\":\"" << name
+        << "\"}}";
+  }
+  std::vector<std::uint32_t> pids{0};
+  for (const auto& [pid, name] : pid_names_) {
+    if (pid != 0) pids.push_back(pid);
+  }
+  for (const std::uint32_t pid : pids) {
+    for (const TraceTrack track :
+         {TraceTrack::kClient, TraceTrack::kNetwork, TraceTrack::kPipeline,
+          TraceTrack::kQueue, TraceTrack::kServer}) {
+      out << ",\n{\"ph\":\"M\",\"pid\":" << pid
+          << ",\"tid\":" << static_cast<int>(track)
+          << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+          << ToString(track) << "\"}}";
+    }
   }
   for (const TraceEvent* event : sorted) {
-    out << ",\n{\"ph\":\"" << event->phase << "\",\"pid\":0,\"tid\":"
+    out << ",\n{\"ph\":\"" << event->phase << "\",\"pid\":" << event->pid
+        << ",\"tid\":"
         << static_cast<int>(event->track) << ",\"name\":\"" << event->name
         << "\",\"cat\":\"" << ToString(event->track) << "\",\"ts\":";
     AppendMicros(out, event->ts);

@@ -54,6 +54,10 @@ struct TraceEvent {
   const char* name = nullptr;
   char phase = 'i';  ///< 'X' complete, 'i' instant, 'b'/'e' async pair.
   TraceTrack track = TraceTrack::kClient;
+  /// Exported as the trace-event pid: groups spans by rack (process). 0 is
+  /// the default group (clients + fabric in single-rack runs); multi-rack
+  /// harnesses label each rack's switch/servers with pid = rack + 1.
+  std::uint32_t pid = 0;
   SimTime ts = 0;   ///< Start time (ns of simulated time).
   SimTime dur = 0;  ///< Duration, 'X' events only.
   std::uint64_t id = 0;  ///< Request correlation id (0 = none).
@@ -104,6 +108,37 @@ class TraceLog {
   void SetCapacity(std::size_t capacity) { capacity_ = capacity; }
   std::size_t capacity() const { return capacity_; }
 
+  // --- Per-rack labels (multi-rack topologies) ---
+
+  /// Every event recorded from now on is stamped with this pid. Rack-owned
+  /// components read the current pid at construction and re-assert it (via
+  /// PidScope) when they handle a packet, so one shared log splits cleanly
+  /// by rack. Pid 0 is the default group (clients and the fabric).
+  void SetCurrentPid(std::uint32_t pid) { current_pid_ = pid; }
+  std::uint32_t current_pid() const { return current_pid_; }
+
+  /// Names a pid for the exporter's process_name metadata ("rack0", ...).
+  /// `name` must be a static string.
+  void SetPidName(std::uint32_t pid, const char* name);
+
+  /// RAII pid for one handler invocation: restores the previous pid on
+  /// destruction, so nested handlers (switch forwarding to a server within
+  /// the same event cascade) label correctly.
+  class PidScope {
+   public:
+    PidScope(TraceLog& log, std::uint32_t pid)
+        : log_(log), saved_(log.current_pid()) {
+      log_.SetCurrentPid(pid);
+    }
+    ~PidScope() { log_.SetCurrentPid(saved_); }
+    PidScope(const PidScope&) = delete;
+    PidScope& operator=(const PidScope&) = delete;
+
+   private:
+    TraceLog& log_;
+    std::uint32_t saved_;
+  };
+
   // --- Recording (no-ops when disabled) ---
 
   void Instant(TraceTrack track, const char* name, SimTime ts,
@@ -147,9 +182,12 @@ class TraceLog {
 
   bool enabled_ = false;
   std::uint32_t sample_every_ = 1;
+  std::uint32_t current_pid_ = 0;
   std::size_t capacity_ = 2'000'000;
   std::uint64_t dropped_ = 0;
   std::vector<TraceEvent> events_;
+  /// pid -> process name for the exporter (sorted for determinism).
+  std::vector<std::pair<std::uint32_t, const char*>> pid_names_;
 };
 
 }  // namespace netlock

@@ -211,32 +211,84 @@ void ControlPlane::Reallocate(std::uint32_t switch_capacity,
   counters_.clear();
   window_start_ = sim_.now();
 
-  // Compute the migration sets relative to what is installed.
-  std::vector<LockId> to_remove;
-  for (const LockId lock : switch_.table().InstalledLocks()) {
-    if (!target.InSwitch(lock)) to_remove.push_back(lock);
+  // Compute the migration sets relative to what is installed:
+  //  - to_remove: installed but no longer in the target;
+  //  - resizes: installed with a different target slot count (contention
+  //    grew or shrank) — drained out and reinstalled at the new size via
+  //    the same remove-then-reinstall path;
+  //  - to_add: in the target but not installed.
+  std::unordered_map<LockId, std::uint32_t> target_slots;
+  for (const auto& [lock, slots] : target.switch_slots) {
+    target_slots.emplace(lock, slots);
   }
+  std::vector<LockId> to_remove;
   std::vector<std::pair<LockId, std::uint32_t>> to_add;
+  for (const LockId lock : switch_.table().InstalledLocks()) {
+    const auto want_it = target_slots.find(lock);
+    if (want_it == target_slots.end()) {
+      to_remove.push_back(lock);
+      continue;
+    }
+    const SwitchLockEntry* entry = switch_.table().Find(lock);
+    std::uint32_t have = 0;
+    for (const LockBounds& region : entry->regions) {
+      have += region.right - region.left;
+    }
+    const std::uint32_t want = want_it->second;
+    if (have != want) {
+      to_remove.push_back(lock);
+      to_add.emplace_back(lock, want);
+    }
+  }
   for (const auto& [lock, slots] : target.switch_slots) {
     if (!switch_.IsInstalled(lock)) to_add.emplace_back(lock, slots);
   }
+  // Both sets come out of unordered_map iteration: fix the order so the
+  // migration event sequence is independent of hash-table layout.
+  std::sort(to_remove.begin(), to_remove.end());
+  std::sort(to_add.begin(), to_add.end());
   installed_ = target;
 
-  auto remaining = std::make_shared<std::size_t>(to_remove.size() +
-                                                 to_add.size());
-  auto on_each = [remaining, done = std::move(done)]() {
-    if (--*remaining == 0 && done) done();
-  };
-  if (*remaining == 0) {
-    // Nothing to migrate.
-    ++*remaining;
-    on_each();
+  if (to_remove.empty() && to_add.empty()) {
+    if (done) done();
     return;
   }
-  // Removals first to make space, then additions.
-  for (const LockId lock : to_remove) MoveLockToServer(lock, on_each);
-  for (const auto& [lock, slots] : to_add) {
-    MoveLockToSwitch(lock, slots, on_each);
+
+  // Removals first to make space, then additions — sequenced, not merely
+  // ordered: an addition launched while removals are still draining sees a
+  // full table, InstallLock fails, and the lock is stranded server-side
+  // even though capacity frees moments later.
+  struct State {
+    std::vector<std::pair<LockId, std::uint32_t>> to_add;
+    std::size_t removals_left = 0;
+    std::size_t adds_left = 0;
+    std::function<void()> done;
+  };
+  auto state = std::make_shared<State>();
+  state->to_add = std::move(to_add);
+  state->removals_left = to_remove.size();
+  state->done = std::move(done);
+
+  auto launch_adds = [this, state]() {
+    if (state->to_add.empty()) {
+      if (state->done) state->done();
+      return;
+    }
+    state->adds_left = state->to_add.size();
+    for (const auto& [lock, slots] : state->to_add) {
+      MoveLockToSwitch(lock, slots, [state]() {
+        if (--state->adds_left == 0 && state->done) state->done();
+      });
+    }
+  };
+  if (to_remove.empty()) {
+    launch_adds();
+    return;
+  }
+  for (const LockId lock : to_remove) {
+    MoveLockToServer(lock, [state, launch_adds]() {
+      if (--state->removals_left == 0) launch_adds();
+    });
   }
 }
 

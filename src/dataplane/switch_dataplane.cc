@@ -58,6 +58,7 @@ LockSwitch::LockSwitch(Network& net, LockSwitchConfig config)
       pipeline_(config.num_stages, /*max_resubmits=*/0,
                 &net.sim().context()),
       trace_(&net.sim().context().trace()),
+      trace_pid_(net.sim().context().trace().current_pid()),
       table_(config.max_locks, config.queue_capacity) {
   NETLOCK_CHECK(config_.num_priorities >= 1);
   NETLOCK_CHECK(config_.num_priorities <= config_.num_stages - 4);
@@ -242,6 +243,7 @@ void LockSwitch::HandlePacket(const Packet& pkt) {
     ++stats_.dropped_while_failed;
     return;
   }
+  TraceLog::PidScope pid_scope(*trace_, trace_pid_);
   const std::optional<LockHeader> hdr = LockHeader::Parse(pkt);
   if (!hdr) return;  // Non-lock traffic: forwarded by the regular pipeline.
   // Chain tail: the head's quota already rejected this acquire; nothing
@@ -989,6 +991,7 @@ void LockSwitch::ClearExpired(SimTime lease, SweepScope scope) {
   // keeps running, but sweeping the dead registers would cascade-grant
   // from a stale queue while the backup serves the same locks.
   if (failed_) return;
+  TraceLog::PidScope pid_scope(*trace_, trace_pid_);
   const SimTime now = net_.sim().now();
   if (now < lease) return;
   const SimTime cutoff = now - lease;

@@ -285,6 +285,9 @@ class LockSwitch {
   NodeId node_;
   Pipeline pipeline_;
   TraceLog* trace_;  ///< Request-lifecycle tracing (resolved once).
+  /// Rack label captured at construction (TraceLog::current_pid); asserted
+  /// while this switch handles packets so shared-log spans split by rack.
+  std::uint32_t trace_pid_ = 0;
 
   // Register arrays. Default path stage layout: 0 = quota + boundaries,
   // 1 = per-lock queue metadata, 2.. = the pooled shared-queue arrays.

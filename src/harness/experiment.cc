@@ -94,10 +94,21 @@ std::vector<LockDemand> ProfileAndInstall(Testbed& testbed,
                                           SimTime profile_duration,
                                           std::uint64_t random_seed) {
   std::vector<LockDemand> demands = testbed.ProfileDemands(profile_duration);
-  const Allocation allocation =
-      random_strawman ? RandomAllocate(demands, capacity, random_seed)
-                      : KnapsackAllocate(demands, capacity);
-  testbed.netlock().InstallAllocation(allocation);
+  // Solve per rack: each rack's switch has its own `capacity` slots and
+  // only ever sees the demands the directory routes to it. Single-rack
+  // topologies reduce to the original whole-space solve.
+  ShardedNetLock& sharded = testbed.sharded();
+  std::vector<std::vector<LockDemand>> per_rack(sharded.num_racks());
+  for (const LockDemand& demand : demands) {
+    per_rack[sharded.directory().RackFor(demand.lock)].push_back(demand);
+  }
+  for (int r = 0; r < sharded.num_racks(); ++r) {
+    const Allocation allocation =
+        random_strawman
+            ? RandomAllocate(per_rack[r], capacity, random_seed + r)
+            : KnapsackAllocate(per_rack[r], capacity);
+    sharded.rack(r).InstallAllocation(allocation);
+  }
   return demands;
 }
 

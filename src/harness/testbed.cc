@@ -27,6 +27,11 @@ Testbed::Testbed(TestbedConfig config)
   NETLOCK_CHECK(config_.workload_factory != nullptr);
   NETLOCK_CHECK(config_.client_machines >= 1);
   NETLOCK_CHECK(config_.sessions_per_machine >= 1);
+  NETLOCK_CHECK(config_.num_racks >= 1);
+  // Only NetLock has a sharded scale-out path; the baselines are
+  // single-rack systems.
+  NETLOCK_CHECK(config_.num_racks == 1 ||
+                config_.system == SystemKind::kNetLock);
 
   // Default latency covers the client<->server path (through the ToR);
   // client<->switch pairs are set explicitly below.
@@ -69,10 +74,16 @@ Testbed::Testbed(TestbedConfig config)
           std::max<SimTime>(100 * kMicrosecond,
                             8 * (config_.client_switch_latency +
                                  config_.switch_server_latency)));
-      netlock_ = std::make_unique<NetLockManager>(*net_, options);
-      infra_switch_nodes.push_back(netlock_->lock_switch().node());
-      for (int i = 0; i < netlock_->num_servers(); ++i) {
-        infra_server_nodes.push_back(netlock_->server(i).node());
+      ShardedNetLockOptions sharded_options;
+      sharded_options.rack = options;
+      sharded_options.num_racks = config_.num_racks;
+      sharded_ = std::make_unique<ShardedNetLock>(*net_, sharded_options);
+      for (int r = 0; r < sharded_->num_racks(); ++r) {
+        NetLockManager& rack = sharded_->rack(r);
+        infra_switch_nodes.push_back(rack.lock_switch().node());
+        for (int i = 0; i < rack.num_servers(); ++i) {
+          infra_server_nodes.push_back(rack.server(i).node());
+        }
       }
       break;
     }
@@ -122,7 +133,7 @@ Testbed::Testbed(TestbedConfig config)
     std::unique_ptr<LockSession> session;
     switch (config_.system) {
       case SystemKind::kNetLock:
-        session = netlock_->CreateSession(machine, tenant);
+        session = sharded_->CreateSession(machine, tenant);
         break;
       case SystemKind::kServerOnly:
         session = server_only_->CreateSession(machine, tenant);
@@ -138,9 +149,30 @@ Testbed::Testbed(TestbedConfig config)
             machine, *netchain_, config_.seed * 7919 + i);
         break;
     }
-    // Session nodes sit one client leg from switches.
-    for (const NodeId sw : infra_switch_nodes) {
-      net_->SetLatency(session->node(), sw, config_.client_switch_latency);
+    if (config_.system == SystemKind::kNetLock &&
+        sharded_->num_racks() > 1) {
+      // Multi-rack: one inner session per rack, each with its own node.
+      // The machine's home rack (round-robin by machine) is one ToR leg
+      // away; every other rack costs an extra spine hop each way.
+      auto* sharded_session = static_cast<ShardedSession*>(session.get());
+      const int home = (i % config_.client_machines) % sharded_->num_racks();
+      for (int r = 0; r < sharded_->num_racks(); ++r) {
+        const SimTime extra =
+            (r == home) ? 0 : config_.cross_rack_extra_latency;
+        NetLockManager& rack = sharded_->rack(r);
+        const NodeId leaf = sharded_session->rack_session(r).node();
+        net_->SetLatency(leaf, rack.lock_switch().node(),
+                         config_.client_switch_latency + extra);
+        for (int s = 0; s < rack.num_servers(); ++s) {
+          net_->SetLatency(leaf, rack.server(s).node(),
+                           client_server + extra);
+        }
+      }
+    } else {
+      // Session nodes sit one client leg from switches.
+      for (const NodeId sw : infra_switch_nodes) {
+        net_->SetLatency(session->node(), sw, config_.client_switch_latency);
+      }
     }
     if (config_.session_wrapper) {
       session = config_.session_wrapper(std::move(session));
@@ -153,10 +185,27 @@ Testbed::Testbed(TestbedConfig config)
         config_.seed * 1000003ull + i, txn_config));
     sessions_.push_back(std::move(session));
   }
-  // Switch <-> server legs.
-  for (const NodeId sw : infra_switch_nodes) {
-    for (const NodeId srv : infra_server_nodes) {
-      net_->SetLatency(sw, srv, config_.switch_server_latency);
+  if (config_.system == SystemKind::kNetLock && sharded_->num_racks() > 1) {
+    // Each switch pairs with its own rack's servers over the ToR fabric;
+    // switch <-> switch (re-home tombstone forwarding) crosses the spine.
+    for (int r = 0; r < sharded_->num_racks(); ++r) {
+      NetLockManager& rack = sharded_->rack(r);
+      for (int s = 0; s < rack.num_servers(); ++s) {
+        net_->SetLatency(rack.lock_switch().node(), rack.server(s).node(),
+                         config_.switch_server_latency);
+      }
+      for (int q = r + 1; q < sharded_->num_racks(); ++q) {
+        net_->SetLatency(rack.lock_switch().node(),
+                         sharded_->rack(q).lock_switch().node(),
+                         config_.cross_rack_extra_latency);
+      }
+    }
+  } else {
+    // Switch <-> server legs.
+    for (const NodeId sw : infra_switch_nodes) {
+      for (const NodeId srv : infra_server_nodes) {
+        net_->SetLatency(sw, srv, config_.switch_server_latency);
+      }
     }
   }
 }
@@ -164,8 +213,12 @@ Testbed::Testbed(TestbedConfig config)
 Testbed::~Testbed() = default;
 
 NetLockManager& Testbed::netlock() {
-  NETLOCK_CHECK(netlock_ != nullptr);
-  return *netlock_;
+  NETLOCK_CHECK(sharded_ != nullptr);
+  return sharded_->rack(0);
+}
+ShardedNetLock& Testbed::sharded() {
+  NETLOCK_CHECK(sharded_ != nullptr);
+  return *sharded_;
 }
 ServerOnlyManager& Testbed::server_only() {
   NETLOCK_CHECK(server_only_ != nullptr);
@@ -220,7 +273,7 @@ void Testbed::SetRecording(bool on) {
 std::uint64_t Testbed::GrantsServedBySwitch() const {
   switch (config_.system) {
     case SystemKind::kNetLock:
-      return netlock_->SwitchGrants();
+      return sharded_->SwitchGrants();
     case SystemKind::kNetChain:
       return netchain_->stats().grants;
     default:
@@ -231,7 +284,7 @@ std::uint64_t Testbed::GrantsServedBySwitch() const {
 std::uint64_t Testbed::GrantsServedByServers() const {
   switch (config_.system) {
     case SystemKind::kNetLock:
-      return netlock_->ServerGrants();
+      return sharded_->ServerGrants();
     case SystemKind::kServerOnly:
       return server_only_->Grants();
     default:
@@ -266,14 +319,25 @@ RunMetrics Testbed::Collect(SimTime duration) const {
 }
 
 std::vector<LockDemand> Testbed::ProfileDemands(SimTime profile_duration) {
-  NETLOCK_CHECK(netlock_ != nullptr);
-  netlock_->control_plane().StartLeasePolling();
-  // Reset the demand window, profile, drain, harvest.
-  (void)netlock_->control_plane().HarvestDemands();
+  NETLOCK_CHECK(sharded_ != nullptr);
+  for (int r = 0; r < sharded_->num_racks(); ++r) {
+    sharded_->rack(r).control_plane().StartLeasePolling();
+    // Reset the demand window before profiling.
+    (void)sharded_->rack(r).control_plane().HarvestDemands();
+  }
   StartEngines();
   sim_.RunUntil(sim_.now() + profile_duration);
   StopEngines();
-  return netlock_->control_plane().HarvestDemands();
+  // Each lock's demand is observed only by its directory rack, so the
+  // per-rack harvests are disjoint; concatenate in rack order for
+  // determinism.
+  std::vector<LockDemand> demands;
+  for (int r = 0; r < sharded_->num_racks(); ++r) {
+    std::vector<LockDemand> rack_demands =
+        sharded_->rack(r).control_plane().HarvestDemands();
+    demands.insert(demands.end(), rack_demands.begin(), rack_demands.end());
+  }
+  return demands;
 }
 
 }  // namespace netlock

@@ -16,6 +16,7 @@
 #include "client/txn.h"
 #include "common/stats.h"
 #include "core/netlock.h"
+#include "core/sharding.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "workload/workload.h"
@@ -44,6 +45,14 @@ struct TestbedConfig {
   int client_machines = 10;
   int sessions_per_machine = 8;
   int lock_servers = 2;
+
+  /// NetLock-only scale-out: shard the lock space across this many racks
+  /// (each with its own switch, `lock_servers` servers, and control
+  /// plane) behind a client-side LockDirectory. Client machines are
+  /// assigned to racks round-robin; requests to a remote rack pay
+  /// `cross_rack_extra_latency` on top of the ToR leg for the spine hop.
+  int num_racks = 1;
+  SimTime cross_rack_extra_latency = 2000;
 
   /// One-way latencies. Client legs include client software + NIC overhead
   /// (the paper attributes most of its 8 us median to those), so a
@@ -93,7 +102,11 @@ class Testbed {
   Network& net() { return *net_; }
   const TestbedConfig& config() const { return config_; }
 
+  /// NetLock-only. netlock() is rack 0 (the only rack when num_racks==1,
+  /// preserving the single-rack API); sharded() exposes the full scale-out
+  /// topology — directory, per-rack managers, RehomeLock.
   NetLockManager& netlock();
+  ShardedNetLock& sharded();
   ServerOnlyManager& server_only();
   DslrManager& dslr();
   DrtmManager& drtm();
@@ -132,7 +145,7 @@ class Testbed {
   std::unique_ptr<Network> net_;
 
   // Exactly one of these is set, per config_.system.
-  std::unique_ptr<NetLockManager> netlock_;
+  std::unique_ptr<ShardedNetLock> sharded_;
   std::unique_ptr<ServerOnlyManager> server_only_;
   std::unique_ptr<DslrManager> dslr_;
   std::unique_ptr<DrtmManager> drtm_;

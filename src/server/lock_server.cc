@@ -7,7 +7,10 @@
 namespace netlock {
 
 LockServer::LockServer(Network& net, LockServerConfig config)
-    : net_(net), config_(config), trace_(&net.sim().context().trace()) {
+    : net_(net),
+      config_(config),
+      trace_(&net.sim().context().trace()),
+      trace_pid_(net.sim().context().trace().current_pid()) {
   NETLOCK_CHECK(config_.cores >= 1);
   MetricsRegistry& reg = net_.sim().context().metrics();
   metrics_.grants = &reg.Counter("server.grants");
@@ -42,6 +45,7 @@ SimTime LockServer::CoreBusyUntil(int core) const {
 
 void LockServer::OnPacket(const Packet& pkt) {
   if (failed_) return;  // Crashed: everything is dropped.
+  TraceLog::PidScope pid_scope(*trace_, trace_pid_);
   const std::optional<LockHeader> hdr = LockHeader::Parse(pkt);
   if (!hdr) return;
   // Dispatch to the RSS core; processing happens after the CPU service time.
@@ -66,6 +70,7 @@ void LockServer::AdjustQ2Depth(std::int64_t delta) {
 }
 
 void LockServer::Process(const LockHeader& hdr) {
+  TraceLog::PidScope pid_scope(*trace_, trace_pid_);
   ++stats_.requests_processed;
   metrics_.requests->Inc();
   switch (hdr.op) {
@@ -388,6 +393,7 @@ void LockServer::ForwardBufferedToSwitch(LockId lock) {
 }
 
 void LockServer::ClearExpired(SimTime lease) {
+  TraceLog::PidScope pid_scope(*trace_, trace_pid_);
   const SimTime now = net_.sim().now();
   if (now < lease) return;
   const SimTime cutoff = now - lease;

@@ -171,6 +171,9 @@ class LockServer {
   LockServerConfig config_;
   NodeId node_;
   TraceLog* trace_;  ///< Request-lifecycle tracing (resolved once).
+  /// Rack label captured at construction (TraceLog::current_pid); asserted
+  /// while this server processes requests so shared-log spans split by rack.
+  std::uint32_t trace_pid_ = 0;
   NodeId switch_node_ = kInvalidNode;
   std::vector<std::unique_ptr<ServiceQueue>> cores_;
   std::unordered_map<LockId, OwnedLock> owned_;

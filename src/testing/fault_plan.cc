@@ -9,9 +9,10 @@ namespace {
 
 // Serialization names, indexed by FaultKind. Append-only: replay tokens
 // embedded in CI logs and bug reports must keep parsing.
-constexpr std::array<const char*, 13> kKindNames = {
-    "loss",  "dup",    "reorder", "jitter",  "clear",  "part",   "burst",
-    "failsw", "recsw", "failsrv", "recsrv",  "downsw", "upsw",
+constexpr std::array<const char*, 15> kKindNames = {
+    "loss",   "dup",    "reorder", "jitter", "clear",
+    "part",   "burst",  "failsw",  "recsw",  "failsrv",
+    "recsrv", "downsw", "upsw",    "realloc", "rehome",
 };
 
 bool ParseU64(std::string_view s, std::uint64_t* out) {

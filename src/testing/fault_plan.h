@@ -51,6 +51,15 @@ enum class FaultKind : std::uint8_t {
   /// the Figure 15 failure model, distinct from backup failover above.
   kSwitchCrash,
   kSwitchRestart,
+  /// Control-plane reallocation on rack `target % racks`: re-runs the
+  /// knapsack from live demand counters and migrates locks between switch
+  /// and servers mid-schedule (skipped while that rack's switch is down or
+  /// another migration is in flight).
+  kReallocate,
+  /// Cross-rack re-home of lock `target % num_locks` onto rack
+  /// `value % racks` via ShardedNetLock::RehomeLock. A no-op on
+  /// single-rack schedules or when a migration is already in flight.
+  kRehome,
 };
 
 const char* ToString(FaultKind kind);

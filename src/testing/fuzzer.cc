@@ -36,23 +36,30 @@ bool ParseU64(std::string_view s, std::uint64_t* out) {
 /// shrinker's probes) are always executable.
 struct FaultDriver {
   Testbed& testbed;
-  std::vector<NetLockSession*>& sessions;
+  /// Leaf network nodes per engine session: one for a plain NetLockSession,
+  /// one per rack for a ShardedSession.
+  std::vector<std::vector<NodeId>>& session_nodes;
   std::vector<NodeId> switch_nodes;
   ControlPlane& control;
   FailoverManager* failover;
   int num_servers;
   int machines;
+  int num_locks;
+  std::uint32_t queue_capacity;
   LinkFaults current;
   bool primary_failed = false;
   bool switch_crashed = false;
+  bool realloc_in_flight = false;
 
   void ApplyKnobs() {
     // Faults live on the client<->switch legs only: the in-rack
     // switch<->server channel stays reliable and ordered, matching the
     // overflow protocol's coordination assumption (Section 4.3).
-    for (NetLockSession* session : sessions) {
-      for (const NodeId sw : switch_nodes) {
-        testbed.net().SetLinkFaults(session->node(), sw, current);
+    for (const std::vector<NodeId>& nodes : session_nodes) {
+      for (const NodeId leaf : nodes) {
+        for (const NodeId sw : switch_nodes) {
+          testbed.net().SetLinkFaults(leaf, sw, current);
+        }
       }
     }
   }
@@ -73,12 +80,14 @@ struct FaultDriver {
     // Session i lives on machine i % machines (testbed round-robin).
     const int m = static_cast<int>(target % static_cast<std::uint32_t>(
                                                 machines));
-    for (std::size_t i = 0; i < sessions.size(); ++i) {
+    for (std::size_t i = 0; i < session_nodes.size(); ++i) {
       if (static_cast<int>(i) % machines != m) continue;
-      if (block) {
-        testbed.net().BlockNode(sessions[i]->node());
-      } else {
-        testbed.net().UnblockNode(sessions[i]->node());
+      for (const NodeId leaf : session_nodes[i]) {
+        if (block) {
+          testbed.net().BlockNode(leaf);
+        } else {
+          testbed.net().UnblockNode(leaf);
+        }
       }
     }
   }
@@ -147,6 +156,31 @@ struct FaultDriver {
           switch_crashed = false;
         }
         break;
+      // Migration actions. Each is skipped while any other migration (a
+      // reallocation, a re-home, a switch outage) is in flight, so the
+      // control plane never runs two competing drains on one lock.
+      case FaultKind::kReallocate:
+        if (!switch_crashed && !primary_failed && !realloc_in_flight &&
+            testbed.sharded().rehomes_in_flight() == 0) {
+          realloc_in_flight = true;
+          const int rack = static_cast<int>(
+              action.target %
+              static_cast<std::uint32_t>(testbed.sharded().num_racks()));
+          testbed.sharded().rack(rack).control_plane().Reallocate(
+              queue_capacity, [this] { realloc_in_flight = false; });
+        }
+        break;
+      case FaultKind::kRehome:
+        if (testbed.sharded().num_racks() > 1 && !switch_crashed &&
+            !primary_failed && !realloc_in_flight) {
+          const LockId lock = static_cast<LockId>(
+              action.target % static_cast<std::uint32_t>(num_locks));
+          const int to = static_cast<int>(
+              action.value %
+              static_cast<std::uint32_t>(testbed.sharded().num_racks()));
+          testbed.sharded().RehomeLock(lock, to);
+        }
+        break;
     }
   }
 };
@@ -175,6 +209,7 @@ std::string Schedule::SerializeParams() const {
   out += ";cap=" + std::to_string(workload.queue_capacity);
   out += ";shared=" + std::to_string(workload.shared_permille);
   out += ";lpt=" + std::to_string(workload.locks_per_txn);
+  out += ";racks=" + std::to_string(workload.racks);
   out += ";run=" + std::to_string(workload.run_time);
   out += ";plan=" + plan.Serialize();
   return out;
@@ -220,6 +255,8 @@ bool Schedule::Parse(std::string_view text, Schedule* out) {
       out->workload.shared_permille = static_cast<int>(num);
     } else if (key == "lpt") {
       out->workload.locks_per_txn = static_cast<int>(num);
+    } else if (key == "racks") {
+      out->workload.racks = static_cast<int>(num);
     } else if (key == "run") {
       out->workload.run_time = static_cast<SimTime>(num);
     } else {
@@ -325,13 +362,33 @@ Schedule ScheduleFuzzer::Generate(std::uint64_t index) const {
                     fail_at + 3 * kMillisecond + at_in(0, 2 * kFuzzLease),
                     0, target, 0});
   };
+  const auto add_migration = [&] {
+    // Shard across racks and move locks while they are hot. Half the
+    // schedules add network chaos on top so re-homing is also exercised
+    // under loss/duplication/reordering.
+    w.racks = pick(2) ? 2 : 4;
+    const int rehomes = static_cast<int>(1 + pick(3));
+    for (int i = 0; i < rehomes; ++i) {
+      plan.push_back({FaultKind::kRehome,
+                      at_in(2 * kMillisecond, (run * 3) / 4), 0,
+                      static_cast<std::uint32_t>(pick(16)),
+                      static_cast<std::uint32_t>(pick(4))});
+    }
+    if (pick(2) != 0) {
+      plan.push_back({FaultKind::kReallocate,
+                      at_in(2 * kMillisecond, run / 2), 0,
+                      static_cast<std::uint32_t>(pick(4)), 0});
+    }
+    if (pick(2) != 0) add_net_chaos();
+  };
 
-  switch (pick(6)) {
+  switch (pick(7)) {
     case 0: break;  // Clean run: FIFO + liveness still checked.
     case 1: add_net_chaos(); break;
     case 2: add_partitions(); break;
     case 3: add_failover(); break;
     case 4: add_server_crash(); break;
+    case 5: add_migration(); break;
     default:
       add_net_chaos();
       add_partitions();
@@ -351,6 +408,8 @@ RunReport ScheduleFuzzer::RunSchedule(const Schedule& schedule,
   SimContext context;
   LockOracle oracle;
   std::vector<NetLockSession*> raw_sessions;
+  std::vector<std::vector<NodeId>> session_nodes;
+  const int racks = std::clamp(w.racks, 1, 8);
 
   TestbedConfig config;
   config.system = SystemKind::kNetLock;
@@ -358,6 +417,7 @@ RunReport ScheduleFuzzer::RunSchedule(const Schedule& schedule,
   config.client_machines = std::max(1, w.machines);
   config.sessions_per_machine = std::max(1, w.sessions_per_machine);
   config.lock_servers = 2;
+  config.num_racks = racks;
   config.lease = kFuzzLease;
   config.lease_poll_interval = kMillisecond;
   config.client_retry_timeout = kMillisecond;
@@ -380,7 +440,20 @@ RunReport ScheduleFuzzer::RunSchedule(const Schedule& schedule,
   const std::uint64_t bug_mod = options.bug_txn_mod;
   config.session_wrapper =
       [&](std::unique_ptr<LockSession> inner) -> std::unique_ptr<LockSession> {
-    raw_sessions.push_back(static_cast<NetLockSession*>(inner.get()));
+    // Leaf nodes for the fault driver: a single-rack testbed hands out
+    // plain NetLockSessions (also needed by the failover manager); a
+    // multi-rack one hands out ShardedSessions with one node per rack.
+    std::vector<NodeId> nodes;
+    if (racks == 1) {
+      raw_sessions.push_back(static_cast<NetLockSession*>(inner.get()));
+      nodes.push_back(inner->node());
+    } else {
+      auto* sharded_session = static_cast<ShardedSession*>(inner.get());
+      for (int r = 0; r < sharded_session->num_racks(); ++r) {
+        nodes.push_back(sharded_session->rack_session(r).node());
+      }
+    }
+    session_nodes.push_back(std::move(nodes));
     auto wrapped = std::make_unique<OracleSession>(std::move(inner), oracle);
     if (bug_mod != 0) {
       wrapped->set_suppress_release(
@@ -390,7 +463,7 @@ RunReport ScheduleFuzzer::RunSchedule(const Schedule& schedule,
   };
 
   Testbed testbed(config);
-  testbed.netlock().InstallKnapsack(
+  testbed.sharded().InstallKnapsack(
       UniformMicroDemands(micro, testbed.num_engines()));
   ControlPlane& control = testbed.netlock().control_plane();
   // Lease-aware exclusion: a partitioned holder's lease legitimately
@@ -401,8 +474,14 @@ RunReport ScheduleFuzzer::RunSchedule(const Schedule& schedule,
 
   std::unique_ptr<LockSwitch> backup;
   std::unique_ptr<FailoverManager> failover;
-  std::vector<NodeId> switch_nodes = {testbed.netlock().lock_switch().node()};
-  if (schedule.plan.NeedsBackup()) {
+  std::vector<NodeId> switch_nodes;
+  for (int r = 0; r < racks; ++r) {
+    switch_nodes.push_back(testbed.sharded().rack(r).lock_switch().node());
+  }
+  // Backup-switch failover is a single-rack protocol (the FailoverManager
+  // re-points NetLockSessions); multi-rack plans leave kFailPrimary as the
+  // guarded no-op it already is.
+  if (racks == 1 && schedule.plan.NeedsBackup()) {
     backup = std::make_unique<LockSwitch>(testbed.net(),
                                           config.switch_config);
     for (NetLockSession* session : raw_sessions) {
@@ -443,16 +522,21 @@ RunReport ScheduleFuzzer::RunSchedule(const Schedule& schedule,
           });
     }
   };
-  observe(testbed.netlock().lock_switch(), 1);
-  if (backup) observe(*backup, 2);
+  for (int r = 0; r < racks; ++r) {
+    observe(testbed.sharded().rack(r).lock_switch(),
+            static_cast<std::uint64_t>(r) + 1);
+  }
+  if (backup) observe(*backup, racks + 1);
 
   FaultDriver driver{testbed,
-                     raw_sessions,
+                     session_nodes,
                      switch_nodes,
                      control,
                      failover.get(),
                      testbed.netlock().num_servers(),
                      config.client_machines,
+                     micro.num_locks,
+                     config.switch_config.queue_capacity,
                      LinkFaults{},
                      false};
   const SimTime horizon = std::max<SimTime>(w.run_time, 5 * kMillisecond);
@@ -597,6 +681,7 @@ Schedule ScheduleFuzzer::Shrink(Schedule failing, const FuzzOptions& options,
         progress = true;
       }
     };
+    attempt([](WorkloadParams& wp) { wp.racks = 1; });
     attempt([](WorkloadParams& wp) { wp.machines = 1; });
     attempt([](WorkloadParams& wp) { wp.sessions_per_machine = 1; });
     attempt([](WorkloadParams& wp) { wp.num_locks = 1; });

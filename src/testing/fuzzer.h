@@ -37,6 +37,10 @@ struct WorkloadParams {
   std::uint32_t queue_capacity = 64;
   int shared_permille = 0;
   int locks_per_txn = 1;
+  /// NetLock racks the lock space shards across (1 = the classic
+  /// single-rack testbed). Serialized as "racks=N"; absent in old replay
+  /// tokens, which parse as 1.
+  int racks = 1;
   SimTime run_time = 30 * kMillisecond;
 
   friend bool operator==(const WorkloadParams&,

@@ -192,5 +192,118 @@ TEST_F(ControlPlaneTest, RecoverSwitchReinstallsAllocation) {
   EXPECT_TRUE(client_->HasGrantFor(2));
 }
 
+TEST(ReallocateSequencingTest, AdditionsWaitForRemovalDrains) {
+  // Regression: Reallocate launched MoveLockToSwitch additions concurrently
+  // with removals. With the queue fully occupied by the outgoing lock, the
+  // incoming lock's InstallLock failed and it was stranded server-side even
+  // though the removal freed the space moments later.
+  Simulator sim;
+  Network net(sim, /*latency=*/1000);
+  LockSwitchConfig sw;
+  sw.queue_capacity = 8;  // Exactly the outgoing lock's region.
+  sw.array_size = 64;
+  sw.max_locks = 16;
+  LockSwitch lock_switch(net, sw);
+  LockServer server(net, LockServerConfig{});
+  ControlPlane control(sim, lock_switch,
+                       std::vector<LockServer*>{&server});
+  PacketCatcher client(net);
+
+  auto settle = [&]() { sim.RunUntil(sim.now() + 500 * kMicrosecond); };
+  auto acquire = [&](LockId lock, TxnId txn) {
+    net.Send(MakeLockPacket(client.node(), lock_switch.node(),
+                            MakeAcquire(lock, LockMode::kExclusive, txn,
+                                        client.node())));
+    settle();
+  };
+  auto release = [&](LockId lock, TxnId txn) {
+    net.Send(MakeLockPacket(client.node(), lock_switch.node(),
+                            MakeRelease(lock, LockMode::kExclusive, txn,
+                                        client.node())));
+    settle();
+  };
+
+  constexpr LockId kOut = 1, kIn = 2;
+  Allocation alloc;
+  alloc.switch_slots = {{kOut, 8}};  // Occupies the whole shared queue.
+  control.InstallAllocation(alloc);
+  sim.RunUntil(kSecond);
+  acquire(kOut, 999);  // Long-lived holder: the removal drain must wait.
+  ASSERT_TRUE(client.HasGrantFor(999));
+  control.HarvestDemands();  // Reset: kOut has no demand in the new window.
+  // Build demand for kIn (served server-side via the default route), fully
+  // released so its server queue drains on the first migration poll.
+  for (TxnId txn = 0; txn < 20; ++txn) {
+    acquire(kIn, txn);
+    release(kIn, txn);
+  }
+  bool done = false;
+  control.Reallocate(/*switch_capacity=*/8, [&]() { done = true; });
+  // The incoming lock's server queue is empty immediately, but the outgoing
+  // lock is still held: the addition must not have been attempted yet.
+  sim.RunUntil(sim.now() + 5 * kMillisecond);
+  EXPECT_FALSE(done);
+  release(kOut, 999);  // Now the removal drain completes.
+  sim.RunUntil(sim.now() + 20 * kMillisecond);
+  EXPECT_TRUE(done);
+  // The point of the fix: the incoming lock made it into the freed space
+  // instead of being stranded on the server. (The outgoing lock shrinks to
+  // one slot — zero rate, contention 1 — rather than leaving entirely.)
+  EXPECT_TRUE(lock_switch.IsInstalled(kIn));
+}
+
+TEST_F(ControlPlaneTest, ReallocateResizesLockWhoseContentionGrew) {
+  // Regression: Reallocate only computed to_add for locks not yet
+  // installed, so an installed lock whose target slot count changed kept
+  // its old queue size forever.
+  Allocation alloc;
+  alloc.switch_slots = {{7, 2}};  // Installed small.
+  control_->InstallAllocation(alloc);
+  sim_.RunUntil(kSecond);
+  // Demand with concurrency 5 observed out-of-band (the two-slot region
+  // itself can never see a queue deeper than 2): the knapsack's target slot
+  // count grows past the installed 2.
+  Acquire(7, 1);
+  Release(7, 1);
+  control_->RecordRequest(7, /*concurrent=*/5);
+  bool done = false;
+  control_->Reallocate(/*switch_capacity=*/64, [&]() { done = true; });
+  sim_.RunUntil(sim_.now() + 20 * kMillisecond);
+  EXPECT_TRUE(done);
+  ASSERT_TRUE(switch_->IsInstalled(7));
+  const SwitchLockEntry* entry = switch_->table().Find(7);
+  ASSERT_NE(entry, nullptr);
+  std::uint32_t slots = 0;
+  for (const LockBounds& region : entry->regions) {
+    slots += region.right - region.left;
+  }
+  EXPECT_EQ(slots, 5u);
+}
+
+TEST_F(ControlPlaneTest, ReallocateShrinksOversizedLock) {
+  // The resize path works in both directions: a lock whose contention
+  // collapsed gives queue space back.
+  Allocation alloc;
+  alloc.switch_slots = {{9, 16}};
+  control_->InstallAllocation(alloc);
+  sim_.RunUntil(kSecond);
+  Acquire(9, 1);  // Serial demand: contention 1.
+  Release(9, 1);
+  const std::uint32_t free_before = switch_->table().free_slots();
+  bool done = false;
+  control_->Reallocate(/*switch_capacity=*/64, [&]() { done = true; });
+  sim_.RunUntil(sim_.now() + 20 * kMillisecond);
+  EXPECT_TRUE(done);
+  ASSERT_TRUE(switch_->IsInstalled(9));
+  const SwitchLockEntry* entry = switch_->table().Find(9);
+  ASSERT_NE(entry, nullptr);
+  std::uint32_t slots = 0;
+  for (const LockBounds& region : entry->regions) {
+    slots += region.right - region.left;
+  }
+  EXPECT_LT(slots, 16u);
+  EXPECT_GT(switch_->table().free_slots(), free_before);
+}
+
 }  // namespace
 }  // namespace netlock

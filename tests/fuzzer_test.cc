@@ -30,6 +30,14 @@ TEST(FaultPlanTest, SerializeParseRoundTrip) {
   FaultPlan parsed;
   ASSERT_TRUE(FaultPlan::Parse(plan.Serialize(), &parsed));
   EXPECT_EQ(parsed, plan);
+  // Migration actions (appended kinds) round-trip too.
+  FaultPlan migration;
+  migration.actions = {
+      {FaultKind::kReallocate, 5000, 0, 1, 0},
+      {FaultKind::kRehome, 7000, 0, 3, 1},
+  };
+  ASSERT_TRUE(FaultPlan::Parse(migration.Serialize(), &parsed));
+  EXPECT_EQ(parsed, migration);
   // Empty plans round-trip too.
   ASSERT_TRUE(FaultPlan::Parse("", &parsed));
   EXPECT_TRUE(parsed.actions.empty());
@@ -53,6 +61,14 @@ TEST(FaultPlanTest, Classification) {
   lossy.actions = {{FaultKind::kLoss, 0, 0, 0, 100}};
   EXPECT_TRUE(lossy.PerturbsDelivery());
   EXPECT_FALSE(lossy.Benign());
+
+  // Migration drains shift grants server-side, so switch-side FIFO
+  // checking is off even though packets are never dropped or reordered.
+  FaultPlan migration;
+  migration.actions = {{FaultKind::kRehome, 1000, 0, 2, 1}};
+  EXPECT_FALSE(migration.Benign());
+  EXPECT_FALSE(migration.PerturbsDelivery());
+  EXPECT_FALSE(migration.NeedsBackup());
 }
 
 TEST(ScheduleFuzzerTest, GeneratedSchedulesRoundTripAndAreDistinct) {
@@ -134,6 +150,59 @@ TEST(ScheduleFuzzerTest, FailoverScheduleStaysSafeAndLive) {
   const RunReport report = ScheduleFuzzer::RunSchedule(sched);
   EXPECT_TRUE(report.ok) << report.Summary();
   EXPECT_GT(report.grants, 0u);
+  EXPECT_EQ(ScheduleFuzzer::RunSchedule(sched).digest, report.digest);
+}
+
+TEST(ScheduleFuzzerTest, MigrationScheduleStaysSafeAndReplays) {
+  // Two racks; re-home hot locks mid-run (some while packets are being
+  // duplicated), plus one mid-run reallocation. Mutual exclusion and
+  // liveness must survive, and the run must replay byte-identically.
+  Schedule sched;
+  sched.seed = 61;
+  sched.workload.machines = 2;
+  sched.workload.sessions_per_machine = 2;
+  sched.workload.num_locks = 6;
+  sched.workload.queue_capacity = 16;
+  sched.workload.racks = 2;
+  sched.workload.run_time = 30 * kMillisecond;
+  sched.plan.actions = {
+      {FaultKind::kRehome, 4 * kMillisecond, 0, 1, 1},
+      {FaultKind::kDuplicate, 6 * kMillisecond, 8 * kMillisecond, 0, 150},
+      {FaultKind::kRehome, 9 * kMillisecond, 0, 3, 0},
+      {FaultKind::kReallocate, 14 * kMillisecond, 0, 0, 0},
+      {FaultKind::kRehome, 18 * kMillisecond, 0, 1, 0},  // Move it back.
+  };
+  // Round-trip including the racks field.
+  Schedule parsed;
+  ASSERT_TRUE(Schedule::Parse(sched.Serialize(), &parsed));
+  EXPECT_EQ(parsed, sched);
+
+  const RunReport first = ScheduleFuzzer::RunSchedule(sched);
+  EXPECT_TRUE(first.ok) << first.Summary();
+  EXPECT_GT(first.grants, 100u);
+  EXPECT_EQ(first.violations, 0u);
+  const RunReport second = ScheduleFuzzer::RunSchedule(sched);
+  EXPECT_EQ(first.digest, second.digest);
+  EXPECT_EQ(first.Summary(), second.Summary());
+}
+
+TEST(ScheduleFuzzerTest, SingleRackReallocateActionStaysSafe) {
+  // kReallocate on a single-rack schedule drives the control plane's
+  // remove-then-add migration sequencing under a tiny switch.
+  Schedule sched;
+  sched.seed = 17;
+  sched.workload.machines = 2;
+  sched.workload.sessions_per_machine = 2;
+  sched.workload.num_locks = 4;
+  sched.workload.queue_capacity = 8;
+  sched.workload.run_time = 25 * kMillisecond;
+  sched.plan.actions = {
+      {FaultKind::kReallocate, 8 * kMillisecond, 0, 0, 0},
+      {FaultKind::kReallocate, 16 * kMillisecond, 0, 0, 0},
+  };
+  const RunReport report = ScheduleFuzzer::RunSchedule(sched);
+  EXPECT_TRUE(report.ok) << report.Summary();
+  EXPECT_GT(report.grants, 100u);
   EXPECT_EQ(ScheduleFuzzer::RunSchedule(sched).digest, report.digest);
 }
 

@@ -97,5 +97,61 @@ TEST(LogHistogramTest, HugeOutliersClampNotCrash) {
   EXPECT_LE(hist.Percentile(1.0), ~SimTime{0});
 }
 
+TEST(LogHistogramTest, BucketForIsMonotone) {
+  // Regression: outliers past kMaxExponent used to keep mantissa bits from
+  // the unclamped shift, so a larger value could land in a *smaller* bucket
+  // near the clamp, distorting tail percentiles. Walk a dense set of values
+  // spanning the clamp boundary and require a non-decreasing bucket index.
+  std::uint32_t prev = 0;
+  bool first = true;
+  for (int exp = 0; exp <= 63; ++exp) {
+    const SimTime base = SimTime{1} << exp;
+    for (SimTime off : {SimTime{0}, base / 4, base / 2, base - 1}) {
+      const SimTime v = base + off;
+      if (v < base) continue;  // Overflow at exp==63.
+      const std::uint32_t bucket = LogHistogram::BucketFor(v);
+      if (!first) {
+        EXPECT_GE(bucket, prev) << "value=" << v;
+      }
+      prev = bucket;
+      first = false;
+    }
+  }
+  // The clamp saturates: everything past the range shares the top bucket.
+  constexpr std::uint32_t kTop =
+      LogHistogram::kMaxExponent * LogHistogram::kSubBuckets +
+      (LogHistogram::kSubBuckets - 1);
+  EXPECT_EQ(LogHistogram::BucketFor(SimTime{1} << 41), kTop);
+  EXPECT_EQ(LogHistogram::BucketFor(~SimTime{0}), kTop);
+}
+
+TEST(LogHistogramTest, BucketMidpointWithinBucketBounds) {
+  // Every reachable bucket's midpoint must map back to that same bucket —
+  // i.e. the midpoint lies within the bucket's own bounds. (Buckets for
+  // exponents 1..5 are unreachable: values below kSubBuckets use the unit
+  // buckets instead, so BucketFor never produces them and Percentile never
+  // visits them.)
+  constexpr std::uint32_t kLast =
+      (LogHistogram::kMaxExponent + 1) * LogHistogram::kSubBuckets - 1;
+  for (std::uint32_t bucket = 0; bucket <= kLast; ++bucket) {
+    const std::uint32_t exponent = bucket / LogHistogram::kSubBuckets;
+    if (exponent >= 1 && exponent < 6) continue;  // Unreachable range.
+    const SimTime mid = LogHistogram::BucketMidpoint(bucket);
+    EXPECT_EQ(LogHistogram::BucketFor(mid), bucket) << "bucket=" << bucket;
+  }
+}
+
+TEST(LogHistogramTest, OutlierDoesNotShrinkTailPercentile) {
+  // Pre-fix, ~0ULL landed in a mid-range bucket *below* legitimate large
+  // samples, dragging p100 under the true maximum region.
+  LogHistogram hist;
+  const SimTime big = (SimTime{1} << 40) - 1;  // In-range large sample.
+  for (int i = 0; i < 100; ++i) hist.Record(1000);
+  hist.Record(big);
+  hist.Record(~SimTime{0});  // Outlier: must sort above `big`.
+  EXPECT_GE(LogHistogram::BucketFor(~SimTime{0}),
+            LogHistogram::BucketFor(big));
+}
+
 }  // namespace
 }  // namespace netlock

@@ -118,5 +118,83 @@ TEST_F(OpenLoopTest, SafetyWithManyOutstanding) {
   EXPECT_EQ(engine.outstanding(), 0u);  // Everything drained.
 }
 
+// Workload whose transactions sometimes carry no locks at all (e.g. a
+// read-only txn fully served by a snapshot). These must commit after think
+// time instead of crashing the engine.
+class SometimesEmptyWorkload : public WorkloadGenerator {
+ public:
+  explicit SometimesEmptyWorkload(double empty_fraction)
+      : empty_fraction_(empty_fraction) {}
+
+  TxnSpec Next(Rng& rng) override {
+    TxnSpec spec;
+    if (!rng.NextBool(empty_fraction_)) {
+      spec.locks.push_back({static_cast<LockId>(rng.NextBounded(16)),
+                            LockMode::kExclusive});
+    }
+    return spec;
+  }
+
+  LockId lock_space() const override { return 16; }
+
+ private:
+  double empty_fraction_;
+};
+
+TEST_F(OpenLoopTest, EmptyLockSetCommitsImmediately) {
+  // Regression: BeginTxn/AcquireNext indexed txn.spec.locks[0] without
+  // checking for an empty lock set (out-of-bounds read; crash under ASan).
+  InstallLocks(16, 8);
+  auto session = MakeSession();
+  OpenLoopConfig config;
+  config.offered_tps = 50'000.0;
+  config.think_time = 2 * kMicrosecond;
+  OpenLoopEngine engine(sim_, *session,
+                        std::make_unique<SometimesEmptyWorkload>(1.0), 1, 21,
+                        config);
+  engine.SetRecording(true);
+  engine.Start();
+  sim_.RunUntil(50 * kMillisecond);
+  engine.Stop();
+  sim_.RunUntil(sim_.now() + 5 * kMillisecond);
+  // Every arrival commits (after think time) without issuing any acquires.
+  EXPECT_GT(engine.metrics().txn_commits, 1000u);
+  EXPECT_EQ(engine.metrics().lock_requests, 0u);
+  EXPECT_EQ(engine.outstanding(), 0u);
+}
+
+TEST_F(OpenLoopTest, MixedEmptyAndNonEmptyTxnsDrainCleanly) {
+  InstallLocks(16, 8);
+  auto session = MakeSession();
+  OpenLoopConfig config;
+  config.offered_tps = 50'000.0;
+  config.think_time = 0;
+  OpenLoopEngine engine(sim_, *session,
+                        std::make_unique<SometimesEmptyWorkload>(0.5), 1, 22,
+                        config);
+  engine.SetRecording(true);
+  engine.Start();
+  sim_.RunUntil(50 * kMillisecond);
+  engine.Stop();
+  sim_.RunUntil(sim_.now() + 5 * kMillisecond);
+  EXPECT_GT(engine.metrics().txn_commits, 1000u);
+  EXPECT_GT(engine.metrics().lock_requests, 0u);
+  EXPECT_EQ(engine.outstanding(), 0u);
+}
+
+TEST(OpenLoopTxnIdTest, CounterStaysOutOfEngineBits) {
+  const TxnId id = OpenLoopEngine::MakeTxnId(
+      7, (std::uint64_t{1} << OpenLoopEngine::kCounterBits) - 1);
+  EXPECT_EQ(id >> OpenLoopEngine::kCounterBits, 7u);
+}
+
+TEST(OpenLoopTxnIdDeathTest, CounterOverflowIntoEngineBitsIsChecked) {
+  // Regression: (engine_id << 40) | ++counter let an overflowing counter
+  // silently corrupt the engine-id bits, aliasing txn ids across engines.
+  EXPECT_DEATH(OpenLoopEngine::MakeTxnId(
+                   1, std::uint64_t{1} << OpenLoopEngine::kCounterBits),
+               "counter");
+}
+
 }  // namespace
 }  // namespace netlock
