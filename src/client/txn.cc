@@ -32,7 +32,8 @@ void TxnEngine::Restart() {
 }
 
 void TxnEngine::StartNextTxn() {
-  if (stopped_) {
+  if (stopped_ ||
+      (config_.max_txns != 0 && completed_txns_ >= config_.max_txns)) {
     idle_ = true;
     return;
   }
@@ -106,6 +107,7 @@ void TxnEngine::CommitAndRelease() {
     session_.Release(req.lock, req.mode, current_txn_);
   }
   commits_metric_->Inc();
+  ++completed_txns_;
   if (recording_) {
     ++metrics_.txn_commits;
     metrics_.txn_latency.Record(sim_.now() - txn_start_);

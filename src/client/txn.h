@@ -29,6 +29,11 @@ struct TxnEngineConfig {
   /// Backoff before retrying an aborted transaction.
   SimTime abort_backoff = 100 * kMicrosecond;
   Priority priority = 0;
+  /// Committed transactions after which the engine goes idle; 0 = keep
+  /// issuing until Stop(). Fixed-count runs produce identical per-engine
+  /// request streams regardless of timing, which is what lets the
+  /// cross-backend tests compare sim and real-time grant counts exactly.
+  std::uint64_t max_txns = 0;
 };
 
 class TxnEngine {
@@ -88,6 +93,7 @@ class TxnEngine {
 
   bool stopped_ = false;
   bool idle_ = true;
+  std::uint64_t completed_txns_ = 0;
   bool recording_ = false;
   std::uint64_t aborts_ = 0;
   RunMetrics metrics_;

@@ -13,60 +13,86 @@
 //   3. Machine readability. Snapshot() yields stable, sorted name/value
 //      pairs that the JSON bench reports dump verbatim.
 //
-// The registry is intentionally not thread-safe: the simulator is
-// single-threaded by construction (see sim/simulator.h).
+// Thread-safety: instrument updates are lock-free relaxed atomics and
+// name resolution is mutex-guarded, because the real-time backend's worker
+// threads (src/rt/) update shared counters concurrently. Relaxed ordering
+// is sufficient — values are independent statistics, and readers that need
+// exactness (snapshots after a run) synchronize externally via thread
+// join. The simulator remains single-threaded; it pays one uncontended
+// atomic add where it used to pay a plain add.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace netlock {
 
-/// A monotonically increasing event count.
+/// A monotonically increasing event count. Safe for concurrent writers.
 class MetricCounter {
  public:
-  void Inc(std::uint64_t n = 1) { value_ += n; }
-  std::uint64_t value() const { return value_; }
+  void Inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class MetricsRegistry;
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// A point-in-time level (queue depth, buffered entries). Tracks the
-/// current value and the high-water mark; snapshots report both.
+/// current value and the high-water mark; snapshots report both. Safe for
+/// concurrent writers: Add is a CAS loop (no lost updates), and the
+/// high-water mark is a monotonic CAS-max.
 class MetricGauge {
  public:
   void Set(std::uint64_t v) {
-    value_ = v;
-    if (v > high_water_) high_water_ = v;
+    value_.store(v, std::memory_order_relaxed);
+    ObserveHighWater(v);
   }
   /// Clamps at zero: a negative delta larger than the current value would
   /// otherwise wrap to a huge uint64 and poison the high-water mark.
   void Add(std::int64_t delta) {
-    if (delta >= 0) {
-      Set(value_ + static_cast<std::uint64_t>(delta));
-      return;
-    }
-    // |delta| without overflow when delta == INT64_MIN.
-    const std::uint64_t dec = ~static_cast<std::uint64_t>(delta) + 1;
-    value_ = value_ > dec ? value_ - dec : 0;
+    std::uint64_t cur = value_.load(std::memory_order_relaxed);
+    std::uint64_t next;
+    do {
+      if (delta >= 0) {
+        next = cur + static_cast<std::uint64_t>(delta);
+      } else {
+        // |delta| without overflow when delta == INT64_MIN.
+        const std::uint64_t dec = ~static_cast<std::uint64_t>(delta) + 1;
+        next = cur > dec ? cur - dec : 0;
+      }
+    } while (!value_.compare_exchange_weak(cur, next,
+                                           std::memory_order_relaxed));
+    if (delta >= 0) ObserveHighWater(next);
   }
   /// Raises the high-water mark without touching the current value. Used
   /// by sampled gauges (e.g. the simulator's pending-event depth) to
   /// reconcile an exactly-tracked maximum at the end of a run.
   void ObserveHighWater(std::uint64_t v) {
-    if (v > high_water_) high_water_ = v;
+    std::uint64_t hw = high_water_.load(std::memory_order_relaxed);
+    while (v > hw && !high_water_.compare_exchange_weak(
+                         hw, v, std::memory_order_relaxed)) {
+    }
   }
-  std::uint64_t value() const { return value_; }
-  std::uint64_t high_water() const { return high_water_; }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t high_water() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class MetricsRegistry;
-  std::uint64_t value_ = 0;
-  std::uint64_t high_water_ = 0;
+  std::atomic<std::uint64_t> value_{0};
+  std::atomic<std::uint64_t> high_water_{0};
 };
 
 /// One snapshot entry. Gauges contribute two samples: "<name>" (current)
@@ -89,7 +115,8 @@ class MetricsRegistry {
   /// The returned reference is stable for the registry's lifetime; resolve
   /// once and keep the pointer. A name registers as either a counter or a
   /// gauge, never both. The current prefix (see SetPrefix) is prepended at
-  /// resolution time.
+  /// resolution time. Resolution is mutex-guarded (concurrent resolvers
+  /// are safe); SetPrefix is construction-time only and is not.
   MetricCounter& Counter(const std::string& name);
   MetricGauge& Gauge(const std::string& name);
 
@@ -123,6 +150,9 @@ class MetricsRegistry {
 
  private:
   std::string prefix_;
+  /// Guards the instrument maps (resolution / snapshot / merge), not the
+  /// instruments themselves — those are atomics updated lock-free.
+  mutable std::mutex mu_;
   std::map<std::string, MetricCounter> counters_;
   std::map<std::string, MetricGauge> gauges_;
 };

@@ -32,17 +32,19 @@ void TraceLog::Enable(std::uint32_t sample_every) {
 void TraceLog::Disable() { enabled_ = false; }
 
 void TraceLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
   dropped_ = 0;
 }
 
 void TraceLog::Push(TraceEvent event) {
   if (!enabled_) return;
+  event.pid = current_pid_;
+  std::lock_guard<std::mutex> lock(mu_);
   if (events_.size() >= capacity_) {
     ++dropped_;
     return;
   }
-  event.pid = current_pid_;
   events_.push_back(event);
 }
 

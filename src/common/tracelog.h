@@ -18,11 +18,17 @@
 //   3. Bounded memory. Recording stops at a capacity cap (events beyond it
 //      are counted, not stored), so tracing a long bench cannot OOM.
 //
-// Like the metrics registry, the log is not thread-safe: the simulator is
-// single-threaded by construction.
+// Thread-safety: recording (Push) is mutex-guarded so real-thread backends
+// (src/rt/) may record concurrently — the lock is taken only after the
+// `enabled()` check, so disabled tracing stays a single branch. Enable /
+// Disable / SetCapacity / pid labels / export are setup- and teardown-time
+// operations: call them with no recorders running. Note that concurrent
+// recording forfeits the deterministic insertion order the single-threaded
+// simulator guarantees for equal timestamps.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -180,6 +186,8 @@ class TraceLog {
  private:
   void Push(TraceEvent event);
 
+  /// Guards events_ and dropped_ (the only state touched per record).
+  std::mutex mu_;
   bool enabled_ = false;
   std::uint32_t sample_every_ = 1;
   std::uint32_t current_pid_ = 0;

@@ -1,0 +1,174 @@
+#include "core/lock_engine.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace netlock {
+
+void LockEngine::Acquire(LockId lock, QueueSlot slot, SimTime now) {
+  OwnedLock& owned = owned_[lock];
+  ++owned.req_count;
+  slot.timestamp = now;
+
+  if (owned.paused) {
+    owned.paused_buffer.push_back(slot);
+    return;
+  }
+  const bool was_empty = owned.queue.empty();
+  const bool all_shared = owned.xcnt == 0;
+  owned.queue.push_back(slot);
+  owned.max_depth = std::max(
+      owned.max_depth, static_cast<std::uint32_t>(owned.queue.size()));
+  if (slot.mode == LockMode::kExclusive) ++owned.xcnt;
+  if (was_empty || (all_shared && slot.mode == LockMode::kShared)) {
+    sink_.DeliverGrant(lock, slot);
+  }
+}
+
+ReleaseOutcome LockEngine::Release(LockId lock, LockMode mode, TxnId txn,
+                                   bool lease_forced, SimTime now) {
+  const auto it = owned_.find(lock);
+  if (it == owned_.end() || it->second.queue.empty()) {
+    return ReleaseOutcome::kStale;
+  }
+  OwnedLock& owned = it->second;
+  const QueueSlot released = owned.queue.front();
+  if (!lease_forced &&
+      (released.mode != mode ||
+       (mode == LockMode::kExclusive && released.txn_id != txn))) {
+    return ReleaseOutcome::kMismatched;
+  }
+  owned.queue.pop_front();
+  if (released.mode == LockMode::kExclusive) {
+    NETLOCK_CHECK(owned.xcnt > 0);
+    --owned.xcnt;
+  }
+  if (owned.queue.empty()) return ReleaseOutcome::kApplied;
+  // Same four-case cascade as the switch (Algorithm 2). Grants re-stamp
+  // the entry so the lease measures holding time, not queueing time; the
+  // wait span is emitted (OnWaitEnd) before the re-stamp erases the
+  // enqueue time.
+  if (owned.queue.front().mode == LockMode::kExclusive) {
+    QueueSlot& head = owned.queue.front();
+    sink_.OnWaitEnd(lock, head, now);
+    head.timestamp = now;
+    sink_.DeliverGrant(lock, head);  // S->E and E->E.
+    return ReleaseOutcome::kApplied;
+  }
+  if (released.mode == LockMode::kShared) {
+    return ReleaseOutcome::kApplied;  // S->S: already granted.
+  }
+  // E->S: grant consecutive shared requests.
+  for (QueueSlot& slot : owned.queue) {
+    if (slot.mode == LockMode::kExclusive) break;
+    sink_.OnWaitEnd(lock, slot, now);
+    slot.timestamp = now;
+    sink_.DeliverGrant(lock, slot);
+  }
+  return ReleaseOutcome::kApplied;
+}
+
+std::uint64_t LockEngine::ClearExpired(SimTime lease, SimTime now) {
+  if (now < lease) return 0;
+  const SimTime cutoff = now - lease;
+  std::uint64_t forced = 0;
+  for (auto& [lock, owned] : owned_) {
+    while (!owned.queue.empty() &&
+           owned.queue.front().timestamp <= cutoff) {
+      const LockMode mode = owned.queue.front().mode;
+      const ReleaseOutcome outcome =
+          Release(lock, mode, kInvalidTxn, /*lease_forced=*/true, now);
+      NETLOCK_CHECK(outcome == ReleaseOutcome::kApplied);
+      ++forced;
+    }
+  }
+  return forced;
+}
+
+bool LockEngine::QueueEmpty(LockId lock) const {
+  const auto it = owned_.find(lock);
+  return it == owned_.end() || it->second.queue.empty();
+}
+
+std::size_t LockEngine::QueueDepth(LockId lock) const {
+  const auto it = owned_.find(lock);
+  return it == owned_.end() ? 0 : it->second.queue.size();
+}
+
+std::size_t LockEngine::TotalQueueDepth() const {
+  std::size_t total = 0;
+  for (const auto& [lock, owned] : owned_) {
+    total += owned.queue.size() + owned.paused_buffer.size();
+  }
+  return total;
+}
+
+void LockEngine::SetPaused(LockId lock, bool paused) {
+  owned_[lock].paused = paused;
+}
+
+bool LockEngine::IsPaused(LockId lock) const {
+  const auto it = owned_.find(lock);
+  return it != owned_.end() && it->second.paused;
+}
+
+std::deque<QueueSlot> LockEngine::TakePausedBuffer(LockId lock) {
+  const auto it = owned_.find(lock);
+  if (it == owned_.end()) return {};
+  std::deque<QueueSlot> buffer;
+  buffer.swap(it->second.paused_buffer);
+  return buffer;
+}
+
+void LockEngine::AdoptQueue(LockId lock, std::deque<QueueSlot> queue,
+                            SimTime now) {
+  OwnedLock& owned = owned_[lock];
+  NETLOCK_CHECK(owned.queue.empty());
+  owned.queue = std::move(queue);
+  for (const QueueSlot& slot : owned.queue) {
+    if (slot.mode == LockMode::kExclusive) ++owned.xcnt;
+  }
+  if (owned.queue.empty()) return;
+  if (owned.queue.front().mode == LockMode::kExclusive) {
+    owned.queue.front().timestamp = now;
+    sink_.DeliverGrant(lock, owned.queue.front());
+    return;
+  }
+  for (QueueSlot& slot : owned.queue) {
+    if (slot.mode == LockMode::kExclusive) break;
+    slot.timestamp = now;
+    sink_.DeliverGrant(lock, slot);
+  }
+}
+
+void LockEngine::DropDrained(LockId lock) {
+  const auto it = owned_.find(lock);
+  if (it == owned_.end()) return;
+  NETLOCK_CHECK(it->second.queue.empty());
+  NETLOCK_CHECK(it->second.paused_buffer.empty());
+  owned_.erase(it);
+}
+
+std::vector<LockId> LockEngine::OwnedLocks() const {
+  std::vector<LockId> locks;
+  locks.reserve(owned_.size());
+  for (const auto& [lock, state] : owned_) locks.push_back(lock);
+  return locks;
+}
+
+void LockEngine::HarvestDemands(double window_sec,
+                                std::vector<LockDemand>& out) {
+  NETLOCK_CHECK(window_sec > 0.0);
+  for (auto& [lock, owned] : owned_) {
+    if (owned.req_count == 0) continue;
+    out.push_back(LockDemand{
+        lock, static_cast<double>(owned.req_count) / window_sec,
+        std::max(1u, owned.max_depth)});
+    owned.req_count = 0;
+    owned.max_depth =
+        std::max(1u, static_cast<std::uint32_t>(owned.queue.size()));
+  }
+}
+
+}  // namespace netlock

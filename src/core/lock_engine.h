@@ -1,0 +1,140 @@
+// Substrate-neutral lock wait-queue engine.
+//
+// The software lock-queue protocol — FIFO queue per lock, Algorithm 2's
+// grant cascade on release, pause/grace buffering for migration and
+// failover, lease-forced release, and the r_i/c_i demand counters — used to
+// live inside LockServer, welded to the simulated Network. It is extracted
+// here so the exact same compiled code runs on both execution substrates:
+//
+//   * the simulator: LockServer wraps a LockEngine, feeding it packets
+//     after the simulated per-core service time and emitting grants as
+//     simulated packets;
+//   * the real-time backend: RtLockService shards one LockEngine per
+//     worker core (RSS lock->core hashing keeps each lock single-threaded)
+//     and emits grants into SPSC completion rings.
+//
+// The engine itself is single-threaded and knows nothing about time
+// sources: callers pass `now` (simulated or wall-clock nanoseconds) into
+// every operation, and grant decisions come out through a GrantSink.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "dataplane/slot.h"
+
+namespace netlock {
+
+/// Receives the engine's grant decisions. Implementations deliver the grant
+/// to `slot.client_node` by whatever transport the substrate uses.
+class GrantSink {
+ public:
+  virtual ~GrantSink() = default;
+
+  /// `slot` became a holder of `lock`. slot.timestamp is the grant time.
+  virtual void DeliverGrant(LockId lock, const QueueSlot& slot) = 0;
+
+  /// A queued entry is about to be granted after waiting; called with the
+  /// slot still carrying its enqueue timestamp (the sim wires wait-span
+  /// tracing here). Entries granted immediately on acquire do not wait and
+  /// do not produce this call.
+  virtual void OnWaitEnd(LockId /*lock*/, const QueueSlot& /*slot*/,
+                         SimTime /*now*/) {}
+};
+
+/// What a release did. The caller maps outcomes onto its stats/metrics.
+enum class ReleaseOutcome : std::uint8_t {
+  kApplied = 0,     ///< Head popped; cascade grants (if any) delivered.
+  kStale = 1,       ///< Unknown lock or empty queue; dropped.
+  kMismatched = 2,  ///< Mode/txn does not match the head (already swept).
+};
+
+class LockEngine {
+ public:
+  explicit LockEngine(GrantSink& sink) : sink_(sink) {}
+
+  LockEngine(const LockEngine&) = delete;
+  LockEngine& operator=(const LockEngine&) = delete;
+
+  // --- Request path ---
+
+  /// Appends an entry (stamping slot.timestamp = now) and grants it when
+  /// the queue head rules allow: first entry, or a shared request joining
+  /// an all-shared queue. Paused locks buffer instead.
+  void Acquire(LockId lock, QueueSlot slot, SimTime now);
+
+  /// Validated dequeue with the switch-equivalent grant cascade: a release
+  /// whose mode — or, for an exclusive hold, transaction — does not match
+  /// the head is from an entry the lease sweep already force-released, and
+  /// popping blindly would dequeue another waiter's entry. `lease_forced`
+  /// releases are internal (the sweep releasing the head) and exempt from
+  /// validation.
+  ReleaseOutcome Release(LockId lock, LockMode mode, TxnId txn,
+                         bool lease_forced, SimTime now);
+
+  /// Forced-releases queue heads granted at or before now - lease
+  /// (Section 4.5). Returns the number of entries force-released.
+  std::uint64_t ClearExpired(SimTime lease, SimTime now);
+
+  // --- Ownership / migration (server<->switch moves, failover) ---
+
+  bool Owns(LockId lock) const { return owned_.find(lock) != owned_.end(); }
+  bool QueueEmpty(LockId lock) const;
+  std::size_t QueueDepth(LockId lock) const;
+  /// Queued entries across all locks (0 once fully drained — leak check).
+  std::size_t TotalQueueDepth() const;
+
+  /// Creates the lock's entry if missing and sets its paused flag. Paused
+  /// locks buffer acquires and never grant.
+  void SetPaused(LockId lock, bool paused);
+  bool IsPaused(LockId lock) const;
+
+  /// Drains and returns the paused-side buffer (entries received while
+  /// paused), leaving the paused flag untouched.
+  std::deque<QueueSlot> TakePausedBuffer(LockId lock);
+
+  /// Installs `queue` (possibly empty) as the lock's active queue and
+  /// grants the new front per the usual rules, re-stamping granted entries
+  /// to `now`. The lock must not already have an active queue. Used when a
+  /// lock migrates in with its overflow (q2) backlog.
+  void AdoptQueue(LockId lock, std::deque<QueueSlot> queue, SimTime now);
+
+  /// Unconditionally discards a lock's state (eviction / failover).
+  void Drop(LockId lock) { owned_.erase(lock); }
+
+  /// Discards a lock known to be drained (asserts queue + buffer empty).
+  void DropDrained(LockId lock);
+
+  /// Discards everything (crash).
+  void Clear() { owned_.clear(); }
+
+  std::vector<LockId> OwnedLocks() const;
+  std::size_t num_owned() const { return owned_.size(); }
+
+  /// Harvests per-lock demand counters (rates normalized by `window_sec`),
+  /// appending to `out`, and resets them (§4.3).
+  void HarvestDemands(double window_sec, std::vector<LockDemand>& out);
+
+ private:
+  /// Per-lock software queue with switch-equivalent semantics.
+  struct OwnedLock {
+    std::deque<QueueSlot> queue;  ///< Entries remain until released.
+    std::uint32_t xcnt = 0;       ///< Exclusive entries among them.
+    bool paused = false;
+    std::deque<QueueSlot> paused_buffer;
+    std::uint64_t req_count = 0;  ///< r_i demand counter (§4.3).
+    std::uint32_t max_depth = 1;  ///< c_i demand counter.
+  };
+
+  /// Grants the queue front (and, when it is shared, the following run of
+  /// shared entries), emitting wait spans and re-stamping timestamps.
+  void GrantFront(LockId lock, OwnedLock& owned, SimTime now);
+
+  GrantSink& sink_;
+  std::unordered_map<LockId, OwnedLock> owned_;
+};
+
+}  // namespace netlock

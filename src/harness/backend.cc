@@ -1,0 +1,178 @@
+#include "harness/backend.h"
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "common/check.h"
+#include "harness/testbed.h"
+#include "rt/rt_client.h"
+#include "substrate/execution_substrate.h"
+
+namespace netlock {
+namespace {
+
+TestbedConfig SimConfigFor(const BackendRunConfig& config) {
+  TestbedConfig tb;
+  tb.system = SystemKind::kServerOnly;
+  tb.context = config.context;
+  tb.client_machines = 1;
+  tb.sessions_per_machine = config.sessions;
+  tb.lock_servers = 1;
+  tb.seed = config.seed;
+  tb.workload_factory = [workload = config.workload](int) {
+    return std::make_unique<MicroWorkload>(workload);
+  };
+  tb.txn_config.think_time = 0;
+  tb.txn_config.inter_txn_gap = 0;
+  // No client-side timeouts: a retry would abort the transaction and skew
+  // the request stream away from the rt run's, breaking exact comparison.
+  tb.client_retry_timeout = 10 * kSecond;
+  tb.lease = 10 * kSecond;
+  return tb;
+}
+
+void DrainSim(Testbed& testbed) {
+  // Lease polling keeps the event queue nonempty forever, so run in slices
+  // until the engines go idle rather than until the queue drains.
+  for (;;) {
+    bool all_idle = true;
+    for (int i = 0; i < testbed.num_engines(); ++i) {
+      if (!testbed.engine(i).idle()) {
+        all_idle = false;
+        break;
+      }
+    }
+    if (all_idle) return;
+    testbed.sim().RunUntil(testbed.sim().now() + kMillisecond);
+  }
+}
+
+struct RtRig {
+  explicit RtRig(const BackendRunConfig& config)
+      : service(ServiceOptions(config), substrate),
+        pool(service, substrate, ClientConfig(config),
+             [workload = config.workload](int) {
+               return std::make_unique<MicroWorkload>(workload);
+             }) {}
+
+  static rt::RtLockService::Options ServiceOptions(
+      const BackendRunConfig& config) {
+    NETLOCK_CHECK(config.rt_client_threads >= 1);
+    NETLOCK_CHECK(config.sessions % config.rt_client_threads == 0);
+    rt::RtLockService::Options options;
+    options.cores = config.rt_cores;
+    options.num_clients = config.rt_client_threads;
+    options.record_events = config.rt_record_events;
+    options.pin_threads = config.rt_pin_threads;
+    options.context = config.context;
+    return options;
+  }
+
+  static rt::RtClientConfig ClientConfig(const BackendRunConfig& config) {
+    rt::RtClientConfig cc;
+    cc.sessions_per_client = config.sessions / config.rt_client_threads;
+    cc.txns_per_session = config.txns_per_session;
+    cc.seed = config.seed;
+    return cc;
+  }
+
+  void Finish(BackendRunResult& result) {
+    pool.Join();
+    service.Stop();
+    result.metrics = pool.Collect();
+    result.commits = pool.TotalCommits();
+    result.service_grants = service.TotalStats().grants;
+    result.residual_queue_depth = service.TotalQueueDepth();
+    result.events = service.DrainEvents();
+  }
+
+  RtSubstrate substrate;
+  rt::RtLockService service;
+  rt::RtClientPool pool;
+};
+
+}  // namespace
+
+const char* ToString(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kSim:
+      return "sim";
+    case BackendKind::kRt:
+      return "rt";
+  }
+  return "?";
+}
+
+bool ParseBackendKind(const std::string& text, BackendKind* out) {
+  if (text == "sim") {
+    *out = BackendKind::kSim;
+    return true;
+  }
+  if (text == "rt") {
+    *out = BackendKind::kRt;
+    return true;
+  }
+  return false;
+}
+
+BackendRunResult RunMicroFixedCount(BackendKind kind,
+                                    const BackendRunConfig& config) {
+  NETLOCK_CHECK(config.txns_per_session > 0);
+  BackendRunResult result;
+  if (kind == BackendKind::kSim) {
+    TestbedConfig tb = SimConfigFor(config);
+    tb.txn_config.max_txns = config.txns_per_session;
+    Testbed testbed(tb);
+    testbed.SetRecording(true);
+    const SimTime start = testbed.sim().now();
+    testbed.StartEngines();
+    DrainSim(testbed);
+    result.metrics = testbed.Collect(testbed.sim().now() - start);
+    result.commits = result.metrics.txn_commits;
+    result.service_grants = testbed.server_only().Grants();
+    return result;
+  }
+  RtRig rig(config);
+  rig.pool.SetRecording(true);
+  rig.service.Start();
+  const SimTime start = rig.substrate.Now();
+  rig.pool.Start();
+  rig.Finish(result);
+  const SimTime elapsed = rig.substrate.Now() - start;
+  result.metrics.duration = elapsed;
+  result.wall_seconds = static_cast<double>(elapsed) / 1e9;
+  return result;
+}
+
+BackendRunResult RunMicroTimed(BackendKind kind,
+                               const BackendRunConfig& config,
+                               SimTime warmup, SimTime measure) {
+  BackendRunResult result;
+  if (kind == BackendKind::kSim) {
+    Testbed testbed(SimConfigFor(config));
+    result.metrics = testbed.Run(warmup, measure);
+    testbed.StopEngines();
+    result.commits = result.metrics.txn_commits;
+    result.service_grants = testbed.server_only().Grants();
+    return result;
+  }
+  BackendRunConfig timed = config;
+  timed.txns_per_session = 0;  // Sessions run until StopIssuing().
+  RtRig rig(timed);
+  rig.service.Start();
+  rig.pool.Start();
+  std::this_thread::sleep_for(std::chrono::nanoseconds(warmup));
+  rig.pool.SetRecording(true);
+  const SimTime t0 = rig.substrate.Now();
+  std::this_thread::sleep_for(std::chrono::nanoseconds(measure));
+  rig.pool.SetRecording(false);
+  const SimTime t1 = rig.substrate.Now();
+  rig.pool.StopIssuing();
+  rig.Finish(result);
+  result.metrics.duration = t1 - t0;
+  result.wall_seconds = static_cast<double>(t1 - t0) / 1e9;
+  return result;
+}
+
+}  // namespace netlock

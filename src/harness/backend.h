@@ -1,0 +1,83 @@
+// Execution-backend seam for the harness: run the same micro workload on
+// either execution substrate.
+//
+//   * kSim — the deterministic discrete-event testbed (ServerOnly system:
+//     clients -> LockServer over the simulated network), reporting
+//     simulated-time throughput;
+//   * kRt — the real-time backend (RtClientPool -> RtLockService on worker
+//     threads), reporting wall-clock throughput.
+//
+// Both paths drive the same compiled LockEngine protocol core and draw
+// per-session workload streams from identically seeded generators
+// (seed * 1000003 + session), so a fixed-count run issues byte-identical
+// request sequences on both backends — the basis of the cross-backend
+// equivalence tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_context.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "rt/rt_lock_service.h"
+#include "workload/micro.h"
+
+namespace netlock {
+
+enum class BackendKind {
+  kSim = 0,
+  kRt = 1,
+};
+
+const char* ToString(BackendKind kind);
+
+/// Parses "sim" / "rt" (as passed to --backend=). Returns false on anything
+/// else, leaving *out untouched.
+bool ParseBackendKind(const std::string& text, BackendKind* out);
+
+struct BackendRunConfig {
+  MicroConfig workload;
+  std::uint64_t seed = 1;
+  /// Total closed-loop sessions (must divide evenly by rt_client_threads).
+  int sessions = 8;
+  /// Committed transactions per session in fixed-count mode.
+  std::uint64_t txns_per_session = 1000;
+
+  // Real-time sizing (ignored by the sim backend).
+  int rt_cores = 2;
+  int rt_client_threads = 2;
+  bool rt_record_events = false;  ///< Keep the oracle replay log.
+  bool rt_pin_threads = false;
+
+  SimContext* context = nullptr;  ///< nullptr = process default.
+};
+
+struct BackendRunResult {
+  /// Client-observed metrics over the recorded window. `duration` is
+  /// simulated ns on kSim and wall-clock ns on kRt.
+  RunMetrics metrics;
+  std::uint64_t commits = 0;         ///< Unconditional (not gated).
+  std::uint64_t service_grants = 0;  ///< Grants counted at the service.
+  /// Entries still queued at the service after the drain (0 = no leak).
+  std::size_t residual_queue_depth = 0;
+  double wall_seconds = 0.0;  ///< Measured window wall time (kRt only).
+  /// Linearized engine event stream for oracle replay (kRt with
+  /// rt_record_events only).
+  std::vector<rt::RtEvent> events;
+};
+
+/// Runs until every session commits exactly txns_per_session transactions,
+/// with recording on throughout. Deterministic request streams: the same
+/// config produces the same per-session acquire sequences on both backends.
+BackendRunResult RunMicroFixedCount(BackendKind kind,
+                                    const BackendRunConfig& config);
+
+/// Warm up for `warmup`, measure for `measure` (simulated ns on kSim,
+/// wall-clock ns on kRt), then drain. txns_per_session is ignored.
+BackendRunResult RunMicroTimed(BackendKind kind,
+                               const BackendRunConfig& config,
+                               SimTime warmup, SimTime measure);
+
+}  // namespace netlock

@@ -113,6 +113,10 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
     } else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
       const long n = std::strtol(argv[++i], nullptr, 10);
       opts.jobs = n > 1 ? static_cast<int>(n) : 1;
+    } else if (std::strncmp(arg, "--backend=", 10) == 0) {
+      opts.backend = arg + 10;
+    } else if (std::strcmp(arg, "--backend") == 0 && i + 1 < argc) {
+      opts.backend = argv[++i];
     }
     // Unknown flags are ignored: wrappers (ctest, benchmark harnesses)
     // append their own and benches must not die on them.

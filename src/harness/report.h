@@ -61,6 +61,10 @@ struct BenchOptions {
   /// on N threads via ParallelSweep. 1 = serial (the default); output is
   /// byte-identical either way outside wall-clock fields.
   int jobs = 1;
+  /// Execution backend (`--backend=sim|rt`) for benches that can run the
+  /// workload on either substrate (see harness/backend.h). Empty = the
+  /// bench's own default; benches without a backend seam ignore it.
+  std::string backend;
 };
 
 /// Parses `--quick`, `--json-dir=DIR` (or `--json-dir DIR`),

@@ -1,0 +1,82 @@
+#include "rt/executor.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace netlock::rt {
+
+RtExecutor::RtExecutor(Options options, std::function<bool(int)> body)
+    : options_(options), body_(std::move(body)) {
+  NETLOCK_CHECK(options_.num_workers >= 1);
+  NETLOCK_CHECK(body_ != nullptr);
+}
+
+RtExecutor::~RtExecutor() { Stop(); }
+
+void RtExecutor::Start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  running_.store(true, std::memory_order_release);
+  threads_.reserve(options_.num_workers);
+  for (int w = 0; w < options_.num_workers; ++w) {
+    threads_.emplace_back([this, w]() { WorkerMain(w); });
+  }
+}
+
+void RtExecutor::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  running_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cv_.notify_all();
+  }
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+}
+
+void RtExecutor::WorkerMain(int worker) {
+#ifdef __linux__
+  if (options_.pin_threads) {
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<unsigned>(worker) %
+                static_cast<unsigned>(
+                    std::max(1u, std::thread::hardware_concurrency())),
+            &set);
+    // Best effort: a denied affinity request is not an error.
+    (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+  }
+#endif
+  int idle_rounds = 0;
+  while (running_.load(std::memory_order_acquire)) {
+    if (body_(worker)) {
+      idle_rounds = 0;
+      continue;
+    }
+    ++idle_rounds;
+    if (idle_rounds <= options_.spin_rounds) continue;
+    if (idle_rounds <= options_.spin_rounds + options_.yield_rounds) {
+      std::this_thread::yield();
+      continue;
+    }
+    // Park. The timeout bounds the cost of a doorbell raced with parking:
+    // worst case, work waits one park_timeout.
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!running_.load(std::memory_order_acquire)) break;
+    parked_.fetch_add(1, std::memory_order_relaxed);
+    cv_.wait_for(lock, options_.park_timeout);
+    parked_.fetch_sub(1, std::memory_order_relaxed);
+    idle_rounds = 0;
+  }
+  // Shutdown drain: work enqueued before Stop()'s running_ store must be
+  // processed, per the Stop() contract. Run until one empty round.
+  while (body_(worker)) {
+  }
+}
+
+}  // namespace netlock::rt

@@ -1,0 +1,71 @@
+// N-worker real-time executor with spin-then-park idling.
+//
+// Each worker repeatedly invokes the body with its worker index; the body
+// returns whether it found work (drained any mailbox). Workers that come
+// up empty first spin (lowest latency while traffic flows), then yield,
+// then park on a condvar with a bounded timeout — so an idle backend burns
+// no CPU, yet a missed doorbell can only delay work by the park timeout,
+// never hang it. Producers ring Wake() after enqueueing; the doorbell is a
+// cheap relaxed load unless someone is actually parked.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace netlock::rt {
+
+class RtExecutor {
+ public:
+  struct Options {
+    int num_workers = 1;
+    /// Pin worker i to CPU i (best effort, Linux only). Off by default:
+    /// tests and CI runners share machines.
+    bool pin_threads = false;
+    /// Empty polls before yielding, then yields before parking.
+    int spin_rounds = 256;
+    int yield_rounds = 16;
+    std::chrono::microseconds park_timeout{100};
+  };
+
+  /// `body(worker)` processes one round of work; returns true if any.
+  RtExecutor(Options options, std::function<bool(int)> body);
+  ~RtExecutor();
+
+  RtExecutor(const RtExecutor&) = delete;
+  RtExecutor& operator=(const RtExecutor&) = delete;
+
+  void Start();
+  /// Signals shutdown and joins. Workers exit after their next empty round,
+  /// so everything already enqueued when Stop() is called gets processed.
+  void Stop();
+
+  /// Doorbell: wakes parked workers. Cheap when nobody is parked.
+  void Wake() {
+    if (parked_.load(std::memory_order_relaxed) == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    cv_.notify_all();
+  }
+
+  int num_workers() const { return options_.num_workers; }
+  bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void WorkerMain(int worker);
+
+  Options options_;
+  std::function<bool(int)> body_;
+  std::atomic<bool> running_{false};
+  std::atomic<int> parked_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace netlock::rt

@@ -1,0 +1,168 @@
+#include "rt/rt_client.h"
+
+#include "common/check.h"
+
+namespace netlock::rt {
+
+RtClientPool::RtClientPool(RtLockService& service,
+                           ExecutionSubstrate& substrate,
+                           RtClientConfig config, WorkloadFactory factory)
+    : service_(service),
+      substrate_(substrate),
+      config_(config),
+      factory_(std::move(factory)) {
+  NETLOCK_CHECK(config_.sessions_per_client >= 1);
+  NETLOCK_CHECK(factory_ != nullptr);
+  const int num_clients = service_.num_clients();
+  threads_.reserve(static_cast<std::size_t>(num_clients));
+  for (int c = 0; c < num_clients; ++c) {
+    auto ct = std::make_unique<ClientThread>();
+    ct->index = c;
+    ct->first_session = c * config_.sessions_per_client;
+    ct->sessions.resize(
+        static_cast<std::size_t>(config_.sessions_per_client));
+    for (int s = 0; s < config_.sessions_per_client; ++s) {
+      Session& sess = ct->sessions[static_cast<std::size_t>(s)];
+      const int global = ct->first_session + s;
+      sess.rng = Rng(config_.seed * 1000003ull +
+                     static_cast<std::uint64_t>(global));
+      sess.workload = factory_(global);
+      NETLOCK_CHECK(sess.workload != nullptr);
+      sess.engine_id = static_cast<std::uint32_t>(global + 1);
+    }
+    threads_.push_back(std::move(ct));
+  }
+}
+
+RtClientPool::~RtClientPool() { Join(); }
+
+void RtClientPool::Start() {
+  NETLOCK_CHECK(!started_);
+  started_ = true;
+  for (auto& ct : threads_) {
+    ct->thread = std::thread([this, t = ct.get()]() { RunClient(*t); });
+  }
+}
+
+void RtClientPool::Join() {
+  if (!started_ || joined_) return;
+  joined_ = true;
+  for (auto& ct : threads_) {
+    if (ct->thread.joinable()) ct->thread.join();
+  }
+}
+
+void RtClientPool::RunClient(ClientThread& ct) {
+  std::size_t live = 0;
+  for (Session& s : ct.sessions) {
+    s.active = true;
+    ++live;
+    BeginTxn(ct, s);
+  }
+  std::vector<RtCompletion> buf(config_.poll_batch);
+  int idle = 0;
+  while (live > 0) {
+    const std::size_t n =
+        service_.PollCompletions(ct.index, buf.data(), buf.size());
+    if (n == 0) {
+      if (++idle > 64) std::this_thread::yield();
+      continue;
+    }
+    idle = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (OnGrant(ct, buf[i])) --live;
+    }
+  }
+}
+
+void RtClientPool::BeginTxn(ClientThread& ct, Session& s) {
+  s.current = s.workload->Next(s.rng);
+  NETLOCK_CHECK(!s.current.locks.empty());
+  // Workloads emit sorted, deduplicated lock sets (deadlock avoidance by
+  // global order) and rt conflict units are the lock ids themselves, so no
+  // re-normalization is needed here.
+  s.txn = (static_cast<TxnId>(s.engine_id) << 40) | ++s.counter;
+  s.next_lock = 0;
+  s.txn_start = substrate_.Now();
+  SubmitAcquire(ct, s);
+}
+
+void RtClientPool::SubmitAcquire(ClientThread& ct, Session& s) {
+  const LockRequest& req = s.current.locks[s.next_lock];
+  s.lock_issue = substrate_.Now();
+  if (recording_.load(std::memory_order_acquire)) {
+    ++ct.metrics.lock_requests;
+  }
+  RtRequest rt;
+  rt.op = RtRequest::Op::kAcquire;
+  rt.mode = req.mode;
+  rt.lock = req.lock;
+  rt.txn = s.txn;
+  rt.client = static_cast<std::uint32_t>(ct.index);
+  service_.Submit(ct.index, rt);
+}
+
+bool RtClientPool::OnGrant(ClientThread& ct, const RtCompletion& comp) {
+  const int global = static_cast<int>(comp.txn >> 40) - 1;
+  const int local = global - ct.first_session;
+  NETLOCK_CHECK(local >= 0 &&
+                local < static_cast<int>(ct.sessions.size()));
+  Session& s = ct.sessions[static_cast<std::size_t>(local)];
+  NETLOCK_CHECK(s.active);
+  NETLOCK_CHECK(comp.txn == s.txn);
+  NETLOCK_CHECK(comp.lock == s.current.locks[s.next_lock].lock);
+  if (recording_.load(std::memory_order_acquire)) {
+    ++ct.metrics.lock_grants;
+    ct.metrics.lock_latency.Record(substrate_.Now() - s.lock_issue);
+  }
+  ++s.next_lock;
+  if (s.next_lock < s.current.locks.size()) {
+    SubmitAcquire(ct, s);
+    return false;
+  }
+  // All locks held: commit and release (no think time — the rt backend
+  // measures the lock service, not a database).
+  for (const LockRequest& req : s.current.locks) {
+    RtRequest rt;
+    rt.op = RtRequest::Op::kRelease;
+    rt.mode = req.mode;
+    rt.lock = req.lock;
+    rt.txn = s.txn;
+    rt.client = static_cast<std::uint32_t>(ct.index);
+    service_.Submit(ct.index, rt);
+  }
+  ++ct.commits;
+  ++s.committed;
+  if (recording_.load(std::memory_order_acquire)) {
+    ++ct.metrics.txn_commits;
+    ct.metrics.txn_latency.Record(substrate_.Now() - s.txn_start);
+  }
+  const bool budget_done = config_.txns_per_session != 0 &&
+                           s.committed >= config_.txns_per_session;
+  if (budget_done || stop_.load(std::memory_order_acquire)) {
+    s.active = false;
+    return true;
+  }
+  BeginTxn(ct, s);
+  return false;
+}
+
+RunMetrics RtClientPool::Collect() const {
+  RunMetrics total;
+  for (const auto& ct : threads_) {
+    total.lock_grants += ct->metrics.lock_grants;
+    total.lock_requests += ct->metrics.lock_requests;
+    total.txn_commits += ct->metrics.txn_commits;
+    total.lock_latency.Merge(ct->metrics.lock_latency);
+    total.txn_latency.Merge(ct->metrics.txn_latency);
+  }
+  return total;
+}
+
+std::uint64_t RtClientPool::TotalCommits() const {
+  std::uint64_t total = 0;
+  for (const auto& ct : threads_) total += ct->commits;
+  return total;
+}
+
+}  // namespace netlock::rt

@@ -1,0 +1,121 @@
+// Closed-loop client workers for the real-time backend.
+//
+// The wall-clock twin of the simulated TxnEngine: each client thread
+// multiplexes several closed-loop sessions, each drawing transactions from
+// its own workload generator + Rng (seeded exactly like the simulated
+// engines, so the per-session request streams are identical across
+// backends), acquiring the locks in order (two-phase locking, growing
+// phase), then releasing and committing. Sessions are coroutine-style
+// state machines: a thread submits an acquire, and the session advances
+// only when the matching grant appears in its completion ring — so one
+// thread drives many concurrent transactions without blocking.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "rt/rt_lock_service.h"
+#include "substrate/execution_substrate.h"
+#include "workload/workload.h"
+
+namespace netlock::rt {
+
+struct RtClientConfig {
+  int sessions_per_client = 4;
+  /// Transactions each session commits before going idle; 0 = keep issuing
+  /// until StopIssuing() (timed benchmark mode).
+  std::uint64_t txns_per_session = 0;
+  /// Per-session seeds follow the simulated testbed: seed * 1000003 + i.
+  std::uint64_t seed = 1;
+  std::size_t poll_batch = 64;
+};
+
+class RtClientPool {
+ public:
+  /// `session` is the global session index (unique across client threads),
+  /// matching the engine index the simulated Testbed passes its factory.
+  using WorkloadFactory =
+      std::function<std::unique_ptr<WorkloadGenerator>(int session)>;
+
+  RtClientPool(RtLockService& service, ExecutionSubstrate& substrate,
+               RtClientConfig config, WorkloadFactory factory);
+  ~RtClientPool();
+
+  RtClientPool(const RtClientPool&) = delete;
+  RtClientPool& operator=(const RtClientPool&) = delete;
+
+  /// Launches one thread per service client slot; every session submits
+  /// its first acquire immediately.
+  void Start();
+
+  /// Timed mode: sessions finish their in-flight transaction and stop.
+  void StopIssuing() { stop_.store(true, std::memory_order_release); }
+
+  /// Waits until every session is idle and the client threads have exited.
+  /// (Fixed-count mode needs no StopIssuing first.)
+  void Join();
+
+  /// Toggles the measurement window (warm-up exclusion).
+  void SetRecording(bool on) {
+    recording_.store(on, std::memory_order_release);
+  }
+
+  /// Merged per-thread metrics. Call after Join().
+  RunMetrics Collect() const;
+
+  /// Committed transactions across all sessions (unconditional, not gated
+  /// on recording). Call after Join().
+  std::uint64_t TotalCommits() const;
+
+  int num_sessions() const {
+    return service_.num_clients() * config_.sessions_per_client;
+  }
+
+ private:
+  struct Session {
+    Rng rng{1};
+    std::unique_ptr<WorkloadGenerator> workload;
+    std::uint32_t engine_id = 0;  ///< Global session index + 1.
+    TxnSpec current;
+    TxnId txn = kInvalidTxn;
+    std::uint64_t counter = 0;
+    std::size_t next_lock = 0;
+    SimTime txn_start = 0;
+    SimTime lock_issue = 0;
+    std::uint64_t committed = 0;
+    bool active = false;
+  };
+
+  struct ClientThread {
+    int index = 0;
+    int first_session = 0;  ///< Global index of sessions[0].
+    std::vector<Session> sessions;
+    RunMetrics metrics;
+    std::uint64_t commits = 0;
+    std::thread thread;
+  };
+
+  void RunClient(ClientThread& ct);
+  void BeginTxn(ClientThread& ct, Session& s);
+  void SubmitAcquire(ClientThread& ct, Session& s);
+  /// Returns true when the session went idle (txn budget / stop flag).
+  bool OnGrant(ClientThread& ct, const RtCompletion& comp);
+
+  RtLockService& service_;
+  ExecutionSubstrate& substrate_;
+  RtClientConfig config_;
+  WorkloadFactory factory_;
+  std::vector<std::unique_ptr<ClientThread>> threads_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> recording_{false};
+  bool started_ = false;
+  bool joined_ = false;
+};
+
+}  // namespace netlock::rt

@@ -1,0 +1,236 @@
+#include "rt/rt_lock_service.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/check.h"
+
+namespace netlock::rt {
+
+RtLockService::RtLockService(Options options, ExecutionSubstrate& substrate)
+    : options_(options), substrate_(substrate) {
+  NETLOCK_CHECK(options_.cores >= 1);
+  NETLOCK_CHECK(options_.num_clients >= 1);
+  SimContext& context =
+      options_.context != nullptr ? *options_.context : SimContext::Default();
+  requests_metric_ = &context.metrics().Counter("rt.requests");
+  grants_metric_ = &context.metrics().Counter("rt.grants");
+  releases_metric_ = &context.metrics().Counter("rt.releases");
+
+  cores_.reserve(static_cast<std::size_t>(options_.cores));
+  req_rings_.resize(static_cast<std::size_t>(options_.cores));
+  for (int c = 0; c < options_.cores; ++c) {
+    auto core = std::make_unique<Core>();
+    core->sink.service = this;
+    core->sink.core = c;
+    core->engine = std::make_unique<LockEngine>(core->sink);
+    cores_.push_back(std::move(core));
+    req_rings_[static_cast<std::size_t>(c)].reserve(
+        static_cast<std::size_t>(options_.num_clients));
+    for (int cl = 0; cl < options_.num_clients; ++cl) {
+      req_rings_[static_cast<std::size_t>(c)].push_back(
+          std::make_unique<SpscRing<RtRequest>>(options_.ring_capacity));
+    }
+  }
+  comp_rings_.resize(static_cast<std::size_t>(options_.num_clients));
+  for (int cl = 0; cl < options_.num_clients; ++cl) {
+    comp_rings_[static_cast<std::size_t>(cl)].reserve(
+        static_cast<std::size_t>(options_.cores));
+    for (int c = 0; c < options_.cores; ++c) {
+      comp_rings_[static_cast<std::size_t>(cl)].push_back(
+          std::make_unique<SpscRing<RtCompletion>>(options_.ring_capacity));
+    }
+  }
+  drain_buf_.resize(static_cast<std::size_t>(options_.cores) *
+                    options_.drain_batch);
+
+  RtExecutor::Options exec;
+  exec.num_workers = options_.cores;
+  exec.pin_threads = options_.pin_threads;
+  executor_ = std::make_unique<RtExecutor>(
+      exec, [this](int worker) { return ServiceCore(worker); });
+}
+
+RtLockService::~RtLockService() { Stop(); }
+
+void RtLockService::Start() { executor_->Start(); }
+
+void RtLockService::Stop() {
+  if (!executor_->running()) return;
+  WaitQuiesce();
+  executor_->Stop();
+}
+
+int RtLockService::CoreFor(LockId lock) const {
+  // Same integer-mix RSS dispatch as the simulated LockServer.
+  std::uint32_t h = lock;
+  h ^= h >> 16;
+  h *= 0x45d9f3bu;
+  h ^= h >> 16;
+  return static_cast<int>(h % static_cast<std::uint32_t>(options_.cores));
+}
+
+void RtLockService::Submit(int client, const RtRequest& req) {
+  SpscRing<RtRequest>& ring =
+      *req_rings_[static_cast<std::size_t>(CoreFor(req.lock))]
+                 [static_cast<std::size_t>(client)];
+  // Count before the push: a worker may process the request the instant it
+  // lands, and WaitQuiesce must never observe processed > submitted.
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  int spins = 0;
+  while (!ring.TryPush(req)) {
+    executor_->Wake();  // A parked core will never drain the full ring.
+    if (++spins > 64) std::this_thread::yield();
+  }
+  executor_->Wake();
+}
+
+std::size_t RtLockService::PollCompletions(int client, RtCompletion* out,
+                                           std::size_t max) {
+  std::size_t n = 0;
+  auto& rings = comp_rings_[static_cast<std::size_t>(client)];
+  for (auto& ring : rings) {
+    if (n >= max) break;
+    n += ring->PopBatch(out + n, max - n);
+  }
+  return n;
+}
+
+void RtLockService::WaitQuiesce() {
+  int spins = 0;
+  while (processed_.load(std::memory_order_acquire) <
+         submitted_.load(std::memory_order_acquire)) {
+    executor_->Wake();
+    if (++spins > 64) std::this_thread::yield();
+  }
+}
+
+bool RtLockService::ServiceCore(int core) {
+  Core& c = *cores_[static_cast<std::size_t>(core)];
+  RtRequest* buf = drain_buf_.data() +
+                   static_cast<std::size_t>(core) * options_.drain_batch;
+  bool any = false;
+  for (auto& ring : req_rings_[static_cast<std::size_t>(core)]) {
+    const std::size_t n = ring->PopBatch(buf, options_.drain_batch);
+    if (n == 0) continue;
+    any = true;
+    ++c.stats.batches;
+    c.stats.max_batch = std::max<std::uint64_t>(c.stats.max_batch, n);
+    for (std::size_t i = 0; i < n; ++i) Process(c, buf[i]);
+    processed_.fetch_add(n, std::memory_order_release);
+  }
+  return any;
+}
+
+void RtLockService::Process(Core& core, const RtRequest& req) {
+  if (req.op == RtRequest::Op::kAcquire) {
+    ++core.stats.requests;
+    requests_metric_->Inc();
+    RecordEvent(core, RtEvent::Kind::kAccept, req.lock, req.mode, req.txn);
+    QueueSlot slot;
+    slot.mode = req.mode;
+    slot.txn_id = req.txn;
+    slot.client_node = req.client;  // Client-thread index, not a NodeId.
+    core.engine->Acquire(req.lock, slot, substrate_.Now());
+    return;
+  }
+  // Reserve the release's sequence number before entering the engine: the
+  // grant cascade runs inside Release(), and its kGrant events must sort
+  // after the release that enabled them, or oracle replay would see the
+  // next holder granted while the previous one still holds.
+  std::uint64_t release_seq = 0;
+  if (options_.record_events) {
+    release_seq = event_seq_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const ReleaseOutcome outcome = core.engine->Release(
+      req.lock, req.mode, req.txn, /*lease_forced=*/false, substrate_.Now());
+  switch (outcome) {
+    case ReleaseOutcome::kApplied:
+      ++core.stats.releases;
+      releases_metric_->Inc();
+      AppendEvent(core, release_seq, RtEvent::Kind::kRelease, req.lock,
+                  req.mode, req.txn);
+      break;
+    case ReleaseOutcome::kStale:
+      ++core.stats.stale_releases;
+      break;
+    case ReleaseOutcome::kMismatched:
+      ++core.stats.mismatched_releases;
+      break;
+  }
+}
+
+void RtLockService::RecordEvent(Core& core, RtEvent::Kind kind, LockId lock,
+                                LockMode mode, TxnId txn) {
+  if (!options_.record_events) return;
+  AppendEvent(core, event_seq_.fetch_add(1, std::memory_order_relaxed),
+              kind, lock, mode, txn);
+}
+
+void RtLockService::AppendEvent(Core& core, std::uint64_t seq,
+                                RtEvent::Kind kind, LockId lock,
+                                LockMode mode, TxnId txn) {
+  if (!options_.record_events) return;
+  RtEvent ev;
+  ev.seq = seq;
+  ev.kind = kind;
+  ev.lock = lock;
+  ev.mode = mode;
+  ev.txn = txn;
+  core.events.push_back(ev);
+}
+
+void RtLockService::Core::Sink::DeliverGrant(LockId lock,
+                                             const QueueSlot& slot) {
+  RtLockService& svc = *service;
+  Core& c = *svc.cores_[static_cast<std::size_t>(core)];
+  ++c.stats.grants;
+  svc.grants_metric_->Inc();
+  svc.RecordEvent(c, RtEvent::Kind::kGrant, lock, slot.mode, slot.txn_id);
+  RtCompletion comp;
+  comp.lock = lock;
+  comp.mode = slot.mode;
+  comp.txn = slot.txn_id;
+  comp.granted_at = slot.timestamp;
+  SpscRing<RtCompletion>& ring =
+      *svc.comp_rings_[slot.client_node][static_cast<std::size_t>(core)];
+  // Backpressure: the client is the only consumer; if its completion ring
+  // is full we wait for it, never drop a grant.
+  int spins = 0;
+  while (!ring.TryPush(comp)) {
+    if (++spins > 64) std::this_thread::yield();
+  }
+}
+
+RtLockService::Stats RtLockService::TotalStats() const {
+  Stats total;
+  for (const auto& core : cores_) {
+    total.requests += core->stats.requests;
+    total.grants += core->stats.grants;
+    total.releases += core->stats.releases;
+    total.stale_releases += core->stats.stale_releases;
+    total.mismatched_releases += core->stats.mismatched_releases;
+    total.batches += core->stats.batches;
+    total.max_batch = std::max(total.max_batch, core->stats.max_batch);
+  }
+  return total;
+}
+
+std::size_t RtLockService::TotalQueueDepth() const {
+  std::size_t total = 0;
+  for (const auto& core : cores_) total += core->engine->TotalQueueDepth();
+  return total;
+}
+
+std::vector<RtEvent> RtLockService::DrainEvents() {
+  std::vector<RtEvent> merged;
+  for (auto& core : cores_) {
+    merged.insert(merged.end(), core->events.begin(), core->events.end());
+    core->events.clear();
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const RtEvent& a, const RtEvent& b) { return a.seq < b.seq; });
+  return merged;
+}
+
+}  // namespace netlock::rt

@@ -1,0 +1,164 @@
+// Real-time, core-sharded lock service.
+//
+// The wall-clock twin of the simulated LockServer, shaped like the
+// prototype's DPDK server (Section 5, ~2.25 MRPS/core): N worker cores,
+// shared-nothing per-core state, and RSS-style lock->core hashing so every
+// lock is owned by exactly one core and the protocol state needs no locks.
+// Requests travel from client threads to cores over SPSC rings (one per
+// (core, client) pair), are drained in batches, and run through the same
+// LockEngine the simulator's LockServer uses — the protocol logic is
+// compiled once, not forked. Blocked acquires park in the engine's per-lock
+// wait queue (no core ever spins on a held lock); grants flow back through
+// per-(client, core) completion rings.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/sim_context.h"
+#include "common/types.h"
+#include "core/lock_engine.h"
+#include "rt/executor.h"
+#include "rt/spsc_ring.h"
+#include "substrate/execution_substrate.h"
+
+namespace netlock::rt {
+
+struct RtRequest {
+  enum class Op : std::uint8_t { kAcquire = 0, kRelease = 1 };
+  Op op = Op::kAcquire;
+  LockMode mode = LockMode::kExclusive;
+  LockId lock = kInvalidLock;
+  TxnId txn = kInvalidTxn;
+  std::uint32_t client = 0;  ///< Client-thread index; grants return there.
+};
+
+struct RtCompletion {
+  LockId lock = kInvalidLock;
+  LockMode mode = LockMode::kExclusive;
+  TxnId txn = kInvalidTxn;
+  SimTime granted_at = 0;  ///< Substrate time the grant was issued.
+};
+
+/// Engine-level event, recorded per core and merged by sequence number —
+/// a linearization of the real-time grant stream that the single-threaded
+/// LockOracle can replay after the run (mutual exclusion + FIFO checks).
+struct RtEvent {
+  enum class Kind : std::uint8_t { kAccept = 0, kGrant = 1, kRelease = 2 };
+  std::uint64_t seq = 0;
+  Kind kind = Kind::kAccept;
+  LockId lock = kInvalidLock;
+  LockMode mode = LockMode::kExclusive;
+  TxnId txn = kInvalidTxn;
+};
+
+class RtLockService {
+ public:
+  struct Options {
+    int cores = 2;
+    int num_clients = 1;  ///< Client threads that will call Submit/Poll.
+    std::size_t ring_capacity = 8192;
+    /// Max requests drained from one mailbox per visit.
+    std::size_t drain_batch = 64;
+    bool record_events = false;  ///< Oracle replay log (test builds).
+    bool pin_threads = false;
+    /// Telemetry context; nullptr = process default. Counters are updated
+    /// from worker threads — safe since metrics became atomics.
+    SimContext* context = nullptr;
+  };
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t grants = 0;
+    std::uint64_t releases = 0;
+    std::uint64_t stale_releases = 0;
+    std::uint64_t mismatched_releases = 0;
+    std::uint64_t batches = 0;    ///< Nonempty mailbox drains.
+    std::uint64_t max_batch = 0;  ///< Largest single drain.
+  };
+
+  RtLockService(Options options, ExecutionSubstrate& substrate);
+  ~RtLockService();
+
+  RtLockService(const RtLockService&) = delete;
+  RtLockService& operator=(const RtLockService&) = delete;
+
+  void Start();
+  /// Drains everything already submitted, then stops the workers.
+  void Stop();
+
+  /// RSS hash, identical to the simulated LockServer's core dispatch.
+  int CoreFor(LockId lock) const;
+
+  /// Called only from client thread `client`. Spin-waits (with yields) if
+  /// the target mailbox is full — backpressure, never loss.
+  void Submit(int client, const RtRequest& req);
+
+  /// Called only from client thread `client`; pops up to `max` grants.
+  std::size_t PollCompletions(int client, RtCompletion* out,
+                              std::size_t max);
+
+  /// Blocks until every submitted request has been processed. Call from a
+  /// non-worker thread with producers quiescent (no concurrent Submits).
+  void WaitQuiesce();
+
+  /// Summed per-core stats. Exact once quiesced.
+  Stats TotalStats() const;
+
+  /// Queued entries still held across all cores (leak check; call after
+  /// Stop()).
+  std::size_t TotalQueueDepth() const;
+
+  /// The merged event log (record_events only; call after Stop()).
+  std::vector<RtEvent> DrainEvents();
+
+  int cores() const { return options_.cores; }
+  int num_clients() const { return options_.num_clients; }
+
+ private:
+  /// One worker core: engine + sink + mailbox cursor + stats, padded so
+  /// cores never false-share.
+  struct alignas(64) Core {
+    /// Sink bridging the shared LockEngine to the completion rings.
+    struct Sink final : public GrantSink {
+      void DeliverGrant(LockId lock, const QueueSlot& slot) override;
+      RtLockService* service = nullptr;
+      int core = 0;
+    };
+    Sink sink;
+    std::unique_ptr<LockEngine> engine;
+    Stats stats;
+    std::vector<RtEvent> events;
+  };
+
+  bool ServiceCore(int core);
+  void Process(Core& core, const RtRequest& req);
+  void RecordEvent(Core& core, RtEvent::Kind kind, LockId lock,
+                   LockMode mode, TxnId txn);
+  void AppendEvent(Core& core, std::uint64_t seq, RtEvent::Kind kind,
+                   LockId lock, LockMode mode, TxnId txn);
+
+  Options options_;
+  ExecutionSubstrate& substrate_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  /// req_rings_[core][client]: client -> core mailboxes.
+  std::vector<std::vector<std::unique_ptr<SpscRing<RtRequest>>>> req_rings_;
+  /// comp_rings_[client][core]: core -> client completions.
+  std::vector<std::vector<std::unique_ptr<SpscRing<RtCompletion>>>>
+      comp_rings_;
+  std::vector<RtRequest> drain_buf_;  ///< One per core, indexed regions.
+  std::unique_ptr<RtExecutor> executor_;
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> processed_{0};
+  std::atomic<std::uint64_t> event_seq_{0};
+
+  /// Registry instruments (atomic counters; shared across cores).
+  MetricCounter* requests_metric_;
+  MetricCounter* grants_metric_;
+  MetricCounter* releases_metric_;
+};
+
+}  // namespace netlock::rt

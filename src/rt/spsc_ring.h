@@ -1,0 +1,93 @@
+// Bounded lock-free single-producer/single-consumer ring buffer.
+//
+// The real-time backend's only inter-thread channel: client threads push
+// requests into per-(core, client) rings and pop completions from
+// per-(client, core) rings, so every ring has exactly one producer and one
+// consumer and needs no locks — the shared-nothing mailbox fabric of the
+// DPDK prototype. Head and tail live on separate cache lines, and each
+// side keeps a cached copy of the other's index so the common case touches
+// one shared atomic per operation.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace netlock::rt {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (>= 2).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Producer side. Returns false when full.
+  bool TryPush(const T& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ > mask_) return false;
+    }
+    slots_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool TryPop(T* out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    *out = slots_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: pops up to `max` items into `out`, returning the count.
+  /// One acquire-load covers the whole batch — this is the request-batching
+  /// point of the backend's mailbox drain.
+  std::size_t PopBatch(T* out, std::size_t max) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return 0;
+    }
+    std::size_t n = cached_tail_ - head;
+    if (n > max) n = max;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = slots_[(head + i) & mask_];
+    }
+    head_.store(head + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Approximate (exact when the producer is quiescent).
+  bool Empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< Consumer index.
+  alignas(64) std::size_t cached_tail_ = 0;       ///< Consumer's view.
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< Producer index.
+  alignas(64) std::size_t cached_head_ = 0;       ///< Producer's view.
+};
+
+}  // namespace netlock::rt

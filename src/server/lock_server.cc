@@ -9,8 +9,10 @@ namespace netlock {
 LockServer::LockServer(Network& net, LockServerConfig config)
     : net_(net),
       config_(config),
+      substrate_(net.sim()),
       trace_(&net.sim().context().trace()),
-      trace_pid_(net.sim().context().trace().current_pid()) {
+      trace_pid_(net.sim().context().trace().current_pid()),
+      engine_(*this) {
   NETLOCK_CHECK(config_.cores >= 1);
   MetricsRegistry& reg = net_.sim().context().metrics();
   metrics_.grants = &reg.Counter("server.grants");
@@ -75,15 +77,14 @@ void LockServer::Process(const LockHeader& hdr) {
   metrics_.requests->Inc();
   switch (hdr.op) {
     case LockOp::kAcquire:
-      if ((hdr.flags & kFlagBufferOnly) != 0 &&
-          owned_.find(hdr.lock_id) == owned_.end()) {
+      if ((hdr.flags & kFlagBufferOnly) != 0 && !engine_.Owns(hdr.lock_id)) {
         ProcessBufferOnly(hdr);
       } else {
         ProcessOwnedAcquire(hdr);
       }
       break;
     case LockOp::kRelease:
-      ProcessOwnedRelease(hdr, /*lease_forced=*/false);
+      ProcessOwnedRelease(hdr);
       break;
     case LockOp::kQueueEmpty:
       ProcessQueueEmpty(hdr);
@@ -94,44 +95,26 @@ void LockServer::Process(const LockHeader& hdr) {
 }
 
 void LockServer::ProcessOwnedAcquire(const LockHeader& hdr) {
-  const bool is_new = owned_.find(hdr.lock_id) == owned_.end();
-  OwnedLock& lock = owned_[hdr.lock_id];
-  if (is_new && net_.sim().now() < grace_until_) {
+  const SimTime now = substrate_.Now();
+  if (!engine_.Owns(hdr.lock_id) && now < grace_until_) {
     // Fresh ownership inherited from a failed peer: queue without granting
     // until the dead server's leases have expired (§4.5).
-    lock.paused = true;
+    engine_.SetPaused(hdr.lock_id, true);
     graced_locks_.push_back(hdr.lock_id);
   }
-  ++lock.req_count;
-
   QueueSlot slot;
   slot.mode = hdr.mode;
   slot.txn_id = hdr.txn_id;
   slot.client_node = hdr.client_node;
   slot.tenant = hdr.tenant;
-  slot.timestamp = net_.sim().now();
-
-  if (lock.paused) {
-    lock.paused_buffer.push_back(slot);
-    return;
-  }
-  const bool was_empty = lock.queue.empty();
-  const bool all_shared = lock.xcnt == 0;
-  lock.queue.push_back(slot);
-  lock.max_depth = std::max(lock.max_depth,
-                            static_cast<std::uint32_t>(lock.queue.size()));
-  if (hdr.mode == LockMode::kExclusive) ++lock.xcnt;
-  if (was_empty || (all_shared && hdr.mode == LockMode::kShared)) {
-    Grant(hdr.lock_id, slot);
-  }
+  engine_.Acquire(hdr.lock_id, slot, now);
 }
 
-void LockServer::ProcessOwnedRelease(const LockHeader& hdr,
-                                     bool lease_forced) {
-  // Retransmission dedup (lease-forced releases are internal and exempt):
-  // the queue pop below does not check transaction IDs, so a duplicated
-  // RELEASE would dequeue some other waiter's entry.
-  if (!lease_forced && !release_filter_.empty()) {
+void LockServer::ProcessOwnedRelease(const LockHeader& hdr) {
+  // Retransmission dedup: the engine's queue pop does not check transaction
+  // IDs for shared entries, so a duplicated RELEASE would dequeue some
+  // other waiter's entry.
+  if (!release_filter_.empty()) {
     const std::uint64_t fp = ReleaseFingerprint(hdr);
     std::uint64_t& reg =
         release_filter_[static_cast<std::size_t>(fp %
@@ -142,55 +125,18 @@ void LockServer::ProcessOwnedRelease(const LockHeader& hdr,
     }
     reg = fp;  // Collisions just evict: the filter is best-effort.
   }
-  const auto it = owned_.find(hdr.lock_id);
-  if (it == owned_.end() || it->second.queue.empty()) {
-    ++stats_.stale_releases;
-    return;
-  }
-  OwnedLock& lock = it->second;
-  const QueueSlot released = lock.queue.front();
-  // Validated dequeue (mirrors the switch): a release whose mode — or, for
-  // an exclusive hold, transaction — does not match the head is from an
-  // entry the lease sweep already force-released. Popping blindly would
-  // dequeue another waiter's entry.
-  if (!lease_forced &&
-      (released.mode != hdr.mode ||
-       (hdr.mode == LockMode::kExclusive &&
-        released.txn_id != hdr.txn_id))) {
-    ++stats_.mismatched_releases;
-    return;
-  }
-  ++stats_.releases;
-  metrics_.releases->Inc();
-  lock.queue.pop_front();
-  if (released.mode == LockMode::kExclusive) {
-    NETLOCK_CHECK(lock.xcnt > 0);
-    --lock.xcnt;
-  }
-  if (lock.queue.empty()) return;
-  // Same four-case cascade as the switch (Algorithm 2). Grants re-stamp
-  // the entry so the lease measures holding time, not queueing time; the
-  // wait span is emitted before the re-stamp erases the enqueue time.
-  const auto trace_wait = [this](LockId id, const QueueSlot& slot) {
-    if (!trace_->Sampled(id, slot.txn_id)) return;
-    trace_->Complete(TraceTrack::kServer, "server.queue_wait",
-                     slot.timestamp, net_.sim().now(),
-                     TraceLog::RequestId(id, slot.txn_id));
-  };
-  QueueSlot& head = lock.queue.front();
-  if (head.mode == LockMode::kExclusive) {
-    trace_wait(hdr.lock_id, head);
-    head.timestamp = net_.sim().now();
-    Grant(hdr.lock_id, head);  // S->E and E->E.
-    return;
-  }
-  if (released.mode == LockMode::kShared) return;  // S->S: already granted.
-  // E->S: grant consecutive shared requests.
-  for (QueueSlot& slot : lock.queue) {
-    if (slot.mode == LockMode::kExclusive) break;
-    trace_wait(hdr.lock_id, slot);
-    slot.timestamp = net_.sim().now();
-    Grant(hdr.lock_id, slot);
+  switch (engine_.Release(hdr.lock_id, hdr.mode, hdr.txn_id,
+                          /*lease_forced=*/false, substrate_.Now())) {
+    case ReleaseOutcome::kApplied:
+      ++stats_.releases;
+      metrics_.releases->Inc();
+      break;
+    case ReleaseOutcome::kStale:
+      ++stats_.stale_releases;
+      break;
+    case ReleaseOutcome::kMismatched:
+      ++stats_.mismatched_releases;
+      break;
   }
 }
 
@@ -264,7 +210,7 @@ void LockServer::ProcessQueueEmpty(const LockHeader& hdr) {
   if (q2.empty()) q2_.erase(hdr.lock_id);
 }
 
-void LockServer::Grant(LockId lock, const QueueSlot& slot) {
+void LockServer::DeliverGrant(LockId lock, const QueueSlot& slot) {
   ++stats_.grants;
   metrics_.grants->Inc();
   if (grant_observer_) {
@@ -282,45 +228,33 @@ void LockServer::Grant(LockId lock, const QueueSlot& slot) {
   net_.Send(MakeLockPacket(node_, slot.client_node, grant));
 }
 
+void LockServer::OnWaitEnd(LockId lock, const QueueSlot& slot, SimTime now) {
+  if (!trace_->Sampled(lock, slot.txn_id)) return;
+  trace_->Complete(TraceTrack::kServer, "server.queue_wait", slot.timestamp,
+                   now, TraceLog::RequestId(lock, slot.txn_id));
+}
+
 void LockServer::TakeOwnership(LockId lock) {
-  OwnedLock& owned = owned_[lock];
-  NETLOCK_CHECK(owned.queue.empty());
+  std::deque<QueueSlot> backlog;
   const auto it = q2_.find(lock);
-  if (it == q2_.end()) return;
-  // q2 becomes the active queue, in order; grant the new front per the
-  // usual rules (first entry, plus following shareds if it is shared).
-  AdjustQ2Depth(-static_cast<std::int64_t>(it->second.size()));
-  owned.queue = std::move(it->second);
-  q2_.erase(it);
-  for (const QueueSlot& slot : owned.queue) {
-    if (slot.mode == LockMode::kExclusive) ++owned.xcnt;
+  if (it != q2_.end()) {
+    // q2 becomes the active queue, in order; the engine grants the new
+    // front per the usual rules (first entry, plus following shareds if it
+    // is shared).
+    AdjustQ2Depth(-static_cast<std::int64_t>(it->second.size()));
+    backlog = std::move(it->second);
+    q2_.erase(it);
   }
-  if (owned.queue.empty()) return;
-  if (owned.queue.front().mode == LockMode::kExclusive) {
-    owned.queue.front().timestamp = net_.sim().now();
-    Grant(lock, owned.queue.front());
-    return;
-  }
-  for (QueueSlot& slot : owned.queue) {
-    if (slot.mode == LockMode::kExclusive) break;
-    slot.timestamp = net_.sim().now();
-    Grant(lock, slot);
-  }
+  engine_.AdoptQueue(lock, std::move(backlog), substrate_.Now());
 }
 
-void LockServer::DropOwnership(LockId lock) {
-  const auto it = owned_.find(lock);
-  if (it == owned_.end()) return;
-  NETLOCK_CHECK(it->second.queue.empty());
-  NETLOCK_CHECK(it->second.paused_buffer.empty());
-  owned_.erase(it);
-}
+void LockServer::DropOwnership(LockId lock) { engine_.DropDrained(lock); }
 
-void LockServer::EvictOwnership(LockId lock) { owned_.erase(lock); }
+void LockServer::EvictOwnership(LockId lock) { engine_.Drop(lock); }
 
 void LockServer::Fail() {
   failed_ = true;
-  owned_.clear();
+  engine_.Clear();
   for (const auto& [lock, q2] : q2_) {
     AdjustQ2Depth(-static_cast<std::int64_t>(q2.size()));
   }
@@ -343,42 +277,29 @@ void LockServer::ActivateGraced() {
   if (net_.sim().now() < grace_until_) return;  // Superseded by a new grace.
   std::vector<LockId> locks;
   locks.swap(graced_locks_);
+  const SimTime now = substrate_.Now();
   for (const LockId lock : locks) {
-    auto it = owned_.find(lock);
-    if (it == owned_.end() || !it->second.paused) continue;
-    it->second.paused = false;
+    if (!engine_.Owns(lock) || !engine_.IsPaused(lock)) continue;
+    engine_.SetPaused(lock, false);
     // Move the buffered requests through the normal owned path, in order.
-    std::deque<QueueSlot> buffered;
-    buffered.swap(it->second.paused_buffer);
-    for (const QueueSlot& slot : buffered) {
-      LockHeader hdr;
-      hdr.op = LockOp::kAcquire;
-      hdr.flags = kFlagServerOwned;
-      hdr.lock_id = lock;
-      hdr.mode = slot.mode;
-      hdr.txn_id = slot.txn_id;
-      hdr.client_node = slot.client_node;
-      hdr.tenant = slot.tenant;
-      ProcessOwnedAcquire(hdr);
+    for (const QueueSlot& slot : engine_.TakePausedBuffer(lock)) {
+      engine_.Acquire(lock, slot, now);
     }
   }
 }
 
 void LockServer::PauseLock(LockId lock, bool paused) {
-  owned_[lock].paused = paused;
+  engine_.SetPaused(lock, paused);
 }
 
 bool LockServer::QueueEmpty(LockId lock) const {
-  const auto it = owned_.find(lock);
-  return it == owned_.end() || it->second.queue.empty();
+  return engine_.QueueEmpty(lock);
 }
 
 void LockServer::ForwardBufferedToSwitch(LockId lock) {
   NETLOCK_CHECK(switch_node_ != kInvalidNode);
-  const auto it = owned_.find(lock);
-  if (it == owned_.end()) return;
-  while (!it->second.paused_buffer.empty()) {
-    const QueueSlot& slot = it->second.paused_buffer.front();
+  if (!engine_.Owns(lock)) return;
+  for (const QueueSlot& slot : engine_.TakePausedBuffer(lock)) {
     LockHeader req;
     req.op = LockOp::kAcquire;
     req.lock_id = lock;
@@ -388,25 +309,15 @@ void LockServer::ForwardBufferedToSwitch(LockId lock) {
     req.tenant = slot.tenant;
     req.timestamp = slot.timestamp;
     net_.Send(MakeLockPacket(node_, switch_node_, req));
-    it->second.paused_buffer.pop_front();
   }
 }
 
 void LockServer::ClearExpired(SimTime lease) {
   TraceLog::PidScope pid_scope(*trace_, trace_pid_);
-  const SimTime now = net_.sim().now();
-  if (now < lease) return;
-  const SimTime cutoff = now - lease;
-  for (auto& [lock, owned] : owned_) {
-    while (!owned.queue.empty() &&
-           owned.queue.front().timestamp <= cutoff) {
-      LockHeader forced;
-      forced.op = LockOp::kRelease;
-      forced.lock_id = lock;
-      forced.mode = owned.queue.front().mode;
-      ProcessOwnedRelease(forced, /*lease_forced=*/true);
-    }
-  }
+  const std::uint64_t forced =
+      engine_.ClearExpired(lease, substrate_.Now());
+  stats_.releases += forced;
+  metrics_.releases->Inc(forced);
 }
 
 std::size_t LockServer::OverflowDepth(LockId lock) const {
@@ -415,14 +326,11 @@ std::size_t LockServer::OverflowDepth(LockId lock) const {
 }
 
 std::vector<LockId> LockServer::OwnedLocks() const {
-  std::vector<LockId> locks;
-  locks.reserve(owned_.size());
-  for (const auto& [lock, state] : owned_) locks.push_back(lock);
-  return locks;
+  return engine_.OwnedLocks();
 }
 
 void LockServer::DropState(LockId lock) {
-  owned_.erase(lock);
+  engine_.Drop(lock);
   const auto it = q2_.find(lock);
   if (it != q2_.end()) {
     AdjustQ2Depth(-static_cast<std::int64_t>(it->second.size()));
@@ -432,16 +340,7 @@ void LockServer::DropState(LockId lock) {
 
 void LockServer::HarvestDemands(double window_sec,
                                 std::vector<LockDemand>& out) {
-  NETLOCK_CHECK(window_sec > 0.0);
-  for (auto& [lock, owned] : owned_) {
-    if (owned.req_count == 0) continue;
-    out.push_back(LockDemand{
-        lock, static_cast<double>(owned.req_count) / window_sec,
-        std::max(1u, owned.max_depth)});
-    owned.req_count = 0;
-    owned.max_depth =
-        std::max(1u, static_cast<std::uint32_t>(owned.queue.size()));
-  }
+  engine_.HarvestDemands(window_sec, out);
 }
 
 }  // namespace netlock

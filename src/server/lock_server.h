@@ -26,10 +26,12 @@
 
 #include "common/metrics.h"
 #include "common/types.h"
+#include "core/lock_engine.h"
 #include "dataplane/slot.h"
 #include "net/lock_wire.h"
 #include "sim/network.h"
 #include "sim/service_queue.h"
+#include "substrate/execution_substrate.h"
 
 namespace netlock {
 
@@ -43,7 +45,12 @@ struct LockServerConfig {
   std::uint32_t release_filter_slots = 4096;
 };
 
-class LockServer {
+/// The per-lock queue/grant protocol itself lives in core/lock_engine.h —
+/// compiled once and shared with the real-time backend (rt/rt_lock_service)
+/// — while this class supplies everything simulation-specific: the RSS-core
+/// CPU model, the wire protocol (parse/build packets), the q2 overflow
+/// buffer handshake with the switch, dedup filters, and failure injection.
+class LockServer : private GrantSink {
  public:
   LockServer(Network& net, LockServerConfig config = LockServerConfig{});
 
@@ -145,23 +152,16 @@ class LockServer {
   SimTime CoreBusyUntil(int core) const;
 
  private:
-  /// Software lock queue with switch-equivalent semantics.
-  struct OwnedLock {
-    std::deque<QueueSlot> queue;  ///< Entries remain until released.
-    std::uint32_t xcnt = 0;
-    bool paused = false;
-    std::deque<QueueSlot> paused_buffer;
-    std::uint64_t req_count = 0;   ///< r_i demand counter (§4.3).
-    std::uint32_t max_depth = 1;   ///< c_i demand counter.
-  };
-
   void OnPacket(const Packet& pkt);
   void Process(const LockHeader& hdr);
   void ProcessOwnedAcquire(const LockHeader& hdr);
-  void ProcessOwnedRelease(const LockHeader& hdr, bool lease_forced);
+  void ProcessOwnedRelease(const LockHeader& hdr);
   void ProcessBufferOnly(const LockHeader& hdr);
   void ProcessQueueEmpty(const LockHeader& hdr);
-  void Grant(LockId lock, const QueueSlot& slot);
+
+  // GrantSink: the engine decided to grant; build and send the packet.
+  void DeliverGrant(LockId lock, const QueueSlot& slot) override;
+  void OnWaitEnd(LockId lock, const QueueSlot& slot, SimTime now) override;
 
   int CoreFor(LockId lock) const;
 
@@ -170,13 +170,15 @@ class LockServer {
   Network& net_;
   LockServerConfig config_;
   NodeId node_;
+  SimSubstrate substrate_;  ///< Protocol clock (simulated time here).
   TraceLog* trace_;  ///< Request-lifecycle tracing (resolved once).
   /// Rack label captured at construction (TraceLog::current_pid); asserted
   /// while this server processes requests so shared-log spans split by rack.
   std::uint32_t trace_pid_ = 0;
   NodeId switch_node_ = kInvalidNode;
   std::vector<std::unique_ptr<ServiceQueue>> cores_;
-  std::unordered_map<LockId, OwnedLock> owned_;
+  /// The shared wait-queue protocol (also driven by the rt backend).
+  LockEngine engine_;
   std::unordered_map<LockId, std::deque<QueueSlot>> q2_;
   /// Release-dedup fingerprints (empty when the filter is disabled).
   std::vector<std::uint64_t> release_filter_;

@@ -31,13 +31,21 @@ class ServiceQueue {
   }
 
   /// Enqueues work with a per-item service time (e.g., an RDMA NIC where
-  /// atomic verbs are slower than reads but share one engine).
+  /// atomic verbs are slower than reads but share one engine). The
+  /// completion is stamped with the current generation: a Reset() between
+  /// submission and completion (fault-injected crash) invalidates it, so a
+  /// restarted component never sees completions for work the dead
+  /// incarnation had in flight.
   template <typename F>
   void SubmitWithTime(SimTime item_service_time, F&& on_complete) {
     const SimTime start = busy_until_ > sim_.now() ? busy_until_ : sim_.now();
     busy_until_ = start + item_service_time;
     ++items_served_;
-    sim_.ScheduleAt(busy_until_, std::forward<F>(on_complete));
+    sim_.ScheduleAt(busy_until_,
+                    [this, gen = generation_,
+                     fn = std::forward<F>(on_complete)]() mutable {
+                      if (gen == generation_) fn();
+                    });
   }
 
   /// Time at which the resource frees up (<= now() means idle).
@@ -53,14 +61,19 @@ class ServiceQueue {
   std::uint64_t items_served() const { return items_served_; }
 
   /// Drops all memory of prior work (used for fault injection: a restarted
-  /// component begins idle).
-  void Reset() { busy_until_ = 0; }
+  /// component begins idle). Bumping the generation cancels every
+  /// completion already scheduled — the events still fire, but as no-ops.
+  void Reset() {
+    busy_until_ = 0;
+    ++generation_;
+  }
 
  private:
   Simulator& sim_;
   SimTime service_time_;
   SimTime busy_until_ = 0;
   std::uint64_t items_served_ = 0;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace netlock

@@ -1,0 +1,9 @@
+#include "substrate/execution_substrate.h"
+
+#include "sim/simulator.h"
+
+namespace netlock {
+
+SimTime SimSubstrate::Now() const { return sim_.now(); }
+
+}  // namespace netlock

@@ -17,10 +17,9 @@ TxnSpec MicroWorkload::Next(Rng& rng) {
   txn.locks.reserve(config_.locks_per_txn);
   for (std::uint32_t i = 0; i < config_.locks_per_txn; ++i) {
     LockRequest req;
-    req.lock = config_.first_lock +
-               static_cast<LockId>(config_.zipf_alpha == 0.0
-                                       ? rng.NextBounded(config_.num_locks)
-                                       : zipf_.Sample(rng));
+    // ZipfSampler handles alpha == 0 as a single uniform draw itself, so
+    // the stream is identical to a direct NextBounded call.
+    req.lock = config_.first_lock + static_cast<LockId>(zipf_.Sample(rng));
     req.mode = rng.NextBool(config_.shared_fraction) ? LockMode::kShared
                                                      : LockMode::kExclusive;
     txn.locks.push_back(req);

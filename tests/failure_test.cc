@@ -5,6 +5,7 @@
 
 #include "harness/experiment.h"
 #include "harness/testbed.h"
+#include "sim/service_queue.h"
 #include "testing/lock_oracle.h"
 #include "test_util.h"
 
@@ -198,6 +199,26 @@ TEST(FailureTest, ServerGracePeriodGatesGrants) {
   EXPECT_FALSE(client.HasGrantFor(1));  // Gated.
   sim.RunUntil(10 * kMillisecond);
   EXPECT_TRUE(client.HasGrantFor(1));  // Granted at grace end, in order.
+}
+
+TEST(FailureTest, ServiceQueueResetCancelsInFlightCompletions) {
+  // Regression: Reset() used to clear busy_until_ but leave already
+  // scheduled completion events live, so a component restarted by fault
+  // injection would receive completions for work the dead incarnation had
+  // in flight. The generation token must void them.
+  Simulator sim;
+  ServiceQueue queue(sim, 100);
+  int completed = 0;
+  queue.Submit([&] { ++completed; });
+  queue.Submit([&] { ++completed; });
+  queue.Reset();  // Crash: both in-flight completions are now orphans.
+  sim.RunUntil(kMillisecond);
+  EXPECT_EQ(completed, 0);  // The stale events fired as no-ops.
+  EXPECT_EQ(queue.busy_until(), 0u);  // Restarted idle.
+  // The restarted incarnation's own work still completes normally.
+  queue.Submit([&] { ++completed; });
+  sim.RunUntil(2 * kMillisecond);
+  EXPECT_EQ(completed, 1);
 }
 
 TEST(FailureTest, ServerLocksUnaffectedBySwitchFailureRouting) {

@@ -1,0 +1,189 @@
+// Unit tests for the substrate-neutral LockEngine: the wait-queue protocol
+// core shared by the simulated LockServer and the real-time RtLockService.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/lock_engine.h"
+
+namespace netlock {
+namespace {
+
+struct CapturedGrant {
+  LockId lock;
+  QueueSlot slot;
+};
+
+class CapturingSink : public GrantSink {
+ public:
+  void DeliverGrant(LockId lock, const QueueSlot& slot) override {
+    grants.push_back({lock, slot});
+  }
+  void OnWaitEnd(LockId lock, const QueueSlot&, SimTime) override {
+    wait_ends.push_back(lock);
+  }
+
+  std::vector<CapturedGrant> grants;
+  std::vector<LockId> wait_ends;
+};
+
+QueueSlot Slot(LockMode mode, TxnId txn, NodeId client = 1) {
+  QueueSlot slot;
+  slot.mode = mode;
+  slot.txn_id = txn;
+  slot.client_node = client;
+  return slot;
+}
+
+TEST(LockEngineTest, FirstAcquireGrantsImmediately) {
+  CapturingSink sink;
+  LockEngine engine(sink);
+  engine.Acquire(7, Slot(LockMode::kExclusive, 1), 100);
+  ASSERT_EQ(sink.grants.size(), 1u);
+  EXPECT_EQ(sink.grants[0].lock, 7u);
+  EXPECT_EQ(sink.grants[0].slot.txn_id, 1u);
+  EXPECT_EQ(sink.grants[0].slot.timestamp, 100u);  // Stamped with now.
+  EXPECT_TRUE(sink.wait_ends.empty());             // No wait happened.
+  EXPECT_TRUE(engine.Owns(7));
+  EXPECT_EQ(engine.QueueDepth(7), 1u);
+}
+
+TEST(LockEngineTest, SharedRequestsJoinSharedHolders) {
+  CapturingSink sink;
+  LockEngine engine(sink);
+  engine.Acquire(1, Slot(LockMode::kShared, 1), 0);
+  engine.Acquire(1, Slot(LockMode::kShared, 2), 0);
+  engine.Acquire(1, Slot(LockMode::kShared, 3), 0);
+  EXPECT_EQ(sink.grants.size(), 3u);  // All-shared queue grants everyone.
+  engine.Acquire(1, Slot(LockMode::kExclusive, 4), 0);
+  EXPECT_EQ(sink.grants.size(), 3u);  // Exclusive waits behind them.
+  EXPECT_EQ(engine.QueueDepth(1), 4u);
+}
+
+TEST(LockEngineTest, ExclusiveReleaseCascadesToNextHead) {
+  CapturingSink sink;
+  LockEngine engine(sink);
+  engine.Acquire(1, Slot(LockMode::kExclusive, 1), 10);
+  engine.Acquire(1, Slot(LockMode::kExclusive, 2), 20);
+  ASSERT_EQ(sink.grants.size(), 1u);
+  const ReleaseOutcome outcome =
+      engine.Release(1, LockMode::kExclusive, 1, /*lease_forced=*/false, 30);
+  EXPECT_EQ(outcome, ReleaseOutcome::kApplied);
+  ASSERT_EQ(sink.grants.size(), 2u);
+  EXPECT_EQ(sink.grants[1].slot.txn_id, 2u);
+  EXPECT_EQ(sink.grants[1].slot.timestamp, 30u);  // Re-stamped at grant.
+  ASSERT_EQ(sink.wait_ends.size(), 1u);           // Txn 2 waited.
+}
+
+TEST(LockEngineTest, ExclusiveReleaseGrantsRunOfShareds) {
+  CapturingSink sink;
+  LockEngine engine(sink);
+  engine.Acquire(1, Slot(LockMode::kExclusive, 1), 0);
+  engine.Acquire(1, Slot(LockMode::kShared, 2), 0);
+  engine.Acquire(1, Slot(LockMode::kShared, 3), 0);
+  engine.Acquire(1, Slot(LockMode::kExclusive, 4), 0);
+  ASSERT_EQ(sink.grants.size(), 1u);
+  engine.Release(1, LockMode::kExclusive, 1, false, 0);
+  // E -> S cascade: both leading shareds granted, trailing exclusive not.
+  EXPECT_EQ(sink.grants.size(), 3u);
+  EXPECT_EQ(sink.grants[1].slot.txn_id, 2u);
+  EXPECT_EQ(sink.grants[2].slot.txn_id, 3u);
+}
+
+TEST(LockEngineTest, ReleaseValidationRejectsStaleAndMismatched) {
+  CapturingSink sink;
+  LockEngine engine(sink);
+  EXPECT_EQ(engine.Release(9, LockMode::kExclusive, 1, false, 0),
+            ReleaseOutcome::kStale);  // Unknown lock.
+  engine.Acquire(9, Slot(LockMode::kExclusive, 1), 0);
+  // Wrong transaction for an exclusive hold: must not blind-pop.
+  EXPECT_EQ(engine.Release(9, LockMode::kExclusive, 2, false, 0),
+            ReleaseOutcome::kMismatched);
+  // Wrong mode.
+  EXPECT_EQ(engine.Release(9, LockMode::kShared, 1, false, 0),
+            ReleaseOutcome::kMismatched);
+  EXPECT_EQ(engine.QueueDepth(9), 1u);  // Holder still in place.
+  EXPECT_EQ(engine.Release(9, LockMode::kExclusive, 1, false, 0),
+            ReleaseOutcome::kApplied);
+  EXPECT_TRUE(engine.QueueEmpty(9));
+}
+
+TEST(LockEngineTest, ClearExpiredForceReleasesOldHeads) {
+  CapturingSink sink;
+  LockEngine engine(sink);
+  engine.Acquire(1, Slot(LockMode::kExclusive, 1), 0);      // Granted at 0.
+  engine.Acquire(1, Slot(LockMode::kExclusive, 2), 500);    // Waits.
+  engine.Acquire(2, Slot(LockMode::kExclusive, 3), 900);    // Fresh.
+  const std::uint64_t forced = engine.ClearExpired(/*lease=*/1000,
+                                                   /*now=*/1100);
+  EXPECT_EQ(forced, 1u);  // Only lock 1's head (granted at 0) expired.
+  // Txn 2 re-stamped at 1100 and granted.
+  ASSERT_EQ(sink.grants.size(), 3u);
+  EXPECT_EQ(sink.grants[2].slot.txn_id, 2u);
+  EXPECT_EQ(sink.grants[2].slot.timestamp, 1100u);
+}
+
+TEST(LockEngineTest, PausedLockBuffersUntilResumed) {
+  CapturingSink sink;
+  LockEngine engine(sink);
+  engine.SetPaused(5, true);
+  engine.Acquire(5, Slot(LockMode::kExclusive, 1), 0);
+  engine.Acquire(5, Slot(LockMode::kExclusive, 2), 0);
+  EXPECT_TRUE(sink.grants.empty());
+  EXPECT_TRUE(engine.IsPaused(5));
+  EXPECT_EQ(engine.TotalQueueDepth(), 2u);  // Buffered entries count.
+  std::deque<QueueSlot> buffered = engine.TakePausedBuffer(5);
+  ASSERT_EQ(buffered.size(), 2u);
+  engine.SetPaused(5, false);
+  for (QueueSlot& slot : buffered) engine.Acquire(5, slot, 50);
+  EXPECT_EQ(sink.grants.size(), 1u);  // Head granted, second waits.
+}
+
+TEST(LockEngineTest, AdoptQueueInstallsBacklogAndGrantsFront) {
+  CapturingSink sink;
+  LockEngine engine(sink);
+  std::deque<QueueSlot> backlog;
+  backlog.push_back(Slot(LockMode::kShared, 1));
+  backlog.push_back(Slot(LockMode::kShared, 2));
+  backlog.push_back(Slot(LockMode::kExclusive, 3));
+  engine.AdoptQueue(4, std::move(backlog), 200);
+  // Leading shared run granted, re-stamped to adoption time.
+  ASSERT_EQ(sink.grants.size(), 2u);
+  EXPECT_EQ(sink.grants[0].slot.timestamp, 200u);
+  EXPECT_EQ(engine.QueueDepth(4), 3u);
+  // Adopting an empty queue still creates the entry (ownership marker).
+  engine.AdoptQueue(6, {}, 200);
+  EXPECT_TRUE(engine.Owns(6));
+  EXPECT_TRUE(engine.QueueEmpty(6));
+}
+
+TEST(LockEngineTest, HarvestDemandsReportsAndResetsCounters) {
+  CapturingSink sink;
+  LockEngine engine(sink);
+  engine.Acquire(1, Slot(LockMode::kExclusive, 1), 0);
+  engine.Acquire(1, Slot(LockMode::kExclusive, 2), 0);
+  engine.Acquire(1, Slot(LockMode::kExclusive, 3), 0);
+  std::vector<LockDemand> demands;
+  engine.HarvestDemands(/*window_sec=*/2.0, demands);
+  ASSERT_EQ(demands.size(), 1u);
+  EXPECT_EQ(demands[0].lock, 1u);
+  EXPECT_DOUBLE_EQ(demands[0].rate, 1.5);     // 3 requests / 2 s.
+  EXPECT_EQ(demands[0].contention, 3u);       // Max depth seen.
+  demands.clear();
+  engine.HarvestDemands(2.0, demands);
+  EXPECT_TRUE(demands.empty());  // Counters reset; idle locks not reported.
+}
+
+TEST(LockEngineTest, DropDrainedAssertsEmptyAndForgets) {
+  CapturingSink sink;
+  LockEngine engine(sink);
+  engine.Acquire(3, Slot(LockMode::kExclusive, 1), 0);
+  engine.Release(3, LockMode::kExclusive, 1, false, 0);
+  EXPECT_TRUE(engine.QueueEmpty(3));
+  engine.DropDrained(3);
+  EXPECT_FALSE(engine.Owns(3));
+  EXPECT_EQ(engine.num_owned(), 0u);
+}
+
+}  // namespace
+}  // namespace netlock
