@@ -11,8 +11,13 @@
 // CI can assert the backend actually grants locks at speed.
 //
 // `--backend=sim` / `--backend=rt` restricts the run to one substrate
-// (default: both, so the report carries the pair).
+// (default: both, so the report carries the pair). `--telemetry=off`
+// disables the rt observability plane (sharded latency histograms, flight
+// recorder, live stats poller) for overhead comparison — CI asserts the
+// on/off wall_mlps ratio. `--stats-socket=PATH` serves live snapshots for
+// `netlock_top` during the measurement windows.
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -21,6 +26,24 @@
 
 namespace netlock {
 namespace {
+
+struct RtMlpsOptions {
+  bool telemetry = true;
+  std::string stats_socket;
+};
+
+RtMlpsOptions ParseRtMlpsOptions(int argc, char** argv) {
+  RtMlpsOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--telemetry=off") options.telemetry = false;
+    if (arg == "--telemetry=on") options.telemetry = true;
+    if (arg.rfind("--stats-socket=", 0) == 0) {
+      options.stats_socket = arg.substr(std::strlen("--stats-socket="));
+    }
+  }
+  return options;
+}
 
 BackendRunConfig BaseConfig(bool quick) {
   BackendRunConfig config;
@@ -34,7 +57,25 @@ BackendRunConfig BaseConfig(bool quick) {
   return config;
 }
 
-void RunRt(BenchReport& report) {
+void AddLatencyExtras(BenchRun& run, const RunMetrics& metrics) {
+  if (!metrics.lock_latency.empty()) {
+    run.extra.emplace_back(
+        "lock_p90_ns",
+        static_cast<double>(metrics.lock_latency.Percentile(0.90)));
+  }
+  if (!metrics.txn_latency.empty()) {
+    run.extra.emplace_back(
+        "txn_p50_ns", static_cast<double>(metrics.txn_latency.Median()));
+    run.extra.emplace_back(
+        "txn_p90_ns",
+        static_cast<double>(metrics.txn_latency.Percentile(0.90)));
+    // txn_p99_ns is already filled by AddRun(label, metrics).
+    run.extra.emplace_back(
+        "txn_p999_ns", static_cast<double>(metrics.txn_latency.P999()));
+  }
+}
+
+void RunRt(BenchReport& report, const RtMlpsOptions& rt_options) {
   Banner("Real-time backend: wall-clock MLPS vs worker cores");
   Table table({"cores", "wall MLPS", "grants", "avg(us)", "p99(us)",
                "residual q"});
@@ -44,9 +85,12 @@ void RunRt(BenchReport& report) {
       report.quick() ? 50 * kMillisecond : 500 * kMillisecond;
   const SimTime measure =
       report.quick() ? 200 * kMillisecond : 2 * kSecond;
-  for (const int cores : cores_sweep) {
+  for (std::size_t ci = 0; ci < cores_sweep.size(); ++ci) {
+    const int cores = cores_sweep[ci];
     BackendRunConfig config = BaseConfig(report.quick());
     config.rt_cores = cores;
+    config.rt_telemetry = rt_options.telemetry;
+    config.rt_stats_socket = rt_options.stats_socket;
     const BackendRunResult result =
         RunMicroTimed(BackendKind::kRt, config, warmup, measure);
     const double mlps =
@@ -67,6 +111,25 @@ void RunRt(BenchReport& report) {
     run.extra.emplace_back(
         "residual_queue_depth",
         static_cast<double>(result.residual_queue_depth));
+    AddLatencyExtras(run, result.metrics);
+    // Per-core MLPS: the run-total wall rate split by each core's share of
+    // grants (the service counts grants per core over the whole run).
+    std::uint64_t total_grants = 0;
+    for (const std::uint64_t g : result.core_grants) total_grants += g;
+    for (std::size_t c = 0; c < result.core_grants.size(); ++c) {
+      const double share =
+          total_grants > 0
+              ? static_cast<double>(result.core_grants[c]) /
+                    static_cast<double>(total_grants)
+              : 0.0;
+      run.extra.emplace_back("core" + std::to_string(c) + "_mlps",
+                             mlps * share);
+    }
+    // The "time_series" section carries the live poller's view of the
+    // largest-cores run (one run keeps the JSON readable).
+    if (ci + 1 == cores_sweep.size() && result.has_time_series) {
+      report.AttachTimeSeries(result.time_series);
+    }
   }
   table.Print();
 }
@@ -85,11 +148,12 @@ void RunSim(BenchReport& report) {
 
 int Main(int argc, char** argv) {
   const BenchOptions options = ParseBenchOptions(argc, argv);
+  const RtMlpsOptions rt_options = ParseRtMlpsOptions(argc, argv);
   BenchReport report("rt_mlps", options);
   BackendKind only = BackendKind::kSim;
   const bool restricted =
       !options.backend.empty() && ParseBackendKind(options.backend, &only);
-  if (!restricted || only == BackendKind::kRt) RunRt(report);
+  if (!restricted || only == BackendKind::kRt) RunRt(report, rt_options);
   if (!restricted || only == BackendKind::kSim) RunSim(report);
   return report.Write() ? 0 : 1;
 }

@@ -8,14 +8,35 @@
 // one-register-access-per-pass discipline of the switch pipeline model.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace netlock {
 
+/// Called (at most once) after a CHECK failure prints its diagnostic and
+/// before the process aborts. Crash tooling (the flight recorder) installs
+/// a dumper here so a tripped invariant still leaves an autopsy artifact.
+/// Must not assume the failed invariant holds.
+using CheckFailureHook = void (*)();
+
+inline std::atomic<CheckFailureHook>& CheckFailureHookSlot() {
+  static std::atomic<CheckFailureHook> hook{nullptr};
+  return hook;
+}
+
+inline void SetCheckFailureHook(CheckFailureHook hook) {
+  CheckFailureHookSlot().store(hook, std::memory_order_release);
+}
+
 [[noreturn]] inline void CheckFailed(const char* file, int line,
                                      const char* expr) {
   std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  // Exchange (not load) so a hook that itself CHECK-fails cannot recurse.
+  if (const CheckFailureHook hook =
+          CheckFailureHookSlot().exchange(nullptr, std::memory_order_acq_rel)) {
+    hook();
+  }
   std::abort();
 }
 

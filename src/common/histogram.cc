@@ -1,5 +1,6 @@
 #include "common/histogram.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/check.h"
@@ -74,6 +75,20 @@ void LogHistogram::Merge(const LogHistogram& other) {
     min_ = std::min(min_, other.min_);
     max_ = std::max(max_, other.max_);
   }
+}
+
+void LogHistogram::MergeBucketCounts(const std::uint32_t* counts, double sum,
+                                     SimTime min, SimTime max) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i] += counts[i];
+    total += counts[i];
+  }
+  if (total == 0) return;
+  count_ += total;
+  sum_ += sum;
+  min_ = std::min(min_, min);
+  max_ = std::max(max_, max);
 }
 
 void LogHistogram::Clear() {

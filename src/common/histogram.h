@@ -21,6 +21,11 @@ class LogHistogram {
   static constexpr std::uint32_t kSubBuckets = 64;
   /// Covers [0, 2^40) ns ~ 18 minutes, far beyond any simulated latency.
   static constexpr std::uint32_t kMaxExponent = 40;
+  /// Bucket-array length. Public so external shard storage (the sharded
+  /// telemetry domains) can mirror the layout and fold back via
+  /// MergeBucketCounts.
+  static constexpr std::size_t kNumBuckets =
+      static_cast<std::size_t>(kMaxExponent) * kSubBuckets + kSubBuckets;
 
   void Record(SimTime nanos);
 
@@ -40,6 +45,15 @@ class LogHistogram {
   SimTime Max() const { return empty() ? 0 : max_; }
 
   void Merge(const LogHistogram& other);
+
+  /// Folds externally tracked bucket counts (laid out by BucketFor; exactly
+  /// kNumBuckets entries) plus their separately tracked moments into this
+  /// histogram — the aggregation path for sharded telemetry, whose shards
+  /// keep buckets in atomic cells rather than LogHistogram instances. A
+  /// zero total is a no-op (min/max are ignored).
+  void MergeBucketCounts(const std::uint32_t* counts, double sum,
+                         SimTime min, SimTime max);
+
   void Clear();
 
   // Exposed for tests: the bucketing must be monotone in `value`, and every
@@ -48,9 +62,6 @@ class LogHistogram {
   static SimTime BucketMidpoint(std::uint32_t bucket);
 
  private:
-  static constexpr std::size_t kNumBuckets =
-      static_cast<std::size_t>(kMaxExponent) * kSubBuckets + kSubBuckets;
-
   std::array<std::uint32_t, kNumBuckets> buckets_{};
   std::uint64_t count_ = 0;
   double sum_ = 0.0;

@@ -31,21 +31,83 @@ void TraceLog::Enable(std::uint32_t sample_every) {
 
 void TraceLog::Disable() { enabled_ = false; }
 
+namespace {
+
+/// Thread-local pointer to the thread's buffer in one TraceLog, validated
+/// by the log's instance id. Single-slot: a thread alternating between two
+/// live logs re-registers (mutex lookup) on each switch, which only the
+/// multi-context sweep harness does — and only at setup.
+struct TlsBufferCache {
+  std::uint64_t log_id = 0;
+  void* buffer = nullptr;
+};
+thread_local TlsBufferCache t_trace_buffer;
+
+}  // namespace
+
+TraceLog::ThreadBuffer& TraceLog::LocalBuffer() {
+  if (t_trace_buffer.log_id == id_) {
+    return *static_cast<ThreadBuffer*>(t_trace_buffer.buffer);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] =
+      by_thread_.try_emplace(std::this_thread::get_id(), nullptr);
+  if (inserted) {
+    buffers_.push_back(std::make_unique<ThreadBuffer>());
+    it->second = buffers_.back().get();
+  }
+  t_trace_buffer.log_id = id_;
+  t_trace_buffer.buffer = it->second;
+  return *it->second;
+}
+
+void TraceLog::Flush() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : buffers_) {
+    if (!buf->events.empty()) {
+      merged_.insert(merged_.end(), buf->events.begin(), buf->events.end());
+      buf->events.clear();
+    }
+    dropped_ += buf->dropped;
+    buf->dropped = 0;
+  }
+}
+
 void TraceLog::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  events_.clear();
+  merged_.clear();
   dropped_ = 0;
+  // Unclaim every buffer's unused budget along with the stored events so
+  // the full capacity is available again.
+  for (const auto& buf : buffers_) {
+    buf->events.clear();
+    buf->dropped = 0;
+    buf->budget = 0;
+  }
+  stored_.store(0, std::memory_order_relaxed);
 }
 
 void TraceLog::Push(TraceEvent event) {
   if (!enabled_) return;
   event.pid = current_pid_;
-  std::lock_guard<std::mutex> lock(mu_);
-  if (events_.size() >= capacity_) {
-    ++dropped_;
-    return;
+  ThreadBuffer& buf = LocalBuffer();
+  if (buf.budget == 0) {
+    // Claim another budget chunk from the shared capacity — the only
+    // shared-cacheline touch on this path, once per kBudgetChunk events.
+    std::size_t cur = stored_.load(std::memory_order_relaxed);
+    std::size_t claim;
+    do {
+      if (cur >= capacity_) {
+        ++buf.dropped;
+        return;
+      }
+      claim = std::min(kBudgetChunk, capacity_ - cur);
+    } while (!stored_.compare_exchange_weak(cur, cur + claim,
+                                            std::memory_order_relaxed));
+    buf.budget = claim;
   }
-  events_.push_back(event);
+  --buf.budget;
+  buf.events.push_back(event);
 }
 
 void TraceLog::SetPidName(std::uint32_t pid, const char* name) {
@@ -147,9 +209,10 @@ std::string TraceLog::ToJson() const {
   // end but must appear at their start time, and determinism requires a
   // reproducible order for equal timestamps (insertion order, which the
   // single-threaded simulator fixes).
+  const std::vector<TraceEvent>& all = events();
   std::vector<const TraceEvent*> sorted;
-  sorted.reserve(events_.size());
-  for (const TraceEvent& event : events_) sorted.push_back(&event);
+  sorted.reserve(all.size());
+  for (const TraceEvent& event : all) sorted.push_back(&event);
   std::stable_sort(sorted.begin(), sorted.end(),
                    [](const TraceEvent* a, const TraceEvent* b) {
                      return a->ts < b->ts;
@@ -159,7 +222,7 @@ std::string TraceLog::ToJson() const {
   out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
   out << "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\","
          "\"args\":{\"name\":\"netlock-sim\",\"dropped_events\":"
-      << dropped_ << "}}";
+      << dropped() << "}}";
   // Named pids (multi-rack runs) get their own process groups; pid 0 keeps
   // the default name above.
   for (const auto& [pid, name] : pid_names_) {

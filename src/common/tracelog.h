@@ -18,18 +18,28 @@
 //   3. Bounded memory. Recording stops at a capacity cap (events beyond it
 //      are counted, not stored), so tracing a long bench cannot OOM.
 //
-// Thread-safety: recording (Push) is mutex-guarded so real-thread backends
-// (src/rt/) may record concurrently — the lock is taken only after the
-// `enabled()` check, so disabled tracing stays a single branch. Enable /
-// Disable / SetCapacity / pid labels / export are setup- and teardown-time
-// operations: call them with no recorders running. Note that concurrent
-// recording forfeits the deterministic insertion order the single-threaded
-// simulator guarantees for equal timestamps.
+// Thread-safety: recording (Push) appends to a per-thread span buffer, so
+// real-thread backends (src/rt/) record without taking any lock on the hot
+// path — a thread's first Push registers its buffer under a mutex, and
+// afterwards a record is a thread-local cache hit plus a vector append.
+// The capacity cap is enforced through a shared budget counter claimed in
+// chunks, so the shared cacheline is touched once per kBudgetChunk events
+// (exact cap single-threaded; within one chunk per thread concurrently).
+// Buffers are merged, in registration order, when anything reads the log
+// (size / events / ToJson / Clear) — collection is a teardown-time
+// operation: call it with no recorders running. A single-threaded run has
+// exactly one buffer, so flushing preserves insertion order and the
+// exporter's byte-identical determinism. Enable / Disable / SetCapacity /
+// pid labels are setup-time operations.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/types.h"
@@ -73,7 +83,7 @@ struct TraceEvent {
 
 class TraceLog {
  public:
-  TraceLog() = default;
+  TraceLog() : id_(next_id_.fetch_add(1, std::memory_order_relaxed)) {}
   TraceLog(const TraceLog&) = delete;
   TraceLog& operator=(const TraceLog&) = delete;
 
@@ -165,11 +175,21 @@ class TraceLog {
   void AsyncEnd(TraceTrack track, const char* name, SimTime ts,
                 std::uint64_t id);
 
-  // --- Inspection / export ---
+  // --- Inspection / export (flushes per-thread buffers; call with no
+  // recorders running) ---
 
-  std::size_t size() const { return events_.size(); }
-  std::uint64_t dropped() const { return dropped_; }
-  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const {
+    Flush();
+    return merged_.size();
+  }
+  std::uint64_t dropped() const {
+    Flush();
+    return dropped_;
+  }
+  const std::vector<TraceEvent>& events() const {
+    Flush();
+    return merged_;
+  }
 
   /// Drops all recorded events (enable state is unchanged).
   void Clear();
@@ -184,16 +204,42 @@ class TraceLog {
   bool WriteTo(const std::string& path) const;
 
  private:
-  void Push(TraceEvent event);
+  /// Shared-capacity budget claimed per thread in chunks: the only shared
+  /// write a recording thread makes, amortized to once per kBudgetChunk
+  /// events.
+  static constexpr std::size_t kBudgetChunk = 256;
 
-  /// Guards events_ and dropped_ (the only state touched per record).
-  std::mutex mu_;
+  struct ThreadBuffer {
+    std::vector<TraceEvent> events;
+    std::uint64_t dropped = 0;
+    std::size_t budget = 0;  ///< Capacity claimed but not yet used.
+  };
+
+  void Push(TraceEvent event);
+  /// The calling thread's buffer (registered under mu_ on first use, then
+  /// found via a thread-local cache keyed by the log's instance id).
+  ThreadBuffer& LocalBuffer();
+  /// Merges every thread buffer into merged_ in registration order.
+  void Flush() const;
+
+  /// Process-unique instance ids validate the thread-local buffer cache
+  /// (a destroyed log's id never matches a live one).
+  static inline std::atomic<std::uint64_t> next_id_{1};
+  const std::uint64_t id_;
+
+  /// Guards buffer registration and collection — never taken by a Push
+  /// that hits the thread-local cache.
+  mutable std::mutex mu_;
   bool enabled_ = false;
   std::uint32_t sample_every_ = 1;
   std::uint32_t current_pid_ = 0;
   std::size_t capacity_ = 2'000'000;
-  std::uint64_t dropped_ = 0;
-  std::vector<TraceEvent> events_;
+  /// Events stored across all buffers + merged_ (budget-claim counter).
+  std::atomic<std::size_t> stored_{0};
+  mutable std::uint64_t dropped_ = 0;
+  mutable std::vector<TraceEvent> merged_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::map<std::thread::id, ThreadBuffer*> by_thread_;
   /// pid -> process name for the exporter (sorted for determinism).
   std::vector<std::pair<std::uint32_t, const char*>> pid_names_;
 };

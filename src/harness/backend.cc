@@ -1,12 +1,16 @@
 #include "harness/backend.h"
 
 #include <chrono>
+#include <cinttypes>
+#include <cstdio>
 #include <memory>
+#include <sstream>
 #include <thread>
 
 #include "common/check.h"
 #include "harness/testbed.h"
 #include "rt/rt_client.h"
+#include "rt/stats_poller.h"
 #include "substrate/execution_substrate.h"
 
 namespace netlock {
@@ -50,7 +54,10 @@ void DrainSim(Testbed& testbed) {
 
 struct RtRig {
   explicit RtRig(const BackendRunConfig& config)
-      : service(ServiceOptions(config), substrate),
+      : registry(config.context != nullptr
+                     ? config.context->metrics()
+                     : SimContext::Default().metrics()),
+        service(ServiceOptions(config), substrate),
         pool(service, substrate, ClientConfig(config),
              [workload = config.workload](int) {
                return std::make_unique<MicroWorkload>(workload);
@@ -65,6 +72,8 @@ struct RtRig {
     options.num_clients = config.rt_client_threads;
     options.record_events = config.rt_record_events;
     options.pin_threads = config.rt_pin_threads;
+    options.telemetry = config.rt_telemetry;
+    options.recorder = config.rt_flight_recorder;
     options.context = config.context;
     return options;
   }
@@ -74,23 +83,104 @@ struct RtRig {
     cc.sessions_per_client = config.sessions / config.rt_client_threads;
     cc.txns_per_session = config.txns_per_session;
     cc.seed = config.seed;
+    cc.telemetry = config.rt_telemetry;
     return cc;
   }
 
   void Finish(BackendRunResult& result) {
     pool.Join();
     service.Stop();
+    pool.PublishTelemetry(registry);
     result.metrics = pool.Collect();
     result.commits = pool.TotalCommits();
     result.service_grants = service.TotalStats().grants;
     result.residual_queue_depth = service.TotalQueueDepth();
     result.events = service.DrainEvents();
+    result.core_grants.reserve(static_cast<std::size_t>(service.cores()));
+    for (int c = 0; c < service.cores(); ++c) {
+      result.core_grants.push_back(service.CoreStats(c).grants);
+    }
   }
 
   RtSubstrate substrate;
+  MetricsRegistry& registry;
   rt::RtLockService service;
   rt::RtClientPool pool;
 };
+
+/// One live snapshot frame in the netlock_top text protocol:
+///   snap ts=<ns> cores=<N> clients=<M>
+///   core <i> grants= requests= batches= depth= work= spins= yields= parks=
+///   lat <lock|txn> p50= p90= p99= p999= n=
+///   end
+std::string BuildRtSnapshot(RtRig& rig) {
+  std::ostringstream out;
+  char line[256];
+  const int cores = rig.service.cores();
+  std::snprintf(line, sizeof(line),
+                "snap ts=%" PRIu64 " cores=%d clients=%d\n",
+                static_cast<std::uint64_t>(rig.substrate.Now()), cores,
+                rig.service.num_clients());
+  out << line;
+  for (int c = 0; c < cores; ++c) {
+    const rt::RtLockService::Stats s = rig.service.CoreStats(c);
+    const rt::RtExecutor::IdleStats idle = rig.service.executor().idle_stats(c);
+    std::snprintf(line, sizeof(line),
+                  "core %d grants=%" PRIu64 " requests=%" PRIu64
+                  " batches=%" PRIu64 " depth=%zu work=%" PRIu64
+                  " spins=%" PRIu64 " yields=%" PRIu64 " parks=%" PRIu64 "\n",
+                  c, s.grants, s.requests, s.batches,
+                  rig.service.MailboxDepthApprox(c), idle.work_rounds,
+                  idle.spins, idle.yields, idle.parks);
+    out << line;
+  }
+  const TelemetryDomain& clients = rig.pool.telemetry_domain();
+  for (const char* name : {"rt.lock_latency", "rt.txn_latency"}) {
+    TelemetryHistogram h;
+    if (!clients.FindHistogram(name, &h)) continue;
+    const LogHistogram merged = clients.HistogramMerged(h);
+    std::snprintf(line, sizeof(line),
+                  "lat %s p50=%" PRIu64 " p90=%" PRIu64 " p99=%" PRIu64
+                  " p999=%" PRIu64 " n=%" PRIu64 "\n",
+                  name == std::string("rt.lock_latency") ? "lock" : "txn",
+                  merged.Percentile(0.50), merged.Percentile(0.90),
+                  merged.Percentile(0.99), merged.Percentile(0.999),
+                  merged.count());
+    out << line;
+  }
+  out << "end\n";
+  return out.str();
+}
+
+/// Builds, watches, and starts the measurement-window poller for a timed
+/// rt run. Returns nullptr when telemetry is off.
+std::unique_ptr<rt::RtStatsPoller> StartRtPoller(
+    RtRig& rig, const BackendRunConfig& config, SimTime measure) {
+  if (!config.rt_telemetry) return nullptr;
+  rt::RtStatsPoller::Options po;
+  SimTime interval = config.rt_poll_interval;
+  if (interval == 0) {
+    interval = measure / 20;
+    if (interval < 5 * kMillisecond) interval = 5 * kMillisecond;
+  }
+  po.interval = std::chrono::nanoseconds(interval);
+  po.socket_path = config.rt_stats_socket;
+  SimContext& context =
+      config.context != nullptr ? *config.context : SimContext::Default();
+  auto poller =
+      std::make_unique<rt::RtStatsPoller>(po, context.metrics());
+  poller->AddDomain(&rig.service.telemetry_domain());
+  poller->AddDomain(&rig.pool.telemetry_domain());
+  poller->Watch("rt.requests");
+  poller->Watch("rt.grants");
+  poller->Watch("rt.releases");
+  poller->Watch("rt.commits");
+  poller->WatchGauge("rt.mailbox_depth");
+  poller->WatchGauge("rt.lock_latency.p99_ns");
+  poller->SetSnapshotProvider([&rig]() { return BuildRtSnapshot(rig); });
+  poller->Start(rig.substrate.Now());
+  return poller;
+}
 
 }  // namespace
 
@@ -163,13 +253,22 @@ BackendRunResult RunMicroTimed(BackendKind kind,
   rig.service.Start();
   rig.pool.Start();
   std::this_thread::sleep_for(std::chrono::nanoseconds(warmup));
+  // The poller covers only the measurement window, so the time series is
+  // warm-up-free like the RunMetrics recorders.
+  std::unique_ptr<rt::RtStatsPoller> poller =
+      StartRtPoller(rig, timed, measure);
   rig.pool.SetRecording(true);
   const SimTime t0 = rig.substrate.Now();
   std::this_thread::sleep_for(std::chrono::nanoseconds(measure));
   rig.pool.SetRecording(false);
   const SimTime t1 = rig.substrate.Now();
   rig.pool.StopIssuing();
+  if (poller != nullptr) poller->Stop();
   rig.Finish(result);
+  if (poller != nullptr) {
+    result.has_time_series = true;
+    result.time_series = poller->store();
+  }
   result.metrics.duration = t1 - t0;
   result.wall_seconds = static_cast<double>(t1 - t0) / 1e9;
   return result;

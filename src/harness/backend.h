@@ -18,8 +18,10 @@
 #include <string>
 #include <vector>
 
+#include "common/flight_recorder.h"
 #include "common/sim_context.h"
 #include "common/stats.h"
+#include "common/timeseries.h"
 #include "common/types.h"
 #include "rt/rt_lock_service.h"
 #include "workload/micro.h"
@@ -51,6 +53,21 @@ struct BackendRunConfig {
   bool rt_record_events = false;  ///< Keep the oracle replay log.
   bool rt_pin_threads = false;
 
+  // Real-time observability (ignored by the sim backend).
+  /// Always-on sharded telemetry + flight recorder + live stats poller
+  /// during the measurement window. Off = the bare hot path, for overhead
+  /// comparison (`--telemetry=off`).
+  bool rt_telemetry = true;
+  /// Poller tick (ns). 0 = auto: measure/20, clamped to >= 5 ms.
+  SimTime rt_poll_interval = 0;
+  /// Non-empty = the poller serves live snapshots on this Unix socket
+  /// (netlock_top attaches here).
+  std::string rt_stats_socket;
+  /// External flight recorder (tests inject one that outlives the service;
+  /// it keeps recording the run's protocol events even with rt_telemetry
+  /// off).
+  FlightRecorder* rt_flight_recorder = nullptr;
+
   SimContext* context = nullptr;  ///< nullptr = process default.
 };
 
@@ -66,6 +83,12 @@ struct BackendRunResult {
   /// Linearized engine event stream for oracle replay (kRt with
   /// rt_record_events only).
   std::vector<rt::RtEvent> events;
+  /// Live time series sampled over the measurement window (kRt timed runs
+  /// with rt_telemetry; feeds the report's "time_series" section).
+  bool has_time_series = false;
+  TimeSeriesStore time_series;
+  /// Per-core grant totals over the whole run (kRt; per-core MLPS extras).
+  std::vector<std::uint64_t> core_grants;
 };
 
 /// Runs until every session commits exactly txns_per_session transactions,

@@ -210,20 +210,24 @@ BenchRun& BenchReport::AddRun(std::string label, double throughput_mrps,
   return run;
 }
 
-void BenchReport::AttachTimeSeries(const TimeSeriesSampler& sampler) {
-  for (std::size_t s = 0; s < sampler.num_series(); ++s) {
+void BenchReport::AttachTimeSeries(const TimeSeriesStore& store) {
+  for (std::size_t s = 0; s < store.num_series(); ++s) {
     SeriesDump dump;
-    dump.name = sampler.series_name(s);
-    dump.is_rate = sampler.series_is_rate(s);
-    dump.interval_ns = sampler.interval();
-    dump.t_s.reserve(sampler.num_buckets());
-    dump.values.reserve(sampler.num_buckets());
-    for (std::size_t b = 0; b < sampler.num_buckets(); ++b) {
-      dump.t_s.push_back(sampler.BucketTimeSeconds(b));
-      dump.values.push_back(sampler.Value(s, b));
+    dump.name = store.series_name(s);
+    dump.is_rate = store.series_is_rate(s);
+    dump.interval_ns = store.interval();
+    dump.t_s.reserve(store.num_buckets());
+    dump.values.reserve(store.num_buckets());
+    for (std::size_t b = 0; b < store.num_buckets(); ++b) {
+      dump.t_s.push_back(store.BucketTimeSeconds(b));
+      dump.values.push_back(store.Value(s, b));
     }
     time_series_.push_back(std::move(dump));
   }
+}
+
+void BenchReport::AttachTimeSeries(const TimeSeriesSampler& sampler) {
+  AttachTimeSeries(sampler.store());
 }
 
 std::string BenchReport::ToJson() const {

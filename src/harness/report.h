@@ -131,6 +131,9 @@ class BenchReport {
   /// Call after the run completes (the sampler is not referenced later).
   void AttachTimeSeries(const TimeSeriesSampler& sampler);
 
+  /// Same, from a raw bucket store (the rt stats poller's output).
+  void AttachTimeSeries(const TimeSeriesStore& store);
+
   std::string ToJson() const;
 
   /// Writes BENCH_<name>.json into options().json_dir (the registry dump

@@ -5,39 +5,25 @@
 namespace netlock {
 
 TimeSeriesSampler::TimeSeriesSampler(Simulator& sim, SimTime interval)
-    : sim_(sim), interval_(interval) {
-  NETLOCK_CHECK(interval_ > 0);
-}
+    : sim_(sim), store_(interval) {}
 
 void TimeSeriesSampler::Watch(const std::string& counter_name) {
-  NETLOCK_CHECK(!started_);
-  Series s;
-  s.name = counter_name;
-  s.is_rate = true;
-  s.counter = &sim_.context().metrics().Counter(counter_name);
-  series_.push_back(std::move(s));
+  NETLOCK_CHECK(!store_.begun());
+  store_.Watch(counter_name, sim_.context().metrics().Counter(counter_name));
 }
 
 void TimeSeriesSampler::WatchGauge(const std::string& gauge_name) {
-  NETLOCK_CHECK(!started_);
-  Series s;
-  s.name = gauge_name;
-  s.is_rate = false;
-  s.gauge = &sim_.context().metrics().Gauge(gauge_name);
-  series_.push_back(std::move(s));
+  NETLOCK_CHECK(!store_.begun());
+  store_.WatchGauge(gauge_name, sim_.context().metrics().Gauge(gauge_name));
 }
 
 void TimeSeriesSampler::Start(SimTime horizon) {
-  NETLOCK_CHECK(!started_);
-  started_ = true;
-  start_time_ = sim_.now();
-  for (Series& s : series_) {
-    if (s.is_rate) s.last = s.counter->value();
-  }
+  NETLOCK_CHECK(!store_.begun());
+  store_.Begin(sim_.now());
   // Schedule every tick up front rather than self-rescheduling: a chain of
   // ticks would keep the event queue non-empty forever and Simulator::Run()
   // would never drain.
-  for (SimTime t = interval_; t <= horizon; t += interval_) {
+  for (SimTime t = store_.interval(); t <= horizon; t += store_.interval()) {
     sim_.Schedule(t, [this]() { Tick(); });
   }
 }
@@ -47,29 +33,7 @@ void TimeSeriesSampler::Tick() {
   // The pending-events gauge is sampled, not exact, between reconciles;
   // flush it so gauge series read the true depth at the bucket boundary.
   sim_.ReconcileDepthMetric();
-  for (Series& s : series_) {
-    if (s.is_rate) {
-      const std::uint64_t v = s.counter->value();
-      s.deltas.push_back(v - s.last);
-      s.last = v;
-    } else {
-      s.deltas.push_back(s.gauge->value());
-    }
-  }
-}
-
-double TimeSeriesSampler::BucketTimeSeconds(std::size_t b) const {
-  const double bucket_ns = static_cast<double>(interval_);
-  return (static_cast<double>(start_time_) +
-          (static_cast<double>(b) + 0.5) * bucket_ns) /
-         1e9;
-}
-
-double TimeSeriesSampler::Value(std::size_t s, std::size_t b) const {
-  const Series& series = series_[s];
-  const double raw = static_cast<double>(series.deltas[b]);
-  if (!series.is_rate) return raw;
-  return raw / (static_cast<double>(interval_) / 1e9);
+  store_.Tick();
 }
 
 }  // namespace netlock

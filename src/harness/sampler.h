@@ -12,15 +12,17 @@
 // The sampler is itself a simulation actor: Start(horizon) takes the
 // baseline snapshot at now() and schedules one tick per interval up to and
 // including the horizon, so a run with Simulator::Run() still drains (the
-// sampler never self-reschedules past the horizon).
+// sampler never self-reschedules past the horizon). The bucketing itself
+// lives in the backend-neutral TimeSeriesStore (common/timeseries.h) so
+// the real-time stats poller produces the same report section from a
+// wall-clock thread.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <string>
-#include <vector>
 
-#include "common/metrics.h"
+#include "common/timeseries.h"
 #include "common/types.h"
 #include "sim/simulator.h"
 
@@ -47,49 +49,43 @@ class TimeSeriesSampler {
   /// Stops sampling early: ticks already scheduled become no-ops.
   void Stop() { stopped_ = true; }
 
-  SimTime interval() const { return interval_; }
-  std::size_t num_series() const { return series_.size(); }
-  std::size_t num_buckets() const {
-    return series_.empty() ? 0 : series_.front().deltas.size();
-  }
+  /// The underlying bucket store (what BenchReport::AttachTimeSeries
+  /// consumes).
+  const TimeSeriesStore& store() const { return store_; }
+
+  SimTime interval() const { return store_.interval(); }
+  std::size_t num_series() const { return store_.num_series(); }
+  std::size_t num_buckets() const { return store_.num_buckets(); }
 
   const std::string& series_name(std::size_t s) const {
-    return series_[s].name;
+    return store_.series_name(s);
   }
-  bool series_is_rate(std::size_t s) const { return series_[s].is_rate; }
+  bool series_is_rate(std::size_t s) const { return store_.series_is_rate(s); }
 
   /// Midpoint of bucket `b` in seconds since Start() — the natural x
   /// coordinate when plotting rate buckets.
-  double BucketTimeSeconds(std::size_t b) const;
+  double BucketTimeSeconds(std::size_t b) const {
+    return store_.BucketTimeSeconds(b);
+  }
 
   /// Rate series: events/second over the bucket. Gauge series: the level
   /// sampled at the end of the bucket.
-  double Value(std::size_t s, std::size_t b) const;
+  double Value(std::size_t s, std::size_t b) const {
+    return store_.Value(s, b);
+  }
 
   /// Raw per-bucket count delta (rate series) or end-of-bucket level
   /// (gauge series).
   std::uint64_t Delta(std::size_t s, std::size_t b) const {
-    return series_[s].deltas[b];
+    return store_.Delta(s, b);
   }
 
  private:
-  struct Series {
-    std::string name;
-    bool is_rate = false;            ///< Counter (rate) vs gauge (level).
-    const MetricCounter* counter = nullptr;
-    const MetricGauge* gauge = nullptr;
-    std::uint64_t last = 0;          ///< Counter value at last tick.
-    std::vector<std::uint64_t> deltas;
-  };
-
   void Tick();
 
   Simulator& sim_;
-  SimTime interval_;
-  SimTime start_time_ = 0;
-  bool started_ = false;
   bool stopped_ = false;
-  std::vector<Series> series_;
+  TimeSeriesStore store_;
 };
 
 }  // namespace netlock

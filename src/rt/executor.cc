@@ -15,6 +15,10 @@ RtExecutor::RtExecutor(Options options, std::function<bool(int)> body)
     : options_(options), body_(std::move(body)) {
   NETLOCK_CHECK(options_.num_workers >= 1);
   NETLOCK_CHECK(body_ != nullptr);
+  stats_.reserve(static_cast<std::size_t>(options_.num_workers));
+  for (int w = 0; w < options_.num_workers; ++w) {
+    stats_.push_back(std::make_unique<WorkerStats>());
+  }
 }
 
 RtExecutor::~RtExecutor() { Stop(); }
@@ -52,15 +56,27 @@ void RtExecutor::WorkerMain(int worker) {
     (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
   }
 #endif
+  WorkerStats& stats = *stats_[static_cast<std::size_t>(worker)];
+  // Single-writer counters: load+store (no RMW) keeps the increment a
+  // plain cached write.
+  const auto bump = [](std::atomic<std::uint64_t>& cell) {
+    cell.store(cell.load(std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
+  };
   int idle_rounds = 0;
   while (running_.load(std::memory_order_acquire)) {
     if (body_(worker)) {
+      bump(stats.work_rounds);
       idle_rounds = 0;
       continue;
     }
     ++idle_rounds;
-    if (idle_rounds <= options_.spin_rounds) continue;
+    if (idle_rounds <= options_.spin_rounds) {
+      bump(stats.spins);
+      continue;
+    }
     if (idle_rounds <= options_.spin_rounds + options_.yield_rounds) {
+      bump(stats.yields);
       std::this_thread::yield();
       continue;
     }
@@ -68,6 +84,7 @@ void RtExecutor::WorkerMain(int worker) {
     // worst case, work waits one park_timeout.
     std::unique_lock<std::mutex> lock(mu_);
     if (!running_.load(std::memory_order_acquire)) break;
+    bump(stats.parks);
     parked_.fetch_add(1, std::memory_order_relaxed);
     cv_.wait_for(lock, options_.park_timeout);
     parked_.fetch_sub(1, std::memory_order_relaxed);

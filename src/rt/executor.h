@@ -12,7 +12,9 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -56,7 +58,35 @@ class RtExecutor {
     return running_.load(std::memory_order_acquire);
   }
 
+  /// Cumulative idle-behavior counters for one worker. Each cell has a
+  /// single writer (the worker itself, relaxed load+store); readers (the
+  /// stats poller, netlock_top) see slightly stale but tear-free values.
+  struct IdleStats {
+    std::uint64_t work_rounds = 0;  ///< Body invocations that found work.
+    std::uint64_t spins = 0;        ///< Empty rounds burned spinning.
+    std::uint64_t yields = 0;       ///< Empty rounds that yielded.
+    std::uint64_t parks = 0;        ///< Condvar parks (timeout or doorbell).
+  };
+  IdleStats idle_stats(int worker) const {
+    const WorkerStats& w = *stats_[static_cast<std::size_t>(worker)];
+    IdleStats out;
+    out.work_rounds = w.work_rounds.load(std::memory_order_relaxed);
+    out.spins = w.spins.load(std::memory_order_relaxed);
+    out.yields = w.yields.load(std::memory_order_relaxed);
+    out.parks = w.parks.load(std::memory_order_relaxed);
+    return out;
+  }
+
  private:
+  /// One cacheline per worker so the single-writer increments never
+  /// false-share.
+  struct alignas(64) WorkerStats {
+    std::atomic<std::uint64_t> work_rounds{0};
+    std::atomic<std::uint64_t> spins{0};
+    std::atomic<std::uint64_t> yields{0};
+    std::atomic<std::uint64_t> parks{0};
+  };
+
   void WorkerMain(int worker);
 
   Options options_;
@@ -66,6 +96,7 @@ class RtExecutor {
   std::mutex mu_;
   std::condition_variable cv_;
   std::vector<std::thread> threads_;
+  std::vector<std::unique_ptr<WorkerStats>> stats_;
 };
 
 }  // namespace netlock::rt

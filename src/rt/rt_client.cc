@@ -10,9 +10,15 @@ RtClientPool::RtClientPool(RtLockService& service,
     : service_(service),
       substrate_(substrate),
       config_(config),
-      factory_(std::move(factory)) {
+      factory_(std::move(factory)),
+      domain_(service.num_clients()) {
   NETLOCK_CHECK(config_.sessions_per_client >= 1);
   NETLOCK_CHECK(factory_ != nullptr);
+  if (config_.telemetry) {
+    c_commits_ = domain_.RegisterCounter("rt.commits");
+    h_lock_latency_ = domain_.RegisterHistogram("rt.lock_latency");
+    h_txn_latency_ = domain_.RegisterHistogram("rt.txn_latency");
+  }
   const int num_clients = service_.num_clients();
   threads_.reserve(static_cast<std::size_t>(num_clients));
   for (int c = 0; c < num_clients; ++c) {
@@ -111,9 +117,18 @@ bool RtClientPool::OnGrant(ClientThread& ct, const RtCompletion& comp) {
   NETLOCK_CHECK(s.active);
   NETLOCK_CHECK(comp.txn == s.txn);
   NETLOCK_CHECK(comp.lock == s.current.locks[s.next_lock].lock);
-  if (recording_.load(std::memory_order_acquire)) {
-    ++ct.metrics.lock_grants;
-    ct.metrics.lock_latency.Record(substrate_.Now() - s.lock_issue);
+  const bool rec = recording_.load(std::memory_order_acquire);
+  if (rec || config_.telemetry) {
+    // One clock read feeds both the windowed RunMetrics recorder and the
+    // always-on sharded histogram.
+    const SimTime now = substrate_.Now();
+    if (config_.telemetry) {
+      domain_.Record(ct.index, h_lock_latency_, now - s.lock_issue);
+    }
+    if (rec) {
+      ++ct.metrics.lock_grants;
+      ct.metrics.lock_latency.Record(now - s.lock_issue);
+    }
   }
   ++s.next_lock;
   if (s.next_lock < s.current.locks.size()) {
@@ -133,9 +148,16 @@ bool RtClientPool::OnGrant(ClientThread& ct, const RtCompletion& comp) {
   }
   ++ct.commits;
   ++s.committed;
-  if (recording_.load(std::memory_order_acquire)) {
-    ++ct.metrics.txn_commits;
-    ct.metrics.txn_latency.Record(substrate_.Now() - s.txn_start);
+  if (rec || config_.telemetry) {
+    const SimTime now = substrate_.Now();
+    if (config_.telemetry) {
+      domain_.Inc(ct.index, c_commits_);
+      domain_.Record(ct.index, h_txn_latency_, now - s.txn_start);
+    }
+    if (rec) {
+      ++ct.metrics.txn_commits;
+      ct.metrics.txn_latency.Record(now - s.txn_start);
+    }
   }
   const bool budget_done = config_.txns_per_session != 0 &&
                            s.committed >= config_.txns_per_session;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "common/telemetry.h"
 #include "common/types.h"
 #include "rt/rt_lock_service.h"
 #include "substrate/execution_substrate.h"
@@ -34,6 +35,11 @@ struct RtClientConfig {
   /// Per-session seeds follow the simulated testbed: seed * 1000003 + i.
   std::uint64_t seed = 1;
   std::size_t poll_batch = 64;
+  /// Always-on sharded latency histograms ("rt.lock_latency",
+  /// "rt.txn_latency"), one shard per client thread — what the live stats
+  /// poller and netlock_top read. Off for `--telemetry=off` overhead runs;
+  /// the RunMetrics recorders (measurement window only) are unaffected.
+  bool telemetry = true;
 };
 
 class RtClientPool {
@@ -77,6 +83,20 @@ class RtClientPool {
     return service_.num_clients() * config_.sessions_per_client;
   }
 
+  /// Sharded client-side telemetry (one shard per client thread); the
+  /// latency histograms cover the whole run, not just the measurement
+  /// window. Empty (no instruments) when config.telemetry is off.
+  TelemetryDomain& telemetry_domain() { return domain_; }
+  const TelemetryDomain& telemetry_domain() const { return domain_; }
+
+  /// Folds the domain into `registry` as deltas (commits, latency
+  /// histogram summaries). Safe to call repeatedly — the live poller does
+  /// every tick; the harness does once more after Join() so fixed-count
+  /// runs (no poller) publish too.
+  void PublishTelemetry(MetricsRegistry& registry) {
+    domain_.PublishTo(registry);
+  }
+
  private:
   struct Session {
     Rng rng{1};
@@ -111,6 +131,10 @@ class RtClientPool {
   ExecutionSubstrate& substrate_;
   RtClientConfig config_;
   WorkloadFactory factory_;
+  TelemetryDomain domain_;
+  TelemetryCounter c_commits_;
+  TelemetryHistogram h_lock_latency_;
+  TelemetryHistogram h_txn_latency_;
   std::vector<std::unique_ptr<ClientThread>> threads_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> recording_{false};

@@ -8,14 +8,30 @@
 namespace netlock::rt {
 
 RtLockService::RtLockService(Options options, ExecutionSubstrate& substrate)
-    : options_(options), substrate_(substrate) {
+    : options_(options), substrate_(substrate), domain_(options.cores) {
   NETLOCK_CHECK(options_.cores >= 1);
   NETLOCK_CHECK(options_.num_clients >= 1);
-  SimContext& context =
-      options_.context != nullptr ? *options_.context : SimContext::Default();
-  requests_metric_ = &context.metrics().Counter("rt.requests");
-  grants_metric_ = &context.metrics().Counter("rt.grants");
-  releases_metric_ = &context.metrics().Counter("rt.releases");
+  publish_context_ =
+      options_.context != nullptr ? options_.context : &SimContext::Default();
+
+  c_requests_ = domain_.RegisterCounter("rt.requests");
+  c_grants_ = domain_.RegisterCounter("rt.grants");
+  c_releases_ = domain_.RegisterCounter("rt.releases");
+  c_stale_releases_ = domain_.RegisterCounter("rt.stale_releases");
+  c_mismatched_releases_ = domain_.RegisterCounter("rt.mismatched_releases");
+  c_batches_ = domain_.RegisterCounter("rt.batches");
+  g_mailbox_depth_ = domain_.RegisterGauge("rt.mailbox_depth",
+                                           TelemetryDomain::GaugeAgg::kSum);
+  g_batch_ = domain_.RegisterGauge("rt.batch",
+                                   TelemetryDomain::GaugeAgg::kMax);
+
+  if (options_.recorder != nullptr) {
+    recorder_ = options_.recorder;
+  } else if (options_.telemetry) {
+    owned_recorder_ = std::make_unique<FlightRecorder>(
+        options_.cores, options_.flight_capacity);
+    recorder_ = owned_recorder_.get();
+  }
 
   cores_.reserve(static_cast<std::size_t>(options_.cores));
   req_rings_.resize(static_cast<std::size_t>(options_.cores));
@@ -56,9 +72,14 @@ RtLockService::~RtLockService() { Stop(); }
 void RtLockService::Start() { executor_->Start(); }
 
 void RtLockService::Stop() {
-  if (!executor_->running()) return;
-  WaitQuiesce();
-  executor_->Stop();
+  if (executor_->running()) {
+    WaitQuiesce();
+    executor_->Stop();
+  }
+  // Fold the sharded stats into the registry so snapshots/bench JSON see
+  // the same "rt.*" totals the shared-counter implementation produced.
+  // Delta-based, so a live poller having already published is fine.
+  domain_.PublishTo(publish_context_->metrics());
 }
 
 int RtLockService::CoreFor(LockId lock) const {
@@ -105,6 +126,14 @@ void RtLockService::WaitQuiesce() {
   }
 }
 
+std::size_t RtLockService::MailboxDepthApprox(int core) const {
+  std::size_t depth = 0;
+  for (const auto& ring : req_rings_[static_cast<std::size_t>(core)]) {
+    depth += ring->SizeApprox();
+  }
+  return depth;
+}
+
 bool RtLockService::ServiceCore(int core) {
   Core& c = *cores_[static_cast<std::size_t>(core)];
   RtRequest* buf = drain_buf_.data() +
@@ -114,24 +143,33 @@ bool RtLockService::ServiceCore(int core) {
     const std::size_t n = ring->PopBatch(buf, options_.drain_batch);
     if (n == 0) continue;
     any = true;
-    ++c.stats.batches;
-    c.stats.max_batch = std::max<std::uint64_t>(c.stats.max_batch, n);
-    for (std::size_t i = 0; i < n; ++i) Process(c, buf[i]);
+    domain_.Inc(core, c_batches_);
+    domain_.GaugeSet(core, g_batch_, n);  // hwm tracks the largest drain.
+    for (std::size_t i = 0; i < n; ++i) Process(core, c, buf[i]);
     processed_.fetch_add(n, std::memory_order_release);
+  }
+  if (any) {
+    domain_.GaugeSet(core, g_mailbox_depth_, MailboxDepthApprox(core));
+  } else if (domain_.GaugeShard(core, g_mailbox_depth_) != 0) {
+    domain_.GaugeSet(core, g_mailbox_depth_, 0);
   }
   return any;
 }
 
-void RtLockService::Process(Core& core, const RtRequest& req) {
+void RtLockService::Process(int core_idx, Core& core, const RtRequest& req) {
+  const SimTime now = substrate_.Now();
   if (req.op == RtRequest::Op::kAcquire) {
-    ++core.stats.requests;
-    requests_metric_->Inc();
+    domain_.Inc(core_idx, c_requests_);
+    if (recorder_ != nullptr) {
+      recorder_->Record(core_idx, FlightRecorder::Op::kAccept, req.lock,
+                        req.mode, req.txn, now, req.client);
+    }
     RecordEvent(core, RtEvent::Kind::kAccept, req.lock, req.mode, req.txn);
     QueueSlot slot;
     slot.mode = req.mode;
     slot.txn_id = req.txn;
     slot.client_node = req.client;  // Client-thread index, not a NodeId.
-    core.engine->Acquire(req.lock, slot, substrate_.Now());
+    core.engine->Acquire(req.lock, slot, now);
     return;
   }
   // Reserve the release's sequence number before entering the engine: the
@@ -143,19 +181,30 @@ void RtLockService::Process(Core& core, const RtRequest& req) {
     release_seq = event_seq_.fetch_add(1, std::memory_order_relaxed);
   }
   const ReleaseOutcome outcome = core.engine->Release(
-      req.lock, req.mode, req.txn, /*lease_forced=*/false, substrate_.Now());
+      req.lock, req.mode, req.txn, /*lease_forced=*/false, now);
   switch (outcome) {
     case ReleaseOutcome::kApplied:
-      ++core.stats.releases;
-      releases_metric_->Inc();
+      domain_.Inc(core_idx, c_releases_);
+      if (recorder_ != nullptr) {
+        recorder_->Record(core_idx, FlightRecorder::Op::kRelease, req.lock,
+                          req.mode, req.txn, now, req.client);
+      }
       AppendEvent(core, release_seq, RtEvent::Kind::kRelease, req.lock,
                   req.mode, req.txn);
       break;
     case ReleaseOutcome::kStale:
-      ++core.stats.stale_releases;
+      domain_.Inc(core_idx, c_stale_releases_);
+      if (recorder_ != nullptr) {
+        recorder_->Record(core_idx, FlightRecorder::Op::kStaleRelease,
+                          req.lock, req.mode, req.txn, now, req.client);
+      }
       break;
     case ReleaseOutcome::kMismatched:
-      ++core.stats.mismatched_releases;
+      domain_.Inc(core_idx, c_mismatched_releases_);
+      if (recorder_ != nullptr) {
+        recorder_->Record(core_idx, FlightRecorder::Op::kMismatchedRelease,
+                          req.lock, req.mode, req.txn, now, req.client);
+      }
       break;
   }
 }
@@ -184,8 +233,12 @@ void RtLockService::Core::Sink::DeliverGrant(LockId lock,
                                              const QueueSlot& slot) {
   RtLockService& svc = *service;
   Core& c = *svc.cores_[static_cast<std::size_t>(core)];
-  ++c.stats.grants;
-  svc.grants_metric_->Inc();
+  svc.domain_.Inc(core, svc.c_grants_);
+  if (svc.recorder_ != nullptr) {
+    svc.recorder_->Record(core, FlightRecorder::Op::kGrant, lock, slot.mode,
+                          slot.txn_id, slot.timestamp,
+                          static_cast<std::uint32_t>(slot.client_node));
+  }
   svc.RecordEvent(c, RtEvent::Kind::kGrant, lock, slot.mode, slot.txn_id);
   RtCompletion comp;
   comp.lock = lock;
@@ -202,17 +255,27 @@ void RtLockService::Core::Sink::DeliverGrant(LockId lock,
   }
 }
 
+RtLockService::Stats RtLockService::CoreStats(int core) const {
+  Stats s;
+  s.requests = domain_.CounterShard(core, c_requests_);
+  s.grants = domain_.CounterShard(core, c_grants_);
+  s.releases = domain_.CounterShard(core, c_releases_);
+  s.stale_releases = domain_.CounterShard(core, c_stale_releases_);
+  s.mismatched_releases = domain_.CounterShard(core, c_mismatched_releases_);
+  s.batches = domain_.CounterShard(core, c_batches_);
+  s.max_batch = domain_.GaugeShardHighWater(core, g_batch_);
+  return s;
+}
+
 RtLockService::Stats RtLockService::TotalStats() const {
   Stats total;
-  for (const auto& core : cores_) {
-    total.requests += core->stats.requests;
-    total.grants += core->stats.grants;
-    total.releases += core->stats.releases;
-    total.stale_releases += core->stats.stale_releases;
-    total.mismatched_releases += core->stats.mismatched_releases;
-    total.batches += core->stats.batches;
-    total.max_batch = std::max(total.max_batch, core->stats.max_batch);
-  }
+  total.requests = domain_.CounterTotal(c_requests_);
+  total.grants = domain_.CounterTotal(c_grants_);
+  total.releases = domain_.CounterTotal(c_releases_);
+  total.stale_releases = domain_.CounterTotal(c_stale_releases_);
+  total.mismatched_releases = domain_.CounterTotal(c_mismatched_releases_);
+  total.batches = domain_.CounterTotal(c_batches_);
+  total.max_batch = domain_.GaugeHighWater(g_batch_);
   return total;
 }
 

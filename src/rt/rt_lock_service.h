@@ -10,6 +10,14 @@
 // compiled once, not forked. Blocked acquires park in the engine's per-lock
 // wait queue (no core ever spins on a held lock); grants flow back through
 // per-(client, core) completion rings.
+//
+// Observability: every per-request statistic lives in a sharded
+// TelemetryDomain (one cache-line-isolated shard per core, single-writer
+// plain stores — no shared atomic RMW on the hot path); Stop() folds the
+// domain into the context registry so bench reports see the same
+// "rt.requests"/"rt.grants"/... totals as before. A FlightRecorder ring
+// (owned by default, injectable for tests) keeps the last few thousand
+// protocol events per core for crash/violation autopsy.
 #pragma once
 
 #include <atomic>
@@ -17,8 +25,9 @@
 #include <memory>
 #include <vector>
 
-#include "common/metrics.h"
+#include "common/flight_recorder.h"
 #include "common/sim_context.h"
+#include "common/telemetry.h"
 #include "common/types.h"
 #include "core/lock_engine.h"
 #include "rt/executor.h"
@@ -65,8 +74,15 @@ class RtLockService {
     std::size_t drain_batch = 64;
     bool record_events = false;  ///< Oracle replay log (test builds).
     bool pin_threads = false;
-    /// Telemetry context; nullptr = process default. Counters are updated
-    /// from worker threads — safe since metrics became atomics.
+    /// Flight recorder on the hot path. On by default (a record is a few
+    /// plain stores); `--telemetry=off` benches disable it to measure the
+    /// overhead. An external `recorder` overrides ownership either way
+    /// (the fuzzer and violation tests inject one they keep after Stop).
+    bool telemetry = true;
+    FlightRecorder* recorder = nullptr;
+    std::size_t flight_capacity = 4096;  ///< Per-core ring (owned recorder).
+    /// Telemetry context; nullptr = process default. The sharded domain is
+    /// folded into this context's registry at Stop().
     SimContext* context = nullptr;
   };
 
@@ -87,7 +103,8 @@ class RtLockService {
   RtLockService& operator=(const RtLockService&) = delete;
 
   void Start();
-  /// Drains everything already submitted, then stops the workers.
+  /// Drains everything already submitted, stops the workers, and folds the
+  /// telemetry domain into the context registry.
   void Stop();
 
   /// RSS hash, identical to the simulated LockServer's core dispatch.
@@ -108,6 +125,9 @@ class RtLockService {
   /// Summed per-core stats. Exact once quiesced.
   Stats TotalStats() const;
 
+  /// One core's slice of the stats (live view; exact once quiesced).
+  Stats CoreStats(int core) const;
+
   /// Queued entries still held across all cores (leak check; call after
   /// Stop()).
   std::size_t TotalQueueDepth() const;
@@ -118,9 +138,22 @@ class RtLockService {
   int cores() const { return options_.cores; }
   int num_clients() const { return options_.num_clients; }
 
+  /// The sharded per-core stats store (live readers: poller, netlock_top).
+  TelemetryDomain& telemetry_domain() { return domain_; }
+  const TelemetryDomain& telemetry_domain() const { return domain_; }
+
+  /// The hot-path flight recorder; nullptr when telemetry is off and no
+  /// external recorder was injected.
+  FlightRecorder* flight_recorder() const { return recorder_; }
+
+  const RtExecutor& executor() const { return *executor_; }
+
+  /// Approximate request backlog parked in `core`'s mailboxes right now.
+  std::size_t MailboxDepthApprox(int core) const;
+
  private:
-  /// One worker core: engine + sink + mailbox cursor + stats, padded so
-  /// cores never false-share.
+  /// One worker core: engine + sink + replay log, padded so cores never
+  /// false-share. Counters live in the TelemetryDomain's shards.
   struct alignas(64) Core {
     /// Sink bridging the shared LockEngine to the completion rings.
     struct Sink final : public GrantSink {
@@ -130,12 +163,11 @@ class RtLockService {
     };
     Sink sink;
     std::unique_ptr<LockEngine> engine;
-    Stats stats;
     std::vector<RtEvent> events;
   };
 
   bool ServiceCore(int core);
-  void Process(Core& core, const RtRequest& req);
+  void Process(int core_idx, Core& core, const RtRequest& req);
   void RecordEvent(Core& core, RtEvent::Kind kind, LockId lock,
                    LockMode mode, TxnId txn);
   void AppendEvent(Core& core, std::uint64_t seq, RtEvent::Kind kind,
@@ -155,10 +187,20 @@ class RtLockService {
   std::atomic<std::uint64_t> processed_{0};
   std::atomic<std::uint64_t> event_seq_{0};
 
-  /// Registry instruments (atomic counters; shared across cores).
-  MetricCounter* requests_metric_;
-  MetricCounter* grants_metric_;
-  MetricCounter* releases_metric_;
+  /// Sharded per-core stats (one shard per worker core).
+  TelemetryDomain domain_;
+  TelemetryCounter c_requests_;
+  TelemetryCounter c_grants_;
+  TelemetryCounter c_releases_;
+  TelemetryCounter c_stale_releases_;
+  TelemetryCounter c_mismatched_releases_;
+  TelemetryCounter c_batches_;
+  TelemetryGauge g_mailbox_depth_;  ///< kSum: backlog across cores.
+  TelemetryGauge g_batch_;          ///< kMax: hwm = largest drain batch.
+
+  std::unique_ptr<FlightRecorder> owned_recorder_;
+  FlightRecorder* recorder_ = nullptr;
+  SimContext* publish_context_ = nullptr;
 };
 
 }  // namespace netlock::rt

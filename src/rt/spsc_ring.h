@@ -81,6 +81,14 @@ class SpscRing {
            tail_.load(std::memory_order_acquire);
   }
 
+  /// Approximate occupancy — two relaxed loads, safe from any thread. The
+  /// stats poller samples this for the live mailbox-depth gauge.
+  std::size_t SizeApprox() const {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
  private:
   std::vector<T> slots_;
   std::size_t mask_ = 0;

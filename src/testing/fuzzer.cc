@@ -438,6 +438,13 @@ RunReport ScheduleFuzzer::RunSchedule(const Schedule& schedule,
   config.workload_factory = MicroFactory(micro);
 
   const std::uint64_t bug_mod = options.bug_txn_mod;
+  // Optional autopsy trail: client releases land on shard 0, each rack's
+  // switch events on shard tag % shards (tags start at 1, so rack shards
+  // never collide with the release shard when the recorder has >= racks+2
+  // shards, as netlock_fuzz sizes it). The sim is single-threaded, so the
+  // one-writer-per-shard contract holds trivially.
+  FlightRecorder* const recorder = options.flight_recorder;
+  Simulator* sim_ptr = nullptr;  // Set once the testbed exists.
   config.session_wrapper =
       [&](std::unique_ptr<LockSession> inner) -> std::unique_ptr<LockSession> {
     // Leaf nodes for the fault driver: a single-rack testbed hands out
@@ -459,10 +466,18 @@ RunReport ScheduleFuzzer::RunSchedule(const Schedule& schedule,
       wrapped->set_suppress_release(
           [bug_mod](LockId, TxnId txn) { return txn % bug_mod == 3; });
     }
+    if (recorder != nullptr) {
+      wrapped->set_release_observer(
+          [recorder, &sim_ptr](LockId lock, LockMode mode, TxnId txn) {
+            recorder->Record(0, FlightRecorder::Op::kRelease, lock, mode,
+                             txn, sim_ptr != nullptr ? sim_ptr->now() : 0);
+          });
+    }
     return wrapped;
   };
 
   Testbed testbed(config);
+  sim_ptr = &testbed.sim();
   testbed.sharded().InstallKnapsack(
       UniformMicroDemands(micro, testbed.num_engines()));
   ControlPlane& control = testbed.netlock().control_plane();
@@ -506,20 +521,36 @@ RunReport ScheduleFuzzer::RunSchedule(const Schedule& schedule,
   const bool fifo = options.check_fifo && schedule.plan.Benign();
   std::uint64_t digest = 0xcbf29ce484222325ull;
   const auto observe = [&](LockSwitch& sw, std::uint64_t tag) {
-    sw.set_grant_observer([&oracle, &digest, fifo, tag](
+    const int rec_shard =
+        recorder != nullptr
+            ? static_cast<int>(
+                  tag % static_cast<std::uint64_t>(recorder->shards()))
+            : 0;
+    sw.set_grant_observer([&oracle, &digest, fifo, tag, recorder, rec_shard,
+                           &sim = testbed.sim()](
                               LockId lock, TxnId txn, LockMode mode,
-                              NodeId) {
+                              NodeId node) {
       digest = Fold(digest, tag);
       digest = Fold(digest, lock);
       digest = Fold(digest, txn);
       digest = Fold(digest, static_cast<std::uint64_t>(mode));
       if (fifo) oracle.OnSwitchGrant(lock, txn, mode);
+      if (recorder != nullptr) {
+        recorder->Record(rec_shard, FlightRecorder::Op::kGrant, lock, mode,
+                         txn, sim.now(), static_cast<std::uint32_t>(node));
+      }
     });
-    if (fifo) {
-      sw.set_queue_observer(
-          [&oracle](LockId lock, TxnId txn, LockMode mode, bool overflow) {
-            oracle.OnSwitchAccept(lock, txn, mode, overflow);
-          });
+    if (fifo || recorder != nullptr) {
+      sw.set_queue_observer([&oracle, fifo, recorder, rec_shard,
+                             &sim = testbed.sim()](LockId lock, TxnId txn,
+                                                   LockMode mode,
+                                                   bool overflow) {
+        if (fifo) oracle.OnSwitchAccept(lock, txn, mode, overflow);
+        if (recorder != nullptr) {
+          recorder->Record(rec_shard, FlightRecorder::Op::kAccept, lock,
+                           mode, txn, sim.now());
+        }
+      });
     }
   };
   for (int r = 0; r < racks; ++r) {

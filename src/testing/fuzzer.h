@@ -25,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/flight_recorder.h"
 #include "sim/simulator.h"
 #include "testing/fault_plan.h"
 
@@ -89,6 +90,11 @@ struct FuzzOptions {
   /// How long after the workload stops the run may take to quiesce before
   /// liveness violations are reported.
   SimTime settle_budget = 400 * kMillisecond;
+  /// Optional flight recorder: the run's protocol events (accepts, grants,
+  /// client releases) are recorded into it, shard = rack (releases on
+  /// shard 0). netlock_fuzz re-runs a shrunk failing schedule with one
+  /// attached and dumps it next to the repro file.
+  FlightRecorder* flight_recorder = nullptr;
 };
 
 class ScheduleFuzzer {

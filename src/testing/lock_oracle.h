@@ -223,6 +223,10 @@ class OracleSession : public LockSession {
   }
 
   void Release(LockId lock, LockMode mode, TxnId txn) override {
+    // The observer sees every real release, including the ones suppressed
+    // from the oracle below — a flight recorder wired here records what the
+    // client actually did, which is exactly what an autopsy needs.
+    if (release_observer_) release_observer_(lock, mode, txn);
     if (!suppress_release_ || !suppress_release_(lock, txn)) {
       oracle_.OnRelease(lock, mode, txn);
     }
@@ -240,10 +244,18 @@ class OracleSession : public LockSession {
     suppress_release_ = std::move(pred);
   }
 
+  /// Observes every client release (even oracle-suppressed ones); the
+  /// fuzzer wires its flight recorder here.
+  void set_release_observer(
+      std::function<void(LockId, LockMode, TxnId)> observer) {
+    release_observer_ = std::move(observer);
+  }
+
  private:
   std::unique_ptr<LockSession> inner_;
   LockOracle& oracle_;
   std::function<bool(LockId, TxnId)> suppress_release_;
+  std::function<void(LockId, LockMode, TxnId)> release_observer_;
 };
 
 }  // namespace netlock::testing

@@ -1,0 +1,148 @@
+// Tests for the per-core flight recorder: snapshot merge order, ring
+// wrap-around retention, text dump round-tripping and determinism, dump
+// files on disk, and concurrent shard writers against a snapshotting
+// reader (run under TSan in CI).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flight_recorder.h"
+
+namespace netlock {
+namespace {
+
+using Op = FlightRecorder::Op;
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream file(path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+TEST(FlightRecorderTest, SnapshotMergesSortedByTimeThenShard) {
+  FlightRecorder recorder(2, 16);
+  recorder.Record(1, Op::kAccept, 7, LockMode::kExclusive, 100, /*ts=*/30);
+  recorder.Record(0, Op::kAccept, 7, LockMode::kExclusive, 101, /*ts=*/10);
+  recorder.Record(0, Op::kGrant, 7, LockMode::kExclusive, 101, /*ts=*/20,
+                  /*client=*/3);
+  recorder.Record(1, Op::kGrant, 7, LockMode::kShared, 100, /*ts=*/20);
+  const std::vector<FlightRecorder::Event> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].ts, 10u);
+  EXPECT_EQ(events[0].txn, 101u);
+  // Equal timestamps order by shard.
+  EXPECT_EQ(events[1].ts, 20u);
+  EXPECT_EQ(events[1].shard, 0u);
+  EXPECT_EQ(events[1].client, 3u);
+  EXPECT_EQ(events[2].ts, 20u);
+  EXPECT_EQ(events[2].shard, 1u);
+  EXPECT_EQ(events[2].mode, LockMode::kShared);
+  EXPECT_EQ(events[3].ts, 30u);
+  EXPECT_EQ(recorder.recorded(), 4u);
+}
+
+TEST(FlightRecorderTest, WrapAroundKeepsMostRecentWindow) {
+  FlightRecorder recorder(1, 16);  // Capacity rounds to exactly 16.
+  ASSERT_EQ(recorder.capacity_per_shard(), 16u);
+  const std::uint64_t kTotal = 100;
+  for (std::uint64_t i = 0; i < kTotal; ++i) {
+    recorder.Record(0, Op::kMark, static_cast<LockId>(i),
+                    LockMode::kExclusive, i, /*ts=*/1000 + i);
+  }
+  EXPECT_EQ(recorder.recorded(), kTotal);
+  const std::vector<FlightRecorder::Event> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 16u);
+  // The retained window is exactly the last 16 events, in order.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, kTotal - 16 + i);
+    EXPECT_EQ(events[i].txn, kTotal - 16 + i);
+  }
+}
+
+TEST(FlightRecorderTest, TextRoundTripAndDeterminism) {
+  FlightRecorder recorder(2, 16);
+  recorder.Record(0, Op::kAccept, 1, LockMode::kExclusive, 11, 5);
+  recorder.Record(1, Op::kGrant, 1, LockMode::kExclusive, 11, 6, 2);
+  recorder.Record(0, Op::kRelease, 1, LockMode::kExclusive, 11, 7);
+  recorder.Record(1, Op::kStaleRelease, 2, LockMode::kShared, 12, 8);
+  recorder.Record(0, Op::kMismatchedRelease, 3, LockMode::kExclusive, 13, 9);
+  const std::string text = recorder.ToText();
+  // Quiesced recorder: repeated dumps are byte-identical.
+  EXPECT_EQ(text, recorder.ToText());
+  std::vector<FlightRecorder::Event> parsed;
+  ASSERT_TRUE(FlightRecorder::ParseText(text, &parsed));
+  EXPECT_EQ(parsed, recorder.Snapshot());
+}
+
+TEST(FlightRecorderTest, ParseTextRejectsMalformedLines) {
+  std::vector<FlightRecorder::Event> parsed;
+  EXPECT_FALSE(FlightRecorder::ParseText("ev ts=banana\n", &parsed));
+  parsed.clear();
+  EXPECT_FALSE(FlightRecorder::ParseText(
+      "ev ts=1 shard=0 seq=0 op=warp lock=1 mode=X txn=1 client=0\n",
+      &parsed));
+  parsed.clear();
+  // Comments and blank lines are fine.
+  EXPECT_TRUE(FlightRecorder::ParseText("# header\n\n", &parsed));
+  EXPECT_TRUE(parsed.empty());
+}
+
+TEST(FlightRecorderTest, DumpWritesTextAndJson) {
+  FlightRecorder recorder(1, 16);
+  recorder.Record(0, Op::kGrant, 42, LockMode::kExclusive, 9, 123, 1);
+  const std::string prefix = ::testing::TempDir() + "/fr_dump_test";
+  ASSERT_TRUE(recorder.Dump(prefix));
+  const std::string text = ReadFile(prefix + ".txt");
+  EXPECT_EQ(text, recorder.ToText());
+  std::vector<FlightRecorder::Event> parsed;
+  ASSERT_TRUE(FlightRecorder::ParseText(text, &parsed));
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].lock, 42u);
+  EXPECT_EQ(parsed[0].client, 1u);
+  const std::string json = ReadFile(prefix + ".json");
+  EXPECT_NE(json.find("\"op\": \"grant\""), std::string::npos);
+  EXPECT_NE(json.find("\"lock\": 42"), std::string::npos);
+}
+
+// One writer per shard racing a snapshotting reader — the crash-dump
+// contract. Run under TSan in CI; the final quiesced snapshot is exact.
+TEST(FlightRecorderTest, ConcurrentShardWritersWithSnapshots) {
+  constexpr int kShards = 4;
+  constexpr std::uint64_t kPerShard = 20000;
+  FlightRecorder recorder(kShards, 256);
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)recorder.Snapshot();
+      (void)recorder.recorded();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int s = 0; s < kShards; ++s) {
+    writers.emplace_back([&, s] {
+      for (std::uint64_t i = 0; i < kPerShard; ++i) {
+        recorder.Record(s, Op::kMark, static_cast<LockId>(i & 0xffff),
+                        LockMode::kExclusive, i, /*ts=*/i);
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(recorder.recorded(), kShards * kPerShard);
+  const std::vector<FlightRecorder::Event> events = recorder.Snapshot();
+  EXPECT_EQ(events.size(), static_cast<std::size_t>(kShards) * 256);
+  for (const FlightRecorder::Event& ev : events) {
+    EXPECT_GE(ev.seq, kPerShard - 256);
+  }
+}
+
+}  // namespace
+}  // namespace netlock

@@ -6,12 +6,17 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <vector>
 
+#include "common/flight_recorder.h"
 #include "common/sim_context.h"
 #include "harness/backend.h"
 #include "rt/rt_lock_service.h"
 #include "testing/lock_oracle.h"
+#include "testing/rt_replay.h"
 #include "workload/micro.h"
 
 namespace netlock {
@@ -35,29 +40,6 @@ BackendRunConfig SmallRun() {
   config.rt_cores = 2;
   config.rt_client_threads = 2;
   return config;
-}
-
-/// Replays the merged per-core event log through the single-threaded
-/// LockOracle. The sequence numbers impose a linearization consistent with
-/// each core's processing order (accept before grant, release before the
-/// grants it cascades), so any overlap or FIFO inversion the oracle finds
-/// is a real protocol/sharding bug.
-void ReplayThroughOracle(const std::vector<rt::RtEvent>& events,
-                         testing::LockOracle& oracle) {
-  for (const rt::RtEvent& ev : events) {
-    switch (ev.kind) {
-      case rt::RtEvent::Kind::kAccept:
-        oracle.OnSwitchAccept(ev.lock, ev.txn, ev.mode, false);
-        break;
-      case rt::RtEvent::Kind::kGrant:
-        oracle.OnGrant(ev.lock, ev.mode, ev.txn);
-        oracle.OnSwitchGrant(ev.lock, ev.txn, ev.mode);
-        break;
-      case rt::RtEvent::Kind::kRelease:
-        oracle.OnRelease(ev.lock, ev.mode, ev.txn);
-        break;
-    }
-  }
 }
 
 TEST(RtBackendTest, ParseBackendKind) {
@@ -102,7 +84,7 @@ TEST(RtBackendTest, OracleHoldsOverMulticoreGrantStream) {
   ASSERT_FALSE(result.events.empty());
 
   testing::LockOracle oracle;
-  ReplayThroughOracle(result.events, oracle);
+  testing::ReplayRtEventsThroughOracle(result.events, oracle);
   EXPECT_EQ(oracle.violations(), 0u)
       << (oracle.violation_log().empty() ? "" : oracle.violation_log()[0]);
   EXPECT_EQ(oracle.fifo_violations(), 0u);
@@ -143,6 +125,131 @@ TEST(RtBackendTest, TimedRunReportsWallClockWindow) {
   EXPECT_GT(result.wall_seconds, 0.0);
   EXPECT_GT(result.metrics.lock_requests, 0u);  // Grants observed in window.
   EXPECT_EQ(result.residual_queue_depth, 0u);
+}
+
+TEST(RtBackendTest, TelemetryCountsMatchRunTotals) {
+  SimContext context;
+  BackendRunConfig config = SmallRun();
+  config.context = &context;
+  const BackendRunResult result =
+      RunMicroFixedCount(BackendKind::kRt, config);
+  // Per-core grant shards sum to the run total.
+  std::uint64_t summed = 0;
+  for (const std::uint64_t g : result.core_grants) summed += g;
+  ASSERT_EQ(result.core_grants.size(),
+            static_cast<std::size_t>(config.rt_cores));
+  EXPECT_EQ(summed, result.service_grants);
+  // Stop() published the domain into the run's registry as deltas.
+  EXPECT_EQ(context.metrics().Counter("rt.grants").value(),
+            result.service_grants);
+  // Fully drained fixed-count run: every acquire was granted and released.
+  EXPECT_EQ(context.metrics().Counter("rt.requests").value(),
+            result.service_grants);
+  EXPECT_EQ(context.metrics().Counter("rt.releases").value(),
+            result.service_grants);
+  EXPECT_GT(context.metrics().Counter("rt.batches").value(), 0u);
+  EXPECT_EQ(context.metrics().Counter("rt.commits").value(),
+            result.commits);
+  // Client-side latency histograms were recorded and published.
+  EXPECT_GT(context.metrics().Counter("rt.lock_latency.count").value(), 0u);
+  EXPECT_GT(context.metrics().Counter("rt.txn_latency.count").value(), 0u);
+  EXPECT_GT(context.metrics().Gauge("rt.lock_latency.p99_ns").value(), 0u);
+}
+
+// The live poller runs over the measurement window of a timed run and the
+// result carries its time series — the section BENCH_rt_mlps.json embeds.
+TEST(RtBackendTest, TimedRunCarriesTimeSeries) {
+  SimContext context;
+  BackendRunConfig config = SmallRun();
+  config.context = &context;
+  config.workload.num_locks = 10'000;
+  config.workload.locks_per_txn = 1;
+  config.workload.zipf_alpha = 0.0;
+  config.rt_poll_interval = 5'000'000;  // 5 ms buckets.
+  const BackendRunResult result = RunMicroTimed(
+      BackendKind::kRt, config, /*warmup=*/5'000'000, /*measure=*/60'000'000);
+  ASSERT_TRUE(result.has_time_series);
+  const TimeSeriesStore& ts = result.time_series;
+  ASSERT_GT(ts.num_series(), 0u);
+  ASSERT_GT(ts.num_buckets(), 0u);
+  // Bucket midpoints advance monotonically.
+  for (std::size_t b = 1; b < ts.num_buckets(); ++b) {
+    EXPECT_GT(ts.BucketTimeSeconds(b), ts.BucketTimeSeconds(b - 1));
+  }
+  // The grant-rate series exists and saw traffic in some bucket.
+  bool found_grants = false;
+  for (std::size_t s = 0; s < ts.num_series(); ++s) {
+    if (ts.series_name(s) != "rt.grants") continue;
+    found_grants = true;
+    EXPECT_TRUE(ts.series_is_rate(s));
+    std::uint64_t total = 0;
+    for (std::size_t b = 0; b < ts.num_buckets(); ++b) {
+      total += ts.Delta(s, b);
+    }
+    EXPECT_GT(total, 0u);
+  }
+  EXPECT_TRUE(found_grants);
+}
+
+TEST(RtBackendTest, TelemetryOffStillCountsAndSkipsHistograms) {
+  SimContext context;
+  BackendRunConfig config = SmallRun();
+  config.context = &context;
+  config.rt_telemetry = false;
+  const BackendRunResult result =
+      RunMicroFixedCount(BackendKind::kRt, config);
+  // The sharded counters ARE the service's stats store, so totals survive
+  // with telemetry off; the client latency histograms do not.
+  EXPECT_EQ(context.metrics().Counter("rt.grants").value(),
+            result.service_grants);
+  EXPECT_EQ(context.metrics().Counter("rt.lock_latency.count").value(), 0u);
+  // The recording-window metrics still work (they are not telemetry).
+  EXPECT_GT(result.metrics.lock_grants, 0u);
+  EXPECT_FALSE(result.metrics.lock_latency.empty());
+}
+
+// Seeds a mutual-exclusion violation by dropping some releases from the
+// oracle replay, then asserts the flight recorder produces a dump that
+// round-trips through ParseText — the autopsy workflow end to end.
+TEST(RtBackendTest, SeededViolationDumpsFlightRecorder) {
+  SimContext context;
+  FlightRecorder recorder(/*shards=*/4, /*capacity_per_shard=*/4096);
+  BackendRunConfig config = SmallRun();
+  config.context = &context;
+  config.rt_cores = 4;
+  config.rt_client_threads = 4;
+  config.rt_record_events = true;
+  config.rt_flight_recorder = &recorder;
+  const BackendRunResult result =
+      RunMicroFixedCount(BackendKind::kRt, config);
+  ASSERT_FALSE(result.events.empty());
+  EXPECT_GT(recorder.recorded(), 0u);
+
+  testing::LockOracle oracle;
+  testing::RtReplayOptions replay;
+  replay.drop = [](const rt::RtEvent& ev) {
+    return ev.kind == rt::RtEvent::Kind::kRelease && ev.txn % 7 == 3;
+  };
+  replay.recorder = &recorder;
+  const std::string prefix = ::testing::TempDir() + "/rt_seeded_violation";
+  replay.dump_prefix = prefix;
+  const std::uint64_t violations =
+      testing::ReplayRtEventsThroughOracle(result.events, oracle, replay);
+  ASSERT_GT(violations, 0u);  // The seeded bug must be caught...
+
+  // ...and the dump must exist and parse.
+  std::ifstream file(prefix + ".txt");
+  ASSERT_TRUE(file.good());
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  std::vector<FlightRecorder::Event> parsed;
+  ASSERT_TRUE(FlightRecorder::ParseText(buffer.str(), &parsed));
+  EXPECT_FALSE(parsed.empty());
+  bool saw_grant = false;
+  for (const FlightRecorder::Event& ev : parsed) {
+    if (ev.op == FlightRecorder::Op::kGrant) saw_grant = true;
+  }
+  EXPECT_TRUE(saw_grant);
 }
 
 }  // namespace

@@ -9,7 +9,9 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "common/metrics.h"
 #include "common/tracelog.h"
@@ -275,6 +277,49 @@ TEST(TraceLogTest, RequestIdNeverZeroAndStable) {
   EXPECT_NE(TraceLog::RequestId(0, 0), 0u);
   EXPECT_EQ(TraceLog::RequestId(7, 9), TraceLog::RequestId(7, 9));
   EXPECT_NE(TraceLog::RequestId(7, 9), TraceLog::RequestId(9, 7));
+}
+
+TEST(TraceLogTest, ConcurrentPushesFromManyThreadsAllLand) {
+  TraceLog log;
+  log.Enable(1);
+  log.SetCapacity(1 << 20);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Instant(TraceTrack::kClient, "mt", t * kPerThread + i);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(log.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(log.dropped(), 0u);
+  EXPECT_TRUE(IsValidJson(log.ToJson()));
+}
+
+TEST(TraceLogTest, ConcurrentPushesRespectCapacityBudget) {
+  TraceLog log;
+  log.Enable(1);
+  log.SetCapacity(1000);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Instant(TraceTrack::kClient, "cap", i);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // The budgeted claim can round capacity down to a chunk boundary per
+  // thread but never exceeds it, and every rejected push is counted.
+  EXPECT_LE(log.size(), 1000u);
+  EXPECT_GT(log.size(), 0u);
+  EXPECT_EQ(log.size() + log.dropped(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
 }
 
 TEST(TraceLogTest, SamplingSelectsStableSubset) {

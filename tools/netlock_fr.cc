@@ -1,0 +1,164 @@
+// netlock_fr: pretty-printer for flight-recorder dumps.
+//
+// Loads a text dump written by FlightRecorder::Dump (the `.fr.txt` file a
+// violated fuzz schedule or a crashed rt run leaves behind) and prints a
+// summary — event and per-op counts, time span, shards — plus the tail of
+// the event stream, which is where the autopsy usually lives.
+//
+//   netlock_fr fuzz_repro.txt.fr.txt            # summary + last 32 events
+//   netlock_fr --tail=128 crash.fr.txt          # longer tail
+//   netlock_fr --lock=17 crash.fr.txt           # only events for lock 17
+//   netlock_fr --txn=42 crash.fr.txt            # only events for txn 42
+//
+// Exits 0 on success, 1 on a malformed dump, 2 on usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/flight_recorder.h"
+
+namespace {
+
+using netlock::FlightRecorder;
+
+struct CliOptions {
+  std::string path;
+  std::size_t tail = 32;
+  bool have_lock = false;
+  netlock::LockId lock = 0;
+  bool have_txn = false;
+  netlock::TxnId txn = 0;
+};
+
+bool ParseFlag(std::string_view arg, std::string_view name,
+               std::string_view* value) {
+  if (arg.substr(0, name.size()) != name) return false;
+  arg.remove_prefix(name.size());
+  if (arg.empty() || arg[0] != '=') return false;
+  *value = arg.substr(1);
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string_view value;
+    if (ParseFlag(arg, "--tail", &value)) {
+      out->tail = static_cast<std::size_t>(
+          std::strtoull(std::string(value).c_str(), nullptr, 10));
+    } else if (ParseFlag(arg, "--lock", &value)) {
+      out->have_lock = true;
+      out->lock = static_cast<netlock::LockId>(
+          std::strtoull(std::string(value).c_str(), nullptr, 10));
+    } else if (ParseFlag(arg, "--txn", &value)) {
+      out->have_txn = true;
+      out->txn = std::strtoull(std::string(value).c_str(), nullptr, 10);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", std::string(arg).c_str());
+      return false;
+    } else if (out->path.empty()) {
+      out->path = std::string(arg);
+    } else {
+      std::fprintf(stderr, "more than one dump path given\n");
+      return false;
+    }
+  }
+  if (out->path.empty()) {
+    std::fprintf(stderr,
+                 "usage: netlock_fr [--tail=N] [--lock=L] [--txn=T] "
+                 "<dump.fr.txt>\n");
+    return false;
+  }
+  return true;
+}
+
+void PrintEvent(const FlightRecorder::Event& ev) {
+  std::printf("  %12llu  shard=%-2u seq=%-8llu %-18s lock=%-8u mode=%c "
+              "txn=%llu client=%u\n",
+              static_cast<unsigned long long>(ev.ts),
+              static_cast<unsigned>(ev.shard),
+              static_cast<unsigned long long>(ev.seq),
+              FlightRecorder::ToString(ev.op), ev.lock,
+              ev.mode == netlock::LockMode::kExclusive ? 'X' : 'S',
+              static_cast<unsigned long long>(ev.txn), ev.client);
+}
+
+int Run(const CliOptions& cli) {
+  std::ifstream file(cli.path);
+  if (!file) {
+    std::fprintf(stderr, "netlock_fr: cannot open %s\n", cli.path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::string text = buffer.str();
+
+  std::vector<FlightRecorder::Event> events;
+  if (!FlightRecorder::ParseText(text, &events)) {
+    std::fprintf(stderr,
+                 "netlock_fr: malformed dump %s (parsed %zu events before "
+                 "the bad line)\n",
+                 cli.path.c_str(), events.size());
+    return 1;
+  }
+
+  std::vector<FlightRecorder::Event> selected;
+  selected.reserve(events.size());
+  for (const FlightRecorder::Event& ev : events) {
+    if (cli.have_lock && ev.lock != cli.lock) continue;
+    if (cli.have_txn && ev.txn != cli.txn) continue;
+    selected.push_back(ev);
+  }
+
+  std::map<std::string, std::uint64_t> by_op;
+  std::map<unsigned, std::uint64_t> by_shard;
+  for (const FlightRecorder::Event& ev : selected) {
+    ++by_op[FlightRecorder::ToString(ev.op)];
+    ++by_shard[static_cast<unsigned>(ev.shard)];
+  }
+
+  std::printf("%s: %zu events", cli.path.c_str(), selected.size());
+  if (selected.size() != events.size()) {
+    std::printf(" (selected from %zu)", events.size());
+  }
+  std::printf("\n");
+  if (!selected.empty()) {
+    const std::uint64_t t0 = selected.front().ts;
+    const std::uint64_t t1 = selected.back().ts;
+    std::printf("  span: %llu ns .. %llu ns (%.3f ms)\n",
+                static_cast<unsigned long long>(t0),
+                static_cast<unsigned long long>(t1),
+                static_cast<double>(t1 - t0) / 1e6);
+  }
+  for (const auto& [op, count] : by_op) {
+    std::printf("  op %-18s %llu\n", op.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  for (const auto& [shard, count] : by_shard) {
+    std::printf("  shard %-2u %llu\n", shard,
+                static_cast<unsigned long long>(count));
+  }
+
+  if (!selected.empty() && cli.tail > 0) {
+    const std::size_t start =
+        selected.size() > cli.tail ? selected.size() - cli.tail : 0;
+    std::printf("last %zu events:\n", selected.size() - start);
+    for (std::size_t i = start; i < selected.size(); ++i) {
+      PrintEvent(selected[i]);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!ParseArgs(argc, argv, &cli)) return 2;
+  return Run(cli);
+}

@@ -21,6 +21,9 @@
 //   --shrink     in replay mode, shrink a failing schedule too.
 //   --no-shrink  in sweep mode, skip shrinking (report the raw failure).
 //   --out=PATH   repro file for failing schedules. Default fuzz_repro.txt.
+//   --bug-mod=N  seed a deliberate oracle bug (suppress releases for txns
+//                with txn %% N == 3) to exercise the failure pipeline:
+//                shrink, repro file, and flight-recorder dump.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -44,6 +47,7 @@ struct CliOptions {
   bool shrink_sweep = true;
   std::string plan;
   std::string out = "fuzz_repro.txt";
+  std::uint64_t bug_mod = 0;
 };
 
 bool ParseFlag(std::string_view arg, std::string_view name,
@@ -73,6 +77,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       out->plan = std::string(value);
     } else if (ParseFlag(arg, "--out", &value)) {
       out->out = std::string(value);
+    } else if (ParseFlag(arg, "--bug-mod", &value)) {
+      out->bug_mod = std::strtoull(std::string(value).c_str(), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", std::string(arg).c_str());
       return false;
@@ -102,18 +108,31 @@ void WriteRepro(const std::string& path, const Schedule& schedule,
 }
 
 int FailWith(const CliOptions& cli, Schedule schedule, bool shrink) {
-  const FuzzOptions options;
+  FuzzOptions options;
+  options.bug_txn_mod = cli.bug_mod;
   if (shrink) {
     std::printf("shrinking...\n");
     schedule = ScheduleFuzzer::Shrink(schedule, options);
   }
+  // Re-run the (shrunk) failing schedule with a flight recorder attached
+  // and dump the protocol-event autopsy next to the repro file. Shard 0
+  // carries client releases, shards 1..racks the per-rack switch events,
+  // the last shard a backup switch if the plan brought one up.
+  netlock::FlightRecorder recorder(schedule.workload.racks + 2, 4096);
+  options.flight_recorder = &recorder;
   const RunReport report = ScheduleFuzzer::RunSchedule(schedule, options);
   WriteRepro(cli.out, schedule, report);
+  const std::string fr_prefix = cli.out + ".fr";
+  const bool dumped = recorder.Dump(fr_prefix);
   std::printf("FAIL %s\n", report.Summary().c_str());
   for (const std::string& problem : report.problems) {
     std::printf("  %s\n", problem.c_str());
   }
   std::printf("repro written to %s\n", cli.out.c_str());
+  if (dumped) {
+    std::printf("flight recorder dumped to %s.txt / %s.json\n",
+                fr_prefix.c_str(), fr_prefix.c_str());
+  }
   std::printf("replay: %s\n", ScheduleFuzzer::ReplayLine(schedule).c_str());
   return 1;
 }
@@ -126,7 +145,9 @@ int RunReplay(const CliOptions& cli) {
     return 2;
   }
   if (cli.quick) ApplyQuick(&schedule);
-  const RunReport report = ScheduleFuzzer::RunSchedule(schedule);
+  FuzzOptions options;
+  options.bug_txn_mod = cli.bug_mod;
+  const RunReport report = ScheduleFuzzer::RunSchedule(schedule, options);
   std::printf("%s\n", report.Summary().c_str());
   for (const std::string& problem : report.problems) {
     std::printf("  %s\n", problem.c_str());
@@ -141,7 +162,9 @@ int RunSweep(const CliOptions& cli) {
   for (int i = 0; i < cli.count; ++i) {
     Schedule schedule = fuzzer.Generate(static_cast<std::uint64_t>(i));
     if (cli.quick) ApplyQuick(&schedule);
-    const RunReport report = ScheduleFuzzer::RunSchedule(schedule);
+    FuzzOptions options;
+    options.bug_txn_mod = cli.bug_mod;
+    const RunReport report = ScheduleFuzzer::RunSchedule(schedule, options);
     total_grants += report.grants;
     if (!report.ok) {
       std::printf("[%d/%d] %s\n", i + 1, cli.count,

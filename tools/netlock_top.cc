@@ -1,0 +1,238 @@
+// netlock_top: live per-core view of a running rt benchmark.
+//
+// Connects to the Unix-domain stats socket a timed rt run serves when
+// started with `--stats-socket=PATH` (see bench/rt_mlps.cc) and renders
+// each snapshot frame the in-process poller pushes: per-core grant and
+// request rates, batch counts, mailbox depths, the executor's
+// work/spin/yield/park split, and merged lock/txn latency percentiles.
+//
+//   bench_rt_mlps --quick --backend=rt --stats-socket=/tmp/nl.sock &
+//   netlock_top --socket=/tmp/nl.sock
+//
+// Flags:
+//   --socket=PATH  stats socket to connect to (required).
+//   --once         print one frame and exit (for scripts/tests).
+//
+// Exits 0 when the server closes the socket (run finished), 1 when the
+// socket cannot be opened, 2 on usage errors.
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define NETLOCK_TOP_HAVE_UNIX_SOCKETS 1
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace {
+
+struct CliOptions {
+  std::string socket_path;
+  bool once = false;
+};
+
+bool ParseArgs(int argc, char** argv, CliOptions* out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--once") {
+      out->once = true;
+    } else if (arg.rfind("--socket=", 0) == 0) {
+      out->socket_path = std::string(arg.substr(std::strlen("--socket=")));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", std::string(arg).c_str());
+      return false;
+    }
+  }
+  if (out->socket_path.empty()) {
+    std::fprintf(stderr, "usage: netlock_top --socket=PATH [--once]\n");
+    return false;
+  }
+  return true;
+}
+
+#if NETLOCK_TOP_HAVE_UNIX_SOCKETS
+
+// One parsed field: "name=value" -> value, 0 when absent.
+std::uint64_t Field(const std::string& line, const char* name) {
+  const std::string needle = std::string(name) + "=";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(line.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+struct CoreSample {
+  std::uint64_t grants = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t depth = 0;
+  std::uint64_t work = 0;
+  std::uint64_t spins = 0;
+  std::uint64_t yields = 0;
+  std::uint64_t parks = 0;
+};
+
+struct Frame {
+  std::uint64_t ts = 0;
+  int cores = 0;
+  int clients = 0;
+  std::vector<CoreSample> core;
+  std::vector<std::string> lat_lines;  // Raw "lat ..." lines, pre-rendered.
+};
+
+// Parses one "snap ... end" frame out of `lines`.
+Frame ParseFrame(const std::vector<std::string>& lines) {
+  Frame frame;
+  for (const std::string& line : lines) {
+    if (line.rfind("snap ", 0) == 0) {
+      frame.ts = Field(line, "ts");
+      frame.cores = static_cast<int>(Field(line, "cores"));
+      frame.clients = static_cast<int>(Field(line, "clients"));
+      frame.core.assign(static_cast<std::size_t>(frame.cores), CoreSample{});
+    } else if (line.rfind("core ", 0) == 0) {
+      const int idx = std::atoi(line.c_str() + 5);
+      if (idx < 0 || idx >= static_cast<int>(frame.core.size())) continue;
+      CoreSample& c = frame.core[static_cast<std::size_t>(idx)];
+      c.grants = Field(line, "grants");
+      c.requests = Field(line, "requests");
+      c.batches = Field(line, "batches");
+      c.depth = Field(line, "depth");
+      c.work = Field(line, "work");
+      c.spins = Field(line, "spins");
+      c.yields = Field(line, "yields");
+      c.parks = Field(line, "parks");
+    } else if (line.rfind("lat ", 0) == 0) {
+      frame.lat_lines.push_back(line);
+    }
+  }
+  return frame;
+}
+
+void Render(const Frame& frame, const Frame& prev, double dt_seconds,
+            bool clear) {
+  if (clear) std::printf("\x1b[H\x1b[2J");
+  std::printf("netlock_top  t=%.3fs  cores=%d  clients=%d\n",
+              static_cast<double>(frame.ts) / 1e9, frame.cores,
+              frame.clients);
+  std::printf("%-4s %10s %10s %8s %6s %22s\n", "core", "grants/s",
+              "grants", "batches", "depth", "work/spin/yield/park");
+  const bool have_prev =
+      dt_seconds > 0 && prev.core.size() == frame.core.size();
+  for (int i = 0; i < frame.cores; ++i) {
+    const CoreSample& c = frame.core[static_cast<std::size_t>(i)];
+    double rate = 0.0;
+    if (have_prev) {
+      const CoreSample& p = frame.core.size() == prev.core.size()
+                                ? prev.core[static_cast<std::size_t>(i)]
+                                : c;
+      rate = static_cast<double>(c.grants - p.grants) / dt_seconds;
+    }
+    std::printf("%-4d %10.0f %10llu %8llu %6llu %llu/%llu/%llu/%llu\n", i,
+                rate, static_cast<unsigned long long>(c.grants),
+                static_cast<unsigned long long>(c.batches),
+                static_cast<unsigned long long>(c.depth),
+                static_cast<unsigned long long>(c.work),
+                static_cast<unsigned long long>(c.spins),
+                static_cast<unsigned long long>(c.yields),
+                static_cast<unsigned long long>(c.parks));
+  }
+  for (const std::string& lat : frame.lat_lines) {
+    const char* which = lat.rfind("lat lock", 0) == 0 ? "lock" : "txn";
+    std::printf("%-5s p50=%.1fus p90=%.1fus p99=%.1fus p999=%.1fus "
+                "(n=%llu)\n",
+                which, static_cast<double>(Field(lat, "p50")) / 1e3,
+                static_cast<double>(Field(lat, "p90")) / 1e3,
+                static_cast<double>(Field(lat, "p99")) / 1e3,
+                static_cast<double>(Field(lat, "p999")) / 1e3,
+                static_cast<unsigned long long>(Field(lat, "n")));
+  }
+  std::fflush(stdout);
+}
+
+int Run(const CliOptions& cli) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("netlock_top: socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (cli.socket_path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "netlock_top: socket path too long\n");
+    ::close(fd);
+    return 1;
+  }
+  std::strncpy(addr.sun_path, cli.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::fprintf(stderr, "netlock_top: cannot connect to %s: %s\n",
+                 cli.socket_path.c_str(), std::strerror(errno));
+    ::close(fd);
+    return 1;
+  }
+
+  std::string pending;
+  std::vector<std::string> frame_lines;
+  Frame prev;
+  std::uint64_t prev_ts = 0;
+  bool in_frame = false;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // Server went away: the run is over.
+    pending.append(buf, static_cast<std::size_t>(n));
+    std::size_t nl;
+    while ((nl = pending.find('\n')) != std::string::npos) {
+      const std::string line = pending.substr(0, nl);
+      pending.erase(0, nl + 1);
+      if (line.rfind("snap ", 0) == 0) {
+        frame_lines.clear();
+        in_frame = true;
+      }
+      if (!in_frame) continue;
+      if (line == "end") {
+        in_frame = false;
+        const Frame frame = ParseFrame(frame_lines);
+        const double dt =
+            prev_ts > 0 && frame.ts > prev_ts
+                ? static_cast<double>(frame.ts - prev_ts) / 1e9
+                : 0.0;
+        Render(frame, prev, dt, /*clear=*/!cli.once);
+        prev = frame;
+        prev_ts = frame.ts;
+        if (cli.once) {
+          ::close(fd);
+          return 0;
+        }
+      } else {
+        frame_lines.push_back(line);
+      }
+    }
+  }
+  ::close(fd);
+  return 0;
+}
+
+#else  // !NETLOCK_TOP_HAVE_UNIX_SOCKETS
+
+int Run(const CliOptions&) {
+  std::fprintf(stderr,
+               "netlock_top: Unix-domain sockets unavailable on this "
+               "platform\n");
+  return 1;
+}
+
+#endif
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!ParseArgs(argc, argv, &cli)) return 2;
+  return Run(cli);
+}
