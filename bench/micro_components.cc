@@ -11,12 +11,14 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cinttypes>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
 #include "common/tracelog.h"
+#include "core/lock_engine.h"
 #include "core/memory_alloc.h"
 #include "dataplane/switch_dataplane.h"
 #include "harness/experiment.h"
@@ -24,6 +26,8 @@
 #include "harness/testbed.h"
 #include "harness/trace_analysis.h"
 #include "net/lock_wire.h"
+#include "rt/rt_lock_service.h"
+#include "rt/spsc_ring.h"
 #include "sim/simulator.h"
 #include "workload/tpcc.h"
 
@@ -170,6 +174,83 @@ void BM_KnapsackAllocate(benchmark::State& state) {
 }
 BENCHMARK(BM_KnapsackAllocate)->Arg(1000)->Arg(10000)->Arg(100000);
 
+/// Single-push/pop through the rt mailbox ring: the per-request cost the
+/// non-batched submit path pays (one release-store per item on each side).
+void BM_SpscRingPushSingle(benchmark::State& state) {
+  rt::SpscRing<rt::RtRequest> ring(1024);
+  rt::RtRequest req;
+  req.lock = 42;
+  rt::RtRequest out[64];
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) benchmark::DoNotOptimize(ring.TryPush(req));
+    benchmark::DoNotOptimize(ring.PopBatch(out, 64));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SpscRingPushSingle);
+
+/// Batched push through the same ring: one release-store publishes the
+/// whole batch (the submit-flush path of `--batch-submit=on`).
+void BM_SpscRingPushBatch(benchmark::State& state) {
+  rt::SpscRing<rt::RtRequest> ring(1024);
+  rt::RtRequest batch[64];
+  for (auto& r : batch) r.lock = 42;
+  rt::RtRequest out[64];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.PushBatch(batch, 64));
+    benchmark::DoNotOptimize(ring.PopBatch(out, 64));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SpscRingPushBatch);
+
+/// Counts grants without delivering anywhere: isolates the engine itself.
+struct NullGrantSink final : public GrantSink {
+  void DeliverGrant(LockId, const QueueSlot&) override { ++grants; }
+  std::uint64_t grants = 0;
+};
+
+/// Steady-state acquire/release against a fixed lock set with constant
+/// queue depth 3 — every release cascades a grant to the next waiter, the
+/// contended-lock hot path of both the sim server and the rt backend.
+void BM_LockEngineAcquireRelease(benchmark::State& state) {
+  NullGrantSink sink;
+  LockEngine engine(sink);
+  constexpr LockId kLocks = 256;
+  constexpr int kDepth = 3;
+  // Per-lock FIFO txn ids: entry seq S of lock L is (L << 32 | S).
+  const auto txn_of = [](LockId lock, TxnId seq) {
+    return (static_cast<TxnId>(lock) << 32) | seq;
+  };
+  std::vector<TxnId> head_seq(kLocks, 0);
+  std::vector<TxnId> tail_seq(kLocks, 0);
+  // Prime each lock with kDepth exclusive entries (head granted).
+  for (LockId lock = 0; lock < kLocks; ++lock) {
+    for (int d = 0; d < kDepth; ++d) {
+      QueueSlot slot;
+      slot.txn_id = txn_of(lock, tail_seq[lock]++);
+      slot.client_node = 1;
+      engine.Acquire(lock, slot, 0);
+    }
+  }
+  LockId lock = 0;
+  SimTime now = 1;
+  for (auto _ : state) {
+    engine.Release(lock, LockMode::kExclusive,
+                   txn_of(lock, head_seq[lock]++),
+                   /*lease_forced=*/false, now);
+    QueueSlot slot;
+    slot.txn_id = txn_of(lock, tail_seq[lock]++);
+    slot.client_node = 1;
+    engine.Acquire(lock, slot, now);
+    lock = (lock + 1) & (kLocks - 1);
+    ++now;
+  }
+  benchmark::DoNotOptimize(sink.grants);
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_LockEngineAcquireRelease);
+
 void BM_ZipfSample(benchmark::State& state) {
   ZipfSampler zipf(1'000'000, 0.99);
   Rng rng(2);
@@ -273,6 +354,93 @@ void RecordEventThroughput(BenchReport& report, bool quick) {
   run.extra.emplace_back("heap_fallbacks_delta", fallback_delta);
 }
 
+/// Fixed-iteration twins of BM_SpscRingPushSingle/PushBatch, recorded into
+/// the JSON report so the batched-submit win is trackable PR over PR.
+void RecordRingThroughput(BenchReport& report, bool quick) {
+  constexpr std::size_t kBatch = 64;
+  const std::uint64_t rounds = quick ? 200'000 : 2'000'000;
+  rt::RtRequest batch[kBatch];
+  for (auto& r : batch) r.lock = 42;
+  rt::RtRequest out[kBatch];
+  const auto run = [&](bool batched) {
+    rt::SpscRing<rt::RtRequest> ring(1024);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < rounds; ++i) {
+      if (batched) {
+        benchmark::DoNotOptimize(ring.PushBatch(batch, kBatch));
+      } else {
+        for (std::size_t j = 0; j < kBatch; ++j) {
+          benchmark::DoNotOptimize(ring.TryPush(batch[j]));
+        }
+      }
+      benchmark::DoNotOptimize(ring.PopBatch(out, kBatch));
+    }
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    return secs > 0.0 ? static_cast<double>(rounds * kBatch) / secs : 0.0;
+  };
+  const double single = run(false);
+  const double batched = run(true);
+  std::printf(
+      "\nspsc ring: %.0f items/sec single-push, %.0f items/sec "
+      "batch-push (x%.2f)\n",
+      single, batched, single > 0 ? batched / single : 0.0);
+  BenchRun& run_json = report.AddRun("spsc_ring_throughput");
+  run_json.samples = rounds * kBatch;
+  run_json.extra.emplace_back("ring_push_single_items_per_sec", single);
+  run_json.extra.emplace_back("ring_push_batch_items_per_sec", batched);
+}
+
+/// Fixed-iteration twin of BM_LockEngineAcquireRelease (flat-table hot
+/// path); ops/sec recorded in the JSON report. bench/README.md keeps the
+/// pre-flat-table baseline for comparison.
+void RecordLockEngineThroughput(BenchReport& report, bool quick) {
+  NullGrantSink sink;
+  LockEngine engine(sink);
+  constexpr LockId kLocks = 256;
+  constexpr int kDepth = 3;
+  const auto txn_of = [](LockId lock, TxnId seq) {
+    return (static_cast<TxnId>(lock) << 32) | seq;
+  };
+  std::vector<TxnId> head_seq(kLocks, 0);
+  std::vector<TxnId> tail_seq(kLocks, 0);
+  for (LockId lock = 0; lock < kLocks; ++lock) {
+    for (int d = 0; d < kDepth; ++d) {
+      QueueSlot slot;
+      slot.txn_id = txn_of(lock, tail_seq[lock]++);
+      slot.client_node = 1;
+      engine.Acquire(lock, slot, 0);
+    }
+  }
+  const std::uint64_t iters = quick ? 2'000'000 : 10'000'000;
+  LockId lock = 0;
+  SimTime now = 1;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    engine.Release(lock, LockMode::kExclusive,
+                   txn_of(lock, head_seq[lock]++),
+                   /*lease_forced=*/false, now);
+    QueueSlot slot;
+    slot.txn_id = txn_of(lock, tail_seq[lock]++);
+    slot.client_node = 1;
+    engine.Acquire(lock, slot, now);
+    lock = (lock + 1) & (kLocks - 1);
+    ++now;
+  }
+  const double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  const double ops_per_sec =
+      secs > 0.0 ? static_cast<double>(iters * 2) / secs : 0.0;
+  std::printf("lock engine acquire/release: %.0f ops/sec (%" PRIu64
+              " grants)\n",
+              ops_per_sec, sink.grants);
+  BenchRun& run = report.AddRun("lock_engine_throughput");
+  run.samples = iters * 2;
+  run.extra.emplace_back("lock_engine_ops_per_sec", ops_per_sec);
+}
+
 }  // namespace
 }  // namespace netlock
 
@@ -322,6 +490,8 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   RecordEventThroughput(report, report.quick());
+  RecordRingThroughput(report, report.quick());
+  RecordLockEngineThroughput(report, report.quick());
   RunLatencyBreakdown(report);
   return report.Write() ? 0 : 1;
 }

@@ -6,21 +6,196 @@
 
 namespace netlock {
 
-void LockEngine::Acquire(LockId lock, QueueSlot slot, SimTime now) {
-  OwnedLock& owned = owned_[lock];
-  ++owned.req_count;
-  slot.timestamp = now;
+// --- WaitQueue ---
 
-  if (owned.paused) {
-    owned.paused_buffer.push_back(slot);
+void LockEngine::WaitQueue::Spill(SlabPool& pool) {
+  // Only called when the inline ring is full; kInlineSlots <= kChunkSlots,
+  // so the whole ring fits the first chunk.
+  const std::uint32_t chunk = pool.Alloc();
+  Chunk& c = pool.at(chunk);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    c.slots[i] = inline_slots[(head + i) % kInlineSlots];
+  }
+  head_chunk = tail_chunk = chunk;
+  head = 0;
+  tail_off = count;
+  spilled = true;
+}
+
+void LockEngine::WaitQueue::PushBack(const QueueSlot& slot, SlabPool& pool) {
+  if (!spilled) {
+    if (count < kInlineSlots) {
+      inline_slots[(head + count) % kInlineSlots] = slot;
+      ++count;
+      return;
+    }
+    Spill(pool);
+  }
+  if (tail_off == kChunkSlots) {
+    const std::uint32_t chunk = pool.Alloc();
+    pool.at(tail_chunk).next = chunk;
+    tail_chunk = chunk;
+    tail_off = 0;
+  }
+  pool.at(tail_chunk).slots[tail_off++] = slot;
+  ++count;
+}
+
+void LockEngine::WaitQueue::PopFront(SlabPool& pool) {
+  NETLOCK_CHECK(count > 0);
+  --count;
+  if (!spilled) {
+    head = (head + 1) % kInlineSlots;
     return;
   }
-  const bool was_empty = owned.queue.empty();
-  const bool all_shared = owned.xcnt == 0;
-  owned.queue.push_back(slot);
-  owned.max_depth = std::max(
-      owned.max_depth, static_cast<std::uint32_t>(owned.queue.size()));
-  if (slot.mode == LockMode::kExclusive) ++owned.xcnt;
+  if (++head == kChunkSlots) {
+    const std::uint32_t next = pool.at(head_chunk).next;
+    pool.Free(head_chunk);
+    head_chunk = next;
+    head = 0;
+  }
+  if (count == 0) {
+    // Revert to inline mode so a once-deep queue goes back to the
+    // zero-indirection fast path.
+    if (head_chunk != kNone) pool.Free(head_chunk);
+    head_chunk = tail_chunk = kNone;
+    head = 0;
+    tail_off = 0;
+    spilled = false;
+  }
+}
+
+void LockEngine::WaitQueue::Reset(SlabPool& pool) {
+  std::uint32_t chunk = head_chunk;
+  while (chunk != kNone) {
+    const std::uint32_t next = pool.at(chunk).next;
+    pool.Free(chunk);
+    chunk = next;
+  }
+  count = 0;
+  head = 0;
+  head_chunk = tail_chunk = kNone;
+  tail_off = 0;
+  spilled = false;
+}
+
+// --- Flat table ---
+
+std::uint32_t LockEngine::Lookup(LockId lock) const {
+  if (buckets_.empty()) return kNone;
+  const std::size_t mask = buckets_.size() - 1;
+  std::size_t i = HashLock(lock) & mask;
+  for (;;) {
+    const Bucket& b = buckets_[i];
+    if (b.state == kEmptySlot) return kNone;
+    if (b.state != kTombstone && b.key == lock) return b.state;
+    i = (i + 1) & mask;
+  }
+}
+
+std::uint32_t LockEngine::AllocState() {
+  if (!free_states_.empty()) {
+    const std::uint32_t idx = free_states_.back();
+    free_states_.pop_back();
+    LockState& st = states_[idx];
+    // Queues were Reset when the state was freed.
+    st.xcnt = 0;
+    st.paused = false;
+    st.req_count = 0;
+    st.max_depth = 1;
+    return idx;
+  }
+  states_.emplace_back();
+  return static_cast<std::uint32_t>(states_.size() - 1);
+}
+
+void LockEngine::FreeState(std::uint32_t idx) {
+  LockState& st = states_[idx];
+  st.queue.Reset(pool_);
+  st.paused_buffer.Reset(pool_);
+  st.key = kInvalidLock;
+  free_states_.push_back(idx);
+}
+
+void LockEngine::Rehash() {
+  // Rebuild at load <= 1/4 (grows as needed, also purges tombstones).
+  std::size_t cap = 16;
+  while (cap < (size_ + 1) * 4) cap <<= 1;
+  std::vector<Bucket> fresh(cap);
+  const std::size_t mask = cap - 1;
+  for (const Bucket& b : buckets_) {
+    if (b.state == kEmptySlot || b.state == kTombstone) continue;
+    std::size_t i = HashLock(b.key) & mask;
+    while (fresh[i].state != kEmptySlot) i = (i + 1) & mask;
+    fresh[i] = b;
+  }
+  buckets_ = std::move(fresh);
+  tombstones_ = 0;
+}
+
+LockEngine::LockState& LockEngine::FindOrCreate(LockId lock) {
+  if (buckets_.empty() || (size_ + tombstones_ + 1) * 2 > buckets_.size()) {
+    Rehash();
+  }
+  const std::size_t npos = static_cast<std::size_t>(-1);
+  const std::size_t mask = buckets_.size() - 1;
+  std::size_t i = HashLock(lock) & mask;
+  std::size_t first_tomb = npos;
+  for (;;) {
+    Bucket& b = buckets_[i];
+    if (b.state == kEmptySlot) {
+      const std::size_t target = first_tomb != npos ? first_tomb : i;
+      if (first_tomb != npos) --tombstones_;
+      const std::uint32_t idx = AllocState();
+      states_[idx].key = lock;
+      buckets_[target].key = lock;
+      buckets_[target].state = idx;
+      ++size_;
+      return states_[idx];
+    }
+    if (b.state == kTombstone) {
+      if (first_tomb == npos) first_tomb = i;
+    } else if (b.key == lock) {
+      return states_[b.state];
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+void LockEngine::Erase(LockId lock) {
+  if (buckets_.empty()) return;
+  const std::size_t mask = buckets_.size() - 1;
+  std::size_t i = HashLock(lock) & mask;
+  for (;;) {
+    Bucket& b = buckets_[i];
+    if (b.state == kEmptySlot) return;
+    if (b.state != kTombstone && b.key == lock) {
+      FreeState(b.state);
+      b.state = kTombstone;
+      --size_;
+      ++tombstones_;
+      return;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+// --- Protocol ---
+
+void LockEngine::Acquire(LockId lock, QueueSlot slot, SimTime now) {
+  LockState& st = FindOrCreate(lock);
+  ++st.req_count;
+  slot.timestamp = now;
+
+  if (st.paused) {
+    st.paused_buffer.PushBack(slot, pool_);
+    return;
+  }
+  const bool was_empty = st.queue.empty();
+  const bool all_shared = st.xcnt == 0;
+  st.queue.PushBack(slot, pool_);
+  st.max_depth = std::max(st.max_depth, st.queue.count);
+  if (slot.mode == LockMode::kExclusive) ++st.xcnt;
   if (was_empty || (all_shared && slot.mode == LockMode::kShared)) {
     sink_.DeliverGrant(lock, slot);
   }
@@ -28,29 +203,29 @@ void LockEngine::Acquire(LockId lock, QueueSlot slot, SimTime now) {
 
 ReleaseOutcome LockEngine::Release(LockId lock, LockMode mode, TxnId txn,
                                    bool lease_forced, SimTime now) {
-  const auto it = owned_.find(lock);
-  if (it == owned_.end() || it->second.queue.empty()) {
+  const std::uint32_t idx = Lookup(lock);
+  if (idx == kNone || states_[idx].queue.empty()) {
     return ReleaseOutcome::kStale;
   }
-  OwnedLock& owned = it->second;
-  const QueueSlot released = owned.queue.front();
+  LockState& st = states_[idx];
+  const QueueSlot released = st.queue.Front(pool_);
   if (!lease_forced &&
       (released.mode != mode ||
        (mode == LockMode::kExclusive && released.txn_id != txn))) {
     return ReleaseOutcome::kMismatched;
   }
-  owned.queue.pop_front();
+  st.queue.PopFront(pool_);
   if (released.mode == LockMode::kExclusive) {
-    NETLOCK_CHECK(owned.xcnt > 0);
-    --owned.xcnt;
+    NETLOCK_CHECK(st.xcnt > 0);
+    --st.xcnt;
   }
-  if (owned.queue.empty()) return ReleaseOutcome::kApplied;
+  if (st.queue.empty()) return ReleaseOutcome::kApplied;
   // Same four-case cascade as the switch (Algorithm 2). Grants re-stamp
   // the entry so the lease measures holding time, not queueing time; the
   // wait span is emitted (OnWaitEnd) before the re-stamp erases the
   // enqueue time.
-  if (owned.queue.front().mode == LockMode::kExclusive) {
-    QueueSlot& head = owned.queue.front();
+  if (st.queue.Front(pool_).mode == LockMode::kExclusive) {
+    QueueSlot& head = st.queue.Front(pool_);
     sink_.OnWaitEnd(lock, head, now);
     head.timestamp = now;
     sink_.DeliverGrant(lock, head);  // S->E and E->E.
@@ -60,7 +235,9 @@ ReleaseOutcome LockEngine::Release(LockId lock, LockMode mode, TxnId txn,
     return ReleaseOutcome::kApplied;  // S->S: already granted.
   }
   // E->S: grant consecutive shared requests.
-  for (QueueSlot& slot : owned.queue) {
+  for (auto cur = st.queue.Begin(); !st.queue.Done(cur);
+       st.queue.Advance(cur, pool_)) {
+    QueueSlot& slot = st.queue.At(cur, pool_);
     if (slot.mode == LockMode::kExclusive) break;
     sink_.OnWaitEnd(lock, slot, now);
     slot.timestamp = now;
@@ -73,12 +250,14 @@ std::uint64_t LockEngine::ClearExpired(SimTime lease, SimTime now) {
   if (now < lease) return 0;
   const SimTime cutoff = now - lease;
   std::uint64_t forced = 0;
-  for (auto& [lock, owned] : owned_) {
-    while (!owned.queue.empty() &&
-           owned.queue.front().timestamp <= cutoff) {
-      const LockMode mode = owned.queue.front().mode;
+  // Release never inserts or erases states, so iterating the pool while
+  // force-releasing is safe.
+  for (LockState& st : states_) {
+    if (st.key == kInvalidLock) continue;
+    while (!st.queue.empty() && st.queue.Front(pool_).timestamp <= cutoff) {
+      const LockMode mode = st.queue.Front(pool_).mode;
       const ReleaseOutcome outcome =
-          Release(lock, mode, kInvalidTxn, /*lease_forced=*/true, now);
+          Release(st.key, mode, kInvalidTxn, /*lease_forced=*/true, now);
       NETLOCK_CHECK(outcome == ReleaseOutcome::kApplied);
       ++forced;
     }
@@ -87,87 +266,107 @@ std::uint64_t LockEngine::ClearExpired(SimTime lease, SimTime now) {
 }
 
 bool LockEngine::QueueEmpty(LockId lock) const {
-  const auto it = owned_.find(lock);
-  return it == owned_.end() || it->second.queue.empty();
+  const std::uint32_t idx = Lookup(lock);
+  return idx == kNone || states_[idx].queue.empty();
 }
 
 std::size_t LockEngine::QueueDepth(LockId lock) const {
-  const auto it = owned_.find(lock);
-  return it == owned_.end() ? 0 : it->second.queue.size();
+  const std::uint32_t idx = Lookup(lock);
+  return idx == kNone ? 0 : states_[idx].queue.size();
 }
 
 std::size_t LockEngine::TotalQueueDepth() const {
   std::size_t total = 0;
-  for (const auto& [lock, owned] : owned_) {
-    total += owned.queue.size() + owned.paused_buffer.size();
+  for (const LockState& st : states_) {
+    if (st.key == kInvalidLock) continue;
+    total += st.queue.size() + st.paused_buffer.size();
   }
   return total;
 }
 
 void LockEngine::SetPaused(LockId lock, bool paused) {
-  owned_[lock].paused = paused;
+  FindOrCreate(lock).paused = paused;
 }
 
 bool LockEngine::IsPaused(LockId lock) const {
-  const auto it = owned_.find(lock);
-  return it != owned_.end() && it->second.paused;
+  const std::uint32_t idx = Lookup(lock);
+  return idx != kNone && states_[idx].paused;
 }
 
 std::deque<QueueSlot> LockEngine::TakePausedBuffer(LockId lock) {
-  const auto it = owned_.find(lock);
-  if (it == owned_.end()) return {};
+  const std::uint32_t idx = Lookup(lock);
+  if (idx == kNone) return {};
+  LockState& st = states_[idx];
   std::deque<QueueSlot> buffer;
-  buffer.swap(it->second.paused_buffer);
+  while (!st.paused_buffer.empty()) {
+    buffer.push_back(st.paused_buffer.Front(pool_));
+    st.paused_buffer.PopFront(pool_);
+  }
   return buffer;
 }
 
 void LockEngine::AdoptQueue(LockId lock, std::deque<QueueSlot> queue,
                             SimTime now) {
-  OwnedLock& owned = owned_[lock];
-  NETLOCK_CHECK(owned.queue.empty());
-  owned.queue = std::move(queue);
-  for (const QueueSlot& slot : owned.queue) {
-    if (slot.mode == LockMode::kExclusive) ++owned.xcnt;
+  LockState& st = FindOrCreate(lock);
+  NETLOCK_CHECK(st.queue.empty());
+  for (const QueueSlot& slot : queue) {
+    st.queue.PushBack(slot, pool_);
+    if (slot.mode == LockMode::kExclusive) ++st.xcnt;
   }
-  if (owned.queue.empty()) return;
-  if (owned.queue.front().mode == LockMode::kExclusive) {
-    owned.queue.front().timestamp = now;
-    sink_.DeliverGrant(lock, owned.queue.front());
+  if (st.queue.empty()) return;
+  if (st.queue.Front(pool_).mode == LockMode::kExclusive) {
+    QueueSlot& head = st.queue.Front(pool_);
+    head.timestamp = now;
+    sink_.DeliverGrant(lock, head);
     return;
   }
-  for (QueueSlot& slot : owned.queue) {
+  for (auto cur = st.queue.Begin(); !st.queue.Done(cur);
+       st.queue.Advance(cur, pool_)) {
+    QueueSlot& slot = st.queue.At(cur, pool_);
     if (slot.mode == LockMode::kExclusive) break;
     slot.timestamp = now;
     sink_.DeliverGrant(lock, slot);
   }
 }
 
+void LockEngine::Drop(LockId lock) { Erase(lock); }
+
 void LockEngine::DropDrained(LockId lock) {
-  const auto it = owned_.find(lock);
-  if (it == owned_.end()) return;
-  NETLOCK_CHECK(it->second.queue.empty());
-  NETLOCK_CHECK(it->second.paused_buffer.empty());
-  owned_.erase(it);
+  const std::uint32_t idx = Lookup(lock);
+  if (idx == kNone) return;
+  NETLOCK_CHECK(states_[idx].queue.empty());
+  NETLOCK_CHECK(states_[idx].paused_buffer.empty());
+  Erase(lock);
+}
+
+void LockEngine::Clear() {
+  buckets_.clear();
+  states_.clear();
+  free_states_.clear();
+  pool_.Clear();
+  size_ = 0;
+  tombstones_ = 0;
 }
 
 std::vector<LockId> LockEngine::OwnedLocks() const {
   std::vector<LockId> locks;
-  locks.reserve(owned_.size());
-  for (const auto& [lock, state] : owned_) locks.push_back(lock);
+  locks.reserve(size_);
+  for (const LockState& st : states_) {
+    if (st.key != kInvalidLock) locks.push_back(st.key);
+  }
   return locks;
 }
 
 void LockEngine::HarvestDemands(double window_sec,
                                 std::vector<LockDemand>& out) {
   NETLOCK_CHECK(window_sec > 0.0);
-  for (auto& [lock, owned] : owned_) {
-    if (owned.req_count == 0) continue;
+  for (LockState& st : states_) {
+    if (st.key == kInvalidLock || st.req_count == 0) continue;
     out.push_back(LockDemand{
-        lock, static_cast<double>(owned.req_count) / window_sec,
-        std::max(1u, owned.max_depth)});
-    owned.req_count = 0;
-    owned.max_depth =
-        std::max(1u, static_cast<std::uint32_t>(owned.queue.size()));
+        st.key, static_cast<double>(st.req_count) / window_sec,
+        std::max(1u, st.max_depth)});
+    st.req_count = 0;
+    st.max_depth = std::max(1u, st.queue.count);
   }
 }
 

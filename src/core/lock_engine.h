@@ -16,11 +16,20 @@
 // The engine itself is single-threaded and knows nothing about time
 // sources: callers pass `now` (simulated or wall-clock nanoseconds) into
 // every operation, and grant decisions come out through a GrantSink.
+//
+// Storage is a flat open-addressing table (linear probing, tombstone
+// deletion) of per-lock states, with slab-backed FIFO wait queues: a
+// queue's first kInlineSlots entries live inline in the state (the common
+// case — depth <= 4 — touches no other memory and allocates nothing), and
+// deeper queues spill into fixed-size chunks drawn from a free-list slab
+// owned by the engine, so steady-state acquire/release performs zero heap
+// allocations at any depth once the slab is warm. The previous
+// unordered_map<LockId, deque> representation paid a node allocation per
+// lock plus deque pointer-chasing on every operation.
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -81,7 +90,7 @@ class LockEngine {
 
   // --- Ownership / migration (server<->switch moves, failover) ---
 
-  bool Owns(LockId lock) const { return owned_.find(lock) != owned_.end(); }
+  bool Owns(LockId lock) const { return Lookup(lock) != kNone; }
   bool QueueEmpty(LockId lock) const;
   std::size_t QueueDepth(LockId lock) const;
   /// Queued entries across all locks (0 once fully drained — leak check).
@@ -103,38 +112,175 @@ class LockEngine {
   void AdoptQueue(LockId lock, std::deque<QueueSlot> queue, SimTime now);
 
   /// Unconditionally discards a lock's state (eviction / failover).
-  void Drop(LockId lock) { owned_.erase(lock); }
+  void Drop(LockId lock);
 
   /// Discards a lock known to be drained (asserts queue + buffer empty).
   void DropDrained(LockId lock);
 
   /// Discards everything (crash).
-  void Clear() { owned_.clear(); }
+  void Clear();
 
   std::vector<LockId> OwnedLocks() const;
-  std::size_t num_owned() const { return owned_.size(); }
+  std::size_t num_owned() const { return size_; }
 
   /// Harvests per-lock demand counters (rates normalized by `window_sec`),
   /// appending to `out`, and resets them (§4.3).
   void HarvestDemands(double window_sec, std::vector<LockDemand>& out);
 
  private:
-  /// Per-lock software queue with switch-equivalent semantics.
-  struct OwnedLock {
-    std::deque<QueueSlot> queue;  ///< Entries remain until released.
-    std::uint32_t xcnt = 0;       ///< Exclusive entries among them.
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+  /// Queue entries stored inline in the lock state (zero-indirection fast
+  /// path; the paper's workloads rarely queue deeper than a handful).
+  static constexpr std::uint32_t kInlineSlots = 4;
+  /// Entries per slab chunk once a queue spills past the inline storage.
+  static constexpr std::uint32_t kChunkSlots = 8;
+  static_assert(kInlineSlots <= kChunkSlots,
+                "spilling copies the inline ring into one chunk");
+
+  /// One slab chunk: a fixed run of slots plus the next-chunk link.
+  struct Chunk {
+    QueueSlot slots[kChunkSlots];
+    std::uint32_t next = kNone;
+  };
+
+  /// Free-list slab of chunks. Indices are stable (vector only grows);
+  /// freed chunks are reused, so a warmed engine never allocates.
+  class SlabPool {
+   public:
+    std::uint32_t Alloc() {
+      if (!free_.empty()) {
+        const std::uint32_t idx = free_.back();
+        free_.pop_back();
+        chunks_[idx].next = kNone;
+        return idx;
+      }
+      chunks_.emplace_back();
+      return static_cast<std::uint32_t>(chunks_.size() - 1);
+    }
+    void Free(std::uint32_t idx) { free_.push_back(idx); }
+    Chunk& at(std::uint32_t idx) { return chunks_[idx]; }
+    const Chunk& at(std::uint32_t idx) const { return chunks_[idx]; }
+    void Clear() {
+      chunks_.clear();
+      free_.clear();
+    }
+
+   private:
+    std::vector<Chunk> chunks_;
+    std::vector<std::uint32_t> free_;
+  };
+
+  /// FIFO wait queue: an inline ring while depth stays <= kInlineSlots,
+  /// a chunk chain after it spills (reverting to inline when it empties).
+  struct WaitQueue {
+    QueueSlot inline_slots[kInlineSlots];
+    std::uint32_t count = 0;
+    /// Inline mode: ring index of the front. Spilled: front offset within
+    /// the head chunk.
+    std::uint32_t head = 0;
+    std::uint32_t head_chunk = kNone;
+    std::uint32_t tail_chunk = kNone;
+    std::uint32_t tail_off = 0;  ///< Next free slot in the tail chunk.
+    bool spilled = false;
+
+    bool empty() const { return count == 0; }
+    std::size_t size() const { return count; }
+
+    QueueSlot& Front(SlabPool& pool) {
+      return spilled ? pool.at(head_chunk).slots[head] : inline_slots[head];
+    }
+    const QueueSlot& Front(const SlabPool& pool) const {
+      return spilled ? pool.at(head_chunk).slots[head] : inline_slots[head];
+    }
+
+    void PushBack(const QueueSlot& slot, SlabPool& pool);
+    void PopFront(SlabPool& pool);
+    /// Frees any chunks and empties the queue.
+    void Reset(SlabPool& pool);
+
+    /// Forward cursor from the front; valid while the queue is unchanged.
+    struct Cursor {
+      std::uint32_t remaining = 0;
+      std::uint32_t chunk = kNone;  ///< kNone in inline mode.
+      std::uint32_t off = 0;
+    };
+    Cursor Begin() const {
+      Cursor c;
+      c.remaining = count;
+      c.chunk = spilled ? head_chunk : kNone;
+      c.off = head;
+      return c;
+    }
+    bool Done(const Cursor& c) const { return c.remaining == 0; }
+    QueueSlot& At(const Cursor& c, SlabPool& pool) {
+      return c.chunk == kNone ? inline_slots[c.off]
+                              : pool.at(c.chunk).slots[c.off];
+    }
+    void Advance(Cursor& c, const SlabPool& pool) const {
+      --c.remaining;
+      if (c.chunk == kNone) {
+        c.off = (c.off + 1) % kInlineSlots;
+        return;
+      }
+      if (++c.off == kChunkSlots) {
+        c.chunk = pool.at(c.chunk).next;
+        c.off = 0;
+      }
+    }
+
+   private:
+    void Spill(SlabPool& pool);
+  };
+
+  /// Per-lock software queue with switch-equivalent semantics. Pool slots
+  /// with key == kInvalidLock are free.
+  struct LockState {
+    LockId key = kInvalidLock;
+    WaitQueue queue;          ///< Entries remain until released.
+    WaitQueue paused_buffer;  ///< Entries received while paused.
+    std::uint32_t xcnt = 0;   ///< Exclusive entries among queue.
     bool paused = false;
-    std::deque<QueueSlot> paused_buffer;
     std::uint64_t req_count = 0;  ///< r_i demand counter (§4.3).
     std::uint32_t max_depth = 1;  ///< c_i demand counter.
   };
 
-  /// Grants the queue front (and, when it is shared, the following run of
-  /// shared entries), emitting wait spans and re-stamping timestamps.
-  void GrantFront(LockId lock, OwnedLock& owned, SimTime now);
+  /// Open-addressing bucket: {key, state index}. `state` doubles as the
+  /// occupancy marker (kEmptySlot / kTombstone sentinels).
+  struct Bucket {
+    LockId key = 0;
+    std::uint32_t state = kEmptySlot;
+  };
+  static constexpr std::uint32_t kEmptySlot = 0xffffffffu;
+  static constexpr std::uint32_t kTombstone = 0xfffffffeu;
+
+  /// Bucket-index mix, deliberately different from the RSS core hash so the
+  /// per-core residue classes don't cluster the probe sequence.
+  static std::uint32_t HashLock(LockId lock) {
+    std::uint32_t h = lock;
+    h ^= h >> 16;
+    h *= 0x85ebca6bu;
+    h ^= h >> 13;
+    h *= 0xc2b2ae35u;
+    h ^= h >> 16;
+    return h;
+  }
+
+  /// Index of the lock's state, or kNone.
+  std::uint32_t Lookup(LockId lock) const;
+  LockState& FindOrCreate(LockId lock);
+  /// Removes the lock if present, returning its queues' chunks to the slab.
+  void Erase(LockId lock);
+  void Rehash();
+  std::uint32_t AllocState();
+  void FreeState(std::uint32_t idx);
 
   GrantSink& sink_;
-  std::unordered_map<LockId, OwnedLock> owned_;
+  std::vector<Bucket> buckets_;  ///< Power-of-two open-addressing table.
+  std::vector<LockState> states_;
+  std::vector<std::uint32_t> free_states_;
+  SlabPool pool_;
+  std::size_t size_ = 0;
+  std::size_t tombstones_ = 0;
 };
 
 }  // namespace netlock

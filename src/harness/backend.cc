@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <sstream>
 #include <thread>
@@ -72,6 +73,17 @@ struct RtRig {
     options.num_clients = config.rt_client_threads;
     options.record_events = config.rt_record_events;
     options.pin_threads = config.rt_pin_threads;
+    options.batch_submit = config.rt_batch_submit;
+    if (config.rt_spin_rounds >= 0) {
+      options.spin_rounds = config.rt_spin_rounds;
+    }
+    if (config.rt_yield_rounds >= 0) {
+      options.yield_rounds = config.rt_yield_rounds;
+    }
+    if (config.rt_park_timeout_us >= 0) {
+      options.park_timeout =
+          std::chrono::microseconds(config.rt_park_timeout_us);
+    }
     options.telemetry = config.rt_telemetry;
     options.recorder = config.rt_flight_recorder;
     options.context = config.context;
@@ -83,6 +95,7 @@ struct RtRig {
     cc.sessions_per_client = config.sessions / config.rt_client_threads;
     cc.txns_per_session = config.txns_per_session;
     cc.seed = config.seed;
+    cc.batch_submit = config.rt_batch_submit;
     cc.telemetry = config.rt_telemetry;
     return cc;
   }
@@ -90,6 +103,29 @@ struct RtRig {
   void Finish(BackendRunResult& result) {
     pool.Join();
     service.Stop();
+    if (std::getenv("NETLOCK_RT_DEBUG") != nullptr) {
+      const rt::RtLockService::Stats ts = service.TotalStats();
+      std::fprintf(stderr,
+                   "[rt-debug] req=%llu grants=%llu batches=%llu "
+                   "max_batch=%llu flushes=%llu staged=%llu\n",
+                   (unsigned long long)ts.requests,
+                   (unsigned long long)ts.grants,
+                   (unsigned long long)ts.batches,
+                   (unsigned long long)ts.max_batch,
+                   (unsigned long long)ts.flushes,
+                   (unsigned long long)ts.staged_completions);
+      for (int c = 0; c < service.cores(); ++c) {
+        const rt::RtExecutor::IdleStats idle =
+            service.executor().idle_stats(c);
+        std::fprintf(stderr,
+                     "[rt-debug] core%d work=%llu spins=%llu yields=%llu "
+                     "parks=%llu\n",
+                     c, (unsigned long long)idle.work_rounds,
+                     (unsigned long long)idle.spins,
+                     (unsigned long long)idle.yields,
+                     (unsigned long long)idle.parks);
+      }
+    }
     pool.PublishTelemetry(registry);
     result.metrics = pool.Collect();
     result.commits = pool.TotalCommits();

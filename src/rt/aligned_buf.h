@@ -1,0 +1,53 @@
+// Cache-line-aligned per-region scratch arrays.
+//
+// The rt backend keeps one scratch region per worker core (drain buffers,
+// staging headers). A plain vector sized cores*region packs the regions
+// back to back, so the boundary line is shared by two cores and every
+// write near it ping-pongs between their caches. AlignedRegions rounds
+// each region up to whole cache lines and aligns the base, so region i is
+// exclusively core i's.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace netlock::rt {
+
+template <typename T>
+class AlignedRegions {
+ public:
+  static constexpr std::size_t kLine = 64;
+
+  AlignedRegions(std::size_t regions, std::size_t elems_per_region)
+      : regions_(regions) {
+    // Smallest element count >= elems_per_region whose byte size is a
+    // whole number of cache lines.
+    stride_ = elems_per_region;
+    while ((stride_ * sizeof(T)) % kLine != 0) ++stride_;
+    const std::size_t total = regions_ * stride_;
+    data_ = static_cast<T*>(
+        ::operator new(total * sizeof(T), std::align_val_t{kLine}));
+    for (std::size_t i = 0; i < total; ++i) new (data_ + i) T();
+  }
+
+  ~AlignedRegions() {
+    const std::size_t total = regions_ * stride_;
+    for (std::size_t i = 0; i < total; ++i) data_[i].~T();
+    ::operator delete(data_, std::align_val_t{kLine});
+  }
+
+  AlignedRegions(const AlignedRegions&) = delete;
+  AlignedRegions& operator=(const AlignedRegions&) = delete;
+
+  T* region(std::size_t i) { return data_ + i * stride_; }
+  const T* region(std::size_t i) const { return data_ + i * stride_; }
+  std::size_t stride() const { return stride_; }
+  std::size_t regions() const { return regions_; }
+
+ private:
+  std::size_t regions_;
+  std::size_t stride_;
+  T* data_ = nullptr;
+};
+
+}  // namespace netlock::rt

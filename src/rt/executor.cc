@@ -16,8 +16,10 @@ RtExecutor::RtExecutor(Options options, std::function<bool(int)> body)
   NETLOCK_CHECK(options_.num_workers >= 1);
   NETLOCK_CHECK(body_ != nullptr);
   stats_.reserve(static_cast<std::size_t>(options_.num_workers));
+  park_slots_.reserve(static_cast<std::size_t>(options_.num_workers));
   for (int w = 0; w < options_.num_workers; ++w) {
     stats_.push_back(std::make_unique<WorkerStats>());
+    park_slots_.push_back(std::make_unique<ParkSlot>());
   }
 }
 
@@ -35,9 +37,12 @@ void RtExecutor::Start() {
 void RtExecutor::Stop() {
   if (!running_.load(std::memory_order_acquire)) return;
   running_.store(false, std::memory_order_release);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    cv_.notify_all();
+  // Unconditional notify under each slot's lock: a worker holds its slot
+  // lock from the running_ re-check to the wait, so it either sees the
+  // store or receives the notify — no lost-shutdown window.
+  for (auto& slot : park_slots_) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    slot->cv.notify_all();
   }
   for (auto& t : threads_) t.join();
   threads_.clear();
@@ -80,14 +85,15 @@ void RtExecutor::WorkerMain(int worker) {
       std::this_thread::yield();
       continue;
     }
-    // Park. The timeout bounds the cost of a doorbell raced with parking:
-    // worst case, work waits one park_timeout.
-    std::unique_lock<std::mutex> lock(mu_);
+    // Park on this worker's own slot. The timeout bounds the cost of a
+    // doorbell raced with parking: worst case, work waits one park_timeout.
+    ParkSlot& slot = *park_slots_[static_cast<std::size_t>(worker)];
+    std::unique_lock<std::mutex> lock(slot.mu);
     if (!running_.load(std::memory_order_acquire)) break;
     bump(stats.parks);
-    parked_.fetch_add(1, std::memory_order_relaxed);
-    cv_.wait_for(lock, options_.park_timeout);
-    parked_.fetch_sub(1, std::memory_order_relaxed);
+    slot.parked.store(true, std::memory_order_relaxed);
+    slot.cv.wait_for(lock, options_.park_timeout);
+    slot.parked.store(false, std::memory_order_relaxed);
     idle_rounds = 0;
   }
   // Shutdown drain: work enqueued before Stop()'s running_ store must be

@@ -3,10 +3,12 @@
 // Each worker repeatedly invokes the body with its worker index; the body
 // returns whether it found work (drained any mailbox). Workers that come
 // up empty first spin (lowest latency while traffic flows), then yield,
-// then park on a condvar with a bounded timeout — so an idle backend burns
-// no CPU, yet a missed doorbell can only delay work by the park timeout,
-// never hang it. Producers ring Wake() after enqueueing; the doorbell is a
-// cheap relaxed load unless someone is actually parked.
+// then park on a per-worker condvar with a bounded timeout — so an idle
+// backend burns no CPU, yet a missed doorbell can only delay work by the
+// park timeout, never hang it. Producers ring WakeWorker(core) after
+// enqueueing; the doorbell is one relaxed load of that worker's parked
+// flag unless the worker is actually parked, and waking core w never
+// disturbs the other workers.
 #pragma once
 
 #include <atomic>
@@ -46,11 +48,26 @@ class RtExecutor {
   /// so everything already enqueued when Stop() is called gets processed.
   void Stop();
 
-  /// Doorbell: wakes parked workers. Cheap when nobody is parked.
+  /// Targeted doorbell: wakes one worker, and only touches its lock when
+  /// the worker may actually be parked (one relaxed load otherwise). A
+  /// producer that just filled core w's mailbox rings this instead of the
+  /// broadcast Wake() so an idle fleet isn't herded awake per submit.
+  void WakeWorker(int worker) {
+    ParkSlot& slot = *park_slots_[static_cast<std::size_t>(worker)];
+    if (!slot.parked.load(std::memory_order_relaxed)) return;
+    std::lock_guard<std::mutex> lock(slot.mu);
+    slot.cv.notify_one();
+  }
+
+  /// Whether worker may currently be parked (relaxed; may be stale).
+  bool WorkerMaybeParked(int worker) const {
+    return park_slots_[static_cast<std::size_t>(worker)]->parked.load(
+        std::memory_order_relaxed);
+  }
+
+  /// Broadcast doorbell: wakes every parked worker. Cheap when nobody is.
   void Wake() {
-    if (parked_.load(std::memory_order_relaxed) == 0) return;
-    std::lock_guard<std::mutex> lock(mu_);
-    cv_.notify_all();
+    for (int w = 0; w < options_.num_workers; ++w) WakeWorker(w);
   }
 
   int num_workers() const { return options_.num_workers; }
@@ -87,14 +104,22 @@ class RtExecutor {
     std::atomic<std::uint64_t> parks{0};
   };
 
+  /// Per-worker park state, cache-line isolated: each worker parks on its
+  /// own condvar, so a doorbell for core w contends only with worker w —
+  /// never a herd — and the `parked` flag gives producers the cheap
+  /// "may be parked" test.
+  struct alignas(64) ParkSlot {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::atomic<bool> parked{false};
+  };
+
   void WorkerMain(int worker);
 
   Options options_;
   std::function<bool(int)> body_;
   std::atomic<bool> running_{false};
-  std::atomic<int> parked_{0};
-  std::mutex mu_;
-  std::condition_variable cv_;
+  std::vector<std::unique_ptr<ParkSlot>> park_slots_;
   std::vector<std::thread> threads_;
   std::vector<std::unique_ptr<WorkerStats>> stats_;
 };

@@ -36,6 +36,10 @@ RtClientPool::RtClientPool(RtLockService& service,
       NETLOCK_CHECK(sess.workload != nullptr);
       sess.engine_id = static_cast<std::uint32_t>(global + 1);
     }
+    if (config_.batch_submit) {
+      ct->staged.resize(static_cast<std::size_t>(service_.cores()));
+      for (auto& buf : ct->staged) buf.reserve(config_.poll_batch);
+    }
     threads_.push_back(std::move(ct));
   }
 }
@@ -65,6 +69,7 @@ void RtClientPool::RunClient(ClientThread& ct) {
     ++live;
     BeginTxn(ct, s);
   }
+  FlushStaged(ct);  // Every session's first acquire, one flush per core.
   std::vector<RtCompletion> buf(config_.poll_batch);
   int idle = 0;
   while (live > 0) {
@@ -78,6 +83,33 @@ void RtClientPool::RunClient(ClientThread& ct) {
     for (std::size_t i = 0; i < n; ++i) {
       if (OnGrant(ct, buf[i])) --live;
     }
+    // One flush per poll iteration: everything OnGrant staged (next
+    // acquires, commit releases) goes out in per-core batches.
+    FlushStaged(ct);
+  }
+  // The OnGrant that idled the last session staged its final releases
+  // after the flush above — push them before the thread exits, or the
+  // engine would leak held locks.
+  FlushStaged(ct);
+}
+
+void RtClientPool::EnqueueRequest(ClientThread& ct, const RtRequest& rt) {
+  if (!config_.batch_submit) {
+    service_.Submit(ct.index, rt);
+    return;
+  }
+  ct.staged[static_cast<std::size_t>(service_.CoreFor(rt.lock))]
+      .push_back(rt);
+}
+
+void RtClientPool::FlushStaged(ClientThread& ct) {
+  if (!config_.batch_submit) return;
+  for (std::size_t core = 0; core < ct.staged.size(); ++core) {
+    std::vector<RtRequest>& buf = ct.staged[core];
+    if (buf.empty()) continue;
+    service_.SubmitBatch(ct.index, static_cast<int>(core), buf.data(),
+                         buf.size());
+    buf.clear();
   }
 }
 
@@ -105,7 +137,7 @@ void RtClientPool::SubmitAcquire(ClientThread& ct, Session& s) {
   rt.lock = req.lock;
   rt.txn = s.txn;
   rt.client = static_cast<std::uint32_t>(ct.index);
-  service_.Submit(ct.index, rt);
+  EnqueueRequest(ct, rt);
 }
 
 bool RtClientPool::OnGrant(ClientThread& ct, const RtCompletion& comp) {
@@ -144,7 +176,7 @@ bool RtClientPool::OnGrant(ClientThread& ct, const RtCompletion& comp) {
     rt.lock = req.lock;
     rt.txn = s.txn;
     rt.client = static_cast<std::uint32_t>(ct.index);
-    service_.Submit(ct.index, rt);
+    EnqueueRequest(ct, rt);
   }
   ++ct.commits;
   ++s.committed;

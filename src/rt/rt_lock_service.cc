@@ -20,6 +20,8 @@ RtLockService::RtLockService(Options options, ExecutionSubstrate& substrate)
   c_stale_releases_ = domain_.RegisterCounter("rt.stale_releases");
   c_mismatched_releases_ = domain_.RegisterCounter("rt.mismatched_releases");
   c_batches_ = domain_.RegisterCounter("rt.batches");
+  c_flushes_ = domain_.RegisterCounter("rt.flushes");
+  c_staged_completions_ = domain_.RegisterCounter("rt.staged_completions");
   g_mailbox_depth_ = domain_.RegisterGauge("rt.mailbox_depth",
                                            TelemetryDomain::GaugeAgg::kSum);
   g_batch_ = domain_.RegisterGauge("rt.batch",
@@ -57,12 +59,24 @@ RtLockService::RtLockService(Options options, ExecutionSubstrate& substrate)
           std::make_unique<SpscRing<RtCompletion>>(options_.ring_capacity));
     }
   }
-  drain_buf_.resize(static_cast<std::size_t>(options_.cores) *
-                    options_.drain_batch);
+  drain_buf_ = std::make_unique<AlignedRegions<RtRequest>>(
+      static_cast<std::size_t>(options_.cores), options_.drain_batch);
+  staging_.reserve(static_cast<std::size_t>(options_.cores));
+  for (int c = 0; c < options_.cores; ++c) {
+    auto staging = std::make_unique<CoreStaging>();
+    staging->per_client.resize(static_cast<std::size_t>(options_.num_clients));
+    for (auto& buf : staging->per_client) {
+      buf.reserve(options_.drain_batch);
+    }
+    staging_.push_back(std::move(staging));
+  }
 
   RtExecutor::Options exec;
   exec.num_workers = options_.cores;
   exec.pin_threads = options_.pin_threads;
+  exec.spin_rounds = options_.spin_rounds;
+  exec.yield_rounds = options_.yield_rounds;
+  exec.park_timeout = options_.park_timeout;
   executor_ = std::make_unique<RtExecutor>(
       exec, [this](int worker) { return ServiceCore(worker); });
 }
@@ -92,18 +106,51 @@ int RtLockService::CoreFor(LockId lock) const {
 }
 
 void RtLockService::Submit(int client, const RtRequest& req) {
+  const int core = CoreFor(req.lock);
   SpscRing<RtRequest>& ring =
-      *req_rings_[static_cast<std::size_t>(CoreFor(req.lock))]
+      *req_rings_[static_cast<std::size_t>(core)]
                  [static_cast<std::size_t>(client)];
   // Count before the push: a worker may process the request the instant it
   // lands, and WaitQuiesce must never observe processed > submitted.
   submitted_.fetch_add(1, std::memory_order_relaxed);
   int spins = 0;
   while (!ring.TryPush(req)) {
-    executor_->Wake();  // A parked core will never drain the full ring.
-    if (++spins > 64) std::this_thread::yield();
+    // A full ring means the owning core fell behind (or missed a doorbell
+    // and parked); a rescue wake restores liveness, but only after some
+    // spinning so the common full-ring blip stays doorbell-free.
+    if (++spins > 64) {
+      executor_->WakeWorker(core);
+      std::this_thread::yield();
+    }
   }
-  executor_->Wake();
+  // One targeted doorbell per push — a relaxed load unless the owning
+  // worker is actually parked (it used to ring the broadcast bell twice).
+  executor_->WakeWorker(core);
+}
+
+void RtLockService::SubmitBatch(int client, int core, const RtRequest* reqs,
+                                std::size_t n) {
+  if (n == 0) return;
+  SpscRing<RtRequest>& ring =
+      *req_rings_[static_cast<std::size_t>(core)]
+                 [static_cast<std::size_t>(client)];
+  submitted_.fetch_add(n, std::memory_order_relaxed);
+  std::size_t pushed = 0;
+  int spins = 0;
+  while (pushed < n) {
+    const std::size_t k = ring.PushBatch(reqs + pushed, n - pushed);
+    if (k == 0) {
+      if (++spins > 64) {
+        executor_->WakeWorker(core);
+        std::this_thread::yield();
+      }
+      continue;
+    }
+    pushed += k;
+    spins = 0;
+  }
+  // One doorbell for the whole flush, rung only at the owning worker.
+  executor_->WakeWorker(core);
 }
 
 std::size_t RtLockService::PollCompletions(int client, RtCompletion* out,
@@ -136,9 +183,9 @@ std::size_t RtLockService::MailboxDepthApprox(int core) const {
 
 bool RtLockService::ServiceCore(int core) {
   Core& c = *cores_[static_cast<std::size_t>(core)];
-  RtRequest* buf = drain_buf_.data() +
-                   static_cast<std::size_t>(core) * options_.drain_batch;
+  RtRequest* buf = drain_buf_->region(static_cast<std::size_t>(core));
   bool any = false;
+  std::size_t processed = 0;
   for (auto& ring : req_rings_[static_cast<std::size_t>(core)]) {
     const std::size_t n = ring->PopBatch(buf, options_.drain_batch);
     if (n == 0) continue;
@@ -146,7 +193,13 @@ bool RtLockService::ServiceCore(int core) {
     domain_.Inc(core, c_batches_);
     domain_.GaugeSet(core, g_batch_, n);  // hwm tracks the largest drain.
     for (std::size_t i = 0; i < n; ++i) Process(core, c, buf[i]);
-    processed_.fetch_add(n, std::memory_order_release);
+    processed += n;
+  }
+  // Flush staged grants before acknowledging the requests as processed, so
+  // WaitQuiesce implies every completion is visible in its client ring.
+  if (options_.batch_submit && any) FlushStaged(core);
+  if (processed != 0) {
+    processed_.fetch_add(processed, std::memory_order_release);
   }
   if (any) {
     domain_.GaugeSet(core, g_mailbox_depth_, MailboxDepthApprox(core));
@@ -245,6 +298,14 @@ void RtLockService::Core::Sink::DeliverGrant(LockId lock,
   comp.mode = slot.mode;
   comp.txn = slot.txn_id;
   comp.granted_at = slot.timestamp;
+  if (svc.options_.batch_submit) {
+    // Stage the grant; ServiceCore flushes the whole batch after the drain.
+    // The cascade never blocks on a slow client's full completion ring.
+    svc.staging_[static_cast<std::size_t>(core)]
+        ->per_client[slot.client_node]
+        .push_back(comp);
+    return;
+  }
   SpscRing<RtCompletion>& ring =
       *svc.comp_rings_[slot.client_node][static_cast<std::size_t>(core)];
   // Backpressure: the client is the only consumer; if its completion ring
@@ -252,6 +313,32 @@ void RtLockService::Core::Sink::DeliverGrant(LockId lock,
   int spins = 0;
   while (!ring.TryPush(comp)) {
     if (++spins > 64) std::this_thread::yield();
+  }
+}
+
+void RtLockService::FlushStaged(int core) {
+  CoreStaging& staging = *staging_[static_cast<std::size_t>(core)];
+  for (std::size_t cl = 0; cl < staging.per_client.size(); ++cl) {
+    std::vector<RtCompletion>& buf = staging.per_client[cl];
+    if (buf.empty()) continue;
+    SpscRing<RtCompletion>& ring =
+        *comp_rings_[cl][static_cast<std::size_t>(core)];
+    std::size_t pushed = 0;
+    int spins = 0;
+    // Backpressure as before — but here, between drains, not mid-cascade.
+    while (pushed < buf.size()) {
+      const std::size_t k =
+          ring.PushBatch(buf.data() + pushed, buf.size() - pushed);
+      if (k == 0) {
+        if (++spins > 64) std::this_thread::yield();
+        continue;
+      }
+      pushed += k;
+      spins = 0;
+    }
+    domain_.Inc(core, c_flushes_);
+    domain_.Inc(core, c_staged_completions_, buf.size());
+    buf.clear();
   }
 }
 
@@ -264,6 +351,8 @@ RtLockService::Stats RtLockService::CoreStats(int core) const {
   s.mismatched_releases = domain_.CounterShard(core, c_mismatched_releases_);
   s.batches = domain_.CounterShard(core, c_batches_);
   s.max_batch = domain_.GaugeShardHighWater(core, g_batch_);
+  s.flushes = domain_.CounterShard(core, c_flushes_);
+  s.staged_completions = domain_.CounterShard(core, c_staged_completions_);
   return s;
 }
 
@@ -276,6 +365,8 @@ RtLockService::Stats RtLockService::TotalStats() const {
   total.mismatched_releases = domain_.CounterTotal(c_mismatched_releases_);
   total.batches = domain_.CounterTotal(c_batches_);
   total.max_batch = domain_.GaugeHighWater(g_batch_);
+  total.flushes = domain_.CounterTotal(c_flushes_);
+  total.staged_completions = domain_.CounterTotal(c_staged_completions_);
   return total;
 }
 

@@ -30,6 +30,7 @@
 #include "common/telemetry.h"
 #include "common/types.h"
 #include "core/lock_engine.h"
+#include "rt/aligned_buf.h"
 #include "rt/executor.h"
 #include "rt/spsc_ring.h"
 #include "substrate/execution_substrate.h"
@@ -74,6 +75,21 @@ class RtLockService {
     std::size_t drain_batch = 64;
     bool record_events = false;  ///< Oracle replay log (test builds).
     bool pin_threads = false;
+    /// Worker idle tuning, forwarded to RtExecutor::Options. The defaults
+    /// spin aggressively (dedicated-host latency mode); park-eager
+    /// settings (spin_rounds ~0, longer park_timeout) suit shared or
+    /// oversubscribed hosts, where spinning burns someone else's CPU and
+    /// every submit-side doorbell is a real futex wake — the regime the
+    /// --batch-submit A/B bench measures.
+    int spin_rounds = 256;
+    int yield_rounds = 16;
+    std::chrono::microseconds park_timeout{100};
+    /// Stage grants in a per-(core, client) buffer and flush them into the
+    /// completion rings once per drain with PushBatch, instead of pushing
+    /// (and possibly spin-waiting on a full client ring) inside the engine
+    /// cascade. Off = legacy direct push, kept as the A/B baseline for
+    /// --batch-submit.
+    bool batch_submit = true;
     /// Flight recorder on the hot path. On by default (a record is a few
     /// plain stores); `--telemetry=off` benches disable it to measure the
     /// overhead. An external `recorder` overrides ownership either way
@@ -94,6 +110,8 @@ class RtLockService {
     std::uint64_t mismatched_releases = 0;
     std::uint64_t batches = 0;    ///< Nonempty mailbox drains.
     std::uint64_t max_batch = 0;  ///< Largest single drain.
+    std::uint64_t flushes = 0;    ///< Staged-completion flushes.
+    std::uint64_t staged_completions = 0;  ///< Grants that were staged.
   };
 
   RtLockService(Options options, ExecutionSubstrate& substrate);
@@ -111,8 +129,16 @@ class RtLockService {
   int CoreFor(LockId lock) const;
 
   /// Called only from client thread `client`. Spin-waits (with yields) if
-  /// the target mailbox is full — backpressure, never loss.
+  /// the target mailbox is full — backpressure, never loss. Rings at most
+  /// one doorbell per push, and only at the worker owning the lock's core.
   void Submit(int client, const RtRequest& req);
+
+  /// Batched submit: pushes `n` requests — all of which must hash to
+  /// `core` (i.e. CoreFor(req.lock) == core) — into that core's mailbox
+  /// with one release-store per PushBatch and a single doorbell for the
+  /// whole flush. Called only from client thread `client`.
+  void SubmitBatch(int client, int core, const RtRequest* reqs,
+                   std::size_t n);
 
   /// Called only from client thread `client`; pops up to `max` grants.
   std::size_t PollCompletions(int client, RtCompletion* out,
@@ -166,7 +192,17 @@ class RtLockService {
     std::vector<RtEvent> events;
   };
 
+  /// Per-core staging for grant completions (batch_submit mode): the sink
+  /// appends here during the cascade; ServiceCore flushes per drain. One
+  /// cache line per core for the headers so appends never false-share.
+  struct alignas(64) CoreStaging {
+    std::vector<std::vector<RtCompletion>> per_client;
+  };
+
   bool ServiceCore(int core);
+  /// Pushes core's staged completions into the client rings (PushBatch,
+  /// spin-with-yield on full — backpressure outside the engine cascade).
+  void FlushStaged(int core);
   void Process(int core_idx, Core& core, const RtRequest& req);
   void RecordEvent(Core& core, RtEvent::Kind kind, LockId lock,
                    LockMode mode, TxnId txn);
@@ -181,7 +217,10 @@ class RtLockService {
   /// comp_rings_[client][core]: core -> client completions.
   std::vector<std::vector<std::unique_ptr<SpscRing<RtCompletion>>>>
       comp_rings_;
-  std::vector<RtRequest> drain_buf_;  ///< One per core, indexed regions.
+  /// Per-core drain scratch; each core's region starts on its own cache
+  /// line (adjacent regions used to share the boundary line).
+  std::unique_ptr<AlignedRegions<RtRequest>> drain_buf_;
+  std::vector<std::unique_ptr<CoreStaging>> staging_;  ///< One per core.
   std::unique_ptr<RtExecutor> executor_;
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> processed_{0};
@@ -195,6 +234,8 @@ class RtLockService {
   TelemetryCounter c_stale_releases_;
   TelemetryCounter c_mismatched_releases_;
   TelemetryCounter c_batches_;
+  TelemetryCounter c_flushes_;  ///< Nonempty staged-completion flushes.
+  TelemetryCounter c_staged_completions_;  ///< Grants routed via staging.
   TelemetryGauge g_mailbox_depth_;  ///< kSum: backlog across cores.
   TelemetryGauge g_batch_;          ///< kMax: hwm = largest drain batch.
 

@@ -57,6 +57,26 @@ class SpscRing {
     return true;
   }
 
+  /// Producer side: pushes up to `n` items from `src`, returning the count
+  /// pushed (0 when full). One release-store publishes the whole batch —
+  /// the submit-batching twin of PopBatch: a flush of k requests costs one
+  /// shared-atomic publish instead of k.
+  std::size_t PushBatch(const T* src, std::size_t n) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t free = mask_ + 1 - (tail - cached_head_);
+    if (free < n) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      free = mask_ + 1 - (tail - cached_head_);
+      if (free == 0) return 0;
+    }
+    const std::size_t k = n < free ? n : free;
+    for (std::size_t i = 0; i < k; ++i) {
+      slots_[(tail + i) & mask_] = src[i];
+    }
+    tail_.store(tail + k, std::memory_order_release);
+    return k;
+  }
+
   /// Consumer side: pops up to `max` items into `out`, returning the count.
   /// One acquire-load covers the whole batch — this is the request-batching
   /// point of the backend's mailbox drain.

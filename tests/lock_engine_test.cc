@@ -2,6 +2,11 @@
 // core shared by the simulated LockServer and the real-time RtLockService.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "core/lock_engine.h"
@@ -183,6 +188,328 @@ TEST(LockEngineTest, DropDrainedAssertsEmptyAndForgets) {
   engine.DropDrained(3);
   EXPECT_FALSE(engine.Owns(3));
   EXPECT_EQ(engine.num_owned(), 0u);
+}
+
+// --- Flat-table / slab-queue migration coverage ---
+// The wait queue stores up to 4 entries inline and spills the whole queue
+// into slab chunks beyond that; the table is open-addressing with
+// tombstones. These tests walk every migration edge: inline -> slab growth,
+// slab -> inline shrink, cascade runs crossing the spill boundary, deep
+// paused buffers, deep adopted backlogs, and table rehash/tombstone reuse.
+
+TEST(LockEngineTest, DeepQueueSpillsToSlabAndPreservesFifo) {
+  CapturingSink sink;
+  LockEngine engine(sink);
+  constexpr TxnId kWaiters = 20;  // Inline holds 4; forces chunk chains.
+  for (TxnId t = 1; t <= kWaiters; ++t) {
+    engine.Acquire(1, Slot(LockMode::kExclusive, t), t);
+  }
+  ASSERT_EQ(sink.grants.size(), 1u);
+  EXPECT_EQ(engine.QueueDepth(1), kWaiters);
+  for (TxnId t = 1; t <= kWaiters; ++t) {
+    EXPECT_EQ(engine.Release(1, LockMode::kExclusive, t, false, 100 + t),
+              ReleaseOutcome::kApplied);
+  }
+  // Strict FIFO through the spill: grant t, then t+1, ... up to kWaiters.
+  ASSERT_EQ(sink.grants.size(), kWaiters);
+  for (TxnId t = 1; t <= kWaiters; ++t) {
+    EXPECT_EQ(sink.grants[t - 1].slot.txn_id, t);
+  }
+  EXPECT_TRUE(engine.QueueEmpty(1));
+  EXPECT_EQ(sink.wait_ends.size(), kWaiters - 1);  // All but the first.
+}
+
+TEST(LockEngineTest, SpilledQueueRevertsToInlineAndRegrows) {
+  CapturingSink sink;
+  LockEngine engine(sink);
+  // Grow past the inline capacity, drain to empty (queue reverts to the
+  // inline fast path), then regrow — twice, to catch chunk-recycling bugs.
+  for (int round = 0; round < 2; ++round) {
+    const TxnId base = static_cast<TxnId>(round) * 100;
+    for (TxnId t = 1; t <= 10; ++t) {
+      engine.Acquire(2, Slot(LockMode::kExclusive, base + t), 0);
+    }
+    EXPECT_EQ(engine.QueueDepth(2), 10u);
+    for (TxnId t = 1; t <= 10; ++t) {
+      EXPECT_EQ(engine.Release(2, LockMode::kExclusive, base + t, false, 0),
+                ReleaseOutcome::kApplied);
+    }
+    EXPECT_TRUE(engine.QueueEmpty(2));
+  }
+  ASSERT_EQ(sink.grants.size(), 20u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(sink.grants[i].slot.txn_id, i + 1);
+    EXPECT_EQ(sink.grants[10 + i].slot.txn_id, 100 + i + 1);
+  }
+}
+
+TEST(LockEngineTest, SharedRunCascadeCrossesSpillBoundary) {
+  CapturingSink sink;
+  LockEngine engine(sink);
+  engine.Acquire(1, Slot(LockMode::kExclusive, 1), 0);
+  // 10 shared waiters + a trailing exclusive: the E->S cascade run spans
+  // the inline ring and two slab chunks.
+  for (TxnId t = 2; t <= 11; ++t) {
+    engine.Acquire(1, Slot(LockMode::kShared, t), 0);
+  }
+  engine.Acquire(1, Slot(LockMode::kExclusive, 12), 0);
+  ASSERT_EQ(sink.grants.size(), 1u);
+  EXPECT_EQ(engine.Release(1, LockMode::kExclusive, 1, false, 77),
+            ReleaseOutcome::kApplied);
+  // All 10 shareds granted in order, re-stamped; the exclusive still waits.
+  ASSERT_EQ(sink.grants.size(), 11u);
+  for (TxnId t = 2; t <= 11; ++t) {
+    EXPECT_EQ(sink.grants[t - 1].slot.txn_id, t);
+    EXPECT_EQ(sink.grants[t - 1].slot.timestamp, 77u);
+  }
+  EXPECT_EQ(engine.QueueDepth(1), 11u);
+}
+
+TEST(LockEngineTest, PausedBufferSpillsBeyondInlineCapacity) {
+  CapturingSink sink;
+  LockEngine engine(sink);
+  engine.SetPaused(5, true);
+  for (TxnId t = 1; t <= 12; ++t) {
+    engine.Acquire(5, Slot(LockMode::kExclusive, t), t);
+  }
+  EXPECT_TRUE(sink.grants.empty());
+  EXPECT_EQ(engine.TotalQueueDepth(), 12u);
+  const std::deque<QueueSlot> buffered = engine.TakePausedBuffer(5);
+  ASSERT_EQ(buffered.size(), 12u);
+  for (std::size_t i = 0; i < buffered.size(); ++i) {
+    EXPECT_EQ(buffered[i].txn_id, i + 1);  // Buffer order preserved.
+  }
+  EXPECT_EQ(engine.TotalQueueDepth(), 0u);
+}
+
+TEST(LockEngineTest, AdoptQueueInstallsDeepBacklog) {
+  CapturingSink sink;
+  LockEngine engine(sink);
+  std::deque<QueueSlot> backlog;
+  for (TxnId t = 1; t <= 6; ++t) {
+    backlog.push_back(Slot(LockMode::kShared, t));
+  }
+  for (TxnId t = 7; t <= 10; ++t) {
+    backlog.push_back(Slot(LockMode::kExclusive, t));
+  }
+  engine.AdoptQueue(4, std::move(backlog), 300);
+  // Leading shared run (6 entries, crossing the spill boundary) granted.
+  ASSERT_EQ(sink.grants.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(sink.grants[i].slot.txn_id, i + 1);
+    EXPECT_EQ(sink.grants[i].slot.timestamp, 300u);
+  }
+  EXPECT_EQ(engine.QueueDepth(4), 10u);
+  // Draining the adopted queue grants the exclusives one by one.
+  for (TxnId t = 1; t <= 6; ++t) {
+    EXPECT_EQ(engine.Release(4, LockMode::kShared, t, false, 301),
+              ReleaseOutcome::kApplied);
+  }
+  ASSERT_EQ(sink.grants.size(), 7u);
+  EXPECT_EQ(sink.grants[6].slot.txn_id, 7u);
+}
+
+TEST(LockEngineTest, TableGrowsDropsAndReusesManyLocks) {
+  CapturingSink sink;
+  LockEngine engine(sink);
+  constexpr LockId kLocks = 5000;  // Forces several rehash generations.
+  for (LockId l = 1; l <= kLocks; ++l) {
+    engine.Acquire(l, Slot(LockMode::kExclusive, l), 0);
+  }
+  EXPECT_EQ(engine.num_owned(), kLocks);
+  EXPECT_EQ(sink.grants.size(), kLocks);
+  for (LockId l = 1; l <= kLocks; ++l) {
+    ASSERT_TRUE(engine.Owns(l));
+    EXPECT_EQ(engine.QueueDepth(l), 1u);
+  }
+  // Drop every other lock (tombstones), then verify lookups still land.
+  for (LockId l = 1; l <= kLocks; l += 2) {
+    engine.Release(l, LockMode::kExclusive, l, false, 0);
+    engine.DropDrained(l);
+  }
+  EXPECT_EQ(engine.num_owned(), kLocks / 2);
+  for (LockId l = 1; l <= kLocks; ++l) {
+    EXPECT_EQ(engine.Owns(l), l % 2 == 0);
+  }
+  // Re-create the dropped half: tombstone slots and freed state indices
+  // must be reused without disturbing the survivors.
+  for (LockId l = 1; l <= kLocks; l += 2) {
+    engine.Acquire(l, Slot(LockMode::kShared, l + kLocks), 0);
+  }
+  EXPECT_EQ(engine.num_owned(), kLocks);
+  EXPECT_EQ(engine.TotalQueueDepth(), kLocks);
+  for (LockId l = 1; l <= kLocks; ++l) EXPECT_TRUE(engine.Owns(l));
+  EXPECT_EQ(engine.OwnedLocks().size(), kLocks);
+}
+
+// Differential test: the flat-table engine must be observationally
+// identical to a straightforward map-of-deques reference model of
+// Algorithm 2 — same grant stream, same release outcomes, same depths,
+// same harvested demand counters — over a randomized workload that mixes
+// valid releases, stale/mismatched releases, and queue depths well past
+// the inline capacity.
+class ReferenceEngine {
+ public:
+  struct RefLock {
+    std::deque<QueueSlot> queue;
+    std::uint32_t xcnt = 0;
+    std::uint64_t req_count = 0;
+    std::uint32_t max_depth = 1;
+  };
+
+  explicit ReferenceEngine(CapturingSink& sink) : sink_(sink) {}
+
+  void Acquire(LockId lock, QueueSlot slot, SimTime now) {
+    RefLock& st = locks_[lock];
+    ++st.req_count;
+    slot.timestamp = now;
+    const bool was_empty = st.queue.empty();
+    const bool all_shared = st.xcnt == 0;
+    st.queue.push_back(slot);
+    st.max_depth = std::max(
+        st.max_depth, static_cast<std::uint32_t>(st.queue.size()));
+    if (slot.mode == LockMode::kExclusive) ++st.xcnt;
+    if (was_empty || (all_shared && slot.mode == LockMode::kShared)) {
+      sink_.DeliverGrant(lock, st.queue.back());
+    }
+  }
+
+  ReleaseOutcome Release(LockId lock, LockMode mode, TxnId txn,
+                         SimTime now) {
+    auto it = locks_.find(lock);
+    if (it == locks_.end() || it->second.queue.empty()) {
+      return ReleaseOutcome::kStale;
+    }
+    RefLock& st = it->second;
+    const QueueSlot released = st.queue.front();
+    if (released.mode != mode ||
+        (mode == LockMode::kExclusive && released.txn_id != txn)) {
+      return ReleaseOutcome::kMismatched;
+    }
+    st.queue.pop_front();
+    if (released.mode == LockMode::kExclusive) --st.xcnt;
+    if (st.queue.empty()) return ReleaseOutcome::kApplied;
+    if (st.queue.front().mode == LockMode::kExclusive) {
+      st.queue.front().timestamp = now;
+      sink_.DeliverGrant(lock, st.queue.front());
+      return ReleaseOutcome::kApplied;
+    }
+    if (released.mode == LockMode::kShared) return ReleaseOutcome::kApplied;
+    for (QueueSlot& slot : st.queue) {
+      if (slot.mode == LockMode::kExclusive) break;
+      slot.timestamp = now;
+      sink_.DeliverGrant(lock, slot);
+    }
+    return ReleaseOutcome::kApplied;
+  }
+
+  std::size_t QueueDepth(LockId lock) const {
+    auto it = locks_.find(lock);
+    return it == locks_.end() ? 0 : it->second.queue.size();
+  }
+
+  std::size_t TotalQueueDepth() const {
+    std::size_t total = 0;
+    for (const auto& [lock, st] : locks_) total += st.queue.size();
+    return total;
+  }
+
+  std::map<LockId, RefLock>& locks() { return locks_; }
+
+ private:
+  CapturingSink& sink_;
+  std::map<LockId, RefLock> locks_;
+};
+
+TEST(LockEngineTest, RandomizedDifferentialMatchesReferenceModel) {
+  CapturingSink engine_sink;
+  CapturingSink ref_sink;
+  LockEngine engine(engine_sink);
+  ReferenceEngine ref(ref_sink);
+
+  constexpr LockId kLockSpace = 24;  // Few locks -> deep queues.
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+  const auto next = [&rng]() {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+
+  TxnId next_txn = 1;
+  SimTime now = 0;
+  for (int op = 0; op < 20000; ++op) {
+    ++now;
+    const LockId lock = 1 + next() % kLockSpace;
+    const std::uint64_t roll = next() % 100;
+    if (roll < 55) {
+      const LockMode mode =
+          next() % 10 < 3 ? LockMode::kShared : LockMode::kExclusive;
+      const QueueSlot slot = Slot(mode, next_txn++);
+      engine.Acquire(lock, slot, now);
+      ref.Acquire(lock, slot, now);
+    } else if (roll < 90) {
+      // Valid release of the current head (if any) — drives the cascade.
+      const auto it = ref.locks().find(lock);
+      if (it == ref.locks().end() || it->second.queue.empty()) continue;
+      const QueueSlot head = it->second.queue.front();
+      const ReleaseOutcome got =
+          engine.Release(lock, head.mode, head.txn_id, false, now);
+      const ReleaseOutcome want =
+          ref.Release(lock, head.mode, head.txn_id, now);
+      ASSERT_EQ(got, want);
+      ASSERT_EQ(got, ReleaseOutcome::kApplied);
+    } else {
+      // Bogus release: random mode/txn. Both sides must agree on the
+      // verdict (kStale / kMismatched / occasionally kApplied).
+      const LockMode mode =
+          next() % 2 == 0 ? LockMode::kShared : LockMode::kExclusive;
+      const TxnId txn = 1 + next() % (next_txn > 1 ? next_txn - 1 : 1);
+      const ReleaseOutcome got = engine.Release(lock, mode, txn, false, now);
+      const ReleaseOutcome want = ref.Release(lock, mode, txn, now);
+      ASSERT_EQ(got, want);
+    }
+    // Grant streams must match op for op (same order, same stamps).
+    ASSERT_EQ(engine_sink.grants.size(), ref_sink.grants.size())
+        << "diverged at op " << op;
+    if (!engine_sink.grants.empty()) {
+      const CapturedGrant& a = engine_sink.grants.back();
+      const CapturedGrant& b = ref_sink.grants.back();
+      ASSERT_EQ(a.lock, b.lock);
+      ASSERT_EQ(a.slot.txn_id, b.slot.txn_id);
+      ASSERT_EQ(a.slot.mode, b.slot.mode);
+      ASSERT_EQ(a.slot.timestamp, b.slot.timestamp);
+    }
+    ASSERT_EQ(engine.QueueDepth(lock), ref.QueueDepth(lock));
+  }
+
+  // Full-stream and aggregate-state comparison.
+  ASSERT_EQ(engine_sink.grants.size(), ref_sink.grants.size());
+  for (std::size_t i = 0; i < engine_sink.grants.size(); ++i) {
+    ASSERT_EQ(engine_sink.grants[i].lock, ref_sink.grants[i].lock);
+    ASSERT_EQ(engine_sink.grants[i].slot.txn_id,
+              ref_sink.grants[i].slot.txn_id);
+  }
+  EXPECT_EQ(engine.TotalQueueDepth(), ref.TotalQueueDepth());
+
+  // HarvestDemands equivalence: same per-lock request counts and max
+  // depths as the reference tracked (order-insensitive).
+  std::vector<LockDemand> demands;
+  engine.HarvestDemands(/*window_sec=*/1.0, demands);
+  std::map<LockId, std::pair<double, std::uint32_t>> harvested;
+  for (const LockDemand& d : demands) {
+    harvested[d.lock] = {d.rate, d.contention};
+  }
+  for (const auto& [lock, st] : ref.locks()) {
+    if (st.req_count == 0) {
+      EXPECT_EQ(harvested.count(lock), 0u);
+      continue;
+    }
+    ASSERT_EQ(harvested.count(lock), 1u) << "lock " << lock;
+    EXPECT_DOUBLE_EQ(harvested[lock].first,
+                     static_cast<double>(st.req_count));
+    EXPECT_EQ(harvested[lock].second, std::max(1u, st.max_depth));
+  }
 }
 
 }  // namespace

@@ -113,6 +113,71 @@ TEST(RtBackendTest, SimAndRtBackendsAgreeOnGrantCounts) {
   EXPECT_EQ(rt.residual_queue_depth, 0u);
 }
 
+// The staged/batched hot path (--batch-submit=on, the default) and the
+// legacy per-request path must be observationally identical: same commits,
+// same grants, same request counts, both fully drained — and both equal to
+// the simulator's byte-identical run of the same seeded workload.
+TEST(RtBackendTest, BatchedAndLegacySubmitPathsAgreeWithSim) {
+  BackendRunConfig config = SmallRun();
+  config.txns_per_session = 150;
+
+  SimContext sim_context;
+  config.context = &sim_context;
+  const BackendRunResult sim = RunMicroFixedCount(BackendKind::kSim, config);
+
+  SimContext batched_context;
+  config.context = &batched_context;
+  config.rt_batch_submit = true;
+  const BackendRunResult batched =
+      RunMicroFixedCount(BackendKind::kRt, config);
+
+  SimContext legacy_context;
+  config.context = &legacy_context;
+  config.rt_batch_submit = false;
+  const BackendRunResult legacy =
+      RunMicroFixedCount(BackendKind::kRt, config);
+
+  for (const BackendRunResult* rt : {&batched, &legacy}) {
+    EXPECT_EQ(rt->commits, sim.commits);
+    EXPECT_EQ(rt->service_grants, sim.service_grants);
+    EXPECT_EQ(rt->metrics.lock_requests, sim.metrics.lock_requests);
+    EXPECT_EQ(rt->residual_queue_depth, 0u);
+  }
+  // Staging bookkeeping: on the batched run every grant went through the
+  // per-core staging buffers; on the legacy run none did.
+  EXPECT_EQ(
+      batched_context.metrics().Counter("rt.staged_completions").value(),
+      batched.service_grants);
+  EXPECT_GT(batched_context.metrics().Counter("rt.flushes").value(), 0u);
+  EXPECT_EQ(
+      legacy_context.metrics().Counter("rt.staged_completions").value(), 0u);
+  EXPECT_EQ(legacy_context.metrics().Counter("rt.flushes").value(), 0u);
+}
+
+// Oracle replay over the legacy (non-batched) submit path: the default
+// path is covered by OracleHoldsOverMulticoreGrantStream; this pins the
+// A/B baseline to the same mutual-exclusion and FIFO guarantees.
+TEST(RtBackendTest, OracleHoldsWithLegacySubmitPath) {
+  SimContext context;
+  BackendRunConfig config = SmallRun();
+  config.context = &context;
+  config.rt_cores = 4;
+  config.rt_client_threads = 4;
+  config.rt_record_events = true;
+  config.rt_batch_submit = false;
+  const BackendRunResult result =
+      RunMicroFixedCount(BackendKind::kRt, config);
+  ASSERT_FALSE(result.events.empty());
+
+  testing::LockOracle oracle;
+  testing::ReplayRtEventsThroughOracle(result.events, oracle);
+  EXPECT_EQ(oracle.violations(), 0u)
+      << (oracle.violation_log().empty() ? "" : oracle.violation_log()[0]);
+  EXPECT_EQ(oracle.fifo_violations(), 0u);
+  EXPECT_EQ(oracle.grants(), result.service_grants);
+  EXPECT_EQ(oracle.TotalHolders(), 0u);
+}
+
 TEST(RtBackendTest, TimedRunReportsWallClockWindow) {
   SimContext context;
   BackendRunConfig config = SmallRun();

@@ -60,6 +60,101 @@ TEST(SpscRingTest, PopBatchDrainsUpToMax) {
   EXPECT_EQ(ring.PopBatch(buf, 16), 0u);  // Empty.
 }
 
+TEST(SpscRingTest, PushBatchPublishesAllAndReportsPartialOnFull) {
+  SpscRing<int> ring(8);
+  const int first[5] = {0, 1, 2, 3, 4};
+  EXPECT_EQ(ring.PushBatch(first, 5), 5u);
+  // Only 3 slots left: the batch is cut short, not rejected.
+  const int second[6] = {5, 6, 7, 8, 9, 10};
+  EXPECT_EQ(ring.PushBatch(second, 6), 3u);
+  EXPECT_EQ(ring.PushBatch(second, 6), 0u);  // Full.
+  int v = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.TryPop(&v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_TRUE(ring.Empty());
+}
+
+TEST(SpscRingTest, PushBatchWrapAroundPreservesOrder) {
+  SpscRing<int> ring(8);
+  int buf[8];
+  int value = 0;
+  int expect = 0;
+  // Interleave batch pushes and pops at co-prime strides so the batch
+  // window straddles the index wrap on most iterations.
+  for (int round = 0; round < 200; ++round) {
+    int batch[5];
+    for (int i = 0; i < 5; ++i) batch[i] = value++;
+    ASSERT_EQ(ring.PushBatch(batch, 5), 5u);
+    const std::size_t n = ring.PopBatch(buf, 3);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(buf[i], expect);
+      ++expect;
+    }
+    // Drain fully every few rounds so the ring never overflows.
+    if (round % 2 == 1) {
+      std::size_t m;
+      while ((m = ring.PopBatch(buf, 8)) > 0) {
+        for (std::size_t i = 0; i < m; ++i) {
+          ASSERT_EQ(buf[i], expect);
+          ++expect;
+        }
+      }
+    }
+  }
+  while (true) {
+    const std::size_t m = ring.PopBatch(buf, 8);
+    if (m == 0) break;
+    for (std::size_t i = 0; i < m; ++i) {
+      ASSERT_EQ(buf[i], expect);
+      ++expect;
+    }
+  }
+  EXPECT_EQ(expect, value);  // Nothing lost, nothing duplicated.
+}
+
+TEST(SpscRingTest, PushBatchTwoThreadStressTransfersEverythingInOrder) {
+  SpscRing<std::uint64_t> ring(64);
+  constexpr std::uint64_t kItems = 200'000;
+  std::thread producer([&] {
+    std::uint64_t next = 0;
+    std::uint64_t batch[13];
+    while (next < kItems) {
+      // Varying batch sizes (1..13) exercise every wrap alignment.
+      std::uint64_t want = 1 + next % 13;
+      if (want > kItems - next) want = kItems - next;
+      for (std::uint64_t i = 0; i < want; ++i) batch[i] = next + i;
+      std::uint64_t pushed = 0;
+      while (pushed < want) {
+        const std::size_t k =
+            ring.PushBatch(batch + pushed, want - pushed);
+        if (k == 0) {
+          std::this_thread::yield();
+          continue;
+        }
+        pushed += k;
+      }
+      next += want;
+    }
+  });
+  std::uint64_t expect = 0;
+  std::uint64_t buf[32];
+  while (expect < kItems) {
+    const std::size_t n = ring.PopBatch(buf, 32);
+    if (n == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(buf[i], expect);  // FIFO, no loss, no duplication.
+      ++expect;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.Empty());
+}
+
 TEST(SpscRingTest, TwoThreadStressTransfersEverythingInOrder) {
   SpscRing<std::uint64_t> ring(64);
   constexpr std::uint64_t kItems = 200'000;
