@@ -26,6 +26,8 @@ std::unique_ptr<LockSession> ServerOnlyManager::CreateSession(
     ClientMachine& machine, TenantId tenant) {
   ServerOnlySession::Config config;
   config.tenant = tenant;
+  config.retry_timeout = session_defaults_.retry_timeout;
+  config.max_retries = session_defaults_.max_retries;
   return std::make_unique<ServerOnlySession>(machine, *this, config);
 }
 
@@ -77,6 +79,33 @@ void ServerOnlySession::Release(LockId lock, LockMode mode, TxnId txn) {
       MakeLockPacket(node_, manager_.ServerNodeFor(lock), hdr));
 }
 
+void ServerOnlySession::Cancel(LockId lock, LockMode mode, TxnId txn) {
+  pending_.erase(std::make_pair(lock, txn));  // Callback never fires.
+  Invalidate(lock, txn);
+  LockHeader hdr;
+  hdr.op = LockOp::kCancel;
+  hdr.lock_id = lock;
+  hdr.mode = mode;
+  hdr.txn_id = txn;
+  hdr.client_node = node_;
+  hdr.timestamp = machine_.net().sim().now();
+  machine_.Send(MakeLockPacket(node_, manager_.ServerNodeFor(lock), hdr));
+}
+
+void ServerOnlySession::Invalidate(LockId lock, TxnId txn) {
+  const auto pair = std::make_pair(lock, txn);
+  if (!invalidated_.insert(pair).second) return;
+  invalidated_fifo_.push_back(pair);
+  while (invalidated_fifo_.size() > 1024) {
+    invalidated_.erase(invalidated_fifo_.front());
+    invalidated_fifo_.pop_front();
+  }
+}
+
+bool ServerOnlySession::Invalidated(LockId lock, TxnId txn) const {
+  return invalidated_.count(std::make_pair(lock, txn)) != 0;
+}
+
 void ServerOnlySession::SendAcquire(LockId lock, TxnId txn,
                                     const Pending& pending) {
   LockHeader hdr;
@@ -113,7 +142,25 @@ void ServerOnlySession::ArmRetry(LockId lock, TxnId txn,
 
 void ServerOnlySession::OnPacket(const Packet& pkt) {
   const std::optional<LockHeader> hdr = LockHeader::Parse(pkt);
-  if (!hdr || hdr->op != LockOp::kGrant) return;
+  if (!hdr) return;
+  if (hdr->op == LockOp::kAbort) {
+    // Deadlock-policy refusal (no-wait/wait-die) or revocation (wound);
+    // the queue entry is gone server-side either way.
+    const auto it =
+        pending_.find(std::make_pair(hdr->lock_id, hdr->txn_id));
+    if (it != pending_.end()) {
+      Invalidate(hdr->lock_id, hdr->txn_id);
+      AcquireCallback cb = std::move(it->second.cb);
+      pending_.erase(it);
+      cb(AcquireResult::kAborted);
+    } else if (static_cast<AbortReason>(hdr->aux) == AbortReason::kWound) {
+      // Held lock wounded away: the holder must not release it.
+      Invalidate(hdr->lock_id, hdr->txn_id);
+      if (wound_observer_) wound_observer_(hdr->lock_id, hdr->txn_id);
+    }
+    return;
+  }
+  if (hdr->op != LockOp::kGrant) return;
   if (!grant_filter_.empty()) {
     // Drop network-duplicated grant copies so the ghost release below
     // fires once per queue entry (see NetLockSession::OnPacket).
@@ -125,6 +172,9 @@ void ServerOnlySession::OnPacket(const Packet& pkt) {
   }
   const auto it = pending_.find(std::make_pair(hdr->lock_id, hdr->txn_id));
   if (it == pending_.end()) {
+    // A grant racing a cancel/wound: the entry is already removed, so a
+    // ghost release would blind-pop some other waiter's entry. Drop it.
+    if (Invalidated(hdr->lock_id, hdr->txn_id)) return;
     // Unsolicited grant (duplicate/late): release so the queue slot is
     // reclaimed immediately rather than by lease expiry.
     Release(hdr->lock_id, hdr->mode, hdr->txn_id);

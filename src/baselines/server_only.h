@@ -7,7 +7,10 @@
 // exists to remove. Reuses the LockServer substrate in owner-only mode.
 #pragma once
 
+#include <deque>
 #include <memory>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "client/client.h"
@@ -19,8 +22,19 @@ namespace netlock {
 
 class ServerOnlyManager {
  public:
+  struct SessionDefaults {
+    SimTime retry_timeout = 5 * kMillisecond;
+    int max_retries = 16;
+  };
+
   ServerOnlyManager(Network& net, LockServerConfig server_config,
                     int num_servers);
+
+  /// Retry parameters applied to every subsequently created session (the
+  /// harness plumbs its client_retry_timeout here).
+  void set_session_defaults(SessionDefaults defaults) {
+    session_defaults_ = defaults;
+  }
 
   std::unique_ptr<LockSession> CreateSession(ClientMachine& machine,
                                              TenantId tenant = 0);
@@ -37,6 +51,7 @@ class ServerOnlyManager {
  private:
   Network& net_;
   std::vector<std::unique_ptr<LockServer>> servers_;
+  SessionDefaults session_defaults_;
 };
 
 /// Session that routes each lock to its home server directly.
@@ -56,6 +71,11 @@ class ServerOnlySession : public LockSession {
   void Acquire(LockId lock, LockMode mode, TxnId txn, Priority priority,
                AcquireCallback cb) override;
   void Release(LockId lock, LockMode mode, TxnId txn) override;
+  void Cancel(LockId lock, LockMode mode, TxnId txn) override;
+  void set_wound_observer(
+      std::function<void(LockId, TxnId)> obs) override {
+    wound_observer_ = std::move(obs);
+  }
   NodeId node() const override { return node_; }
 
  private:
@@ -69,6 +89,8 @@ class ServerOnlySession : public LockSession {
   void OnPacket(const Packet& pkt);
   void SendAcquire(LockId lock, TxnId txn, const Pending& pending);
   void ArmRetry(LockId lock, TxnId txn, std::uint64_t epoch);
+  void Invalidate(LockId lock, TxnId txn);
+  bool Invalidated(LockId lock, TxnId txn) const;
 
   ClientMachine& machine_;
   const ServerOnlyManager& manager_;
@@ -82,6 +104,11 @@ class ServerOnlySession : public LockSession {
   /// Grant-dedup fingerprints (see NetLockSession::grant_filter_): drops
   /// duplicated grant copies before they re-fire the ghost release.
   std::vector<std::uint64_t> grant_filter_;
+  /// Pairs whose entries a cancel/wound already removed server-side; a
+  /// racing grant for one must not ghost-release (see NetLockSession).
+  std::set<std::pair<LockId, TxnId>> invalidated_;
+  std::deque<std::pair<LockId, TxnId>> invalidated_fifo_;
+  std::function<void(LockId, TxnId)> wound_observer_;
 };
 
 }  // namespace netlock

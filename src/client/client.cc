@@ -1,6 +1,7 @@
 #include "client/client.h"
 
 #include "common/check.h"
+#include "core/lock_engine.h"  // AbortReason (carried in kAbort's aux).
 
 namespace netlock {
 
@@ -76,6 +77,43 @@ void NetLockSession::Release(LockId lock, LockMode mode, TxnId txn) {
   machine_.Send(MakeLockPacket(node_, target, hdr));
 }
 
+void NetLockSession::Cancel(LockId lock, LockMode mode, TxnId txn) {
+  const auto it = pending_.find(std::make_pair(lock, txn));
+  if (it != pending_.end()) {
+    if (trace_->Sampled(lock, txn)) {
+      trace_->AsyncEnd(TraceTrack::kClient, "lock_request",
+                       machine_.net().sim().now(),
+                       TraceLog::RequestId(lock, txn));
+    }
+    pending_.erase(it);  // Withdrawn: the callback never fires.
+  }
+  Invalidate(lock, txn);
+  LockHeader hdr;
+  hdr.op = LockOp::kCancel;
+  hdr.lock_id = lock;
+  hdr.mode = mode;
+  hdr.txn_id = txn;
+  hdr.client_node = node_;
+  hdr.timestamp = machine_.net().sim().now();
+  machine_.Send(MakeLockPacket(node_, config_.switch_node, hdr));
+}
+
+void NetLockSession::Invalidate(LockId lock, TxnId txn) {
+  const auto pair = std::make_pair(lock, txn);
+  if (!invalidated_.insert(pair).second) return;
+  invalidated_fifo_.push_back(pair);
+  // Bounded: old entries matter only while a pre-abort grant could still be
+  // in flight, which is bounded by network delay, not by run length.
+  while (invalidated_fifo_.size() > 1024) {
+    invalidated_.erase(invalidated_fifo_.front());
+    invalidated_fifo_.pop_front();
+  }
+}
+
+bool NetLockSession::Invalidated(LockId lock, TxnId txn) const {
+  return invalidated_.count(std::make_pair(lock, txn)) != 0;
+}
+
 void NetLockSession::SendAcquire(LockId lock, TxnId txn,
                                  const Pending& pending) {
   LockHeader hdr;
@@ -140,8 +178,42 @@ void NetLockSession::OnPacket(const Packet& pkt) {
     reg = fp;  // Collisions just evict: the filter is best-effort.
   }
   const auto it = pending_.find(std::make_pair(hdr->lock_id, hdr->txn_id));
+  if (hdr->op == LockOp::kAbort) {
+    // A deadlock policy refused (no-wait/wait-die) or revoked (wound) this
+    // transaction's entry. Either way the entry is gone server-side.
+    const auto reason = static_cast<AbortReason>(hdr->aux);
+    if (it != pending_.end()) {
+      // Still waiting: resolve the acquire as aborted. Invalidate so a
+      // grant racing the abort (from a retransmit-created second entry)
+      // does not ghost-release some other waiter's slot.
+      Invalidate(hdr->lock_id, hdr->txn_id);
+      AcquireCallback cb = std::move(it->second.cb);
+      if (trace_->Sampled(hdr->lock_id, hdr->txn_id)) {
+        const SimTime now = machine_.net().sim().now();
+        const std::uint64_t id =
+            TraceLog::RequestId(hdr->lock_id, hdr->txn_id);
+        trace_->Instant(TraceTrack::kClient, "client.aborted", now, id);
+        trace_->AsyncEnd(TraceTrack::kClient, "lock_request", now, id);
+      }
+      pending_.erase(it);
+      cb(AcquireResult::kAborted);
+    } else if (reason == AbortReason::kWound) {
+      // The grant was already consumed: a *held* lock was wounded away.
+      // The holder must treat it as lost and must not release it.
+      Invalidate(hdr->lock_id, hdr->txn_id);
+      grant_source_.erase(std::make_pair(hdr->lock_id, hdr->txn_id));
+      if (wound_observer_) wound_observer_(hdr->lock_id, hdr->txn_id);
+    }
+    // Abort for an unknown, non-wound pair: stale duplicate; drop.
+    return;
+  }
   if (it == pending_.end()) {
     if (hdr->op == LockOp::kGrant || hdr->op == LockOp::kData) {
+      if (Invalidated(hdr->lock_id, hdr->txn_id)) {
+        // This grant's queue entry was already removed by a cancel/wound;
+        // ghost-releasing it would pop a different waiter's entry.
+        return;
+      }
       // Unsolicited grant: a duplicate from a retransmitted acquire, or one
       // that arrived after this request timed out. Release it immediately
       // so the queue slot is reclaimed at wire speed; leaving it to lease

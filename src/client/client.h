@@ -10,9 +10,12 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
+#include <utility>
 
 #include "common/types.h"
 #include "net/lock_wire.h"
@@ -35,6 +38,23 @@ class LockSession {
 
   /// Releases a lock previously granted to `txn`.
   virtual void Release(LockId lock, LockMode mode, TxnId txn) = 0;
+
+  /// Withdraws a still-pending acquire (no callback will fire) and asks the
+  /// manager to drop every queue entry of (lock, txn). Used when a deadlock
+  /// policy aborts the transaction while this acquire is in flight. Only
+  /// meaningful on backends with a deadlock policy; default no-op.
+  virtual void Cancel(LockId lock, LockMode mode, TxnId txn) {
+    (void)lock;
+    (void)mode;
+    (void)txn;
+  }
+
+  /// Observer fired when the manager *revokes an already-granted* lock
+  /// (wound-wait): the entry is gone server-side, so the holder must treat
+  /// the lock as lost and must NOT release it. Default: unsupported no-op.
+  virtual void set_wound_observer(std::function<void(LockId, TxnId)> obs) {
+    (void)obs;
+  }
 
   /// Network address grants are delivered to.
   virtual NodeId node() const = 0;
@@ -108,6 +128,11 @@ class NetLockSession : public LockSession {
   void Acquire(LockId lock, LockMode mode, TxnId txn, Priority priority,
                AcquireCallback cb) override;
   void Release(LockId lock, LockMode mode, TxnId txn) override;
+  void Cancel(LockId lock, LockMode mode, TxnId txn) override;
+  void set_wound_observer(
+      std::function<void(LockId, TxnId)> obs) override {
+    wound_observer_ = std::move(obs);
+  }
   NodeId node() const override { return node_; }
 
   /// Re-points future acquires at a different lock switch (backup-switch
@@ -144,6 +169,8 @@ class NetLockSession : public LockSession {
   void OnPacket(const Packet& pkt);
   void SendAcquire(LockId lock, TxnId txn, const Pending& pending);
   void ArmRetry(LockId lock, TxnId txn, std::uint64_t epoch, SimTime delay);
+  void Invalidate(LockId lock, TxnId txn);
+  bool Invalidated(LockId lock, TxnId txn) const;
 
   ClientMachine& machine_;
   Config config_;
@@ -177,6 +204,14 @@ class NetLockSession : public LockSession {
   /// a grant matches its original and is dropped; the grant of a distinct
   /// queue entry carries a fresh nonce and passes.
   std::vector<std::uint64_t> grant_filter_;
+  /// (lock, txn) pairs whose queue entries a deadlock-policy abort (cancel
+  /// or wound) removed server-side. A grant for such a pair that was in
+  /// flight when the abort landed must NOT take the unsolicited-grant
+  /// ghost-release path: its queue entry is already gone, so the release
+  /// would blind-pop some *other* waiter's entry. FIFO-bounded.
+  std::set<std::pair<LockId, TxnId>> invalidated_;
+  std::deque<std::pair<LockId, TxnId>> invalidated_fifo_;
+  std::function<void(LockId, TxnId)> wound_observer_;
 };
 
 }  // namespace netlock

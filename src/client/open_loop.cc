@@ -18,6 +18,8 @@ OpenLoopEngine::OpenLoopEngine(Simulator& sim, LockSession& session,
       config_(config) {
   NETLOCK_CHECK(workload_ != nullptr);
   NETLOCK_CHECK(config_.offered_tps > 0.0);
+  session_.set_wound_observer(
+      [this](LockId lock, TxnId txn) { OnWound(lock, txn); });
 }
 
 void OpenLoopEngine::Start() { ScheduleNextArrival(); }
@@ -50,12 +52,14 @@ void OpenLoopEngine::BeginTxn() {
   const TxnId txn_id = MakeTxnId(engine_id_, ++txn_counter_);
   Txn txn;
   txn.spec = workload_->Next(rng_);
-  // Order by the backend's conflict unit (see TxnEngine for rationale).
-  std::sort(txn.spec.locks.begin(), txn.spec.locks.end(),
-            [this](const LockRequest& a, const LockRequest& b) {
-              return session_.ConflictUnit(a.lock) <
-                     session_.ConflictUnit(b.lock);
-            });
+  if (!config_.preserve_workload_order) {
+    // Order by the backend's conflict unit (see TxnEngine for rationale).
+    std::sort(txn.spec.locks.begin(), txn.spec.locks.end(),
+              [this](const LockRequest& a, const LockRequest& b) {
+                return session_.ConflictUnit(a.lock) <
+                       session_.ConflictUnit(b.lock);
+              });
+  }
   txn.started = sim_.now();
   ++outstanding_;
   const bool empty = txn.spec.locks.empty();
@@ -115,9 +119,32 @@ void OpenLoopEngine::OnResult(TxnId txn_id, AcquireResult result) {
   }
 }
 
+void OpenLoopEngine::OnWound(LockId lock, TxnId txn_id) {
+  const auto it = in_flight_.find(txn_id);
+  if (it == in_flight_.end()) return;  // Stale wound: already done.
+  Txn& txn = it->second;
+  ++wounds_;
+  if (recording_) ++metrics_.retries;
+  // Release held locks except the wounded one (its entry is already gone
+  // server-side); cancel the acquire still in flight, if any. No retry:
+  // open-loop arrivals keep coming.
+  for (std::size_t i = 0; i < txn.next_lock; ++i) {
+    const LockRequest& req = txn.spec.locks[i];
+    if (req.lock == lock) continue;
+    session_.Release(req.lock, req.mode, txn_id);
+  }
+  if (txn.next_lock < txn.spec.locks.size()) {
+    const LockRequest& req = txn.spec.locks[txn.next_lock];
+    session_.Cancel(req.lock, req.mode, txn_id);
+  }
+  in_flight_.erase(it);
+  --outstanding_;
+}
+
 void OpenLoopEngine::Commit(TxnId txn_id) {
   const auto it = in_flight_.find(txn_id);
-  NETLOCK_CHECK(it != in_flight_.end());
+  // A wound during think time already tore the transaction down.
+  if (it == in_flight_.end()) return;
   Txn& txn = it->second;
   for (const LockRequest& req : txn.spec.locks) {
     session_.Release(req.lock, req.mode, txn_id);

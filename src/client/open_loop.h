@@ -14,6 +14,7 @@
 #include <unordered_map>
 
 #include "client/client.h"
+#include "common/check.h"
 #include "common/random.h"
 #include "common/stats.h"
 #include "sim/simulator.h"
@@ -30,6 +31,9 @@ struct OpenLoopConfig {
   /// counted (the overload signal).
   std::uint32_t max_outstanding = 256;
   Priority priority = 0;
+  /// Acquire in workload order (no conflict-unit sort) — deadlock-prone on
+  /// purpose; see TxnEngineConfig::preserve_workload_order.
+  bool preserve_workload_order = false;
 };
 
 class OpenLoopEngine {
@@ -50,9 +54,17 @@ class OpenLoopEngine {
 
   void SetRecording(bool on) { recording_ = on; }
 
+  /// Changes the offered arrival rate mid-run (takes effect from the next
+  /// scheduled gap). Drives flash-crowd scenario phases.
+  void set_offered_tps(double tps) {
+    NETLOCK_CHECK(tps > 0.0);
+    config_.offered_tps = tps;
+  }
+
   RunMetrics& metrics() { return metrics_; }
   std::uint64_t dropped_arrivals() const { return dropped_; }
   std::uint32_t outstanding() const { return outstanding_; }
+  std::uint64_t wounds() const { return wounds_; }
 
   /// Bits of the txn id reserved for the per-engine counter; the engine id
   /// occupies the bits above them.
@@ -76,6 +88,7 @@ class OpenLoopEngine {
   void AcquireNext(TxnId txn_id);
   void OnResult(TxnId txn_id, AcquireResult result);
   void Commit(TxnId txn_id);
+  void OnWound(LockId lock, TxnId txn_id);
 
   Simulator& sim_;
   LockSession& session_;
@@ -88,6 +101,7 @@ class OpenLoopEngine {
   std::uint64_t txn_counter_ = 0;
   std::uint32_t outstanding_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t wounds_ = 0;
   bool stopped_ = false;
   bool recording_ = false;
   RunMetrics metrics_;

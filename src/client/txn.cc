@@ -21,6 +21,9 @@ TxnEngine::TxnEngine(Simulator& sim, LockSession& session,
       grants_metric_(
           &sim.context().metrics().Counter("client.lock_grants")) {
   NETLOCK_CHECK(workload_ != nullptr);
+  // No-op on backends without a deadlock policy (default implementation).
+  session_.set_wound_observer(
+      [this](LockId lock, TxnId txn) { OnWound(lock, txn); });
 }
 
 void TxnEngine::Start() { StartNextTxn(); }
@@ -40,6 +43,16 @@ void TxnEngine::StartNextTxn() {
   idle_ = false;
   current_ = workload_->Next(rng_);
   NETLOCK_CHECK(!current_.locks.empty());
+  if (config_.preserve_workload_order) {
+    // Deadlock-prone on purpose: keep the workload's (unordered) sequence
+    // so conflicting transactions can wait on each other in a cycle — the
+    // scenario the deadlock policies exist to break.
+    current_txn_ = (static_cast<TxnId>(engine_id_) << 40) | ++txn_counter_;
+    next_lock_ = 0;
+    txn_start_ = sim_.now();
+    AcquireNext();
+    return;
+  }
   // Re-normalize at the backend's conflict granularity: coarsening
   // backends (NetChain cells) need ordering and deduplication by conflict
   // unit, or hash collisions produce unpreventable deadlock cycles and
@@ -94,11 +107,16 @@ void TxnEngine::OnAcquireResult(std::size_t index, AcquireResult result) {
     AcquireNext();
     return;
   }
-  // All locks held: execute, then commit.
+  // All locks held: execute, then commit. The commit is guarded by the
+  // transaction id: a wound during think time aborts the transaction, and
+  // the stale commit must not release locks the retry is re-acquiring.
   if (config_.think_time == 0) {
     CommitAndRelease();
   } else {
-    sim_.Schedule(config_.think_time, [this]() { CommitAndRelease(); });
+    sim_.Schedule(config_.think_time, [this, txn = current_txn_]() {
+      if (aborting_ || txn != current_txn_) return;
+      CommitAndRelease();
+    });
   }
 }
 
@@ -108,6 +126,7 @@ void TxnEngine::CommitAndRelease() {
   }
   commits_metric_->Inc();
   ++completed_txns_;
+  committed_lock_grants_ += current_.locks.size();
   if (recording_) {
     ++metrics_.txn_commits;
     metrics_.txn_latency.Record(sim_.now() - txn_start_);
@@ -129,7 +148,38 @@ void TxnEngine::AbortAndRetry(std::size_t acquired) {
     session_.Release(current_.locks[i].lock, current_.locks[i].mode,
                      current_txn_);
   }
+  ScheduleRetry();
+}
+
+void TxnEngine::OnWound(LockId lock, TxnId txn) {
+  // Stale wound (previous transaction, or one we are already aborting):
+  // its locks are released or being released; nothing to do.
+  if (txn != current_txn_ || idle_ || aborting_) return;
+  ++wounds_;
+  ++aborts_;
+  if (recording_) ++metrics_.retries;
+  // Release every held lock EXCEPT the wounded one — its queue entry was
+  // already removed server-side, and releasing it would pop some other
+  // waiter's entry instead.
+  for (std::size_t i = 0; i < next_lock_; ++i) {
+    const LockRequest& req = current_.locks[i];
+    if (req.lock == lock) continue;
+    session_.Release(req.lock, req.mode, current_txn_);
+  }
+  // An acquire still in flight can never be answered usefully now: cancel
+  // it client-side (no callback) and tell the manager to drop any queue
+  // entry it created, so a doomed entry never stalls the queue.
+  if (next_lock_ < current_.locks.size()) {
+    const LockRequest& req = current_.locks[next_lock_];
+    session_.Cancel(req.lock, req.mode, current_txn_);
+  }
+  ScheduleRetry();
+}
+
+void TxnEngine::ScheduleRetry() {
+  aborting_ = true;
   sim_.Schedule(config_.abort_backoff, [this]() {
+    aborting_ = false;
     if (stopped_) {
       idle_ = true;
       return;

@@ -34,6 +34,11 @@ struct TxnEngineConfig {
   /// request streams regardless of timing, which is what lets the
   /// cross-backend tests compare sim and real-time grant counts exactly.
   std::uint64_t max_txns = 0;
+  /// Acquire locks in the order the workload emitted them instead of
+  /// sorting by conflict unit. Deadlock-prone on purpose: used with the
+  /// unordered workloads that exercise the deadlock policies. The workload
+  /// must emit specs already deduplicated by conflict unit.
+  bool preserve_workload_order = false;
 };
 
 class TxnEngine {
@@ -69,6 +74,10 @@ class TxnEngine {
   RunMetrics& metrics() { return metrics_; }
   const RunMetrics& metrics() const { return metrics_; }
   std::uint64_t aborts() const { return aborts_; }
+  std::uint64_t wounds() const { return wounds_; }
+  std::uint64_t committed_lock_grants() const {
+    return committed_lock_grants_;
+  }
 
  private:
   void StartNextTxn();
@@ -76,6 +85,11 @@ class TxnEngine {
   void OnAcquireResult(std::size_t index, AcquireResult result);
   void CommitAndRelease();
   void AbortAndRetry(std::size_t acquired);
+  /// Wound-wait revoked a *held* lock: abort the transaction without
+  /// releasing the wounded lock (its entry is already gone server-side).
+  void OnWound(LockId lock, TxnId txn);
+  /// Backoff, fresh (younger) txn id, re-run the same spec.
+  void ScheduleRetry();
 
   Simulator& sim_;
   LockSession& session_;
@@ -93,9 +107,18 @@ class TxnEngine {
 
   bool stopped_ = false;
   bool idle_ = true;
+  /// Between an abort (die/wound/timeout) and the retry actually starting:
+  /// suppresses the scheduled commit and any second wound for the same txn
+  /// (current_txn_ only changes when the retry begins).
+  bool aborting_ = false;
   std::uint64_t completed_txns_ = 0;
   bool recording_ = false;
   std::uint64_t aborts_ = 0;
+  std::uint64_t wounds_ = 0;
+  /// Sum over committed transactions of their lock-set sizes. Unlike raw
+  /// grant counts this is timing-independent on a fixed-count run, so the
+  /// cross-backend tests can compare it exactly.
+  std::uint64_t committed_lock_grants_ = 0;
   RunMetrics metrics_;
   TimeSeries* commit_series_ = nullptr;
   /// Registry counters updated unconditionally (not gated on recording):

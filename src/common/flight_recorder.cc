@@ -21,13 +21,16 @@ const char* FlightRecorder::ToString(Op op) {
     case Op::kStaleRelease: return "stale_release";
     case Op::kMismatchedRelease: return "mismatched_release";
     case Op::kMark: return "mark";
+    case Op::kAbort: return "abort";
+    case Op::kCancel: return "cancel";
   }
   return "?";
 }
 
 bool FlightRecorder::ParseOp(std::string_view text, Op* out) {
   for (const Op op : {Op::kAccept, Op::kGrant, Op::kRelease,
-                      Op::kStaleRelease, Op::kMismatchedRelease, Op::kMark}) {
+                      Op::kStaleRelease, Op::kMismatchedRelease, Op::kMark,
+                      Op::kAbort, Op::kCancel}) {
     if (text == ToString(op)) {
       *out = op;
       return true;

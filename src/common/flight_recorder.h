@@ -40,6 +40,8 @@ class FlightRecorder {
     kStaleRelease = 3,       ///< Release for an instance already gone.
     kMismatchedRelease = 4,  ///< Release mode/txn mismatched the holder.
     kMark = 5,               ///< Free-form marker (tests, tools).
+    kAbort = 6,              ///< Deadlock policy refused/revoked an entry.
+    kCancel = 7,             ///< Client withdrew a txn's queue entries.
   };
   static const char* ToString(Op op);
   static bool ParseOp(std::string_view text, Op* out);

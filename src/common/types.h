@@ -52,7 +52,52 @@ enum class AcquireResult : std::uint8_t {
   kGranted = 0,    ///< Lock granted (possibly after queuing).
   kTimeout = 1,    ///< Lease/retry budget exhausted.
   kRejected = 2,   ///< Policy rejected the request (e.g., quota).
+  kAborted = 3,    ///< Deadlock policy refused or revoked the request.
 };
+
+/// Deadlock-handling policy applied by a lock manager when an acquire
+/// conflicts with queued entries. Transaction *age* is the txn id itself
+/// (smaller id = older): ids are assigned monotonically per engine and a
+/// retry always gets a fresh (younger) id, so the order is total and
+/// identical on the sim and rt backends.
+enum class DeadlockPolicy : std::uint8_t {
+  kNone = 0,       ///< Queue every conflicting request (lease breaks cycles).
+  kNoWait = 1,     ///< Any conflicting acquire is refused immediately.
+  kWaitDie = 2,    ///< Older waits; a requester younger than a conflicting
+                   ///< queued entry is refused ("dies").
+  kWoundWait = 3,  ///< Older wounds (force-aborts) younger conflicting
+                   ///< entries and waits; younger waits behind older.
+};
+
+inline const char* ToString(DeadlockPolicy p) {
+  switch (p) {
+    case DeadlockPolicy::kNone:
+      return "none";
+    case DeadlockPolicy::kNoWait:
+      return "no_wait";
+    case DeadlockPolicy::kWaitDie:
+      return "wait_die";
+    case DeadlockPolicy::kWoundWait:
+      return "wound_wait";
+  }
+  return "?";
+}
+
+inline bool ParseDeadlockPolicy(const std::string& text,
+                                DeadlockPolicy* out) {
+  if (text == "none") {
+    *out = DeadlockPolicy::kNone;
+  } else if (text == "no_wait") {
+    *out = DeadlockPolicy::kNoWait;
+  } else if (text == "wait_die") {
+    *out = DeadlockPolicy::kWaitDie;
+  } else if (text == "wound_wait") {
+    *out = DeadlockPolicy::kWoundWait;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 /// Measured (or declared) demand for one lock: the r_i / c_i pair of the
 /// paper's memory-allocation formulation (Section 4.3). Produced by the
@@ -71,6 +116,8 @@ inline const char* ToString(AcquireResult r) {
       return "timeout";
     case AcquireResult::kRejected:
       return "rejected";
+    case AcquireResult::kAborted:
+      return "aborted";
   }
   return "?";
 }

@@ -182,6 +182,121 @@ void LockEngine::Erase(LockId lock) {
 
 // --- Protocol ---
 
+std::uint32_t LockEngine::GrantedCount(LockState& st) {
+  if (st.queue.empty()) return 0;
+  if (st.queue.Front(pool_).mode == LockMode::kExclusive) return 1;
+  std::uint32_t granted = 0;
+  for (auto cur = st.queue.Begin(); !st.queue.Done(cur);
+       st.queue.Advance(cur, pool_)) {
+    if (st.queue.At(cur, pool_).mode == LockMode::kExclusive) break;
+    ++granted;
+  }
+  return granted;
+}
+
+bool LockEngine::AnyConflict(LockState& st, const QueueSlot& slot) {
+  for (auto cur = st.queue.Begin(); !st.queue.Done(cur);
+       st.queue.Advance(cur, pool_)) {
+    if (Conflicts(st.queue.At(cur, pool_), slot)) return true;
+  }
+  return false;
+}
+
+bool LockEngine::ConflictsWithOlder(LockState& st, const QueueSlot& slot) {
+  for (auto cur = st.queue.Begin(); !st.queue.Done(cur);
+       st.queue.Advance(cur, pool_)) {
+    const QueueSlot& entry = st.queue.At(cur, pool_);
+    if (entry.txn_id < slot.txn_id && Conflicts(entry, slot)) return true;
+  }
+  return false;
+}
+
+LockEngine::RemoveResult LockEngine::RemoveMatching(
+    LockId lock, LockState& st, WaitQueue& q, bool active, TxnId txn,
+    const QueueSlot* wound_against, SimTime now, bool notify,
+    AbortReason reason) {
+  RemoveResult result;
+  // Granted entries surviving so far are exactly the first `granted_now`
+  // entries (the granted prefix shrinks monotonically during removal and
+  // survivors keep their relative order).
+  std::uint32_t granted_now = active ? GrantedCount(st) : 0;
+  for (;;) {
+    // Find the first matching entry.
+    std::uint32_t pos = 0;
+    bool found = false;
+    for (auto cur = q.Begin(); !q.Done(cur); q.Advance(cur, pool_), ++pos) {
+      const QueueSlot& entry = q.At(cur, pool_);
+      const bool match =
+          wound_against != nullptr
+              ? (entry.txn_id > wound_against->txn_id &&
+                 Conflicts(entry, *wound_against))
+              : entry.txn_id == txn;
+      if (match) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) break;
+    // Remove position `pos` by rotating [0, pos) one slot towards the
+    // tail and popping the (now duplicated) front — reuses PopFront's
+    // chunk-free/inline-revert logic and preserves FIFO order.
+    QueueSlot victim;
+    if (pos == 0) {
+      victim = q.Front(pool_);
+    } else {
+      auto cur = q.Begin();
+      QueueSlot carry = q.At(cur, pool_);
+      for (std::uint32_t i = 1; i <= pos; ++i) {
+        q.Advance(cur, pool_);
+        std::swap(carry, q.At(cur, pool_));
+      }
+      victim = carry;
+    }
+    q.PopFront(pool_);
+    ++result.removed;
+    if (active) {
+      if (victim.mode == LockMode::kExclusive) {
+        NETLOCK_CHECK(st.xcnt > 0);
+        --st.xcnt;
+      }
+      if (pos < granted_now) {
+        --granted_now;
+        ++result.removed_granted;
+      }
+    }
+    if (notify) sink_.DeliverAbort(lock, victim, reason);
+  }
+  if (!active || result.removed == 0) return result;
+  // Re-grant whatever the removals promoted into the granted prefix:
+  // positions [granted_now, GrantedCount) are newly granted.
+  const std::uint32_t target = GrantedCount(st);
+  std::uint32_t pos = 0;
+  for (auto cur = q.Begin(); !q.Done(cur) && pos < target;
+       q.Advance(cur, pool_), ++pos) {
+    if (pos < granted_now) continue;
+    QueueSlot& entry = q.At(cur, pool_);
+    sink_.OnWaitEnd(lock, entry, now);
+    entry.timestamp = now;
+    sink_.DeliverGrant(lock, entry);
+  }
+  return result;
+}
+
+LockEngine::RemoveResult LockEngine::RemoveTxn(LockId lock, TxnId txn,
+                                               SimTime now, bool notify,
+                                               AbortReason reason) {
+  const std::uint32_t idx = Lookup(lock);
+  if (idx == kNone) return {};
+  LockState& st = states_[idx];
+  RemoveResult result = RemoveMatching(lock, st, st.queue, /*active=*/true,
+                                       txn, nullptr, now, notify, reason);
+  const RemoveResult parked =
+      RemoveMatching(lock, st, st.paused_buffer, /*active=*/false, txn,
+                     nullptr, now, notify, reason);
+  result.removed += parked.removed;
+  return result;
+}
+
 void LockEngine::Acquire(LockId lock, QueueSlot slot, SimTime now) {
   LockState& st = FindOrCreate(lock);
   ++st.req_count;
@@ -190,6 +305,35 @@ void LockEngine::Acquire(LockId lock, QueueSlot slot, SimTime now) {
   if (st.paused) {
     st.paused_buffer.PushBack(slot, pool_);
     return;
+  }
+  if (policy_ != DeadlockPolicy::kNone && !st.queue.empty()) {
+    switch (policy_) {
+      case DeadlockPolicy::kNoWait:
+        if (AnyConflict(st, slot)) {
+          sink_.DeliverAbort(lock, slot, AbortReason::kNoWait);
+          return;
+        }
+        break;
+      case DeadlockPolicy::kWaitDie:
+        // Wait only behind younger conflicting entries; die if any
+        // conflicting entry is older. Waits-for edges then always point
+        // old -> young, and ages are totally ordered, so no cycle forms.
+        if (ConflictsWithOlder(st, slot)) {
+          sink_.DeliverAbort(lock, slot, AbortReason::kWaitDie);
+          return;
+        }
+        break;
+      case DeadlockPolicy::kWoundWait:
+        // Revoke every younger conflicting entry (waiting or granted),
+        // then queue: the survivors ahead are all older, so waits-for
+        // edges point young -> old. The wounds' DeliverAbort fires before
+        // RemoveMatching's re-grants, so observers see abort-then-grant.
+        RemoveMatching(lock, st, st.queue, /*active=*/true, kInvalidTxn,
+                       &slot, now, /*notify=*/true, AbortReason::kWound);
+        break;
+      default:
+        break;
+    }
   }
   const bool was_empty = st.queue.empty();
   const bool all_shared = st.xcnt == 0;
@@ -213,6 +357,39 @@ ReleaseOutcome LockEngine::Release(LockId lock, LockMode mode, TxnId txn,
       (released.mode != mode ||
        (mode == LockMode::kExclusive && released.txn_id != txn))) {
     return ReleaseOutcome::kMismatched;
+  }
+  if (!lease_forced && policy_ != DeadlockPolicy::kNone &&
+      mode == LockMode::kShared && released.txn_id != txn) {
+    // Under a deadlock policy the queue's txn labels are load-bearing:
+    // wound targets and age checks read them. The blind shared pop (fine
+    // under kNone, where granted shared entries are interchangeable) would
+    // leave an entry labeled with a txn that already released, and a later
+    // wound then removes the wrong holder's entry. Remove the releaser's
+    // own entry from the granted shared run instead; if it is absent the
+    // release crossed a wound in flight and must not pop anyone.
+    std::uint32_t pos = 0;
+    bool found = false;
+    for (auto cur = st.queue.Begin(); !st.queue.Done(cur);
+         st.queue.Advance(cur, pool_), ++pos) {
+      const QueueSlot& entry = st.queue.At(cur, pool_);
+      if (entry.mode != LockMode::kShared) break;
+      if (entry.txn_id == txn) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return ReleaseOutcome::kStale;
+    if (pos > 0) {
+      // Rotate [0, pos) one slot towards the tail so the victim surfaces
+      // at the front (same trick as RemoveMatching), then fall through to
+      // the common PopFront + cascade below.
+      auto cur = st.queue.Begin();
+      QueueSlot carry = st.queue.At(cur, pool_);
+      for (std::uint32_t i = 1; i <= pos; ++i) {
+        st.queue.Advance(cur, pool_);
+        std::swap(carry, st.queue.At(cur, pool_));
+      }
+    }
   }
   st.queue.PopFront(pool_);
   if (released.mode == LockMode::kExclusive) {

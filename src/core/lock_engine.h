@@ -37,6 +37,26 @@
 
 namespace netlock {
 
+/// Why the engine refused or revoked an entry (deadlock policies only).
+enum class AbortReason : std::uint8_t {
+  kNoWait = 0,   ///< kNoWait: conflicting acquire refused, never queued.
+  kWaitDie = 1,  ///< kWaitDie: requester younger than a conflicting entry.
+  kWound = 2,    ///< kWoundWait: queued (possibly granted) entry revoked by
+                 ///< an older conflicting requester.
+};
+
+inline const char* ToString(AbortReason r) {
+  switch (r) {
+    case AbortReason::kNoWait:
+      return "no_wait";
+    case AbortReason::kWaitDie:
+      return "wait_die";
+    case AbortReason::kWound:
+      return "wound";
+  }
+  return "?";
+}
+
 /// Receives the engine's grant decisions. Implementations deliver the grant
 /// to `slot.client_node` by whatever transport the substrate uses.
 class GrantSink {
@@ -52,6 +72,15 @@ class GrantSink {
   /// do not produce this call.
   virtual void OnWaitEnd(LockId /*lock*/, const QueueSlot& /*slot*/,
                          SimTime /*now*/) {}
+
+  /// A deadlock policy refused `slot` (kNoWait / kWaitDie: the entry was
+  /// never queued) or revoked it (kWound: the entry was removed from the
+  /// queue, possibly while granted). Fired BEFORE any cascade grants the
+  /// removal enables, so an observer always learns of the abort no later
+  /// than its consequences. Default no-op: policy-free substrates and
+  /// existing sinks are unaffected.
+  virtual void DeliverAbort(LockId /*lock*/, const QueueSlot& /*slot*/,
+                            AbortReason /*reason*/) {}
 };
 
 /// What a release did. The caller maps outcomes onto its stats/metrics.
@@ -68,12 +97,41 @@ class LockEngine {
   LockEngine(const LockEngine&) = delete;
   LockEngine& operator=(const LockEngine&) = delete;
 
+  /// Selects the deadlock-handling policy applied by Acquire. kNone (the
+  /// default) preserves the classic queue-everything behaviour exactly.
+  void set_deadlock_policy(DeadlockPolicy policy) { policy_ = policy; }
+  DeadlockPolicy deadlock_policy() const { return policy_; }
+
   // --- Request path ---
 
   /// Appends an entry (stamping slot.timestamp = now) and grants it when
   /// the queue head rules allow: first entry, or a shared request joining
   /// an all-shared queue. Paused locks buffer instead.
+  ///
+  /// With a deadlock policy set, a conflicting request (different txn, at
+  /// least one side exclusive) may instead be refused via DeliverAbort
+  /// (kNoWait: any conflict; kWaitDie: a conflicting queued entry is
+  /// older), or — under kWoundWait — first remove every *younger*
+  /// conflicting queued entry (each revoked via DeliverAbort) before
+  /// queuing normally. Because a retry uses a fresh (larger) txn id, every
+  /// waits-for edge points from younger to older (wound-wait) or from
+  /// older to younger (wait-die), so cycles cannot form.
   void Acquire(LockId lock, QueueSlot slot, SimTime now);
+
+  /// What RemoveTxn removed.
+  struct RemoveResult {
+    std::uint32_t removed = 0;          ///< Entries removed (all queues).
+    std::uint32_t removed_granted = 0;  ///< Of those, already granted.
+  };
+
+  /// Removes every entry of `txn` on `lock` — waiting, granted, or parked
+  /// in the paused buffer — and re-grants whatever the removals promote to
+  /// the front (clients served by a wire transport send this as kCancel
+  /// when a wound/die aborts a txn with an acquire still in flight, so a
+  /// doomed entry never stalls the queue for a full lease). `notify` aborts
+  /// each removed entry through DeliverAbort(reason) before any re-grant.
+  RemoveResult RemoveTxn(LockId lock, TxnId txn, SimTime now, bool notify,
+                         AbortReason reason = AbortReason::kWound);
 
   /// Validated dequeue with the switch-equivalent grant cascade: a release
   /// whose mode — or, for an exclusive hold, transaction — does not match
@@ -81,6 +139,12 @@ class LockEngine {
   /// popping blindly would dequeue another waiter's entry. `lease_forced`
   /// releases are internal (the sweep releasing the head) and exempt from
   /// validation.
+  ///
+  /// With a deadlock policy set, a shared release additionally removes the
+  /// releaser's *own* entry from the granted shared run (kStale if absent,
+  /// e.g. the release crossed a wound in flight) instead of blind-popping
+  /// the front: the policies read queue txn labels for age checks and wound
+  /// targets, so labels must track actual holders.
   ReleaseOutcome Release(LockId lock, LockMode mode, TxnId txn,
                          bool lease_forced, SimTime now);
 
@@ -268,6 +332,28 @@ class LockEngine {
   /// Index of the lock's state, or kNone.
   std::uint32_t Lookup(LockId lock) const;
   LockState& FindOrCreate(LockId lock);
+  /// Two queue entries conflict when they belong to different transactions
+  /// and at least one side is exclusive (same-txn retransmit duplicates
+  /// never self-abort).
+  static bool Conflicts(const QueueSlot& a, const QueueSlot& b) {
+    if (a.txn_id == b.txn_id) return false;
+    return a.mode == LockMode::kExclusive || b.mode == LockMode::kExclusive;
+  }
+  /// Granted entries are always a queue prefix: the whole leading shared
+  /// run, or just the head when it is exclusive. (Acquire only grants when
+  /// appending keeps the prefix property; Release pops the front and
+  /// re-grants the new prefix; removals re-grant through the same rule.)
+  std::uint32_t GrantedCount(LockState& st);
+  bool AnyConflict(LockState& st, const QueueSlot& slot);
+  bool ConflictsWithOlder(LockState& st, const QueueSlot& slot);
+  /// Removes entries of `txn` (or, with `wound_against` set, every entry
+  /// conflicting with *wound_against that is younger than it) from `q`,
+  /// preserving FIFO order of the survivors. Active-queue removals
+  /// (`active` = true) maintain xcnt and re-grant the promoted prefix.
+  RemoveResult RemoveMatching(LockId lock, LockState& st, WaitQueue& q,
+                              bool active, TxnId txn,
+                              const QueueSlot* wound_against, SimTime now,
+                              bool notify, AbortReason reason);
   /// Removes the lock if present, returning its queues' chunks to the slab.
   void Erase(LockId lock);
   void Rehash();
@@ -275,6 +361,7 @@ class LockEngine {
   void FreeState(std::uint32_t idx);
 
   GrantSink& sink_;
+  DeadlockPolicy policy_ = DeadlockPolicy::kNone;
   std::vector<Bucket> buckets_;  ///< Power-of-two open-addressing table.
   std::vector<LockState> states_;
   std::vector<std::uint32_t> free_states_;

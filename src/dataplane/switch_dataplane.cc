@@ -285,6 +285,14 @@ void LockSwitch::HandlePacket(const Packet& pkt) {
       HandleResume(*hdr);
       if (chain_next_ != kInvalidNode) ChainForward(*hdr, 0);
       break;
+    case LockOp::kCancel:
+      // Deadlock-policy cancel. The policies run with server-resident
+      // locks (the switch queue has no mid-queue removal primitive), so
+      // route to the home server like any other server-owned op; for a
+      // switch-resident lock the server-side removal is a no-op and the
+      // entry falls to the lease sweep.
+      SendToServer(*hdr, RouteFor(hdr->lock_id), kFlagServerOwned);
+      break;
     default:
       break;  // kGrant/kReject/kQueueEmpty are never addressed to the switch.
   }

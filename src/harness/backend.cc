@@ -17,6 +17,14 @@
 namespace netlock {
 namespace {
 
+std::unique_ptr<WorkloadGenerator> MakeMicroWorkload(
+    const BackendRunConfig& config) {
+  if (config.unordered_workload) {
+    return std::make_unique<UnorderedMicroWorkload>(config.workload);
+  }
+  return std::make_unique<MicroWorkload>(config.workload);
+}
+
 TestbedConfig SimConfigFor(const BackendRunConfig& config) {
   TestbedConfig tb;
   tb.system = SystemKind::kServerOnly;
@@ -25,16 +33,31 @@ TestbedConfig SimConfigFor(const BackendRunConfig& config) {
   tb.sessions_per_machine = config.sessions;
   tb.lock_servers = 1;
   tb.seed = config.seed;
-  tb.workload_factory = [workload = config.workload](int) {
-    return std::make_unique<MicroWorkload>(workload);
-  };
+  tb.workload_factory = [config](int) { return MakeMicroWorkload(config); };
   tb.txn_config.think_time = 0;
   tb.txn_config.inter_txn_gap = 0;
+  tb.txn_config.preserve_workload_order = config.unordered_workload;
+  tb.server_config.deadlock_policy = config.deadlock_policy;
   // No client-side timeouts: a retry would abort the transaction and skew
   // the request stream away from the rt run's, breaking exact comparison.
   tb.client_retry_timeout = 10 * kSecond;
   tb.lease = 10 * kSecond;
   return tb;
+}
+
+/// Sums the per-engine policy counters and the servers' abort stats into
+/// the result (sim backend).
+void CollectSimPolicyCounters(Testbed& testbed, BackendRunResult& result) {
+  for (int i = 0; i < testbed.num_engines(); ++i) {
+    result.aborts += testbed.engine(i).aborts();
+    result.wounds += testbed.engine(i).wounds();
+    result.committed_lock_grants += testbed.engine(i).committed_lock_grants();
+  }
+  ServerOnlyManager& manager = testbed.server_only();
+  for (int s = 0; s < manager.num_servers(); ++s) {
+    const LockServer::Stats& stats = manager.server(s).stats();
+    result.service_aborts += stats.aborts_refused + stats.wounds;
+  }
 }
 
 void DrainSim(Testbed& testbed) {
@@ -60,9 +83,7 @@ struct RtRig {
                      : SimContext::Default().metrics()),
         service(ServiceOptions(config), substrate),
         pool(service, substrate, ClientConfig(config),
-             [workload = config.workload](int) {
-               return std::make_unique<MicroWorkload>(workload);
-             }) {}
+             [config](int) { return MakeMicroWorkload(config); }) {}
 
   static rt::RtLockService::Options ServiceOptions(
       const BackendRunConfig& config) {
@@ -84,6 +105,7 @@ struct RtRig {
       options.park_timeout =
           std::chrono::microseconds(config.rt_park_timeout_us);
     }
+    options.deadlock_policy = config.deadlock_policy;
     options.telemetry = config.rt_telemetry;
     options.recorder = config.rt_flight_recorder;
     options.context = config.context;
@@ -129,7 +151,12 @@ struct RtRig {
     pool.PublishTelemetry(registry);
     result.metrics = pool.Collect();
     result.commits = pool.TotalCommits();
-    result.service_grants = service.TotalStats().grants;
+    result.aborts = pool.TotalAborts();
+    result.wounds = pool.TotalWounds();
+    result.committed_lock_grants = pool.TotalCommittedLockGrants();
+    const rt::RtLockService::Stats totals = service.TotalStats();
+    result.service_grants = totals.grants;
+    result.service_aborts = totals.aborts + totals.wounds;
     result.residual_queue_depth = service.TotalQueueDepth();
     result.events = service.DrainEvents();
     result.core_grants.reserve(static_cast<std::size_t>(service.cores()));
@@ -257,6 +284,7 @@ BackendRunResult RunMicroFixedCount(BackendKind kind,
     result.metrics = testbed.Collect(testbed.sim().now() - start);
     result.commits = result.metrics.txn_commits;
     result.service_grants = testbed.server_only().Grants();
+    CollectSimPolicyCounters(testbed, result);
     return result;
   }
   RtRig rig(config);
@@ -281,6 +309,7 @@ BackendRunResult RunMicroTimed(BackendKind kind,
     testbed.StopEngines();
     result.commits = result.metrics.txn_commits;
     result.service_grants = testbed.server_only().Grants();
+    CollectSimPolicyCounters(testbed, result);
     return result;
   }
   BackendRunConfig timed = config;

@@ -47,6 +47,16 @@ struct BackendRunConfig {
   /// Committed transactions per session in fixed-count mode.
   std::uint64_t txns_per_session = 1000;
 
+  /// Deadlock-handling policy at the lock manager (both backends). With
+  /// kNone and an unordered workload, runs can deadlock — that is the
+  /// point of the policies.
+  DeadlockPolicy deadlock_policy = DeadlockPolicy::kNone;
+  /// Draw from UnorderedMicroWorkload (deduplicated but shuffled lock
+  /// sets) and make the clients acquire in workload order instead of
+  /// sorting — the deadlock-prone configuration the policies are tested
+  /// under.
+  bool unordered_workload = false;
+
   // Real-time sizing (ignored by the sim backend).
   int rt_cores = 2;
   int rt_client_threads = 2;
@@ -87,6 +97,15 @@ struct BackendRunResult {
   RunMetrics metrics;
   std::uint64_t commits = 0;         ///< Unconditional (not gated).
   std::uint64_t service_grants = 0;  ///< Grants counted at the service.
+  /// Client-observed policy aborts (no-wait / die + wound), unconditional.
+  std::uint64_t aborts = 0;
+  /// Of those, held-lock revocations (wound-wait only).
+  std::uint64_t wounds = 0;
+  /// Sum of committed transactions' lock-set sizes. Timing-independent on
+  /// fixed-count runs, so the cross-backend tests compare it exactly.
+  std::uint64_t committed_lock_grants = 0;
+  /// Policy aborts counted at the service (refused acquires + wounds).
+  std::uint64_t service_aborts = 0;
   /// Entries still queued at the service after the drain (0 = no leak).
   std::size_t residual_queue_depth = 0;
   double wall_seconds = 0.0;  ///< Measured window wall time (kRt only).

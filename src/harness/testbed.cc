@@ -90,6 +90,8 @@ Testbed::Testbed(TestbedConfig config)
     case SystemKind::kServerOnly: {
       server_only_ = std::make_unique<ServerOnlyManager>(
           *net_, config_.server_config, config_.lock_servers);
+      server_only_->set_session_defaults(
+          {config_.client_retry_timeout, config_.client_max_retries});
       server_only_->StartLeasePolling(config_.lease,
                                       config_.lease_poll_interval);
       for (int i = 0; i < server_only_->num_servers(); ++i) {

@@ -40,7 +40,7 @@ std::optional<LockHeader> LockHeader::Parse(const Packet& pkt) {
   hdr.aux = r.ReadU32();
   if (!r.ok()) return std::nullopt;
   if (static_cast<std::uint8_t>(hdr.op) >
-      static_cast<std::uint8_t>(LockOp::kData)) {
+      static_cast<std::uint8_t>(LockOp::kAbort)) {
     return std::nullopt;
   }
   if (static_cast<std::uint8_t>(hdr.mode) > 1) return std::nullopt;

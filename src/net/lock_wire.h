@@ -29,6 +29,14 @@ enum class LockOp : std::uint8_t {
   kFetch = 7,        ///< Client -> database server: read the locked item.
   kData = 8,         ///< Database server -> client: item data (and, in
                      ///< one-RTT mode, the implied lock grant — §4.1).
+  kCancel = 9,       ///< Client -> manager: remove every queue entry of
+                     ///< (lock, txn) — sent when a deadlock-policy abort
+                     ///< leaves an acquire in flight elsewhere. No reply;
+                     ///< idempotent (a duplicated copy finds nothing).
+  kAbort = 10,       ///< Manager -> client: a deadlock policy refused the
+                     ///< acquire (no-wait / wait-die) or revoked a queued,
+                     ///< possibly granted, entry (wound). aux carries the
+                     ///< AbortReason.
 };
 
 /// Flag bits in LockHeader::flags.

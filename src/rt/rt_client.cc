@@ -75,7 +75,10 @@ void RtClientPool::RunClient(ClientThread& ct) {
   while (live > 0) {
     const std::size_t n =
         service_.PollCompletions(ct.index, buf.data(), buf.size());
-    if (n == 0) {
+    std::size_t idled = 0;
+    const std::size_t resumed = ResumeBackoffs(ct, idled);
+    live -= idled;
+    if (n == 0 && resumed == 0) {
       if (++idle > 64) std::this_thread::yield();
       continue;
     }
@@ -84,7 +87,8 @@ void RtClientPool::RunClient(ClientThread& ct) {
       if (OnGrant(ct, buf[i])) --live;
     }
     // One flush per poll iteration: everything OnGrant staged (next
-    // acquires, commit releases) goes out in per-core batches.
+    // acquires, commit releases, cancels) and every resumed session's
+    // first acquire goes out in per-core batches.
     FlushStaged(ct);
   }
   // The OnGrant that idled the last session staged its final releases
@@ -146,8 +150,17 @@ bool RtClientPool::OnGrant(ClientThread& ct, const RtCompletion& comp) {
   NETLOCK_CHECK(local >= 0 &&
                 local < static_cast<int>(ct.sessions.size()));
   Session& s = ct.sessions[static_cast<std::size_t>(local)];
-  NETLOCK_CHECK(s.active);
-  NETLOCK_CHECK(comp.txn == s.txn);
+  if (comp.txn != s.txn || !s.active || s.backoff) {
+    // Stale: a completion for a transaction the session already aborted.
+    // Any stale *grant*'s queue entry was covered by the abort's kCancel
+    // (or removed by the wound itself), so dropping it leaks nothing.
+    return false;
+  }
+  if (comp.status == RtCompletion::Status::kAborted) {
+    OnAbort(ct, s, comp);
+    return false;
+  }
+  NETLOCK_CHECK(s.next_lock < s.current.locks.size());
   NETLOCK_CHECK(comp.lock == s.current.locks[s.next_lock].lock);
   const bool rec = recording_.load(std::memory_order_acquire);
   if (rec || config_.telemetry) {
@@ -180,6 +193,7 @@ bool RtClientPool::OnGrant(ClientThread& ct, const RtCompletion& comp) {
   }
   ++ct.commits;
   ++s.committed;
+  ct.committed_lock_grants += s.current.locks.size();
   if (rec || config_.telemetry) {
     const SimTime now = substrate_.Now();
     if (config_.telemetry) {
@@ -201,6 +215,81 @@ bool RtClientPool::OnGrant(ClientThread& ct, const RtCompletion& comp) {
   return false;
 }
 
+void RtClientPool::OnAbort(ClientThread& ct, Session& s,
+                           const RtCompletion& comp) {
+  ++ct.aborts;
+  if (recording_.load(std::memory_order_acquire)) ++ct.metrics.retries;
+  // Was the aborted entry our still-pending acquire (die / wound of a
+  // not-yet-granted entry) or an already-held lock (wound)? Per-core FIFO
+  // completion order guarantees a grant always precedes a wound of the
+  // same entry, so this test is unambiguous.
+  const bool pending = s.next_lock < s.current.locks.size() &&
+                       comp.lock == s.current.locks[s.next_lock].lock;
+  if (!pending) ++ct.wounds;
+  // Two-phase-locking abort: release the held prefix. A wounded held lock
+  // is skipped — its queue entry is already gone, and releasing it would
+  // pop some other waiter's entry.
+  for (std::size_t i = 0; i < s.next_lock; ++i) {
+    const LockRequest& req = s.current.locks[i];
+    if (!pending && req.lock == comp.lock) continue;
+    RtRequest rt;
+    rt.op = RtRequest::Op::kRelease;
+    rt.mode = req.mode;
+    rt.lock = req.lock;
+    rt.txn = s.txn;
+    rt.client = static_cast<std::uint32_t>(ct.index);
+    EnqueueRequest(ct, rt);
+  }
+  // A wound with an acquire still in flight: that acquire can no longer be
+  // answered usefully — tell the manager to drop whatever entry it creates
+  // (idempotent if it never queued), so a doomed entry never stalls the
+  // queue. Submitted through the same mailbox as the acquire, so it is
+  // processed after it.
+  if (!pending && s.next_lock < s.current.locks.size()) {
+    const LockRequest& req = s.current.locks[s.next_lock];
+    RtRequest rt;
+    rt.op = RtRequest::Op::kCancel;
+    rt.mode = req.mode;
+    rt.lock = req.lock;
+    rt.txn = s.txn;
+    rt.client = static_cast<std::uint32_t>(ct.index);
+    EnqueueRequest(ct, rt);
+  }
+  s.backoff = true;
+  s.retry_at = substrate_.Now() + config_.abort_backoff;
+}
+
+std::size_t RtClientPool::ResumeBackoffs(ClientThread& ct,
+                                         std::size_t& idled) {
+  bool any = false;
+  for (const Session& s : ct.sessions) {
+    if (s.backoff) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return 0;
+  std::size_t resumed = 0;
+  const SimTime now = substrate_.Now();
+  for (Session& s : ct.sessions) {
+    if (!s.backoff || now < s.retry_at) continue;
+    s.backoff = false;
+    if (stop_.load(std::memory_order_acquire)) {
+      s.active = false;
+      ++idled;
+      continue;
+    }
+    // Fresh (younger) txn id, same spec — mirrors the simulated TxnEngine,
+    // which is what keeps fixed-count commit totals backend-identical.
+    s.txn = (static_cast<TxnId>(s.engine_id) << 40) | ++s.counter;
+    s.next_lock = 0;
+    s.txn_start = now;
+    SubmitAcquire(ct, s);
+    ++resumed;
+  }
+  return resumed;
+}
+
 RunMetrics RtClientPool::Collect() const {
   RunMetrics total;
   for (const auto& ct : threads_) {
@@ -216,6 +305,24 @@ RunMetrics RtClientPool::Collect() const {
 std::uint64_t RtClientPool::TotalCommits() const {
   std::uint64_t total = 0;
   for (const auto& ct : threads_) total += ct->commits;
+  return total;
+}
+
+std::uint64_t RtClientPool::TotalAborts() const {
+  std::uint64_t total = 0;
+  for (const auto& ct : threads_) total += ct->aborts;
+  return total;
+}
+
+std::uint64_t RtClientPool::TotalWounds() const {
+  std::uint64_t total = 0;
+  for (const auto& ct : threads_) total += ct->wounds;
+  return total;
+}
+
+std::uint64_t RtClientPool::TotalCommittedLockGrants() const {
+  std::uint64_t total = 0;
+  for (const auto& ct : threads_) total += ct->committed_lock_grants;
   return total;
 }
 

@@ -45,6 +45,9 @@ struct RtClientConfig {
   /// poller and netlock_top read. Off for `--telemetry=off` overhead runs;
   /// the RunMetrics recorders (measurement window only) are unaffected.
   bool telemetry = true;
+  /// Wall-clock backoff before a policy-aborted transaction retries (same
+  /// spec, fresh — younger — txn id).
+  SimTime abort_backoff = 100 * kMicrosecond;
 };
 
 class RtClientPool {
@@ -84,6 +87,13 @@ class RtClientPool {
   /// on recording). Call after Join().
   std::uint64_t TotalCommits() const;
 
+  /// Policy aborts (die + wound) across all sessions. Call after Join().
+  std::uint64_t TotalAborts() const;
+  /// Held-lock revocations (wound-wait) across all sessions.
+  std::uint64_t TotalWounds() const;
+  /// Sum of committed transactions' lock-set sizes. Call after Join().
+  std::uint64_t TotalCommittedLockGrants() const;
+
   int num_sessions() const {
     return service_.num_clients() * config_.sessions_per_client;
   }
@@ -115,6 +125,11 @@ class RtClientPool {
     SimTime lock_issue = 0;
     std::uint64_t committed = 0;
     bool active = false;
+    /// Policy abort (die or wound) tore the transaction down; the session
+    /// resumes — same spec, fresh txn id — once substrate time reaches
+    /// retry_at. Completions for the aborted txn id are dropped meanwhile.
+    bool backoff = false;
+    SimTime retry_at = 0;
   };
 
   struct ClientThread {
@@ -126,6 +141,11 @@ class RtClientPool {
     std::vector<std::vector<RtRequest>> staged;
     RunMetrics metrics;
     std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;  ///< Policy aborts (die + wound).
+    std::uint64_t wounds = 0;  ///< Of those, held-lock revocations.
+    /// Sum of committed transactions' lock-set sizes (timing-independent
+    /// on fixed-count runs; the cross-backend tests compare it exactly).
+    std::uint64_t committed_lock_grants = 0;
     std::thread thread;
   };
 
@@ -139,6 +159,13 @@ class RtClientPool {
   void FlushStaged(ClientThread& ct);
   /// Returns true when the session went idle (txn budget / stop flag).
   bool OnGrant(ClientThread& ct, const RtCompletion& comp);
+  /// Policy abort for a session's current txn: release survivors, cancel
+  /// the in-flight acquire if any, enter backoff.
+  void OnAbort(ClientThread& ct, Session& s, const RtCompletion& comp);
+  /// Restarts sessions whose backoff expired (fresh txn id, same spec);
+  /// sessions resumed after StopIssuing go idle and bump `idled` instead.
+  /// Returns the number resumed.
+  std::size_t ResumeBackoffs(ClientThread& ct, std::size_t& idled);
 
   RtLockService& service_;
   ExecutionSubstrate& substrate_;

@@ -22,6 +22,11 @@ RtLockService::RtLockService(Options options, ExecutionSubstrate& substrate)
   c_batches_ = domain_.RegisterCounter("rt.batches");
   c_flushes_ = domain_.RegisterCounter("rt.flushes");
   c_staged_completions_ = domain_.RegisterCounter("rt.staged_completions");
+  c_aborts_ = domain_.RegisterCounter("rt.aborts");
+  c_wounds_ = domain_.RegisterCounter("rt.wounds");
+  c_cancel_removed_ = domain_.RegisterCounter("rt.cancel_removed");
+  c_cancel_removed_granted_ =
+      domain_.RegisterCounter("rt.cancel_removed_granted");
   g_mailbox_depth_ = domain_.RegisterGauge("rt.mailbox_depth",
                                            TelemetryDomain::GaugeAgg::kSum);
   g_batch_ = domain_.RegisterGauge("rt.batch",
@@ -42,6 +47,7 @@ RtLockService::RtLockService(Options options, ExecutionSubstrate& substrate)
     core->sink.service = this;
     core->sink.core = c;
     core->engine = std::make_unique<LockEngine>(core->sink);
+    core->engine->set_deadlock_policy(options_.deadlock_policy);
     cores_.push_back(std::move(core));
     req_rings_[static_cast<std::size_t>(c)].reserve(
         static_cast<std::size_t>(options_.num_clients));
@@ -225,6 +231,32 @@ void RtLockService::Process(int core_idx, Core& core, const RtRequest& req) {
     core.engine->Acquire(req.lock, slot, now);
     return;
   }
+  if (req.op == RtRequest::Op::kCancel) {
+    // Reserve the abort event's sequence before entering the engine, like
+    // a release: RemoveTxn's cascade grants must sort after the removal.
+    std::uint64_t cancel_seq = 0;
+    if (options_.record_events) {
+      cancel_seq = event_seq_.fetch_add(1, std::memory_order_relaxed);
+    }
+    const LockEngine::RemoveResult removed = core.engine->RemoveTxn(
+        req.lock, req.txn, now, /*notify=*/false);
+    if (removed.removed != 0) {
+      domain_.Inc(core_idx, c_cancel_removed_, removed.removed);
+      if (removed.removed_granted != 0) {
+        domain_.Inc(core_idx, c_cancel_removed_granted_,
+                    removed.removed_granted);
+      }
+      if (recorder_ != nullptr) {
+        recorder_->Record(core_idx, FlightRecorder::Op::kCancel, req.lock,
+                          req.mode, req.txn, now, req.client);
+      }
+      // One kAbort event covers every removed entry of the pair: replay
+      // drops all of (lock, txn)'s holder state at once.
+      AppendEvent(core, cancel_seq, RtEvent::Kind::kAbort, req.lock,
+                  req.mode, req.txn);
+    }
+    return;
+  }
   // Reserve the release's sequence number before entering the engine: the
   // grant cascade runs inside Release(), and its kGrant events must sort
   // after the release that enabled them, or oracle replay would see the
@@ -298,18 +330,48 @@ void RtLockService::Core::Sink::DeliverGrant(LockId lock,
   comp.mode = slot.mode;
   comp.txn = slot.txn_id;
   comp.granted_at = slot.timestamp;
-  if (svc.options_.batch_submit) {
-    // Stage the grant; ServiceCore flushes the whole batch after the drain.
-    // The cascade never blocks on a slow client's full completion ring.
-    svc.staging_[static_cast<std::size_t>(core)]
-        ->per_client[slot.client_node]
-        .push_back(comp);
+  svc.DeliverCompletion(core, comp,
+                        static_cast<std::uint32_t>(slot.client_node));
+}
+
+void RtLockService::Core::Sink::DeliverAbort(LockId lock,
+                                             const QueueSlot& slot,
+                                             AbortReason reason) {
+  RtLockService& svc = *service;
+  Core& c = *svc.cores_[static_cast<std::size_t>(core)];
+  svc.domain_.Inc(core, reason == AbortReason::kWound ? svc.c_wounds_
+                                                      : svc.c_aborts_);
+  if (svc.recorder_ != nullptr) {
+    svc.recorder_->Record(core, FlightRecorder::Op::kAbort, lock, slot.mode,
+                          slot.txn_id, svc.substrate_.Now(),
+                          static_cast<std::uint32_t>(slot.client_node));
+  }
+  // Fired before the wound's cascade grants (engine contract), so the
+  // replayed abort always precedes the grants it enabled.
+  svc.RecordEvent(c, RtEvent::Kind::kAbort, lock, slot.mode, slot.txn_id);
+  RtCompletion comp;
+  comp.lock = lock;
+  comp.mode = slot.mode;
+  comp.txn = slot.txn_id;
+  comp.status = RtCompletion::Status::kAborted;
+  comp.reason = reason;
+  svc.DeliverCompletion(core, comp,
+                        static_cast<std::uint32_t>(slot.client_node));
+}
+
+void RtLockService::DeliverCompletion(int core, const RtCompletion& comp,
+                                      std::uint32_t client) {
+  if (options_.batch_submit) {
+    // Stage it; ServiceCore flushes the whole batch after the drain. The
+    // cascade never blocks on a slow client's full completion ring.
+    staging_[static_cast<std::size_t>(core)]->per_client[client].push_back(
+        comp);
     return;
   }
   SpscRing<RtCompletion>& ring =
-      *svc.comp_rings_[slot.client_node][static_cast<std::size_t>(core)];
+      *comp_rings_[client][static_cast<std::size_t>(core)];
   // Backpressure: the client is the only consumer; if its completion ring
-  // is full we wait for it, never drop a grant.
+  // is full we wait for it, never drop a completion.
   int spins = 0;
   while (!ring.TryPush(comp)) {
     if (++spins > 64) std::this_thread::yield();
@@ -353,6 +415,11 @@ RtLockService::Stats RtLockService::CoreStats(int core) const {
   s.max_batch = domain_.GaugeShardHighWater(core, g_batch_);
   s.flushes = domain_.CounterShard(core, c_flushes_);
   s.staged_completions = domain_.CounterShard(core, c_staged_completions_);
+  s.aborts = domain_.CounterShard(core, c_aborts_);
+  s.wounds = domain_.CounterShard(core, c_wounds_);
+  s.cancel_removed = domain_.CounterShard(core, c_cancel_removed_);
+  s.cancel_removed_granted =
+      domain_.CounterShard(core, c_cancel_removed_granted_);
   return s;
 }
 
@@ -367,6 +434,11 @@ RtLockService::Stats RtLockService::TotalStats() const {
   total.max_batch = domain_.GaugeHighWater(g_batch_);
   total.flushes = domain_.CounterTotal(c_flushes_);
   total.staged_completions = domain_.CounterTotal(c_staged_completions_);
+  total.aborts = domain_.CounterTotal(c_aborts_);
+  total.wounds = domain_.CounterTotal(c_wounds_);
+  total.cancel_removed = domain_.CounterTotal(c_cancel_removed_);
+  total.cancel_removed_granted =
+      domain_.CounterTotal(c_cancel_removed_granted_);
   return total;
 }
 

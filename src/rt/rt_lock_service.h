@@ -38,7 +38,14 @@
 namespace netlock::rt {
 
 struct RtRequest {
-  enum class Op : std::uint8_t { kAcquire = 0, kRelease = 1 };
+  enum class Op : std::uint8_t {
+    kAcquire = 0,
+    kRelease = 1,
+    /// Remove every queue entry of (lock, txn) — granted or not — without
+    /// completing it. Sent after a deadlock-policy abort while an acquire
+    /// was still queued. Idempotent; no completion is produced.
+    kCancel = 2,
+  };
   Op op = Op::kAcquire;
   LockMode mode = LockMode::kExclusive;
   LockId lock = kInvalidLock;
@@ -47,17 +54,31 @@ struct RtRequest {
 };
 
 struct RtCompletion {
+  enum class Status : std::uint8_t {
+    kGranted = 0,
+    kAborted = 1,  ///< Deadlock policy refused or revoked the entry.
+  };
   LockId lock = kInvalidLock;
   LockMode mode = LockMode::kExclusive;
   TxnId txn = kInvalidTxn;
   SimTime granted_at = 0;  ///< Substrate time the grant was issued.
+  Status status = Status::kGranted;
+  /// Valid when status == kAborted: why (no-wait / wait-die / wound).
+  AbortReason reason = AbortReason::kNoWait;
 };
 
 /// Engine-level event, recorded per core and merged by sequence number —
 /// a linearization of the real-time grant stream that the single-threaded
 /// LockOracle can replay after the run (mutual exclusion + FIFO checks).
 struct RtEvent {
-  enum class Kind : std::uint8_t { kAccept = 0, kGrant = 1, kRelease = 2 };
+  enum class Kind : std::uint8_t {
+    kAccept = 0,
+    kGrant = 1,
+    kRelease = 2,
+    /// Every queue entry of (lock, txn) removed — policy refusal, wound,
+    /// or client cancel. Replay drops any holder state for the pair.
+    kAbort = 3,
+  };
   std::uint64_t seq = 0;
   Kind kind = Kind::kAccept;
   LockId lock = kInvalidLock;
@@ -100,6 +121,8 @@ class RtLockService {
     /// Telemetry context; nullptr = process default. The sharded domain is
     /// folded into this context's registry at Stop().
     SimContext* context = nullptr;
+    /// Deadlock-handling policy applied by every core's engine.
+    DeadlockPolicy deadlock_policy = DeadlockPolicy::kNone;
   };
 
   struct Stats {
@@ -112,6 +135,12 @@ class RtLockService {
     std::uint64_t max_batch = 0;  ///< Largest single drain.
     std::uint64_t flushes = 0;    ///< Staged-completion flushes.
     std::uint64_t staged_completions = 0;  ///< Grants that were staged.
+    std::uint64_t aborts = 0;  ///< no-wait / wait-die refusals.
+    std::uint64_t wounds = 0;  ///< Entries revoked by wound-wait.
+    std::uint64_t cancel_removed = 0;  ///< Entries removed by kCancel.
+    /// Of cancel_removed, how many were already granted (their grant
+    /// completion was produced but the client discarded it).
+    std::uint64_t cancel_removed_granted = 0;
   };
 
   RtLockService(Options options, ExecutionSubstrate& substrate);
@@ -184,6 +213,8 @@ class RtLockService {
     /// Sink bridging the shared LockEngine to the completion rings.
     struct Sink final : public GrantSink {
       void DeliverGrant(LockId lock, const QueueSlot& slot) override;
+      void DeliverAbort(LockId lock, const QueueSlot& slot,
+                        AbortReason reason) override;
       RtLockService* service = nullptr;
       int core = 0;
     };
@@ -204,6 +235,10 @@ class RtLockService {
   /// spin-with-yield on full — backpressure outside the engine cascade).
   void FlushStaged(int core);
   void Process(int core_idx, Core& core, const RtRequest& req);
+  /// Routes one completion (grant or abort) to its client's ring: staged
+  /// in batch_submit mode, direct push with backpressure otherwise.
+  void DeliverCompletion(int core, const RtCompletion& comp,
+                         std::uint32_t client);
   void RecordEvent(Core& core, RtEvent::Kind kind, LockId lock,
                    LockMode mode, TxnId txn);
   void AppendEvent(Core& core, std::uint64_t seq, RtEvent::Kind kind,
@@ -236,6 +271,10 @@ class RtLockService {
   TelemetryCounter c_batches_;
   TelemetryCounter c_flushes_;  ///< Nonempty staged-completion flushes.
   TelemetryCounter c_staged_completions_;  ///< Grants routed via staging.
+  TelemetryCounter c_aborts_;  ///< no-wait / wait-die refusals.
+  TelemetryCounter c_wounds_;  ///< wound-wait revocations.
+  TelemetryCounter c_cancel_removed_;
+  TelemetryCounter c_cancel_removed_granted_;
   TelemetryGauge g_mailbox_depth_;  ///< kSum: backlog across cores.
   TelemetryGauge g_batch_;          ///< kMax: hwm = largest drain batch.
 

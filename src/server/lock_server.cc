@@ -14,6 +14,7 @@ LockServer::LockServer(Network& net, LockServerConfig config)
       trace_pid_(net.sim().context().trace().current_pid()),
       engine_(*this) {
   NETLOCK_CHECK(config_.cores >= 1);
+  engine_.set_deadlock_policy(config_.deadlock_policy);
   MetricsRegistry& reg = net_.sim().context().metrics();
   metrics_.grants = &reg.Counter("server.grants");
   metrics_.releases = &reg.Counter("server.releases");
@@ -85,6 +86,9 @@ void LockServer::Process(const LockHeader& hdr) {
       break;
     case LockOp::kRelease:
       ProcessOwnedRelease(hdr);
+      break;
+    case LockOp::kCancel:
+      ProcessCancel(hdr);
       break;
     case LockOp::kQueueEmpty:
       ProcessQueueEmpty(hdr);
@@ -208,6 +212,38 @@ void LockServer::ProcessQueueEmpty(const LockHeader& hdr) {
   sync.aux = static_cast<std::uint32_t>(q2.size());
   net_.Send(MakeLockPacket(node_, switch_node_, sync));
   if (q2.empty()) q2_.erase(hdr.lock_id);
+}
+
+void LockServer::ProcessCancel(const LockHeader& hdr) {
+  // Remove every queue entry of (lock, txn), granted or not, without
+  // notifying the (already aborted) owner. Survivors newly at the granted
+  // prefix are granted by the engine as usual. Idempotent: a duplicated
+  // copy finds nothing.
+  const LockEngine::RemoveResult removed = engine_.RemoveTxn(
+      hdr.lock_id, hdr.txn_id, substrate_.Now(), /*notify=*/false);
+  stats_.cancels_removed += removed.removed;
+}
+
+void LockServer::DeliverAbort(LockId lock, const QueueSlot& slot,
+                              AbortReason reason) {
+  if (reason == AbortReason::kWound) {
+    ++stats_.wounds;
+  } else {
+    ++stats_.aborts_refused;
+  }
+  if (abort_observer_) {
+    abort_observer_(lock, slot.txn_id, reason, slot.client_node);
+  }
+  LockHeader abort;
+  abort.op = LockOp::kAbort;
+  abort.lock_id = lock;
+  abort.mode = slot.mode;
+  abort.txn_id = slot.txn_id;
+  abort.client_node = slot.client_node;
+  abort.tenant = slot.tenant;
+  abort.timestamp = slot.timestamp;
+  abort.aux = static_cast<std::uint32_t>(reason);
+  net_.Send(MakeLockPacket(node_, slot.client_node, abort));
 }
 
 void LockServer::DeliverGrant(LockId lock, const QueueSlot& slot) {

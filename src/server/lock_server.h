@@ -43,6 +43,9 @@ struct LockServerConfig {
   /// releases already applied). Drops network-retransmitted RELEASE copies
   /// before they blind-pop another waiter's entry. 0 disables.
   std::uint32_t release_filter_slots = 4096;
+  /// Deadlock-handling policy applied by the lock engine (conflicting
+  /// acquires are refused / wound per the policy instead of queueing).
+  DeadlockPolicy deadlock_policy = DeadlockPolicy::kNone;
 };
 
 /// The per-lock queue/grant protocol itself lives in core/lock_engine.h —
@@ -130,6 +133,14 @@ class LockServer : private GrantSink {
     grant_observer_ = std::move(observer);
   }
 
+  /// Fires synchronously when the deadlock policy refuses or wounds an
+  /// entry — for wounds this is *before* the resulting cascade grants, so a
+  /// feed built from this observer plus the grant observer linearizes.
+  void set_abort_observer(
+      std::function<void(LockId, TxnId, AbortReason, NodeId)> observer) {
+    abort_observer_ = std::move(observer);
+  }
+
   // --- Statistics ---
   struct Stats {
     std::uint64_t grants = 0;
@@ -144,6 +155,9 @@ class LockServer : private GrantSink {
     /// Dropped instead of popping another waiter's entry.
     std::uint64_t mismatched_releases = 0;
     std::uint64_t duplicate_notifies = 0;  ///< Stale/dup kQueueEmpty dropped.
+    std::uint64_t aborts_refused = 0;   ///< no-wait / wait-die refusals.
+    std::uint64_t wounds = 0;           ///< Entries revoked by wound-wait.
+    std::uint64_t cancels_removed = 0;  ///< Entries removed by kCancel.
   };
   const Stats& stats() const { return stats_; }
 
@@ -156,12 +170,16 @@ class LockServer : private GrantSink {
   void Process(const LockHeader& hdr);
   void ProcessOwnedAcquire(const LockHeader& hdr);
   void ProcessOwnedRelease(const LockHeader& hdr);
+  void ProcessCancel(const LockHeader& hdr);
   void ProcessBufferOnly(const LockHeader& hdr);
   void ProcessQueueEmpty(const LockHeader& hdr);
 
   // GrantSink: the engine decided to grant; build and send the packet.
   void DeliverGrant(LockId lock, const QueueSlot& slot) override;
   void OnWaitEnd(LockId lock, const QueueSlot& slot, SimTime now) override;
+  // GrantSink: the deadlock policy refused/revoked an entry; notify client.
+  void DeliverAbort(LockId lock, const QueueSlot& slot,
+                    AbortReason reason) override;
 
   int CoreFor(LockId lock) const;
 
@@ -211,6 +229,7 @@ class LockServer : private GrantSink {
   void AdjustQ2Depth(std::int64_t delta);
 
   std::function<void(LockId, TxnId, LockMode, NodeId)> grant_observer_;
+  std::function<void(LockId, TxnId, AbortReason, NodeId)> abort_observer_;
 };
 
 }  // namespace netlock

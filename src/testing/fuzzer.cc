@@ -9,6 +9,8 @@
 #include "common/random.h"
 #include "common/sim_context.h"
 #include "core/failover.h"
+#include "core/lock_engine.h"
+#include "core/memory_alloc.h"
 #include "harness/experiment.h"
 #include "harness/testbed.h"
 #include "testing/lock_oracle.h"
@@ -210,6 +212,8 @@ std::string Schedule::SerializeParams() const {
   out += ";shared=" + std::to_string(workload.shared_permille);
   out += ";lpt=" + std::to_string(workload.locks_per_txn);
   out += ";racks=" + std::to_string(workload.racks);
+  out += ";unord=" + std::to_string(workload.unordered);
+  out += ";policy=" + std::to_string(workload.policy);
   out += ";run=" + std::to_string(workload.run_time);
   out += ";plan=" + plan.Serialize();
   return out;
@@ -257,6 +261,10 @@ bool Schedule::Parse(std::string_view text, Schedule* out) {
       out->workload.locks_per_txn = static_cast<int>(num);
     } else if (key == "racks") {
       out->workload.racks = static_cast<int>(num);
+    } else if (key == "unord") {
+      out->workload.unordered = static_cast<int>(num);
+    } else if (key == "policy") {
+      out->workload.policy = static_cast<int>(num);
     } else if (key == "run") {
       out->workload.run_time = static_cast<SimTime>(num);
     } else {
@@ -268,13 +276,14 @@ bool Schedule::Parse(std::string_view text, Schedule* out) {
 
 std::string RunReport::Summary() const {
   char buf[160];
-  std::snprintf(buf, sizeof(buf),
-                "grants=%llu violations=%llu fifo=%llu digest=%016llx %s",
-                static_cast<unsigned long long>(grants),
-                static_cast<unsigned long long>(violations),
-                static_cast<unsigned long long>(fifo_violations),
-                static_cast<unsigned long long>(digest),
-                ok ? "ok" : "FAIL");
+  std::snprintf(
+      buf, sizeof(buf),
+      "grants=%llu violations=%llu fifo=%llu stuck=%llu digest=%016llx %s",
+      static_cast<unsigned long long>(grants),
+      static_cast<unsigned long long>(violations),
+      static_cast<unsigned long long>(fifo_violations),
+      static_cast<unsigned long long>(stuck_cycles),
+      static_cast<unsigned long long>(digest), ok ? "ok" : "FAIL");
   std::string out = buf;
   for (const std::string& problem : problems) {
     out += "\n  ";
@@ -382,13 +391,25 @@ Schedule ScheduleFuzzer::Generate(std::uint64_t index) const {
     if (pick(2) != 0) add_net_chaos();
   };
 
-  switch (pick(7)) {
+  const auto add_deadlock = [&] {
+    // Unordered lock sets + a deadlock policy: the policy must keep the
+    // run both safe (oracle) and live (waits-for check, engines idle).
+    w.unordered = 1;
+    w.policy = static_cast<int>(1 + pick(3));  // no_wait/wait_die/wound_wait
+    w.locks_per_txn = static_cast<int>(2 + pick(3));
+    w.num_locks = static_cast<int>(2 + pick(5));
+    w.shared_permille = pick(2) ? 0 : 300;
+    if (pick(2) != 0) add_net_chaos();  // Abort protocol under chaos too.
+  };
+
+  switch (pick(8)) {
     case 0: break;  // Clean run: FIFO + liveness still checked.
     case 1: add_net_chaos(); break;
     case 2: add_partitions(); break;
     case 3: add_failover(); break;
     case 4: add_server_crash(); break;
     case 5: add_migration(); break;
+    case 6: add_deadlock(); break;
     default:
       add_net_chaos();
       add_partitions();
@@ -407,9 +428,20 @@ RunReport ScheduleFuzzer::RunSchedule(const Schedule& schedule,
   const WorkloadParams& w = schedule.workload;
   SimContext context;
   LockOracle oracle;
+  WaitsForGraph waits;
   std::vector<NetLockSession*> raw_sessions;
   std::vector<std::vector<NodeId>> session_nodes;
   const int racks = std::clamp(w.racks, 1, 8);
+  const bool unordered = w.unordered != 0;
+  // The seeded liveness bug disables the policy and stretches the lease
+  // past the horizon, so an unordered schedule that deadlocks *stays*
+  // deadlocked — the waits-for oracle must catch it.
+  const DeadlockPolicy policy =
+      options.bug_always_wait
+          ? DeadlockPolicy::kNone
+          : static_cast<DeadlockPolicy>(std::clamp(w.policy, 0, 3));
+  const SimTime lease =
+      options.bug_always_wait ? 10 * kSecond : kFuzzLease;
 
   TestbedConfig config;
   config.system = SystemKind::kNetLock;
@@ -418,11 +450,13 @@ RunReport ScheduleFuzzer::RunSchedule(const Schedule& schedule,
   config.sessions_per_machine = std::max(1, w.sessions_per_machine);
   config.lock_servers = 2;
   config.num_racks = racks;
-  config.lease = kFuzzLease;
+  config.lease = lease;
   config.lease_poll_interval = kMillisecond;
   config.client_retry_timeout = kMillisecond;
   config.client_max_retries = 16;
   config.txn_config.think_time = 5 * kMicrosecond;
+  config.txn_config.preserve_workload_order = unordered;
+  config.server_config.deadlock_policy = policy;
   config.seed = schedule.seed;
   config.switch_config.queue_capacity =
       std::max<std::uint32_t>(2, w.queue_capacity);
@@ -435,7 +469,13 @@ RunReport ScheduleFuzzer::RunSchedule(const Schedule& schedule,
       static_cast<double>(std::clamp(w.shared_permille, 0, 1000)) / 1000.0;
   micro.locks_per_txn = static_cast<std::uint32_t>(
       std::max(1, w.locks_per_txn));
-  config.workload_factory = MicroFactory(micro);
+  if (unordered) {
+    config.workload_factory = [micro](int) {
+      return std::make_unique<UnorderedMicroWorkload>(micro);
+    };
+  } else {
+    config.workload_factory = MicroFactory(micro);
+  }
 
   const std::uint64_t bug_mod = options.bug_txn_mod;
   // Optional autopsy trail: client releases land on shard 0, each rack's
@@ -462,6 +502,7 @@ RunReport ScheduleFuzzer::RunSchedule(const Schedule& schedule,
     }
     session_nodes.push_back(std::move(nodes));
     auto wrapped = std::make_unique<OracleSession>(std::move(inner), oracle);
+    wrapped->AttachWaitsFor(&waits);
     if (bug_mod != 0) {
       wrapped->set_suppress_release(
           [bug_mod](LockId, TxnId txn) { return txn % bug_mod == 3; });
@@ -478,14 +519,56 @@ RunReport ScheduleFuzzer::RunSchedule(const Schedule& schedule,
 
   Testbed testbed(config);
   sim_ptr = &testbed.sim();
-  testbed.sharded().InstallKnapsack(
-      UniformMicroDemands(micro, testbed.num_engines()));
+  if (unordered || w.policy != 0) {
+    // Deadlock-policy runs keep every lock server-resident (the switch
+    // data plane has no mid-queue removal for wounds/cancels). Condition
+    // on the schedule's fields, not the effective policy, so the seeded
+    // always-wait bug run differs from the healthy run only in policy and
+    // lease.
+    Allocation all_server;
+    for (LockId lock = 0;
+         lock < static_cast<LockId>(micro.num_locks); ++lock) {
+      all_server.server_only.push_back(lock);
+    }
+    testbed.sharded().InstallAllocation(all_server);
+  } else {
+    testbed.sharded().InstallKnapsack(
+        UniformMicroDemands(micro, testbed.num_engines()));
+  }
   ControlPlane& control = testbed.netlock().control_plane();
   // Lease-aware exclusion: a partitioned holder's lease legitimately
   // expires and the switch regrants (Section 4.5) — not an overlap. The
   // slack absorbs grant-delivery skew between switch and client clocks.
-  oracle.SetLease(kFuzzLease - 200 * kMicrosecond,
+  oracle.SetLease(lease - 200 * kMicrosecond,
                   [&sim = testbed.sim()] { return sim.now(); });
+  waits.SetClock([&sim = testbed.sim()] { return sim.now(); });
+  // The manager's abort observer keeps the exclusion oracle exact: a wound
+  // drops the holder *before* the cascade grants the lock onward, so the
+  // replacement grant is not an overlap. Die/no-wait aborts just purge the
+  // FIFO admission.
+  for (int r = 0; r < racks; ++r) {
+    NetLockManager& rack = testbed.sharded().rack(r);
+    const int rack_rec_shard =
+        recorder != nullptr
+            ? static_cast<int>((static_cast<std::uint64_t>(r) + 1) %
+                               static_cast<std::uint64_t>(recorder->shards()))
+            : 0;
+    for (int s = 0; s < rack.num_servers(); ++s) {
+      rack.server(s).set_abort_observer(
+          [&oracle, recorder, rack_rec_shard, &sim = testbed.sim()](
+              LockId lock, TxnId txn, AbortReason reason, NodeId) {
+            if (reason == AbortReason::kWound) {
+              oracle.OnWound(lock, txn);
+            } else {
+              oracle.OnAbort(lock, txn);
+            }
+            if (recorder != nullptr) {
+              recorder->Record(rack_rec_shard, FlightRecorder::Op::kAbort,
+                               lock, LockMode::kExclusive, txn, sim.now());
+            }
+          });
+    }
+  }
 
   std::unique_ptr<LockSwitch> backup;
   std::unique_ptr<FailoverManager> failover;
@@ -566,7 +649,7 @@ RunReport ScheduleFuzzer::RunSchedule(const Schedule& schedule,
                      failover.get(),
                      testbed.netlock().num_servers(),
                      config.client_machines,
-                     micro.num_locks,
+                     static_cast<int>(micro.num_locks),
                      config.switch_config.queue_capacity,
                      LinkFaults{},
                      false};
@@ -584,6 +667,29 @@ RunReport ScheduleFuzzer::RunSchedule(const Schedule& schedule,
       testbed.sim().Schedule(action.at + duration, [&driver, action] {
         driver.Fire(action, false);
       });
+    }
+  }
+
+  // Waits-for liveness scans run *during* the run (benign plans only): a
+  // deadlock is masked later — acquire timeouts eventually 2PL-abort the
+  // wedged transactions and the final state looks clean — so only an
+  // in-flight scan catches it. The first stuck cycle found is the
+  // evidence; a final scan below covers the settle tail.
+  const SimTime liveness_window = (5 * kFuzzLease) / 2;
+  std::uint64_t stuck_cycles = 0;
+  std::string first_cycle;
+  const auto scan_cycles = [&] {
+    if (stuck_cycles != 0) return;  // First hit is enough.
+    const std::string cycle = waits.FindStuckCycle(liveness_window);
+    if (!cycle.empty()) {
+      ++stuck_cycles;
+      first_cycle = cycle;
+    }
+  };
+  if (schedule.plan.Benign()) {
+    for (SimTime t = liveness_window; t < horizon + options.settle_budget;
+         t += kFuzzLease) {
+      testbed.sim().Schedule(t, scan_cycles);
     }
   }
 
@@ -633,6 +739,18 @@ RunReport ScheduleFuzzer::RunSchedule(const Schedule& schedule,
   }
   if (failover && failover->backup_active()) {
     report.problems.push_back("liveness: backup switch never drained");
+  }
+  // Waits-for liveness: on a benign plan every wait should clear within a
+  // couple of leases (the lease sweep breaks even policy-less deadlocks);
+  // a cycle all of whose edges are older than that is a real deadlock the
+  // manager failed to break. Faulty plans can strand waiters legitimately
+  // (lost grants ride retry timers), so the check is benign-only.
+  if (schedule.plan.Benign()) {
+    scan_cycles();  // Settle tail; no-op if an in-run scan already hit.
+    if (stuck_cycles != 0) {
+      report.stuck_cycles = stuck_cycles;
+      report.problems.push_back("deadlock: " + first_cycle);
+    }
   }
   const std::vector<std::string>& log = oracle.violation_log();
   for (std::size_t i = 0; i < log.size(); ++i) {

@@ -42,6 +42,14 @@ struct WorkloadParams {
   /// single-rack testbed). Serialized as "racks=N"; absent in old replay
   /// tokens, which parse as 1.
   int racks = 1;
+  /// Deadlock-prone flavor: engines acquire in the (shuffled) workload
+  /// order instead of sorted order. Serialized as "unord=1"; absent in old
+  /// replay tokens, which parse as 0.
+  int unordered = 0;
+  /// DeadlockPolicy as its wire value (0 none .. 3 wound_wait). Nonzero
+  /// forces an all-server allocation (the switch data plane has no
+  /// mid-queue removal). Serialized as "policy=N"; absent parses as 0.
+  int policy = 0;
   SimTime run_time = 30 * kMillisecond;
 
   friend bool operator==(const WorkloadParams&,
@@ -68,6 +76,9 @@ struct RunReport {
   std::uint64_t grants = 0;
   std::uint64_t violations = 0;
   std::uint64_t fifo_violations = 0;
+  /// Stuck waits-for cycles the liveness oracle observed (benign plans
+  /// only; faults legitimately stall waiters past the window).
+  std::uint64_t stuck_cycles = 0;
   /// Replay fingerprint: folds every switch grant event in order plus the
   /// final network counters. Identical schedules yield identical digests.
   std::uint64_t digest = 0;
@@ -87,6 +98,12 @@ struct FuzzOptions {
   /// reports an overlap. Proves the fuzzer catches and shrinks real
   /// violations. 0 = off.
   std::uint64_t bug_txn_mod = 0;
+  /// Test-only seeded liveness bug: run the schedule with the deadlock
+  /// policy forced to kNone and the lease stretched past the horizon, so
+  /// an unordered schedule that genuinely deadlocks stays deadlocked. The
+  /// waits-for oracle must then report a stuck cycle (and the engines
+  /// never idle). Proves the liveness check catches real deadlocks.
+  bool bug_always_wait = false;
   /// How long after the workload stops the run may take to quiesce before
   /// liveness violations are reported.
   SimTime settle_budget = 400 * kMillisecond;

@@ -23,7 +23,9 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "client/client.h"
@@ -48,6 +50,17 @@ class LockOracle {
   }
 
   void OnGrant(LockId lock, LockMode mode, TxnId txn) {
+    // A grant that was already wounded server-side (the grant packet was in
+    // flight when the wound removed the entry) never takes effect at the
+    // client — the session suppresses it — so the oracle must not record a
+    // holder for it.
+    if (!wounded_.empty()) {
+      const auto it = wounded_.find({lock, txn});
+      if (it != wounded_.end()) {
+        wounded_.erase(it);
+        return;
+      }
+    }
     Holders& holders = held_[lock];
     if (mode == LockMode::kExclusive) {
       if (!holders.shared.empty() || holders.exclusive != kInvalidTxn) {
@@ -80,6 +93,47 @@ class LockOracle {
       if (it->second.exclusive == txn) it->second.exclusive = kInvalidTxn;
     } else {
       it->second.shared.erase(txn);
+    }
+  }
+
+  // --- Deadlock-policy events (feed from the manager's abort observer) ---
+
+  /// A policy abort (no-wait / wait-die refusal, or any removal of a
+  /// never-granted entry): the txn holds nothing for this lock, but a
+  /// queued exclusive admission must be purged so the switch-side FIFO
+  /// check doesn't wait on it forever.
+  void OnAbort(LockId lock, TxnId txn) {
+    const auto held = held_.find(lock);
+    if (held != held_.end()) {
+      if (held->second.exclusive == txn) {
+        held->second.exclusive = kInvalidTxn;
+      }
+      held->second.shared.erase(txn);
+    }
+    const auto ord = x_order_.find(lock);
+    if (ord != x_order_.end()) {
+      for (auto pos = ord->second.begin(); pos != ord->second.end(); ++pos) {
+        if (*pos == txn) {
+          ord->second.erase(pos);
+          break;
+        }
+      }
+    }
+  }
+
+  /// Wound-wait revoked the entry; it may have been *held*. Drops any
+  /// holder state and remembers the pair so an in-flight grant observed
+  /// later (client-side lag) is not recorded as a fresh holder. Fire this
+  /// from the server-side abort observer, which the engine invokes before
+  /// the cascade grants — so the replacement grant never looks like an
+  /// overlap with the wounded holder.
+  void OnWound(LockId lock, TxnId txn) {
+    OnAbort(lock, txn);
+    wounded_.insert({lock, txn});
+    wounded_fifo_.push_back({lock, txn});
+    while (wounded_fifo_.size() > 4096) {
+      wounded_.erase(wounded_fifo_.front());
+      wounded_fifo_.pop_front();
     }
   }
 
@@ -194,6 +248,9 @@ class LockOracle {
 
   std::map<LockId, Holders> held_;
   std::map<LockId, std::deque<TxnId>> x_order_;
+  /// Pairs wound-wait revoked whose grant the client may still observe.
+  std::set<std::pair<LockId, TxnId>> wounded_;
+  std::deque<std::pair<LockId, TxnId>> wounded_fifo_;
   std::uint64_t violations_ = 0;
   std::uint64_t fifo_violations_ = 0;
   std::uint64_t grants_ = 0;
@@ -204,19 +261,136 @@ class LockOracle {
   std::vector<std::string> log_;
 };
 
-/// Session decorator feeding the oracle.
+/// Waits-for graph built from client-side observations: a liveness oracle
+/// for the deadlock policies. An acquire opens a wait edge txn -> lock; the
+/// acquire callback (grant, abort, timeout) or a Cancel closes it; a grant
+/// makes the txn a holder of the lock; a release or wound ends the hold.
+/// A deadlock shows up as a cycle txn -> lock -> holder-txn -> lock -> ...
+/// that persists: every edge in it stays put. Transient cycles are normal
+/// under wound-wait (the wound is in flight), so the check only reports
+/// cycles whose *youngest* wait edge is older than a caller-chosen window
+/// (comfortably above delivery + policy latency, below the lease).
+class WaitsForGraph {
+ public:
+  void SetClock(std::function<SimTime()> now) { now_ = std::move(now); }
+
+  void OnWaitStart(LockId lock, TxnId txn) {
+    waiting_[txn] = Wait{lock, now_ ? now_() : 0};
+  }
+
+  void OnWaitEnd(LockId lock, TxnId txn) {
+    const auto it = waiting_.find(txn);
+    if (it != waiting_.end() && it->second.lock == lock) waiting_.erase(it);
+  }
+
+  void OnHoldStart(LockId lock, TxnId txn) { holders_[lock].insert(txn); }
+
+  void OnHoldEnd(LockId lock, TxnId txn) {
+    const auto it = holders_.find(lock);
+    if (it == holders_.end()) return;
+    it->second.erase(txn);
+    if (it->second.empty()) holders_.erase(it);
+  }
+
+  std::size_t waiting() const { return waiting_.size(); }
+
+  /// Returns a deterministic description of a stuck waits-for cycle —
+  /// every wait edge on it at least `min_age` old — or the empty string if
+  /// none exists. `now` defaults to the attached clock.
+  std::string FindStuckCycle(SimTime min_age, SimTime now = 0) const {
+    if (now == 0 && now_) now = now_();
+    // DFS over txns; an edge txn -> holder exists when txn waits on a lock
+    // the holder currently holds and the wait is old enough.
+    std::map<TxnId, int> color;  // 0/absent = white, 1 = on stack, 2 = done.
+    for (const auto& [txn, wait] : waiting_) {
+      if (color.count(txn) != 0) continue;
+      std::vector<TxnId> stack{txn};
+      std::vector<TxnId> path;
+      while (!stack.empty()) {
+        const TxnId t = stack.back();
+        if (color[t] == 0) {
+          color[t] = 1;
+          path.push_back(t);
+          const auto wit = waiting_.find(t);
+          if (wit != waiting_.end() && now - wit->second.since >= min_age) {
+            const auto hit = holders_.find(wit->second.lock);
+            if (hit != holders_.end()) {
+              for (const TxnId holder : hit->second) {
+                if (holder == t) continue;
+                if (color[holder] == 1) {
+                  return DescribeCycle(path, holder);
+                }
+                if (color[holder] == 0) stack.push_back(holder);
+              }
+            }
+          }
+        } else {
+          stack.pop_back();
+          if (color[t] == 1) {
+            color[t] = 2;
+            path.pop_back();
+          }
+        }
+      }
+    }
+    return {};
+  }
+
+ private:
+  struct Wait {
+    LockId lock = kInvalidLock;
+    SimTime since = 0;
+  };
+
+  std::string DescribeCycle(const std::vector<TxnId>& path,
+                            TxnId back_to) const {
+    std::string out = "waits-for cycle:";
+    bool in_cycle = false;
+    for (const TxnId t : path) {
+      if (t == back_to) in_cycle = true;
+      if (!in_cycle) continue;
+      const auto wit = waiting_.find(t);
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), " txn=%llu -(lock=%llu)->",
+                    static_cast<unsigned long long>(t),
+                    static_cast<unsigned long long>(
+                        wit != waiting_.end() ? wit->second.lock
+                                              : kInvalidLock));
+      out += buf;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " txn=%llu",
+                  static_cast<unsigned long long>(back_to));
+    out += buf;
+    return out;
+  }
+
+  std::map<TxnId, Wait> waiting_;
+  std::map<LockId, std::set<TxnId>> holders_;
+  std::function<SimTime()> now_;
+};
+
+/// Session decorator feeding the oracle (and, when attached, the
+/// waits-for graph).
 class OracleSession : public LockSession {
  public:
   OracleSession(std::unique_ptr<LockSession> inner, LockOracle& oracle)
       : inner_(std::move(inner)), oracle_(oracle) {}
 
+  /// Also maintain a waits-for graph from this session's traffic. The
+  /// graph must outlive the session.
+  void AttachWaitsFor(WaitsForGraph* graph) { waits_ = graph; }
+
   void Acquire(LockId lock, LockMode mode, TxnId txn, Priority priority,
                AcquireCallback cb) override {
+    if (waits_ != nullptr) waits_->OnWaitStart(lock, txn);
     inner_->Acquire(lock, mode, txn, priority,
                     [this, lock, mode, txn, cb = std::move(cb)](
                         AcquireResult result) {
+                      if (waits_ != nullptr) waits_->OnWaitEnd(lock, txn);
                       if (result == AcquireResult::kGranted) {
                         oracle_.OnGrant(lock, mode, txn);
+                        if (waits_ != nullptr) waits_->OnHoldStart(lock, txn);
                       }
                       cb(result);
                     });
@@ -230,7 +404,22 @@ class OracleSession : public LockSession {
     if (!suppress_release_ || !suppress_release_(lock, txn)) {
       oracle_.OnRelease(lock, mode, txn);
     }
+    if (waits_ != nullptr) waits_->OnHoldEnd(lock, txn);
     inner_->Release(lock, mode, txn);
+  }
+
+  void Cancel(LockId lock, LockMode mode, TxnId txn) override {
+    if (waits_ != nullptr) waits_->OnWaitEnd(lock, txn);
+    inner_->Cancel(lock, mode, txn);
+  }
+
+  void set_wound_observer(
+      std::function<void(LockId, TxnId)> obs) override {
+    inner_->set_wound_observer(
+        [this, obs = std::move(obs)](LockId lock, TxnId txn) {
+          if (waits_ != nullptr) waits_->OnHoldEnd(lock, txn);
+          if (obs) obs(lock, txn);
+        });
   }
 
   NodeId node() const override { return inner_->node(); }
@@ -254,6 +443,7 @@ class OracleSession : public LockSession {
  private:
   std::unique_ptr<LockSession> inner_;
   LockOracle& oracle_;
+  WaitsForGraph* waits_ = nullptr;
   std::function<bool(LockId, TxnId)> suppress_release_;
   std::function<void(LockId, LockMode, TxnId)> release_observer_;
 };

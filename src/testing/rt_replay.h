@@ -49,6 +49,12 @@ inline std::uint64_t ReplayRtEventsThroughOracle(
       case rt::RtEvent::Kind::kRelease:
         oracle.OnRelease(ev.lock, ev.mode, ev.txn);
         break;
+      case rt::RtEvent::Kind::kAbort:
+        // Policy abort (refusal, die, wound, or cancel removal): the pair
+        // holds nothing from here on. OnWound also covers the never-granted
+        // cases — it just removes queue/holder state that isn't there.
+        oracle.OnWound(ev.lock, ev.txn);
+        break;
     }
   }
   const std::uint64_t violations =

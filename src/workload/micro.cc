@@ -1,5 +1,7 @@
 #include "workload/micro.h"
 
+#include <utility>
+
 #include "common/check.h"
 
 namespace netlock {
@@ -25,6 +27,34 @@ TxnSpec MicroWorkload::Next(Rng& rng) {
     txn.locks.push_back(req);
   }
   NormalizeTxn(txn);
+  return txn;
+}
+
+UnorderedMicroWorkload::UnorderedMicroWorkload(MicroConfig config)
+    : config_(config), zipf_(config.num_locks, config.zipf_alpha) {
+  NETLOCK_CHECK(config_.num_locks >= 1);
+  NETLOCK_CHECK(config_.locks_per_txn >= 1);
+  NETLOCK_CHECK(config_.shared_fraction >= 0.0 &&
+                config_.shared_fraction <= 1.0);
+}
+
+TxnSpec UnorderedMicroWorkload::Next(Rng& rng) {
+  TxnSpec txn;
+  txn.locks.reserve(config_.locks_per_txn);
+  for (std::uint32_t i = 0; i < config_.locks_per_txn; ++i) {
+    LockRequest req;
+    req.lock = config_.first_lock + static_cast<LockId>(zipf_.Sample(rng));
+    req.mode = rng.NextBool(config_.shared_fraction) ? LockMode::kShared
+                                                     : LockMode::kExclusive;
+    txn.locks.push_back(req);
+  }
+  // Dedup (an engine must never queue the same lock twice within one txn)
+  // but then shuffle: the acquisition order is the point of this workload.
+  NormalizeTxn(txn);
+  for (std::size_t i = txn.locks.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.NextBounded(i));
+    std::swap(txn.locks[i - 1], txn.locks[j]);
+  }
   return txn;
 }
 

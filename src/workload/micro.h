@@ -37,4 +37,26 @@ class MicroWorkload final : public WorkloadGenerator {
   ZipfSampler zipf_;
 };
 
+/// Deadlock-prone variant of MicroWorkload: the same per-lock distribution,
+/// but the lock set is deduplicated and then Fisher-Yates-shuffled rather
+/// than sorted, so two overlapping transactions can acquire their common
+/// locks in opposite orders. Pair with
+/// TxnEngineConfig::preserve_workload_order and a DeadlockPolicy — under
+/// kNone this workload genuinely deadlocks.
+class UnorderedMicroWorkload final : public WorkloadGenerator {
+ public:
+  explicit UnorderedMicroWorkload(MicroConfig config);
+
+  TxnSpec Next(Rng& rng) override;
+  LockId lock_space() const override {
+    return config_.first_lock + config_.num_locks;
+  }
+
+  const MicroConfig& config() const { return config_; }
+
+ private:
+  MicroConfig config_;
+  ZipfSampler zipf_;
+};
+
 }  // namespace netlock

@@ -17,19 +17,34 @@ namespace {
 struct CapturedGrant {
   LockId lock;
   QueueSlot slot;
+  std::size_t seq = 0;  ///< Position in the merged grant+abort stream.
+};
+
+struct CapturedAbort {
+  LockId lock;
+  QueueSlot slot;
+  AbortReason reason;
+  std::size_t seq = 0;
 };
 
 class CapturingSink : public GrantSink {
  public:
   void DeliverGrant(LockId lock, const QueueSlot& slot) override {
-    grants.push_back({lock, slot});
+    grants.push_back({lock, slot, events++});
   }
   void OnWaitEnd(LockId lock, const QueueSlot&, SimTime) override {
     wait_ends.push_back(lock);
   }
+  void DeliverAbort(LockId lock, const QueueSlot& slot,
+                    AbortReason reason) override {
+    aborts.push_back({lock, slot, reason, events++});
+  }
 
   std::vector<CapturedGrant> grants;
   std::vector<LockId> wait_ends;
+  std::vector<CapturedAbort> aborts;
+  /// Merged grant+abort delivery count (sequences ordering assertions).
+  std::size_t events = 0;
 };
 
 QueueSlot Slot(LockMode mode, TxnId txn, NodeId client = 1) {
@@ -188,6 +203,151 @@ TEST(LockEngineTest, DropDrainedAssertsEmptyAndForgets) {
   engine.DropDrained(3);
   EXPECT_FALSE(engine.Owns(3));
   EXPECT_EQ(engine.num_owned(), 0u);
+}
+
+// --- Deadlock-handling policies ---
+// Age = txn id (smaller = older). kNoWait refuses any conflicting acquire;
+// kWaitDie refuses a requester younger than a conflicting queued entry;
+// kWoundWait revokes every younger conflicting entry (waiting or granted)
+// before queuing the requester.
+
+TEST(LockEnginePolicyTest, NoWaitRefusesConflictingAcquire) {
+  CapturingSink sink;
+  LockEngine engine(sink);
+  engine.set_deadlock_policy(DeadlockPolicy::kNoWait);
+  engine.Acquire(1, Slot(LockMode::kShared, 10), 0);
+  engine.Acquire(1, Slot(LockMode::kShared, 11), 0);
+  EXPECT_EQ(sink.grants.size(), 2u);  // Shared-shared: no conflict.
+  engine.Acquire(1, Slot(LockMode::kExclusive, 12), 0);
+  ASSERT_EQ(sink.aborts.size(), 1u);  // Exclusive conflicts: refused.
+  EXPECT_EQ(sink.aborts[0].slot.txn_id, 12u);
+  EXPECT_EQ(sink.aborts[0].reason, AbortReason::kNoWait);
+  EXPECT_EQ(engine.QueueDepth(1), 2u);  // Never queued.
+  // Same-txn retransmit does not self-conflict.
+  engine.Acquire(2, Slot(LockMode::kExclusive, 20), 0);
+  engine.Acquire(2, Slot(LockMode::kExclusive, 20), 0);
+  EXPECT_EQ(sink.aborts.size(), 1u);
+}
+
+TEST(LockEnginePolicyTest, WaitDieAbortsYoungerLetsOlderWait) {
+  CapturingSink sink;
+  LockEngine engine(sink);
+  engine.set_deadlock_policy(DeadlockPolicy::kWaitDie);
+  engine.Acquire(1, Slot(LockMode::kExclusive, 10), 0);
+  // Younger (larger txn id) conflicting requester dies.
+  engine.Acquire(1, Slot(LockMode::kExclusive, 20), 0);
+  ASSERT_EQ(sink.aborts.size(), 1u);
+  EXPECT_EQ(sink.aborts[0].slot.txn_id, 20u);
+  EXPECT_EQ(sink.aborts[0].reason, AbortReason::kWaitDie);
+  // Older conflicting requester waits (no abort, no grant yet).
+  engine.Acquire(1, Slot(LockMode::kExclusive, 5), 0);
+  EXPECT_EQ(sink.aborts.size(), 1u);
+  EXPECT_EQ(engine.QueueDepth(1), 2u);
+  engine.Release(1, LockMode::kExclusive, 10, false, 1);
+  ASSERT_EQ(sink.grants.size(), 2u);
+  EXPECT_EQ(sink.grants[1].slot.txn_id, 5u);
+}
+
+TEST(LockEnginePolicyTest, WoundWaitRevokesAllYoungerThenQueues) {
+  CapturingSink sink;
+  LockEngine engine(sink);
+  engine.set_deadlock_policy(DeadlockPolicy::kWoundWait);
+  // Two granted shared holders, both younger than the wounding exclusive.
+  engine.Acquire(1, Slot(LockMode::kShared, 20), 0);
+  engine.Acquire(1, Slot(LockMode::kShared, 30), 0);
+  ASSERT_EQ(sink.grants.size(), 2u);
+  engine.Acquire(1, Slot(LockMode::kExclusive, 10), 5);
+  // Both shared holders wounded (queue order), then the exclusive granted.
+  ASSERT_EQ(sink.aborts.size(), 2u);
+  EXPECT_EQ(sink.aborts[0].slot.txn_id, 20u);
+  EXPECT_EQ(sink.aborts[1].slot.txn_id, 30u);
+  EXPECT_EQ(sink.aborts[0].reason, AbortReason::kWound);
+  ASSERT_EQ(sink.grants.size(), 3u);
+  EXPECT_EQ(sink.grants[2].slot.txn_id, 10u);
+  // Every wound delivered before the grant it enables.
+  EXPECT_LT(sink.aborts[1].seq, sink.grants[2].seq);
+  EXPECT_EQ(engine.QueueDepth(1), 1u);
+  // An older holder survives: younger exclusive queues behind it.
+  engine.Acquire(1, Slot(LockMode::kExclusive, 40), 6);
+  EXPECT_EQ(sink.aborts.size(), 2u);
+  EXPECT_EQ(engine.QueueDepth(1), 2u);
+}
+
+TEST(LockEnginePolicyTest, WoundWaitRevokesMidQueueWaiterAndRegrants) {
+  CapturingSink sink;
+  LockEngine engine(sink);
+  engine.set_deadlock_policy(DeadlockPolicy::kWoundWait);
+  // [X(5 granted), X(30 waiting), S(6 waiting)]: exclusive 10 arrives.
+  // Only X(30) is younger than 10; X(5) and S(6) are older and survive,
+  // and the prefix re-grant promotes nothing while X(5) still holds.
+  engine.Acquire(1, Slot(LockMode::kExclusive, 5), 0);
+  engine.Acquire(1, Slot(LockMode::kExclusive, 30), 0);
+  engine.Acquire(1, Slot(LockMode::kShared, 6), 0);
+  ASSERT_EQ(sink.grants.size(), 1u);
+  engine.Acquire(1, Slot(LockMode::kExclusive, 10), 2);
+  ASSERT_EQ(sink.aborts.size(), 1u);
+  EXPECT_EQ(sink.aborts[0].slot.txn_id, 30u);
+  EXPECT_EQ(sink.grants.size(), 1u);  // Holder X(5) unaffected.
+  EXPECT_EQ(engine.QueueDepth(1), 3u);  // [X5, S6, X10].
+  engine.Release(1, LockMode::kExclusive, 5, false, 3);
+  ASSERT_EQ(sink.grants.size(), 2u);
+  EXPECT_EQ(sink.grants[1].slot.txn_id, 6u);
+}
+
+// Regression: under a policy, a shared release must remove the releaser's
+// own entry, not blind-pop the front. The fuzzer caught the blind pop
+// leaving an entry labeled with an already-released txn: a later wound
+// then removed the wrong holder's entry and granted an exclusive over a
+// live shared holder.
+TEST(LockEnginePolicyTest, PolicySharedReleaseRemovesOwnEntry) {
+  CapturingSink sink;
+  LockEngine engine(sink);
+  engine.set_deadlock_policy(DeadlockPolicy::kWoundWait);
+  engine.Acquire(1, Slot(LockMode::kShared, 10), 0);
+  engine.Acquire(1, Slot(LockMode::kShared, 20), 0);
+  ASSERT_EQ(sink.grants.size(), 2u);
+  // Txn 20 (rear of the granted run) releases; txn 10 must remain.
+  EXPECT_EQ(engine.Release(1, LockMode::kShared, 20, false, 1),
+            ReleaseOutcome::kApplied);
+  EXPECT_EQ(engine.QueueDepth(1), 1u);
+  // An exclusive older than both arrives: the wound must name txn 10 (the
+  // real survivor). With the blind pop it would have named 20 — and
+  // granted X while 10 still held.
+  engine.Acquire(1, Slot(LockMode::kExclusive, 5), 2);
+  ASSERT_EQ(sink.aborts.size(), 1u);
+  EXPECT_EQ(sink.aborts[0].slot.txn_id, 10u);
+  ASSERT_EQ(sink.grants.size(), 3u);
+  EXPECT_EQ(sink.grants[2].slot.txn_id, 5u);
+  // A shared release whose txn holds nothing (e.g. crossed a wound in
+  // flight) is stale and must not pop anyone.
+  engine.Acquire(2, Slot(LockMode::kShared, 40), 3);
+  EXPECT_EQ(engine.Release(2, LockMode::kShared, 41, false, 4),
+            ReleaseOutcome::kStale);
+  EXPECT_EQ(engine.QueueDepth(2), 1u);
+}
+
+TEST(LockEnginePolicyTest, RemoveTxnClearsWaitersAndPausedEntries) {
+  CapturingSink sink;
+  LockEngine engine(sink);
+  engine.set_deadlock_policy(DeadlockPolicy::kWoundWait);
+  // Ascending ages, so wound-wait itself removes nothing on arrival.
+  engine.Acquire(1, Slot(LockMode::kExclusive, 5), 0);
+  engine.Acquire(1, Slot(LockMode::kExclusive, 7), 0);
+  engine.Acquire(1, Slot(LockMode::kExclusive, 9), 0);
+  // Cancel txn 9's pending entry (e.g. wounded elsewhere, acquire in
+  // flight): removed without blocking, then release cascades past it.
+  const LockEngine::RemoveResult removed =
+      engine.RemoveTxn(1, 9, 1, /*notify=*/false);
+  EXPECT_EQ(removed.removed, 1u);
+  EXPECT_EQ(removed.removed_granted, 0u);
+  engine.Release(1, LockMode::kExclusive, 5, false, 2);
+  ASSERT_EQ(sink.grants.size(), 2u);
+  EXPECT_EQ(sink.grants[1].slot.txn_id, 7u);
+  // Paused-buffer entries are removed too.
+  engine.SetPaused(3, true);
+  engine.Acquire(3, Slot(LockMode::kExclusive, 9), 3);
+  EXPECT_EQ(engine.RemoveTxn(3, 9, 4, /*notify=*/false).removed, 1u);
+  EXPECT_EQ(engine.TakePausedBuffer(3).size(), 0u);
 }
 
 // --- Flat-table / slab-queue migration coverage ---
@@ -359,10 +519,68 @@ class ReferenceEngine {
 
   explicit ReferenceEngine(CapturingSink& sink) : sink_(sink) {}
 
+  void set_deadlock_policy(DeadlockPolicy policy) { policy_ = policy; }
+
+  static bool Conflicts(const QueueSlot& a, const QueueSlot& b) {
+    if (a.txn_id == b.txn_id) return false;
+    return a.mode == LockMode::kExclusive || b.mode == LockMode::kExclusive;
+  }
+
+  static std::uint32_t GrantedCount(const RefLock& st) {
+    if (st.queue.empty()) return 0;
+    if (st.queue.front().mode == LockMode::kExclusive) return 1;
+    std::uint32_t granted = 0;
+    for (const QueueSlot& e : st.queue) {
+      if (e.mode == LockMode::kExclusive) break;
+      ++granted;
+    }
+    return granted;
+  }
+
   void Acquire(LockId lock, QueueSlot slot, SimTime now) {
     RefLock& st = locks_[lock];
     ++st.req_count;
     slot.timestamp = now;
+    if (policy_ != DeadlockPolicy::kNone && !st.queue.empty()) {
+      if (policy_ == DeadlockPolicy::kNoWait) {
+        for (const QueueSlot& e : st.queue) {
+          if (Conflicts(e, slot)) {
+            sink_.DeliverAbort(lock, slot, AbortReason::kNoWait);
+            return;
+          }
+        }
+      } else if (policy_ == DeadlockPolicy::kWaitDie) {
+        for (const QueueSlot& e : st.queue) {
+          if (e.txn_id < slot.txn_id && Conflicts(e, slot)) {
+            sink_.DeliverAbort(lock, slot, AbortReason::kWaitDie);
+            return;
+          }
+        }
+      } else if (policy_ == DeadlockPolicy::kWoundWait) {
+        // Remove every younger conflicting entry front-to-back (each
+        // wound delivered as it is removed), then re-grant the promoted
+        // prefix — mirroring RemoveMatching's abort-before-grant order.
+        std::uint32_t granted_now = GrantedCount(st);
+        std::size_t pos = 0;
+        for (auto it = st.queue.begin(); it != st.queue.end();) {
+          if (it->txn_id > slot.txn_id && Conflicts(*it, slot)) {
+            const QueueSlot victim = *it;
+            it = st.queue.erase(it);
+            if (victim.mode == LockMode::kExclusive) --st.xcnt;
+            if (pos < granted_now) --granted_now;
+            sink_.DeliverAbort(lock, victim, AbortReason::kWound);
+          } else {
+            ++it;
+            ++pos;
+          }
+        }
+        const std::uint32_t target = GrantedCount(st);
+        for (std::uint32_t p = granted_now; p < target; ++p) {
+          st.queue[p].timestamp = now;
+          sink_.DeliverGrant(lock, st.queue[p]);
+        }
+      }
+    }
     const bool was_empty = st.queue.empty();
     const bool all_shared = st.xcnt == 0;
     st.queue.push_back(slot);
@@ -386,7 +604,21 @@ class ReferenceEngine {
         (mode == LockMode::kExclusive && released.txn_id != txn)) {
       return ReleaseOutcome::kMismatched;
     }
-    st.queue.pop_front();
+    std::size_t pos = 0;
+    if (policy_ != DeadlockPolicy::kNone && mode == LockMode::kShared &&
+        released.txn_id != txn) {
+      // Txn-exact shared release (policy queues keep labels accurate).
+      bool found = false;
+      for (; pos < st.queue.size(); ++pos) {
+        if (st.queue[pos].mode != LockMode::kShared) break;
+        if (st.queue[pos].txn_id == txn) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return ReleaseOutcome::kStale;
+    }
+    st.queue.erase(st.queue.begin() + pos);
     if (released.mode == LockMode::kExclusive) --st.xcnt;
     if (st.queue.empty()) return ReleaseOutcome::kApplied;
     if (st.queue.front().mode == LockMode::kExclusive) {
@@ -418,6 +650,7 @@ class ReferenceEngine {
 
  private:
   CapturingSink& sink_;
+  DeadlockPolicy policy_ = DeadlockPolicy::kNone;
   std::map<LockId, RefLock> locks_;
 };
 
@@ -509,6 +742,103 @@ TEST(LockEngineTest, RandomizedDifferentialMatchesReferenceModel) {
     EXPECT_DOUBLE_EQ(harvested[lock].first,
                      static_cast<double>(st.req_count));
     EXPECT_EQ(harvested[lock].second, std::max(1u, st.max_depth));
+  }
+}
+
+// Per-policy differential: over 20k randomized ops per policy, the engine
+// and the reference must agree on the merged grant+abort stream (order,
+// txns, modes, reasons, stamps), on every release verdict, and on queue
+// depths. Valid releases target a *random granted entry*, not just the
+// head, so the txn-exact shared-release path is exercised throughout.
+TEST(LockEnginePolicyTest, RandomizedDifferentialPerPolicy) {
+  for (const DeadlockPolicy policy :
+       {DeadlockPolicy::kNoWait, DeadlockPolicy::kWaitDie,
+        DeadlockPolicy::kWoundWait}) {
+    SCOPED_TRACE(ToString(policy));
+    CapturingSink engine_sink;
+    CapturingSink ref_sink;
+    LockEngine engine(engine_sink);
+    ReferenceEngine ref(ref_sink);
+    engine.set_deadlock_policy(policy);
+    ref.set_deadlock_policy(policy);
+
+    constexpr LockId kLockSpace = 16;  // Few locks -> constant conflicts.
+    std::uint64_t rng =
+        0x51ed270b7f4a7c15ull + static_cast<std::uint64_t>(policy);
+    const auto next = [&rng]() {
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      return rng;
+    };
+
+    // Txn ids (= ages) are drawn from a window rather than monotonically:
+    // age inversions are what make wait-die die and wound-wait wound. Two
+    // logical txns sharing an id just act as one txn on both sides.
+    constexpr TxnId kTxnSpace = 4096;
+    SimTime now = 0;
+    for (int op = 0; op < 20000; ++op) {
+      ++now;
+      const LockId lock = 1 + next() % kLockSpace;
+      const std::uint64_t roll = next() % 100;
+      if (roll < 55) {
+        const LockMode mode =
+            next() % 10 < 4 ? LockMode::kShared : LockMode::kExclusive;
+        const QueueSlot slot = Slot(mode, 1 + next() % kTxnSpace);
+        engine.Acquire(lock, slot, now);
+        ref.Acquire(lock, slot, now);
+      } else if (roll < 90) {
+        // Release a random *granted* entry (head or mid shared run).
+        const auto it = ref.locks().find(lock);
+        if (it == ref.locks().end() || it->second.queue.empty()) continue;
+        const std::uint32_t granted =
+            ReferenceEngine::GrantedCount(it->second);
+        if (granted == 0) continue;
+        const QueueSlot holder = it->second.queue[next() % granted];
+        const ReleaseOutcome got =
+            engine.Release(lock, holder.mode, holder.txn_id, false, now);
+        const ReleaseOutcome want =
+            ref.Release(lock, holder.mode, holder.txn_id, now);
+        ASSERT_EQ(got, want) << "op " << op;
+        ASSERT_EQ(got, ReleaseOutcome::kApplied) << "op " << op;
+      } else {
+        // Bogus release: random mode/txn; verdicts must agree.
+        const LockMode mode =
+            next() % 2 == 0 ? LockMode::kShared : LockMode::kExclusive;
+        const TxnId txn = 1 + next() % kTxnSpace;
+        const ReleaseOutcome got =
+            engine.Release(lock, mode, txn, false, now);
+        const ReleaseOutcome want = ref.Release(lock, mode, txn, now);
+        ASSERT_EQ(got, want) << "op " << op;
+      }
+      ASSERT_EQ(engine_sink.events, ref_sink.events) << "op " << op;
+      ASSERT_EQ(engine.QueueDepth(lock), ref.QueueDepth(lock))
+          << "op " << op;
+    }
+
+    ASSERT_EQ(engine_sink.grants.size(), ref_sink.grants.size());
+    for (std::size_t i = 0; i < engine_sink.grants.size(); ++i) {
+      const CapturedGrant& a = engine_sink.grants[i];
+      const CapturedGrant& b = ref_sink.grants[i];
+      ASSERT_EQ(a.lock, b.lock) << "grant " << i;
+      ASSERT_EQ(a.slot.txn_id, b.slot.txn_id) << "grant " << i;
+      ASSERT_EQ(a.slot.mode, b.slot.mode) << "grant " << i;
+      ASSERT_EQ(a.slot.timestamp, b.slot.timestamp) << "grant " << i;
+      ASSERT_EQ(a.seq, b.seq) << "grant " << i;
+    }
+    ASSERT_EQ(engine_sink.aborts.size(), ref_sink.aborts.size());
+    for (std::size_t i = 0; i < engine_sink.aborts.size(); ++i) {
+      const CapturedAbort& a = engine_sink.aborts[i];
+      const CapturedAbort& b = ref_sink.aborts[i];
+      ASSERT_EQ(a.lock, b.lock) << "abort " << i;
+      ASSERT_EQ(a.slot.txn_id, b.slot.txn_id) << "abort " << i;
+      ASSERT_EQ(a.reason, b.reason) << "abort " << i;
+      ASSERT_EQ(a.seq, b.seq) << "abort " << i;
+    }
+    EXPECT_EQ(engine.TotalQueueDepth(), ref.TotalQueueDepth());
+    // The run must actually have exercised the policy.
+    EXPECT_GT(engine_sink.aborts.size(), 100u);
+    EXPECT_GT(engine_sink.grants.size(), 1000u);
   }
 }
 

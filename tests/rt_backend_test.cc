@@ -273,6 +273,106 @@ TEST(RtBackendTest, TelemetryOffStillCountsAndSkipsHistograms) {
   EXPECT_FALSE(result.metrics.lock_latency.empty());
 }
 
+// --- Deadlock-handling policies across backends ---
+
+constexpr DeadlockPolicy kAllPolicies[] = {DeadlockPolicy::kNoWait,
+                                           DeadlockPolicy::kWaitDie,
+                                           DeadlockPolicy::kWoundWait};
+
+// Deliberately deadlock-prone shape: unordered lock sets over a small hot
+// space. Without a policy this wedges; with one, every txn must still
+// commit (aborted attempts retry with a fresh, younger txn id).
+BackendRunConfig PolicyRun(DeadlockPolicy policy) {
+  BackendRunConfig config = SmallRun();
+  config.workload.num_locks = 32;
+  config.workload.locks_per_txn = 3;
+  config.workload.shared_fraction = 0.3;
+  config.deadlock_policy = policy;
+  config.unordered_workload = true;
+  config.txns_per_session = 150;
+  return config;
+}
+
+// Cross-backend equivalence under each policy: the same seeded sessions on
+// the simulator and the real-time backend must commit every transaction,
+// agree exactly on the locks granted to committed transactions, both see a
+// nonzero abort stream, and both drain completely. (Abort *counts* differ
+// legitimately: retry timing is substrate-dependent.)
+TEST(RtBackendTest, PolicyRunsAgreeAcrossBackends) {
+  for (const DeadlockPolicy policy : kAllPolicies) {
+    SCOPED_TRACE(ToString(policy));
+    BackendRunConfig config = PolicyRun(policy);
+
+    SimContext sim_context;
+    config.context = &sim_context;
+    const BackendRunResult sim =
+        RunMicroFixedCount(BackendKind::kSim, config);
+
+    SimContext rt_context;
+    config.context = &rt_context;
+    const BackendRunResult rt = RunMicroFixedCount(BackendKind::kRt, config);
+
+    const std::uint64_t expected_commits =
+        static_cast<std::uint64_t>(config.sessions) *
+        config.txns_per_session;
+    EXPECT_EQ(sim.commits, expected_commits);
+    EXPECT_EQ(rt.commits, expected_commits);
+    EXPECT_EQ(sim.committed_lock_grants, rt.committed_lock_grants);
+    EXPECT_GT(sim.aborts, 0u);
+    EXPECT_GT(rt.aborts, 0u);
+    EXPECT_GT(sim.service_aborts, 0u);
+    EXPECT_GT(rt.service_aborts, 0u);
+    EXPECT_EQ(sim.residual_queue_depth, 0u);
+    EXPECT_EQ(rt.residual_queue_depth, 0u);
+  }
+}
+
+// Oracle replay of the rt event log under each policy: the linearized
+// stream now contains kAbort events (refusals, deaths, wounds, cancel
+// removals); replaying them must leave mutual exclusion intact and every
+// holder released.
+TEST(RtBackendTest, OracleHoldsUnderPoliciesOnRt) {
+  for (const DeadlockPolicy policy : kAllPolicies) {
+    SCOPED_TRACE(ToString(policy));
+    SimContext context;
+    BackendRunConfig config = PolicyRun(policy);
+    config.context = &context;
+    config.rt_cores = 4;  // Locks shard across cores; wounds cross them.
+    config.rt_client_threads = 4;
+    config.rt_record_events = true;
+    const BackendRunResult result =
+        RunMicroFixedCount(BackendKind::kRt, config);
+    ASSERT_FALSE(result.events.empty());
+
+    testing::LockOracle oracle;
+    testing::ReplayRtEventsThroughOracle(result.events, oracle);
+    EXPECT_EQ(oracle.violations(), 0u)
+        << (oracle.violation_log().empty() ? "" : oracle.violation_log()[0]);
+    EXPECT_EQ(oracle.fifo_violations(), 0u);
+    EXPECT_EQ(oracle.TotalHolders(), 0u);  // Fully drained.
+  }
+}
+
+// Multi-shard wound regression: with locks sharded over 4 cores, a wound
+// delivered by one core's engine must lead the client to cancel the txn's
+// pending entries on *other* cores (kCancel), or those queues stall and
+// the fixed-count run never finishes. Completion + full drain + a nonzero
+// wound count is the regression signal.
+TEST(RtBackendTest, WoundClearsPendingEntriesAcrossCores) {
+  SimContext context;
+  BackendRunConfig config = PolicyRun(DeadlockPolicy::kWoundWait);
+  config.context = &context;
+  config.rt_cores = 4;
+  config.rt_client_threads = 4;
+  const BackendRunResult result =
+      RunMicroFixedCount(BackendKind::kRt, config);
+  EXPECT_EQ(result.commits,
+            static_cast<std::uint64_t>(config.sessions) *
+                config.txns_per_session);
+  EXPECT_GT(result.wounds, 0u);
+  EXPECT_EQ(result.residual_queue_depth, 0u);
+}
+
 // Seeds a mutual-exclusion violation by dropping some releases from the
 // oracle replay, then asserts the flight recorder produces a dump that
 // round-trips through ParseText — the autopsy workflow end to end.
