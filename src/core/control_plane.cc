@@ -141,6 +141,33 @@ std::vector<LockDemand> ControlPlane::HarvestDemands() {
   return demands;
 }
 
+void ControlPlane::CommitSwitchInstall(LockId lock, std::uint32_t slots) {
+  for (auto& entry : installed_.switch_slots) {
+    if (entry.first == lock) {
+      entry.second = slots;
+      return;
+    }
+  }
+  installed_.switch_slots.emplace_back(lock, slots);
+  installed_.server_only.erase(std::remove(installed_.server_only.begin(),
+                                           installed_.server_only.end(), lock),
+                               installed_.server_only.end());
+}
+
+void ControlPlane::CommitSwitchRemoval(LockId lock) {
+  auto& slots = installed_.switch_slots;
+  const auto it = std::find_if(
+      slots.begin(), slots.end(),
+      [lock](const std::pair<LockId, std::uint32_t>& entry) {
+        return entry.first == lock;
+      });
+  if (it != slots.end()) slots.erase(it);
+  if (std::find(installed_.server_only.begin(), installed_.server_only.end(),
+                lock) == installed_.server_only.end()) {
+    installed_.server_only.push_back(lock);
+  }
+}
+
 void ControlPlane::MoveLockToServer(LockId lock, std::function<void()> done) {
   NETLOCK_CHECK(switch_.IsInstalled(lock));
   // §4.3: pause enqueuing (new requests buffer in q2 at the home server),
@@ -148,19 +175,24 @@ void ControlPlane::MoveLockToServer(LockId lock, std::function<void()> done) {
   switch_.PauseLock(lock, true);
   auto poll = std::make_shared<std::function<void()>>();
   *poll = [this, lock, done = std::move(done), poll]() {
-    if (!switch_.QueueEmpty(lock)) {
-      sim_.Schedule(config_.drain_poll_interval, *poll);
-      return;
+    // A switch restart mid-drain wipes the entry (and its queue with it);
+    // converge by completing the handoff rather than polling a ghost.
+    if (switch_.IsInstalled(lock)) {
+      if (!switch_.QueueEmpty(lock)) {
+        sim_.Schedule(config_.drain_poll_interval, *poll);
+        return;
+      }
+      switch_.RemoveLock(lock);
     }
-    switch_.RemoveLock(lock);
     ServerObjFor(lock).TakeOwnership(lock);
+    CommitSwitchRemoval(lock);
     if (done) done();
   };
   sim_.Schedule(config_.drain_poll_interval, *poll);
 }
 
 void ControlPlane::MoveLockToSwitch(LockId lock, std::uint32_t slots,
-                                    std::function<void()> done) {
+                                    std::function<void(bool)> done) {
   NETLOCK_CHECK(!switch_.IsInstalled(lock));
   LockServer& server = ServerObjFor(lock);
   // Pause the server's queue: new requests buffer server-side; existing
@@ -172,26 +204,35 @@ void ControlPlane::MoveLockToSwitch(LockId lock, std::uint32_t slots,
       sim_.Schedule(config_.drain_poll_interval, *poll);
       return;
     }
-    if (switch_.InstallLock(lock, server.node(), slots)) {
+    const bool installed =
+        !switch_.IsInstalled(lock) &&
+        switch_.InstallLock(lock, server.node(), slots);
+    if (installed) {
       // Buffered requests re-enter through the switch, in order.
       server.ForwardBufferedToSwitch(lock);
       server.PauseLock(lock, false);
       server.DropOwnership(lock);
+      CommitSwitchInstall(lock, slots);
     } else {
-      // Could not place (fragmentation): resume serving on the server.
+      // Could not place (fragmentation): resume serving on the server. The
+      // allocation must reflect reality — the lock stays server-owned, so
+      // a later RecoverSwitch() must not resurrect it on the switch.
       server.PauseLock(lock, false);
       server.TakeOwnership(lock);  // No-op on q2 but re-grants if needed.
       server.ForwardBufferedToSwitch(lock);
+      CommitSwitchRemoval(lock);
     }
-    if (done) done();
+    if (done) done(installed);
   };
   sim_.Schedule(config_.drain_poll_interval, *poll);
 }
 
-void ControlPlane::Reallocate(std::uint32_t switch_capacity,
-                              std::function<void()> done) {
+std::vector<LockDemand> ControlPlane::CombinedDemands() {
   // Primary input: the data-plane counters; the software RecordRequest
-  // counters cover locks observed out-of-band (e.g., by the client library).
+  // counters cover locks observed out-of-band (e.g., by the client
+  // library). A lock the data plane serves is usually counted by both
+  // paths for the same requests, so the merge takes the per-lock max —
+  // summing would double-count it and skew the knapsack.
   std::vector<LockDemand> demands = MeasuredDemands();
   std::unordered_map<LockId, std::size_t> index;
   for (std::size_t i = 0; i < demands.size(); ++i) {
@@ -202,14 +243,33 @@ void ControlPlane::Reallocate(std::uint32_t switch_capacity,
     if (it == index.end()) {
       demands.push_back(d);
     } else {
-      demands[it->second].rate += d.rate;
+      demands[it->second].rate = std::max(demands[it->second].rate, d.rate);
       demands[it->second].contention =
           std::max(demands[it->second].contention, d.contention);
     }
   }
-  const Allocation target = KnapsackAllocate(demands, switch_capacity);
   counters_.clear();
   window_start_ = sim_.now();
+  std::sort(demands.begin(), demands.end(),
+            [](const LockDemand& a, const LockDemand& b) {
+              return a.lock < b.lock;
+            });
+  return demands;
+}
+
+bool ControlPlane::Reallocate(std::uint32_t switch_capacity,
+                              std::function<void()> done) {
+  // Reject before consuming the demand window: a rejected call must not
+  // discard the counters the next successful call will need.
+  if (migration_in_flight_) return false;
+  const Allocation target =
+      KnapsackAllocate(CombinedDemands(), switch_capacity);
+  return ApplyAllocation(target, std::move(done));
+}
+
+bool ControlPlane::ApplyAllocation(const Allocation& target,
+                                   std::function<void()> done) {
+  if (migration_in_flight_) return false;
 
   // Compute the migration sets relative to what is installed:
   //  - to_remove: installed but no longer in the target;
@@ -247,12 +307,19 @@ void ControlPlane::Reallocate(std::uint32_t switch_capacity,
   // migration event sequence is independent of hash-table layout.
   std::sort(to_remove.begin(), to_remove.end());
   std::sort(to_add.begin(), to_add.end());
-  installed_ = target;
+  // `installed_.switch_slots` is deliberately NOT overwritten here: each
+  // entry commits as its migration lands (CommitSwitchInstall/Removal
+  // inside the move primitives), so a RecoverSwitch() mid-batch reinstalls
+  // exactly the locks the switch actually owned — never a lock whose
+  // ownership had already been handed to (or never left) a server.
+  installed_.server_only = target.server_only;
+  installed_.guaranteed_rate = target.guaranteed_rate;
 
   if (to_remove.empty() && to_add.empty()) {
     if (done) done();
-    return;
+    return true;
   }
+  migration_in_flight_ = true;
 
   // Removals first to make space, then additions — sequenced, not merely
   // ordered: an addition launched while removals are still draining sees a
@@ -267,34 +334,60 @@ void ControlPlane::Reallocate(std::uint32_t switch_capacity,
   auto state = std::make_shared<State>();
   state->to_add = std::move(to_add);
   state->removals_left = to_remove.size();
-  state->done = std::move(done);
+  state->done = [this, done = std::move(done)]() {
+    migration_in_flight_ = false;
+    if (done) done();
+  };
 
   auto launch_adds = [this, state]() {
     if (state->to_add.empty()) {
-      if (state->done) state->done();
+      state->done();
       return;
     }
     state->adds_left = state->to_add.size();
     for (const auto& [lock, slots] : state->to_add) {
-      MoveLockToSwitch(lock, slots, [state]() {
-        if (--state->adds_left == 0 && state->done) state->done();
+      MoveLockToSwitch(lock, slots, [state](bool /*installed*/) {
+        if (--state->adds_left == 0) state->done();
       });
     }
   };
   if (to_remove.empty()) {
     launch_adds();
-    return;
+    return true;
   }
   for (const LockId lock : to_remove) {
     MoveLockToServer(lock, [state, launch_adds]() {
       if (--state->removals_left == 0) launch_adds();
     });
   }
+  return true;
 }
 
 void ControlPlane::RecoverSwitch() {
   switch_.Restart();
-  InstallAllocation(installed_);
+  // Reinstall the committed allocation, but suspended (queue-but-don't-
+  // grant): grants issued before the crash are still live until their
+  // leases expire, and an immediate regrant would overlap them — the
+  // switch-restart analogue of the one-lease server grace below. Every
+  // pre-crash grant predates the restart, so one lease from now they have
+  // all expired; Activate then (the failover backup's handshake, §4.5).
+  std::vector<LockId> reinstalled;
+  for (const auto& [lock, slots] : installed_.switch_slots) {
+    const NodeId home = ServerFor(lock);
+    ServerObjFor(lock).EvictOwnership(lock);
+    if (switch_.InstallLock(lock, home, slots, /*suspended=*/true)) {
+      reinstalled.push_back(lock);
+    } else {
+      switch_.SetHomeServer(lock, home);
+    }
+  }
+  sim_.Schedule(config_.lease,
+                [this, reinstalled = std::move(reinstalled)] {
+                  for (const LockId lock : reinstalled) {
+                    // Skip locks a migration moved (or removed) meanwhile.
+                    if (switch_.IsSuspended(lock)) switch_.Activate(lock);
+                  }
+                });
 }
 
 bool ControlPlane::ServerAlive(int index) const {

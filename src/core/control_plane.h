@@ -74,16 +74,38 @@ class ControlPlane {
   /// Algorithm 3.
   std::vector<LockDemand> HarvestDemands();
 
-  /// Recomputes the allocation from measured demands and migrates locks
-  /// accordingly. `done` fires when all migrations complete.
-  void Reallocate(std::uint32_t switch_capacity, std::function<void()> done);
+  /// One deduplicated demand vector over the window: the data-plane
+  /// counters merged with the software RecordRequest counters by taking the
+  /// per-lock max (a hot lock is typically seen by both paths; summing
+  /// would double-count it and skew the knapsack toward instrumented
+  /// locks). Consumes the window: both counter sets reset.
+  std::vector<LockDemand> CombinedDemands();
+
+  /// Recomputes the allocation from CombinedDemands() and migrates locks
+  /// accordingly. `done` fires when all migrations complete. Returns false
+  /// (demand window untouched, `done` dropped) if a previous migration
+  /// batch is still draining — overlapping batches would double-pause
+  /// locks and race each other's sequencing.
+  bool Reallocate(std::uint32_t switch_capacity, std::function<void()> done);
+
+  /// Migrates from the installed allocation to `target`: removals drain
+  /// first, then additions/resizes install. Each `installed_` entry commits
+  /// only when its migration lands, so RecoverSwitch() mid-batch reinstalls
+  /// exactly what the switch actually owned. Returns false (and drops
+  /// `done`) if a batch is already in flight.
+  bool ApplyAllocation(const Allocation& target, std::function<void()> done);
+
+  /// True while a Reallocate/ApplyAllocation migration batch is draining.
+  bool MigrationInFlight() const { return migration_in_flight_; }
 
   /// Migrates one lock out of the switch to its home server.
   void MoveLockToServer(LockId lock, std::function<void()> done);
 
   /// Migrates one server lock into the switch with `slots` queue slots.
+  /// `done(installed)` reports whether the lock actually landed on the
+  /// switch (false: fragmentation fallback kept it server-owned).
   void MoveLockToSwitch(LockId lock, std::uint32_t slots,
-                        std::function<void()> done);
+                        std::function<void(bool installed)> done);
 
   /// Re-runs failure recovery after a switch restart: reinstalls the last
   /// allocation (Section 4.5 switch-failure handling; queued state is
@@ -124,6 +146,11 @@ class ControlPlane {
 
   void ReassignInstalledHomes();
 
+  /// Per-lock `installed_` bookkeeping: entries commit as migrations land,
+  /// never ahead of them (split-brain guard for RecoverSwitch).
+  void CommitSwitchInstall(LockId lock, std::uint32_t slots);
+  void CommitSwitchRemoval(LockId lock);
+
   Simulator& sim_;
   LockSwitch& switch_;
   std::vector<LockServer*> servers_;
@@ -135,6 +162,7 @@ class ControlPlane {
   std::unordered_map<LockId, DemandCounters> counters_;
   SimTime window_start_ = 0;
   bool lease_polling_ = false;
+  bool migration_in_flight_ = false;
 };
 
 }  // namespace netlock

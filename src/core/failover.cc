@@ -67,6 +67,7 @@ void FailoverManager::FailPrimary() {
   // epoch_ but must not cancel this activation, or the backup's suspended
   // queues would never grant (and so never drain) — a livelock.
   const std::uint64_t fail_epoch = fail_epoch_;
+  grace_until_ = sim_.now() + control_.config().lease;
   sim_.Schedule(control_.config().lease, [this, fail_epoch]() {
     if (fail_epoch != fail_epoch_) return;
     ActivateBackupLocks();
@@ -124,11 +125,18 @@ void FailoverManager::PollRecovery(std::uint64_t epoch,
     // has failed again (and fight the new failover's bookkeeping).
     if (epoch != epoch_) return;
     bool all_drained = true;
+    // The primary inherits the backup's one-lease grace: if recovery runs
+    // before FailPrimary's grace has elapsed, grants issued by the old
+    // primary are still live, and activating here would overlap them —
+    // the backup never granted these locks (its own activation timer is
+    // still pending), so an empty backup queue proves nothing yet.
+    const bool grace_over = sim_.now() >= grace_until_;
     for (const LockId lock : primary_.table().InstalledLocks()) {
       if (!primary_.IsSuspended(lock)) continue;
       // "Only grant from the backup until its queue gets empty": activate
       // each primary lock the moment the backup's queue for it drains.
-      if (!backup_.IsInstalled(lock) || backup_.QueueEmpty(lock)) {
+      if (grace_over &&
+          (!backup_.IsInstalled(lock) || backup_.QueueEmpty(lock))) {
         primary_.Activate(lock);
         returned_to_primary_.insert(lock);
       } else {

@@ -105,6 +105,10 @@ class FailoverManager {
   /// passed) must NOT cancel the pending activation — the backup's queued
   /// requests still have to be granted for its queues to ever drain.
   std::uint64_t fail_epoch_ = 0;
+  /// One-lease grace from the last FailPrimary: no switch — backup or
+  /// recovered primary — may grant before this instant, because grants
+  /// issued by the failed primary stay live until their leases expire.
+  SimTime grace_until_ = 0;
   /// Locks whose grant stream has moved back to the recovered primary
   /// (backup queue drained). On a second failure these — and only these —
   /// are re-suspended on the backup.

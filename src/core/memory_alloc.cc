@@ -40,6 +40,76 @@ Allocation KnapsackAllocate(std::vector<LockDemand> demands,
   return result;
 }
 
+Allocation IncrementalKnapsack(const Allocation& seed,
+                               const std::vector<LockDemand>& demands,
+                               std::uint32_t switch_capacity,
+                               const IncrementalPolicy& policy) {
+  std::unordered_map<LockId, std::uint32_t> seed_slots;
+  for (const auto& [lock, s] : seed.switch_slots) seed_slots.emplace(lock, s);
+
+  struct Candidate {
+    LockDemand demand;
+    double key = 0.0;  ///< Boosted density (sort key).
+    bool incumbent = false;
+  };
+  std::vector<Candidate> slice;
+  slice.reserve(demands.size());
+  std::unordered_map<LockId, bool> touched;
+  touched.reserve(demands.size());
+  for (const LockDemand& d : demands) {
+    NETLOCK_CHECK(d.contention >= 1);
+    touched.emplace(d.lock, true);
+    Candidate c;
+    c.demand = d;
+    c.incumbent = seed_slots.find(d.lock) != seed_slots.end();
+    c.key = d.rate / d.contention;
+    if (c.incumbent) c.key *= policy.incumbent_boost;
+    slice.push_back(c);
+  }
+
+  Allocation result;
+  std::uint32_t available = switch_capacity;
+  // Untouched incumbents — no fresh demand observation — keep their slots
+  // verbatim; only the dirty slice is re-packed around them.
+  for (const auto& [lock, s] : seed.switch_slots) {
+    if (touched.find(lock) != touched.end()) continue;
+    const std::uint32_t keep = std::min(available, s);
+    if (keep == 0) {
+      result.server_only.push_back(lock);
+      continue;
+    }
+    available -= keep;
+    result.switch_slots.emplace_back(lock, keep);
+  }
+
+  // Greedy fill of the slice by boosted density (ties: incumbents first —
+  // never churn on an exact tie — then lock id for determinism).
+  std::sort(slice.begin(), slice.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.key != b.key) return a.key > b.key;
+              if (a.incumbent != b.incumbent) return a.incumbent;
+              return a.demand.lock < b.demand.lock;
+            });
+  for (const Candidate& c : slice) {
+    const LockDemand& d = c.demand;
+    std::uint32_t want = std::min(available, d.contention);
+    if (c.incumbent && policy.min_resize_delta > 0) {
+      const std::uint32_t have = seed_slots[d.lock];
+      const std::uint32_t delta = want > have ? want - have : have - want;
+      if (delta < policy.min_resize_delta) want = std::min(available, have);
+    }
+    if (want == 0 || d.rate <= 0.0) {
+      result.server_only.push_back(d.lock);
+      continue;
+    }
+    available -= want;
+    result.switch_slots.emplace_back(d.lock, want);
+    result.guaranteed_rate +=
+        d.rate * std::min(want, d.contention) / d.contention;
+  }
+  return result;
+}
+
 Allocation RandomAllocate(std::vector<LockDemand> demands,
                           std::uint32_t switch_capacity, std::uint64_t seed) {
   Rng rng(seed);

@@ -37,6 +37,35 @@ struct Allocation {
 Allocation KnapsackAllocate(std::vector<LockDemand> demands,
                             std::uint32_t switch_capacity);
 
+/// Hysteresis policy for IncrementalKnapsack.
+struct IncrementalPolicy {
+  /// Density multiplier applied to already-installed locks during the
+  /// re-solve. A challenger displaces an incumbent only when its density
+  /// exceeds `incumbent_boost` times the incumbent's (equivalently, an
+  /// incumbent is evicted only when its density falls below
+  /// challenger / incumbent_boost) — the admission and eviction thresholds
+  /// are the two faces of this one knob. 1.0 = no hysteresis: the result
+  /// matches KnapsackAllocate over the same demand set.
+  double incumbent_boost = 1.25;
+  /// Keep an admitted incumbent's installed slot count when the re-solved
+  /// want differs from it by less than this (suppresses resize churn from
+  /// integer contention flutter). 0 = always resize to the exact want.
+  std::uint32_t min_resize_delta = 0;
+};
+
+/// Incremental re-solve seeded from the previous allocation (the POP
+/// trace-tree idiom: recompute only the slice whose demand moved, not the
+/// world). `demands` is the dirty slice — the locks whose measured demand
+/// changed this interval plus any incumbents the caller wants re-examined.
+/// Seed locks absent from `demands` keep their slots verbatim; the dirty
+/// slice is re-packed greedily into the remaining capacity with the
+/// incumbency hysteresis above. Work is O(|slice| log |slice|), independent
+/// of the total lock-space size.
+Allocation IncrementalKnapsack(const Allocation& seed,
+                               const std::vector<LockDemand>& demands,
+                               std::uint32_t switch_capacity,
+                               const IncrementalPolicy& policy = {});
+
 /// Figure 13's strawman: random lock order, c_i slots each until full.
 Allocation RandomAllocate(std::vector<LockDemand> demands,
                           std::uint32_t switch_capacity, std::uint64_t seed);

@@ -58,6 +58,7 @@ class NetLockManager {
 
   LockSwitch& lock_switch() { return *switch_; }
   ControlPlane& control_plane() { return *control_; }
+  const NetLockOptions& options() const { return options_; }
   LockServer& server(int i) { return *servers_[i]; }
   int num_servers() const { return static_cast<int>(servers_.size()); }
 

@@ -161,13 +161,13 @@ std::uint64_t ShardedNetLock::ServerGrants() const {
   return total;
 }
 
-void ShardedNetLock::RehomeLock(LockId lock, int to_rack,
+bool ShardedNetLock::RehomeLock(LockId lock, int to_rack,
                                 std::function<void()> done) {
   NETLOCK_CHECK(to_rack >= 0 && to_rack < num_racks());
   const int from_rack = directory_.RackFor(lock);
   if (from_rack == to_rack || RehomeInFlight(lock)) {
     if (done) done();
-    return;
+    return false;
   }
   rehoming_.insert(lock);
   NetLockManager& src = *racks_[from_rack];
@@ -252,6 +252,7 @@ void ShardedNetLock::RehomeLock(LockId lock, int to_rack,
   } else {
     net_.sim().Schedule(interval, *poll);
   }
+  return true;
 }
 
 }  // namespace netlock

@@ -157,9 +157,11 @@ class ShardedNetLock {
 
   /// Re-homes one lock onto `to_rack` using the pause -> drain -> move
   /// protocol described in the header comment. `done` fires when the lock
-  /// is live on the target rack. A no-op (done fires immediately) when the
-  /// lock already lives there or a re-home for it is already in flight.
-  void RehomeLock(LockId lock, int to_rack,
+  /// is live on the target rack. A no-op (done fires immediately, returns
+  /// false) when the lock already lives there or a re-home for it is
+  /// already in flight — the false return lets the self-driving controller
+  /// charge its migration budget only for moves that actually launch.
+  bool RehomeLock(LockId lock, int to_rack,
                   std::function<void()> done = nullptr);
 
   bool RehomeInFlight(LockId lock) const {

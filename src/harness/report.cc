@@ -117,6 +117,10 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
       opts.backend = arg + 10;
     } else if (std::strcmp(arg, "--backend") == 0 && i + 1 < argc) {
       opts.backend = argv[++i];
+    } else if (std::strncmp(arg, "--controller=", 13) == 0) {
+      opts.controller = arg + 13;
+    } else if (std::strcmp(arg, "--controller") == 0 && i + 1 < argc) {
+      opts.controller = argv[++i];
     }
     // Unknown flags are ignored: wrappers (ctest, benchmark harnesses)
     // append their own and benches must not die on them.

@@ -65,6 +65,10 @@ struct BenchOptions {
   /// workload on either substrate (see harness/backend.h). Empty = the
   /// bench's own default; benches without a backend seam ignore it.
   std::string backend;
+  /// Self-driving controller seam (`--controller=on|off`) for benches that
+  /// compare static vs continuous reallocation. Empty = run both sides;
+  /// benches without the seam ignore it.
+  std::string controller;
 };
 
 /// Parses `--quick`, `--json-dir=DIR` (or `--json-dir DIR`),

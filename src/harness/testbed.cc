@@ -78,6 +78,10 @@ Testbed::Testbed(TestbedConfig config)
       sharded_options.rack = options;
       sharded_options.num_racks = config_.num_racks;
       sharded_ = std::make_unique<ShardedNetLock>(*net_, sharded_options);
+      if (config_.controller) {
+        controller_ = std::make_unique<SelfDrivingController>(
+            sim_, *sharded_, config_.controller_config);
+      }
       for (int r = 0; r < sharded_->num_racks(); ++r) {
         NetLockManager& rack = sharded_->rack(r);
         infra_switch_nodes.push_back(rack.lock_switch().node());
@@ -221,6 +225,10 @@ NetLockManager& Testbed::netlock() {
 ShardedNetLock& Testbed::sharded() {
   NETLOCK_CHECK(sharded_ != nullptr);
   return *sharded_;
+}
+SelfDrivingController& Testbed::controller() {
+  NETLOCK_CHECK(controller_ != nullptr);
+  return *controller_;
 }
 ServerOnlyManager& Testbed::server_only() {
   NETLOCK_CHECK(server_only_ != nullptr);

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "baselines/drtm.h"
+#include "core/controller.h"
 #include "baselines/dslr.h"
 #include "baselines/netchain.h"
 #include "baselines/server_only.h"
@@ -78,6 +79,13 @@ struct TestbedConfig {
 
   std::uint64_t seed = 42;
 
+  /// NetLock-only: stand up a SelfDrivingController over the topology
+  /// (continuous demand-tracking reallocation). It is constructed with the
+  /// testbed but not started — call controller().Start() once an initial
+  /// allocation is installed (benches honor `--controller=on|off` here).
+  bool controller = false;
+  ControllerConfig controller_config;
+
   /// Required: builds the workload for engine `i` (0-based global index).
   std::function<std::unique_ptr<WorkloadGenerator>(int)> workload_factory;
   /// Optional per-engine tenant / priority (default 0).
@@ -107,6 +115,9 @@ class Testbed {
   /// topology — directory, per-rack managers, RehomeLock.
   NetLockManager& netlock();
   ShardedNetLock& sharded();
+  /// NetLock-only; requires config.controller = true.
+  SelfDrivingController& controller();
+  bool has_controller() const { return controller_ != nullptr; }
   ServerOnlyManager& server_only();
   DslrManager& dslr();
   DrtmManager& drtm();
@@ -146,6 +157,7 @@ class Testbed {
 
   // Exactly one of these is set, per config_.system.
   std::unique_ptr<ShardedNetLock> sharded_;
+  std::unique_ptr<SelfDrivingController> controller_;
   std::unique_ptr<ServerOnlyManager> server_only_;
   std::unique_ptr<DslrManager> dslr_;
   std::unique_ptr<DrtmManager> drtm_;

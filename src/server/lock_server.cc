@@ -332,6 +332,10 @@ bool LockServer::QueueEmpty(LockId lock) const {
   return engine_.QueueEmpty(lock);
 }
 
+std::size_t LockServer::QueueDepth(LockId lock) const {
+  return engine_.QueueDepth(lock) + OverflowDepth(lock);
+}
+
 void LockServer::ForwardBufferedToSwitch(LockId lock) {
   NETLOCK_CHECK(switch_node_ != kInvalidNode);
   if (!engine_.Owns(lock)) return;

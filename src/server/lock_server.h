@@ -88,6 +88,11 @@ class LockServer : private GrantSink {
   /// True when an owned lock has no queued entries (drained).
   bool QueueEmpty(LockId lock) const;
 
+  /// Entries waiting on `lock` server-side (owned queue plus q2 overflow
+  /// buffer) — the self-driving controller's migration-cost input: each is
+  /// a request a pause-drain-move would delay.
+  std::size_t QueueDepth(LockId lock) const;
+
   /// Re-sends requests buffered while paused to the switch as fresh
   /// acquires (order-preserving); used to complete server->switch moves.
   void ForwardBufferedToSwitch(LockId lock);

@@ -214,6 +214,7 @@ std::string Schedule::SerializeParams() const {
   out += ";racks=" + std::to_string(workload.racks);
   out += ";unord=" + std::to_string(workload.unordered);
   out += ";policy=" + std::to_string(workload.policy);
+  out += ";ctrl=" + std::to_string(workload.controller);
   out += ";run=" + std::to_string(workload.run_time);
   out += ";plan=" + plan.Serialize();
   return out;
@@ -265,6 +266,8 @@ bool Schedule::Parse(std::string_view text, Schedule* out) {
       out->workload.unordered = static_cast<int>(num);
     } else if (key == "policy") {
       out->workload.policy = static_cast<int>(num);
+    } else if (key == "ctrl") {
+      out->workload.controller = static_cast<int>(num);
     } else if (key == "run") {
       out->workload.run_time = static_cast<SimTime>(num);
     } else {
@@ -391,6 +394,37 @@ Schedule ScheduleFuzzer::Generate(std::uint64_t index) const {
     if (pick(2) != 0) add_net_chaos();
   };
 
+  const auto add_controller = [&] {
+    // Self-driving control plane live during the run: the controller's
+    // continuous reallocations race whatever else the plan throws at the
+    // rack. Enough locks that the knapsack has real promote/demote
+    // choices, and a small switch so admission stays contested.
+    w.controller = 1;
+    w.num_locks = static_cast<int>(4 + pick(8));
+    w.queue_capacity = kCaps[pick(3)];  // 4/8/16: forces server overflow.
+    if (pick(2) != 0) w.racks = 2;      // Exercise the re-home balancer.
+    switch (pick(4)) {
+      case 0:
+        break;  // Controller alone on a clean fabric.
+      case 1: {
+        // Switch outage mid-migration: the recovery path must not
+        // resurrect locks the controller had demoted (split-brain).
+        const SimTime crash_at = at_in(2 * kMillisecond, run / 2);
+        plan.push_back({FaultKind::kSwitchCrash, crash_at, 0, 0, 0});
+        plan.push_back({FaultKind::kSwitchRestart,
+                        crash_at + kMillisecond + at_in(0, 2 * kFuzzLease),
+                        0, 0, 0});
+        break;
+      }
+      case 2:
+        add_server_crash();
+        break;
+      default:
+        add_net_chaos();
+        break;
+    }
+  };
+
   const auto add_deadlock = [&] {
     // Unordered lock sets + a deadlock policy: the policy must keep the
     // run both safe (oracle) and live (waits-for check, engines idle).
@@ -402,7 +436,7 @@ Schedule ScheduleFuzzer::Generate(std::uint64_t index) const {
     if (pick(2) != 0) add_net_chaos();  // Abort protocol under chaos too.
   };
 
-  switch (pick(8)) {
+  switch (pick(9)) {
     case 0: break;  // Clean run: FIFO + liveness still checked.
     case 1: add_net_chaos(); break;
     case 2: add_partitions(); break;
@@ -410,6 +444,7 @@ Schedule ScheduleFuzzer::Generate(std::uint64_t index) const {
     case 4: add_server_crash(); break;
     case 5: add_migration(); break;
     case 6: add_deadlock(); break;
+    case 7: add_controller(); break;
     default:
       add_net_chaos();
       add_partitions();
@@ -433,6 +468,10 @@ RunReport ScheduleFuzzer::RunSchedule(const Schedule& schedule,
   std::vector<std::vector<NodeId>> session_nodes;
   const int racks = std::clamp(w.racks, 1, 8);
   const bool unordered = w.unordered != 0;
+  // The controller only makes sense over a real knapsack allocation;
+  // deadlock-policy schedules force everything server-resident.
+  const bool controller_on =
+      w.controller != 0 && !unordered && w.policy == 0;
   // The seeded liveness bug disables the policy and stretches the lease
   // past the horizon, so an unordered schedule that deadlocks *stays*
   // deadlocked — the waits-for oracle must catch it.
@@ -462,6 +501,17 @@ RunReport ScheduleFuzzer::RunSchedule(const Schedule& schedule,
       std::max<std::uint32_t>(2, w.queue_capacity);
   config.switch_config.array_size = 512;
   config.switch_config.max_locks = 64;
+  if (controller_on) {
+    // Fuzz horizons are tens of milliseconds, so the controller runs at
+    // fuzz scale: fast ticks, one observe-only window, short dwell. The
+    // point is migrations racing the fault plan, not steady-state tuning.
+    config.controller = true;
+    config.controller_config.interval = 2 * kMillisecond;
+    config.controller_config.warmup_ticks = 1;
+    config.controller_config.min_dwell = 4 * kMillisecond;
+    config.controller_config.migration_budget = 4;
+    config.controller_config.rate_floor = 0.5;
+  }
 
   MicroConfig micro;
   micro.num_locks = std::max(1, w.num_locks);
@@ -535,6 +585,7 @@ RunReport ScheduleFuzzer::RunSchedule(const Schedule& schedule,
     testbed.sharded().InstallKnapsack(
         UniformMicroDemands(micro, testbed.num_engines()));
   }
+  if (testbed.has_controller()) testbed.controller().Start();
   ControlPlane& control = testbed.netlock().control_plane();
   // Lease-aware exclusion: a partitioned holder's lease legitimately
   // expires and the switch regrants (Section 4.5) — not an overlap. The
@@ -601,7 +652,11 @@ RunReport ScheduleFuzzer::RunSchedule(const Schedule& schedule,
 
   // Observe every switch grant: the digest makes replays comparable
   // byte-for-byte; benign plans additionally feed the FIFO oracle.
-  const bool fifo = options.check_fifo && schedule.plan.Benign();
+  // Controller migrations legitimately reorder grants across the
+  // pause/drain/forward boundary, so FIFO checking is off for them just
+  // like for explicit migration plans.
+  const bool fifo =
+      options.check_fifo && schedule.plan.Benign() && !controller_on;
   std::uint64_t digest = 0xcbf29ce484222325ull;
   const auto observe = [&](LockSwitch& sw, std::uint64_t tag) {
     const int rec_shard =
@@ -836,6 +891,7 @@ Schedule ScheduleFuzzer::Shrink(Schedule failing, const FuzzOptions& options,
     attempt([](WorkloadParams& wp) { wp.num_locks = 1; });
     attempt([](WorkloadParams& wp) { wp.locks_per_txn = 1; });
     attempt([](WorkloadParams& wp) { wp.shared_permille = 0; });
+    attempt([](WorkloadParams& wp) { wp.controller = 0; });
     attempt([](WorkloadParams& wp) {
       if (wp.run_time > 10 * kMillisecond) wp.run_time /= 2;
     });

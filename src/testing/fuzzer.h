@@ -50,6 +50,11 @@ struct WorkloadParams {
   /// forces an all-server allocation (the switch data plane has no
   /// mid-queue removal). Serialized as "policy=N"; absent parses as 0.
   int policy = 0;
+  /// Run with the self-driving controller live (fast tick, short dwell),
+  /// so continuous reallocation races the fault plan. Ignored when the
+  /// schedule forces an all-server allocation (unordered / policy != 0).
+  /// Serialized as "ctrl=1"; absent parses as 0.
+  int controller = 0;
   SimTime run_time = 30 * kMillisecond;
 
   friend bool operator==(const WorkloadParams&,

@@ -95,7 +95,7 @@ TEST_F(ControlPlaneTest, MoveLockToSwitchDrainsServerFirst) {
   Acquire(1, 1);
   EXPECT_TRUE(client_->HasGrantFor(1));
   bool moved = false;
-  control_->MoveLockToSwitch(1, /*slots=*/8, [&]() { moved = true; });
+  control_->MoveLockToSwitch(1, /*slots=*/8, [&](bool) { moved = true; });
   sim_.RunUntil(sim_.now() + 5 * kMillisecond);
   EXPECT_FALSE(moved);  // Holder still active on the server.
   Release(1, 1);
@@ -113,7 +113,7 @@ TEST_F(ControlPlaneTest, MoveLockToSwitchDrainsServerFirst) {
 TEST_F(ControlPlaneTest, MoveToSwitchPreservesBufferedOrder) {
   Acquire(1, 1);
   bool moved = false;
-  control_->MoveLockToSwitch(1, 8, [&]() { moved = true; });
+  control_->MoveLockToSwitch(1, 8, [&](bool) { moved = true; });
   sim_.RunUntil(sim_.now() + kMillisecond);
   // Requests arriving mid-migration buffer at the server.
   Acquire(1, 2);
@@ -182,13 +182,18 @@ TEST_F(ControlPlaneTest, RecoverSwitchReinstallsAllocation) {
   Allocation alloc;
   alloc.switch_slots = {{1, 8}, {2, 8}};
   control_->InstallAllocation(alloc);
+  Acquire(1, 1);  // Pre-crash grant: its lease outlives the switch.
+  EXPECT_TRUE(client_->HasGrantFor(1));
   switch_->Fail();
-  Acquire(1, 1);  // Dropped.
-  EXPECT_FALSE(client_->HasGrantFor(1));
   control_->RecoverSwitch();
   EXPECT_TRUE(switch_->IsInstalled(1));
   EXPECT_TRUE(switch_->IsInstalled(2));
+  // One-lease grace (§4.5): txn 1's pre-crash grant is still live (its
+  // release died with the switch), so the restarted switch queues new
+  // requests but must not regrant until the old leases have expired.
   Acquire(1, 2);
+  EXPECT_FALSE(client_->HasGrantFor(2));
+  sim_.RunUntil(sim_.now() + 60 * kMillisecond);  // > default 50 ms lease.
   EXPECT_TRUE(client_->HasGrantFor(2));
 }
 
@@ -303,6 +308,92 @@ TEST_F(ControlPlaneTest, ReallocateShrinksOversizedLock) {
   }
   EXPECT_LT(slots, 16u);
   EXPECT_GT(switch_->table().free_slots(), free_before);
+}
+
+TEST_F(ControlPlaneTest, CombinedDemandsCountsDualObservedLockOnce) {
+  // Regression: Reallocate merged the software RecordRequest counters with
+  // the data-plane harvest by *summing* rates, so a lock observed by both
+  // paths (the common case: the client library instruments the same
+  // requests the data plane serves) counted double and crowded
+  // single-counted locks out of the knapsack.
+  sim_.RunUntil(kSecond);
+  constexpr int kRequests = 10;
+  for (TxnId txn = 0; txn < kRequests; ++txn) {
+    Acquire(3, txn);
+    control_->RecordRequest(3, 1);  // Client library sees the same request.
+    Release(3, txn);
+  }
+  const double window_sec =
+      static_cast<double>(sim_.now()) / static_cast<double>(kSecond);
+  const std::vector<LockDemand> demands = control_->CombinedDemands();
+  const LockDemand* d = nullptr;
+  for (const LockDemand& demand : demands) {
+    if (demand.lock == 3) d = &demand;
+  }
+  ASSERT_NE(d, nullptr);
+  const double expected = kRequests / window_sec;
+  // Pre-fix the two observation paths summed to ~2x this.
+  EXPECT_NEAR(d->rate, expected, 0.05 * expected);
+}
+
+TEST_F(ControlPlaneTest, OverlappingReallocateRejectedWhileDraining) {
+  // Regression: two overlapping Reallocate calls shared no guard — the
+  // second double-paused locks mid-drain and raced the first's sequencing
+  // state. The busy reject must also leave the demand window untouched.
+  Allocation alloc;
+  alloc.switch_slots = {{1, 8}};
+  control_->InstallAllocation(alloc);
+  sim_.RunUntil(kSecond);
+  Acquire(1, 1);  // Holder: any drain of lock 1 stalls until release.
+  for (TxnId txn = 10; txn < 20; ++txn) {
+    Acquire(2, txn);
+    Release(2, txn);
+  }
+  bool first_done = false;
+  EXPECT_TRUE(control_->Reallocate(/*switch_capacity=*/64,
+                                   [&]() { first_done = true; }));
+  sim_.RunUntil(sim_.now() + 2 * kMillisecond);
+  EXPECT_FALSE(first_done);
+  EXPECT_TRUE(control_->MigrationInFlight());
+  bool second_done = false;
+  EXPECT_FALSE(control_->Reallocate(/*switch_capacity=*/64,
+                                    [&]() { second_done = true; }));
+  Release(1, 1);
+  sim_.RunUntil(sim_.now() + 40 * kMillisecond);
+  EXPECT_TRUE(first_done);
+  EXPECT_FALSE(second_done);  // Rejected call never fires its callback.
+  EXPECT_FALSE(control_->MigrationInFlight());
+  // Once the batch lands, new batches are accepted again.
+  EXPECT_TRUE(control_->Reallocate(/*switch_capacity=*/64, nullptr));
+}
+
+TEST_F(ControlPlaneTest, RecoverSwitchMidReallocateKeepsServerOwnership) {
+  // Regression: Reallocate committed `installed_ = target` before any
+  // migration ran, so a switch crash + RecoverSwitch() mid-drain
+  // reinstalled locks that were still (or again) server-owned and evicted
+  // the server's holder state — the next acquire was granted by the switch
+  // while the original holder still held the lock (split-brain).
+  sim_.RunUntil(kSecond);
+  Acquire(2, 1);  // Lock 2 server-owned, txn 1 holds it.
+  EXPECT_TRUE(client_->HasGrantFor(1));
+  control_->RecordRequest(2, /*concurrent=*/4);
+  bool done = false;
+  EXPECT_TRUE(
+      control_->Reallocate(/*switch_capacity=*/64, [&]() { done = true; }));
+  sim_.RunUntil(sim_.now() + 2 * kMillisecond);
+  EXPECT_FALSE(done);  // Drain stalls: txn 1 still holds lock 2.
+  switch_->Fail();
+  control_->RecoverSwitch();
+  // The migration has not landed, so recovery must not put lock 2 on the
+  // switch; a new request routes to the server and waits behind txn 1.
+  EXPECT_FALSE(switch_->IsInstalled(2));
+  Acquire(2, 2);
+  EXPECT_FALSE(client_->HasGrantFor(2));  // Granted pre-fix: split-brain.
+  Release(2, 1);
+  sim_.RunUntil(sim_.now() + 40 * kMillisecond);
+  EXPECT_TRUE(done);  // The drain completed and the migration landed.
+  EXPECT_TRUE(switch_->IsInstalled(2));
+  EXPECT_TRUE(client_->HasGrantFor(2));
 }
 
 }  // namespace

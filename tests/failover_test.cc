@@ -299,5 +299,46 @@ TEST_F(FailoverEndToEndTest, BackupActivationWaitsForLease) {
   testbed.StopEngines(kSecond);
 }
 
+TEST_F(FailoverEndToEndTest, EarlyRecoveryInheritsPrimaryLeaseGrace) {
+  // Regression: RecoverPrimary issued before FailPrimary's one-lease grace
+  // elapsed found the (never-activated) backup's queues empty and activated
+  // the primary's locks immediately — overlapping grants the old primary
+  // issued just before the failure, whose releases died with it. The
+  // recovered primary must inherit the remainder of the grace.
+  Testbed testbed(config_);
+  MicroConfig micro;
+  micro.num_locks = 64;
+  testbed.netlock().InstallKnapsack(
+      UniformMicroDemands(micro, testbed.num_engines()));
+  LockSwitch backup(testbed.net(), config_.switch_config);
+  for (NetLockSession* s : raw_sessions_) {
+    testbed.net().SetLatency(s->node(), backup.node(), 2500);
+  }
+  FailoverManager failover(testbed.sim(), testbed.netlock().lock_switch(),
+                           backup, testbed.netlock().control_plane());
+  for (NetLockSession* s : raw_sessions_) failover.RegisterSession(s);
+  testbed.StartEngines();
+  testbed.sim().RunUntil(10 * kMillisecond);
+  failover.FailPrimary();
+  // Fail back long before the 5 ms lease grace is up.
+  testbed.sim().RunUntil(testbed.sim().now() + 500 * kMicrosecond);
+  bool recovered = false;
+  failover.RecoverPrimary([&]() { recovered = true; });
+  const std::uint64_t grants_at_recovery =
+      testbed.netlock().lock_switch().stats().grants;
+  // Within the remaining grace the primary must not grant: leases of the
+  // pre-failure holders are still live.
+  testbed.sim().RunUntil(testbed.sim().now() + 3 * kMillisecond);
+  EXPECT_EQ(testbed.netlock().lock_switch().stats().grants,
+            grants_at_recovery);
+  // Once the grace ends the primary serves again, safely.
+  testbed.sim().RunUntil(testbed.sim().now() + 40 * kMillisecond);
+  EXPECT_TRUE(recovered);
+  EXPECT_GT(testbed.netlock().lock_switch().stats().grants,
+            grants_at_recovery);
+  EXPECT_EQ(oracle_->violations(), 0u);
+  testbed.StopEngines(kSecond);
+}
+
 }  // namespace
 }  // namespace netlock

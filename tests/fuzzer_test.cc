@@ -206,6 +206,38 @@ TEST(ScheduleFuzzerTest, SingleRackReallocateActionStaysSafe) {
   EXPECT_EQ(ScheduleFuzzer::RunSchedule(sched).digest, report.digest);
 }
 
+TEST(ScheduleFuzzerTest, ControllerScheduleStaysSafeUnderSwitchCrash) {
+  // The self-driving controller migrates locks continuously while the
+  // plan crashes and restarts the switch — the split-brain corner the
+  // per-lock install commit exists for. Safety and liveness must hold,
+  // and the run must replay byte-identically (the controller rides the
+  // same deterministic sim clock as everything else).
+  Schedule sched;
+  sched.seed = 29;
+  sched.workload.machines = 2;
+  sched.workload.sessions_per_machine = 2;
+  sched.workload.num_locks = 8;
+  sched.workload.queue_capacity = 8;
+  sched.workload.controller = 1;
+  sched.workload.run_time = 35 * kMillisecond;
+  sched.plan.actions = {
+      {FaultKind::kSwitchCrash, 9 * kMillisecond, 0, 0, 0},
+      {FaultKind::kSwitchRestart, 14 * kMillisecond, 0, 0, 0},
+  };
+  // Round-trip including the new ctrl key.
+  Schedule parsed;
+  ASSERT_TRUE(Schedule::Parse(sched.Serialize(), &parsed));
+  EXPECT_EQ(parsed, sched);
+
+  const RunReport first = ScheduleFuzzer::RunSchedule(sched);
+  EXPECT_TRUE(first.ok) << first.Summary();
+  EXPECT_GT(first.grants, 100u);
+  EXPECT_EQ(first.violations, 0u);
+  const RunReport second = ScheduleFuzzer::RunSchedule(sched);
+  EXPECT_EQ(first.digest, second.digest);
+  EXPECT_EQ(first.Summary(), second.Summary());
+}
+
 TEST(ScheduleFuzzerTest, SeededBugIsCaughtAndShrunkToMinimalSchedule) {
   // The test-only hook hides every release with txn % 7 == 3 from the
   // oracle, so the next grant on the same lock is a genuine overlap as far
